@@ -1,0 +1,76 @@
+//! Ablation benches (DESIGN.md experiment X1): each design choice the
+//! paper motivates, measured in isolation on the chess analog —
+//! (a) the supported R-tree bound, (b) the contained/partial differential
+//! treatment, (c) packed vs insertion-built R-trees.
+
+use colarm::{LocalizedQuery, MipIndexConfig, Packing, PlanKind};
+use colarm_bench::{build_system, chess_spec, random_subset_spec, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let spec = chess_spec(Scale::Fast);
+    let system = build_system(&spec);
+    let index = system.index();
+    let mut rng = StdRng::seed_from_u64(51);
+    let (range, subset) = random_subset_spec(index.dataset(), index.vertical(), 0.1, &mut rng);
+    let query = LocalizedQuery::builder()
+        .range(range.clone())
+        .minsupp(spec.minsupps[1])
+        .minconf(spec.minconf)
+        .build();
+    let min = query.minsupp_count(subset.len());
+
+    let mut group = c.benchmark_group("ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+
+    // (a) The supported R-tree bound.
+    group.bench_function("search/plain", |b| {
+        b.iter(|| black_box(colarm::ops::search(index, &subset).0.len()))
+    });
+    group.bench_function("search/supported", |b| {
+        b.iter(|| black_box(colarm::ops::supported_search(index, &subset, min).0.len()))
+    });
+
+    // (b) Differential containment treatment: SS-E-V vs SS-E-U-V.
+    for plan in [PlanKind::SsEv, PlanKind::SsEuv] {
+        group.bench_function(format!("containment/{}", plan.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    colarm::execute_plan(index, &query, &subset, plan)
+                        .expect("runs")
+                        .rules
+                        .len(),
+                )
+            })
+        });
+    }
+
+    // (c) Packing: STR-packed vs insertion-built R-tree search.
+    let ins = colarm::MipIndex::build(
+        (spec.build)(),
+        MipIndexConfig {
+            primary_support: spec.primary,
+            packing: Packing::Insertion,
+            ..Default::default()
+        },
+    )
+    .expect("builds");
+    let rect = index.range_rect(&range);
+    group.bench_function("packing/str_query", |b| {
+        b.iter(|| black_box(index.rtree().query(&rect, 0).0.len()))
+    });
+    group.bench_function("packing/insertion_query", |b| {
+        b.iter(|| black_box(ins.rtree().query(&rect, 0).0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §5.1 bench: the COLARM optimizer's plan-selection step itself — the
+//! paper claims plan estimation is "a constant time computation of six
+//! formulae", so choosing a plan must be orders of magnitude cheaper than
+//! executing one. Accuracy numbers are printed by `figures accuracy`.
+
+use colarm::LocalizedQuery;
+use colarm_bench::{all_specs, build_system, random_subset_spec, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_choose");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    for spec in all_specs(Scale::Fast) {
+        let system = build_system(&spec);
+        let mut rng = StdRng::seed_from_u64(41);
+        let (range, subset) = random_subset_spec(
+            system.index().dataset(),
+            system.index().vertical(),
+            0.2,
+            &mut rng,
+        );
+        let query = LocalizedQuery::builder()
+            .range(range)
+            .minsupp(spec.minsupps[1])
+            .minconf(spec.minconf)
+            .build();
+        group.bench_function(format!("{}/choose", spec.name), |b| {
+            b.iter(|| {
+                black_box(
+                    system
+                        .optimizer()
+                        .choose(system.index(), &query, &subset)
+                        .chosen,
+                )
+            })
+        });
+        // Contrast: resolving the subset itself (part of every query).
+        group.bench_function(format!("{}/resolve_subset", spec.name), |b| {
+            b.iter(|| {
+                black_box(
+                    system
+                        .index()
+                        .resolve_subset(query.range.clone())
+                        .expect("resolves")
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 8 bench: closed-frequent-itemset mining time (and counts) by
+//! primary threshold for the three benchmark analogs.
+//!
+//! The `figures fig8` binary prints the full count series; this bench
+//! measures the offline CHARM mining cost at each dataset's two most
+//! interesting thresholds with statistical rigor.
+
+use colarm_bench::{all_specs, Scale};
+use colarm_data::VerticalIndex;
+use colarm_mine::vertical::full_vertical;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_cfi_counts");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for spec in all_specs(Scale::Fast) {
+        let dataset = (spec.build)();
+        let vertical = VerticalIndex::build(&dataset);
+        let columns = full_vertical(&vertical);
+        let m = dataset.num_records() as f64;
+        // The two ends of the paper's sweep for this dataset.
+        for &primary in [spec.fig8_primaries[0], *spec.fig8_primaries.last().unwrap()].iter() {
+            let min = ((primary * m).ceil() as usize).max(1);
+            let count = colarm_mine::charm(&columns, min).len();
+            eprintln!(
+                "[fig8] {} primary {:.0}% -> {} CFIs",
+                spec.name,
+                primary * 100.0,
+                count
+            );
+            group.bench_function(
+                format!("{}/primary_{:.0}pct", spec.name, primary * 100.0),
+                |b| b.iter(|| black_box(colarm_mine::charm(black_box(&columns), min).len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

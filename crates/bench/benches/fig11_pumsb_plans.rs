@@ -1,0 +1,57 @@
+//! Figure 11 bench: execution time of all six mining plans on the pumsb analog
+//! across focal-subset sizes (the paper's per-chart series, at Fast scale;
+//! the `figures fig11` binary prints the full minsupp × |DQ| grid).
+
+use colarm::{LocalizedQuery, PlanKind};
+use colarm_bench::{build_system, pumsb_spec, random_subset_spec, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let spec = pumsb_spec(Scale::Fast);
+    let system = build_system(&spec);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut group = c.benchmark_group("fig11_pumsb_plans");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    for &frac in &[0.5f64, 0.1, 0.01] {
+        let (range, subset) = random_subset_spec(
+            system.index().dataset(),
+            system.index().vertical(),
+            frac,
+            &mut rng,
+        );
+        if subset.is_empty() {
+            continue;
+        }
+        let query = LocalizedQuery::builder()
+            .range(range)
+            .minsupp(spec.minsupps[1])
+            .minconf(spec.minconf)
+            .build();
+        for plan in PlanKind::ALL {
+            group.bench_function(
+                format!("dq_{:.0}pct/{}", frac * 100.0, plan.name()),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            colarm::execute_plan(system.index(), &query, &subset, plan)
+                                .expect("plan runs")
+                                .rules
+                                .len(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

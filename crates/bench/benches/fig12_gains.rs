@@ -1,0 +1,60 @@
+//! Figure 12 bench: the optimization gains measured head-to-head — the
+//! basic S-E-V plan against each optimized plan on a representative
+//! partially-overlapped query per dataset. The `figures fig12` binary
+//! prints the full averaged gain chart.
+
+use colarm::{LocalizedQuery, PlanKind};
+use colarm_bench::{all_specs, build_system, random_subset_spec, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_gains");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200));
+    for spec in all_specs(Scale::Fast) {
+        let system = build_system(&spec);
+        let mut rng = StdRng::seed_from_u64(21);
+        let (range, subset) = random_subset_spec(
+            system.index().dataset(),
+            system.index().vertical(),
+            0.2,
+            &mut rng,
+        );
+        if subset.is_empty() {
+            continue;
+        }
+        let query = LocalizedQuery::builder()
+            .range(range)
+            .minsupp(spec.minsupps[0])
+            .minconf(spec.minconf)
+            .build();
+        for plan in [
+            PlanKind::Sev,
+            PlanKind::Svs,
+            PlanKind::SsEv,
+            PlanKind::SsVs,
+            PlanKind::SsEuv,
+        ] {
+            group.bench_function(format!("{}/{}", spec.name, plan.name()), |b| {
+                b.iter(|| {
+                    black_box(
+                        colarm::execute_plan(system.index(), &query, &subset, plan)
+                            .expect("plan runs")
+                            .rules
+                            .len(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

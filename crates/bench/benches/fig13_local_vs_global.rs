@@ -1,0 +1,59 @@
+//! Figure 13 bench: the fresh-local vs repeated-global CFI accounting per
+//! focal-subset size (counts printed once; the scan cost benchmarked).
+
+use colarm_bench::{all_specs, build_system, random_subset_spec, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_local_vs_global");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    for spec in all_specs(Scale::Fast) {
+        let system = build_system(&spec);
+        let mut rng = StdRng::seed_from_u64(31);
+        for &frac in &[0.5f64, 0.1, 0.01] {
+            let (_, subset) = random_subset_spec(
+                system.index().dataset(),
+                system.index().vertical(),
+                frac,
+                &mut rng,
+            );
+            if subset.is_empty() {
+                continue;
+            }
+            let counts = colarm::paradox::local_vs_global_cfis(
+                system.index(),
+                &subset,
+                spec.minsupps[0],
+                spec.global_minsupp,
+            );
+            eprintln!(
+                "[fig13] {} |DQ|={:.0}%: fresh {} repeated {}",
+                spec.name,
+                frac * 100.0,
+                counts.fresh_local,
+                counts.repeated_global
+            );
+            group.bench_function(format!("{}/dq_{:.0}pct", spec.name, frac * 100.0), |b| {
+                b.iter(|| {
+                    black_box(colarm::paradox::local_vs_global_cfis(
+                        system.index(),
+                        &subset,
+                        spec.minsupps[0],
+                        spec.global_minsupp,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

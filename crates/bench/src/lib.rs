@@ -1,0 +1,360 @@
+//! Shared experiment machinery for the COLARM benchmark harness.
+//!
+//! Everything the paper's evaluation (§5) needs is defined once here and
+//! reused by both the Criterion benches (`benches/`) and the `figures`
+//! binary that regenerates each figure/table as text series:
+//!
+//! * [`DatasetSpec`] — the three benchmark datasets (chess / mushroom /
+//!   PUMSB analogs; see DESIGN.md for the substitution rationale) with the
+//!   primary thresholds and experiment grids adapted to the analogs'
+//!   density.
+//! * [`random_subset_spec`] — seeded generation of focal subsets of a
+//!   target size fraction "over different regions of the dataset", as the
+//!   paper averages over.
+//! * [`run_plan_grid`] — the Figures 9–11 measurement loop: average
+//!   execution time of all six plans per (|DQ|, minsupp) cell, plus the
+//!   optimizer's choice per cell.
+//! * [`GridCell`] / [`gains_vs_sev`] / [`optimizer_accuracy`] — the
+//!   derived Figure 12 and §5.1 statistics.
+
+pub mod scenarios;
+
+pub use scenarios::*;
+
+use colarm::{Colarm, LocalizedQuery, PlanKind};
+use colarm_data::{Dataset, FocalSubset, RangeSpec, VerticalIndex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::Serialize;
+use std::time::Duration;
+
+/// One measured cell of the Figures 9–11 grids.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Target focal-subset fraction (e.g. 0.5 for "50 % of D").
+    pub dq_frac: f64,
+    /// Actual average subset fraction achieved by the random specs.
+    pub actual_frac: f64,
+    /// Local minimum support.
+    pub minsupp: f64,
+    /// Local minimum confidence.
+    pub minconf: f64,
+    /// Average execution seconds per plan, in [`PlanKind::ALL`] order.
+    pub avg_secs: [f64; 6],
+    /// How often the optimizer chose each plan, in [`PlanKind::ALL`] order.
+    pub chosen: [usize; 6],
+    /// Number of random subsets averaged over.
+    pub runs: usize,
+    /// Average number of rules returned.
+    pub avg_rules: f64,
+}
+
+impl GridCell {
+    /// The plan that was actually fastest on average.
+    pub fn fastest_plan(&self) -> PlanKind {
+        let (idx, _) = self
+            .avg_secs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("six plans");
+        PlanKind::ALL[idx]
+    }
+
+    /// The plan the optimizer picked most often.
+    pub fn optimizer_plan(&self) -> PlanKind {
+        let (idx, _) = self
+            .chosen
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("six plans");
+        PlanKind::ALL[idx]
+    }
+
+    /// Regret of the optimizer's majority pick vs the fastest plan
+    /// (`0.0` when it picked the fastest).
+    pub fn regret(&self) -> f64 {
+        let best = self.avg_secs[plan_index(self.fastest_plan())];
+        let picked = self.avg_secs[plan_index(self.optimizer_plan())];
+        if best <= 0.0 {
+            0.0
+        } else {
+            (picked - best) / best
+        }
+    }
+}
+
+/// Index of a plan within [`PlanKind::ALL`].
+pub fn plan_index(plan: PlanKind) -> usize {
+    PlanKind::ALL
+        .iter()
+        .position(|&p| p == plan)
+        .expect("plan in ALL")
+}
+
+/// Generate a random focal-subset spec of approximately `target_frac` of
+/// the dataset: starting unconstrained, repeatedly drop one admissible
+/// value from a random attribute, undoing steps that overshoot.
+pub fn random_subset_spec(
+    dataset: &Dataset,
+    vertical: &VerticalIndex,
+    target_frac: f64,
+    rng: &mut StdRng,
+) -> (RangeSpec, FocalSubset) {
+    let schema = dataset.schema();
+    let n = schema.num_attributes();
+    let mut spec = RangeSpec::all();
+    let mut subset =
+        FocalSubset::resolve(spec.clone(), dataset, vertical).expect("all-range resolves");
+    let mut stall = 0usize;
+    while subset.fraction() > target_frac && stall < 8 * n {
+        let aid = colarm_data::AttributeId(rng.gen_range(0..n) as u16);
+        let dom = schema.attribute(aid).domain_size();
+        let current: Vec<u16> = match spec.selections().get(&aid) {
+            Some(s) => s.iter().copied().collect(),
+            None => (0..dom as u16).collect(),
+        };
+        if current.len() <= 1 {
+            stall += 1;
+            continue;
+        }
+        let drop = current[rng.gen_range(0..current.len())];
+        let next: Vec<u16> = current.into_iter().filter(|&v| v != drop).collect();
+        let candidate_spec = spec.clone().with(aid, next);
+        let candidate =
+            FocalSubset::resolve(candidate_spec.clone(), dataset, vertical).expect("valid spec");
+        // Accept unless we overshoot far below the target or empty out.
+        if candidate.fraction() >= target_frac * 0.4 && !candidate.is_empty() {
+            spec = candidate_spec;
+            subset = candidate;
+            stall = 0;
+        } else if candidate.fraction() > 0.0 && subset.fraction() > target_frac * 3.0 {
+            // Still far above target: accept even an aggressive cut.
+            spec = candidate_spec;
+            subset = candidate;
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+    }
+    (spec, subset)
+}
+
+/// Measure all six plans over `runs` random subsets of `dq_frac`, at one
+/// (minsupp, minconf) setting — one cell of Figures 9–11.
+pub fn measure_cell(
+    system: &Colarm,
+    dataset_name: &str,
+    dq_frac: f64,
+    minsupp: f64,
+    minconf: f64,
+    runs: usize,
+    seed: u64,
+) -> GridCell {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut totals = [Duration::ZERO; 6];
+    let mut chosen = [0usize; 6];
+    let mut actual_frac_sum = 0.0;
+    let mut rules_sum = 0usize;
+    let mut completed = 0usize;
+    while completed < runs {
+        let (spec, subset) = random_subset_spec(
+            system.index().dataset(),
+            system.index().vertical(),
+            dq_frac,
+            &mut rng,
+        );
+        if subset.is_empty() {
+            continue;
+        }
+        let query = LocalizedQuery::builder()
+            .range(spec)
+            .minsupp(minsupp)
+            .minconf(minconf)
+            .build();
+        let choice = system.optimizer().choose(system.index(), &query, &subset);
+        chosen[plan_index(choice.chosen)] += 1;
+        let mut reference: Option<Vec<colarm::mine::Rule>> = None;
+        for (i, &plan) in PlanKind::ALL.iter().enumerate() {
+            let answer = colarm::execute_plan(system.index(), &query, &subset, plan)
+                .expect("valid query");
+            totals[i] += answer.trace.total;
+            match &reference {
+                None => {
+                    rules_sum += answer.rules.len();
+                    reference = Some(answer.rules);
+                }
+                Some(r) => {
+                    assert_eq!(&answer.rules, r, "plan {plan} diverged on {dataset_name}")
+                }
+            }
+        }
+        actual_frac_sum += subset.fraction();
+        completed += 1;
+    }
+    let avg_secs = std::array::from_fn(|i| totals[i].as_secs_f64() / completed.max(1) as f64);
+    GridCell {
+        dataset: dataset_name.to_string(),
+        dq_frac,
+        actual_frac: actual_frac_sum / completed.max(1) as f64,
+        minsupp,
+        minconf,
+        avg_secs,
+        chosen,
+        runs: completed,
+        avg_rules: rules_sum as f64 / completed.max(1) as f64,
+    }
+}
+
+/// The Figures 9–11 grid for one dataset: every (|DQ|, minsupp) cell.
+pub fn run_plan_grid(
+    system: &Colarm,
+    spec: &DatasetSpec,
+    runs_per_cell: usize,
+    seed: u64,
+) -> Vec<GridCell> {
+    let mut cells = Vec::new();
+    for (si, &dq_frac) in spec.dq_fracs.iter().enumerate() {
+        for (mi, &minsupp) in spec.minsupps.iter().enumerate() {
+            cells.push(measure_cell(
+                system,
+                spec.name,
+                dq_frac,
+                minsupp,
+                spec.minconf,
+                runs_per_cell,
+                seed ^ ((si as u64) << 32) ^ (mi as u64),
+            ));
+        }
+    }
+    cells
+}
+
+/// Figure 12: percentage gain of each optimized plan vs the basic S-E-V,
+/// averaged over a set of grid cells: `(t_SEV − t_P) / t_SEV × 100`.
+pub fn gains_vs_sev(cells: &[GridCell]) -> [f64; 6] {
+    let mut gains = [0.0f64; 6];
+    if cells.is_empty() {
+        return gains;
+    }
+    for cell in cells {
+        let sev = cell.avg_secs[plan_index(PlanKind::Sev)];
+        for (i, &t) in cell.avg_secs.iter().enumerate() {
+            if sev > 0.0 {
+                gains[i] += (sev - t) / sev * 100.0;
+            }
+        }
+    }
+    for g in &mut gains {
+        *g /= cells.len() as f64;
+    }
+    gains
+}
+
+/// §5.1 optimizer-accuracy summary over a set of cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AccuracySummary {
+    /// Fraction of cells where the optimizer's majority pick was exactly
+    /// the measured-fastest plan.
+    pub exact: f64,
+    /// Fraction of cells where the pick cost at most 10 % more than the
+    /// fastest plan (the paper's "at most 5 % extra cost" framing; several
+    /// of our index plans are near-ties, so exact argmin over-penalizes
+    /// measurement noise).
+    pub within_10pct: f64,
+    /// Mean regret across all cells.
+    pub mean_regret: f64,
+    /// Worst regret of any erroneous pick.
+    pub worst_regret: f64,
+    /// Number of cells summarized.
+    pub cells: usize,
+}
+
+/// Compute the §5.1 accuracy summary.
+pub fn optimizer_accuracy(cells: &[GridCell]) -> AccuracySummary {
+    let mut exact = 0usize;
+    let mut within = 0usize;
+    let mut regret_sum = 0.0f64;
+    let mut worst_regret = 0.0f64;
+    for cell in cells {
+        let r = cell.regret();
+        regret_sum += r;
+        worst_regret = worst_regret.max(r);
+        if cell.optimizer_plan() == cell.fastest_plan() {
+            exact += 1;
+        }
+        if r <= 0.10 {
+            within += 1;
+        }
+    }
+    let n = cells.len().max(1) as f64;
+    AccuracySummary {
+        exact: exact as f64 / n,
+        within_10pct: within as f64 / n,
+        mean_regret: regret_sum / n,
+        worst_regret,
+        cells: cells.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_subsets_hit_target_fractions() {
+        let spec = mushroom_spec(Scale::Smoke);
+        let dataset = (spec.build)();
+        let vertical = VerticalIndex::build(&dataset);
+        let mut rng = StdRng::seed_from_u64(7);
+        for target in [0.5, 0.2, 0.05] {
+            let (range, subset) = random_subset_spec(&dataset, &vertical, target, &mut rng);
+            assert!(!subset.is_empty());
+            assert!(
+                subset.fraction() <= target * 3.5,
+                "target {target} got {}",
+                subset.fraction()
+            );
+            range.validate(dataset.schema()).unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_cell_statistics_work() {
+        let cell = GridCell {
+            dataset: "x".into(),
+            dq_frac: 0.2,
+            actual_frac: 0.21,
+            minsupp: 0.8,
+            minconf: 0.85,
+            avg_secs: [6.0, 5.0, 4.0, 3.0, 2.0, 10.0],
+            chosen: [0, 0, 0, 0, 3, 0],
+            runs: 3,
+            avg_rules: 12.0,
+        };
+        assert_eq!(cell.fastest_plan(), PlanKind::SsEuv);
+        assert_eq!(cell.optimizer_plan(), PlanKind::SsEuv);
+        assert_eq!(cell.regret(), 0.0);
+        let gains = gains_vs_sev(std::slice::from_ref(&cell));
+        assert_eq!(gains[plan_index(PlanKind::Sev)], 0.0);
+        assert!((gains[plan_index(PlanKind::SsEuv)] - (6.0 - 2.0) / 6.0 * 100.0).abs() < 1e-9);
+        let acc = optimizer_accuracy(std::slice::from_ref(&cell));
+        assert_eq!(acc.exact, 1.0);
+        assert_eq!(acc.within_10pct, 1.0);
+        assert_eq!(acc.worst_regret, 0.0);
+        assert_eq!(acc.cells, 1);
+    }
+
+    #[test]
+    fn measure_cell_runs_end_to_end_on_smoke_scale() {
+        let spec = mushroom_spec(Scale::Smoke);
+        let system = build_system(&spec);
+        let cell = measure_cell(&system, spec.name, 0.3, spec.minsupps[0], spec.minconf, 2, 3);
+        assert_eq!(cell.runs, 2);
+        assert!(cell.avg_secs.iter().all(|&t| t >= 0.0));
+        assert_eq!(cell.chosen.iter().sum::<usize>(), 2);
+    }
+}

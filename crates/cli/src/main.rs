@@ -1,0 +1,230 @@
+//! `colarm` — command-line interface to the COLARM system.
+//!
+//! ```text
+//! colarm demo
+//!     The paper's Table 1 salary walkthrough.
+//!
+//! colarm index --data D.tsv --primary 0.1 [--out index.json]
+//!     Offline phase: build (and optionally persist) a MIP-index over a
+//!     TSV dataset (header of attribute names, one record per line).
+//!
+//! colarm query (--index index.json | --data D.tsv --primary P) "REPORT …"
+//!     Run one localized mining query (the paper's query language).
+//!
+//! colarm repl (--index index.json | --data D.tsv --primary P)
+//!     Interactive session: enter queries line by line; :help for the
+//!     meta-commands (:plans, :explain, :advise, :stats, :quit).
+//!
+//! colarm advise (--index index.json | --data D.tsv --primary P)
+//!     Mine suggested query parameters from the data (§7 future work).
+//! ```
+
+mod repl;
+
+use colarm::{Colarm, IndexSnapshot, MipIndexConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "demo" => demo(),
+        "index" => cmd_index(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "repl" => cmd_repl(&args[1..]),
+        "advise" => cmd_advise(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
+  demo                                   the paper's salary walkthrough
+  index  --data D.tsv --primary P [--out index.json]
+  query  (--index I.json | --data D.tsv --primary P) \"REPORT ...\"
+  repl   (--index I.json | --data D.tsv --primary P)
+  advise (--index I.json | --data D.tsv --primary P)";
+
+/// Parsed `--flag value` options plus positional arguments.
+struct Options {
+    data: Option<String>,
+    index: Option<String>,
+    out: Option<String>,
+    primary: f64,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        data: None,
+        index: None,
+        out: None,
+        primary: 0.1,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data" => opts.data = Some(take(&mut it, "--data")?),
+            "--index" => opts.index = Some(take(&mut it, "--index")?),
+            "--out" => opts.out = Some(take(&mut it, "--out")?),
+            "--primary" => {
+                opts.primary = take(&mut it, "--primary")?
+                    .parse()
+                    .map_err(|_| "--primary expects a number in (0, 1]".to_string())?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            positional => opts.positional.push(positional.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+/// Load a system from either a snapshot or a TSV dataset.
+fn load_system(opts: &Options) -> Result<Colarm, String> {
+    if let Some(path) = &opts.index {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let index = IndexSnapshot::from_json(&text)
+            .and_then(IndexSnapshot::restore)
+            .map_err(|e| format!("restoring {path}: {e}"))?;
+        return Ok(Colarm::from_index(index));
+    }
+    let Some(path) = &opts.data else {
+        return Err("provide --index FILE or --data FILE".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let dataset = colarm_data::io::from_tsv(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    eprintln!(
+        "[indexed {} records × {} attributes at primary support {:.1}%]",
+        dataset.num_records(),
+        dataset.schema().num_attributes(),
+        opts.primary * 100.0
+    );
+    Colarm::build(
+        dataset,
+        MipIndexConfig {
+            primary_support: opts.primary,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn demo() -> Result<(), String> {
+    let colarm = Colarm::build(
+        colarm_data::synth::salary(),
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let schema = colarm.index().dataset().schema().clone();
+    println!("The paper's Table 1 salary dataset ({} records).", 11);
+    let text = "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
+                WHERE RANGE Location = (Seattle), Gender = (F) \
+                HAVING minsupport = 75% AND minconfidence = 90%;";
+    println!("\n{text}\n");
+    let out = colarm.execute_text(text).map_err(|e| e.to_string())?;
+    println!(
+        "plan {} over {} records → {} rule(s):",
+        out.answer.plan.name(),
+        out.answer.subset_size,
+        out.answer.rules.len()
+    );
+    for rule in &out.answer.rules {
+        println!("  {}", rule.display(&schema));
+    }
+    println!("\nThe global trend (Age=20-30 → Salary=90K-120K, 45%/83%) does not\nhold in this subset — Simpson's paradox, mined online.");
+    Ok(())
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    if opts.data.is_none() {
+        return Err("index requires --data FILE".to_string());
+    }
+    let colarm = load_system(&opts)?;
+    println!(
+        "MIP-index: {} closed frequent itemsets, R-tree height {}, primary count {}",
+        colarm.index().num_mips(),
+        colarm.index().rtree().height(),
+        colarm.index().primary_count()
+    );
+    if let Some(out) = &opts.out {
+        let snapshot = IndexSnapshot::capture(colarm.index());
+        std::fs::write(out, snapshot.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("snapshot written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let Some(text) = opts.positional.first() else {
+        return Err("query requires a \"REPORT LOCALIZED ASSOCIATION RULES …\" string".to_string());
+    };
+    let colarm = load_system(&opts)?;
+    let schema = colarm.index().dataset().schema().clone();
+    let out = colarm.execute_text(text).map_err(|e| e.to_string())?;
+    println!(
+        "plan {} over {} records in {:?} → {} rule(s)",
+        out.answer.plan.name(),
+        out.answer.subset_size,
+        out.answer.trace.total,
+        out.answer.rules.len()
+    );
+    for rule in &out.answer.rules {
+        println!("  {}", rule.display(&schema));
+    }
+    Ok(())
+}
+
+fn cmd_repl(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let colarm = load_system(&opts)?;
+    repl::run(&colarm)
+}
+
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let colarm = load_system(&opts)?;
+    let advice = colarm::advisor::advise(colarm.index(), &colarm::advisor::AdvisorConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "suggested thresholds: minsupport {:.1}%, minconfidence {:.1}%",
+        advice.minsupp * 100.0,
+        advice.minconf * 100.0
+    );
+    if advice.ranges.is_empty() {
+        println!("no paradox-rich single-value subsets at these thresholds");
+    } else {
+        println!("paradox-rich subsets to explore (fresh local itemsets):");
+        for r in &advice.ranges {
+            println!(
+                "  {:<24} {:>7} records  {:>6} fresh",
+                r.label, r.subset_size, r.fresh_local_cfis
+            );
+        }
+    }
+    Ok(())
+}

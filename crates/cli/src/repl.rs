@@ -1,0 +1,146 @@
+//! Interactive localized-mining session over stdin/stdout.
+//!
+//! Queries in the paper's language run through a caching [`QuerySession`]
+//! (threshold refinements over the same region reuse the resolved subset).
+//! Meta-commands:
+//!
+//! ```text
+//! :help              this text
+//! :schema            attributes and domains
+//! :plans             Table 4 (the six plans)
+//! :explain <query>   all six cost estimates + the chosen plan
+//! :advise            suggested thresholds and paradox-rich subsets
+//! :stats             session cache statistics
+//! :quit              leave
+//! ```
+
+use colarm::{Colarm, PlanKind, QuerySession};
+use std::io::{BufRead, Write};
+
+/// Run the REPL until EOF or `:quit`.
+pub fn run(colarm: &Colarm) -> Result<(), String> {
+    let schema = colarm.index().dataset().schema().clone();
+    let session = QuerySession::new(colarm);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!(
+        "COLARM repl — {} records, {} MIPs. Enter REPORT queries; :help for commands.",
+        colarm.index().dataset().num_records(),
+        colarm.index().num_mips()
+    );
+    loop {
+        print!("colarm> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" | ":exit" => break,
+            ":help" => println!("{}", HELP),
+            ":schema" => {
+                for attr in schema.attributes() {
+                    println!(
+                        "  {} ({} values): {}",
+                        attr.name(),
+                        attr.domain_size(),
+                        attr.values().join(", ")
+                    );
+                }
+            }
+            ":plans" => {
+                for plan in PlanKind::ALL {
+                    println!(
+                        "  {:<10} {:<70} {}",
+                        plan.name(),
+                        plan.optimization(),
+                        plan.cost_formula()
+                    );
+                }
+            }
+            ":stats" => {
+                let s = session.stats();
+                println!(
+                    "  subsets: {} cached hits / {} resolved; answers: {} hits / {} executed",
+                    s.subset_hits, s.subset_misses, s.answer_hits, s.answer_misses
+                );
+            }
+            ":advise" => match colarm::advisor::advise(
+                colarm.index(),
+                &colarm::advisor::AdvisorConfig::default(),
+            ) {
+                Ok(advice) => {
+                    println!(
+                        "  minsupport {:.1}%, minconfidence {:.1}%",
+                        advice.minsupp * 100.0,
+                        advice.minconf * 100.0
+                    );
+                    for r in &advice.ranges {
+                        println!(
+                            "  {:<24} {:>7} records  {:>6} fresh itemsets",
+                            r.label, r.subset_size, r.fresh_local_cfis
+                        );
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+            _ if line.starts_with(":explain") => {
+                let text = line.trim_start_matches(":explain").trim();
+                explain(colarm, text);
+            }
+            _ if line.starts_with(':') => {
+                println!("  unknown command; :help lists commands");
+            }
+            query_text => match colarm::parse_query(query_text, &schema) {
+                Ok(query) => match session.execute(&query) {
+                    Ok(answer) => {
+                        println!(
+                            "  plan {} over {} records in {:?} → {} rule(s)",
+                            answer.plan.name(),
+                            answer.subset_size,
+                            answer.trace.total,
+                            answer.rules.len()
+                        );
+                        for rule in answer.rules.iter().take(20) {
+                            println!("    {}", rule.display(&schema));
+                        }
+                        if answer.rules.len() > 20 {
+                            println!("    … and {} more", answer.rules.len() - 20);
+                        }
+                    }
+                    Err(e) => println!("  error: {e}"),
+                },
+                Err(e) => println!("  parse error: {e}"),
+            },
+        }
+    }
+    Ok(())
+}
+
+fn explain(colarm: &Colarm, text: &str) {
+    let schema = colarm.index().dataset().schema();
+    match colarm::parse_query(text, schema) {
+        Ok(query) => match colarm::explain(colarm, &query) {
+            Ok(explanation) => {
+                println!("  estimates:");
+                for line in explanation.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => println!("  error: {e}"),
+        },
+        Err(e) => println!("  parse error: {e}"),
+    }
+}
+
+const HELP: &str = "  REPORT LOCALIZED ASSOCIATION RULES [FROM Dataset X]
+      WHERE RANGE Attr = (v1, v2), Attr2 = (v)
+      [AND ITEM ATTRIBUTES A, B]
+      HAVING minsupport = 60% AND minconfidence = 80%;
+  :schema | :plans | :explain <query> | :advise | :stats | :quit";

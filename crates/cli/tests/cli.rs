@@ -1,0 +1,151 @@
+//! End-to-end tests of the `colarm-cli` binary: every subcommand is
+//! exercised through a real process, including TSV indexing, snapshot
+//! round-trips, the query language and the REPL.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_colarm-cli");
+
+fn salary_tsv(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("salary.tsv");
+    let text = colarm_data::io::to_tsv(&colarm_data::synth::salary());
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("colarm-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn demo_prints_the_walkthrough() {
+    let out = Command::new(BIN).arg("demo").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Age=30-40"));
+    assert!(text.contains("Salary=90K-120K"));
+    assert!(text.contains("Simpson"));
+}
+
+#[test]
+fn index_query_round_trip_via_snapshot() {
+    let dir = tempdir("roundtrip");
+    let tsv = salary_tsv(&dir);
+    let snapshot = dir.join("index.json");
+    let out = Command::new(BIN)
+        .args([
+            "index",
+            "--data",
+            tsv.to_str().unwrap(),
+            "--primary",
+            "0.18",
+            "--out",
+            snapshot.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(snapshot.exists());
+    // Query against the snapshot (no re-mining).
+    let out = Command::new(BIN)
+        .args([
+            "query",
+            "--index",
+            snapshot.to_str().unwrap(),
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle), Gender = (F) \
+             HAVING minsupport = 75% AND minconfidence = 90%;",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Age=30-40"), "missing RL in: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_against_tsv_directly() {
+    let dir = tempdir("direct");
+    let tsv = salary_tsv(&dir);
+    let out = Command::new(BIN)
+        .args([
+            "query",
+            "--data",
+            tsv.to_str().unwrap(),
+            "--primary",
+            "0.18",
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Company = (Google) \
+             HAVING minsupport = 50% AND minconfidence = 70%;",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rule"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn advise_lists_paradox_subsets() {
+    let dir = tempdir("advise");
+    let tsv = salary_tsv(&dir);
+    let out = Command::new(BIN)
+        .args(["advise", "--data", tsv.to_str().unwrap(), "--primary", "0.18"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("minsupport"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repl_session_runs_queries_and_meta_commands() {
+    let dir = tempdir("repl");
+    let tsv = salary_tsv(&dir);
+    let mut child = Command::new(BIN)
+        .args(["repl", "--data", tsv.to_str().unwrap(), "--primary", "0.18"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b":schema\n:plans\n\
+              REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+              HAVING minsupport = 50% AND minconfidence = 80%;\n\
+              :explain REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+              HAVING minsupport = 50% AND minconfidence = 80%;\n\
+              :stats\n:bogus\n:quit\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Location"), "schema listing missing");
+    assert!(text.contains("SS-E-U-V"), "plan table missing");
+    assert!(text.contains("rule(s)"), "query output missing");
+    assert!(text.contains("estimates"), "explain output missing");
+    assert!(text.contains("unknown command"), "meta error missing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = Command::new(BIN).output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(BIN).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(BIN)
+        .args(["query", "--data", "/nonexistent.tsv", "SELECT"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

@@ -1,0 +1,185 @@
+//! Parameter advisor — the paper's future-work item (a): "mining the
+//! range, support and confidence parameters from the data in an automatic
+//! and efficient way" (§7).
+//!
+//! The advisor works entirely from the MIP-index:
+//!
+//! * **minsupport** — chosen from the CFI support histogram so that a
+//!   target number of itemsets qualifies (analysts drown past a few
+//!   hundred);
+//! * **minconfidence** — a high default scaled down when the data is so
+//!   sparse that nothing would pass;
+//! * **ranges** — every single attribute-value selection is scored by the
+//!   number of *fresh local* CFIs it would surface (the Figure 13
+//!   statistic); the top scorers are the most paradox-rich subsets to
+//!   explore first.
+
+use crate::error::ColarmError;
+use crate::mip::MipIndex;
+use crate::paradox::local_vs_global_cfis;
+use colarm_data::{AttributeId, RangeSpec, ValueId};
+
+/// A suggested focal subset with its paradox score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeSuggestion {
+    /// The attribute to constrain.
+    pub attribute: AttributeId,
+    /// The value to select.
+    pub value: ValueId,
+    /// Human-readable `Attr=Value` label.
+    pub label: String,
+    /// Records selected.
+    pub subset_size: usize,
+    /// Fresh-local CFIs surfaced at the suggested thresholds.
+    pub fresh_local_cfis: usize,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// Suggested local minsupport.
+    pub minsupp: f64,
+    /// Suggested local minconfidence.
+    pub minconf: f64,
+    /// Paradox-rich single-value ranges, best first.
+    pub ranges: Vec<RangeSuggestion>,
+}
+
+/// Tuning knobs for [`advise`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorConfig {
+    /// Target number of qualifying itemsets behind the minsupport pick.
+    pub target_itemsets: usize,
+    /// How many range suggestions to return.
+    pub top_ranges: usize,
+    /// Smallest subset fraction worth suggesting (tiny subsets overfit).
+    pub min_subset_fraction: f64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            target_itemsets: 200,
+            top_ranges: 8,
+            min_subset_fraction: 0.01,
+        }
+    }
+}
+
+/// Mine suggested query parameters from the index.
+pub fn advise(index: &MipIndex, config: &AdvisorConfig) -> Result<Advice, ColarmError> {
+    let stats = index.stats();
+    let m = index.dataset().num_records();
+    // minsupport: the support level at which ~target_itemsets CFIs remain
+    // (histogram is sorted ascending; walk back from the top).
+    let supports = &stats.supports;
+    let primary_frac = stats.primary_count as f64 / m.max(1) as f64;
+    let minsupp = if supports.is_empty() {
+        0.5
+    } else {
+        let idx = supports.len().saturating_sub(config.target_itemsets);
+        (supports[idx] as f64 / m as f64).clamp(0.05, 0.95)
+    }
+    // A useful local threshold sits clearly above the primary threshold —
+    // otherwise nothing can ever be "fresh" locally.
+    .max((primary_frac * 1.5).min(0.95));
+    let minconf = (minsupp + 0.2).clamp(0.5, 0.95);
+
+    let schema = index.dataset().schema();
+    let mut ranges = Vec::new();
+    for (aid, dom) in schema.dimensions() {
+        for v in 0..dom as ValueId {
+            let spec = RangeSpec::all().with(aid, [v]);
+            let subset = index.resolve_subset(spec)?;
+            if (subset.len() as f64) < config.min_subset_fraction * m as f64 {
+                continue;
+            }
+            if subset.len() == m {
+                continue; // selects everything — nothing local about it
+            }
+            let counts = local_vs_global_cfis(index, &subset, minsupp, minsupp);
+            if counts.fresh_local == 0 {
+                continue;
+            }
+            ranges.push(RangeSuggestion {
+                attribute: aid,
+                value: v,
+                label: schema.item_label(schema.encode(aid, v)),
+                subset_size: subset.len(),
+                fresh_local_cfis: counts.fresh_local,
+            });
+        }
+    }
+    ranges.sort_by(|a, b| {
+        b.fresh_local_cfis
+            .cmp(&a.fresh_local_cfis)
+            .then(a.label.cmp(&b.label))
+    });
+    ranges.truncate(config.top_ranges);
+    Ok(Advice {
+        minsupp,
+        minconf,
+        ranges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mip::MipIndexConfig;
+    use colarm_data::synth::salary;
+
+    #[test]
+    fn advice_is_actionable() {
+        let index = MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let advice = advise(&index, &AdvisorConfig::default()).unwrap();
+        assert!(advice.minsupp > 0.0 && advice.minsupp < 1.0);
+        assert!(advice.minconf >= advice.minsupp);
+        assert!(!advice.ranges.is_empty(), "salary data is paradox-rich");
+        // Suggestions are sorted by paradox score.
+        for w in advice.ranges.windows(2) {
+            assert!(w[0].fresh_local_cfis >= w[1].fresh_local_cfis);
+        }
+        // Every suggestion names a real subset.
+        for r in &advice.ranges {
+            assert!(r.subset_size > 0 && r.subset_size < 11);
+            assert!(r.label.contains('='));
+        }
+    }
+
+    #[test]
+    fn target_itemsets_moves_minsupp() {
+        let index = MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 1.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let strict = advise(
+            &index,
+            &AdvisorConfig {
+                target_itemsets: 5,
+                ..AdvisorConfig::default()
+            },
+        )
+        .unwrap();
+        let loose = advise(
+            &index,
+            &AdvisorConfig {
+                target_itemsets: 500,
+                ..AdvisorConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(strict.minsupp >= loose.minsupp);
+    }
+}

@@ -1,0 +1,61 @@
+//! Typed errors for the COLARM framework.
+
+use colarm_data::DataError;
+use std::fmt;
+
+/// Errors raised while building the MIP-index or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColarmError {
+    /// A threshold was outside `(0, 1]`.
+    InvalidThreshold { name: &'static str, value: f64 },
+    /// The query referenced attributes or values not in the schema.
+    Data(DataError),
+    /// The focal subset selected no records.
+    EmptySubset,
+    /// An `ITEM ATTRIBUTES` clause listed no attributes.
+    EmptyItemAttributes,
+    /// Query-language parse failure.
+    QueryParse { position: usize, message: String },
+    /// Unrestricted semantics can only be served by the from-scratch ARM
+    /// plan; the MIP-index plans are bound to the primary threshold
+    /// (paper footnote 2).
+    UnrestrictedRequiresArm { requested: &'static str },
+}
+
+impl fmt::Display for ColarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColarmError::InvalidThreshold { name, value } => {
+                write!(f, "{name} must be in (0, 1], got {value}")
+            }
+            ColarmError::Data(e) => write!(f, "{e}"),
+            ColarmError::EmptySubset => write!(f, "the focal subset selects no records"),
+            ColarmError::EmptyItemAttributes => {
+                write!(f, "ITEM ATTRIBUTES clause must list at least one attribute")
+            }
+            ColarmError::QueryParse { position, message } => {
+                write!(f, "query parse error at offset {position}: {message}")
+            }
+            ColarmError::UnrestrictedRequiresArm { requested } => write!(
+                f,
+                "Semantics::Unrestricted reports rules invisible to the MIP-index; \
+                 only the ARM plan can serve it (requested plan: {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ColarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColarmError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for ColarmError {
+    fn from(e: DataError) -> Self {
+        ColarmError::Data(e)
+    }
+}

@@ -1,0 +1,150 @@
+//! Structured `EXPLAIN` for localized mining queries: what the optimizer
+//! saw, what it estimated, and why it chose the plan it chose. Rendered by
+//! the CLI's `:explain` and available programmatically for tooling.
+
+use crate::cost::CostEstimate;
+use crate::framework::Colarm;
+use crate::error::ColarmError;
+use crate::plan::PlanKind;
+use crate::query::LocalizedQuery;
+use std::fmt;
+
+/// The optimizer's full view of one query, before execution.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// `|DQ|`.
+    pub subset_size: usize,
+    /// `|DQ| / |D|`.
+    pub subset_fraction: f64,
+    /// Absolute local minimum support count.
+    pub minsupp_count: usize,
+    /// Number of prestored MIPs the index holds.
+    pub num_mips: usize,
+    /// All six estimates, cheapest first.
+    pub estimates: Vec<CostEstimate>,
+    /// The chosen plan.
+    pub chosen: PlanKind,
+}
+
+impl Explanation {
+    /// Ratio between the runner-up's and the winner's estimates — how
+    /// confident the argmin decision is (1.0 = dead heat).
+    pub fn decision_margin(&self) -> f64 {
+        if self.estimates.len() < 2 {
+            return f64::INFINITY;
+        }
+        let best = self.estimates[0].total();
+        if best <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.estimates[1].total() / best
+    }
+
+    /// The estimate of a specific plan.
+    pub fn estimate_for(&self, plan: PlanKind) -> &CostEstimate {
+        self.estimates
+            .iter()
+            .find(|e| e.plan == plan)
+            .expect("all plans estimated")
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "focal subset: {} records ({:.1}% of D); minsupp count {}; {} MIPs prestored",
+            self.subset_size,
+            self.subset_fraction * 100.0,
+            self.minsupp_count,
+            self.num_mips
+        )?;
+        writeln!(
+            f,
+            "decision margin: runner-up is estimated {:.2}x the winner",
+            self.decision_margin()
+        )?;
+        for est in &self.estimates {
+            let marker = if est.plan == self.chosen { "→" } else { " " };
+            let terms: Vec<String> = est
+                .terms
+                .iter()
+                .map(|(name, secs)| format!("{name} {secs:.2e}"))
+                .collect();
+            writeln!(
+                f,
+                "{marker} {:<10} {:.3e} s   [{}]",
+                est.plan.name(),
+                est.total(),
+                terms.join(" + ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Explain a query against a built system without executing it.
+pub fn explain(colarm: &Colarm, query: &LocalizedQuery) -> Result<Explanation, ColarmError> {
+    query.validate(colarm.index().dataset().schema())?;
+    let subset = colarm.index().resolve_subset(query.range.clone())?;
+    if subset.is_empty() {
+        return Err(ColarmError::EmptySubset);
+    }
+    let choice = colarm.optimizer().choose(colarm.index(), query, &subset);
+    Ok(Explanation {
+        subset_size: subset.len(),
+        subset_fraction: subset.fraction(),
+        minsupp_count: query.minsupp_count(subset.len()),
+        num_mips: colarm.index().num_mips(),
+        chosen: choice.chosen,
+        estimates: choice.estimates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mip::MipIndexConfig;
+    use colarm_data::synth::salary;
+
+    fn system() -> Colarm {
+        Colarm::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explanation_matches_execution() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.8)
+            .build();
+        let ex = explain(&colarm, &q).unwrap();
+        assert_eq!(ex.subset_size, 4);
+        assert_eq!(ex.estimates.len(), 6);
+        assert!(ex.decision_margin() >= 1.0);
+        let out = colarm.execute(&q).unwrap();
+        assert_eq!(ex.chosen, out.answer.plan);
+        // Render includes every plan name.
+        let text = ex.to_string();
+        for p in PlanKind::ALL {
+            assert!(text.contains(p.name()), "missing {p} in explain output");
+        }
+    }
+
+    #[test]
+    fn explain_validates_inputs() {
+        let colarm = system();
+        let bad = LocalizedQuery::builder().minsupp(0.0).build();
+        assert!(explain(&colarm, &bad).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! The COLARM framework facade (paper Figure 2): offline preprocessing +
+//! online query processing with cost-based plan selection.
+
+use crate::cost::{CostConstants, CostModel};
+use crate::error::ColarmError;
+use crate::mip::{MipIndex, MipIndexConfig};
+use crate::optimizer::{Optimizer, PlanChoice};
+use crate::parse::parse_query;
+use crate::plan::{execute_plan, PlanKind, QueryAnswer};
+use crate::query::LocalizedQuery;
+use colarm_data::Dataset;
+
+/// An optimizer-executed answer: the rules plus the plan decision that
+/// produced them.
+#[derive(Debug, Clone)]
+pub struct OptimizedAnswer {
+    /// The executed answer (rules, trace).
+    pub answer: QueryAnswer,
+    /// The optimizer's decision and all six estimates.
+    pub choice: PlanChoice,
+}
+
+/// The COLARM system: a MIP-index plus a calibrated cost-based optimizer.
+#[derive(Debug)]
+pub struct Colarm {
+    index: MipIndex,
+    optimizer: Optimizer,
+}
+
+impl Colarm {
+    /// Offline phase: build the MIP-index and an optimizer seeded with the
+    /// default cost constants. Call [`Colarm::calibrate`] to fit the
+    /// constants to this machine.
+    pub fn build(dataset: Dataset, config: MipIndexConfig) -> Result<Self, ColarmError> {
+        let index = MipIndex::build(dataset, config)?;
+        let model = CostModel {
+            stats: index.stats().clone(),
+            constants: CostConstants::default(),
+        };
+        Ok(Colarm {
+            index,
+            optimizer: Optimizer::new(model),
+        })
+    }
+
+    /// Wrap an already-built (e.g. snapshot-restored) MIP-index.
+    pub fn from_index(index: MipIndex) -> Self {
+        let model = CostModel {
+            stats: index.stats().clone(),
+            constants: CostConstants::default(),
+        };
+        Colarm {
+            index,
+            optimizer: Optimizer::new(model),
+        }
+    }
+
+    /// The underlying MIP-index.
+    pub fn index(&self) -> &MipIndex {
+        &self.index
+    }
+
+    /// The cost-based optimizer.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Online phase: pick the cheapest plan and execute it.
+    pub fn execute(&self, query: &LocalizedQuery) -> Result<OptimizedAnswer, ColarmError> {
+        query.validate(self.index.dataset().schema())?;
+        let subset = self.index.resolve_subset(query.range.clone())?;
+        if subset.is_empty() {
+            return Err(ColarmError::EmptySubset);
+        }
+        let mut choice = self.optimizer.choose(&self.index, query, &subset);
+        if query.semantics == crate::query::Semantics::Unrestricted {
+            // Only the from-scratch plan can see below the primary
+            // threshold; the optimizer's estimates stay informational.
+            choice.chosen = PlanKind::Arm;
+        }
+        let answer = execute_plan(&self.index, query, &subset, choice.chosen)?;
+        Ok(OptimizedAnswer { answer, choice })
+    }
+
+    /// Execute a specific plan (experiments, ablations).
+    pub fn execute_with_plan(
+        &self,
+        query: &LocalizedQuery,
+        plan: PlanKind,
+    ) -> Result<QueryAnswer, ColarmError> {
+        let subset = self.index.resolve_subset(query.range.clone())?;
+        execute_plan(&self.index, query, &subset, plan)
+    }
+
+    /// Execute all six plans on one query (the §5.1 experiment shape).
+    /// Returns answers in [`PlanKind::ALL`] order.
+    pub fn execute_all_plans(
+        &self,
+        query: &LocalizedQuery,
+    ) -> Result<Vec<QueryAnswer>, ColarmError> {
+        let subset = self.index.resolve_subset(query.range.clone())?;
+        PlanKind::ALL
+            .iter()
+            .map(|&p| execute_plan(&self.index, query, &subset, p))
+            .collect()
+    }
+
+    /// Parse and execute a query-language string.
+    pub fn execute_text(&self, text: &str) -> Result<OptimizedAnswer, ColarmError> {
+        let query = parse_query(text, self.index.dataset().schema())?;
+        self.execute(&query)
+    }
+
+    /// Calibrate the cost model's unit constants by executing the sample
+    /// queries with every plan and fitting constants from the observed
+    /// per-operator traces. Queries whose subsets are empty are skipped.
+    pub fn calibrate(&mut self, samples: &[LocalizedQuery]) -> Result<(), ColarmError> {
+        let mut observations: Vec<(String, f64, f64)> = Vec::new();
+        for query in samples {
+            query.validate(self.index.dataset().schema())?;
+            let subset = self.index.resolve_subset(query.range.clone())?;
+            if subset.is_empty() {
+                continue;
+            }
+            for plan in PlanKind::ALL {
+                // The ARM plan re-mines from scratch; calibrating it on
+                // large subsets would cost more than every query it later
+                // informs. Small subsets fit its unit constant just as well.
+                if plan == PlanKind::Arm && subset.len() * 10 > self.index.dataset().num_records()
+                {
+                    continue;
+                }
+                let answer = execute_plan(&self.index, query, &subset, plan)?;
+                for op in &answer.trace.ops {
+                    observations.push((
+                        op.name.to_string(),
+                        op.units,
+                        op.duration.as_secs_f64(),
+                    ));
+                }
+            }
+        }
+        let borrowed: Vec<(&str, f64, f64)> = observations
+            .iter()
+            .map(|(n, u, t)| (n.as_str(), *u, *t))
+            .collect();
+        self.optimizer.model_mut().fit(&borrowed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary;
+
+    fn system() -> Colarm {
+        Colarm::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_paper_walkthrough() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.9)
+            .build();
+        let out = colarm.execute(&query).unwrap();
+        assert_eq!(out.answer.subset_size, 4);
+        // RL = (Age=30-40 → Salary=90K-120K) at 75% / 100%.
+        let a1 = schema.encode_named("Age", "30-40").unwrap();
+        let rl = out
+            .answer
+            .rules
+            .iter()
+            .find(|r| r.antecedent.contains(a1))
+            .expect("RL present");
+        assert!((rl.support() - 0.75).abs() < 1e-12);
+        assert!((rl.confidence() - 1.0).abs() < 1e-12);
+        // The optimizer's decision covers all six plans.
+        assert_eq!(out.choice.estimates.len(), 6);
+        assert_eq!(out.answer.plan, out.choice.chosen);
+    }
+
+    #[test]
+    fn text_interface_matches_builder_interface() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let via_text = colarm
+            .execute_text(
+                "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
+                 WHERE RANGE Location = (Seattle), Gender = (F) \
+                 HAVING minsupport = 75% AND minconfidence = 90%;",
+            )
+            .unwrap();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.9)
+            .build();
+        let via_builder = colarm.execute(&query).unwrap();
+        assert_eq!(via_text.answer.rules, via_builder.answer.rules);
+    }
+
+    #[test]
+    fn all_plans_agree_and_calibration_runs() {
+        let mut colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Boston"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build();
+        let answers = colarm.execute_all_plans(&query).unwrap();
+        assert_eq!(answers.len(), 6);
+        for a in &answers[1..] {
+            assert_eq!(a.rules, answers[0].rules, "{} diverged", a.plan);
+        }
+        colarm.calibrate(std::slice::from_ref(&query)).unwrap();
+        // Constants were re-fitted and remain sane.
+        let after = colarm.optimizer().model().constants;
+        assert!(after.node > 0.0 && after.eliminate >= 0.0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let colarm = system();
+        assert!(matches!(
+            colarm.execute_text("DELETE EVERYTHING"),
+            Err(ColarmError::QueryParse { .. })
+        ));
+        let bad = LocalizedQuery::builder().minconf(0.0).build();
+        assert!(matches!(
+            colarm.execute(&bad),
+            Err(ColarmError::InvalidThreshold { .. })
+        ));
+    }
+}

@@ -1,0 +1,74 @@
+//! # COLARM — Cost-based Optimization for Localized Association Rule Mining
+//!
+//! A from-scratch Rust implementation of the COLARM system (Mukherji,
+//! Rundensteiner & Ward, *EDBT 2014*): online mining of association rules
+//! that hold inside a user-chosen **focal subset** of a relational dataset
+//! — rules that are locally significant yet hidden in the global context
+//! (Simpson's paradox).
+//!
+//! ## Architecture (paper Figure 2)
+//!
+//! * **Offline**: [`mip::MipIndex::build`] mines closed frequent itemsets
+//!   at a *primary support threshold* (CHARM) and stores each itemset's
+//!   multidimensional bounding box in a packed **Supported R-tree** and
+//!   its composition + tidset in a **closed IT-tree**, together with the
+//!   index statistics the cost model needs.
+//! * **Online**: a [`query::LocalizedQuery`] (built fluently or parsed
+//!   from the paper's `REPORT LOCALIZED ASSOCIATION RULES …` language) is
+//!   executed by one of **six plans** ([`plan::PlanKind`]) pipelining the
+//!   isolated operators of [`ops`]; the [`optimizer::Optimizer`] picks the
+//!   plan with the lowest estimated cost from the formulae in [`cost`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use colarm::{Colarm, MipIndexConfig};
+//!
+//! // Offline: index the paper's Table 1 salary dataset.
+//! let colarm = Colarm::build(
+//!     colarm::data::synth::salary(),
+//!     MipIndexConfig { primary_support: 2.0 / 11.0, ..Default::default() },
+//! )
+//! .unwrap();
+//!
+//! // Online: localized rules for female employees in Seattle.
+//! let out = colarm
+//!     .execute_text(
+//!         "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
+//!          WHERE RANGE Location = (Seattle), Gender = (F) \
+//!          HAVING minsupport = 75% AND minconfidence = 90%;",
+//!     )
+//!     .unwrap();
+//! assert!(!out.answer.rules.is_empty()); // RL = (Age=30-40 → Salary=90K-120K)
+//! ```
+
+pub mod advisor;
+pub mod cost;
+pub mod error;
+pub mod explain;
+pub mod framework;
+pub mod mip;
+pub mod ops;
+pub mod optimizer;
+pub mod paradox;
+pub mod persist;
+pub mod parse;
+pub mod plan;
+pub mod query;
+pub mod session;
+
+pub use error::ColarmError;
+pub use explain::{explain, Explanation};
+pub use framework::{Colarm, OptimizedAnswer};
+pub use mip::{MipIndex, MipIndexConfig, Packing};
+pub use optimizer::{Optimizer, PlanChoice};
+pub use parse::parse_query;
+pub use persist::IndexSnapshot;
+pub use plan::{execute_plan, ExecutionTrace, PlanKind, QueryAnswer};
+pub use query::{LocalizedQuery, Semantics};
+pub use session::{QuerySession, SessionStats};
+
+// Re-export the substrate crates so downstream users need only `colarm`.
+pub use colarm_data as data;
+pub use colarm_mine as mine;
+pub use colarm_rtree as rtree;

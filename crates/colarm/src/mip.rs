@@ -1,0 +1,476 @@
+//! The MIP-index: COLARM's two-level offline structure (paper §3).
+//!
+//! Offline construction (the preprocess-once half of POQM):
+//!
+//! 1. mine all closed frequent itemsets at the **primary support
+//!    threshold** with CHARM;
+//! 2. store them in a closed IT-tree (feature *b*: the items composing
+//!    each itemset, plus its exact global tidset);
+//! 3. store each itemset's **multidimensional bounding box** — the single
+//!    selected value on the attributes it constrains, the full domain on
+//!    the rest (paper Figure 1) — in a packed *Supported R-tree* whose
+//!    entry weights are global support counts (feature *a*);
+//! 4. gather the index statistics the cost-based optimizer needs.
+
+use crate::cost::{IndexStats, QueryProfile};
+use crate::error::ColarmError;
+use crate::query::LocalizedQuery;
+use colarm_data::{Dataset, FocalSubset, Itemset, RangeSpec, VerticalIndex};
+use colarm_mine::vertical::full_vertical;
+use colarm_mine::{charm, CfiId, ClosedItTree};
+use colarm_rtree::{bulk, Rect, RTree};
+
+/// How the R-tree is constructed offline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Packing {
+    /// Sort-Tile-Recursive packing (default; any dimensionality).
+    #[default]
+    Str,
+    /// Kamel–Faloutsos Hilbert packing; falls back to STR when the
+    /// Hilbert key would exceed 128 bits.
+    Hilbert,
+    /// One-by-one Guttman insertion (kept for packing-benefit ablations).
+    Insertion,
+}
+
+/// MIP-index build configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MipIndexConfig {
+    /// The primary support threshold (fraction of `|D|`) used for offline
+    /// CFI mining — paper's "domain-specific primary support".
+    pub primary_support: f64,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// R-tree construction scheme.
+    pub packing: Packing,
+}
+
+impl Default for MipIndexConfig {
+    fn default() -> Self {
+        MipIndexConfig {
+            primary_support: 0.1,
+            fanout: colarm_rtree::tree::DEFAULT_MAX_ENTRIES,
+            packing: Packing::Str,
+        }
+    }
+}
+
+/// The two-level MIP-index plus the dataset it indexes.
+#[derive(Debug)]
+pub struct MipIndex {
+    dataset: Dataset,
+    vertical: VerticalIndex,
+    ittree: ClosedItTree,
+    rtree: RTree<CfiId>,
+    stats: IndexStats,
+    config: MipIndexConfig,
+    primary_count: usize,
+    domains: Vec<u32>,
+}
+
+impl MipIndex {
+    /// Offline preprocessing: mine CFIs at the primary threshold and build
+    /// both index levels.
+    pub fn build(dataset: Dataset, config: MipIndexConfig) -> Result<Self, ColarmError> {
+        if !(config.primary_support > 0.0 && config.primary_support <= 1.0) {
+            return Err(ColarmError::InvalidThreshold {
+                name: "primary_support",
+                value: config.primary_support,
+            });
+        }
+        let vertical = VerticalIndex::build(&dataset);
+        let m = dataset.num_records();
+        let primary_count =
+            (((config.primary_support * m as f64) - 1e-9).ceil().max(1.0)) as usize;
+        let cfis = charm(&full_vertical(&vertical), primary_count);
+        Self::assemble(dataset, config, cfis, vertical)
+    }
+
+    /// Rebuild an index from already-mined CFIs (snapshot restore): all
+    /// derived structures are reconstructed, the miner is skipped.
+    pub fn from_parts(
+        dataset: Dataset,
+        config: MipIndexConfig,
+        cfis: Vec<colarm_mine::ClosedItemset>,
+    ) -> Result<Self, ColarmError> {
+        if !(config.primary_support > 0.0 && config.primary_support <= 1.0) {
+            return Err(ColarmError::InvalidThreshold {
+                name: "primary_support",
+                value: config.primary_support,
+            });
+        }
+        let vertical = VerticalIndex::build(&dataset);
+        Self::assemble(dataset, config, cfis, vertical)
+    }
+
+    fn assemble(
+        dataset: Dataset,
+        config: MipIndexConfig,
+        cfis: Vec<colarm_mine::ClosedItemset>,
+        vertical: VerticalIndex,
+    ) -> Result<Self, ColarmError> {
+        let schema = dataset.schema().clone();
+        let domains: Vec<u32> = schema.dimensions().map(|(_, d)| d as u32).collect();
+        let m = dataset.num_records();
+        let primary_count =
+            (((config.primary_support * m as f64) - 1e-9).ceil().max(1.0)) as usize;
+        // R-tree entries: bounding box + global support weight + CFI id.
+        let entries: Vec<(Rect, u32, CfiId)> = cfis
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    itemset_rect(&schema, &c.itemset),
+                    c.tids.len() as u32,
+                    CfiId(i as u32),
+                )
+            })
+            .collect();
+        let dims = domains.len();
+        let rtree = match config.packing {
+            Packing::Str => bulk::bulk_load_str(dims, config.fanout, entries),
+            Packing::Hilbert if bulk::hilbert_packable(&domains) => {
+                bulk::bulk_load_hilbert(dims, config.fanout, &domains, entries)
+            }
+            Packing::Hilbert => bulk::bulk_load_str(dims, config.fanout, entries),
+            Packing::Insertion => {
+                let mut t = RTree::with_fanout(dims, config.fanout);
+                for (rect, w, id) in entries {
+                    t.insert(rect, w, id);
+                }
+                t
+            }
+        };
+        let cfi_lens: Vec<usize> = cfis.iter().map(|c| c.itemset.len()).collect();
+        let cfi_supports: Vec<u32> = cfis.iter().map(|c| c.tids.len() as u32).collect();
+        let cfi_attr_presence: Vec<Vec<bool>> = cfis
+            .iter()
+            .map(|c| {
+                let mut p = vec![false; schema.num_attributes()];
+                for &item in c.itemset.items() {
+                    p[schema.item_attribute(item).index()] = true;
+                }
+                p
+            })
+            .collect();
+        let item_supports: Vec<u32> = (0..schema.num_items() as u32)
+            .map(|i| vertical.tids(colarm_data::ItemId(i)).len() as u32)
+            .collect();
+        let cfi_min_item_supports: Vec<u32> = cfis
+            .iter()
+            .map(|c| {
+                c.itemset
+                    .items()
+                    .iter()
+                    .map(|i| item_supports[i.index()])
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let stats = IndexStats::collect(
+            &rtree,
+            &domains,
+            &cfi_lens,
+            &cfi_supports,
+            &cfi_attr_presence,
+            &item_supports,
+            &cfi_min_item_supports,
+            m,
+            primary_count,
+        );
+        let ittree = ClosedItTree::build(cfis, schema.num_items(), m as u32);
+        Ok(MipIndex {
+            dataset,
+            vertical,
+            ittree,
+            rtree,
+            stats,
+            config,
+            primary_count,
+            domains,
+        })
+    }
+
+    /// The indexed dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The dataset's vertical (per-item tid-list) index.
+    pub fn vertical(&self) -> &VerticalIndex {
+        &self.vertical
+    }
+
+    /// The closed IT-tree level of the index.
+    pub fn ittree(&self) -> &ClosedItTree {
+        &self.ittree
+    }
+
+    /// The supported R-tree level of the index.
+    pub fn rtree(&self) -> &RTree<CfiId> {
+        &self.rtree
+    }
+
+    /// Index statistics for the cost model.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Build configuration.
+    pub fn config(&self) -> &MipIndexConfig {
+        &self.config
+    }
+
+    /// Primary support threshold as an absolute count.
+    pub fn primary_count(&self) -> usize {
+        self.primary_count
+    }
+
+    /// Number of prestored closed frequent itemsets (MIPs).
+    pub fn num_mips(&self) -> usize {
+        self.ittree.len()
+    }
+
+    /// Domain sizes per attribute.
+    pub fn domains(&self) -> &[u32] {
+        &self.domains
+    }
+
+    /// Resolve a range spec into a focal subset (tidset + size).
+    pub fn resolve_subset(&self, spec: RangeSpec) -> Result<FocalSubset, ColarmError> {
+        Ok(FocalSubset::resolve(spec, &self.dataset, &self.vertical)?)
+    }
+
+    /// The hull rectangle of a range spec in the index's space.
+    pub fn range_rect(&self, spec: &RangeSpec) -> Rect {
+        let hull = spec.hull(self.dataset.schema());
+        let lo: Vec<u32> = hull.iter().map(|&(l, _)| l as u32).collect();
+        let hi: Vec<u32> = hull.iter().map(|&(_, h)| h as u32).collect();
+        Rect::new(lo, hi)
+    }
+
+    /// Bounding box of an itemset (paper Figure 1 semantics).
+    pub fn itemset_rect(&self, itemset: &Itemset) -> Rect {
+        itemset_rect(self.dataset.schema(), itemset)
+    }
+
+    /// The constant-time query profile feeding the cost model.
+    pub fn query_profile(&self, query: &LocalizedQuery, subset: &FocalSubset) -> QueryProfile {
+        let schema = self.dataset.schema();
+        let dq_rect = self.range_rect(subset.spec());
+        // Estimated fraction of candidates fully contained in DQ: for each
+        // constrained attribute that does not span its domain, the
+        // candidate must pin it (probability = the attribute's CFI
+        // coverage) to an admitted value (probability ≈ selection share).
+        let mut contained_frac = 1.0f64;
+        for (&aid, values) in subset.spec().selections() {
+            let dom = schema.attribute(aid).domain_size();
+            if values.len() >= dom {
+                continue;
+            }
+            let share = values.len() as f64 / dom as f64;
+            contained_frac *= self.stats.attr_coverage[aid.index()] * share;
+        }
+        let item_attrs = match &query.item_attrs {
+            None => schema.num_attributes(),
+            Some(a) => a.len(),
+        };
+        let minsupp_count = query.minsupp_count(subset.len());
+        // Exact ARM mining-volume profile: one bounded pass computing which
+        // items stay locally frequent (the same record-level granularity
+        // the paper's formulas use for |DQ|), then counting the prestored
+        // CFIs composed purely of such items — exactly the itemsets the
+        // ARM plan would re-mine. Skipped for very large item × subset
+        // products, where the min-item-support histogram serves instead.
+        let (arm_mined, arm_clone_units) = if (schema.num_items() as u64)
+            * (subset.len() as u64)
+            <= 16_000_000
+        {
+            let mut locally_frequent = vec![false; schema.num_items()];
+            let mut clone_units = 0.0f64;
+            for i in 0..schema.num_items() as u32 {
+                let item = colarm_data::ItemId(i);
+                if !query.admits_attribute(schema.item_attribute(item)) {
+                    continue;
+                }
+                let tids = self.vertical.tids(item);
+                if tids.intersect_count(subset.tids()) >= minsupp_count {
+                    locally_frequent[item.index()] = true;
+                    clone_units += tids.len() as f64;
+                }
+            }
+            let mined = self
+                .ittree
+                .iter()
+                .filter(|(_, c)| {
+                    c.itemset
+                        .items()
+                        .iter()
+                        .all(|i| locally_frequent[i.index()])
+                })
+                .count();
+            (Some(mined.max(1) as f64), clone_units)
+        } else {
+            // Histogram fallback: clone volume ≈ restricted item share of
+            // the total item tid volume.
+            let total_tid_volume: f64 =
+                self.stats.item_supports.iter().map(|&s| s as f64).sum();
+            let ilf = self.stats.item_selectivity(minsupp_count);
+            (None, total_tid_volume * ilf)
+        };
+        QueryProfile {
+            dq_rect,
+            dq_len: subset.len(),
+            minsupp_count,
+            item_attrs,
+            contained_frac,
+            arm_mined,
+            arm_clone_units,
+        }
+    }
+}
+
+/// Bounding box of an itemset: point extent on constrained attributes,
+/// full domain elsewhere.
+pub fn itemset_rect(schema: &colarm_data::Schema, itemset: &Itemset) -> Rect {
+    let mut lo: Vec<u32> = vec![0; schema.num_attributes()];
+    let mut hi: Vec<u32> = schema
+        .dimensions()
+        .map(|(_, d)| (d as u32).saturating_sub(1))
+        .collect();
+    for &item in itemset.items() {
+        let it = schema.decode(item);
+        lo[it.attribute.index()] = it.value as u32;
+        hi[it.attribute.index()] = it.value as u32;
+    }
+    Rect::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary;
+    use colarm_data::Overlap;
+
+    fn index(primary: f64) -> MipIndex {
+        MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: primary,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_validates_primary_support() {
+        assert!(matches!(
+            MipIndex::build(
+                salary(),
+                MipIndexConfig {
+                    primary_support: 0.0,
+                    ..MipIndexConfig::default()
+                }
+            ),
+            Err(ColarmError::InvalidThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn rtree_and_ittree_agree() {
+        let idx = index(2.0 / 11.0);
+        assert_eq!(idx.rtree().len(), idx.ittree().len());
+        assert!(idx.num_mips() > 10);
+        // Every R-tree payload id resolves and its rect matches its itemset.
+        idx.rtree().for_each(|rect, weight, &id| {
+            let cfi = idx.ittree().get(id);
+            assert_eq!(rect, &idx.itemset_rect(&cfi.itemset));
+            assert_eq!(weight as usize, cfi.support());
+        });
+    }
+
+    #[test]
+    fn itemset_rect_pins_item_attributes_only() {
+        let idx = index(0.2);
+        let s = idx.dataset().schema();
+        let iset = Itemset::from_items([
+            s.encode_named("Age", "20-30").unwrap(),
+            s.encode_named("Salary", "90K-120K").unwrap(),
+        ]);
+        let rect = idx.itemset_rect(&iset);
+        // Age is attribute 4 (value 0), Salary attribute 5 (value 2).
+        assert_eq!(rect.lo()[4], 0);
+        assert_eq!(rect.hi()[4], 0);
+        assert_eq!(rect.lo()[5], 2);
+        assert_eq!(rect.hi()[5], 2);
+        // Company (attr 0, domain 4) spans fully.
+        assert_eq!(rect.lo()[0], 0);
+        assert_eq!(rect.hi()[0], 3);
+    }
+
+    #[test]
+    fn rtree_search_finds_every_range_relevant_mip() {
+        // Exhaustive cross-check on the salary index: R-tree hull hits ⊇
+        // itemsets classified non-disjoint by the exact range test.
+        let idx = index(2.0 / 11.0);
+        let s = idx.dataset().schema();
+        let spec = RangeSpec::all()
+            .with_named(s, "Location", &["Seattle"])
+            .unwrap()
+            .with_named(s, "Gender", &["F"])
+            .unwrap();
+        let (hits, _) = idx.rtree().query(&idx.range_rect(&spec), 0);
+        let hit_ids: std::collections::HashSet<u32> =
+            hits.iter().map(|h| h.payload.0).collect();
+        for (id, cfi) in idx.ittree().iter() {
+            if spec.classify(s, &cfi.itemset) != Overlap::Disjoint {
+                assert!(
+                    hit_ids.contains(&id.0),
+                    "R-tree missed {}",
+                    cfi.itemset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_packings_store_the_same_entries() {
+        for packing in [Packing::Str, Packing::Hilbert, Packing::Insertion] {
+            let idx = MipIndex::build(
+                salary(),
+                MipIndexConfig {
+                    primary_support: 0.2,
+                    packing,
+                    ..MipIndexConfig::default()
+                },
+            )
+            .unwrap();
+            idx.rtree().check_invariants();
+            assert_eq!(idx.rtree().len(), idx.ittree().len(), "{packing:?}");
+        }
+    }
+
+    #[test]
+    fn query_profile_reflects_subset() {
+        let idx = index(0.2);
+        let s = idx.dataset().schema().clone();
+        let spec = RangeSpec::all().with_named(&s, "Location", &["Seattle"]).unwrap();
+        let subset = idx.resolve_subset(spec).unwrap();
+        let q = LocalizedQuery::builder().minsupp(0.75).build();
+        let p = idx.query_profile(&q, &subset);
+        assert_eq!(p.dq_len, 4);
+        assert_eq!(p.minsupp_count, 3);
+        assert_eq!(p.item_attrs, 6);
+        assert!(p.contained_frac > 0.0 && p.contained_frac <= 1.0);
+    }
+
+    #[test]
+    fn primary_count_rounds_up() {
+        let idx = index(0.5);
+        assert_eq!(idx.primary_count(), 6); // ceil(0.5 × 11)
+        for (_, cfi) in idx.ittree().iter() {
+            assert!(cfi.support() >= 6);
+        }
+    }
+}

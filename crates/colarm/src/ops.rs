@@ -1,0 +1,756 @@
+//! The isolated online-mining operators (paper §4).
+//!
+//! Each step of localized rule mining is an operator with precise inputs
+//! and outputs, so plans can pipeline them differently and the cost model
+//! can be validated operator by operator. Every operator returns an
+//! [`OpTrace`] carrying cardinalities, raw cost units (the quantities the
+//! cost formulae count) and wall-clock duration.
+//!
+//! * [`search`] — `S[Arange, R-tree] → {I_S^Q}`: hull range search.
+//! * [`supported_search`] — `SS[Arange, minsupp] → {I_SS^Q}`: range search
+//!   with the supported R-tree bound of Lemma 4.4.
+//! * [`classify`] — splits candidates into contained / partial (exact,
+//!   per §3.4) and drops hull false positives; used by SS-E-U-V.
+//! * [`eliminate`] — `E[{I}, Aitem, minsupp] → {I_E^Q}`: `Aitem`
+//!   projection plus record-level local-support checks.
+//! * [`verify`] — `V[{I_E^Q}, minconf] → {R^Q}`: rule generation +
+//!   confidence verification through IT-tree closure lookups.
+//! * [`supported_verify`] — `VS[...]`: ELIMINATE merged into VERIFY
+//!   (selection push-up, §4.2).
+//! * [`union_lists`] — `U`: constant-time merge of disjoint lists.
+//! * [`select`] / [`arm`] — the traditional plan: extract `DQ`, mine it
+//!   from scratch, generate rules.
+//!
+//! ## Body semantics (see DESIGN.md)
+//!
+//! Rule bodies are the itemsets the MIP-index prestores, restricted to the
+//! query's item attributes: itemsets that are **closed within the `Aitem`
+//! projection of the whole dataset** (`B = closure_G(B) ∩ Aitem`) and meet
+//! the primary support threshold (paper footnote 2 — the POQM contract).
+//! The index plans derive them by projecting each hull-candidate CFI onto
+//! `Aitem` and canonicalizing through one IT-tree closure lookup (the
+//! closure's tidset *is* the body's global tidset, so local supports are
+//! one tidset intersection); the ARM plan mines every locally frequent
+//! itemset from scratch (trie-based Apriori — the "traditional two-step"
+//! `εAR`) and keeps exactly the bodies passing the same
+//! projection-closure + primary tests. Every rule antecedent `X ⊆ B` has
+//! `supp_G(X) ≥ supp_G(B) ≥ primary`, so local antecedent supports always
+//! resolve through prestored tidsets.
+
+use crate::mip::MipIndex;
+use crate::query::{LocalizedQuery, Semantics};
+use colarm_data::{FocalSubset, ItemId, Itemset, Overlap, Tidset};
+use colarm_mine::ittree::ClosureSupportOracle;
+use colarm_mine::rules::{rules_for_itemset, Rule, SupportOracle};
+use colarm_mine::vertical::{restricted_vertical, ItemTids};
+use colarm_mine::CfiId;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Instrumentation for one operator execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// Operator name (matches the cost model's term names).
+    pub name: &'static str,
+    /// Input cardinality.
+    pub input: usize,
+    /// Output cardinality.
+    pub output: usize,
+    /// Raw cost units consumed (the quantity the cost formulae count:
+    /// node accesses, record checks, …). Used for calibration.
+    pub units: f64,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+/// A candidate body flowing between operators: the projection-closed
+/// itemset plus the stored CFI whose tidset equals the body's global
+/// tidset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The rule body.
+    pub body: Itemset,
+    /// A stored CFI whose tidset equals the body's global tidset.
+    pub closure: CfiId,
+    /// Local support count w.r.t. `DQ`, once established (by ELIMINATE,
+    /// or for free by Lemma 4.5 on contained candidates).
+    pub local_count: Option<usize>,
+}
+
+/// SEARCH: hull range search over the R-tree, no support bound. Outputs
+/// raw candidate CFI ids ({I_S^Q} may contain false positives, never
+/// false negatives).
+pub fn search(index: &MipIndex, subset: &FocalSubset) -> (Vec<CfiId>, OpTrace) {
+    run_search("SEARCH", index, subset, 0)
+}
+
+/// SUPPORTED-SEARCH: range search pruned by the global-support bound
+/// `⌈minsupp · |DQ|⌉` (Lemma 4.4).
+pub fn supported_search(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    minsupp_count: usize,
+) -> (Vec<CfiId>, OpTrace) {
+    run_search("SUPPORTED-SEARCH", index, subset, minsupp_count as u32)
+}
+
+fn run_search(
+    name: &'static str,
+    index: &MipIndex,
+    subset: &FocalSubset,
+    min_weight: u32,
+) -> (Vec<CfiId>, OpTrace) {
+    let start = Instant::now();
+    let rect = index.range_rect(subset.spec());
+    let (hits, counters) = index.rtree().query(&rect, min_weight);
+    let out: Vec<CfiId> = hits.iter().map(|h| *h.payload).collect();
+    let trace = OpTrace {
+        name,
+        input: index.num_mips(),
+        output: out.len(),
+        units: counters.nodes_visited as f64,
+        duration: start.elapsed(),
+    };
+    (out, trace)
+}
+
+/// Project raw candidates onto `Aitem`, canonicalize through a closure
+/// lookup, and deduplicate. Internal to ELIMINATE / SUPPORTED-VERIFY /
+/// CLASSIFY (their traces absorb this work, as the paper folds the
+/// `Aitem` filter into those operators).
+fn project_bodies(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    candidates: Vec<CfiId>,
+) -> Vec<Candidate> {
+    let schema = index.dataset().schema();
+    let tree = index.ittree();
+    let mut seen: HashSet<Itemset> = HashSet::with_capacity(candidates.len());
+    let mut out = Vec::with_capacity(candidates.len());
+    for id in candidates {
+        let cfi = tree.get(id);
+        let (body, closure) = match &query.item_attrs {
+            None => (cfi.itemset.clone(), id),
+            Some(_) => {
+                let projected: Itemset = cfi
+                    .itemset
+                    .items()
+                    .iter()
+                    .copied()
+                    .filter(|&i| query.admits_attribute(schema.item_attribute(i)))
+                    .collect();
+                if projected.is_empty() {
+                    continue;
+                }
+                if projected.len() == cfi.itemset.len() {
+                    (projected, id)
+                } else {
+                    // Canonicalize: body := closure(projection) ∩ Aitem.
+                    let cl = tree
+                        .closure(&projected)
+                        .expect("projection of a stored CFI is covered");
+                    let canonical: Itemset = tree
+                        .get(cl)
+                        .itemset
+                        .items()
+                        .iter()
+                        .copied()
+                        .filter(|&i| query.admits_attribute(schema.item_attribute(i)))
+                        .collect();
+                    (canonical, cl)
+                }
+            }
+        };
+        if seen.insert(body.clone()) {
+            out.push(Candidate {
+                body,
+                closure,
+                local_count: None,
+            });
+        }
+    }
+    out
+}
+
+/// Split candidates into (contained, partial) per the exact §3.4 test,
+/// dropping disjoint hull false positives. Contained candidates get their
+/// local count for free (Lemma 4.5: `supp_Q = supp_G`).
+pub fn classify(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    candidates: Vec<CfiId>,
+) -> (Vec<Candidate>, Vec<Candidate>, OpTrace) {
+    let start = Instant::now();
+    let schema = index.dataset().schema();
+    let input = candidates.len();
+    let bodies = project_bodies(index, query, candidates);
+    let (mut contained, mut partial) = (Vec::new(), Vec::new());
+    for mut c in bodies {
+        // Classification runs on the *closure's* full itemset: its box
+        // bounds every record supporting the body, so containment makes
+        // both the local support AND the local closure equal their global
+        // counterparts (Lemma 4.5, extended) — no record-level work.
+        match subset
+            .spec()
+            .classify(schema, &index.ittree().get(c.closure).itemset)
+        {
+            Overlap::Contained => {
+                c.local_count = Some(index.ittree().get(c.closure).support());
+                contained.push(c);
+            }
+            Overlap::Partial => partial.push(c),
+            Overlap::Disjoint => {}
+        }
+    }
+    let trace = OpTrace {
+        name: "CLASSIFY",
+        input,
+        output: contained.len() + partial.len(),
+        units: input as f64,
+        duration: start.elapsed(),
+    };
+    (contained, partial, trace)
+}
+
+/// ELIMINATE over raw search output: `Aitem` projection plus record-level
+/// local-support checks.
+pub fn eliminate(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    candidates: Vec<CfiId>,
+    minsupp_count: usize,
+) -> (Vec<Candidate>, OpTrace) {
+    let start = Instant::now();
+    let input = candidates.len();
+    let bodies = project_bodies(index, query, candidates);
+    let (out, units) = eliminate_bodies(index, subset, bodies, minsupp_count);
+    let trace = OpTrace {
+        name: "ELIMINATE",
+        input,
+        output: out.len(),
+        units,
+        duration: start.elapsed(),
+    };
+    (out, trace)
+}
+
+/// ELIMINATE over already-projected candidates (the SS-E-U-V path, where
+/// CLASSIFY projected them while splitting contained from partial).
+pub fn eliminate_projected(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    candidates: Vec<Candidate>,
+    minsupp_count: usize,
+) -> (Vec<Candidate>, OpTrace) {
+    let start = Instant::now();
+    let input = candidates.len();
+    let (out, units) = eliminate_bodies(index, subset, candidates, minsupp_count);
+    let trace = OpTrace {
+        name: "ELIMINATE",
+        input,
+        output: out.len(),
+        units,
+        duration: start.elapsed(),
+    };
+    (out, trace)
+}
+
+fn eliminate_bodies(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    bodies: Vec<Candidate>,
+    minsupp_count: usize,
+) -> (Vec<Candidate>, f64) {
+    let mut units = 0.0f64;
+    let mut out = Vec::new();
+    for mut c in bodies {
+        if let Some(local) = c.local_count {
+            // Contained candidate: Lemma 4.5 already finalized it.
+            if local >= minsupp_count {
+                out.push(c);
+            }
+            continue;
+        }
+        // Record-level check: |t(body) ∩ t(DQ)|. The paper charges |DQ|
+        // per candidate; the galloping intersection is cheaper but remains
+        // the record-level term of the model.
+        units += subset.len() as f64;
+        let local = index
+            .ittree()
+            .get(c.closure)
+            .tids
+            .intersect_count(subset.tids());
+        if local >= minsupp_count {
+            c.local_count = Some(local);
+            out.push(c);
+        }
+    }
+    (out, units)
+}
+
+/// VERIFY: generate rules from qualified candidates and keep those whose
+/// local confidence meets `minconf`. Local antecedent supports come from
+/// IT-tree closure lookups intersected with `DQ` (shared memo cache).
+pub fn verify(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    candidates: &[Candidate],
+    minconf: f64,
+) -> (Vec<Rule>, OpTrace) {
+    let start = Instant::now();
+    let mut oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
+    let mut rules = Vec::new();
+    let mut units = 0.0f64;
+    for c in candidates {
+        let local = c
+            .local_count
+            .expect("VERIFY requires established local counts");
+        units += (c.body.len() * subset.len()) as f64;
+        rules_for_itemset(&c.body, local, &mut oracle, minconf, &mut rules);
+    }
+    let trace = OpTrace {
+        name: "VERIFY",
+        input: candidates.len(),
+        output: rules.len(),
+        units,
+        duration: start.elapsed(),
+    };
+    (rules, trace)
+}
+
+/// SUPPORTED-VERIFY: ELIMINATE merged into VERIFY (selection push-up).
+/// Takes raw search output, projects onto `Aitem`, computes local
+/// supports, checks `minsupp`, and generates/checks rules in one pass.
+pub fn supported_verify(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    candidates: Vec<CfiId>,
+    minsupp_count: usize,
+    minconf: f64,
+) -> (Vec<Rule>, OpTrace) {
+    let start = Instant::now();
+    let input = candidates.len();
+    let bodies = project_bodies(index, query, candidates);
+    let (qualified, mut units) = eliminate_bodies(index, subset, bodies, minsupp_count);
+    let mut oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
+    let mut rules = Vec::new();
+    for c in qualified {
+        units += (c.body.len() * subset.len()) as f64;
+        let local = c.local_count.expect("established by the support check");
+        rules_for_itemset(&c.body, local, &mut oracle, minconf, &mut rules);
+    }
+    let trace = OpTrace {
+        name: "SUPPORTED-VERIFY",
+        input,
+        output: rules.len(),
+        units,
+        duration: start.elapsed(),
+    };
+    (rules, trace)
+}
+
+/// UNION: merge the contained and partial candidate lists (constant-time
+/// bookkeeping — the two sets are mutually exclusive by construction, as
+/// bodies are canonicalized and deduplicated before classification).
+pub fn union_lists(mut a: Vec<Candidate>, mut b: Vec<Candidate>) -> (Vec<Candidate>, OpTrace) {
+    let start = Instant::now();
+    let input = a.len() + b.len();
+    a.append(&mut b);
+    let trace = OpTrace {
+        name: "UNION",
+        input,
+        output: a.len(),
+        units: 1.0,
+        duration: start.elapsed(),
+    };
+    (a, trace)
+}
+
+/// SELECT (`σ`): extract the focal subset as a vertical database
+/// restricted to the query's item attributes.
+pub fn select(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+) -> (Vec<ItemTids>, OpTrace) {
+    let start = Instant::now();
+    let attrs: Option<Vec<colarm_data::AttributeId>> = query.item_attrs.clone();
+    let columns = restricted_vertical(
+        index.dataset(),
+        index.vertical(),
+        Some(subset.tids()),
+        attrs.as_deref(),
+    );
+    let trace = OpTrace {
+        name: "SELECT",
+        input: index.dataset().num_records(),
+        output: subset.len(),
+        units: subset.len() as f64 * index.dataset().schema().num_attributes() as f64,
+        duration: start.elapsed(),
+    };
+    (columns, trace)
+}
+
+/// ARM (`εAR`): the traditional plan — re-mine from scratch, without the
+/// MIP-index.
+///
+/// Under [`Semantics::Strict`] it must produce the POQM answer contract
+/// (projection-closed, primary-frequent bodies), so it re-runs the
+/// *offline* mining per query: CHARM over the full dataset restricted to
+/// the items that are locally frequent in `DQ` (any body item must be),
+/// at the primary threshold, followed by local threshold verification
+/// against a freshly built throw-away IT-tree. This is exactly the
+/// "prohibitively costly" work the POQM paradigm prestores (paper §1.3) —
+/// but it shrinks with selective queries, which is why ARM can win on
+/// very dense indexes at high minsupport (the paper's PUMSB cases).
+///
+/// Under [`Semantics::Unrestricted`] it is the classic two-step pipeline
+/// over the subset alone: locally-closed bodies, including those below
+/// the primary threshold (invisible to the index).
+pub fn arm(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    columns: &[ItemTids],
+    minsupp_count: usize,
+    minconf: f64,
+) -> (Vec<Rule>, OpTrace) {
+    let start = Instant::now();
+    let mut rules = Vec::new();
+    let mut units;
+    match query.semantics {
+        Semantics::Strict => {
+            // `columns` are already restricted to DQ ∩ Aitem, so their
+            // lengths are the local item supports.
+            let miner_columns: Vec<ItemTids> = columns
+                .iter()
+                .filter(|c| c.tids.len() >= minsupp_count)
+                .map(|c| ItemTids {
+                    item: c.item,
+                    tids: index.vertical().tids(c.item).clone(),
+                })
+                .collect();
+            units = subset.len() as f64 * columns.len().max(1) as f64;
+            units += miner_columns
+                .iter()
+                .map(|c| c.tids.len() as f64)
+                .sum::<f64>();
+            let mined = colarm_mine::charm(&miner_columns, index.primary_count());
+            // Mining work ∝ the tidset volume of what was enumerated.
+            units += mined.iter().map(|c| c.tids.len() as f64).sum::<f64>();
+            let schema = index.dataset().schema();
+            let scratch_tree = colarm_mine::ClosedItTree::build(
+                mined,
+                schema.num_items(),
+                index.dataset().num_records() as u32,
+            );
+            let mut oracle =
+                ClosureSupportOracle::new(&scratch_tree, Some(subset.tids()));
+            for (_, c) in scratch_tree.iter() {
+                if c.itemset.len() < 2 {
+                    continue;
+                }
+                units += subset.len() as f64;
+                let local = c.tids.intersect_count(subset.tids());
+                if local >= minsupp_count {
+                    rules_for_itemset(&c.itemset, local, &mut oracle, minconf, &mut rules);
+                }
+            }
+        }
+        Semantics::Unrestricted => {
+            units = subset.len() as f64 * columns.len().max(1) as f64;
+            // Classic two-step mining: closed local itemsets, then rules.
+            let closed = colarm_mine::charm(columns, minsupp_count);
+            units += closed.len() as f64;
+            let mut oracle = SubsetOracle::new(columns, subset.len());
+            for c in closed {
+                rules_for_itemset(&c.itemset, c.tids.len(), &mut oracle, minconf, &mut rules);
+            }
+        }
+    }
+    let trace = OpTrace {
+        name: "ARM",
+        input: subset.len(),
+        output: rules.len(),
+        units,
+        duration: start.elapsed(),
+    };
+    (rules, trace)
+}
+
+/// Support oracle over an extracted subset's vertical columns (used by the
+/// ARM plan: exact local supports, memoized).
+struct SubsetOracle {
+    tids: HashMap<ItemId, Tidset>,
+    cache: HashMap<Itemset, Option<usize>>,
+    universe: usize,
+}
+
+impl SubsetOracle {
+    fn new(columns: &[ItemTids], universe: usize) -> Self {
+        SubsetOracle {
+            tids: columns.iter().map(|c| (c.item, c.tids.clone())).collect(),
+            cache: HashMap::new(),
+            universe,
+        }
+    }
+}
+
+impl SupportOracle for SubsetOracle {
+    fn support_count(&mut self, itemset: &Itemset) -> Option<usize> {
+        if let Some(&c) = self.cache.get(itemset) {
+            return c;
+        }
+        let mut lists: Vec<&Tidset> = Vec::with_capacity(itemset.len());
+        for &item in itemset.items() {
+            match self.tids.get(&item) {
+                Some(t) => lists.push(t),
+                None => {
+                    self.cache.insert(itemset.clone(), Some(0));
+                    return Some(0);
+                }
+            }
+        }
+        lists.sort_by_key(|t| t.len());
+        let count = match lists.split_first() {
+            None => self.universe,
+            Some((first, rest)) => {
+                let mut acc = (*first).clone();
+                for t in rest {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(t);
+                }
+                acc.len()
+            }
+        };
+        self.cache.insert(itemset.clone(), Some(count));
+        Some(count)
+    }
+
+    fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mip::MipIndexConfig;
+    use colarm_data::synth::salary;
+
+    fn setup() -> (MipIndex, LocalizedQuery, FocalSubset) {
+        let index = MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let schema = index.dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.9)
+            .build();
+        let subset = index.resolve_subset(query.range.clone()).unwrap();
+        (index, query, subset)
+    }
+
+    fn rule_key(r: &Rule) -> (Itemset, Itemset) {
+        (r.antecedent.clone(), r.consequent.clone())
+    }
+
+    #[test]
+    fn search_returns_superset_of_supported_search() {
+        let (index, query, subset) = setup();
+        let (s, ts) = search(&index, &subset);
+        let (ss, tss) = supported_search(&index, &subset, query.minsupp_count(subset.len()));
+        assert!(ss.len() <= s.len());
+        assert!(tss.units <= ts.units, "support bound prunes node accesses");
+        let s_ids: HashSet<u32> = s.iter().map(|c| c.0).collect();
+        assert!(ss.iter().all(|c| s_ids.contains(&c.0)));
+    }
+
+    #[test]
+    fn eliminate_establishes_exact_local_counts() {
+        let (index, query, subset) = setup();
+        let (cands, _) = search(&index, &subset);
+        let min = query.minsupp_count(subset.len());
+        let (kept, trace) = eliminate(&index, &query, &subset, cands, min);
+        assert!(!kept.is_empty());
+        assert!(trace.output <= trace.input);
+        for c in &kept {
+            let truth = index
+                .ittree()
+                .get(c.closure)
+                .tids
+                .intersect_count(subset.tids());
+            assert_eq!(c.local_count, Some(truth));
+            assert!(truth >= min);
+        }
+    }
+
+    #[test]
+    fn classify_splits_and_lemma_4_5_holds() {
+        let (index, query, subset) = setup();
+        let (cands, _) = search(&index, &subset);
+        let (contained, partial, _) = classify(&index, &query, &subset, cands);
+        for c in &contained {
+            let cfi = index.ittree().get(c.closure);
+            // Lemma 4.5: contained ⇒ local count = global count.
+            assert_eq!(c.local_count, Some(cfi.tids.intersect_count(subset.tids())));
+            assert_eq!(c.local_count, Some(cfi.support()));
+        }
+        for c in &partial {
+            assert!(c.local_count.is_none());
+        }
+    }
+
+    #[test]
+    fn verify_finds_the_paper_rl_rule() {
+        let (index, query, subset) = setup();
+        let min = query.minsupp_count(subset.len());
+        let (cands, _) = search(&index, &subset);
+        let (kept, _) = eliminate(&index, &query, &subset, cands, min);
+        let (rules, trace) = verify(&index, &subset, &kept, query.minconf);
+        assert_eq!(trace.output, rules.len());
+        let s = index.dataset().schema();
+        let a1 = s.encode_named("Age", "30-40").unwrap();
+        let s2 = s.encode_named("Salary", "90K-120K").unwrap();
+        let rl = rules
+            .iter()
+            .find(|r| r.antecedent.contains(a1) && r.consequent.contains(s2))
+            .expect("RL = (A1 → S2) must be mined");
+        assert!((rl.support() - 0.75).abs() < 1e-12);
+        assert!((rl.confidence() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supported_verify_equals_eliminate_plus_verify() {
+        let (index, query, subset) = setup();
+        let min = query.minsupp_count(subset.len());
+        let (cands, _) = search(&index, &subset);
+        let (kept, _) = eliminate(&index, &query, &subset, cands.clone(), min);
+        let (mut via_ev, _) = verify(&index, &subset, &kept, query.minconf);
+        let (mut via_vs, _) = supported_verify(&index, &query, &subset, cands, min, query.minconf);
+        via_ev.sort_by_key(rule_key);
+        via_vs.sort_by_key(rule_key);
+        assert_eq!(via_ev, via_vs);
+    }
+
+    #[test]
+    fn arm_strict_matches_index_pipeline() {
+        let (index, query, subset) = setup();
+        let min = query.minsupp_count(subset.len());
+        let (cands, _) = search(&index, &subset);
+        let (mut via_index, _) =
+            supported_verify(&index, &query, &subset, cands, min, query.minconf);
+        let (columns, _) = select(&index, &query, &subset);
+        let (mut via_arm, _) = arm(&index, &query, &subset, &columns, min, query.minconf);
+        via_index.sort_by_key(rule_key);
+        via_arm.sort_by_key(rule_key);
+        assert_eq!(via_index, via_arm);
+    }
+
+    #[test]
+    fn item_attr_projection_yields_projection_closed_rules() {
+        // With Aitem = {Age, Salary}, the Seattle women's (Age=30-40 →
+        // Salary=90K-120K) rule must survive even though its *global*
+        // closure also pins Location and Gender.
+        let (index, _, _) = setup();
+        let schema = index.dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .item_attrs_named(&schema, &["Age", "Salary"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.9)
+            .build();
+        let subset = index.resolve_subset(query.range.clone()).unwrap();
+        let min = query.minsupp_count(subset.len());
+        let (cands, _) = search(&index, &subset);
+        let (rules, _) = supported_verify(&index, &query, &subset, cands, min, query.minconf);
+        assert!(!rules.is_empty(), "projection must not erase local rules");
+        let age = schema.attribute_by_name("Age").unwrap();
+        let sal = schema.attribute_by_name("Salary").unwrap();
+        for r in &rules {
+            for &item in r.body().items() {
+                let a = schema.item_attribute(item);
+                assert!(a == age || a == sal, "rule escaped Aitem: {r}");
+            }
+        }
+        let a1 = schema.encode_named("Age", "30-40").unwrap();
+        assert!(rules.iter().any(|r| r.antecedent.contains(a1)));
+        // And ARM agrees under projection too.
+        let (columns, _) = select(&index, &query, &subset);
+        let (mut via_arm, _) = arm(&index, &query, &subset, &columns, min, query.minconf);
+        let mut via_index = rules.clone();
+        via_index.sort_by_key(rule_key);
+        via_arm.sort_by_key(rule_key);
+        assert_eq!(via_index, via_arm);
+    }
+
+    #[test]
+    fn union_concatenates_disjoint_lists() {
+        let mk = |id: u32| Candidate {
+            body: Itemset::singleton(ItemId(id)),
+            closure: CfiId(id),
+            local_count: Some(3),
+        };
+        let (u, trace) = union_lists(vec![mk(1)], vec![mk(2)]);
+        assert_eq!(u.len(), 2);
+        assert_eq!(trace.input, 2);
+        assert_eq!(trace.output, 2);
+    }
+
+    #[test]
+    fn arm_unrestricted_can_find_more_rules() {
+        // With a high primary threshold the index sees few itemsets; the
+        // unrestricted ARM plan mines the subset without that blinder.
+        let index = MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 0.5,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let schema = index.dataset().schema().clone();
+        let base = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.9);
+        let strict = base.clone().semantics(Semantics::Strict).build();
+        let unrestricted = base.semantics(Semantics::Unrestricted).build();
+        let subset = index.resolve_subset(strict.range.clone()).unwrap();
+        let min = strict.minsupp_count(subset.len());
+        let (columns, _) = select(&index, &strict, &subset);
+        let (strict_rules, _) = arm(&index, &strict, &subset, &columns, min, strict.minconf);
+        let (open_rules, _) = arm(
+            &index,
+            &unrestricted,
+            &subset,
+            &columns,
+            min,
+            unrestricted.minconf,
+        );
+        assert!(open_rules.len() >= strict_rules.len());
+        assert!(
+            !open_rules.is_empty(),
+            "locally-closed rules exist in the Seattle subset"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The COLARM cost-based optimizer (paper §3.1, §5.1).
+//!
+//! Given a localized mining query, the optimizer evaluates the six cost
+//! formulae (a constant-time computation per plan) and picks the plan with
+//! the minimum estimate. The experiments of §5.1 measure how often this
+//! choice matches the plan that is actually fastest (~93 % in the paper).
+
+use crate::cost::{CostEstimate, CostModel};
+use crate::mip::MipIndex;
+use crate::plan::PlanKind;
+use crate::query::LocalizedQuery;
+use colarm_data::FocalSubset;
+
+/// The optimizer's decision for one query.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The plan with the lowest estimated cost.
+    pub chosen: PlanKind,
+    /// All six estimates, cheapest first.
+    pub estimates: Vec<CostEstimate>,
+}
+
+impl PlanChoice {
+    /// Estimated cost of the chosen plan (seconds).
+    pub fn estimated_cost(&self) -> f64 {
+        self.estimates[0].total()
+    }
+
+    /// The estimate for a specific plan.
+    pub fn estimate_for(&self, plan: PlanKind) -> &CostEstimate {
+        self.estimates
+            .iter()
+            .find(|e| e.plan == plan)
+            .expect("all plans estimated")
+    }
+}
+
+/// Cost-based plan selector.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    model: CostModel,
+}
+
+impl Optimizer {
+    /// Build an optimizer over a cost model.
+    pub fn new(model: CostModel) -> Self {
+        Optimizer { model }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Mutable access (calibration).
+    pub fn model_mut(&mut self) -> &mut CostModel {
+        &mut self.model
+    }
+
+    /// Choose the cheapest plan for a query over a resolved subset.
+    pub fn choose(
+        &self,
+        index: &MipIndex,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+    ) -> PlanChoice {
+        let profile = index.query_profile(query, subset);
+        let estimates = self.model.estimate_all(&profile);
+        PlanChoice {
+            chosen: estimates[0].plan,
+            estimates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostConstants;
+    use crate::mip::{MipIndex, MipIndexConfig};
+    use colarm_data::synth::salary;
+    use colarm_data::RangeSpec;
+
+    fn optimizer_and_index() -> (Optimizer, MipIndex) {
+        let index = MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 0.2,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let model = CostModel {
+            stats: index.stats().clone(),
+            constants: CostConstants::default(),
+        };
+        (Optimizer::new(model), index)
+    }
+
+    #[test]
+    fn choose_returns_all_estimates_sorted() {
+        let (opt, index) = optimizer_and_index();
+        let schema = index.dataset().schema().clone();
+        let query = crate::query::LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.85)
+            .build();
+        let subset = index.resolve_subset(query.range.clone()).unwrap();
+        let choice = opt.choose(&index, &query, &subset);
+        assert_eq!(choice.estimates.len(), PlanKind::ALL.len());
+        assert_eq!(choice.chosen, choice.estimates[0].plan);
+        for w in choice.estimates.windows(2) {
+            assert!(w[0].total() <= w[1].total());
+        }
+        assert!(choice.estimated_cost() > 0.0);
+        assert_eq!(choice.estimate_for(PlanKind::Arm).plan, PlanKind::Arm);
+    }
+
+    #[test]
+    fn choice_is_deterministic() {
+        let (opt, index) = optimizer_and_index();
+        let query = crate::query::LocalizedQuery::builder().build();
+        let subset = index.resolve_subset(RangeSpec::all()).unwrap();
+        let a = opt.choose(&index, &query, &subset);
+        let b = opt.choose(&index, &query, &subset);
+        assert_eq!(a.chosen, b.chosen);
+    }
+}

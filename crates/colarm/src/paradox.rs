@@ -1,0 +1,250 @@
+//! Simpson's-paradox analysis: local vs. global itemsets and rules
+//! (paper §1.1 and §5.3, Figure 13).
+//!
+//! The paper quantifies the paradox two ways, both reproduced here:
+//!
+//! * **Fresh-local vs repeated-global CFIs** (Figure 13) — among the
+//!   itemsets frequent *within* the focal subset, how many are fresh
+//!   (below the global minsupport, hence invisible to global mining) vs
+//!   repeats of globally frequent itemsets.
+//! * **Rule reversals** — localized rules that fail globally (`RL` of the
+//!   salary example) and global rules that fail locally (`RG` restricted
+//!   to Seattle women).
+
+use crate::error::ColarmError;
+use crate::mip::MipIndex;
+use crate::plan::{execute_plan, PlanKind};
+use crate::query::LocalizedQuery;
+use colarm_data::{FocalSubset, RangeSpec};
+use colarm_mine::rules::{Rule, SupportOracle};
+use colarm_mine::ittree::ClosureSupportOracle;
+
+/// Figure 13 counts for one focal subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalGlobalCounts {
+    /// Locally frequent CFIs that are **not** globally frequent at the
+    /// reference global minsupport — the itemsets global mining hides.
+    pub fresh_local: usize,
+    /// Locally frequent CFIs that are also globally frequent.
+    pub repeated_global: usize,
+    /// `|DQ|`.
+    pub subset_size: usize,
+}
+
+impl LocalGlobalCounts {
+    /// Total locally frequent CFIs examined.
+    pub fn local_total(&self) -> usize {
+        self.fresh_local + self.repeated_global
+    }
+
+    /// Fraction of local CFIs that are fresh (hidden globally).
+    pub fn fresh_fraction(&self) -> f64 {
+        let total = self.local_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.fresh_local as f64 / total as f64
+        }
+    }
+}
+
+/// Count fresh-local vs repeated-global CFIs for a subset: a stored CFI is
+/// *locally frequent* when its support within `DQ` reaches `local_minsupp`
+/// and *globally frequent* when its dataset-wide support reaches
+/// `global_minsupp`.
+pub fn local_vs_global_cfis(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    local_minsupp: f64,
+    global_minsupp: f64,
+) -> LocalGlobalCounts {
+    let local_min = ((local_minsupp * subset.len() as f64) - 1e-9).ceil().max(1.0) as usize;
+    let global_min = ((global_minsupp * index.dataset().num_records() as f64) - 1e-9)
+        .ceil()
+        .max(1.0) as usize;
+    let (mut fresh, mut repeated) = (0usize, 0usize);
+    for (_, cfi) in index.ittree().iter() {
+        let local = cfi.tids.intersect_count(subset.tids());
+        if local < local_min {
+            continue;
+        }
+        if cfi.support() >= global_min {
+            repeated += 1;
+        } else {
+            fresh += 1;
+        }
+    }
+    LocalGlobalCounts {
+        fresh_local: fresh,
+        repeated_global: repeated,
+        subset_size: subset.len(),
+    }
+}
+
+/// A localized rule annotated with its global behaviour (or vice versa).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContrastedRule {
+    /// The rule, with counts from the context where it *holds*.
+    pub rule: Rule,
+    /// Its support in the other context.
+    pub other_support: f64,
+    /// Its confidence in the other context.
+    pub other_confidence: f64,
+}
+
+/// Full Simpson's-paradox report for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParadoxReport {
+    /// Rules valid in the focal subset but failing the same thresholds
+    /// globally — hidden from any global mining run.
+    pub fresh_local_rules: Vec<ContrastedRule>,
+    /// Rules valid globally but failing in the focal subset — global
+    /// trends that do not hold for this subpopulation.
+    pub vanished_global_rules: Vec<ContrastedRule>,
+    /// Figure 13 itemset counts at the query's thresholds.
+    pub cfi_counts: LocalGlobalCounts,
+}
+
+/// Analyze Simpson's paradox for a localized query: compare the localized
+/// answer with the global answer at identical thresholds.
+pub fn analyze(index: &MipIndex, query: &LocalizedQuery) -> Result<ParadoxReport, ColarmError> {
+    let subset = index.resolve_subset(query.range.clone())?;
+    if subset.is_empty() {
+        return Err(ColarmError::EmptySubset);
+    }
+    let local = execute_plan(index, query, &subset, PlanKind::SsEuv)?;
+    let mut global_query = query.clone();
+    global_query.range = RangeSpec::all();
+    let everything = index.resolve_subset(RangeSpec::all())?;
+    let global = execute_plan(index, &global_query, &everything, PlanKind::SsEuv)?;
+
+    let m = index.dataset().num_records();
+    let mut global_oracle = ClosureSupportOracle::new(index.ittree(), None);
+    let fresh_local_rules = local
+        .rules
+        .iter()
+        .filter_map(|r| {
+            let body = r.body();
+            let body_g = global_oracle.support_count(&body)? as f64;
+            let ante_g = global_oracle.support_count(&r.antecedent)? as f64;
+            let supp_g = body_g / m as f64;
+            let conf_g = if ante_g == 0.0 { 0.0 } else { body_g / ante_g };
+            (supp_g + 1e-9 < query.minsupp || conf_g + 1e-9 < query.minconf).then(|| {
+                ContrastedRule {
+                    rule: r.clone(),
+                    other_support: supp_g,
+                    other_confidence: conf_g,
+                }
+            })
+        })
+        .collect();
+
+    let mut local_oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
+    let dq = subset.len();
+    let vanished_global_rules = global
+        .rules
+        .iter()
+        .filter_map(|r| {
+            let body = r.body();
+            let body_l = local_oracle.support_count(&body)? as f64;
+            let ante_l = local_oracle.support_count(&r.antecedent)? as f64;
+            let supp_l = body_l / dq as f64;
+            let conf_l = if ante_l == 0.0 { 0.0 } else { body_l / ante_l };
+            (supp_l + 1e-9 < query.minsupp || conf_l + 1e-9 < query.minconf).then(|| {
+                ContrastedRule {
+                    rule: r.clone(),
+                    other_support: supp_l,
+                    other_confidence: conf_l,
+                }
+            })
+        })
+        .collect();
+
+    let cfi_counts = local_vs_global_cfis(index, &subset, query.minsupp, query.minsupp);
+    Ok(ParadoxReport {
+        fresh_local_rules,
+        vanished_global_rules,
+        cfi_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mip::MipIndexConfig;
+    use colarm_data::synth::salary;
+
+    fn index() -> MipIndex {
+        MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn the_paper_walkthrough_is_a_paradox() {
+        // RL holds for Seattle women (75 % / 100 %) but fails globally; RG
+        // holds globally (45 % / 83 %) but fails in the subset.
+        let index = index();
+        let schema = index.dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.45)
+            .minconf(0.8)
+            .build();
+        let report = analyze(&index, &query).unwrap();
+        let a1 = schema.encode_named("Age", "30-40").unwrap();
+        let a0 = schema.encode_named("Age", "20-30").unwrap();
+        assert!(
+            report
+                .fresh_local_rules
+                .iter()
+                .any(|c| c.rule.antecedent.contains(a1)),
+            "RL must be fresh-local"
+        );
+        assert!(
+            report
+                .vanished_global_rules
+                .iter()
+                .any(|c| c.rule.antecedent.contains(a0)),
+            "RG must vanish locally"
+        );
+        // The contrast numbers for RG: local support of (A0,S2) is 0/4.
+        let rg = report
+            .vanished_global_rules
+            .iter()
+            .find(|c| c.rule.antecedent.contains(a0))
+            .unwrap();
+        assert_eq!(rg.other_support, 0.0);
+    }
+
+    #[test]
+    fn cfi_counts_partition_local_itemsets() {
+        let index = index();
+        let schema = index.dataset().schema().clone();
+        let spec = colarm_data::RangeSpec::all()
+            .with_named(&schema, "Location", &["Seattle"])
+            .unwrap();
+        let subset = index.resolve_subset(spec).unwrap();
+        let counts = local_vs_global_cfis(&index, &subset, 0.5, 0.5);
+        assert_eq!(counts.subset_size, 4);
+        assert!(counts.local_total() > 0);
+        assert!(counts.fresh_local > 0, "Seattle has its own patterns");
+        assert!(counts.fresh_fraction() > 0.0 && counts.fresh_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn global_subset_has_no_fresh_cfis() {
+        let index = index();
+        let subset = index.resolve_subset(colarm_data::RangeSpec::all()).unwrap();
+        let counts = local_vs_global_cfis(&index, &subset, 0.4, 0.4);
+        assert_eq!(counts.fresh_local, 0, "DQ = D cannot hide anything");
+    }
+}

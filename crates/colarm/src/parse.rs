@@ -1,0 +1,339 @@
+//! Parser for the paper's localized-mining query language (§2.2):
+//!
+//! ```text
+//! REPORT LOCALIZED ASSOCIATION RULES
+//! FROM Dataset D
+//! WHERE RANGE Location = (Seattle), Gender = (F)
+//! [ AND ITEM ATTRIBUTES Age, Salary ]
+//! HAVING minsupport = 0.75 AND minconfidence = 0.9;
+//! ```
+//!
+//! The grammar is deliberately permissive about whitespace/case and maps
+//! directly onto [`LocalizedQuery`]. Attribute and value names are resolved
+//! against the schema; multi-value selections are comma-separated inside
+//! parentheses. Thresholds accept fractions (`0.75`) or percentages
+//! (`75%`).
+
+use crate::error::ColarmError;
+use crate::query::{LocalizedQuery, Semantics};
+use colarm_data::{RangeSpec, Schema};
+
+/// Parse a query-language string against a schema.
+pub fn parse_query(text: &str, schema: &Schema) -> Result<LocalizedQuery, ColarmError> {
+    let mut p = Parser::new(text);
+    p.expect_keywords(&["REPORT", "LOCALIZED", "ASSOCIATION", "RULES"])?;
+    if p.peek_keyword("FROM") {
+        p.expect_keywords(&["FROM"])?;
+        // Dataset name is informational; consume tokens until WHERE.
+        while !p.peek_keyword("WHERE") && !p.at_end() {
+            p.any_token()?;
+        }
+    }
+    p.expect_keywords(&["WHERE", "RANGE"])?;
+    let mut range = RangeSpec::all();
+    loop {
+        let attr = p.identifier("range attribute name")?;
+        p.expect_symbol('=')?;
+        let values = p.value_list()?;
+        let value_refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        range = range
+            .with_named(schema, &attr, &value_refs)
+            .map_err(ColarmError::Data)?;
+        if p.peek_symbol(',') {
+            p.expect_symbol(',')?;
+            continue;
+        }
+        break;
+    }
+    let mut item_attrs = None;
+    if p.peek_keyword("AND") {
+        let save = p.pos;
+        p.expect_keywords(&["AND"])?;
+        if p.peek_keyword("ITEM") {
+            p.expect_keywords(&["ITEM", "ATTRIBUTES"])?;
+            let mut attrs = Vec::new();
+            loop {
+                let name = p.identifier("item attribute name")?;
+                attrs.push(schema.attribute_by_name(&name).map_err(ColarmError::Data)?);
+                if p.peek_symbol(',') {
+                    p.expect_symbol(',')?;
+                    continue;
+                }
+                break;
+            }
+            item_attrs = Some(attrs);
+        } else {
+            p.pos = save; // the AND belonged to something else
+        }
+    }
+    p.expect_keywords(&["HAVING", "MINSUPPORT"])?;
+    p.expect_symbol('=')?;
+    let minsupp = p.threshold()?;
+    p.expect_keywords(&["AND", "MINCONFIDENCE"])?;
+    p.expect_symbol('=')?;
+    let minconf = p.threshold()?;
+    if p.peek_symbol(';') {
+        p.expect_symbol(';')?;
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after query"));
+    }
+    let query = LocalizedQuery {
+        range,
+        item_attrs,
+        minsupp,
+        minconf,
+        semantics: Semantics::Strict,
+    };
+    query.validate(schema)?;
+    Ok(query)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ColarmError {
+        ColarmError::QueryParse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.text.len() - trimmed.len();
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.text.len()
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        rest.len() >= kw.len()
+            && rest[..kw.len()].eq_ignore_ascii_case(kw)
+            && rest[kw.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+    }
+
+    fn expect_keywords(&mut self, kws: &[&str]) -> Result<(), ColarmError> {
+        for kw in kws {
+            if !self.peek_keyword(kw) {
+                return Err(self.error(format!("expected keyword `{kw}`")));
+            }
+            self.pos += kw.len();
+        }
+        Ok(())
+    }
+
+    fn peek_symbol(&mut self, sym: char) -> bool {
+        self.skip_ws();
+        self.rest().starts_with(sym)
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<(), ColarmError> {
+        if !self.peek_symbol(sym) {
+            return Err(self.error(format!("expected `{sym}`")));
+        }
+        self.pos += sym.len_utf8();
+        Ok(())
+    }
+
+    /// Next bare token (identifier-ish run), for skipping dataset names.
+    fn any_token(&mut self) -> Result<&'a str, ColarmError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("unexpected end of input"));
+        }
+        let tok = &rest[..end];
+        self.pos += end;
+        Ok(tok)
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String, ColarmError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error(format!("expected {what}")));
+        }
+        let ident = rest[..end].to_string();
+        self.pos += end;
+        Ok(ident)
+    }
+
+    /// `( v1, v2, … )` — values may contain anything except `,` and `)`.
+    fn value_list(&mut self) -> Result<Vec<String>, ColarmError> {
+        self.expect_symbol('(')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            let end = rest
+                .find([',', ')'])
+                .ok_or_else(|| self.error("unterminated value list"))?;
+            let value = rest[..end].trim();
+            if value.is_empty() {
+                return Err(self.error("empty value in value list"));
+            }
+            out.push(value.to_string());
+            self.pos += end;
+            if self.peek_symbol(',') {
+                self.expect_symbol(',')?;
+                continue;
+            }
+            self.expect_symbol(')')?;
+            break;
+        }
+        Ok(out)
+    }
+
+    /// A fraction (`0.75`) or percentage (`75%`).
+    fn threshold(&mut self) -> Result<f64, ColarmError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected a threshold value"));
+        }
+        let raw: f64 = rest[..end]
+            .parse()
+            .map_err(|_| self.error(format!("invalid number `{}`", &rest[..end])))?;
+        self.pos += end;
+        if self.peek_symbol('%') {
+            self.expect_symbol('%')?;
+            Ok(raw / 100.0)
+        } else {
+            Ok(raw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary_schema;
+
+    #[test]
+    fn parses_the_paper_example_query() {
+        let s = salary_schema();
+        let q = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES \
+             FROM Dataset salary \
+             WHERE RANGE Location = (Seattle), Gender = (F) \
+             AND ITEM ATTRIBUTES Age, Salary \
+             HAVING minsupport = 0.75 AND minconfidence = 0.9;",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(q.minsupp, 0.75);
+        assert_eq!(q.minconf, 0.9);
+        assert_eq!(q.range.num_constrained(), 2);
+        let attrs = q.item_attrs.unwrap();
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn percentages_and_multi_values() {
+        let s = salary_schema();
+        let q = parse_query(
+            "report localized association rules where range \
+             Age = (20-30, 30-40) having minsupport = 80% and minconfidence = 85%",
+            &s,
+        )
+        .unwrap();
+        assert!((q.minsupp - 0.8).abs() < 1e-12);
+        assert!((q.minconf - 0.85).abs() < 1e-12);
+        let sel = q.range.selections();
+        assert_eq!(sel.values().next().unwrap().len(), 2);
+        assert!(q.item_attrs.is_none());
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let s = salary_schema();
+        let err = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Bogus = (x) \
+             HAVING minsupport = 0.5 AND minconfidence = 0.5",
+            &s,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColarmError::Data(_)));
+        let err = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (X) \
+             HAVING minsupport = 0.5 AND minconfidence = 0.5",
+            &s,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColarmError::Data(_)));
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let s = salary_schema();
+        let err = parse_query("REPORT LOCAL RULES", &s).unwrap_err();
+        assert!(matches!(err, ColarmError::QueryParse { .. }));
+        let err = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F \
+             HAVING minsupport = 0.5 AND minconfidence = 0.5",
+            &s,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColarmError::QueryParse { .. }));
+        let err = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+             HAVING minsupport = abc AND minconfidence = 0.5",
+            &s,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColarmError::QueryParse { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = salary_schema();
+        let err = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+             HAVING minsupport = 0.5 AND minconfidence = 0.5; SELECT *",
+            &s,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColarmError::QueryParse { .. }));
+    }
+
+    #[test]
+    fn out_of_range_threshold_fails_validation() {
+        let s = salary_schema();
+        let err = parse_query(
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+             HAVING minsupport = 1.5 AND minconfidence = 0.5",
+            &s,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColarmError::InvalidThreshold { .. }));
+    }
+}

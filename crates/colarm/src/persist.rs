@@ -1,0 +1,150 @@
+//! MIP-index persistence.
+//!
+//! The offline phase is a one-time cost (paper §3.2), so a production
+//! deployment wants to build the index once and reload it across process
+//! restarts. The snapshot stores the dataset, the build configuration and
+//! the mined closed itemsets with their exact tidsets; loading rebuilds
+//! the derived structures (IT-tree inverted lists, packed R-tree, index
+//! statistics) deterministically — those rebuilds are cheap compared to
+//! re-running CHARM.
+
+use crate::error::ColarmError;
+use crate::mip::{MipIndex, MipIndexConfig, Packing};
+use colarm_data::{Dataset, Itemset, Tidset};
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a MIP-index.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct IndexSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    dataset: Dataset,
+    primary_support: f64,
+    fanout: usize,
+    packing: u8,
+    cfis: Vec<(Itemset, Tidset)>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl IndexSnapshot {
+    /// Capture a snapshot of a built index.
+    pub fn capture(index: &MipIndex) -> IndexSnapshot {
+        let config = index.config();
+        IndexSnapshot {
+            version: SNAPSHOT_VERSION,
+            dataset: index.dataset().clone(),
+            primary_support: config.primary_support,
+            fanout: config.fanout,
+            packing: match config.packing {
+                Packing::Str => 0,
+                Packing::Hilbert => 1,
+                Packing::Insertion => 2,
+            },
+            cfis: index
+                .ittree()
+                .iter()
+                .map(|(_, c)| (c.itemset.clone(), c.tids.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restore the index: rebuild the derived structures from the stored
+    /// CFIs without re-running the miner.
+    pub fn restore(self) -> Result<MipIndex, ColarmError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(ColarmError::QueryParse {
+                position: 0,
+                message: format!(
+                    "unsupported index snapshot version {} (expected {SNAPSHOT_VERSION})",
+                    self.version
+                ),
+            });
+        }
+        let config = MipIndexConfig {
+            primary_support: self.primary_support,
+            fanout: self.fanout,
+            packing: match self.packing {
+                0 => Packing::Str,
+                1 => Packing::Hilbert,
+                _ => Packing::Insertion,
+            },
+        };
+        MipIndex::from_parts(
+            self.dataset,
+            config,
+            self.cfis
+                .into_iter()
+                .map(|(itemset, tids)| colarm_mine::ClosedItemset { itemset, tids })
+                .collect(),
+        )
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot is serializable")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(text: &str) -> Result<IndexSnapshot, ColarmError> {
+        serde_json::from_str(text).map_err(|e| ColarmError::QueryParse {
+            position: 0,
+            message: format!("invalid index snapshot: {e}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::LocalizedQuery;
+    use colarm_data::synth::salary;
+
+    fn index() -> MipIndex {
+        MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_answers() {
+        let original = index();
+        let json = IndexSnapshot::capture(&original).to_json();
+        let restored = IndexSnapshot::from_json(&json).unwrap().restore().unwrap();
+        assert_eq!(restored.num_mips(), original.num_mips());
+        assert_eq!(restored.primary_count(), original.primary_count());
+        let schema = original.dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build();
+        for plan in crate::plan::PlanKind::ALL {
+            let subset_a = original.resolve_subset(query.range.clone()).unwrap();
+            let subset_b = restored.resolve_subset(query.range.clone()).unwrap();
+            let a = crate::plan::execute_plan(&original, &query, &subset_a, plan).unwrap();
+            let b = crate::plan::execute_plan(&restored, &query, &subset_b, plan).unwrap();
+            assert_eq!(a.rules, b.rules, "{plan} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut snap = IndexSnapshot::capture(&index());
+        snap.version = 999;
+        assert!(snap.restore().is_err());
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(IndexSnapshot::from_json("{not json").is_err());
+        assert!(IndexSnapshot::from_json("{}").is_err());
+    }
+}

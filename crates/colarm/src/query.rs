@@ -1,0 +1,253 @@
+//! The localized rule-mining query (paper §2.2).
+//!
+//! A query `Q` carries four parameters:
+//!
+//! * `range` (`Arange`) — the per-attribute value selections defining the
+//!   focal subset `DQ`;
+//! * `item_attrs` (`Aitem`) — optional: the attributes whose items may
+//!   compose rules (defaults to all attributes);
+//! * `minsupp`, `minconf` — the interestingness thresholds, verified
+//!   **locally**, w.r.t. `DQ`.
+//!
+//! Queries can be built fluently ([`LocalizedQuery::builder`]) or parsed
+//! from the paper's query language ([`crate::parse::parse_query`]).
+
+use crate::error::ColarmError;
+use colarm_data::{AttributeId, RangeSpec, Schema};
+
+/// Output contract of a localized mining query (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Semantics {
+    /// Rules whose bodies are the non-redundant localized itemsets:
+    /// closed within the focal subset's `Aitem` projection, locally
+    /// frequent, and meeting the index's primary support threshold
+    /// globally (paper footnote 2). All six plans return identical
+    /// answers under this contract.
+    #[default]
+    Strict,
+    /// The ARM plan additionally reports rules whose bodies fall below
+    /// the primary threshold globally — itemsets the MIP-index cannot
+    /// see. Used by the Simpson's-paradox study.
+    Unrestricted,
+}
+
+/// A localized association-rule mining query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizedQuery {
+    /// Focal-subset selection (`Arange`).
+    pub range: RangeSpec,
+    /// Attributes allowed to compose rules (`Aitem`); `None` = all.
+    pub item_attrs: Option<Vec<AttributeId>>,
+    /// Minimum local support in `(0, 1]`.
+    pub minsupp: f64,
+    /// Minimum local confidence in `(0, 1]`.
+    pub minconf: f64,
+    /// Output contract.
+    pub semantics: Semantics,
+}
+
+impl LocalizedQuery {
+    /// Start building a query.
+    pub fn builder() -> LocalizedQueryBuilder {
+        LocalizedQueryBuilder::default()
+    }
+
+    /// Validate thresholds and schema references.
+    pub fn validate(&self, schema: &Schema) -> Result<(), ColarmError> {
+        for (name, value) in [("minsupport", self.minsupp), ("minconfidence", self.minconf)] {
+            if !(value > 0.0 && value <= 1.0) {
+                return Err(ColarmError::InvalidThreshold { name, value });
+            }
+        }
+        self.range.validate(schema)?;
+        if let Some(attrs) = &self.item_attrs {
+            if attrs.is_empty() {
+                return Err(ColarmError::EmptyItemAttributes);
+            }
+            for &a in attrs {
+                if a.index() >= schema.num_attributes() {
+                    return Err(ColarmError::Data(colarm_data::DataError::UnknownAttribute(
+                        format!("{a}"),
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `attribute` may contribute items to rules.
+    pub fn admits_attribute(&self, attribute: AttributeId) -> bool {
+        match &self.item_attrs {
+            None => true,
+            Some(attrs) => attrs.contains(&attribute),
+        }
+    }
+
+    /// Absolute minimum support count for a focal subset of `dq_len`
+    /// records: the smallest count whose fraction reaches `minsupp`
+    /// (with a tolerance for floating-point boundary cases), at least 1.
+    pub fn minsupp_count(&self, dq_len: usize) -> usize {
+        ((self.minsupp * dq_len as f64) - 1e-9).ceil().max(1.0) as usize
+    }
+}
+
+/// Fluent builder for [`LocalizedQuery`].
+#[derive(Debug, Clone)]
+pub struct LocalizedQueryBuilder {
+    range: RangeSpec,
+    item_attrs: Option<Vec<AttributeId>>,
+    minsupp: f64,
+    minconf: f64,
+    semantics: Semantics,
+}
+
+impl Default for LocalizedQueryBuilder {
+    fn default() -> Self {
+        LocalizedQueryBuilder {
+            range: RangeSpec::all(),
+            item_attrs: None,
+            minsupp: 0.5,
+            minconf: 0.8,
+            semantics: Semantics::Strict,
+        }
+    }
+}
+
+impl LocalizedQueryBuilder {
+    /// Set the whole range spec at once.
+    pub fn range(mut self, range: RangeSpec) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Constrain one attribute of the range by names.
+    pub fn range_named(
+        mut self,
+        schema: &Schema,
+        attribute: &str,
+        values: &[&str],
+    ) -> Result<Self, ColarmError> {
+        self.range = std::mem::take(&mut self.range).with_named(schema, attribute, values)?;
+        Ok(self)
+    }
+
+    /// Restrict rule items to these attributes.
+    pub fn item_attrs(mut self, attrs: impl IntoIterator<Item = AttributeId>) -> Self {
+        self.item_attrs = Some(attrs.into_iter().collect());
+        self
+    }
+
+    /// Restrict rule items to these attributes, by name.
+    pub fn item_attrs_named(
+        mut self,
+        schema: &Schema,
+        names: &[&str],
+    ) -> Result<Self, ColarmError> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            attrs.push(schema.attribute_by_name(n).map_err(ColarmError::Data)?);
+        }
+        self.item_attrs = Some(attrs);
+        Ok(self)
+    }
+
+    /// Minimum local support (fraction of `|DQ|`).
+    pub fn minsupp(mut self, v: f64) -> Self {
+        self.minsupp = v;
+        self
+    }
+
+    /// Minimum local confidence.
+    pub fn minconf(mut self, v: f64) -> Self {
+        self.minconf = v;
+        self
+    }
+
+    /// Output contract (see [`Semantics`]).
+    pub fn semantics(mut self, s: Semantics) -> Self {
+        self.semantics = s;
+        self
+    }
+
+    /// Finish building (validation happens against a schema at execution).
+    pub fn build(self) -> LocalizedQuery {
+        LocalizedQuery {
+            range: self.range,
+            item_attrs: self.item_attrs,
+            minsupp: self.minsupp,
+            minconf: self.minconf,
+            semantics: self.semantics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary_schema;
+
+    #[test]
+    fn builder_defaults_and_validation() {
+        let s = salary_schema();
+        let q = LocalizedQuery::builder().build();
+        q.validate(&s).unwrap();
+        assert!(q.range.is_all());
+        assert!(q.item_attrs.is_none());
+        assert!(q.admits_attribute(AttributeId(3)));
+    }
+
+    #[test]
+    fn threshold_bounds_enforced() {
+        let s = salary_schema();
+        for bad in [0.0, -0.1, 1.5] {
+            let q = LocalizedQuery::builder().minsupp(bad).build();
+            assert!(matches!(
+                q.validate(&s),
+                Err(ColarmError::InvalidThreshold { name: "minsupport", .. })
+            ));
+            let q = LocalizedQuery::builder().minconf(bad).build();
+            assert!(matches!(
+                q.validate(&s),
+                Err(ColarmError::InvalidThreshold { name: "minconfidence", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn named_builders_resolve() {
+        let s = salary_schema();
+        let q = LocalizedQuery::builder()
+            .range_named(&s, "Location", &["Seattle"])
+            .unwrap()
+            .item_attrs_named(&s, &["Age", "Salary"])
+            .unwrap()
+            .minsupp(0.6)
+            .minconf(0.9)
+            .build();
+        q.validate(&s).unwrap();
+        let age = s.attribute_by_name("Age").unwrap();
+        let company = s.attribute_by_name("Company").unwrap();
+        assert!(q.admits_attribute(age));
+        assert!(!q.admits_attribute(company));
+    }
+
+    #[test]
+    fn empty_item_attrs_rejected() {
+        let s = salary_schema();
+        let q = LocalizedQuery::builder().item_attrs([]).build();
+        assert_eq!(q.validate(&s), Err(ColarmError::EmptyItemAttributes));
+    }
+
+    #[test]
+    fn minsupp_count_rounds_up_with_boundary_tolerance() {
+        let q = LocalizedQuery::builder().minsupp(0.75).build();
+        assert_eq!(q.minsupp_count(4), 3); // exactly 3/4
+        assert_eq!(q.minsupp_count(5), 4); // 3.75 → 4
+        assert_eq!(q.minsupp_count(0), 1); // degenerate, at least 1
+        let q = LocalizedQuery::builder().minsupp(0.1).build();
+        assert_eq!(q.minsupp_count(10), 1);
+        // 0.3 * 10 = 3.0000000000000004 in floating point; tolerance keeps 3.
+        let q = LocalizedQuery::builder().minsupp(0.3).build();
+        assert_eq!(q.minsupp_count(10), 3);
+    }
+}

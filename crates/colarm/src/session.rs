@@ -1,0 +1,271 @@
+//! Multi-query sessions — the paper's future-work item (b): "multi-query
+//! optimization in the context of localized association rule mining" (§7).
+//!
+//! Interactive exploration issues bursts of related queries: the analyst
+//! drills into one region with varying thresholds, or sweeps neighbouring
+//! regions. A [`QuerySession`] amortizes that workload two ways:
+//!
+//! * **subset reuse** — resolved focal subsets (`DQ` tidsets) are cached
+//!   per range spec, so threshold-only refinements skip the SELECT work;
+//! * **answer reuse** — full answers are cached per (range, item
+//!   attributes, thresholds, semantics), so repeated questions are free.
+//!
+//! The caches are behind `parking_lot` read–write locks, making a session
+//! shareable across analyst threads.
+
+use crate::error::ColarmError;
+use crate::framework::Colarm;
+use crate::plan::{execute_plan, PlanKind, QueryAnswer};
+use crate::query::{LocalizedQuery, Semantics};
+use colarm_data::{AttributeId, FocalSubset, RangeSpec};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Cache key: the query with thresholds in hashable (bit) form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AnswerKey {
+    range: RangeSpec,
+    item_attrs: Option<Vec<AttributeId>>,
+    minsupp_bits: u64,
+    minconf_bits: u64,
+    semantics: Semantics,
+}
+
+impl AnswerKey {
+    fn of(query: &LocalizedQuery) -> AnswerKey {
+        AnswerKey {
+            range: query.range.clone(),
+            item_attrs: query.item_attrs.clone(),
+            minsupp_bits: query.minsupp.to_bits(),
+            minconf_bits: query.minconf.to_bits(),
+            semantics: query.semantics,
+        }
+    }
+}
+
+/// Hit/miss counters of one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Focal subsets served from cache.
+    pub subset_hits: usize,
+    /// Focal subsets resolved fresh.
+    pub subset_misses: usize,
+    /// Answers served from cache.
+    pub answer_hits: usize,
+    /// Answers executed fresh.
+    pub answer_misses: usize,
+}
+
+/// A caching façade over [`Colarm`] for interactive query bursts.
+pub struct QuerySession<'a> {
+    colarm: &'a Colarm,
+    subsets: RwLock<HashMap<RangeSpec, Arc<FocalSubset>>>,
+    answers: RwLock<HashMap<AnswerKey, Arc<QueryAnswer>>>,
+    subset_hits: AtomicUsize,
+    subset_misses: AtomicUsize,
+    answer_hits: AtomicUsize,
+    answer_misses: AtomicUsize,
+}
+
+impl<'a> QuerySession<'a> {
+    /// Open a session over a built system.
+    pub fn new(colarm: &'a Colarm) -> Self {
+        QuerySession {
+            colarm,
+            subsets: RwLock::new(HashMap::new()),
+            answers: RwLock::new(HashMap::new()),
+            subset_hits: AtomicUsize::new(0),
+            subset_misses: AtomicUsize::new(0),
+            answer_hits: AtomicUsize::new(0),
+            answer_misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Resolve (or reuse) the focal subset of a range spec.
+    pub fn subset(&self, range: &RangeSpec) -> Result<Arc<FocalSubset>, ColarmError> {
+        if let Some(cached) = self.subsets.read().get(range) {
+            self.subset_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        let resolved = Arc::new(self.colarm.index().resolve_subset(range.clone())?);
+        self.subset_misses.fetch_add(1, Ordering::Relaxed);
+        self.subsets
+            .write()
+            .entry(range.clone())
+            .or_insert_with(|| resolved.clone());
+        Ok(resolved)
+    }
+
+    /// Execute (or reuse) a query with optimizer-selected plan.
+    pub fn execute(&self, query: &LocalizedQuery) -> Result<Arc<QueryAnswer>, ColarmError> {
+        query.validate(self.colarm.index().dataset().schema())?;
+        let key = AnswerKey::of(query);
+        if let Some(cached) = self.answers.read().get(&key) {
+            self.answer_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        let subset = self.subset(&query.range)?;
+        if subset.is_empty() {
+            return Err(ColarmError::EmptySubset);
+        }
+        let choice = self
+            .colarm
+            .optimizer()
+            .choose(self.colarm.index(), query, &subset);
+        let answer = Arc::new(execute_plan(
+            self.colarm.index(),
+            query,
+            &subset,
+            choice.chosen,
+        )?);
+        self.answer_misses.fetch_add(1, Ordering::Relaxed);
+        self.answers
+            .write()
+            .entry(key)
+            .or_insert_with(|| answer.clone());
+        Ok(answer)
+    }
+
+    /// Execute with a forced plan, still reusing the cached subset (the
+    /// answer cache is bypassed so plan comparisons stay honest).
+    pub fn execute_with_plan(
+        &self,
+        query: &LocalizedQuery,
+        plan: PlanKind,
+    ) -> Result<QueryAnswer, ColarmError> {
+        let subset = self.subset(&query.range)?;
+        execute_plan(self.colarm.index(), query, &subset, plan)
+    }
+
+    /// Session cache statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            subset_hits: self.subset_hits.load(Ordering::Relaxed),
+            subset_misses: self.subset_misses.load(Ordering::Relaxed),
+            answer_hits: self.answer_hits.load(Ordering::Relaxed),
+            answer_misses: self.answer_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached state (e.g. after the analyst switches task).
+    pub fn clear(&self) {
+        self.subsets.write().clear();
+        self.answers.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mip::MipIndexConfig;
+    use colarm_data::synth::salary;
+
+    fn system() -> Colarm {
+        Colarm::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threshold_refinement_reuses_the_subset() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(&colarm);
+        let base = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap();
+        for minsupp in [0.5, 0.6, 0.75] {
+            let q = base.clone().minsupp(minsupp).minconf(0.8).build();
+            session.execute(&q).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.subset_misses, 1, "one range → one resolution");
+        assert_eq!(stats.subset_hits, 2);
+        assert_eq!(stats.answer_misses, 3);
+    }
+
+    #[test]
+    fn identical_queries_hit_the_answer_cache() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(&colarm);
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.8)
+            .build();
+        let a = session.execute(&q).unwrap();
+        let b = session.execute(&q).unwrap();
+        assert_eq!(a.rules, b.rules);
+        assert!(Arc::ptr_eq(&a, &b), "second answer must come from cache");
+        assert_eq!(session.stats().answer_hits, 1);
+        // Different threshold → different key.
+        let q2 = LocalizedQuery::builder()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.6)
+            .minconf(0.8)
+            .build();
+        session.execute(&q2).unwrap();
+        assert_eq!(session.stats().answer_misses, 2);
+    }
+
+    #[test]
+    fn cached_answers_match_uncached_execution() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(&colarm);
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Company", &["Google"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build();
+        let via_session = session.execute(&q).unwrap();
+        let direct = colarm.execute(&q).unwrap();
+        assert_eq!(via_session.rules, direct.answer.rules);
+    }
+
+    #[test]
+    fn clear_resets_the_caches() {
+        let colarm = system();
+        let session = QuerySession::new(&colarm);
+        let q = LocalizedQuery::builder().minsupp(0.5).minconf(0.8).build();
+        session.execute(&q).unwrap();
+        session.clear();
+        session.execute(&q).unwrap();
+        assert_eq!(session.stats().answer_misses, 2);
+    }
+
+    #[test]
+    fn sessions_are_shareable_across_threads() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(&colarm);
+        std::thread::scope(|scope| {
+            for loc in ["Seattle", "Boston", "SFO"] {
+                let session = &session;
+                let schema = schema.clone();
+                scope.spawn(move || {
+                    let q = LocalizedQuery::builder()
+                        .range_named(&schema, "Location", &[loc])
+                        .unwrap()
+                        .minsupp(0.5)
+                        .minconf(0.7)
+                        .build();
+                    // SFO has 2 records; every location subset is nonempty.
+                    session.execute(&q).unwrap();
+                });
+            }
+        });
+        assert_eq!(session.stats().answer_misses, 3);
+    }
+}

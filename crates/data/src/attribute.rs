@@ -1,0 +1,135 @@
+//! Attributes, values and the dense global item encoding.
+//!
+//! Rule mining works over nominal attributes (paper §2.1): attribute
+//! `Age` with discretized domain `{20-30, 30-40, …}` yields items
+//! `A0 = (Age = 20-30)`, `A1 = (Age = 30-40)` and so on. COLARM encodes
+//! every `(attribute, value)` pair as a dense global [`ItemId`] so itemsets
+//! are plain sorted integer vectors and per-item tid-lists are a flat array.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an attribute within a [`crate::Schema`] (a dimension of the
+/// multidimensional space of paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttributeId(pub u16);
+
+impl AttributeId {
+    /// The attribute id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttributeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// Index of a value within one attribute's domain.
+pub type ValueId = u16;
+
+/// Dense global id of an `(attribute, value)` item.
+///
+/// Ids are assigned contiguously attribute by attribute: attribute 0's
+/// values get ids `0..d0`, attribute 1's values `d0..d0+d1`, etc. This makes
+/// "which attribute does this item belong to" a binary search over schema
+/// offsets and lets vertical indexes be flat `Vec`s keyed by item id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The item id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A decoded item: one `(attribute, value)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Item {
+    /// Attribute (dimension) the item constrains.
+    pub attribute: AttributeId,
+    /// Value code within that attribute's domain.
+    pub value: ValueId,
+}
+
+/// A nominal attribute: a name plus an ordered domain of value labels.
+///
+/// For discretized quantitative attributes the labels are interval strings
+/// such as `"20-30"`; the *order* of labels is the order of the intervals,
+/// which is what makes bounding boxes over value codes meaningful.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    values: Vec<String>,
+}
+
+impl Attribute {
+    /// Create an attribute with the given domain. The domain order is
+    /// preserved; duplicate labels are rejected at the schema level.
+    pub fn new(name: impl Into<String>, values: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Attribute {
+            name: name.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values in the domain.
+    pub fn domain_size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Label of the value with code `v`, if in domain.
+    pub fn value_label(&self, v: ValueId) -> Option<&str> {
+        self.values.get(v as usize).map(String::as_str)
+    }
+
+    /// Code of the value with the given label, if in domain (linear scan —
+    /// domains are small and this is not on any hot path).
+    pub fn value_code(&self, label: &str) -> Option<ValueId> {
+        self.values.iter().position(|v| v == label).map(|i| i as ValueId)
+    }
+
+    /// All value labels in domain order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_lookup_round_trips() {
+        let a = Attribute::new("Age", ["20-30", "30-40", "40-50"]);
+        assert_eq!(a.domain_size(), 3);
+        assert_eq!(a.value_label(1), Some("30-40"));
+        assert_eq!(a.value_code("40-50"), Some(2));
+        assert_eq!(a.value_code("50-60"), None);
+        assert_eq!(a.value_label(9), None);
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(ItemId(3) < ItemId(10));
+        assert_eq!(ItemId(7).to_string(), "i7");
+        assert_eq!(AttributeId(2).to_string(), "attr#2");
+        assert_eq!(AttributeId(2).index(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Row-store datasets and the per-item vertical (tid-list) index.
+
+use crate::attribute::{AttributeId, ItemId, ValueId};
+use crate::error::DataError;
+use crate::itemset::Itemset;
+use crate::schema::Schema;
+use crate::tidset::Tidset;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A relational dataset: a schema plus `m` records, each holding exactly one
+/// value code per attribute (paper §2.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    /// `records[t][a]` = value code of attribute `a` in record `t`.
+    records: Vec<Box<[ValueId]>>,
+}
+
+impl Dataset {
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of records (`m` in the paper).
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Value code of attribute `a` in record `tid`.
+    #[inline]
+    pub fn value(&self, tid: u32, attribute: AttributeId) -> ValueId {
+        self.records[tid as usize][attribute.index()]
+    }
+
+    /// The full record, as value codes in schema order.
+    pub fn record(&self, tid: u32) -> &[ValueId] {
+        &self.records[tid as usize]
+    }
+
+    /// Iterate `(tid, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[ValueId])> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(t, r)| (t as u32, r.as_ref()))
+    }
+
+    /// True when record `tid` supports (contains) every item of `itemset`.
+    pub fn record_supports(&self, tid: u32, itemset: &Itemset) -> bool {
+        itemset.items().iter().all(|&item| {
+            let it = self.schema.decode(item);
+            self.value(tid, it.attribute) == it.value
+        })
+    }
+
+    /// Global absolute support count of an itemset by scanning all records
+    /// (reference implementation used by tests and the ARM baseline).
+    pub fn count_support(&self, itemset: &Itemset) -> usize {
+        (0..self.num_records() as u32)
+            .filter(|&t| self.record_supports(t, itemset))
+            .count()
+    }
+
+    /// Materialize a new dataset containing only the given records (tids
+    /// must be in range). The schema is shared.
+    pub fn select_records(&self, tids: &crate::tidset::Tidset) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            records: tids
+                .iter()
+                .map(|t| self.records[t as usize].clone())
+                .collect(),
+        }
+    }
+
+    /// Materialize a projection onto a subset of attributes (given in the
+    /// desired order). Returns an error for unknown attributes.
+    pub fn project(&self, attributes: &[AttributeId]) -> Result<Dataset, DataError> {
+        for &a in attributes {
+            if a.index() >= self.schema.num_attributes() {
+                return Err(DataError::UnknownAttribute(format!("{a}")));
+            }
+        }
+        let schema = Arc::new(Schema::new(
+            attributes
+                .iter()
+                .map(|&a| self.schema.attribute(a).clone())
+                .collect(),
+        )?);
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                attributes
+                    .iter()
+                    .map(|&a| r[a.index()])
+                    .collect::<Vec<_>>()
+                    .into()
+            })
+            .collect();
+        Ok(Dataset { schema, records })
+    }
+
+    /// The record encoded as a sorted itemset of its `n` items.
+    pub fn record_as_itemset(&self, tid: u32) -> Itemset {
+        Itemset::from_sorted(
+            self.record(tid)
+                .iter()
+                .enumerate()
+                .map(|(a, &v)| self.schema.encode(AttributeId(a as u16), v))
+                .collect(),
+        )
+    }
+}
+
+/// Builder validating record arity and value domains.
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    schema: Arc<Schema>,
+    records: Vec<Box<[ValueId]>>,
+}
+
+impl DatasetBuilder {
+    /// Start building a dataset over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        DatasetBuilder {
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a record given as value codes in schema order.
+    pub fn push(&mut self, values: &[ValueId]) -> Result<(), DataError> {
+        if values.len() != self.schema.num_attributes() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.num_attributes(),
+                got: values.len(),
+            });
+        }
+        for (a, &v) in values.iter().enumerate() {
+            let attr = self.schema.attribute(AttributeId(a as u16));
+            if v as usize >= attr.domain_size() {
+                return Err(DataError::ValueOutOfDomain {
+                    attribute: attr.name().to_string(),
+                    code: v,
+                    domain: attr.domain_size(),
+                });
+            }
+        }
+        self.records.push(values.into());
+        Ok(())
+    }
+
+    /// Append a record given as value *labels* in schema order.
+    pub fn push_named(&mut self, labels: &[&str]) -> Result<(), DataError> {
+        if labels.len() != self.schema.num_attributes() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.num_attributes(),
+                got: labels.len(),
+            });
+        }
+        let mut codes = Vec::with_capacity(labels.len());
+        for (a, label) in labels.iter().enumerate() {
+            let attr = self.schema.attribute(AttributeId(a as u16));
+            let v = attr.value_code(label).ok_or_else(|| DataError::UnknownValue {
+                attribute: attr.name().to_string(),
+                value: label.to_string(),
+            })?;
+            codes.push(v);
+        }
+        self.records.push(codes.into());
+        Ok(())
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            schema: self.schema,
+            records: self.records,
+        }
+    }
+}
+
+/// Vertical index: one sorted tid-list per global item id.
+///
+/// This is both the input format of the CHARM/Eclat miners and the engine of
+/// focal-subset resolution — the tidset of a range selection is a union of
+/// per-value tid-lists intersected across attributes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerticalIndex {
+    tidlists: Vec<Tidset>,
+    num_records: u32,
+}
+
+impl VerticalIndex {
+    /// Build the vertical index with one pass over the dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        let schema = dataset.schema();
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); schema.num_items()];
+        for (tid, record) in dataset.iter() {
+            for (a, &v) in record.iter().enumerate() {
+                let item = schema.encode(AttributeId(a as u16), v);
+                lists[item.index()].push(tid);
+            }
+        }
+        VerticalIndex {
+            tidlists: lists.into_iter().map(Tidset::from_sorted).collect(),
+            num_records: dataset.num_records() as u32,
+        }
+    }
+
+    /// Number of records in the underlying dataset.
+    pub fn num_records(&self) -> u32 {
+        self.num_records
+    }
+
+    /// Number of items covered.
+    pub fn num_items(&self) -> usize {
+        self.tidlists.len()
+    }
+
+    /// Tid-list of a single item.
+    #[inline]
+    pub fn tids(&self, item: ItemId) -> &Tidset {
+        &self.tidlists[item.index()]
+    }
+
+    /// Tidset of an itemset: the intersection of its items' tid-lists,
+    /// intersecting smallest-first to keep intermediates small.
+    pub fn itemset_tids(&self, itemset: &Itemset) -> Tidset {
+        let mut items: Vec<&Tidset> = itemset.items().iter().map(|&i| self.tids(i)).collect();
+        if items.is_empty() {
+            return Tidset::full(self.num_records);
+        }
+        items.sort_by_key(|t| t.len());
+        let mut acc = items[0].clone();
+        for t in &items[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = acc.intersect(t);
+        }
+        acc
+    }
+
+    /// Absolute global support count of an itemset.
+    pub fn support(&self, itemset: &Itemset) -> usize {
+        self.itemset_tids(itemset).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn small() -> Dataset {
+        let schema = SchemaBuilder::new()
+            .attribute("A", ["a0", "a1"])
+            .attribute("B", ["b0", "b1", "b2"])
+            .build()
+            .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        b.push(&[0, 0]).unwrap();
+        b.push(&[0, 1]).unwrap();
+        b.push(&[1, 1]).unwrap();
+        b.push(&[0, 0]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_validates() {
+        let schema = SchemaBuilder::new().attribute("A", ["a0"]).build().unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        assert!(matches!(
+            b.push(&[0, 1]),
+            Err(DataError::ArityMismatch { expected: 1, got: 2 })
+        ));
+        assert!(matches!(
+            b.push(&[7]),
+            Err(DataError::ValueOutOfDomain { .. })
+        ));
+        b.push(&[0]).unwrap();
+        assert_eq!(b.build().num_records(), 1);
+    }
+
+    #[test]
+    fn push_named_resolves_labels() {
+        let schema = SchemaBuilder::new()
+            .attribute("A", ["a0", "a1"])
+            .attribute("B", ["b0"])
+            .build()
+            .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        b.push_named(&["a1", "b0"]).unwrap();
+        assert!(matches!(
+            b.push_named(&["zz", "b0"]),
+            Err(DataError::UnknownValue { .. })
+        ));
+        let d = b.build();
+        assert_eq!(d.value(0, AttributeId(0)), 1);
+    }
+
+    #[test]
+    fn vertical_index_matches_scan_counts() {
+        let d = small();
+        let v = VerticalIndex::build(&d);
+        let schema = d.schema();
+        // Item A=a0 appears in records 0,1,3.
+        let a0 = schema.encode_named("A", "a0").unwrap();
+        assert_eq!(v.tids(a0).as_slice(), &[0, 1, 3]);
+        // Itemset (A=a0, B=b0) in records 0 and 3.
+        let iset = Itemset::from_items([a0, schema.encode_named("B", "b0").unwrap()]);
+        assert_eq!(v.itemset_tids(&iset).as_slice(), &[0, 3]);
+        assert_eq!(v.support(&iset), d.count_support(&iset));
+        // Empty itemset supported by every record.
+        assert_eq!(v.support(&Itemset::empty()), 4);
+    }
+
+    #[test]
+    fn select_records_materializes_a_subset() {
+        let d = small();
+        let sub = d.select_records(&crate::tidset::Tidset::from_sorted(vec![1, 3]));
+        assert_eq!(sub.num_records(), 2);
+        assert_eq!(sub.record(0), d.record(1));
+        assert_eq!(sub.record(1), d.record(3));
+        assert!(Arc::ptr_eq(sub.schema(), d.schema()));
+    }
+
+    #[test]
+    fn project_keeps_and_reorders_attributes() {
+        let d = small();
+        let b = d.schema().attribute_by_name("B").unwrap();
+        let a = d.schema().attribute_by_name("A").unwrap();
+        let p = d.project(&[b, a]).unwrap();
+        assert_eq!(p.schema().num_attributes(), 2);
+        assert_eq!(p.schema().attributes()[0].name(), "B");
+        for tid in 0..d.num_records() as u32 {
+            assert_eq!(p.value(tid, AttributeId(0)), d.value(tid, b));
+            assert_eq!(p.value(tid, AttributeId(1)), d.value(tid, a));
+        }
+        assert!(d.project(&[AttributeId(9)]).is_err());
+    }
+
+    #[test]
+    fn record_as_itemset_has_one_item_per_attribute() {
+        let d = small();
+        let i = d.record_as_itemset(2);
+        assert_eq!(i.len(), 2);
+        assert!(i.is_relational(d.schema()));
+        assert!(d.record_supports(2, &i));
+        assert!(!d.record_supports(0, &i));
+    }
+}

@@ -1,0 +1,177 @@
+//! Discretization of quantitative attributes (paper §2.1 footnote 3).
+//!
+//! COLARM treats discretization as an orthogonal offline step: quantitative
+//! columns are binned into disjoint intervals once, before index
+//! construction, and queries then align with the resulting cells. We provide
+//! the two classic schemes from the quantitative-ARM literature
+//! (Srikant–Agrawal \[20\]): equal-width and equal-frequency binning.
+
+use crate::attribute::{Attribute, ValueId};
+use crate::error::DataError;
+
+/// Binning scheme for a quantitative column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binning {
+    /// Bins of equal numeric width across `[min, max]`.
+    EqualWidth,
+    /// Bins holding (approximately) equal record counts.
+    EqualFrequency,
+}
+
+/// Result of discretizing one column: the derived nominal attribute plus
+/// each record's bin code.
+#[derive(Debug, Clone)]
+pub struct Discretized {
+    /// Nominal attribute whose values are interval labels like `"20-30"`.
+    pub attribute: Attribute,
+    /// Bin code per input row.
+    pub codes: Vec<ValueId>,
+    /// The bin edges: bin `i` covers `[edges[i], edges[i+1])` (last bin is
+    /// closed on the right).
+    pub edges: Vec<f64>,
+}
+
+/// Discretize a numeric column into `bins` intervals.
+///
+/// # Errors
+/// Rejects `bins == 0`, empty columns, and non-finite values.
+pub fn discretize(
+    name: &str,
+    column: &[f64],
+    bins: usize,
+    scheme: Binning,
+) -> Result<Discretized, DataError> {
+    if bins == 0 {
+        return Err(DataError::InvalidDiscretization("zero bins".into()));
+    }
+    if column.is_empty() {
+        return Err(DataError::InvalidDiscretization(format!(
+            "empty column `{name}`"
+        )));
+    }
+    if column.iter().any(|v| !v.is_finite()) {
+        return Err(DataError::InvalidDiscretization(format!(
+            "non-finite value in column `{name}`"
+        )));
+    }
+    if bins > u16::MAX as usize {
+        return Err(DataError::InvalidDiscretization(format!(
+            "{bins} bins exceed the value-code space"
+        )));
+    }
+    let edges = match scheme {
+        Binning::EqualWidth => equal_width_edges(column, bins),
+        Binning::EqualFrequency => equal_frequency_edges(column, bins),
+    };
+    let codes = column.iter().map(|&v| bin_of(&edges, v)).collect();
+    let labels: Vec<String> = edges
+        .windows(2)
+        .map(|w| format!("{:.4}-{:.4}", w[0], w[1]))
+        .collect();
+    Ok(Discretized {
+        attribute: Attribute::new(name, labels),
+        codes,
+        edges,
+    })
+}
+
+fn equal_width_edges(column: &[f64], bins: usize) -> Vec<f64> {
+    let min = column.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = column.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    (0..=bins).map(|i| min + width * i as f64).collect()
+}
+
+fn equal_frequency_edges(column: &[f64], bins: usize) -> Vec<f64> {
+    let mut sorted: Vec<f64> = column.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    let mut edges = Vec::with_capacity(bins + 1);
+    edges.push(sorted[0]);
+    for i in 1..bins {
+        let idx = (i * n / bins).min(n - 1);
+        let e = sorted[idx];
+        // Keep edges strictly increasing even with heavy ties.
+        if e > *edges.last().expect("nonempty") {
+            edges.push(e);
+        }
+    }
+    let last = sorted[n - 1];
+    if last > *edges.last().expect("nonempty") {
+        edges.push(last);
+    } else {
+        edges.push(*edges.last().expect("nonempty") + 1.0);
+    }
+    edges
+}
+
+fn bin_of(edges: &[f64], v: f64) -> ValueId {
+    let nbins = edges.len() - 1;
+    match edges.binary_search_by(|e| e.partial_cmp(&v).expect("finite")) {
+        Ok(i) => (i.min(nbins - 1)) as ValueId,
+        Err(i) => (i.saturating_sub(1).min(nbins - 1)) as ValueId,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_bins_ages() {
+        let ages = [22.0, 25.0, 31.0, 38.0, 45.0, 49.9];
+        let d = discretize("Age", &ages, 3, Binning::EqualWidth).unwrap();
+        // Edges 22, ~31.3, ~40.6, 49.9
+        assert_eq!(d.attribute.domain_size(), 3);
+        assert_eq!(d.codes, vec![0, 0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let col: Vec<f64> = (0..90).map(|i| i as f64).collect();
+        let d = discretize("X", &col, 3, Binning::EqualFrequency).unwrap();
+        let mut counts = [0usize; 3];
+        for &c in &d.codes {
+            counts[c as usize] += 1;
+        }
+        assert_eq!(counts, [30, 30, 30]);
+    }
+
+    #[test]
+    fn constant_column_yields_single_usable_bin() {
+        let col = [5.0; 10];
+        let d = discretize("C", &col, 4, Binning::EqualWidth).unwrap();
+        assert!(d.codes.iter().all(|&c| (c as usize) < d.attribute.domain_size()));
+        let df = discretize("C", &col, 4, Binning::EqualFrequency).unwrap();
+        assert!(df.codes.iter().all(|&c| (c as usize) < df.attribute.domain_size()));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(discretize("X", &[1.0], 0, Binning::EqualWidth).is_err());
+        assert!(discretize("X", &[], 2, Binning::EqualWidth).is_err());
+        assert!(discretize("X", &[f64::NAN], 2, Binning::EqualWidth).is_err());
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let col = [0.0, 10.0];
+        let d = discretize("X", &col, 2, Binning::EqualWidth).unwrap();
+        assert_eq!(d.codes[1] as usize, d.attribute.domain_size() - 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn every_value_gets_a_valid_bin(col in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                        bins in 1usize..12) {
+            for scheme in [Binning::EqualWidth, Binning::EqualFrequency] {
+                let d = discretize("X", &col, bins, scheme).unwrap();
+                proptest::prop_assert_eq!(d.codes.len(), col.len());
+                for &c in &d.codes {
+                    proptest::prop_assert!((c as usize) < d.attribute.domain_size());
+                }
+                proptest::prop_assert!(d.edges.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

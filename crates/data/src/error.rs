@@ -1,0 +1,60 @@
+//! Typed errors for the data substrate.
+
+use std::fmt;
+
+/// Errors raised while building schemas and datasets or resolving subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was used twice in one schema.
+    DuplicateAttribute(String),
+    /// An attribute name or id does not exist in the schema.
+    UnknownAttribute(String),
+    /// A value label does not exist in the named attribute's domain.
+    UnknownValue { attribute: String, value: String },
+    /// A record had the wrong number of fields for the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A record carried a value code outside its attribute's domain.
+    ValueOutOfDomain {
+        attribute: String,
+        code: u16,
+        domain: usize,
+    },
+    /// A range specification selected no values for some attribute.
+    EmptyRange(String),
+    /// Discretization was asked for zero bins or got an empty column.
+    InvalidDiscretization(String),
+    /// A parse error in one of the textual dataset formats.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute `{name}` in schema")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::UnknownValue { attribute, value } => {
+                write!(f, "unknown value `{value}` for attribute `{attribute}`")
+            }
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "record has {got} fields but the schema has {expected}")
+            }
+            DataError::ValueOutOfDomain {
+                attribute,
+                code,
+                domain,
+            } => write!(
+                f,
+                "value code {code} out of domain (size {domain}) for attribute `{attribute}`"
+            ),
+            DataError::EmptyRange(attr) => {
+                write!(f, "range selection for attribute `{attr}` is empty")
+            }
+            DataError::InvalidDiscretization(msg) => write!(f, "invalid discretization: {msg}"),
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,281 @@
+//! Itemsets: sorted sets of global item ids.
+//!
+//! In the relational model an itemset holds at most one item per attribute
+//! (a record has exactly one value per attribute, so two items on the same
+//! attribute can never co-occur). Itemsets are kept as sorted `ItemId`
+//! vectors, which — because item ids are assigned contiguously attribute by
+//! attribute — also keeps them sorted by attribute.
+
+use crate::attribute::ItemId;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sorted, deduplicated set of items (paper §2.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Itemset(Vec<ItemId>);
+
+impl Itemset {
+    /// The empty itemset.
+    pub fn empty() -> Self {
+        Itemset(Vec::new())
+    }
+
+    /// Singleton itemset.
+    pub fn singleton(item: ItemId) -> Self {
+        Itemset(vec![item])
+    }
+
+    /// Build from any iterator (sorts and deduplicates).
+    pub fn from_items(items: impl IntoIterator<Item = ItemId>) -> Self {
+        let mut v: Vec<ItemId> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Itemset(v)
+    }
+
+    /// Build from a vector known to be sorted and deduplicated.
+    pub fn from_sorted(v: Vec<ItemId>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        Itemset(v)
+    }
+
+    /// Number of items — the itemset's *length* `C_I` (paper Table 3), which
+    /// is also the level at which it lives in the IT-tree (Lemma 4.3).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The items in ascending id order.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.0.binary_search(&item).is_ok()
+    }
+
+    /// True when `self ⊆ other` (merge scan).
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut j = 0usize;
+        for &x in &self.0 {
+            while j < other.0.len() && other.0[j] < x {
+                j += 1;
+            }
+            if j >= other.0.len() || other.0[j] != x {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Itemset(out)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(&self, other: &Itemset) -> Itemset {
+        Itemset(
+            self.0
+                .iter()
+                .copied()
+                .filter(|i| !other.contains(*i))
+                .collect(),
+        )
+    }
+
+    /// Itemset with one extra item inserted (no-op if already present).
+    pub fn with_item(&self, item: ItemId) -> Itemset {
+        match self.0.binary_search(&item) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = self.0.clone();
+                v.insert(pos, item);
+                Itemset(v)
+            }
+        }
+    }
+
+    /// All nonempty proper subsets (for brute-force rule generation in
+    /// tests; exponential — only call on small itemsets).
+    pub fn proper_subsets(&self) -> Vec<Itemset> {
+        let n = self.0.len();
+        assert!(n <= 20, "proper_subsets is exponential; itemset too large");
+        let mut out = Vec::new();
+        for mask in 1..((1u32 << n) - 1) {
+            let items = (0..n)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| self.0[b])
+                .collect();
+            out.push(Itemset(items));
+        }
+        out
+    }
+
+    /// True when the itemset respects the relational invariant: at most one
+    /// item per attribute of `schema`.
+    pub fn is_relational(&self, schema: &Schema) -> bool {
+        let mut prev = None;
+        for &item in &self.0 {
+            let a = schema.item_attribute(item);
+            if prev == Some(a) {
+                return false;
+            }
+            prev = Some(a);
+        }
+        true
+    }
+
+    /// Render with attribute/value names from the schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> ItemsetDisplay<'a> {
+        ItemsetDisplay {
+            itemset: self,
+            schema,
+        }
+    }
+}
+
+impl std::borrow::Borrow<[ItemId]> for Itemset {
+    fn borrow(&self) -> &[ItemId] {
+        &self.0
+    }
+}
+
+impl FromIterator<ItemId> for Itemset {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        Itemset::from_items(iter)
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, item) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Schema-aware pretty printer returned by [`Itemset::display`].
+pub struct ItemsetDisplay<'a> {
+    itemset: &'a Itemset,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for ItemsetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &item) in self.itemset.items().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.schema.item_label(item))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn is(v: &[u32]) -> Itemset {
+        Itemset::from_items(v.iter().map(|&x| ItemId(x)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        assert_eq!(is(&[5, 1, 3, 1]), is(&[1, 3, 5]));
+        assert_eq!(is(&[5, 1, 3, 1]).len(), 3);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = is(&[1, 3]);
+        let b = is(&[1, 2, 3, 4]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Itemset::empty().is_subset_of(&a));
+        assert_eq!(a.union(&is(&[2, 3])), is(&[1, 2, 3]));
+        assert_eq!(b.minus(&a), is(&[2, 4]));
+    }
+
+    #[test]
+    fn with_item_inserts_in_order() {
+        let a = is(&[1, 5]);
+        assert_eq!(a.with_item(ItemId(3)), is(&[1, 3, 5]));
+        assert_eq!(a.with_item(ItemId(5)), a);
+    }
+
+    #[test]
+    fn proper_subsets_enumerates_all() {
+        let subs = is(&[1, 2, 3]).proper_subsets();
+        assert_eq!(subs.len(), 6); // 2^3 - 2
+        assert!(subs.contains(&is(&[1])));
+        assert!(subs.contains(&is(&[2, 3])));
+        assert!(!subs.contains(&is(&[1, 2, 3])));
+        assert!(!subs.contains(&Itemset::empty()));
+    }
+
+    #[test]
+    fn relational_invariant_checks_one_item_per_attribute() {
+        let s = SchemaBuilder::new()
+            .attribute("A", ["a0", "a1"])
+            .attribute("B", ["b0", "b1"])
+            .build()
+            .unwrap();
+        assert!(is(&[0, 2]).is_relational(&s)); // A=a0, B=b0
+        assert!(!is(&[0, 1]).is_relational(&s)); // two A values
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let s = SchemaBuilder::new()
+            .attribute("Age", ["20-30", "30-40"])
+            .attribute("Salary", ["90K-120K"])
+            .build()
+            .unwrap();
+        let i = is(&[0, 2]);
+        assert_eq!(i.display(&s).to_string(), "(Age=20-30, Salary=90K-120K)");
+    }
+}

@@ -1,0 +1,45 @@
+//! Relational data model substrate for COLARM (EDBT 2014).
+//!
+//! COLARM mines *localized* association rules over a relational dataset:
+//! every record has exactly one (possibly discretized) value per attribute,
+//! an *item* is an `(attribute, value)` pair, and an *itemset* is a set of
+//! items with at most one item per attribute (paper §2.1).
+//!
+//! This crate provides everything below the mining layer:
+//!
+//! * [`Schema`] / [`Attribute`] — nominal attribute catalogs with a dense
+//!   global [`ItemId`] encoding of attribute–value pairs.
+//! * [`Dataset`] — row store of records plus a [`VerticalIndex`] of per-item
+//!   tid-lists (the vertical format CHARM mines over).
+//! * [`Tidset`] — sorted transaction-id lists with merge/galloping set
+//!   algebra; the unit of all support counting in COLARM.
+//! * [`Itemset`] — sorted item-id sets with subset/union algebra and the
+//!   multidimensional bounding-box semantics of paper Figure 1.
+//! * [`RangeSpec`] / [`FocalSubset`] — the query-time subset-selection
+//!   algebra (`Arange` of paper §2.2), including the contained / partially
+//!   overlapped / disjoint classification of paper §3.4.
+//! * [`discretize`] — equal-width / equal-frequency binning for quantitative
+//!   attributes (paper §2.1 footnote 3).
+//! * [`synth`] — the Table 1 salary example and seeded generators standing
+//!   in for the UCI chess / mushroom / PUMSB benchmarks (see DESIGN.md for
+//!   the substitution rationale).
+//! * [`io`] — a small TSV relational format and FIMI `.dat` export.
+
+pub mod attribute;
+pub mod dataset;
+pub mod discretize;
+pub mod error;
+pub mod io;
+pub mod itemset;
+pub mod schema;
+pub mod subset;
+pub mod synth;
+pub mod tidset;
+
+pub use attribute::{Attribute, AttributeId, Item, ItemId, ValueId};
+pub use dataset::{Dataset, DatasetBuilder, VerticalIndex};
+pub use error::DataError;
+pub use itemset::Itemset;
+pub use schema::{Schema, SchemaBuilder};
+pub use subset::{FocalSubset, Overlap, RangeSpec};
+pub use tidset::Tidset;

@@ -1,0 +1,269 @@
+//! Schemas: ordered attribute catalogs with the global item encoding.
+
+use crate::attribute::{Attribute, AttributeId, Item, ItemId, ValueId};
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An ordered collection of nominal attributes.
+///
+/// The schema owns the dense [`ItemId`] encoding: attribute `a`'s value `v`
+/// maps to `offsets[a] + v`. All itemset geometry (paper Figure 1) is
+/// derived from the schema: the bounding box of an itemset spans the single
+/// selected value on attributes the itemset constrains and the full domain
+/// on every other attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "SchemaData", into = "SchemaData")]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    /// `offsets[a]` = first item id of attribute `a`; a final sentinel holds
+    /// the total item count.
+    offsets: Vec<u32>,
+    by_name: HashMap<String, AttributeId>,
+}
+
+/// Serialized form of a schema: only the attributes are stored; the item
+/// offsets and the name-lookup map are derived on deserialization.
+#[derive(Serialize, Deserialize)]
+struct SchemaData {
+    attributes: Vec<Attribute>,
+}
+
+impl TryFrom<SchemaData> for Schema {
+    type Error = DataError;
+    fn try_from(data: SchemaData) -> Result<Self, DataError> {
+        Schema::new(data.attributes)
+    }
+}
+
+impl From<Schema> for SchemaData {
+    fn from(schema: Schema) -> SchemaData {
+        SchemaData {
+            attributes: schema.attributes,
+        }
+    }
+}
+
+impl Schema {
+    /// Build a schema from attributes, rejecting duplicate names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, DataError> {
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        let mut offsets = Vec::with_capacity(attributes.len() + 1);
+        let mut next = 0u32;
+        for (i, attr) in attributes.iter().enumerate() {
+            if by_name
+                .insert(attr.name().to_string(), AttributeId(i as u16))
+                .is_some()
+            {
+                return Err(DataError::DuplicateAttribute(attr.name().to_string()));
+            }
+            offsets.push(next);
+            next += attr.domain_size() as u32;
+        }
+        offsets.push(next);
+        Ok(Schema {
+            attributes,
+            offsets,
+            by_name,
+        })
+    }
+
+    /// Number of attributes (`n` in the paper).
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Total number of distinct items across all attributes.
+    pub fn num_items(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0) as usize
+    }
+
+    /// The attribute with the given id.
+    pub fn attribute(&self, id: AttributeId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    /// All attributes in schema order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Look an attribute up by name.
+    pub fn attribute_by_name(&self, name: &str) -> Result<AttributeId, DataError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Encode an `(attribute, value)` pair as a global item id.
+    #[inline]
+    pub fn encode(&self, attribute: AttributeId, value: ValueId) -> ItemId {
+        debug_assert!((value as usize) < self.attribute(attribute).domain_size());
+        ItemId(self.offsets[attribute.index()] + value as u32)
+    }
+
+    /// Encode by attribute and value *names*.
+    pub fn encode_named(&self, attribute: &str, value: &str) -> Result<ItemId, DataError> {
+        let aid = self.attribute_by_name(attribute)?;
+        let v = self
+            .attribute(aid)
+            .value_code(value)
+            .ok_or_else(|| DataError::UnknownValue {
+                attribute: attribute.to_string(),
+                value: value.to_string(),
+            })?;
+        Ok(self.encode(aid, v))
+    }
+
+    /// Decode a global item id back to its `(attribute, value)` pair.
+    #[inline]
+    pub fn decode(&self, item: ItemId) -> Item {
+        let a = match self.offsets.binary_search(&item.0) {
+            Ok(i) if i < self.attributes.len() => i,
+            Ok(i) => i - 1, // sentinel hit can only happen on malformed ids
+            Err(i) => i - 1,
+        };
+        Item {
+            attribute: AttributeId(a as u16),
+            value: (item.0 - self.offsets[a]) as ValueId,
+        }
+    }
+
+    /// Attribute that a global item id belongs to.
+    #[inline]
+    pub fn item_attribute(&self, item: ItemId) -> AttributeId {
+        self.decode(item).attribute
+    }
+
+    /// Human-readable `Attr=Value` label for an item.
+    pub fn item_label(&self, item: ItemId) -> String {
+        let it = self.decode(item);
+        let attr = self.attribute(it.attribute);
+        format!(
+            "{}={}",
+            attr.name(),
+            attr.value_label(it.value).unwrap_or("?")
+        )
+    }
+
+    /// First item id of the given attribute (items of attribute `a` are the
+    /// contiguous range `item_base(a) .. item_base(a) + domain_size`).
+    #[inline]
+    pub fn item_base(&self, attribute: AttributeId) -> u32 {
+        self.offsets[attribute.index()]
+    }
+
+    /// Iterate over all `(AttributeId, domain_size)` pairs.
+    pub fn dimensions(&self) -> impl Iterator<Item = (AttributeId, usize)> + '_ {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttributeId(i as u16), a.domain_size()))
+    }
+
+}
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Start an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a nominal attribute with the given value domain.
+    pub fn attribute(
+        mut self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.attributes.push(Attribute::new(name, values));
+        self
+    }
+
+    /// Finish, validating attribute-name uniqueness.
+    pub fn build(self) -> Result<Arc<Schema>, DataError> {
+        Schema::new(self.attributes).map(Arc::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        SchemaBuilder::new()
+            .attribute("Age", ["20-30", "30-40", "40-50"])
+            .attribute("Salary", ["low", "mid", "high", "top"])
+            .attribute("Gender", ["M", "F"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_items() {
+        let s = schema();
+        assert_eq!(s.num_items(), 9);
+        for (aid, dom) in s.dimensions() {
+            for v in 0..dom as ValueId {
+                let id = s.encode(aid, v);
+                let item = s.decode(id);
+                assert_eq!(item.attribute, aid);
+                assert_eq!(item.value, v);
+                assert_eq!(s.item_attribute(id), aid);
+            }
+        }
+    }
+
+    #[test]
+    fn named_encoding_and_labels() {
+        let s = schema();
+        let id = s.encode_named("Salary", "high").unwrap();
+        assert_eq!(id, ItemId(3 + 2));
+        assert_eq!(s.item_label(id), "Salary=high");
+        assert!(matches!(
+            s.encode_named("Salary", "gigantic"),
+            Err(DataError::UnknownValue { .. })
+        ));
+        assert!(matches!(
+            s.encode_named("Bonus", "high"),
+            Err(DataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = SchemaBuilder::new()
+            .attribute("A", ["x"])
+            .attribute("A", ["y"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("A".into()));
+    }
+
+    #[test]
+    fn serde_round_trip_restores_lookup() {
+        let s = schema();
+        let json = serde_json::to_string(&*s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, *s);
+        // The regression this guards: the name lookup must work after
+        // deserialization.
+        assert_eq!(back.attribute_by_name("Gender"), s.attribute_by_name("Gender"));
+        assert_eq!(back.num_items(), s.num_items());
+    }
+
+    #[test]
+    fn item_ranges_are_contiguous_per_attribute() {
+        let s = schema();
+        assert_eq!(s.item_base(AttributeId(0)), 0);
+        assert_eq!(s.item_base(AttributeId(1)), 3);
+        assert_eq!(s.item_base(AttributeId(2)), 7);
+    }
+}

@@ -1,0 +1,487 @@
+//! Focal-subset selection: the `Arange` algebra of paper §2.2.
+//!
+//! A localized mining query selects a *focal subset* `DQ` by listing, for
+//! some attributes, the set of admissible values; unconstrained attributes
+//! default to their full domain. Following the paper's simplifying
+//! assumption, selections align with the prestored value cells (no sub-cell
+//! ranges), so a [`RangeSpec`] is exactly a product of per-attribute value
+//! sets.
+//!
+//! The module also implements the contained / partially-overlapped /
+//! disjoint classification of MIP bounding boxes against `DQ` (paper §3.4,
+//! Figure 4): an itemset's box spans the single selected value on its item
+//! attributes and the whole domain elsewhere, so
+//!
+//! * it is **disjoint** from `DQ` iff some item's value is excluded by the
+//!   range;
+//! * it is **contained** iff every *constrained* attribute is either pinned
+//!   by an item to an admissible value or constrained to its full domain
+//!   (Lemma 4.5 then gives `supp_Q = supp_G`);
+//! * otherwise it **partially overlaps** and needs a record-level check.
+
+use crate::attribute::{AttributeId, ValueId};
+use crate::dataset::{Dataset, VerticalIndex};
+use crate::error::DataError;
+use crate::itemset::Itemset;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Relationship between an itemset's bounding box and the focal subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Overlap {
+    /// `box(I) ⊆ region(DQ)` — local support equals global support.
+    Contained,
+    /// Boxes intersect but containment fails — record-level check needed.
+    Partial,
+    /// No record of `DQ` can support the itemset.
+    Disjoint,
+}
+
+/// A product of per-attribute value selections defining `DQ`.
+///
+/// Attributes absent from the map are unconstrained (full domain).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RangeSpec {
+    selections: BTreeMap<AttributeId, BTreeSet<ValueId>>,
+}
+
+impl RangeSpec {
+    /// The unconstrained range (selects the whole dataset).
+    pub fn all() -> Self {
+        RangeSpec::default()
+    }
+
+    /// Constrain `attribute` to the given values. Replaces any previous
+    /// selection for that attribute. Empty selections are rejected at
+    /// [`RangeSpec::validate`] / resolution time.
+    pub fn with(mut self, attribute: AttributeId, values: impl IntoIterator<Item = ValueId>) -> Self {
+        self.selections
+            .insert(attribute, values.into_iter().collect());
+        self
+    }
+
+    /// Constrain using attribute / value names.
+    pub fn with_named(
+        self,
+        schema: &Schema,
+        attribute: &str,
+        values: &[&str],
+    ) -> Result<Self, DataError> {
+        let aid = schema.attribute_by_name(attribute)?;
+        let attr = schema.attribute(aid);
+        let mut codes = BTreeSet::new();
+        for v in values {
+            codes.insert(attr.value_code(v).ok_or_else(|| DataError::UnknownValue {
+                attribute: attribute.to_string(),
+                value: v.to_string(),
+            })?);
+        }
+        let mut spec = self;
+        spec.selections.insert(aid, codes);
+        Ok(spec)
+    }
+
+    /// The constrained attributes and their value sets.
+    pub fn selections(&self) -> &BTreeMap<AttributeId, BTreeSet<ValueId>> {
+        &self.selections
+    }
+
+    /// Number of constrained attributes (`k` in the paper's query `Q`).
+    pub fn num_constrained(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// True when nothing is constrained.
+    pub fn is_all(&self) -> bool {
+        self.selections.is_empty()
+    }
+
+    /// Check the spec against a schema: attributes in range of the schema,
+    /// value codes within domains, no empty selections.
+    pub fn validate(&self, schema: &Schema) -> Result<(), DataError> {
+        for (&aid, values) in &self.selections {
+            if aid.index() >= schema.num_attributes() {
+                return Err(DataError::UnknownAttribute(format!("{aid}")));
+            }
+            let attr = schema.attribute(aid);
+            if values.is_empty() {
+                return Err(DataError::EmptyRange(attr.name().to_string()));
+            }
+            for &v in values {
+                if v as usize >= attr.domain_size() {
+                    return Err(DataError::ValueOutOfDomain {
+                        attribute: attr.name().to_string(),
+                        code: v,
+                        domain: attr.domain_size(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The admissible-value test for one attribute.
+    #[inline]
+    pub fn admits(&self, attribute: AttributeId, value: ValueId) -> bool {
+        self.selections
+            .get(&attribute)
+            .is_none_or(|s| s.contains(&value))
+    }
+
+    /// True when the selection for `attribute` covers its entire domain
+    /// (explicitly or by being absent).
+    pub fn covers_domain(&self, schema: &Schema, attribute: AttributeId) -> bool {
+        match self.selections.get(&attribute) {
+            None => true,
+            Some(s) => s.len() == schema.attribute(attribute).domain_size(),
+        }
+    }
+
+    /// True when record `tid` of `dataset` falls inside the range.
+    pub fn admits_record(&self, dataset: &Dataset, tid: u32) -> bool {
+        self.selections
+            .iter()
+            .all(|(&aid, s)| s.contains(&dataset.value(tid, aid)))
+    }
+
+    /// Classify an itemset's bounding box against this range (paper §3.4).
+    pub fn classify(&self, schema: &Schema, itemset: &Itemset) -> Overlap {
+        // Disjoint: some item's value is excluded.
+        for &item in itemset.items() {
+            let it = schema.decode(item);
+            if !self.admits(it.attribute, it.value) {
+                return Overlap::Disjoint;
+            }
+        }
+        // Contained: every constrained attribute is pinned by an item (to an
+        // admitted value, checked above) or covers its whole domain.
+        let mut item_attrs: Vec<AttributeId> = itemset
+            .items()
+            .iter()
+            .map(|&i| schema.item_attribute(i))
+            .collect();
+        item_attrs.sort_unstable();
+        for (&aid, values) in &self.selections {
+            if values.len() == schema.attribute(aid).domain_size() {
+                continue;
+            }
+            if item_attrs.binary_search(&aid).is_err() {
+                return Overlap::Partial;
+            }
+        }
+        Overlap::Contained
+    }
+
+    /// Per-attribute hull `[lo, hi]` of the selection over the full schema:
+    /// the rectangle handed to the R-tree range search (exact per-value sets
+    /// are re-checked afterwards via [`RangeSpec::classify`]).
+    pub fn hull(&self, schema: &Schema) -> Vec<(ValueId, ValueId)> {
+        schema
+            .dimensions()
+            .map(|(aid, dom)| match self.selections.get(&aid) {
+                None => (0, (dom - 1) as ValueId),
+                Some(s) => (
+                    *s.first().expect("validated non-empty"),
+                    *s.last().expect("validated non-empty"),
+                ),
+            })
+            .collect()
+    }
+
+    /// Average normalized extent of the selection per attribute: the
+    /// `D^Q_avg` statistic of the paper's cost model (Table 3), i.e. the
+    /// mean over dimensions of `|selected values| / |domain|`.
+    pub fn avg_extent(&self, schema: &Schema) -> f64 {
+        let n = schema.num_attributes();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: f64 = schema
+            .dimensions()
+            .map(|(aid, dom)| match self.selections.get(&aid) {
+                None => 1.0,
+                Some(s) => s.len() as f64 / dom as f64,
+            })
+            .sum();
+        total / n as f64
+    }
+
+    /// Render with names from the schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> RangeSpecDisplay<'a> {
+        RangeSpecDisplay { spec: self, schema }
+    }
+}
+
+/// Schema-aware pretty printer returned by [`RangeSpec::display`].
+pub struct RangeSpecDisplay<'a> {
+    spec: &'a RangeSpec,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for RangeSpecDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.spec.is_all() {
+            return write!(f, "*");
+        }
+        for (i, (&aid, values)) in self.spec.selections.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            let attr = self.schema.attribute(aid);
+            write!(f, "{}={{", attr.name())?;
+            for (j, &v) in values.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", attr.value_label(v).unwrap_or("?"))?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A resolved focal subset: the range spec plus the tidset of records it
+/// selects (`DQ` and `|DQ|` of the paper).
+#[derive(Debug, Clone)]
+pub struct FocalSubset {
+    spec: RangeSpec,
+    tids: crate::tidset::Tidset,
+    universe: u32,
+}
+
+impl FocalSubset {
+    /// Resolve a range spec against a dataset using its vertical index:
+    /// intersect, across constrained attributes, the union of the selected
+    /// values' tid-lists. This is the SELECT (`σ`) machinery reused by all
+    /// plans.
+    pub fn resolve(
+        spec: RangeSpec,
+        dataset: &Dataset,
+        vertical: &VerticalIndex,
+    ) -> Result<Self, DataError> {
+        let schema = dataset.schema();
+        spec.validate(schema)?;
+        let mut tids: Option<crate::tidset::Tidset> = None;
+        for (&aid, values) in spec.selections() {
+            if spec.covers_domain(schema, aid) {
+                continue;
+            }
+            let mut union = crate::tidset::Tidset::new();
+            for &v in values {
+                union = union.union(vertical.tids(schema.encode(aid, v)));
+            }
+            tids = Some(match tids {
+                None => union,
+                Some(acc) => acc.intersect(&union),
+            });
+        }
+        let universe = dataset.num_records() as u32;
+        Ok(FocalSubset {
+            spec,
+            tids: tids.unwrap_or_else(|| crate::tidset::Tidset::full(universe)),
+            universe,
+        })
+    }
+
+    /// The originating range spec.
+    pub fn spec(&self) -> &RangeSpec {
+        &self.spec
+    }
+
+    /// Records of `DQ` as a tidset.
+    pub fn tids(&self) -> &crate::tidset::Tidset {
+        &self.tids
+    }
+
+    /// `|DQ|`.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True when no record matches the range.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// `|DQ| / |D|` — the focal fraction used throughout the experiments.
+    pub fn fraction(&self) -> f64 {
+        if self.universe == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.universe as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::schema::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn dataset() -> (Dataset, VerticalIndex) {
+        let schema = SchemaBuilder::new()
+            .attribute("Loc", ["Boston", "SFO", "Seattle"])
+            .attribute("Gender", ["M", "F"])
+            .attribute("Age", ["20-30", "30-40"])
+            .build()
+            .unwrap();
+        let mut b = DatasetBuilder::new(schema);
+        for rec in [
+            [0u16, 0, 1],
+            [0, 1, 0],
+            [1, 0, 0],
+            [2, 1, 1],
+            [2, 1, 1],
+            [2, 1, 0],
+        ] {
+            b.push(&rec).unwrap();
+        }
+        let d = b.build();
+        let v = VerticalIndex::build(&d);
+        (d, v)
+    }
+
+    fn schema_of(d: &Dataset) -> Arc<Schema> {
+        d.schema().clone()
+    }
+
+    #[test]
+    fn resolve_intersects_across_attributes() {
+        let (d, v) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all()
+            .with_named(&s, "Loc", &["Seattle"])
+            .unwrap()
+            .with_named(&s, "Gender", &["F"])
+            .unwrap();
+        let fs = FocalSubset::resolve(spec, &d, &v).unwrap();
+        assert_eq!(fs.tids().as_slice(), &[3, 4, 5]);
+        assert!((fs.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_selects_everything() {
+        let (d, v) = dataset();
+        let fs = FocalSubset::resolve(RangeSpec::all(), &d, &v).unwrap();
+        assert_eq!(fs.len(), d.num_records());
+        assert!(fs.spec().is_all());
+    }
+
+    #[test]
+    fn multi_value_selection_unions() {
+        let (d, v) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all()
+            .with_named(&s, "Loc", &["Boston", "SFO"])
+            .unwrap();
+        let fs = FocalSubset::resolve(spec, &d, &v).unwrap();
+        assert_eq!(fs.tids().as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let (d, v) = dataset();
+        let spec = RangeSpec::all().with(AttributeId(0), []);
+        assert!(matches!(
+            FocalSubset::resolve(spec, &d, &v),
+            Err(DataError::EmptyRange(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_domain_value_rejected() {
+        let (d, v) = dataset();
+        let spec = RangeSpec::all().with(AttributeId(1), [9u16]);
+        assert!(matches!(
+            FocalSubset::resolve(spec, &d, &v),
+            Err(DataError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn classification_matches_paper_cases() {
+        let (d, _) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all()
+            .with_named(&s, "Loc", &["Seattle"])
+            .unwrap()
+            .with_named(&s, "Gender", &["F"])
+            .unwrap();
+        // Itemset pinned inside the range on all constrained attrs → contained.
+        let inside = Itemset::from_items([
+            s.encode_named("Loc", "Seattle").unwrap(),
+            s.encode_named("Gender", "F").unwrap(),
+        ]);
+        assert_eq!(spec.classify(&s, &inside), Overlap::Contained);
+        // Itemset on an excluded value → disjoint.
+        let out = Itemset::singleton(s.encode_named("Loc", "Boston").unwrap());
+        assert_eq!(spec.classify(&s, &out), Overlap::Disjoint);
+        // Itemset free on a constrained attribute → partial.
+        let free = Itemset::singleton(s.encode_named("Age", "20-30").unwrap());
+        assert_eq!(spec.classify(&s, &free), Overlap::Partial);
+        // Pinned on one constrained attr but free on the other → partial.
+        let half = Itemset::singleton(s.encode_named("Gender", "F").unwrap());
+        assert_eq!(spec.classify(&s, &half), Overlap::Partial);
+    }
+
+    #[test]
+    fn full_domain_constraint_is_no_constraint() {
+        let (d, _) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all()
+            .with_named(&s, "Gender", &["M", "F"])
+            .unwrap()
+            .with_named(&s, "Loc", &["Seattle"])
+            .unwrap();
+        let pinned = Itemset::singleton(s.encode_named("Loc", "Seattle").unwrap());
+        // Gender spans its whole domain, so containment should hold.
+        assert_eq!(spec.classify(&s, &pinned), Overlap::Contained);
+    }
+
+    #[test]
+    fn contained_implies_local_equals_global_support() {
+        // Lemma 4.5 sanity: every record supporting a contained itemset is
+        // inside DQ.
+        let (d, v) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all().with_named(&s, "Loc", &["Seattle"]).unwrap();
+        let iset = Itemset::singleton(s.encode_named("Loc", "Seattle").unwrap());
+        assert_eq!(spec.classify(&s, &iset), Overlap::Contained);
+        let fs = FocalSubset::resolve(spec, &d, &v).unwrap();
+        let global = v.itemset_tids(&iset);
+        assert_eq!(global.intersect_count(fs.tids()), global.len());
+    }
+
+    #[test]
+    fn hull_and_extent() {
+        let (d, _) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all()
+            .with_named(&s, "Loc", &["Boston", "Seattle"])
+            .unwrap();
+        assert_eq!(spec.hull(&s), vec![(0, 2), (0, 1), (0, 1)]);
+        // extents: Loc 2/3, Gender 1, Age 1 → avg (2/3 + 1 + 1)/3
+        assert!((spec.avg_extent(&s) - (2.0 / 3.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let (d, _) = dataset();
+        let s = schema_of(&d);
+        let spec = RangeSpec::all()
+            .with_named(&s, "Gender", &["F"])
+            .unwrap()
+            .with_named(&s, "Loc", &["Seattle"])
+            .unwrap();
+        assert_eq!(
+            spec.display(&s).to_string(),
+            "Loc={Seattle} AND Gender={F}"
+        );
+        assert_eq!(RangeSpec::all().display(&s).to_string(), "*");
+    }
+}

@@ -1,0 +1,252 @@
+//! Seeded latent-cluster + pattern-template dataset generator.
+//!
+//! The model, per record:
+//!
+//! 1. Draw a latent **cluster**. Each cluster *focuses* a random subset of
+//!    attributes on a preferred value; a record in the cluster takes the
+//!    preferred value with probability `focus_strength`. Clusters create the
+//!    regime structure behind Simpson's paradox — different subsets of the
+//!    data genuinely obey different rules — and, with more than one cluster,
+//!    multi-modal closed-itemset length distributions (mushroom).
+//! 2. For every unfocused attribute, draw a value from a **top-heavy**
+//!    distribution: probability `top_mass` for the attribute's first value,
+//!    the remainder Zipf(`skew`)-distributed over the rest. `top_mass`
+//!    controls density — how quickly closed-itemset counts explode as the
+//!    primary threshold drops (paper Figure 8).
+//! 3. With probability `template_prob`, overlay one of a fixed pool of
+//!    **templates** (random partial assignments), creating the correlated
+//!    itemsets the MIP-index prestores.
+//!
+//! Everything is driven by a single seed, so datasets are bit-reproducible
+//! across runs and platforms (rand's `StdRng` is a portable PRNG).
+
+use crate::attribute::ValueId;
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::schema::{Schema, SchemaBuilder};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the synthetic relational dataset generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset name; attribute `i` is named `"{name[0..2]}{i}"`-style.
+    pub name: String,
+    /// PRNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of records to generate.
+    pub records: usize,
+    /// Domain size of each attribute (defines the schema).
+    pub domains: Vec<usize>,
+    /// Probability mass of each attribute's first (modal) value.
+    pub top_mass: f64,
+    /// Zipf exponent spreading the remaining mass over the other values.
+    pub skew: f64,
+    /// Number of latent clusters (≥ 1).
+    pub clusters: usize,
+    /// Probability that a cluster focuses any given attribute.
+    pub cluster_focus: f64,
+    /// Probability that a focused attribute takes its preferred value.
+    pub focus_strength: f64,
+    /// Number of pattern templates in the pool.
+    pub templates: usize,
+    /// Items per template.
+    pub template_len: usize,
+    /// Probability that a record gets one template overlaid.
+    pub template_prob: f64,
+}
+
+impl SynthConfig {
+    fn build_schema(&self) -> std::sync::Arc<Schema> {
+        let mut builder = SchemaBuilder::new();
+        for (i, &d) in self.domains.iter().enumerate() {
+            let values: Vec<String> = (0..d).map(|v| format!("v{v}")).collect();
+            builder = builder.attribute(format!("a{i}"), values);
+        }
+        builder.build().expect("generated names are unique")
+    }
+}
+
+/// One latent cluster: preferred values for its focused attributes.
+struct Cluster {
+    /// `preferred[a] = Some(v)` when attribute `a` is focused on value `v`.
+    preferred: Vec<Option<ValueId>>,
+}
+
+/// Cumulative distribution over one attribute's domain.
+struct ValueDist {
+    cumulative: Vec<f64>,
+}
+
+impl ValueDist {
+    fn new(domain: usize, top_mass: f64, skew: f64) -> Self {
+        let mut weights = Vec::with_capacity(domain);
+        if domain == 1 {
+            weights.push(1.0);
+        } else {
+            weights.push(top_mass);
+            let rest: Vec<f64> = (1..domain).map(|v| 1.0 / (v as f64).powf(skew)).collect();
+            let rest_total: f64 = rest.iter().sum();
+            let scale = (1.0 - top_mass) / rest_total;
+            weights.extend(rest.iter().map(|w| w * scale));
+        }
+        let mut cumulative = Vec::with_capacity(domain);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall on the last bucket.
+        *cumulative.last_mut().expect("domain ≥ 1") = f64::INFINITY;
+        ValueDist { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> ValueId {
+        let x: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < x) as ValueId
+    }
+}
+
+/// Generate a dataset from `config`. Deterministic in the config.
+pub fn generate(config: &SynthConfig) -> Dataset {
+    assert!(!config.domains.is_empty(), "at least one attribute");
+    assert!(config.clusters >= 1, "at least one cluster");
+    assert!(
+        config.domains.iter().all(|&d| (1..=u16::MAX as usize).contains(&d)),
+        "domain sizes must fit value codes"
+    );
+    let schema = config.build_schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_attrs = config.domains.len();
+
+    let dists: Vec<ValueDist> = config
+        .domains
+        .iter()
+        .map(|&d| ValueDist::new(d, config.top_mass.clamp(0.0, 1.0), config.skew))
+        .collect();
+
+    let clusters: Vec<Cluster> = (0..config.clusters)
+        .map(|_| Cluster {
+            preferred: config
+                .domains
+                .iter()
+                .map(|&d| {
+                    if rng.gen::<f64>() < config.cluster_focus {
+                        Some(rng.gen_range(0..d) as ValueId)
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
+    // Templates: partial assignments of `template_len` random attributes.
+    let templates: Vec<Vec<(usize, ValueId)>> = (0..config.templates)
+        .map(|_| {
+            let mut attrs: Vec<usize> = (0..n_attrs).collect();
+            attrs.shuffle(&mut rng);
+            attrs
+                .into_iter()
+                .take(config.template_len.min(n_attrs))
+                .map(|a| (a, rng.gen_range(0..config.domains[a]) as ValueId))
+                .collect()
+        })
+        .collect();
+
+    let mut builder = DatasetBuilder::new(schema);
+    let mut record = vec![0 as ValueId; n_attrs];
+    for _ in 0..config.records {
+        let cluster = &clusters[rng.gen_range(0..clusters.len())];
+        for a in 0..n_attrs {
+            record[a] = match cluster.preferred[a] {
+                Some(p) if rng.gen::<f64>() < config.focus_strength => p,
+                _ => dists[a].sample(&mut rng),
+            };
+        }
+        if !templates.is_empty() && rng.gen::<f64>() < config.template_prob {
+            for &(a, v) in &templates[rng.gen_range(0..templates.len())] {
+                record[a] = v;
+            }
+        }
+        builder.push(&record).expect("generated values are in domain");
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::ItemId;
+    use crate::dataset::VerticalIndex;
+
+    fn tiny_config() -> SynthConfig {
+        SynthConfig {
+            name: "tiny".into(),
+            seed: 42,
+            records: 500,
+            domains: vec![2, 3, 4],
+            top_mass: 0.7,
+            skew: 1.0,
+            clusters: 2,
+            cluster_focus: 0.5,
+            focus_strength: 0.9,
+            templates: 2,
+            template_len: 2,
+            template_prob: 0.2,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&tiny_config());
+        let b = generate(&tiny_config());
+        for tid in 0..a.num_records() as u32 {
+            assert_eq!(a.record(tid), b.record(tid));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_data() {
+        let a = generate(&tiny_config());
+        let mut cfg = tiny_config();
+        cfg.seed = 43;
+        let b = generate(&cfg);
+        let same = (0..a.num_records() as u32).filter(|&t| a.record(t) == b.record(t)).count();
+        assert!(same < a.num_records(), "seeds should change the data");
+    }
+
+    #[test]
+    fn top_mass_controls_density() {
+        let mut dense = tiny_config();
+        dense.top_mass = 0.95;
+        dense.clusters = 1;
+        dense.cluster_focus = 0.0;
+        dense.template_prob = 0.0;
+        let d = generate(&dense);
+        let v = VerticalIndex::build(&d);
+        // First value of attribute 0 is item 0 and should dominate.
+        let share = v.tids(ItemId(0)).len() as f64 / d.num_records() as f64;
+        assert!(share > 0.85, "modal value share {share} too low");
+    }
+
+    #[test]
+    fn every_tid_appears_exactly_once_per_attribute() {
+        let d = generate(&tiny_config());
+        let v = VerticalIndex::build(&d);
+        let schema = d.schema();
+        for (aid, dom) in schema.dimensions() {
+            let total: usize = (0..dom as u16)
+                .map(|val| v.tids(schema.encode(aid, val)).len())
+                .sum();
+            assert_eq!(total, d.num_records());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn rejects_empty_schema() {
+        let mut cfg = tiny_config();
+        cfg.domains.clear();
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,111 @@
+//! The example salary dataset of paper Table 1, verbatim.
+//!
+//! Eleven anonymized IT-employee records over six attributes. This dataset
+//! drives the paper's §1.1 walkthrough: the global rule
+//! `RG = (Age=20-30 → Salary=90K-120K)` holds with 45 % support and 83 %
+//! confidence, while the localized query "female employees in Seattle"
+//! surfaces `RL = (Age=30-40 → Salary=90K-120K)` at 75 % support and 100 %
+//! confidence — a rule hidden in the global context (Simpson's paradox).
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::schema::{Schema, SchemaBuilder};
+use std::sync::Arc;
+
+/// Schema of the salary dataset (Table 1's six columns).
+pub fn salary_schema() -> Arc<Schema> {
+    SchemaBuilder::new()
+        .attribute("Company", ["IBM", "Google", "Microsoft", "Facebook"])
+        .attribute(
+            "Title",
+            [
+                "QA Lead", "Sw Engg", "Engg Mgr", "Tech Arch", "QA Mgr", "QA Engg",
+            ],
+        )
+        .attribute("Location", ["Boston", "SFO", "Seattle"])
+        .attribute("Gender", ["M", "F"])
+        .attribute("Age", ["20-30", "30-40", "40-50"])
+        .attribute(
+            "Salary",
+            ["30K-60K", "60K-90K", "90K-120K", "120K-150K"],
+        )
+        .build()
+        .expect("static schema is valid")
+}
+
+/// The eleven records of paper Table 1, in order.
+pub fn salary() -> Dataset {
+    let mut b = DatasetBuilder::new(salary_schema());
+    let rows: [[&str; 6]; 11] = [
+        ["IBM", "QA Lead", "Boston", "M", "30-40", "60K-90K"],
+        ["IBM", "Sw Engg", "Boston", "F", "20-30", "90K-120K"],
+        ["IBM", "Engg Mgr", "SFO", "M", "20-30", "90K-120K"],
+        ["Google", "Sw Engg", "SFO", "F", "20-30", "90K-120K"],
+        ["Google", "Sw Engg", "Boston", "F", "20-30", "90K-120K"],
+        ["Google", "Sw Engg", "Boston", "M", "20-30", "90K-120K"],
+        ["Google", "Tech Arch", "Boston", "M", "40-50", "120K-150K"],
+        ["Microsoft", "Engg Mgr", "Seattle", "F", "30-40", "90K-120K"],
+        ["Microsoft", "Sw Engg", "Seattle", "F", "30-40", "90K-120K"],
+        ["Facebook", "QA Mgr", "Seattle", "F", "30-40", "90K-120K"],
+        ["Facebook", "QA Engg", "Seattle", "F", "20-30", "30K-60K"],
+    ];
+    for row in rows {
+        b.push_named(&row).expect("static data matches schema");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::VerticalIndex;
+    use crate::itemset::Itemset;
+
+    #[test]
+    fn eleven_records_six_attributes() {
+        let d = salary();
+        assert_eq!(d.num_records(), 11);
+        assert_eq!(d.schema().num_attributes(), 6);
+    }
+
+    #[test]
+    fn global_rule_rg_numbers_match_paper() {
+        // RG = (A0 → S2): support 5/11 ≈ 45 %, confidence 5/6 ≈ 83 %.
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let s = d.schema();
+        let a0 = s.encode_named("Age", "20-30").unwrap();
+        let s2 = s.encode_named("Salary", "90K-120K").unwrap();
+        let body = Itemset::from_items([a0, s2]);
+        assert_eq!(v.support(&body), 5);
+        assert_eq!(v.support(&Itemset::singleton(a0)), 6);
+    }
+
+    #[test]
+    fn local_rule_rl_numbers_match_paper() {
+        // In the Seattle-female subset (last four records): RL = (A1 → S2)
+        // with support 3/4 = 75 % and confidence 3/3 = 100 %.
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let s = d.schema();
+        let spec = crate::subset::RangeSpec::all()
+            .with_named(s, "Location", &["Seattle"])
+            .unwrap()
+            .with_named(s, "Gender", &["F"])
+            .unwrap();
+        let fs = crate::subset::FocalSubset::resolve(spec, &d, &v).unwrap();
+        assert_eq!(fs.tids().as_slice(), &[7, 8, 9, 10]);
+        let a1 = s.encode_named("Age", "30-40").unwrap();
+        let s2 = s.encode_named("Salary", "90K-120K").unwrap();
+        let body = Itemset::from_items([a1, s2]);
+        let local_body = v.itemset_tids(&body).intersect_count(fs.tids());
+        let local_ante = v
+            .itemset_tids(&Itemset::singleton(a1))
+            .intersect_count(fs.tids());
+        assert_eq!(local_body, 3);
+        assert_eq!(local_ante, 3);
+        // And the global rule RG does NOT hold in this subset (1/4 support).
+        let a0 = s.encode_named("Age", "20-30").unwrap();
+        let rg_body = Itemset::from_items([a0, s2]);
+        assert_eq!(v.itemset_tids(&rg_body).intersect_count(fs.tids()), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Sorted transaction-id lists with merge / galloping set algebra.
+//!
+//! Every support computation in COLARM is a tidset operation: the global
+//! support of an itemset is the length of the intersection of its items'
+//! tid-lists, and the *local* support w.r.t. a focal subset `DQ` is
+//! `|tids(I) ∩ tids(DQ)|` (paper §2.2). Tidsets are stored as sorted,
+//! deduplicated `u32` vectors; intersections switch from linear merging to
+//! galloping (exponential) search when the operand sizes are lopsided,
+//! which is the common case when intersecting a large itemset tid-list with
+//! a small focal subset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How lopsided two tidsets must be before intersection switches from a
+/// linear merge to a gallop over the larger side.
+const GALLOP_RATIO: usize = 16;
+
+/// A sorted, deduplicated set of transaction (record) ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tidset(Vec<u32>);
+
+impl Tidset {
+    /// The empty tidset.
+    pub fn new() -> Self {
+        Tidset(Vec::new())
+    }
+
+    /// Tidset of the full universe `0..n`.
+    pub fn full(n: u32) -> Self {
+        Tidset((0..n).collect())
+    }
+
+    /// Build from a vector that is already sorted and deduplicated.
+    ///
+    /// Sortedness is checked with a debug assertion only; callers on hot
+    /// paths (the vertical index, CHARM) construct tidsets in order.
+    pub fn from_sorted(v: Vec<u32>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "tidset must be strictly sorted");
+        Tidset(v)
+    }
+
+    /// Build from an arbitrary iterator (sorts and deduplicates).
+    pub fn from_unsorted(it: impl IntoIterator<Item = u32>) -> Self {
+        let mut v: Vec<u32> = it.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Tidset(v)
+    }
+
+    /// Number of tids — i.e. the absolute support count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no tids are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, tid: u32) -> bool {
+        self.0.binary_search(&tid).is_ok()
+    }
+
+    /// Borrow the underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Iterate tids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Append a tid that is strictly greater than every present tid.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `tid` is not strictly greater.
+    pub fn push_monotonic(&mut self, tid: u32) {
+        debug_assert!(self.0.last().is_none_or(|&last| last < tid));
+        self.0.push(tid);
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Tidset) -> Tidset {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.is_empty() {
+            return Tidset::new();
+        }
+        let mut out = Vec::with_capacity(small.len());
+        if large.len() / small.len().max(1) >= GALLOP_RATIO {
+            // Gallop each element of the small side through the large side.
+            let mut base = 0usize;
+            for &t in &small.0 {
+                match gallop(&large.0[base..], t) {
+                    Ok(off) => {
+                        out.push(t);
+                        base += off + 1;
+                    }
+                    Err(off) => base += off,
+                }
+                if base >= large.0.len() {
+                    break;
+                }
+            }
+        } else {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < small.0.len() && j < large.0.len() {
+                match small.0[i].cmp(&large.0[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(small.0[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        Tidset(out)
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — the
+    /// record-level support check of the ELIMINATE operator.
+    pub fn intersect_count(&self, other: &Tidset) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.is_empty() {
+            return 0;
+        }
+        let mut count = 0usize;
+        if large.len() / small.len().max(1) >= GALLOP_RATIO {
+            let mut base = 0usize;
+            for &t in &small.0 {
+                match gallop(&large.0[base..], t) {
+                    Ok(off) => {
+                        count += 1;
+                        base += off + 1;
+                    }
+                    Err(off) => base += off,
+                }
+                if base >= large.0.len() {
+                    break;
+                }
+            }
+        } else {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < small.0.len() && j < large.0.len() {
+                match small.0[i].cmp(&large.0[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Tidset) -> Tidset {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Tidset(out)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(&self, other: &Tidset) -> Tidset {
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        Tidset(out)
+    }
+
+    /// True when `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Tidset) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.intersect_count(other) == self.len()
+    }
+}
+
+impl FromIterator<u32> for Tidset {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Tidset::from_unsorted(iter)
+    }
+}
+
+impl fmt::Display for Tidset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Binary-search `slice` for `x` with an exponential (galloping) prefix
+/// probe; returns `Ok(pos)` / `Err(insertion_pos)` like `binary_search`.
+fn gallop(slice: &[u32], x: u32) -> Result<usize, usize> {
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi] < x {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    // `slice[lo] < x` (for lo > 0) and either `hi ≥ len` or `slice[hi] ≥ x`,
+    // so the first candidate position is in `[lo, hi]` — inclusive of `hi`.
+    let hi = (hi + 1).min(slice.len());
+    slice[lo..hi].binary_search(&x).map(|p| p + lo).map_err(|p| p + lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn ts(v: &[u32]) -> Tidset {
+        Tidset::from_unsorted(v.iter().copied())
+    }
+
+    #[test]
+    fn basic_ops() {
+        let a = ts(&[1, 3, 5, 7, 9]);
+        let b = ts(&[3, 4, 5, 6]);
+        assert_eq!(a.intersect(&b), ts(&[3, 5]));
+        assert_eq!(a.intersect_count(&b), 2);
+        assert_eq!(a.union(&b), ts(&[1, 3, 4, 5, 6, 7, 9]));
+        assert_eq!(a.minus(&b), ts(&[1, 7, 9]));
+        assert!(ts(&[3, 5]).is_subset_of(&a));
+        assert!(!ts(&[3, 4]).is_subset_of(&a));
+        assert!(a.contains(7));
+        assert!(!a.contains(8));
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = Tidset::new();
+        let f = Tidset::full(4);
+        assert!(e.is_empty());
+        assert_eq!(f.len(), 4);
+        assert_eq!(e.intersect(&f), e);
+        assert_eq!(e.union(&f), f);
+        assert_eq!(f.minus(&e), f);
+        assert!(e.is_subset_of(&f));
+    }
+
+    #[test]
+    fn galloping_path_matches_merge_path() {
+        // Small ∩ huge exercises the galloping branch.
+        let small = ts(&[0, 999, 5000, 123456, 999999]);
+        let large = Tidset::from_sorted((0..1_000_000).step_by(3).collect());
+        let expected: Vec<u32> = small.iter().filter(|t| t % 3 == 0).collect();
+        assert_eq!(small.intersect(&large).as_slice(), expected.as_slice());
+        assert_eq!(small.intersect_count(&large), expected.len());
+        assert_eq!(large.intersect_count(&small), expected.len());
+    }
+
+    #[test]
+    fn push_monotonic_builds_sorted() {
+        let mut t = Tidset::new();
+        t.push_monotonic(2);
+        t.push_monotonic(7);
+        assert_eq!(t.as_slice(), &[2, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_monotonic_rejects_regression() {
+        let mut t = Tidset::new();
+        t.push_monotonic(7);
+        t.push_monotonic(2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ts(&[2, 5]).to_string(), "{2,5}");
+        assert_eq!(Tidset::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn gallop_finds_exact_probe_boundaries() {
+        // Regression: a match sitting exactly at the galloping probe index
+        // (a power of two) used to be excluded from the binary-search
+        // range, silently undercounting intersections.
+        let large = Tidset::from_sorted((0..512).collect());
+        for probe in [0u32, 1, 2, 4, 8, 16, 64, 256, 511] {
+            let small = Tidset::from_sorted(vec![probe]);
+            assert_eq!(small.intersect_count(&large), 1, "probe {probe}");
+            assert!(small.is_subset_of(&large), "probe {probe}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn skewed_ops_match_btreeset_reference(
+            a in proptest::collection::vec(0u32..4096, 0..6),
+            b in proptest::collection::vec(0u32..4096, 200..400),
+        ) {
+            // Heavily lopsided sizes force the galloping path.
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let ta = Tidset::from_unsorted(a);
+            let tb = Tidset::from_unsorted(b);
+            let inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+            let got = ta.intersect(&tb);
+            proptest::prop_assert_eq!(got.as_slice(), inter.as_slice());
+            proptest::prop_assert_eq!(ta.intersect_count(&tb), inter.len());
+            proptest::prop_assert_eq!(tb.intersect_count(&ta), inter.len());
+            proptest::prop_assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
+        }
+
+        #[test]
+        fn ops_match_btreeset_reference(a in proptest::collection::vec(0u32..512, 0..80),
+                                        b in proptest::collection::vec(0u32..512, 0..80)) {
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let ta = Tidset::from_unsorted(a);
+            let tb = Tidset::from_unsorted(b);
+            let inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+            let uni: Vec<u32> = sa.union(&sb).copied().collect();
+            let diff: Vec<u32> = sa.difference(&sb).copied().collect();
+            let (got_i, got_u, got_d) = (ta.intersect(&tb), ta.union(&tb), ta.minus(&tb));
+            proptest::prop_assert_eq!(got_i.as_slice(), inter.as_slice());
+            proptest::prop_assert_eq!(ta.intersect_count(&tb), inter.len());
+            proptest::prop_assert_eq!(got_u.as_slice(), uni.as_slice());
+            proptest::prop_assert_eq!(got_d.as_slice(), diff.as_slice());
+            proptest::prop_assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
+        }
+    }
+}

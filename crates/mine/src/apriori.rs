@@ -1,0 +1,326 @@
+//! Apriori: classic horizontal level-wise frequent-itemset mining
+//! (Agrawal & Srikant, VLDB 1994 — the paper's reference \[4\]).
+//!
+//! Kept as a second, independently-implemented baseline: it shares no code
+//! with the vertical miners, which makes cross-checks between the three
+//! miners meaningful, and it gives the benchmark suite a horizontal
+//! counting baseline.
+
+use colarm_data::{Dataset, Itemset, Tidset};
+use std::collections::HashMap;
+
+/// A frequent itemset with its absolute support count (Apriori counts
+/// horizontally, so no tidset is produced).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The itemset.
+    pub itemset: Itemset,
+    /// Absolute support count.
+    pub count: usize,
+}
+
+/// Mine all frequent itemsets of `dataset`, optionally restricted to the
+/// records in `subset`.
+pub fn apriori(dataset: &Dataset, subset: Option<&Tidset>, min_count: usize) -> Vec<FrequentItemset> {
+    apriori_filtered(dataset, subset, min_count, |_| true)
+}
+
+/// [`apriori`] restricted to items accepted by `keep` (COLARM's ARM plan
+/// passes the query's `Aitem` predicate).
+pub fn apriori_filtered(
+    dataset: &Dataset,
+    subset: Option<&Tidset>,
+    min_count: usize,
+    keep: impl Fn(colarm_data::ItemId) -> bool,
+) -> Vec<FrequentItemset> {
+    assert!(min_count >= 1, "min_count must be at least 1");
+    let tids: Vec<u32> = match subset {
+        Some(s) => s.iter().collect(),
+        None => (0..dataset.num_records() as u32).collect(),
+    };
+    // L1: count single items.
+    let mut counts: HashMap<Itemset, usize> = HashMap::new();
+    for &t in &tids {
+        let record = dataset.record_as_itemset(t);
+        for &item in record.items() {
+            if keep(item) {
+                *counts.entry(Itemset::singleton(item)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut current: Vec<FrequentItemset> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .map(|(itemset, count)| FrequentItemset { itemset, count })
+        .collect();
+    current.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+    let mut all = current.clone();
+    while !current.is_empty() {
+        let candidates = generate_candidates(&current);
+        if candidates.is_empty() {
+            break;
+        }
+        // Hash-tree (trie) counting, as in the original Apriori paper:
+        // candidates live in a prefix trie; each record is counted by one
+        // recursive descent, touching only the candidate prefixes the
+        // record actually extends.
+        let trie = CandidateTrie::build(&candidates);
+        let mut counts = vec![0usize; candidates.len()];
+        for &t in &tids {
+            let record = dataset.record_as_itemset(t);
+            trie.count(record.items(), &mut counts);
+        }
+        current = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c >= min_count)
+            .map(|(itemset, count)| FrequentItemset { itemset, count })
+            .collect();
+        current.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+        all.extend(current.iter().cloned());
+    }
+    all
+}
+
+/// Prefix trie over same-length sorted candidates (the Apriori
+/// "hash-tree"). Children are sorted by item id; leaves carry the
+/// candidate's index into the count vector.
+struct CandidateTrie {
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Default)]
+struct TrieNode {
+    /// `(item, child node)` pairs, ascending by item.
+    children: Vec<(colarm_data::ItemId, u32)>,
+    /// Candidate index when a candidate ends here.
+    leaf: Option<u32>,
+}
+
+impl CandidateTrie {
+    fn build(candidates: &[Itemset]) -> CandidateTrie {
+        let mut trie = CandidateTrie {
+            nodes: vec![TrieNode::default()],
+        };
+        // Candidates are sorted, so children are appended in order.
+        for (idx, cand) in candidates.iter().enumerate() {
+            let mut node = 0usize;
+            for &item in cand.items() {
+                node = match trie.nodes[node].children.last() {
+                    Some(&(last_item, child)) if last_item == item => child as usize,
+                    _ => {
+                        let child = trie.nodes.len() as u32;
+                        trie.nodes.push(TrieNode::default());
+                        trie.nodes[node].children.push((item, child));
+                        child as usize
+                    }
+                };
+            }
+            debug_assert!(trie.nodes[node].leaf.is_none(), "duplicate candidate");
+            trie.nodes[node].leaf = Some(idx as u32);
+        }
+        trie
+    }
+
+    /// Count all candidates contained in the (sorted) record.
+    fn count(&self, record: &[colarm_data::ItemId], counts: &mut [usize]) {
+        self.descend(0, record, counts);
+    }
+
+    fn descend(&self, node: usize, record: &[colarm_data::ItemId], counts: &mut [usize]) {
+        let n = &self.nodes[node];
+        if let Some(idx) = n.leaf {
+            counts[idx as usize] += 1;
+        }
+        if n.children.is_empty() || record.is_empty() {
+            return;
+        }
+        // Merge-walk the sorted children against the sorted record.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < n.children.len() && j < record.len() {
+            let (item, child) = n.children[i];
+            match item.cmp(&record[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    self.descend(child as usize, &record[j + 1..], counts);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Apriori-gen: join frequent k-itemsets sharing a (k−1)-prefix, then prune
+/// candidates with an infrequent k-subset. The input is sorted, so
+/// equal-prefix itemsets form contiguous runs and the join is linear in
+/// the output instead of quadratic in `|L_k|`.
+fn generate_candidates(frequent: &[FrequentItemset]) -> Vec<Itemset> {
+    let known: std::collections::HashSet<&[colarm_data::ItemId]> =
+        frequent.iter().map(|f| f.itemset.items()).collect();
+    let mut out = Vec::new();
+    let mut run_start = 0usize;
+    let mut scratch: Vec<colarm_data::ItemId> = Vec::new();
+    while run_start < frequent.len() {
+        let prefix = {
+            let items = frequent[run_start].itemset.items();
+            &items[..items.len() - 1]
+        };
+        let mut run_end = run_start + 1;
+        while run_end < frequent.len() {
+            let items = frequent[run_end].itemset.items();
+            if &items[..items.len() - 1] != prefix {
+                break;
+            }
+            run_end += 1;
+        }
+        // Join every pair within the equal-prefix run.
+        for i in run_start..run_end {
+            for j in (i + 1)..run_end {
+                let b = frequent[j].itemset.items();
+                let candidate = frequent[i].itemset.with_item(b[b.len() - 1]);
+                // Prune: all k-subsets must be frequent (the two joined
+                // parents are, by construction; check the rest).
+                let prune_ok = candidate.items().iter().all(|&drop| {
+                    if drop == candidate.items()[candidate.len() - 1]
+                        || drop == candidate.items()[candidate.len() - 2]
+                    {
+                        return true; // a parent
+                    }
+                    scratch.clear();
+                    scratch.extend(candidate.items().iter().copied().filter(|&x| x != drop));
+                    known.contains(scratch.as_slice())
+                });
+                if prune_ok {
+                    out.push(candidate);
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Restrict Apriori output to the itemsets that are **closed** in the
+/// mined context: `F` is closed iff no single-item extension `F ∪ {i}` has
+/// the same count. Any such extension is itself frequent (same count ≥
+/// threshold), so checking against the frequent map is exhaustive.
+pub fn closed_only(frequent: &[FrequentItemset]) -> Vec<FrequentItemset> {
+    use std::collections::HashSet;
+    let mut not_closed: HashSet<&Itemset> = HashSet::new();
+    let by_set: HashMap<&Itemset, usize> =
+        frequent.iter().map(|f| (&f.itemset, f.count)).collect();
+    for f in frequent {
+        if f.itemset.len() < 2 {
+            continue;
+        }
+        for &drop in f.itemset.items() {
+            let sub = Itemset::from_sorted(
+                f.itemset
+                    .items()
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != drop)
+                    .collect(),
+            );
+            if by_set.get(&sub) == Some(&f.count) {
+                if let Some((key, _)) = by_set.get_key_value(&sub) {
+                    not_closed.insert(key);
+                }
+            }
+        }
+    }
+    frequent
+        .iter()
+        .filter(|f| !not_closed.contains(&f.itemset))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::brute_force_frequent;
+    use colarm_data::synth::salary;
+    use colarm_data::VerticalIndex;
+
+    fn sorted_counts(mut v: Vec<FrequentItemset>) -> Vec<(Itemset, usize)> {
+        let mut out: Vec<(Itemset, usize)> = v.drain(..).map(|f| (f.itemset, f.count)).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn matches_vertical_reference_on_salary() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        for min_count in [2usize, 4] {
+            let got = sorted_counts(apriori(&d, None, min_count));
+            let mut expected: Vec<(Itemset, usize)> = brute_force_frequent(&v, min_count)
+                .into_iter()
+                .map(|c| (c.itemset, c.tids.len()))
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "min_count {min_count}");
+        }
+    }
+
+    #[test]
+    fn subset_mining_counts_locally() {
+        let d = salary();
+        let seattle_women = Tidset::from_sorted(vec![7, 8, 9, 10]);
+        let out = apriori(&d, Some(&seattle_women), 3);
+        // (Age=30-40, Salary=90K-120K) holds in 3 of the 4 records.
+        let s = d.schema();
+        let target = Itemset::from_items([
+            s.encode_named("Age", "30-40").unwrap(),
+            s.encode_named("Salary", "90K-120K").unwrap(),
+        ]);
+        let found = out.iter().find(|f| f.itemset == target).expect("local CFI present");
+        assert_eq!(found.count, 3);
+        // Nothing can exceed the subset size.
+        assert!(out.iter().all(|f| f.count <= 4));
+    }
+
+    #[test]
+    fn closed_only_matches_brute_force_closed() {
+        let d = salary();
+        let v = colarm_data::VerticalIndex::build(&d);
+        let frequent = apriori(&d, None, 2);
+        let mut got: Vec<(Itemset, usize)> = closed_only(&frequent)
+            .into_iter()
+            .map(|f| (f.itemset, f.count))
+            .collect();
+        got.sort();
+        let mut expected: Vec<(Itemset, usize)> = crate::reference::brute_force_closed(&v, 2)
+            .into_iter()
+            .map(|c| (c.itemset, c.tids.len()))
+            .collect();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn filtered_apriori_respects_item_predicate() {
+        let d = salary();
+        let s = d.schema();
+        let age = s.attribute_by_name("Age").unwrap();
+        let out = apriori_filtered(&d, None, 2, |i| s.item_attribute(i) == age);
+        assert!(!out.is_empty());
+        for f in &out {
+            for &item in f.itemset.items() {
+                assert_eq!(s.item_attribute(item), age);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subset_mines_nothing() {
+        let d = salary();
+        let out = apriori(&d, Some(&Tidset::new()), 1);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! The closed IT-tree: COLARM's prestored closed-itemset store (paper §3.3).
+//!
+//! The IT-tree holds every closed frequent itemset mined at the primary
+//! support threshold, organized two ways:
+//!
+//! * **by level** — level `i` holds the CFIs of length `i` (paper Lemma
+//!   4.3: "the level of the IT-tree at which an itemset exists equals the
+//!   number of singleton items composing it");
+//! * **by item** — an inverted list from each item to the CFIs containing
+//!   it, which powers the *closure lookup*: for any itemset `X` whose
+//!   global support meets the primary threshold, `closure(X)` is the CFI
+//!   `⊇ X` with maximal support, and `t(X) = t(closure(X))`. This is how
+//!   the VERIFY operator computes local antecedent supports from
+//!   prestored tidsets alone.
+
+use crate::charm::ClosedItemset;
+use colarm_data::{Itemset, Tidset};
+use std::collections::HashMap;
+
+/// Identifier of a CFI within a [`ClosedItTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CfiId(pub u32);
+
+impl CfiId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The closed itemset–tidset tree.
+#[derive(Debug, Clone)]
+pub struct ClosedItTree {
+    nodes: Vec<ClosedItemset>,
+    exact: HashMap<Itemset, CfiId>,
+    /// `containing[item]` = sorted CFI ids whose itemsets contain `item`.
+    containing: Vec<Vec<u32>>,
+    /// `levels[len]` = CFI ids of itemsets with that length.
+    levels: Vec<Vec<u32>>,
+    universe: u32,
+}
+
+impl ClosedItTree {
+    /// Build from mined CFIs. `num_items` sizes the inverted lists;
+    /// `universe` is the number of records the tidsets refer to.
+    pub fn build(cfis: Vec<ClosedItemset>, num_items: usize, universe: u32) -> Self {
+        let mut exact = HashMap::with_capacity(cfis.len());
+        let mut containing = vec![Vec::new(); num_items];
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        for (idx, cfi) in cfis.iter().enumerate() {
+            let id = idx as u32;
+            exact.insert(cfi.itemset.clone(), CfiId(id));
+            for &item in cfi.itemset.items() {
+                containing[item.index()].push(id);
+            }
+            let len = cfi.itemset.len();
+            if levels.len() <= len {
+                levels.resize(len + 1, Vec::new());
+            }
+            levels[len].push(id);
+        }
+        ClosedItTree {
+            nodes: cfis,
+            exact,
+            containing,
+            levels,
+            universe,
+        }
+    }
+
+    /// Number of stored CFIs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no CFIs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of records the stored tidsets refer to.
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// The CFI with the given id.
+    pub fn get(&self, id: CfiId) -> &ClosedItemset {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate `(id, cfi)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CfiId, &ClosedItemset)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CfiId(i as u32), c))
+    }
+
+    /// Exact lookup of a closed itemset.
+    pub fn id_of(&self, itemset: &Itemset) -> Option<CfiId> {
+        self.exact.get(itemset).copied()
+    }
+
+    /// Highest populated level (longest CFI length).
+    pub fn max_level(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// CFI ids at a level (itemset length), per Lemma 4.3.
+    pub fn level(&self, len: usize) -> &[u32] {
+        self.levels.get(len).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Histogram of CFI counts by length — the "distribution of CFIs by
+    /// their length" the paper analyzes per dataset (§5).
+    pub fn level_histogram(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
+    }
+
+    /// The **closure** of an arbitrary itemset: the stored CFI `⊇ X` with
+    /// maximal support, whose tidset equals `t(X)`. `None` when `X` is not
+    /// covered (its global support is below the primary threshold) or `X`
+    /// is empty.
+    pub fn closure(&self, itemset: &Itemset) -> Option<CfiId> {
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(itemset.len());
+        for &item in itemset.items() {
+            lists.push(self.containing.get(item.index())?.as_slice());
+        }
+        if lists.is_empty() {
+            return None;
+        }
+        // Intersect sorted id lists, starting from the shortest.
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<u32> = lists[0].to_vec();
+        for l in &lists[1..] {
+            if acc.is_empty() {
+                return None;
+            }
+            acc = intersect_sorted(&acc, l);
+        }
+        acc.into_iter()
+            .map(CfiId)
+            .max_by_key(|&id| self.get(id).tids.len())
+    }
+
+    /// Global tidset of an arbitrary itemset via its closure.
+    pub fn tids_of(&self, itemset: &Itemset) -> Option<&Tidset> {
+        self.closure(itemset).map(|id| &self.get(id).tids)
+    }
+
+    /// Global absolute support of an arbitrary itemset via its closure.
+    pub fn support_of(&self, itemset: &Itemset) -> Option<usize> {
+        self.tids_of(itemset).map(Tidset::len)
+    }
+}
+
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A [`crate::rules::SupportOracle`] that answers support queries from a
+/// [`ClosedItTree`], optionally restricted to a focal subset, memoizing
+/// per-itemset results. This is exactly the paper's mechanism for local
+/// threshold verification: `supp_Q(X) = |t(closure(X)) ∩ t(DQ)|`.
+pub struct ClosureSupportOracle<'a> {
+    tree: &'a ClosedItTree,
+    focal: Option<&'a Tidset>,
+    cache: HashMap<Itemset, Option<usize>>,
+    universe: usize,
+}
+
+impl<'a> ClosureSupportOracle<'a> {
+    /// Oracle for global supports (`focal = None`) or local supports
+    /// w.r.t. a focal subset's tidset.
+    pub fn new(tree: &'a ClosedItTree, focal: Option<&'a Tidset>) -> Self {
+        let universe = match focal {
+            Some(t) => t.len(),
+            None => tree.universe() as usize,
+        };
+        ClosureSupportOracle {
+            tree,
+            focal,
+            cache: HashMap::new(),
+            universe,
+        }
+    }
+
+    /// Number of closure lookups that missed the cache (instrumentation
+    /// for the cost model's VERIFY term).
+    pub fn lookups(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl crate::rules::SupportOracle for ClosureSupportOracle<'_> {
+    fn support_count(&mut self, itemset: &Itemset) -> Option<usize> {
+        if let Some(&cached) = self.cache.get(itemset) {
+            return cached;
+        }
+        let result = self.tree.tids_of(itemset).map(|tids| match self.focal {
+            None => tids.len(),
+            Some(f) => tids.intersect_count(f),
+        });
+        self.cache.insert(itemset.clone(), result);
+        result
+    }
+
+    fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charm::charm;
+    use crate::vertical::full_vertical;
+    use colarm_data::synth::salary;
+    use colarm_data::VerticalIndex;
+
+    fn tree(min_count: usize) -> (colarm_data::Dataset, VerticalIndex, ClosedItTree) {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cfis = charm(&full_vertical(&v), min_count);
+        let t = ClosedItTree::build(cfis, d.schema().num_items(), d.num_records() as u32);
+        (d, v, t)
+    }
+
+    #[test]
+    fn exact_lookup_round_trips() {
+        let (_, _, t) = tree(2);
+        for (id, cfi) in t.iter() {
+            assert_eq!(t.id_of(&cfi.itemset), Some(id));
+        }
+        assert!(t.id_of(&Itemset::empty()).is_none());
+    }
+
+    #[test]
+    fn levels_match_lengths() {
+        let (_, _, t) = tree(2);
+        for len in 0..=t.max_level() {
+            for &id in t.level(len) {
+                assert_eq!(t.get(CfiId(id)).itemset.len(), len);
+            }
+        }
+        let total: usize = t.level_histogram().iter().sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn closure_reproduces_true_tidsets() {
+        // For every subset X of every stored CFI, the closure lookup must
+        // return exactly t(X) as computed from the raw data.
+        let (_, v, t) = tree(2);
+        for (_, cfi) in t.iter() {
+            if cfi.itemset.len() > 4 {
+                continue; // keep the subset enumeration small
+            }
+            for sub in cfi.itemset.proper_subsets() {
+                let truth = v.itemset_tids(&sub);
+                let got = t.tids_of(&sub).expect("subset of a CFI is covered");
+                assert_eq!(got, &truth, "closure tidset mismatch for {sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_of_uncovered_itemset_is_none() {
+        let (d, _, t) = tree(3);
+        // (Company=Facebook, Salary=30K-60K) has support 1 < primary 3.
+        let s = d.schema();
+        let rare = Itemset::from_items([
+            s.encode_named("Company", "Facebook").unwrap(),
+            s.encode_named("Salary", "30K-60K").unwrap(),
+        ]);
+        assert!(t.closure(&rare).is_none());
+        assert!(t.support_of(&rare).is_none());
+    }
+
+    #[test]
+    fn oracle_counts_local_supports() {
+        use crate::rules::SupportOracle;
+        let (d, _, t) = tree(2);
+        let s = d.schema();
+        let focal = Tidset::from_sorted(vec![7, 8, 9, 10]);
+        let mut oracle = ClosureSupportOracle::new(&t, Some(&focal));
+        let a1 = Itemset::singleton(s.encode_named("Age", "30-40").unwrap());
+        assert_eq!(oracle.support_count(&a1), Some(3));
+        assert_eq!(oracle.universe(), 4);
+        // Cached second call returns the same.
+        assert_eq!(oracle.support_count(&a1), Some(3));
+        assert_eq!(oracle.lookups(), 1);
+        // Global oracle sees the whole dataset.
+        let mut global = ClosureSupportOracle::new(&t, None);
+        assert_eq!(global.support_count(&a1), Some(4));
+        assert_eq!(global.universe(), 11);
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t = ClosedItTree::build(Vec::new(), 5, 10);
+        assert!(t.is_empty());
+        assert_eq!(t.max_level(), 0);
+        assert!(t.closure(&Itemset::singleton(colarm_data::ItemId(1))).is_none());
+    }
+}

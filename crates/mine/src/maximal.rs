@@ -1,0 +1,119 @@
+//! Maximal frequent itemsets — the third condensed representation from the
+//! survey the paper builds on (Calders–Rigotti–Boulicaut \[7\]): frequent
+//! itemsets with no frequent proper superset. Maximal sets are a strict
+//! subset of the closed sets and bound the frequent lattice from above;
+//! COLARM's MIP-index stores closed sets (supports stay recoverable), but
+//! maximal sets are useful for summarising what an index *covers*.
+
+use crate::charm::ClosedItemset;
+use crate::ittree::ClosedItTree;
+use crate::vertical::ItemTids;
+
+/// Mine the maximal frequent itemsets directly from a vertical database.
+pub fn maximal(columns: &[ItemTids], min_count: usize) -> Vec<ClosedItemset> {
+    let closed = crate::charm::charm(columns, min_count);
+    let num_items = columns
+        .iter()
+        .map(|c| c.item.index() + 1)
+        .max()
+        .unwrap_or(0);
+    maximal_from_closed(closed, num_items)
+}
+
+/// Filter a set of closed frequent itemsets down to the maximal ones.
+///
+/// Every maximal frequent itemset is closed (its closure cannot be a
+/// frequent strict superset), so filtering the closed sets is exhaustive:
+/// a closed set is maximal iff no *other* closed set strictly contains it.
+pub fn maximal_from_closed(closed: Vec<ClosedItemset>, num_items: usize) -> Vec<ClosedItemset> {
+    let universe = closed
+        .iter()
+        .flat_map(|c| c.tids.iter())
+        .max()
+        .map(|t| t + 1)
+        .unwrap_or(0);
+    let tree = ClosedItTree::build(closed, num_items, universe);
+    let mut out = Vec::new();
+    for (id, cfi) in tree.iter() {
+        // Supersets of `cfi` among closed sets = entries containing all of
+        // its items; the tree's closure machinery already intersects the
+        // inverted lists, so probe with the itemset itself and check
+        // whether anything besides `cfi` contains it.
+        let has_strict_superset = cfi.itemset.items().iter().next().is_some() && {
+            let mut found = false;
+            // Walk candidates containing the first item and test cheaply.
+            for (other_id, other) in tree.iter() {
+                if other_id != id
+                    && other.itemset.len() > cfi.itemset.len()
+                    && cfi.itemset.is_subset_of(&other.itemset)
+                {
+                    found = true;
+                    break;
+                }
+            }
+            found
+        };
+        if !has_strict_superset {
+            out.push(cfi.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::brute_force_frequent;
+    use crate::vertical::full_vertical;
+    use colarm_data::synth::salary;
+    use colarm_data::VerticalIndex;
+
+    #[test]
+    fn maximal_sets_match_brute_force() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cols = full_vertical(&v);
+        for min_count in [2usize, 3, 4] {
+            let frequent = brute_force_frequent(&v, min_count);
+            let mut expected: Vec<_> = frequent
+                .iter()
+                .filter(|f| {
+                    !frequent
+                        .iter()
+                        .any(|g| g.itemset.len() > f.itemset.len()
+                            && f.itemset.is_subset_of(&g.itemset))
+                })
+                .map(|f| (f.itemset.clone(), f.tids.len()))
+                .collect();
+            expected.sort();
+            let mut got: Vec<_> = maximal(&cols, min_count)
+                .into_iter()
+                .map(|c| (c.itemset, c.tids.len()))
+                .collect();
+            got.sort();
+            assert_eq!(got, expected, "min_count {min_count}");
+        }
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cols = full_vertical(&v);
+        let closed = crate::charm::charm(&cols, 2);
+        let max = maximal(&cols, 2);
+        assert!(max.len() < closed.len());
+        for m in &max {
+            assert!(
+                closed.iter().any(|c| c.itemset == m.itemset),
+                "maximal set {} must be closed",
+                m.itemset
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(maximal(&[], 1).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Rule interestingness measures.
+//!
+//! COLARM verifies both minsupport and minconfidence online (paper §1.3,
+//! motivated by the importance of null-invariant measures \[23\]); the
+//! additional measures here — lift, leverage, conviction and the
+//! null-invariant cosine — are provided for rule analysis in the examples
+//! and the Simpson's-paradox study.
+
+/// Counts needed to evaluate a rule `X ⇒ Y` in some context (the whole
+/// dataset or a focal subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleCounts {
+    /// `|t(X ∪ Y)|` — records containing the whole rule body.
+    pub body: usize,
+    /// `|t(X)|` — records containing the antecedent.
+    pub antecedent: usize,
+    /// `|t(Y)|` — records containing the consequent.
+    pub consequent: usize,
+    /// Context size (`|D|` or `|DQ|`).
+    pub universe: usize,
+}
+
+impl RuleCounts {
+    /// Relative support `supp(X ∪ Y)`.
+    pub fn support(&self) -> f64 {
+        ratio(self.body, self.universe)
+    }
+
+    /// Confidence `supp(X ∪ Y) / supp(X)`.
+    pub fn confidence(&self) -> f64 {
+        ratio(self.body, self.antecedent)
+    }
+
+    /// Lift `conf / supp(Y)`; 1.0 means independence.
+    pub fn lift(&self) -> f64 {
+        let cons = ratio(self.consequent, self.universe);
+        if cons == 0.0 {
+            return 0.0;
+        }
+        self.confidence() / cons
+    }
+
+    /// Leverage `supp(XY) − supp(X)·supp(Y)`.
+    pub fn leverage(&self) -> f64 {
+        self.support()
+            - ratio(self.antecedent, self.universe) * ratio(self.consequent, self.universe)
+    }
+
+    /// Conviction `(1 − supp(Y)) / (1 − conf)`; `+∞` for exact rules.
+    pub fn conviction(&self) -> f64 {
+        let conf = self.confidence();
+        if conf >= 1.0 {
+            return f64::INFINITY;
+        }
+        (1.0 - ratio(self.consequent, self.universe)) / (1.0 - conf)
+    }
+
+    /// Cosine `supp(XY) / sqrt(supp(X)·supp(Y))` — a null-invariant
+    /// measure \[23\].
+    pub fn cosine(&self) -> f64 {
+        let denom =
+            (ratio(self.antecedent, self.universe) * ratio(self.consequent, self.universe)).sqrt();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.support() / denom
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's RG: body 5, antecedent 6, consequent 8, universe 11.
+    fn rg() -> RuleCounts {
+        RuleCounts {
+            body: 5,
+            antecedent: 6,
+            consequent: 8,
+            universe: 11,
+        }
+    }
+
+    #[test]
+    fn paper_rg_support_and_confidence() {
+        let c = rg();
+        assert!((c.support() - 5.0 / 11.0).abs() < 1e-12); // 45 %
+        assert!((c.confidence() - 5.0 / 6.0).abs() < 1e-12); // 83 %
+    }
+
+    #[test]
+    fn lift_and_leverage_detect_dependence() {
+        let c = rg();
+        let expected_lift = (5.0 / 6.0) / (8.0 / 11.0);
+        assert!((c.lift() - expected_lift).abs() < 1e-12);
+        assert!(c.leverage() > 0.0, "RG is positively correlated");
+    }
+
+    #[test]
+    fn conviction_of_exact_rule_is_infinite() {
+        let c = RuleCounts {
+            body: 3,
+            antecedent: 3,
+            consequent: 9,
+            universe: 12,
+        };
+        assert_eq!(c.confidence(), 1.0);
+        assert!(c.conviction().is_infinite());
+    }
+
+    #[test]
+    fn degenerate_contexts_do_not_divide_by_zero() {
+        let c = RuleCounts {
+            body: 0,
+            antecedent: 0,
+            consequent: 0,
+            universe: 0,
+        };
+        assert_eq!(c.support(), 0.0);
+        assert_eq!(c.confidence(), 0.0);
+        assert_eq!(c.lift(), 0.0);
+        assert_eq!(c.cosine(), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_null_invariant_shape() {
+        // Cosine must not change when universe grows with null records
+        // (records containing neither X nor Y).
+        let a = RuleCounts {
+            body: 4,
+            antecedent: 5,
+            consequent: 6,
+            universe: 20,
+        };
+        let b = RuleCounts {
+            universe: 2000,
+            ..a
+        };
+        assert!((a.cosine() - b.cosine()).abs() < 1e-12);
+        // While lift is not.
+        assert!((a.lift() - b.lift()).abs() > 1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Brute-force reference miners used as oracles in tests.
+//!
+//! These are deliberately simple and obviously correct: enumerate the
+//! itemset lattice depth-first with tidset intersections, no pruning
+//! cleverness beyond downward closure. Only run them on small inputs.
+
+use crate::charm::ClosedItemset;
+use colarm_data::{ItemId, Itemset, Tidset, VerticalIndex};
+
+/// All frequent itemsets (absolute support ≥ `min_count`) with tidsets.
+pub fn brute_force_frequent(vertical: &VerticalIndex, min_count: usize) -> Vec<ClosedItemset> {
+    assert!(min_count >= 1);
+    let items: Vec<(ItemId, &Tidset)> = (0..vertical.num_items() as u32)
+        .map(ItemId)
+        .map(|i| (i, vertical.tids(i)))
+        .filter(|(_, t)| t.len() >= min_count)
+        .collect();
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, Itemset, Tidset)> = items
+        .iter()
+        .enumerate()
+        .map(|(pos, (i, t))| (pos, Itemset::singleton(*i), (*t).clone()))
+        .collect();
+    while let Some((pos, itemset, tids)) = stack.pop() {
+        for (next_pos, (i, t)) in items.iter().enumerate().skip(pos + 1) {
+            let extended = tids.intersect(t);
+            if extended.len() >= min_count {
+                stack.push((next_pos, itemset.with_item(*i), extended));
+            }
+        }
+        out.push(ClosedItemset { itemset, tids });
+    }
+    out
+}
+
+/// All **closed** frequent itemsets: frequent itemsets not extendable by
+/// any outside item without losing support.
+pub fn brute_force_closed(vertical: &VerticalIndex, min_count: usize) -> Vec<ClosedItemset> {
+    brute_force_frequent(vertical, min_count)
+        .into_iter()
+        .filter(|c| is_closed(vertical, c))
+        .collect()
+}
+
+/// True when no item outside the set is shared by all its records.
+pub fn is_closed(vertical: &VerticalIndex, candidate: &ClosedItemset) -> bool {
+    (0..vertical.num_items() as u32).map(ItemId).all(|i| {
+        candidate.itemset.contains(i) || !candidate.tids.is_subset_of(vertical.tids(i))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary;
+
+    #[test]
+    fn frequent_superset_of_closed() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let freq = brute_force_frequent(&v, 2);
+        let closed = brute_force_closed(&v, 2);
+        assert!(closed.len() < freq.len());
+        // Every closed set is among the frequent ones.
+        for c in &closed {
+            assert!(freq.iter().any(|f| f.itemset == c.itemset));
+        }
+        // Every frequent itemset's support is witnessed by a closed
+        // superset with the same tidset (the closure).
+        for f in &freq {
+            assert!(
+                closed
+                    .iter()
+                    .any(|c| f.itemset.is_subset_of(&c.itemset) && c.tids == f.tids),
+                "no closure found for {}",
+                f.itemset
+            );
+        }
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        for c in brute_force_frequent(&v, 3) {
+            assert!(c.support() >= 3);
+        }
+    }
+}

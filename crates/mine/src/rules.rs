@@ -1,0 +1,396 @@
+//! Association-rule generation with confidence pruning (`ap-genrules`).
+//!
+//! Rules are generated per frequent itemset `I`: every partition
+//! `I = X ∪ Y` with nonempty `X`, `Y` is a candidate rule `X ⇒ Y` with
+//! `conf = supp(I) / supp(X)`. Moving items from antecedent to consequent
+//! can only lower confidence, so consequents are grown level-wise from the
+//! 1-item consequents that pass `minconf` (Agrawal's ap-genrules) —
+//! failing consequents prune all their supersets.
+//!
+//! Support lookups go through a [`SupportOracle`] so the same generator
+//! serves global rule mining (oracle = vertical index or IT-tree) and
+//! COLARM's localized VERIFY operator (oracle = IT-tree closure lookup
+//! intersected with the focal subset's tidset).
+
+use crate::measures::RuleCounts;
+use colarm_data::{Itemset, Schema};
+use std::fmt;
+
+/// Answers absolute support counts within some context.
+pub trait SupportOracle {
+    /// Absolute support count of `itemset` in the oracle's context, or
+    /// `None` when the itemset is not covered (e.g. below the prestored
+    /// primary threshold — possible only for itemsets that are not subsets
+    /// of a stored CFI).
+    fn support_count(&mut self, itemset: &Itemset) -> Option<usize>;
+
+    /// Context size (`|D|` or `|DQ|`).
+    fn universe(&self) -> usize;
+}
+
+/// An association rule `X ⇒ Y` with its evaluation counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Antecedent `X`.
+    pub antecedent: Itemset,
+    /// Consequent `Y` (disjoint from `X`).
+    pub consequent: Itemset,
+    /// The counts behind support/confidence in the generation context.
+    pub counts: RuleCounts,
+}
+
+impl Rule {
+    /// Relative support of the whole body.
+    pub fn support(&self) -> f64 {
+        self.counts.support()
+    }
+
+    /// Confidence.
+    pub fn confidence(&self) -> f64 {
+        self.counts.confidence()
+    }
+
+    /// The full body `X ∪ Y`.
+    pub fn body(&self) -> Itemset {
+        self.antecedent.union(&self.consequent)
+    }
+
+    /// Schema-aware pretty printer.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, schema }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} => {} [supp {:.3}, conf {:.3}]",
+            self.antecedent,
+            self.consequent,
+            self.support(),
+            self.confidence()
+        )
+    }
+}
+
+/// Pretty printer returned by [`Rule::display`].
+pub struct RuleDisplay<'a> {
+    rule: &'a Rule,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} => {} [supp {:.1}%, conf {:.1}%]",
+            self.rule.antecedent.display(self.schema),
+            self.rule.consequent.display(self.schema),
+            self.rule.support() * 100.0,
+            self.rule.confidence() * 100.0
+        )
+    }
+}
+
+/// Generate all rules from one frequent itemset `body` whose confidence
+/// meets `min_conf`, appending to `out`.
+///
+/// `body_count` is the (local) support count of `body` in the oracle's
+/// context. Itemsets of length < 2 yield no rules. Antecedent supports the
+/// oracle cannot resolve (uncovered itemsets) conservatively drop the
+/// candidate — with a correctly-built IT-tree this cannot happen, since
+/// `supp(X) ≥ supp(body) ≥ primary`.
+pub fn rules_for_itemset(
+    body: &Itemset,
+    body_count: usize,
+    oracle: &mut dyn SupportOracle,
+    min_conf: f64,
+    out: &mut Vec<Rule>,
+) {
+    if body.len() < 2 || body_count == 0 {
+        return;
+    }
+    let universe = oracle.universe();
+    // Level 1: single-item consequents.
+    let mut consequents: Vec<Itemset> = Vec::new();
+    for &item in body.items() {
+        let cons = Itemset::singleton(item);
+        if let Some(rule) = evaluate(body, body_count, &cons, oracle, universe, min_conf) {
+            out.push(rule);
+            consequents.push(cons);
+        }
+    }
+    // Grow consequents level-wise while antecedents stay nonempty.
+    while !consequents.is_empty() {
+        let next_size = consequents[0].len() + 1;
+        if next_size >= body.len() {
+            break;
+        }
+        let candidates = join_consequents(&consequents);
+        consequents = Vec::new();
+        for cons in candidates {
+            if let Some(rule) = evaluate(body, body_count, &cons, oracle, universe, min_conf) {
+                out.push(rule);
+                consequents.push(cons);
+            }
+        }
+    }
+}
+
+fn evaluate(
+    body: &Itemset,
+    body_count: usize,
+    consequent: &Itemset,
+    oracle: &mut dyn SupportOracle,
+    universe: usize,
+    min_conf: f64,
+) -> Option<Rule> {
+    let antecedent = body.minus(consequent);
+    debug_assert!(!antecedent.is_empty());
+    let antecedent_count = oracle.support_count(&antecedent)?;
+    debug_assert!(antecedent_count >= body_count);
+    // Accept on the boundary despite floating-point representation of the
+    // threshold (e.g. `0.8 * 5` is slightly above 4.0 in binary).
+    if antecedent_count == 0 || (body_count as f64) + 1e-9 < min_conf * antecedent_count as f64 {
+        return None;
+    }
+    let consequent_count = oracle.support_count(consequent).unwrap_or(0);
+    Some(Rule {
+        antecedent,
+        consequent: consequent.clone(),
+        counts: RuleCounts {
+            body: body_count,
+            antecedent: antecedent_count,
+            consequent: consequent_count,
+            universe,
+        },
+    })
+}
+
+/// Apriori-style join of same-size consequents sharing all but the last
+/// item; subset pruning is implicit because only passing consequents are
+/// kept each level.
+fn join_consequents(level: &[Itemset]) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for (i, a) in level.iter().enumerate() {
+        for b in &level[i + 1..] {
+            let (ia, ib) = (a.items(), b.items());
+            let k = ia.len();
+            if ia[..k - 1] == ib[..k - 1] && ia[k - 1] != ib[k - 1] {
+                out.push(a.with_item(ib[k - 1]));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Generate rules from many bodies at once, filtering bodies by a minimum
+/// (absolute) support count first.
+pub fn rules_for_itemsets<'a>(
+    bodies: impl Iterator<Item = (&'a Itemset, usize)>,
+    oracle: &mut dyn SupportOracle,
+    min_count: usize,
+    min_conf: f64,
+) -> Vec<Rule> {
+    let mut out = Vec::new();
+    for (body, count) in bodies {
+        if count >= min_count {
+            rules_for_itemset(body, count, oracle, min_conf, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charm::charm;
+    use crate::ittree::{ClosedItTree, ClosureSupportOracle};
+    use crate::vertical::full_vertical;
+    use colarm_data::synth::salary;
+    use colarm_data::{Tidset, VerticalIndex};
+
+    /// Oracle answering directly from the vertical index (exact, for
+    /// brute-force comparison).
+    struct DirectOracle<'a> {
+        v: &'a VerticalIndex,
+    }
+
+    impl SupportOracle for DirectOracle<'_> {
+        fn support_count(&mut self, itemset: &Itemset) -> Option<usize> {
+            Some(self.v.support(itemset))
+        }
+        fn universe(&self) -> usize {
+            self.v.num_records() as usize
+        }
+    }
+
+    /// Brute force: every partition of every subset, no pruning.
+    fn brute_rules(
+        body: &Itemset,
+        body_count: usize,
+        v: &VerticalIndex,
+        min_conf: f64,
+    ) -> Vec<(Itemset, Itemset)> {
+        let mut out = Vec::new();
+        for ante in body.proper_subsets() {
+            let ante_count = v.support(&ante);
+            if ante_count > 0 && body_count as f64 >= min_conf * ante_count as f64 {
+                out.push((ante.clone(), body.minus(&ante)));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn paper_rg_is_generated() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let s = d.schema();
+        let body = Itemset::from_items([
+            s.encode_named("Age", "20-30").unwrap(),
+            s.encode_named("Salary", "90K-120K").unwrap(),
+        ]);
+        let mut oracle = DirectOracle { v: &v };
+        let mut out = Vec::new();
+        rules_for_itemset(&body, 5, &mut oracle, 0.8, &mut out);
+        let rg = out
+            .iter()
+            .find(|r| r.antecedent.len() == 1 && r.consequent.len() == 1)
+            .filter(|r| {
+                r.antecedent
+                    .contains(s.encode_named("Age", "20-30").unwrap())
+            })
+            .expect("RG = (A0 → S2) passes 80% confidence");
+        assert_eq!(rg.counts.body, 5);
+        assert_eq!(rg.counts.antecedent, 6);
+        assert!((rg.confidence() - 5.0 / 6.0).abs() < 1e-12);
+        assert!((rg.support() - 5.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_across_bodies() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cfis = charm(&full_vertical(&v), 2);
+        for min_conf in [0.5f64, 0.8, 0.95] {
+            for cfi in &cfis {
+                if cfi.itemset.len() < 2 || cfi.itemset.len() > 5 {
+                    continue;
+                }
+                let mut oracle = DirectOracle { v: &v };
+                let mut out = Vec::new();
+                rules_for_itemset(&cfi.itemset, cfi.support(), &mut oracle, min_conf, &mut out);
+                let mut got: Vec<(Itemset, Itemset)> = out
+                    .into_iter()
+                    .map(|r| (r.antecedent, r.consequent))
+                    .collect();
+                got.sort();
+                let expected = brute_rules(&cfi.itemset, cfi.support(), &v, min_conf);
+                assert_eq!(got, expected, "body {} conf {min_conf}", cfi.itemset);
+            }
+        }
+    }
+
+    #[test]
+    fn ittree_oracle_agrees_with_direct_oracle() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cfis = charm(&full_vertical(&v), 2);
+        let tree = ClosedItTree::build(cfis.clone(), d.schema().num_items(), 11);
+        for cfi in &cfis {
+            if cfi.itemset.len() < 2 {
+                continue;
+            }
+            let run = |oracle: &mut dyn SupportOracle| {
+                let mut out = Vec::new();
+                rules_for_itemset(&cfi.itemset, cfi.support(), oracle, 0.7, &mut out);
+                out.sort_by(|a, b| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)));
+                out
+            };
+            let direct = run(&mut DirectOracle { v: &v });
+            let via_tree = run(&mut ClosureSupportOracle::new(&tree, None));
+            assert_eq!(direct, via_tree, "body {}", cfi.itemset);
+        }
+    }
+
+    #[test]
+    fn localized_rule_rl_from_focal_oracle() {
+        // The paper's RL: in the Seattle-female subset, (Age=30-40 →
+        // Salary=90K-120K) has 75% support, 100% confidence.
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let s = d.schema();
+        let cfis = charm(&full_vertical(&v), 2);
+        let tree = ClosedItTree::build(cfis, s.num_items(), 11);
+        let focal = Tidset::from_sorted(vec![7, 8, 9, 10]);
+        let body = Itemset::from_items([
+            s.encode_named("Age", "30-40").unwrap(),
+            s.encode_named("Salary", "90K-120K").unwrap(),
+        ]);
+        let local_count = tree.tids_of(&body).unwrap().intersect_count(&focal);
+        assert_eq!(local_count, 3);
+        let mut oracle = ClosureSupportOracle::new(&tree, Some(&focal));
+        let mut out = Vec::new();
+        rules_for_itemset(&body, local_count, &mut oracle, 0.9, &mut out);
+        let rl = out
+            .iter()
+            .find(|r| r.antecedent.contains(s.encode_named("Age", "30-40").unwrap()))
+            .expect("RL must be found locally");
+        assert!((rl.support() - 0.75).abs() < 1e-12);
+        assert!((rl.confidence() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_generation_filters_by_min_count() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cfis = charm(&full_vertical(&v), 2);
+        let bodies: Vec<(&Itemset, usize)> =
+            cfis.iter().map(|c| (&c.itemset, c.support())).collect();
+        let mut oracle = DirectOracle { v: &v };
+        let strict = rules_for_itemsets(bodies.iter().copied(), &mut oracle, 5, 0.8);
+        let mut oracle = DirectOracle { v: &v };
+        let loose = rules_for_itemsets(bodies.iter().copied(), &mut oracle, 2, 0.8);
+        assert!(strict.len() < loose.len());
+        for r in &strict {
+            assert!(r.counts.body >= 5);
+            assert!(r.confidence() >= 0.8 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_rules_from_short_bodies() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let mut oracle = DirectOracle { v: &v };
+        let mut out = Vec::new();
+        let single = Itemset::singleton(d.schema().encode_named("Gender", "F").unwrap());
+        rules_for_itemset(&single, 7, &mut oracle, 0.1, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn confidence_pruning_is_lossless() {
+        // With min_conf = 0, every partition must be produced: check the
+        // count formula 2^n − 2 for an n-item body.
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let s = d.schema();
+        let body = Itemset::from_items([
+            s.encode_named("Gender", "F").unwrap(),
+            s.encode_named("Location", "Seattle").unwrap(),
+            s.encode_named("Age", "30-40").unwrap(),
+        ]);
+        let count = v.support(&body);
+        assert!(count > 0);
+        let mut oracle = DirectOracle { v: &v };
+        let mut out = Vec::new();
+        rules_for_itemset(&body, count, &mut oracle, 0.0, &mut out);
+        assert_eq!(out.len(), (1 << 3) - 2);
+    }
+}

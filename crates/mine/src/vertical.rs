@@ -1,0 +1,93 @@
+//! Vertical mining inputs: `(item, tid-list)` pairs.
+//!
+//! CHARM and Eclat consume a vertical database. Helpers here build one from
+//! a dataset's [`VerticalIndex`], optionally restricted to a subset of
+//! records (COLARM's ARM plan mines the extracted focal subset from
+//! scratch) and/or to the items of selected attributes (the query's
+//! `Aitem` clause).
+
+use colarm_data::{AttributeId, Dataset, ItemId, Tidset, VerticalIndex};
+
+/// One vertical-database column: an item and the records containing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemTids {
+    /// The item.
+    pub item: ItemId,
+    /// Records containing the item, sorted.
+    pub tids: Tidset,
+}
+
+/// Build the full vertical database of a dataset.
+pub fn full_vertical(vertical: &VerticalIndex) -> Vec<ItemTids> {
+    (0..vertical.num_items() as u32)
+        .map(|i| ItemTids {
+            item: ItemId(i),
+            tids: vertical.tids(ItemId(i)).clone(),
+        })
+        .collect()
+}
+
+/// Build a vertical database restricted to the records of `subset` and
+/// (optionally) to the items of `item_attrs`. Tid-lists are intersected
+/// with the subset, so supports computed downstream are *local* supports.
+pub fn restricted_vertical(
+    dataset: &Dataset,
+    vertical: &VerticalIndex,
+    subset: Option<&Tidset>,
+    item_attrs: Option<&[AttributeId]>,
+) -> Vec<ItemTids> {
+    let schema = dataset.schema();
+    let wanted = |item: ItemId| -> bool {
+        match item_attrs {
+            None => true,
+            Some(attrs) => attrs.contains(&schema.item_attribute(item)),
+        }
+    };
+    (0..vertical.num_items() as u32)
+        .map(ItemId)
+        .filter(|&i| wanted(i))
+        .map(|i| ItemTids {
+            item: i,
+            tids: match subset {
+                None => vertical.tids(i).clone(),
+                Some(s) => vertical.tids(i).intersect(s),
+            },
+        })
+        .filter(|it| !it.tids.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary;
+
+    #[test]
+    fn full_vertical_covers_all_items() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let cols = full_vertical(&v);
+        assert_eq!(cols.len(), d.schema().num_items());
+        let total: usize = cols.iter().map(|c| c.tids.len()).sum();
+        assert_eq!(total, d.num_records() * d.schema().num_attributes());
+    }
+
+    #[test]
+    fn restriction_by_subset_and_attrs() {
+        let d = salary();
+        let v = VerticalIndex::build(&d);
+        let s = d.schema();
+        let subset = Tidset::from_sorted(vec![7, 8, 9, 10]); // Seattle women
+        let age = s.attribute_by_name("Age").unwrap();
+        let cols = restricted_vertical(&d, &v, Some(&subset), Some(&[age]));
+        // Only Age items, only those present in the subset: 30-40 (3 recs)
+        // and 20-30 (1 rec).
+        assert_eq!(cols.len(), 2);
+        for c in &cols {
+            assert_eq!(s.item_attribute(c.item), age);
+            assert!(c.tids.is_subset_of(&subset));
+        }
+        let total: usize = cols.iter().map(|c| c.tids.len()).sum();
+        assert_eq!(total, 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-level tree statistics and the Theodoridis–Sellis cost model.
+//!
+//! COLARM's cost formulae (paper Equations 1, 3 and 6) estimate the
+//! SEARCH / SUPPORTED-SEARCH / SELECT costs as the expected number of
+//! R-tree node accesses from \[21\]:
+//!
+//! ```text
+//! NA(q) ≈ Σ_{levels j below root} N_j · Π_k min(1, s_{j,k} + q_k)
+//! ```
+//!
+//! where `N_j` is the node count at level `j`, `s_{j,k}` the average
+//! normalized extent of level-`j` node MBRs along dimension `k`, and `q_k`
+//! the query box's normalized extent. These statistics are gathered once at
+//! index-build time (the paper's "index statistics" of Figure 2) and reused
+//! for every online estimate.
+
+use crate::geom::Rect;
+use crate::tree::RTree;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one tree level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Number of nodes at this level (`N_j`).
+    pub nodes: usize,
+    /// Average normalized MBR extent per dimension (`D^{P_j,k}_avg`).
+    pub avg_extents: Vec<f64>,
+    /// Average entries per node at this level.
+    pub avg_fanout: f64,
+    /// Average of the nodes' max-weight bounds (for supported-search
+    /// selectivity estimates).
+    pub avg_max_weight: f64,
+}
+
+/// Statistics of a whole tree, root (level 0) downward to leaves.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Per-level statistics; `levels\[0\]` is the root level.
+    pub levels: Vec<LevelStats>,
+    /// Normalizing domain size per dimension.
+    pub domains: Vec<u32>,
+    /// Total entries stored.
+    pub entries: usize,
+}
+
+impl TreeStats {
+    /// Gather statistics with one walk over the tree.
+    pub fn collect<T>(tree: &RTree<T>, domains: &[u32]) -> TreeStats {
+        assert_eq!(domains.len(), tree.dims());
+        let mut acc: Vec<(usize, Vec<f64>, usize, f64)> = Vec::new();
+        tree.walk_levels(|level, mbr, max_weight, entry_count| {
+            if acc.len() <= level {
+                acc.resize(level + 1, (0, vec![0.0; domains.len()], 0, 0.0));
+            }
+            let slot = &mut acc[level];
+            slot.0 += 1;
+            for (s, e) in slot.1.iter_mut().zip(mbr.normalized_extents(domains)) {
+                *s += e;
+            }
+            slot.2 += entry_count;
+            slot.3 += max_weight as f64;
+        });
+        let levels = acc
+            .into_iter()
+            .map(|(nodes, extent_sums, entries, weight_sum)| LevelStats {
+                nodes,
+                avg_extents: extent_sums.iter().map(|s| s / nodes as f64).collect(),
+                avg_fanout: entries as f64 / nodes as f64,
+                avg_max_weight: weight_sum / nodes as f64,
+            })
+            .collect();
+        TreeStats {
+            levels,
+            domains: domains.to_vec(),
+            entries: tree.len(),
+        }
+    }
+
+    /// Tree height covered by the statistics.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Expected node accesses for a query box, per Theodoridis–Sellis. The
+/// root is always accessed; every lower level contributes
+/// `N_j · Π_k min(1, s_{j,k} + q_k)` capped at `N_j`.
+pub fn expected_node_accesses(stats: &TreeStats, query: &Rect) -> f64 {
+    if stats.levels.is_empty() {
+        return 0.0;
+    }
+    let q_ext = query.normalized_extents(&stats.domains);
+    let mut total = 1.0; // the root
+    for level in &stats.levels[1..] {
+        let p: f64 = level
+            .avg_extents
+            .iter()
+            .zip(&q_ext)
+            .map(|(s, q)| (s + q).min(1.0))
+            .product();
+        total += (level.nodes as f64 * p).min(level.nodes as f64);
+    }
+    total
+}
+
+/// Expected number of *entries* (MIPs) intersected by the query box —
+/// paper Lemma 4.1: `|{I_S^Q}| ≈ N · Π (D^P_avg + D^Q_avg)`.
+pub fn expected_intersections(stats: &TreeStats, query: &Rect) -> f64 {
+    let Some(leaf) = stats.levels.last() else {
+        return 0.0;
+    };
+    let q_ext = query.normalized_extents(&stats.domains);
+    let p: f64 = leaf
+        .avg_extents
+        .iter()
+        .zip(&q_ext)
+        .map(|(s, q)| (s + q).min(1.0))
+        .product();
+    stats.entries as f64 * p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::bulk_load_str;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn build(n: usize, seed: u64) -> (RTree<usize>, Vec<(Rect, u32, usize)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<(Rect, u32, usize)> = (0..n)
+            .map(|i| {
+                let lo = [rng.gen_range(0..120u32), rng.gen_range(0..120u32)];
+                let hi = [lo[0] + rng.gen_range(0..6u32), lo[1] + rng.gen_range(0..6u32)];
+                (Rect::new(lo.to_vec(), hi.to_vec()), 1, i)
+            })
+            .collect();
+        (bulk_load_str(2, 16, data.clone()), data)
+    }
+
+    #[test]
+    fn stats_shape_matches_tree() {
+        let (tree, _) = build(1000, 1);
+        let stats = tree.stats(&[128, 128]);
+        assert_eq!(stats.height(), tree.height());
+        assert_eq!(stats.entries, 1000);
+        assert_eq!(stats.levels[0].nodes, 1, "exactly one root");
+        // Node counts grow downward.
+        for w in stats.levels.windows(2) {
+            assert!(w[0].nodes <= w[1].nodes);
+        }
+        // Extents shrink downward (children are smaller than parents).
+        let root_ext: f64 = stats.levels[0].avg_extents.iter().sum();
+        let leaf_ext: f64 = stats.levels.last().unwrap().avg_extents.iter().sum();
+        assert!(leaf_ext < root_ext);
+    }
+
+    #[test]
+    fn estimate_tracks_observed_node_accesses() {
+        let (tree, _) = build(5000, 2);
+        let stats = tree.stats(&[128, 128]);
+        for (side, _) in [(10u32, ()), (40, ()), (100, ())] {
+            let q = Rect::new(vec![10, 10], vec![(10 + side).min(127), (10 + side).min(127)]);
+            let (_, counters) = tree.query(&q, 0);
+            let est = expected_node_accesses(&stats, &q);
+            let observed = counters.nodes_visited as f64;
+            // The model is approximate; demand agreement within 3× both ways.
+            assert!(
+                est / observed < 3.0 && observed / est < 3.0,
+                "side {side}: est {est:.1} vs observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_monotone_in_query_size() {
+        let (tree, _) = build(3000, 3);
+        let stats = tree.stats(&[128, 128]);
+        let mut prev = 0.0;
+        for hi in [5u32, 20, 60, 127] {
+            let q = Rect::new(vec![0, 0], vec![hi, hi]);
+            let est = expected_node_accesses(&stats, &q);
+            assert!(est >= prev);
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn expected_intersections_tracks_reality() {
+        let (tree, data) = build(4000, 4);
+        let stats = tree.stats(&[128, 128]);
+        let q = Rect::new(vec![20, 20], vec![80, 80]);
+        let actual = data.iter().filter(|(r, _, _)| q.intersects(r)).count() as f64;
+        let est = expected_intersections(&stats, &q);
+        assert!(
+            est / actual < 2.0 && actual / est < 2.0,
+            "est {est:.0} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let t: RTree<()> = RTree::new(2);
+        let stats = t.stats(&[8, 8]);
+        assert_eq!(stats.height(), 0);
+        let q = Rect::new(vec![0, 0], vec![1, 1]);
+        assert_eq!(expected_node_accesses(&stats, &q), 0.0);
+        assert_eq!(expected_intersections(&stats, &q), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Integer-coordinate axis-aligned boxes of runtime dimensionality.
+//!
+//! COLARM's space is the product of discretized attribute domains (paper
+//! Figure 1): dimension `a` has coordinates `0..domain_size(a)` and a box
+//! is an inclusive `[lo, hi]` interval per dimension. An itemset's box is a
+//! point on the attributes it constrains and full-domain on the rest; the
+//! focal subset's box is the hull of the user's per-attribute selections.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned box with **inclusive** integer bounds per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Box<[u32]>,
+    hi: Box<[u32]>,
+}
+
+impl Rect {
+    /// Build from inclusive bounds.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, are empty, or `lo > hi` on
+    /// any dimension.
+    pub fn new(lo: impl Into<Box<[u32]>>, hi: impl Into<Box<[u32]>>) -> Self {
+        let (lo, hi) = (lo.into(), hi.into());
+        assert_eq!(lo.len(), hi.len(), "dimension mismatch");
+        assert!(!lo.is_empty(), "zero-dimensional rect");
+        assert!(
+            lo.iter().zip(hi.iter()).all(|(l, h)| l <= h),
+            "inverted interval"
+        );
+        Rect { lo, hi }
+    }
+
+    /// A single point.
+    pub fn point(coords: &[u32]) -> Self {
+        Rect::new(coords.to_vec(), coords.to_vec())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Inclusive lower bounds.
+    #[inline]
+    pub fn lo(&self) -> &[u32] {
+        &self.lo
+    }
+
+    /// Inclusive upper bounds.
+    #[inline]
+    pub fn hi(&self) -> &[u32] {
+        &self.hi
+    }
+
+    /// True when the boxes intersect (inclusive bounds).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo
+            .iter()
+            .zip(&*other.hi)
+            .all(|(l, h)| l <= h)
+            && other.lo.iter().zip(&*self.hi).all(|(l, h)| l <= h)
+    }
+
+    /// True when `self` fully contains `other`.
+    #[inline]
+    pub fn contains(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo.iter().zip(&*other.lo).all(|(s, o)| s <= o)
+            && self.hi.iter().zip(&*other.hi).all(|(s, o)| s >= o)
+    }
+
+    /// True when the point lies inside the box.
+    pub fn contains_point(&self, p: &[u32]) -> bool {
+        debug_assert_eq!(self.dims(), p.len());
+        self.lo.iter().zip(p).all(|(l, x)| l <= x) && self.hi.iter().zip(p).all(|(h, x)| h >= x)
+    }
+
+    /// Number of integer cells covered (product of `hi - lo + 1`), as `f64`
+    /// to avoid overflow in high dimensions.
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&*self.hi)
+            .map(|(l, h)| (h - l + 1) as f64)
+            .product()
+    }
+
+    /// Sum of side lengths (the margin used by some split heuristics).
+    pub fn margin(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&*self.hi)
+            .map(|(l, h)| (h - l + 1) as f64)
+            .sum()
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dims(), other.dims());
+        Rect {
+            lo: self
+                .lo
+                .iter()
+                .zip(&*other.lo)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&*other.hi)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Grow in place to cover `other`.
+    pub fn extend(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for (a, b) in self.lo.iter_mut().zip(&*other.lo) {
+            *a = (*a).min(*b);
+        }
+        for (a, b) in self.hi.iter_mut().zip(&*other.hi) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Volume increase that covering `other` would cost — Guttman's
+    /// least-enlargement insertion criterion.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Volume of the intersection, 0 if disjoint.
+    pub fn overlap_volume(&self, other: &Rect) -> f64 {
+        if !self.intersects(other) {
+            return 0.0;
+        }
+        self.lo
+            .iter()
+            .zip(&*self.hi)
+            .zip(other.lo.iter().zip(&*other.hi))
+            .map(|((sl, sh), (ol, oh))| ((*sh).min(*oh) - (*sl).max(*ol) + 1) as f64)
+            .product()
+    }
+
+    /// Center coordinate per dimension (rounded down), for packing orders.
+    pub fn center(&self) -> Vec<u32> {
+        self.lo
+            .iter()
+            .zip(&*self.hi)
+            .map(|(l, h)| l + (h - l) / 2)
+            .collect()
+    }
+
+    /// Normalized extent per dimension given the domain sizes: side length
+    /// divided by domain size — the `D^P_avg` inputs of the paper's cost
+    /// model (Table 3).
+    pub fn normalized_extents(&self, domains: &[u32]) -> Vec<f64> {
+        debug_assert_eq!(self.dims(), domains.len());
+        self.lo
+            .iter()
+            .zip(&*self.hi)
+            .zip(domains)
+            .map(|((l, h), d)| (h - l + 1) as f64 / (*d).max(1) as f64)
+            .collect()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for d in 0..self.dims() {
+            if d > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{}..{}", self.lo[d], self.hi[d])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[u32], hi: &[u32]) -> Rect {
+        Rect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = r(&[0, 0], &[4, 4]);
+        let b = r(&[4, 4], &[6, 6]);
+        let c = r(&[5, 0], &[6, 3]);
+        assert!(a.intersects(&b)); // inclusive: share corner (4,4)
+        assert!(!a.intersects(&c));
+        assert!(a.contains(&r(&[1, 1], &[3, 4])));
+        assert!(!a.contains(&b));
+        assert!(a.contains_point(&[4, 0]));
+        assert!(!a.contains_point(&[5, 0]));
+    }
+
+    #[test]
+    fn volume_margin_union() {
+        let a = r(&[0, 0], &[1, 2]); // 2 × 3 cells
+        assert_eq!(a.volume(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        let b = r(&[3, 1], &[3, 1]);
+        let u = a.union(&b);
+        assert_eq!(u, r(&[0, 0], &[3, 2]));
+        assert_eq!(a.enlargement(&b), 12.0 - 6.0);
+        assert_eq!(a.overlap_volume(&b), 0.0);
+        assert_eq!(a.overlap_volume(&r(&[1, 1], &[9, 9])), 1.0 * 2.0);
+    }
+
+    #[test]
+    fn extend_grows_in_place() {
+        let mut a = r(&[2, 2], &[3, 3]);
+        a.extend(&r(&[0, 5], &[1, 9]));
+        assert_eq!(a, r(&[0, 2], &[3, 9]));
+    }
+
+    #[test]
+    fn center_and_extents() {
+        let a = r(&[0, 2], &[3, 2]);
+        assert_eq!(a.center(), vec![1, 2]);
+        assert_eq!(a.normalized_extents(&[4, 10]), vec![1.0, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn rejects_inverted() {
+        r(&[2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_mixed_dims() {
+        Rect::new(vec![0u32], vec![1u32, 2]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(r(&[0, 1], &[2, 3]).to_string(), "[0..2 × 1..3]");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn union_contains_both(a_lo in proptest::collection::vec(0u32..50, 3),
+                               b_lo in proptest::collection::vec(0u32..50, 3),
+                               a_ext in proptest::collection::vec(0u32..20, 3),
+                               b_ext in proptest::collection::vec(0u32..20, 3)) {
+            let a_hi: Vec<u32> = a_lo.iter().zip(&a_ext).map(|(l, e)| l + e).collect();
+            let b_hi: Vec<u32> = b_lo.iter().zip(&b_ext).map(|(l, e)| l + e).collect();
+            let a = Rect::new(a_lo, a_hi);
+            let b = Rect::new(b_lo, b_hi);
+            let u = a.union(&b);
+            proptest::prop_assert!(u.contains(&a) && u.contains(&b));
+            proptest::prop_assert!(u.volume() >= a.volume().max(b.volume()));
+            // Symmetry checks.
+            proptest::prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+            proptest::prop_assert_eq!(a.overlap_volume(&b), b.overlap_volume(&a));
+        }
+    }
+}

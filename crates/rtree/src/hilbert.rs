@@ -1,0 +1,196 @@
+//! n-dimensional Hilbert curve indexing (Skilling's transform).
+//!
+//! The Kamel–Faloutsos packed R-tree \[11\] orders entries along a Hilbert
+//! curve before packing them into leaves, which keeps spatially close boxes
+//! in the same node. This module computes the Hilbert index of an
+//! n-dimensional point with `bits` bits per coordinate, for
+//! `n * bits ≤ 128` (higher-dimensional COLARM indexes fall back to STR
+//! packing, which has no such limit — see [`crate::bulk`]).
+//!
+//! Reference: J. Skilling, "Programming the Hilbert curve", AIP Conference
+//! Proceedings 707 (2004).
+
+/// Maximum total key width supported.
+pub const MAX_KEY_BITS: u32 = 128;
+
+/// True when a Hilbert key fits for this dimensionality / precision.
+pub fn key_fits(dims: usize, bits: u32) -> bool {
+    bits >= 1 && (dims as u32).saturating_mul(bits) <= MAX_KEY_BITS
+}
+
+/// Hilbert index of `coords` with `bits` bits per coordinate.
+///
+/// # Panics
+/// Panics if the key does not fit (`!key_fits`), if `coords` is empty, or
+/// if any coordinate needs more than `bits` bits.
+pub fn hilbert_index(coords: &[u32], bits: u32) -> u128 {
+    assert!(!coords.is_empty(), "empty coordinate vector");
+    assert!(key_fits(coords.len(), bits), "hilbert key would overflow");
+    assert!(
+        coords.iter().all(|&c| bits == 32 || c < (1u32 << bits)),
+        "coordinate exceeds bit width"
+    );
+    let mut x: Vec<u32> = coords.to_vec();
+    axes_to_transpose(&mut x, bits);
+    interleave(&x, bits)
+}
+
+/// Skilling's in-place transform from axis coordinates to the "transposed"
+/// Hilbert representation.
+fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    if bits < 2 {
+        // 1-bit coordinates: the Gray-code stage below is a no-op loop; the
+        // transpose equals the Gray-encoded axes.
+        gray_encode_stage(x);
+        return;
+    }
+    let m = 1u32 << (bits - 1);
+    // Inverse undo excess work.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    gray_encode_stage(x);
+}
+
+fn gray_encode_stage(x: &mut [u32]) {
+    let n = x.len();
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = 1u32 << 31;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Interleave the transposed representation into a single key: bit `b` of
+/// axis `i` lands at key position `b * n + (n - 1 - i)` (most significant
+/// bits first).
+fn interleave(x: &[u32], bits: u32) -> u128 {
+    let n = x.len();
+    let mut key: u128 = 0;
+    for b in (0..bits).rev() {
+        for (i, &xi) in x.iter().enumerate() {
+            key <<= 1;
+            key |= ((xi >> b) & 1) as u128;
+            let _ = i;
+        }
+    }
+    debug_assert!(bits as usize * n <= 128);
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn key_fits_limits() {
+        assert!(key_fits(2, 16));
+        assert!(key_fits(128, 1));
+        assert!(!key_fits(129, 1));
+        assert!(!key_fits(5, 32));
+        assert!(!key_fits(2, 0));
+    }
+
+    #[test]
+    fn two_d_bijective_and_adjacent() {
+        // All 2^8 = 256 points of a 16×16 grid: indices must be a
+        // permutation of 0..256 and consecutive indices must be grid
+        // neighbours (the defining Hilbert property).
+        let bits = 4;
+        let mut by_index: Vec<(u128, [u32; 2])> = Vec::new();
+        for xx in 0..16u32 {
+            for y in 0..16u32 {
+                by_index.push((hilbert_index(&[xx, y], bits), [xx, y]));
+            }
+        }
+        let distinct: HashSet<u128> = by_index.iter().map(|(k, _)| *k).collect();
+        assert_eq!(distinct.len(), 256, "indices must be unique");
+        assert!(by_index.iter().all(|(k, _)| *k < 256));
+        by_index.sort_by_key(|(k, _)| *k);
+        for w in by_index.windows(2) {
+            let (a, b) = (w[0].1, w[1].1);
+            let manhattan = a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]);
+            assert_eq!(manhattan, 1, "curve must move one step: {a:?} → {b:?}");
+        }
+    }
+
+    #[test]
+    fn three_d_bijective() {
+        let bits = 3;
+        let mut keys = HashSet::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    assert!(keys.insert(hilbert_index(&[x, y, z], bits)));
+                }
+            }
+        }
+        assert_eq!(keys.len(), 512);
+    }
+
+    #[test]
+    fn one_bit_coordinates_work() {
+        let keys: HashSet<u128> = (0..8u32)
+            .map(|m| hilbert_index(&[m & 1, (m >> 1) & 1, (m >> 2) & 1], 1))
+            .collect();
+        assert_eq!(keys.len(), 8);
+        assert!(keys.iter().all(|&k| k < 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate exceeds bit width")]
+    fn rejects_wide_coordinates() {
+        hilbert_index(&[16, 0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "hilbert key would overflow")]
+    fn rejects_oversized_keys() {
+        hilbert_index(&[0u32; 20], 8);
+    }
+
+    #[test]
+    fn locality_beats_row_major_on_average() {
+        // Weak but meaningful check: average index distance of grid
+        // neighbours should be far smaller than for row-major order.
+        let bits = 5;
+        let side = 32u32;
+        let mut hilbert_total: f64 = 0.0;
+        let mut rowmajor_total: f64 = 0.0;
+        let mut count = 0.0;
+        for x in 0..side - 1 {
+            for y in 0..side {
+                let a = hilbert_index(&[x, y], bits) as f64;
+                let b = hilbert_index(&[x + 1, y], bits) as f64;
+                hilbert_total += (a - b).abs();
+                let ra = (x * side + y) as f64;
+                let rb = ((x + 1) * side + y) as f64;
+                rowmajor_total += (ra - rb).abs();
+                count += 1.0;
+            }
+        }
+        assert!(hilbert_total / count < rowmajor_total / count);
+    }
+}

@@ -1,0 +1,36 @@
+//! Multidimensional index substrate for COLARM (EDBT 2014).
+//!
+//! The paper's MIP-index stores the bounding box of every prestored closed
+//! frequent itemset in an R-tree (§3.3) and extends it into a **Supported
+//! R-tree** (§4.3, Figure 6) whose entries carry global support counts so
+//! that subtrees whose best possible local support cannot reach `minsupp`
+//! are pruned during the range search.
+//!
+//! The `rstar` crate suggested by the reproduction notes is unavailable in
+//! this offline environment — and would not fit anyway: COLARM needs
+//! support-annotated nodes, Kamel–Faloutsos-style packing for the one-time
+//! offline build, per-level statistics for the Theodoridis–Sellis cost
+//! model, and node-access accounting for cost-model validation. So the tree
+//! is built from scratch:
+//!
+//! * [`geom::Rect`] — integer-coordinate boxes of runtime dimensionality
+//!   (attribute-value cells of the discretized space, paper Figure 1).
+//! * [`tree::RTree`] — Guttman R-tree with quadratic split; every leaf
+//!   entry carries a `weight` (the itemset's global support) and every
+//!   inner entry the max weight of its subtree, giving the Supported
+//!   R-tree's pruning bound for free.
+//! * [`bulk`] — Sort-Tile-Recursive and Hilbert-order packing (~100 % leaf
+//!   utilization, the property of the paper's packed R-tree \[11\]).
+//! * [`hilbert`] — n-dimensional Hilbert curve (Skilling's transform).
+//! * [`cost`] — per-level statistics and the Theodoridis–Sellis expected
+//!   node-access estimate used by COLARM's Equations 1, 3 and 6.
+
+pub mod bulk;
+pub mod cost;
+pub mod geom;
+pub mod hilbert;
+pub mod tree;
+
+pub use cost::{expected_node_accesses, LevelStats, TreeStats};
+pub use geom::Rect;
+pub use tree::{Containment, QueryCounters, RTree, SearchHit};

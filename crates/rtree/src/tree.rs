@@ -1,0 +1,992 @@
+//! Guttman R-tree with weight-annotated entries (the Supported R-tree).
+//!
+//! Leaf entries carry a `weight` — in COLARM, the itemset's global support
+//! count `|D^G_I|` — and every node maintains the **maximum** weight in its
+//! subtree. A range search with a `min_weight` bound then skips whole
+//! subtrees that cannot contain a qualifying itemset: this is exactly the
+//! paper's SUPPORTED-SEARCH operator (§4.3) since
+//! `supp_Q(I) ≤ |D^G_I| / |DQ|` (Lemma 4.4) turns `minsupp` into a weight
+//! bound `⌈minsupp · |DQ|⌉`. A plain SEARCH is a query with `min_weight = 0`.
+//!
+//! Nodes live in an arena; inserts use Guttman's least-enlargement descent
+//! and quadratic split. Offline construction uses the packing algorithms in
+//! [`crate::bulk`]. Searches report [`QueryCounters`] (node accesses, leaf
+//! entries touched, weight prunes) so COLARM can validate its cost model
+//! against observed behaviour.
+
+use crate::geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Default maximum entries per node (fanout).
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+
+/// Relationship of a matching entry's box to the query box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Containment {
+    /// Entry box fully inside the query box.
+    Contained,
+    /// Entry box intersects but is not contained.
+    Partial,
+}
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchHit<'a, T> {
+    /// The stored payload.
+    pub payload: &'a T,
+    /// The entry's bounding box.
+    pub rect: &'a Rect,
+    /// The entry's weight (global support count in COLARM).
+    pub weight: u32,
+    /// Hull-level containment classification w.r.t. the query box.
+    pub containment: Containment,
+}
+
+/// Instrumentation accumulated by one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// Nodes visited (the paper's disk-access proxy).
+    pub nodes_visited: usize,
+    /// Leaf entries whose boxes were tested.
+    pub leaf_entries_checked: usize,
+    /// Subtrees/entries skipped by the weight (support) bound.
+    pub weight_pruned: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LeafEntry<T> {
+    rect: Rect,
+    weight: u32,
+    payload: T,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum NodeKind<T> {
+    Leaf(Vec<LeafEntry<T>>),
+    Inner(Vec<u32>),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node<T> {
+    mbr: Rect,
+    max_weight: u32,
+    kind: NodeKind<T>,
+}
+
+/// An R-tree storing `(Rect, weight, T)` entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RTree<T> {
+    nodes: Vec<Node<T>>,
+    root: u32,
+    height: usize,
+    len: usize,
+    dims: usize,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+impl<T> RTree<T> {
+    /// An empty tree over `dims` dimensions with the default fanout.
+    pub fn new(dims: usize) -> Self {
+        Self::with_fanout(dims, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty tree with an explicit maximum node fanout (≥ 4).
+    pub fn with_fanout(dims: usize, max_entries: usize) -> Self {
+        assert!(dims > 0, "zero-dimensional tree");
+        assert!(max_entries >= 4, "fanout must be at least 4");
+        RTree {
+            nodes: Vec::new(),
+            root: 0,
+            height: 0,
+            len: 0,
+            dims,
+            max_entries,
+            min_entries: (max_entries * 2).div_ceil(5),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 for empty, 1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Maximum entries per node.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Bounding box of everything stored, `None` when empty.
+    pub fn bounds(&self) -> Option<&Rect> {
+        (!self.is_empty()).then(|| &self.nodes[self.root as usize].mbr)
+    }
+
+    /// Insert an entry (Guttman: least-enlargement descent, quadratic
+    /// split on overflow).
+    pub fn insert(&mut self, rect: Rect, weight: u32, payload: T) {
+        assert_eq!(rect.dims(), self.dims, "entry dimensionality mismatch");
+        if self.is_empty() {
+            self.root = self.push_node(Node {
+                mbr: rect.clone(),
+                max_weight: weight,
+                kind: NodeKind::Leaf(vec![LeafEntry {
+                    rect,
+                    weight,
+                    payload,
+                }]),
+            });
+            self.height = 1;
+            self.len = 1;
+            return;
+        }
+        let mut path = Vec::with_capacity(self.height);
+        let leaf = self.choose_leaf(&rect, &mut path);
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
+            entries.push(LeafEntry {
+                rect: rect.clone(),
+                weight,
+                payload,
+            });
+        } else {
+            unreachable!("choose_leaf returns a leaf");
+        }
+        self.nodes[leaf as usize].mbr.extend(&rect);
+        self.nodes[leaf as usize].max_weight = self.nodes[leaf as usize].max_weight.max(weight);
+        self.len += 1;
+        self.handle_overflow(leaf, path);
+    }
+
+    /// Range query: all entries whose boxes intersect `query` and whose
+    /// weight is at least `min_weight`. Entries are classified as contained
+    /// or partial w.r.t. the query hull.
+    pub fn query(&self, query: &Rect, min_weight: u32) -> (Vec<SearchHit<'_, T>>, QueryCounters) {
+        assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
+        let mut hits = Vec::new();
+        let mut counters = QueryCounters::default();
+        if self.is_empty() {
+            return (hits, counters);
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            counters.nodes_visited += 1;
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        counters.leaf_entries_checked += 1;
+                        if e.weight < min_weight {
+                            counters.weight_pruned += 1;
+                            continue;
+                        }
+                        if query.intersects(&e.rect) {
+                            hits.push(SearchHit {
+                                payload: &e.payload,
+                                rect: &e.rect,
+                                weight: e.weight,
+                                containment: if query.contains(&e.rect) {
+                                    Containment::Contained
+                                } else {
+                                    Containment::Partial
+                                },
+                            });
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        let child = &self.nodes[c as usize];
+                        if child.max_weight < min_weight {
+                            counters.weight_pruned += 1;
+                            continue;
+                        }
+                        if query.intersects(&child.mbr) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        (hits, counters)
+    }
+
+    /// Visit every stored entry (in arbitrary order).
+    pub fn for_each(&self, mut f: impl FnMut(&Rect, u32, &T)) {
+        if self.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        f(&e.rect, e.weight, &e.payload);
+                    }
+                }
+                NodeKind::Inner(children) => stack.extend(children.iter().copied()),
+            }
+        }
+    }
+
+    /// Per-level node counts and average normalized extents, for the
+    /// Theodoridis–Sellis cost model. `domains` gives each dimension's
+    /// size. Level 0 is the root.
+    pub fn stats(&self, domains: &[u32]) -> crate::cost::TreeStats {
+        crate::cost::TreeStats::collect(self, domains)
+    }
+
+    /// Remove one entry matching `rect` and `payload` exactly (Guttman
+    /// delete with tree condensation: underflowing nodes are dissolved and
+    /// their entries reinserted). Returns `false` when no such entry
+    /// exists. Freed arena slots are not reused — repeated heavy churn is
+    /// better served by a bulk rebuild, which is also how COLARM maintains
+    /// its one-time offline index.
+    pub fn remove(&mut self, rect: &Rect, payload: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        assert_eq!(rect.dims(), self.dims, "entry dimensionality mismatch");
+        if self.is_empty() {
+            return false;
+        }
+        let Some(path) = self.find_leaf(self.root, rect, payload, &mut Vec::new()) else {
+            return false;
+        };
+        let leaf = *path.last().expect("path ends at the leaf");
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf as usize].kind {
+            let pos = entries
+                .iter()
+                .position(|e| &e.rect == rect && &e.payload == payload)
+                .expect("find_leaf located the entry");
+            entries.remove(pos);
+        }
+        self.len -= 1;
+        // Condense bottom-up, collecting orphaned leaf entries.
+        let mut orphans: Vec<LeafEntry<T>> = Vec::new();
+        for i in (0..path.len()).rev() {
+            let id = path[i];
+            let count = match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(e) => e.len(),
+                NodeKind::Inner(c) => c.len(),
+            };
+            if i == 0 {
+                // Root: shrink if possible, handled below.
+                if count > 0 {
+                    self.refresh_summaries(id);
+                }
+                break;
+            }
+            if count < self.min_entries {
+                // Dissolve this node: unhook from its parent and stash its
+                // remaining leaf entries for reinsertion.
+                let parent = path[i - 1];
+                if let NodeKind::Inner(children) = &mut self.nodes[parent as usize].kind {
+                    children.retain(|&c| c != id);
+                }
+                self.collect_leaf_entries(id, &mut orphans);
+            } else {
+                self.refresh_summaries(id);
+            }
+        }
+        // Shrink the root.
+        loop {
+            match &self.nodes[self.root as usize].kind {
+                NodeKind::Inner(children) if children.is_empty() => {
+                    self.nodes.clear();
+                    self.root = 0;
+                    self.height = 0;
+                    break;
+                }
+                NodeKind::Inner(children) if children.len() == 1 => {
+                    self.root = children[0];
+                    self.height -= 1;
+                }
+                NodeKind::Leaf(entries) if entries.is_empty() => {
+                    self.nodes.clear();
+                    self.root = 0;
+                    self.height = 0;
+                    break;
+                }
+                _ => {
+                    self.refresh_summaries(self.root);
+                    break;
+                }
+            }
+        }
+        // Reinsert orphans.
+        self.len -= orphans.len();
+        for e in orphans {
+            self.insert(e.rect, e.weight, e.payload);
+        }
+        true
+    }
+
+    /// DFS for the leaf holding an exact `(rect, payload)` entry; returns
+    /// the root-to-leaf path.
+    fn find_leaf(
+        &self,
+        id: u32,
+        rect: &Rect,
+        payload: &T,
+        prefix: &mut Vec<u32>,
+    ) -> Option<Vec<u32>>
+    where
+        T: PartialEq,
+    {
+        prefix.push(id);
+        let node = &self.nodes[id as usize];
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                if entries
+                    .iter()
+                    .any(|e| &e.rect == rect && &e.payload == payload)
+                {
+                    let path = prefix.clone();
+                    prefix.pop();
+                    return Some(path);
+                }
+            }
+            NodeKind::Inner(children) => {
+                for &c in children {
+                    if self.nodes[c as usize].mbr.contains(rect) {
+                        if let Some(path) = self.find_leaf(c, rect, payload, prefix) {
+                            prefix.pop();
+                            return Some(path);
+                        }
+                    }
+                }
+            }
+        }
+        prefix.pop();
+        None
+    }
+
+    /// Drain every leaf entry under `id` into `out` (the node's slots are
+    /// left empty; the arena garbage is reclaimed on the next bulk build).
+    fn collect_leaf_entries(&mut self, id: u32, out: &mut Vec<LeafEntry<T>>) {
+        match std::mem::replace(&mut self.nodes[id as usize].kind, NodeKind::Inner(Vec::new())) {
+            NodeKind::Leaf(mut entries) => out.append(&mut entries),
+            NodeKind::Inner(children) => {
+                for c in children {
+                    self.collect_leaf_entries(c, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn push_node(&mut self, node: Node<T>) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Descend to the best leaf for `rect`, recording the path of inner
+    /// node ids (root first) and growing MBRs on the way down.
+    fn choose_leaf(&mut self, rect: &Rect, path: &mut Vec<u32>) -> u32 {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(_) => return id,
+                NodeKind::Inner(children) => {
+                    let mut best = children[0];
+                    let mut best_enl = f64::INFINITY;
+                    let mut best_vol = f64::INFINITY;
+                    for &c in children {
+                        let mbr = &self.nodes[c as usize].mbr;
+                        let enl = mbr.enlargement(rect);
+                        let vol = mbr.volume();
+                        if enl < best_enl || (enl == best_enl && vol < best_vol) {
+                            best = c;
+                            best_enl = enl;
+                            best_vol = vol;
+                        }
+                    }
+                    path.push(id);
+                    self.nodes[id as usize].mbr.extend(rect);
+                    id = best;
+                }
+            }
+        }
+    }
+
+    /// Split overflowing nodes up the recorded path; grow a new root if the
+    /// old root splits.
+    fn handle_overflow(&mut self, mut id: u32, mut path: Vec<u32>) {
+        loop {
+            let overflow = match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(e) => e.len() > self.max_entries,
+                NodeKind::Inner(c) => c.len() > self.max_entries,
+            };
+            self.refresh_summaries(id);
+            if !overflow {
+                // Weights/MBRs above may still be stale; refresh the path.
+                while let Some(p) = path.pop() {
+                    self.refresh_summaries(p);
+                }
+                return;
+            }
+            let sibling = self.split(id);
+            match path.pop() {
+                Some(parent) => {
+                    if let NodeKind::Inner(children) = &mut self.nodes[parent as usize].kind {
+                        children.push(sibling);
+                    } else {
+                        unreachable!("parents are inner nodes");
+                    }
+                    id = parent;
+                }
+                None => {
+                    // Root split: new root over the two halves.
+                    let mbr = self.nodes[id as usize]
+                        .mbr
+                        .union(&self.nodes[sibling as usize].mbr);
+                    let max_weight = self.nodes[id as usize]
+                        .max_weight
+                        .max(self.nodes[sibling as usize].max_weight);
+                    let new_root = self.push_node(Node {
+                        mbr,
+                        max_weight,
+                        kind: NodeKind::Inner(vec![id, sibling]),
+                    });
+                    self.root = new_root;
+                    self.height += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Recompute a node's MBR and max weight from its contents.
+    fn refresh_summaries(&mut self, id: u32) {
+        let (mbr, weight) = match &self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => {
+                let mut it = entries.iter();
+                let first = it.next().expect("nodes are never left empty");
+                let mut mbr = first.rect.clone();
+                let mut w = first.weight;
+                for e in it {
+                    mbr.extend(&e.rect);
+                    w = w.max(e.weight);
+                }
+                (mbr, w)
+            }
+            NodeKind::Inner(children) => {
+                let mut it = children.iter();
+                let first = *it.next().expect("nodes are never left empty");
+                let mut mbr = self.nodes[first as usize].mbr.clone();
+                let mut w = self.nodes[first as usize].max_weight;
+                for &c in it {
+                    mbr.extend(&self.nodes[c as usize].mbr);
+                    w = w.max(self.nodes[c as usize].max_weight);
+                }
+                (mbr, w)
+            }
+        };
+        self.nodes[id as usize].mbr = mbr;
+        self.nodes[id as usize].max_weight = weight;
+    }
+
+    /// Quadratic split: returns the id of the new sibling node.
+    fn split(&mut self, id: u32) -> u32 {
+        enum Items<T> {
+            Leaf(Vec<LeafEntry<T>>),
+            Inner(Vec<u32>),
+        }
+        // Pull the items out, split their rects into two groups, rebuild.
+        let items = match &mut self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => Items::Leaf(std::mem::take(entries)),
+            NodeKind::Inner(children) => Items::Inner(std::mem::take(children)),
+        };
+        match items {
+            Items::Leaf(entries) => {
+                let rects: Vec<&Rect> = entries.iter().map(|e| &e.rect).collect();
+                let assignment = quadratic_partition(&rects, self.min_entries);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                for (entry, &to_b) in entries.into_iter().zip(&assignment) {
+                    if to_b {
+                        b.push(entry);
+                    } else {
+                        a.push(entry);
+                    }
+                }
+                self.nodes[id as usize].kind = NodeKind::Leaf(a);
+                self.refresh_summaries(id);
+                let sibling = self.push_node(Node {
+                    mbr: b[0].rect.clone(),
+                    max_weight: 0,
+                    kind: NodeKind::Leaf(b),
+                });
+                self.refresh_summaries(sibling);
+                sibling
+            }
+            Items::Inner(children) => {
+                let rects: Vec<&Rect> =
+                    children.iter().map(|&c| &self.nodes[c as usize].mbr).collect();
+                let assignment = quadratic_partition(&rects, self.min_entries);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                for (child, &to_b) in children.into_iter().zip(&assignment) {
+                    if to_b {
+                        b.push(child);
+                    } else {
+                        a.push(child);
+                    }
+                }
+                self.nodes[id as usize].kind = NodeKind::Inner(a);
+                self.refresh_summaries(id);
+                let mbr = self.nodes[b[0] as usize].mbr.clone();
+                let sibling = self.push_node(Node {
+                    mbr,
+                    max_weight: 0,
+                    kind: NodeKind::Inner(b),
+                });
+                self.refresh_summaries(sibling);
+                sibling
+            }
+        }
+    }
+
+    /// Build a tree of the given height directly from pre-packed leaves —
+    /// used by the bulk loaders in [`crate::bulk`].
+    pub(crate) fn from_packed(
+        dims: usize,
+        max_entries: usize,
+        entries_per_leaf: Vec<Vec<(Rect, u32, T)>>,
+    ) -> Self {
+        let mut tree = RTree::with_fanout(dims, max_entries);
+        if entries_per_leaf.is_empty() {
+            return tree;
+        }
+        let mut level: Vec<u32> = Vec::with_capacity(entries_per_leaf.len());
+        for group in entries_per_leaf {
+            assert!(!group.is_empty() && group.len() <= max_entries);
+            let leaf_entries: Vec<LeafEntry<T>> = group
+                .into_iter()
+                .map(|(rect, weight, payload)| LeafEntry {
+                    rect,
+                    weight,
+                    payload,
+                })
+                .collect();
+            tree.len += leaf_entries.len();
+            let id = tree.push_node(Node {
+                mbr: leaf_entries[0].rect.clone(),
+                max_weight: 0,
+                kind: NodeKind::Leaf(leaf_entries),
+            });
+            tree.refresh_summaries(id);
+            level.push(id);
+        }
+        tree.height = 1;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(max_entries));
+            for chunk in level.chunks(max_entries) {
+                let id = tree.push_node(Node {
+                    mbr: tree.nodes[chunk[0] as usize].mbr.clone(),
+                    max_weight: 0,
+                    kind: NodeKind::Inner(chunk.to_vec()),
+                });
+                tree.refresh_summaries(id);
+                next.push(id);
+            }
+            level = next;
+            tree.height += 1;
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    /// Walk nodes level by level, giving `(level, mbr, max_weight,
+    /// entry_count)` for each node; level 0 is the root. Used by the
+    /// statistics collector and by COLARM's supported-search selectivity
+    /// estimator.
+    pub fn walk_levels(&self, mut f: impl FnMut(usize, &Rect, u32, usize)) {
+        if self.is_empty() {
+            return;
+        }
+        let mut frontier = vec![self.root];
+        let mut level = 0usize;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &id in &frontier {
+                let node = &self.nodes[id as usize];
+                let count = match &node.kind {
+                    NodeKind::Leaf(e) => e.len(),
+                    NodeKind::Inner(c) => {
+                        next.extend(c.iter().copied());
+                        c.len()
+                    }
+                };
+                f(level, &node.mbr, node.max_weight, count);
+            }
+            frontier = next;
+            level += 1;
+        }
+    }
+
+    /// Check structural invariants (test support): MBR coverage, weight
+    /// bounds, entry-count bounds, uniform leaf depth.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if self.is_empty() {
+            return;
+        }
+        let mut leaf_depths = Vec::new();
+        self.check_node(self.root, 0, &mut leaf_depths);
+        assert!(
+            leaf_depths.windows(2).all(|w| w[0] == w[1]),
+            "leaves at different depths"
+        );
+        assert_eq!(leaf_depths[0] + 1, self.height, "height mismatch");
+    }
+
+    fn check_node(&self, id: u32, depth: usize, leaf_depths: &mut Vec<usize>) {
+        let node = &self.nodes[id as usize];
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                assert!(!entries.is_empty(), "empty leaf");
+                assert!(entries.len() <= self.max_entries, "leaf overflow");
+                let mut w = 0;
+                for e in entries {
+                    assert!(node.mbr.contains(&e.rect), "leaf MBR does not cover entry");
+                    w = w.max(e.weight);
+                }
+                assert_eq!(node.max_weight, w, "stale leaf weight bound");
+                leaf_depths.push(depth);
+            }
+            NodeKind::Inner(children) => {
+                assert!(!children.is_empty(), "empty inner node");
+                assert!(children.len() <= self.max_entries, "inner overflow");
+                let mut w = 0;
+                for &c in children {
+                    let child = &self.nodes[c as usize];
+                    assert!(node.mbr.contains(&child.mbr), "inner MBR does not cover child");
+                    w = w.max(child.max_weight);
+                    self.check_node(c, depth + 1, leaf_depths);
+                }
+                assert_eq!(node.max_weight, w, "stale inner weight bound");
+            }
+        }
+    }
+}
+
+/// Guttman's quadratic split over a set of rects: returns, per rect,
+/// whether it goes to group B. Both groups get at least `min_entries`.
+fn quadratic_partition(rects: &[&Rect], min_entries: usize) -> Vec<bool> {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    // Pick seeds: the pair wasting the most volume if grouped together.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union(rects[j]).volume() - rects[i].volume() - rects[j].volume();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut to_b = vec![false; n];
+    to_b[seed_b] = true;
+    let mut mbr_a = rects[seed_a].clone();
+    let mut mbr_b = rects[seed_b].clone();
+    let (mut count_a, mut count_b) = (1usize, 1usize);
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+    while !remaining.is_empty() {
+        // Force-assign when one group must take everything left to reach
+        // its minimum.
+        if count_a + remaining.len() <= min_entries {
+            for &i in &remaining {
+                mbr_a.extend(rects[i]);
+            }
+            break;
+        }
+        if count_b + remaining.len() <= min_entries {
+            for &i in &remaining {
+                to_b[i] = true;
+                mbr_b.extend(rects[i]);
+            }
+            break;
+        }
+        // Pick the rect with the greatest preference difference.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let d = (mbr_a.enlargement(rects[i]) - mbr_b.enlargement(rects[i])).abs();
+                (pos, d)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty");
+        let i = remaining.swap_remove(pos);
+        let (ea, eb) = (mbr_a.enlargement(rects[i]), mbr_b.enlargement(rects[i]));
+        let choose_b = match ea.total_cmp(&eb) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => mbr_b.volume() < mbr_a.volume(),
+        };
+        if choose_b {
+            to_b[i] = true;
+            mbr_b.extend(rects[i]);
+            count_b += 1;
+        } else {
+            mbr_a.extend(rects[i]);
+            count_a += 1;
+        }
+    }
+    to_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn rect2(lo: [u32; 2], hi: [u32; 2]) -> Rect {
+        Rect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    fn random_rects(n: usize, seed: u64) -> Vec<(Rect, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let lo = [rng.gen_range(0..100u32), rng.gen_range(0..100u32)];
+                let hi = [lo[0] + rng.gen_range(0..10u32), lo[1] + rng.gen_range(0..10u32)];
+                (rect2(lo, hi), rng.gen_range(0..1000u32))
+            })
+            .collect()
+    }
+
+    fn brute_force(
+        data: &[(Rect, u32)],
+        query: &Rect,
+        min_weight: u32,
+    ) -> Vec<(usize, Containment)> {
+        data.iter()
+            .enumerate()
+            .filter(|(_, (r, w))| *w >= min_weight && query.intersects(r))
+            .map(|(i, (r, _))| {
+                (
+                    i,
+                    if query.contains(r) {
+                        Containment::Contained
+                    } else {
+                        Containment::Partial
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_queries_cleanly() {
+        let t: RTree<usize> = RTree::new(2);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.bounds().is_none());
+        let (hits, counters) = t.query(&rect2([0, 0], [9, 9]), 0);
+        assert!(hits.is_empty());
+        assert_eq!(counters.nodes_visited, 0);
+    }
+
+    #[test]
+    fn insert_query_matches_brute_force() {
+        let data = random_rects(500, 7);
+        let mut t = RTree::with_fanout(2, 8);
+        for (i, (r, w)) in data.iter().enumerate() {
+            t.insert(r.clone(), *w, i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 3);
+        for (qseed, min_w) in [(1u64, 0u32), (2, 300), (3, 900)] {
+            let mut rng = StdRng::seed_from_u64(qseed);
+            for _ in 0..20 {
+                let lo = [rng.gen_range(0..80u32), rng.gen_range(0..80u32)];
+                let hi = [lo[0] + rng.gen_range(0..30u32), lo[1] + rng.gen_range(0..30u32)];
+                let q = rect2(lo, hi);
+                let (hits, _) = t.query(&q, min_w);
+                let mut got: Vec<(usize, Containment)> =
+                    hits.iter().map(|h| (*h.payload, h.containment)).collect();
+                got.sort_by_key(|(i, _)| *i);
+                let mut expected = brute_force(&data, &q, min_w);
+                expected.sort_by_key(|(i, _)| *i);
+                assert_eq!(got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_pruning_reduces_node_accesses() {
+        let data = random_rects(2000, 11);
+        let mut t = RTree::with_fanout(2, 8);
+        for (i, (r, w)) in data.iter().enumerate() {
+            t.insert(r.clone(), *w, i);
+        }
+        let q = rect2([0, 0], [99, 99]);
+        let (_, all) = t.query(&q, 0);
+        let (hits, pruned) = t.query(&q, 990);
+        assert!(hits.iter().all(|h| h.weight >= 990));
+        assert!(
+            pruned.nodes_visited < all.nodes_visited,
+            "support bound should prune subtrees: {} !< {}",
+            pruned.nodes_visited,
+            all.nodes_visited
+        );
+        assert!(pruned.weight_pruned > 0);
+    }
+
+    #[test]
+    fn bounds_and_for_each_cover_everything() {
+        let data = random_rects(100, 3);
+        let mut t = RTree::new(2);
+        for (i, (r, w)) in data.iter().enumerate() {
+            t.insert(r.clone(), *w, i);
+        }
+        let bounds = t.bounds().unwrap().clone();
+        let mut seen = 0usize;
+        t.for_each(|r, _, _| {
+            assert!(bounds.contains(r));
+            seen += 1;
+        });
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn duplicate_rects_are_kept() {
+        let mut t = RTree::new(2);
+        let r = rect2([1, 1], [2, 2]);
+        for i in 0..50 {
+            t.insert(r.clone(), i, i as usize);
+        }
+        t.check_invariants();
+        let (hits, _) = t.query(&r, 0);
+        assert_eq!(hits.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_wrong_dims() {
+        let mut t: RTree<()> = RTree::new(3);
+        t.insert(rect2([0, 0], [1, 1]), 0, ());
+    }
+
+    #[test]
+    fn remove_keeps_the_tree_correct() {
+        let data = random_rects(400, 21);
+        let mut t = RTree::with_fanout(2, 6);
+        for (i, (r, w)) in data.iter().enumerate() {
+            t.insert(r.clone(), *w, i);
+        }
+        // Remove every even-indexed entry.
+        for (i, (r, _)) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(t.remove(r, &i), "entry {i} must be removable");
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+        let q = rect2([10, 10], [80, 80]);
+        let (hits, _) = t.query(&q, 0);
+        let mut got: Vec<usize> = hits.iter().map(|h| *h.payload).collect();
+        got.sort_unstable();
+        let expected: Vec<usize> = brute_force(&data, &q, 0)
+            .into_iter()
+            .map(|(i, _)| i)
+            .filter(|i| i % 2 == 1)
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn remove_to_empty_and_reuse() {
+        let data = random_rects(60, 22);
+        let mut t = RTree::with_fanout(2, 5);
+        for (i, (r, w)) in data.iter().enumerate() {
+            t.insert(r.clone(), *w, i);
+        }
+        for (i, (r, _)) in data.iter().enumerate() {
+            assert!(t.remove(r, &i));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        // The emptied tree accepts new inserts.
+        t.insert(rect2([1, 1], [2, 2]), 7, 999);
+        t.check_invariants();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_missing_entry_is_a_noop() {
+        let mut t = RTree::with_fanout(2, 5);
+        t.insert(rect2([0, 0], [1, 1]), 1, 1usize);
+        assert!(!t.remove(&rect2([0, 0], [1, 1]), &2)); // wrong payload
+        assert!(!t.remove(&rect2([5, 5], [6, 6]), &1)); // wrong rect
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_insert_remove_matches_reference(seed in 0u64..200, n in 10usize..80) {
+            let data = random_rects(n, seed);
+            let mut t = RTree::with_fanout(2, 5);
+            for (i, (r, w)) in data.iter().enumerate() {
+                t.insert(r.clone(), *w, i);
+            }
+            // Remove a pseudo-random subset.
+            let keep: Vec<bool> = (0..n).map(|i| (i * 7 + seed as usize) % 3 != 0).collect();
+            for (i, (r, _)) in data.iter().enumerate() {
+                if !keep[i] {
+                    proptest::prop_assert!(t.remove(r, &i));
+                }
+            }
+            t.check_invariants();
+            let q = rect2([0, 0], [109, 109]);
+            let (hits, _) = t.query(&q, 0);
+            let mut got: Vec<usize> = hits.iter().map(|h| *h.payload).collect();
+            got.sort_unstable();
+            let expected: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+            proptest::prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn random_trees_match_brute_force(seed in 0u64..500, n in 1usize..120) {
+            let data = random_rects(n, seed);
+            let mut t = RTree::with_fanout(2, 5);
+            for (i, (r, w)) in data.iter().enumerate() {
+                t.insert(r.clone(), *w, i);
+            }
+            t.check_invariants();
+            let q = rect2([20, 20], [70, 70]);
+            let (hits, _) = t.query(&q, 400);
+            let mut got: Vec<usize> = hits.iter().map(|h| *h.payload).collect();
+            got.sort_unstable();
+            let mut expected: Vec<usize> =
+                brute_force(&data, &q, 400).into_iter().map(|(i, _)| i).collect();
+            expected.sort_unstable();
+            proptest::prop_assert_eq!(got, expected);
+        }
+    }
+}

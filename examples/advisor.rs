@@ -1,0 +1,63 @@
+//! Parameter advisor (paper future-work item (a), §7): mine good query
+//! parameters — minsupport, minconfidence and focal ranges — from the
+//! chess analog automatically, then run the advised query.
+//!
+//! ```sh
+//! cargo run --release --example advisor
+//! ```
+
+use colarm::advisor::{advise, AdvisorConfig};
+use colarm::LocalizedQuery;
+use colarm_bench::{build_system, chess_spec, Scale};
+use colarm::data::RangeSpec;
+
+fn main() {
+    let spec = chess_spec(Scale::Fast);
+    println!(
+        "Building the {} analog (primary support {:.0}%)…",
+        spec.name,
+        spec.primary * 100.0
+    );
+    let system = build_system(&spec);
+    println!("{} MIPs prestored.\n", system.index().num_mips());
+
+    for target in [50usize, 500] {
+        let advice = advise(
+            system.index(),
+            &AdvisorConfig {
+                target_itemsets: target,
+                top_ranges: 5,
+                ..Default::default()
+            },
+        )
+        .expect("advisor runs");
+        println!(
+            "Targeting ~{target} qualifying itemsets → advised minsupp {:.1}%, minconf {:.1}%",
+            advice.minsupp * 100.0,
+            advice.minconf * 100.0
+        );
+        for r in &advice.ranges {
+            println!(
+                "   candidate subset {:<14} ({:>5} records): {:>5} fresh-local itemsets",
+                r.label, r.subset_size, r.fresh_local_cfis
+            );
+        }
+        if let Some(best) = advice.ranges.first() {
+            let query = LocalizedQuery::builder()
+                .range(RangeSpec::all().with(best.attribute, [best.value]))
+                .minsupp(advice.minsupp)
+                .minconf(advice.minconf)
+                .build();
+            let out = system.execute(&query).expect("advised query runs");
+            println!(
+                "   → executed advised query on {}: plan {}, {} rules in {:?}\n",
+                best.label,
+                out.answer.plan.name(),
+                out.answer.rules.len(),
+                out.answer.trace.total
+            );
+        } else {
+            println!("   → nothing fresh at this setting\n");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Multi-query session + index persistence: an analyst workflow across
+//! process restarts (paper §7 future-work item (b), plus snapshotting).
+//!
+//! 1. Build the MIP-index over the mushroom analog, snapshot it to JSON.
+//! 2. "Restart": restore the index from the snapshot (no re-mining).
+//! 3. Explore one region with a burst of threshold refinements through a
+//!    caching [`colarm::QuerySession`] and show the cache doing its job.
+//!
+//! ```sh
+//! cargo run --release --example interactive_session
+//! ```
+
+use colarm::{Colarm, IndexSnapshot, LocalizedQuery, QuerySession};
+use colarm_bench::{build_system, mushroom_spec, random_subset_spec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // ---- day one: offline preprocessing -------------------------------
+    let spec = mushroom_spec(Scale::Fast);
+    let t = Instant::now();
+    let system = build_system(&spec);
+    println!(
+        "Mined + indexed {} MIPs in {:.2?}.",
+        system.index().num_mips(),
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let snapshot_json = IndexSnapshot::capture(system.index()).to_json();
+    println!(
+        "Snapshot: {:.1} MiB of JSON in {:.2?}.",
+        snapshot_json.len() as f64 / (1024.0 * 1024.0),
+        t.elapsed()
+    );
+
+    // ---- day two: restore without re-mining ----------------------------
+    let t = Instant::now();
+    let restored = Colarm::from_index(
+        IndexSnapshot::from_json(&snapshot_json)
+            .expect("snapshot parses")
+            .restore()
+            .expect("snapshot restores"),
+    );
+    println!(
+        "Restored {} MIPs in {:.2?} (no CHARM run).\n",
+        restored.index().num_mips(),
+        t.elapsed()
+    );
+
+    // ---- the analyst session -------------------------------------------
+    let session = QuerySession::new(&restored);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (range, subset) = random_subset_spec(
+        restored.index().dataset(),
+        restored.index().vertical(),
+        0.15,
+        &mut rng,
+    );
+    println!(
+        "Exploring {} ({} records, {:.1}% of D):",
+        range.display(restored.index().dataset().schema()),
+        subset.len(),
+        subset.fraction() * 100.0
+    );
+    for (minsupp, minconf) in [(0.70, 0.85), (0.75, 0.85), (0.80, 0.90), (0.70, 0.85)] {
+        let q = LocalizedQuery::builder()
+            .range(range.clone())
+            .minsupp(minsupp)
+            .minconf(minconf)
+            .build();
+        let t = Instant::now();
+        let answer = session.execute(&q).expect("query runs");
+        println!(
+            "  minsupp {:.0}% minconf {:.0}% → {:>6} rules via {:<9} in {:>9.3?}",
+            minsupp * 100.0,
+            minconf * 100.0,
+            answer.rules.len(),
+            answer.plan.name(),
+            t.elapsed()
+        );
+    }
+    let stats = session.stats();
+    println!(
+        "\nSession cache: the region was resolved once ({} hit(s) after), and \
+         the repeated query was served from the answer cache ({} hit).",
+        stats.subset_hits, stats.answer_hits
+    );
+}

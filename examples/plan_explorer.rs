@@ -1,0 +1,91 @@
+//! Plan explorer: run all six mining plans on one localized query over the
+//! mushroom analog and compare the optimizer's estimates with measured
+//! per-operator costs (the shape of paper Figures 9–11 for a single query).
+//!
+//! ```sh
+//! cargo run --release --example plan_explorer
+//! ```
+
+use colarm::{LocalizedQuery, PlanKind};
+use colarm_bench::{build_system, mushroom_spec, random_subset_spec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = mushroom_spec(Scale::Fast);
+    println!(
+        "Building the {} analog MIP-index (primary support {:.0}%)…",
+        spec.name,
+        spec.primary * 100.0
+    );
+    let system = build_system(&spec);
+    println!(
+        "{} MIPs prestored over {} records.\n",
+        system.index().num_mips(),
+        system.index().dataset().num_records()
+    );
+
+    // A ~10% focal subset "somewhere" in the dataset.
+    let mut rng = StdRng::seed_from_u64(7);
+    let (range, subset) = random_subset_spec(
+        system.index().dataset(),
+        system.index().vertical(),
+        0.10,
+        &mut rng,
+    );
+    let query = LocalizedQuery::builder()
+        .range(range.clone())
+        .minsupp(spec.minsupps[0])
+        .minconf(spec.minconf)
+        .build();
+    println!(
+        "Focal subset: {} — {} records ({:.1}% of D); minsupp {:.0}%, minconf {:.0}%\n",
+        range.display(system.index().dataset().schema()),
+        subset.len(),
+        subset.fraction() * 100.0,
+        query.minsupp * 100.0,
+        query.minconf * 100.0
+    );
+
+    let choice = system.optimizer().choose(system.index(), &query, &subset);
+    println!(
+        "{:<10} {:>12} {:>12} {:>7}   operator breakdown",
+        "plan", "estimated", "measured", "rules"
+    );
+    let mut fastest: Option<(PlanKind, f64)> = None;
+    for plan in PlanKind::ALL {
+        let answer = colarm::execute_plan(system.index(), &query, &subset, plan)
+            .expect("query is valid");
+        let measured = answer.trace.total.as_secs_f64();
+        let estimated = choice.estimate_for(plan).total();
+        let ops: Vec<String> = answer
+            .trace
+            .ops
+            .iter()
+            .map(|o| format!("{} {:.1}ms ({}→{})", o.name, o.duration.as_secs_f64() * 1e3, o.input, o.output))
+            .collect();
+        let marker = if plan == choice.chosen { "→" } else { " " };
+        println!(
+            "{marker}{:<9} {:>10.3}ms {:>10.3}ms {:>7}   {}",
+            plan.name(),
+            estimated * 1e3,
+            measured * 1e3,
+            answer.rules.len(),
+            ops.join("  ")
+        );
+        if fastest.is_none_or(|(_, t)| measured < t) {
+            fastest = Some((plan, measured));
+        }
+    }
+    let (fastest_plan, _) = fastest.expect("six plans ran");
+    println!(
+        "\nOptimizer chose {}; measured fastest was {}{}",
+        choice.chosen.name(),
+        fastest_plan.name(),
+        if choice.chosen == fastest_plan {
+            " — correct pick."
+        } else {
+            "."
+        }
+    );
+}

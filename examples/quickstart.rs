@@ -1,0 +1,85 @@
+//! Quickstart: the paper's §1.1 walkthrough on the Table 1 salary dataset.
+//!
+//! Builds a MIP-index over the eleven salary records, mines the global
+//! trend `RG = (Age=20-30 → Salary=90K-120K)`, then asks COLARM for the
+//! localized rules of female employees in Seattle — surfacing
+//! `RL = (Age=30-40 → Salary=90K-120K)`, a rule hidden globally.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig};
+
+fn main() {
+    // ---- offline phase: preprocess once --------------------------------
+    let dataset = colarm::data::synth::salary();
+    let schema = dataset.schema().clone();
+    println!(
+        "Salary dataset: {} records × {} attributes (paper Table 1)\n",
+        dataset.num_records(),
+        schema.num_attributes()
+    );
+    let colarm = Colarm::build(
+        dataset,
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0, // prestore everything with ≥2 records
+            ..Default::default()
+        },
+    )
+    .expect("salary index builds");
+    println!(
+        "MIP-index: {} closed frequent itemsets, R-tree height {}\n",
+        colarm.index().num_mips(),
+        colarm.index().rtree().height()
+    );
+
+    // ---- global context: the trend every analyst sees -------------------
+    let global = LocalizedQuery::builder()
+        .minsupp(0.45)
+        .minconf(0.8)
+        .build();
+    let answer = colarm.execute(&global).expect("global query runs");
+    println!("Global rules (minsupp 45%, minconf 80%):");
+    for rule in &answer.answer.rules {
+        println!("  {}", rule.display(&schema));
+    }
+
+    // ---- localized context: female employees in Seattle -----------------
+    let local = LocalizedQuery::builder()
+        .range_named(&schema, "Location", &["Seattle"])
+        .expect("known attribute")
+        .range_named(&schema, "Gender", &["F"])
+        .expect("known attribute")
+        .minsupp(0.75)
+        .minconf(0.9)
+        .build();
+    let out = colarm.execute(&local).expect("localized query runs");
+    println!(
+        "\nLocalized rules for Location=Seattle AND Gender=F \
+         (|DQ| = {}, minsupp 75%, minconf 90%):",
+        out.answer.subset_size
+    );
+    for rule in &out.answer.rules {
+        println!("  {}", rule.display(&schema));
+    }
+
+    // ---- what the optimizer did ------------------------------------------
+    println!("\nOptimizer decision (plan: estimated cost):");
+    for est in &out.choice.estimates {
+        let marker = if est.plan == out.choice.chosen { "→" } else { " " };
+        println!("  {marker} {:<9} {:.3e} s", est.plan.name(), est.total());
+    }
+    println!(
+        "\nExecuted {} in {:?} via operators: {}",
+        out.answer.plan.name(),
+        out.answer.trace.total,
+        out.answer
+            .trace
+            .ops
+            .iter()
+            .map(|o| o.name)
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+}

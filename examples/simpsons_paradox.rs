@@ -1,0 +1,86 @@
+//! Simpson's-paradox hunting (paper §1.1 and §5.3).
+//!
+//! Uses the parameter advisor (the paper's future-work extension) to find
+//! the most paradox-rich single-attribute subsets of the mushroom analog,
+//! then runs the paradox analyzer on the best one: which rules appear only
+//! locally, and which global trends break inside the subset.
+//!
+//! ```sh
+//! cargo run --release --example simpsons_paradox
+//! ```
+
+use colarm::advisor::{advise, AdvisorConfig};
+use colarm::paradox;
+use colarm::LocalizedQuery;
+use colarm_bench::{build_system, mushroom_spec, Scale};
+use colarm::data::RangeSpec;
+
+fn main() {
+    let spec = mushroom_spec(Scale::Fast);
+    println!("Building the {} analog MIP-index…\n", spec.name);
+    let system = build_system(&spec);
+    let schema = system.index().dataset().schema().clone();
+
+    // 1. Let the advisor mine thresholds and subset candidates from data.
+    let advice = advise(system.index(), &AdvisorConfig::default()).expect("advisor runs");
+    println!(
+        "Advisor suggests minsupp {:.0}%, minconf {:.0}%; paradox-rich subsets:",
+        advice.minsupp * 100.0,
+        advice.minconf * 100.0
+    );
+    for r in &advice.ranges {
+        println!(
+            "  {:<22} ({} records) — {} locally-frequent itemsets invisible globally",
+            r.label, r.subset_size, r.fresh_local_cfis
+        );
+    }
+    let Some(best) = advice.ranges.first() else {
+        println!("no paradox-rich subsets at these thresholds");
+        return;
+    };
+
+    // 2. Analyze the best candidate in depth.
+    let query = LocalizedQuery::builder()
+        .range(RangeSpec::all().with(best.attribute, [best.value]))
+        .minsupp(advice.minsupp)
+        .minconf(advice.minconf)
+        .build();
+    println!("\nAnalyzing {} …", best.label);
+    let report = paradox::analyze(system.index(), &query).expect("analysis runs");
+
+    println!(
+        "\nItemset view (Figure 13 statistic): {} fresh-local vs {} repeated-global \
+         frequent itemsets ({:.0}% fresh)",
+        report.cfi_counts.fresh_local,
+        report.cfi_counts.repeated_global,
+        report.cfi_counts.fresh_fraction() * 100.0
+    );
+
+    println!(
+        "\n{} rules hold ONLY inside {} (showing up to 5):",
+        report.fresh_local_rules.len(),
+        best.label
+    );
+    for c in report.fresh_local_rules.iter().take(5) {
+        println!(
+            "  {}   [globally: supp {:.1}%, conf {:.1}%]",
+            c.rule.display(&schema),
+            c.other_support * 100.0,
+            c.other_confidence * 100.0
+        );
+    }
+
+    println!(
+        "\n{} global rules BREAK inside {} (showing up to 5):",
+        report.vanished_global_rules.len(),
+        best.label
+    );
+    for c in report.vanished_global_rules.iter().take(5) {
+        println!(
+            "  {}   [locally: supp {:.1}%, conf {:.1}%]",
+            c.rule.display(&schema),
+            c.other_support * 100.0,
+            c.other_confidence * 100.0
+        );
+    }
+}

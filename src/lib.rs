@@ -1,0 +1,7 @@
+//! Umbrella crate of the COLARM reproduction: re-exports the system and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`). The implementation lives in the `crates/` workspace:
+//! `colarm` (core), `colarm-data`, `colarm-mine`, `colarm-rtree`,
+//! `colarm-bench`.
+
+pub use colarm::*;

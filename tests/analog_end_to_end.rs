@@ -1,0 +1,136 @@
+//! End-to-end checks over the three benchmark analogs at smoke scale:
+//! index construction, plan agreement at the experiment grid corners, and
+//! the Figure 13 freshness signal.
+
+use colarm::PlanKind;
+use colarm_bench::{all_specs, build_system, random_subset_spec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn analogs_build_and_plans_agree_at_grid_corners() {
+    for spec in all_specs(Scale::Smoke) {
+        let system = build_system(&spec);
+        assert!(system.index().num_mips() > 0, "{} indexes nothing", spec.name);
+        let mut rng = StdRng::seed_from_u64(99);
+        for &frac in &[spec.dq_fracs[0], spec.dq_fracs[3]] {
+            let (range, subset) = random_subset_spec(
+                system.index().dataset(),
+                system.index().vertical(),
+                frac,
+                &mut rng,
+            );
+            if subset.is_empty() {
+                continue;
+            }
+            for &minsupp in &[spec.minsupps[0], spec.minsupps[2]] {
+                let query = colarm::LocalizedQuery::builder()
+                    .range(range.clone())
+                    .minsupp(minsupp)
+                    .minconf(spec.minconf)
+                    .build();
+                let answers = system.execute_all_plans(&query).expect("plans run");
+                for a in &answers[1..] {
+                    assert_eq!(
+                        a.rules, answers[0].rules,
+                        "{}: plan {} diverged at frac {frac} minsupp {minsupp}",
+                        spec.name, a.plan
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_choice_is_reasonable_on_analogs() {
+    // Not a tight claim (absolute timings are machine-noise-prone at smoke
+    // scale); assert the chosen plan is never catastrophically worse than
+    // the measured-fastest plan.
+    for spec in all_specs(Scale::Smoke) {
+        let system = build_system(&spec);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (range, subset) = random_subset_spec(
+            system.index().dataset(),
+            system.index().vertical(),
+            0.2,
+            &mut rng,
+        );
+        if subset.is_empty() {
+            continue;
+        }
+        let query = colarm::LocalizedQuery::builder()
+            .range(range)
+            .minsupp(spec.minsupps[1])
+            .minconf(spec.minconf)
+            .build();
+        let choice = system.optimizer().choose(system.index(), &query, &subset);
+        let mut best = f64::INFINITY;
+        let mut chosen_time = f64::INFINITY;
+        for plan in PlanKind::ALL {
+            let t = system
+                .execute_with_plan(&query, plan)
+                .expect("plan runs")
+                .trace
+                .total
+                .as_secs_f64();
+            best = best.min(t);
+            if plan == choice.chosen {
+                chosen_time = t;
+            }
+        }
+        assert!(
+            chosen_time <= best * 50.0 + 0.05,
+            "{}: chose {} at {chosen_time}s vs best {best}s",
+            spec.name,
+            choice.chosen
+        );
+    }
+}
+
+#[test]
+fn localized_queries_surface_fresh_itemsets_on_analogs() {
+    // The §5.3 signal: small subsets expose itemsets hidden globally.
+    let mut any_fresh = false;
+    for spec in all_specs(Scale::Smoke) {
+        let system = build_system(&spec);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..4 {
+            let (_, subset) = random_subset_spec(
+                system.index().dataset(),
+                system.index().vertical(),
+                0.1,
+                &mut rng,
+            );
+            if subset.is_empty() {
+                continue;
+            }
+            let counts = colarm::paradox::local_vs_global_cfis(
+                system.index(),
+                &subset,
+                spec.minsupps[0],
+                spec.global_minsupp,
+            );
+            if counts.fresh_local > 0 {
+                any_fresh = true;
+            }
+        }
+    }
+    assert!(any_fresh, "no analog exhibited Simpson's paradox at all");
+}
+
+#[test]
+fn index_statistics_are_consistent_on_analogs() {
+    for spec in all_specs(Scale::Smoke) {
+        let system = build_system(&spec);
+        let stats = system.index().stats();
+        assert_eq!(stats.supports.len(), system.index().num_mips());
+        assert!(stats.supports.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(stats.tree.height(), system.index().rtree().height());
+        assert!(stats.avg_len >= 1.0);
+        assert!(stats.max_len >= stats.avg_len as usize);
+        assert_eq!(stats.num_records, system.index().dataset().num_records());
+        // Every CFI meets the primary threshold.
+        assert!(stats.supports.first().is_none_or(|&s| s as usize >= stats.primary_count));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate checks of the cost model calibration, the optimizer's
+//! decision quality at smoke scale, index persistence, and the
+//! multi-query session cache.
+
+use colarm::{Colarm, IndexSnapshot, LocalizedQuery, PlanKind, QuerySession};
+use colarm_bench::{build_system, mushroom_spec, random_subset_spec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn calibrated_estimates_are_in_a_sane_range() {
+    // After calibration, each plan's estimate should be within a couple of
+    // orders of magnitude of its measured time — enough for argmin plan
+    // selection to be meaningful (the paper's accuracy experiment), while
+    // staying robust to CI noise.
+    let spec = mushroom_spec(Scale::Smoke);
+    let system = build_system(&spec);
+    let mut rng = StdRng::seed_from_u64(17);
+    let (range, subset) = random_subset_spec(
+        system.index().dataset(),
+        system.index().vertical(),
+        0.2,
+        &mut rng,
+    );
+    let query = LocalizedQuery::builder()
+        .range(range)
+        .minsupp(spec.minsupps[1])
+        .minconf(spec.minconf)
+        .build();
+    let choice = system.optimizer().choose(system.index(), &query, &subset);
+    for plan in PlanKind::ALL {
+        let est = choice.estimate_for(plan).total();
+        assert!(est.is_finite() && est > 0.0, "{plan}: estimate {est}");
+        let measured = system
+            .execute_with_plan(&query, plan)
+            .unwrap()
+            .trace
+            .total
+            .as_secs_f64();
+        let ratio = (est / measured.max(1e-7)).max(measured.max(1e-7) / est);
+        assert!(
+            ratio < 1e4,
+            "{plan}: estimate {est:.2e}s vs measured {measured:.2e}s (ratio {ratio:.0})"
+        );
+    }
+}
+
+#[test]
+fn snapshot_restores_a_working_system() {
+    let spec = mushroom_spec(Scale::Smoke);
+    let system = build_system(&spec);
+    let json = IndexSnapshot::capture(system.index()).to_json();
+    let restored = Colarm::from_index(
+        IndexSnapshot::from_json(&json).unwrap().restore().unwrap(),
+    );
+    assert_eq!(restored.index().num_mips(), system.index().num_mips());
+    let mut rng = StdRng::seed_from_u64(23);
+    let (range, subset) = random_subset_spec(
+        system.index().dataset(),
+        system.index().vertical(),
+        0.2,
+        &mut rng,
+    );
+    assert!(!subset.is_empty());
+    let query = LocalizedQuery::builder()
+        .range(range)
+        .minsupp(spec.minsupps[0])
+        .minconf(spec.minconf)
+        .build();
+    let a = system.execute(&query).unwrap();
+    let b = restored.execute(&query).unwrap();
+    assert_eq!(a.answer.rules, b.answer.rules);
+}
+
+#[test]
+fn session_caching_preserves_answers_under_bursts() {
+    let spec = mushroom_spec(Scale::Smoke);
+    let system = build_system(&spec);
+    let session = QuerySession::new(&system);
+    let mut rng = StdRng::seed_from_u64(29);
+    let (range, subset) = random_subset_spec(
+        system.index().dataset(),
+        system.index().vertical(),
+        0.3,
+        &mut rng,
+    );
+    assert!(!subset.is_empty());
+    // A burst of threshold refinements over one region, then repeats.
+    let thresholds = [
+        (spec.minsupps[0], 0.85),
+        (spec.minsupps[1], 0.85),
+        (spec.minsupps[2], 0.90),
+        (spec.minsupps[0], 0.85), // repeat of the first
+    ];
+    for &(minsupp, minconf) in &thresholds {
+        let q = LocalizedQuery::builder()
+            .range(range.clone())
+            .minsupp(minsupp)
+            .minconf(minconf)
+            .build();
+        let via_session = session.execute(&q).unwrap();
+        let direct = system.execute(&q).unwrap();
+        assert_eq!(via_session.rules, direct.answer.rules);
+    }
+    let stats = session.stats();
+    assert_eq!(stats.subset_misses, 1, "one region, one resolution");
+    assert_eq!(stats.answer_hits, 1, "the repeated query must hit");
+    assert_eq!(stats.answer_misses, 3);
+}
+
+#[test]
+fn traditional_arm_agrees_with_every_index_plan() {
+    // The from-scratch Apriori ARM plan and the five MIP-index plans must
+    // return identical answers on the benchmark analogs.
+    let spec = mushroom_spec(Scale::Smoke);
+    let system = build_system(&spec);
+    let mut rng = StdRng::seed_from_u64(31);
+    let (range, subset) = random_subset_spec(
+        system.index().dataset(),
+        system.index().vertical(),
+        0.2,
+        &mut rng,
+    );
+    assert!(!subset.is_empty());
+    let query = LocalizedQuery::builder()
+        .range(range)
+        .minsupp(spec.minsupps[1])
+        .minconf(spec.minconf)
+        .build();
+    let arm = system.execute_with_plan(&query, PlanKind::Arm).unwrap();
+    for plan in [PlanKind::Sev, PlanKind::Svs, PlanKind::SsEv, PlanKind::SsVs, PlanKind::SsEuv] {
+        let idx = system.execute_with_plan(&query, plan).unwrap();
+        assert_eq!(arm.rules, idx.rules, "{plan} disagrees with ARM");
+    }
+}

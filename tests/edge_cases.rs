@@ -1,0 +1,218 @@
+//! Degenerate and boundary inputs: the system must answer (or reject)
+//! gracefully, never panic.
+
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, PlanKind};
+use colarm::data::{DatasetBuilder, RangeSpec, SchemaBuilder};
+
+fn tiny(records: &[&[u16]], domains: &[usize]) -> colarm::data::Dataset {
+    let mut builder = SchemaBuilder::new();
+    for (i, &d) in domains.iter().enumerate() {
+        let values: Vec<String> = (0..d).map(|v| format!("v{v}")).collect();
+        builder = builder.attribute(format!("a{i}"), values);
+    }
+    let schema = builder.build().unwrap();
+    let mut b = DatasetBuilder::new(schema);
+    for r in records {
+        b.push(r).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn single_record_dataset() {
+    let d = tiny(&[&[0, 1, 0]], &[2, 2, 2]);
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 1.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // The lone record's full itemset is the only closed set.
+    assert_eq!(colarm.index().num_mips(), 1);
+    let q = LocalizedQuery::builder().minsupp(1.0).minconf(1.0).build();
+    let answers = colarm.execute_all_plans(&q).unwrap();
+    for a in &answers[1..] {
+        assert_eq!(a.rules, answers[0].rules);
+    }
+    // One 3-item body at 100% support / 100% confidence: 2^3 − 2 rules.
+    assert_eq!(answers[0].rules.len(), 6);
+}
+
+#[test]
+fn constant_dataset_yields_one_giant_body() {
+    let rows: Vec<&[u16]> = (0..10).map(|_| &[1u16, 0, 2][..]).collect();
+    let d = tiny(&rows, &[2, 2, 3]);
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 0.5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(colarm.index().num_mips(), 1);
+    let q = LocalizedQuery::builder().minsupp(0.9).minconf(0.9).build();
+    let out = colarm.execute(&q).unwrap();
+    assert_eq!(out.answer.rules.len(), 6);
+    for r in &out.answer.rules {
+        assert_eq!(r.confidence(), 1.0);
+        assert_eq!(r.support(), 1.0);
+    }
+}
+
+#[test]
+fn primary_support_one_on_diverse_data_gives_empty_index() {
+    let d = tiny(&[&[0, 0], &[1, 1], &[0, 1], &[1, 0]], &[2, 2]);
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 1.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(colarm.index().num_mips(), 0);
+    // Queries still run and return the empty answer from every plan.
+    let q = LocalizedQuery::builder().minsupp(0.5).minconf(0.5).build();
+    for plan in PlanKind::ALL {
+        let a = colarm.execute_with_plan(&q, plan).unwrap();
+        assert!(a.rules.is_empty(), "{plan} invented rules");
+    }
+}
+
+#[test]
+fn single_attribute_dataset_has_no_rules() {
+    // Rules need bodies of ≥2 items, impossible with one attribute.
+    let rows: Vec<&[u16]> = (0..8).map(|i| if i < 6 { &[0u16][..] } else { &[1u16][..] }).collect();
+    let d = tiny(&rows, &[2]);
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = LocalizedQuery::builder().minsupp(0.1).minconf(0.1).build();
+    let answers = colarm.execute_all_plans(&q).unwrap();
+    for a in &answers {
+        assert!(a.rules.is_empty());
+    }
+}
+
+#[test]
+fn full_range_query_equals_global_mining() {
+    // DQ = D: localized mining must degrade to ordinary global mining.
+    let d = colarm::data::synth::salary();
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = LocalizedQuery::builder()
+        .range(RangeSpec::all())
+        .minsupp(0.3)
+        .minconf(0.8)
+        .build();
+    let answers = colarm.execute_all_plans(&q).unwrap();
+    for a in &answers[1..] {
+        assert_eq!(a.rules, answers[0].rules);
+    }
+    assert!(!answers[0].rules.is_empty());
+    for r in &answers[0].rules {
+        assert_eq!(r.counts.universe, 11);
+        assert!(r.support() >= 0.3 - 1e-9);
+    }
+}
+
+#[test]
+fn boundary_thresholds_behave() {
+    let d = colarm::data::synth::salary();
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // minsupp = 1.0 within a homogeneous subset still works.
+    let schema = colarm.index().dataset().schema().clone();
+    let q = LocalizedQuery::builder()
+        .range_named(&schema, "Company", &["Microsoft"])
+        .unwrap()
+        .minsupp(1.0)
+        .minconf(1.0)
+        .build();
+    let out = colarm.execute(&q).unwrap();
+    // Both Microsoft records share Location/Gender/Age/Salary → rules exist.
+    assert!(!out.answer.rules.is_empty());
+    for r in &out.answer.rules {
+        assert_eq!(r.support(), 1.0);
+        assert_eq!(r.confidence(), 1.0);
+    }
+}
+
+#[test]
+fn sub_primary_minsupp_is_answered_within_the_poqm_contract() {
+    // minsupp far below the primary threshold: the index can only see
+    // primary-frequent bodies (footnote 2); all plans agree on that
+    // contract rather than erroring.
+    let d = colarm::data::synth::salary();
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 0.4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = LocalizedQuery::builder().minsupp(0.05).minconf(0.3).build();
+    let answers = colarm.execute_all_plans(&q).unwrap();
+    for a in &answers[1..] {
+        assert_eq!(a.rules, answers[0].rules);
+    }
+    for r in &answers[0].rules {
+        // Every reported body is globally primary-frequent.
+        assert!(r.counts.body as f64 / 11.0 >= 0.4 - 1e-9);
+    }
+}
+
+#[test]
+fn unrestricted_semantics_routes_to_arm() {
+    let d = colarm::data::synth::salary();
+    let colarm = Colarm::build(
+        d,
+        MipIndexConfig {
+            primary_support: 0.5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let schema = colarm.index().dataset().schema().clone();
+    let q = LocalizedQuery::builder()
+        .range_named(&schema, "Location", &["Seattle"])
+        .unwrap()
+        .minsupp(0.75)
+        .minconf(0.9)
+        .semantics(colarm::Semantics::Unrestricted)
+        .build();
+    // Index plans must refuse the unrestricted contract…
+    assert!(matches!(
+        colarm.execute_with_plan(&q, PlanKind::Sev),
+        Err(colarm::ColarmError::UnrestrictedRequiresArm { .. })
+    ));
+    // …while the optimizer path transparently routes to ARM.
+    let out = colarm.execute(&q).unwrap();
+    assert_eq!(out.answer.plan, PlanKind::Arm);
+    // And the unrestricted answer sees below-primary local patterns the
+    // strict contract hides.
+    let strict = LocalizedQuery { semantics: colarm::Semantics::Strict, ..q.clone() };
+    let strict_rules = colarm.execute(&strict).unwrap().answer.rules.len();
+    assert!(out.answer.rules.len() >= strict_rules);
+}

@@ -1,0 +1,123 @@
+//! The flagship property of the COLARM reproduction: all six mining plans
+//! return identical rule sets on arbitrary datasets and queries (they may
+//! only differ in cost). Randomized datasets come from the synthetic
+//! generator; queries vary range selections, item attributes and
+//! thresholds.
+
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, Packing, PlanKind};
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::data::{AttributeId, RangeSpec};
+use proptest::prelude::*;
+
+fn small_dataset(seed: u64, records: usize, domains: Vec<usize>) -> colarm::data::Dataset {
+    generate(&SynthConfig {
+        name: format!("prop-{seed}"),
+        seed,
+        records,
+        domains,
+        top_mass: 0.55,
+        skew: 1.0,
+        clusters: 2,
+        cluster_focus: 0.6,
+        focus_strength: 0.9,
+        templates: 3,
+        template_len: 3,
+        template_prob: 0.3,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_plans_agree_on_random_queries(
+        seed in 0u64..5000,
+        records in 40usize..150,
+        primary_pct in 5u32..30,
+        minsupp_pct in 30u32..90,
+        minconf_pct in 50u32..95,
+        constrained in proptest::collection::vec((0usize..4, 1usize..3), 0..3),
+        restrict_items in proptest::bool::ANY,
+    ) {
+        let dataset = small_dataset(seed, records, vec![3, 4, 2, 5]);
+        let colarm = Colarm::build(
+            dataset,
+            MipIndexConfig {
+                primary_support: primary_pct as f64 / 100.0,
+                ..Default::default()
+            },
+        )
+        .expect("index builds");
+        let schema = colarm.index().dataset().schema().clone();
+        let mut range = RangeSpec::all();
+        for (attr, keep) in constrained {
+            let aid = AttributeId(attr as u16);
+            let dom = schema.attribute(aid).domain_size();
+            let values: Vec<u16> = (0..keep.min(dom) as u16).collect();
+            range = range.with(aid, values);
+        }
+        let mut builder = LocalizedQuery::builder()
+            .range(range)
+            .minsupp(minsupp_pct as f64 / 100.0)
+            .minconf(minconf_pct as f64 / 100.0);
+        if restrict_items {
+            builder = builder.item_attrs([AttributeId(1), AttributeId(3)]);
+        }
+        let query = builder.build();
+        let subset = colarm.index().resolve_subset(query.range.clone()).expect("resolves");
+        prop_assume!(!subset.is_empty());
+        let answers: Vec<_> = PlanKind::ALL
+            .iter()
+            .map(|&p| colarm.execute_with_plan(&query, p).expect("plan runs"))
+            .collect();
+        for a in &answers[1..] {
+            prop_assert_eq!(&a.rules, &answers[0].rules, "plan {} diverged", a.plan);
+        }
+        // Invariants on whatever came out.
+        for rule in &answers[0].rules {
+            prop_assert!(rule.support() >= query.minsupp - 1e-9);
+            prop_assert!(rule.confidence() >= query.minconf - 1e-9);
+            prop_assert!(rule.counts.universe == subset.len());
+            prop_assert!(!rule.antecedent.is_empty() && !rule.consequent.is_empty());
+            if restrict_items {
+                for &item in rule.body().items() {
+                    let a = schema.item_attribute(item);
+                    prop_assert!(a == AttributeId(1) || a == AttributeId(3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packing_choice_never_changes_answers(
+        seed in 0u64..1000,
+        minsupp_pct in 40u32..80,
+    ) {
+        let mk = |packing| {
+            Colarm::build(
+                small_dataset(seed, 80, vec![3, 4, 2, 5]),
+                MipIndexConfig {
+                    primary_support: 0.1,
+                    packing,
+                    ..Default::default()
+                },
+            )
+            .expect("index builds")
+        };
+        let a = mk(Packing::Str);
+        let b = mk(Packing::Hilbert);
+        let c = mk(Packing::Insertion);
+        let schema = a.index().dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range(RangeSpec::all().with(AttributeId(0), [0u16, 1]))
+            .minsupp(minsupp_pct as f64 / 100.0)
+            .minconf(0.7)
+            .build();
+        let _ = &schema;
+        let ra = a.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
+        let rb = b.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
+        let rc = c.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
+        prop_assert_eq!(&ra.rules, &rb.rules);
+        prop_assert_eq!(&ra.rules, &rc.rules);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate checks of the query language: parsed queries must behave
+//! exactly like builder-constructed ones, and the full paper grammar is
+//! accepted.
+
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig};
+
+fn system() -> Colarm {
+    Colarm::build(
+        colarm::data::synth::salary(),
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .expect("salary index builds")
+}
+
+#[test]
+fn parsed_and_built_queries_are_interchangeable() {
+    let colarm = system();
+    let schema = colarm.index().dataset().schema().clone();
+    let cases = [
+        (
+            "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
+             WHERE RANGE Location = (Seattle), Gender = (F) \
+             HAVING minsupport = 75% AND minconfidence = 90%;",
+            LocalizedQuery::builder()
+                .range_named(&schema, "Location", &["Seattle"])
+                .unwrap()
+                .range_named(&schema, "Gender", &["F"])
+                .unwrap()
+                .minsupp(0.75)
+                .minconf(0.9)
+                .build(),
+        ),
+        (
+            "report localized association rules where range \
+             Company = (IBM, Google) and item attributes Age, Salary \
+             having minsupport = 0.4 and minconfidence = 0.7",
+            LocalizedQuery::builder()
+                .range_named(&schema, "Company", &["IBM", "Google"])
+                .unwrap()
+                .item_attrs_named(&schema, &["Age", "Salary"])
+                .unwrap()
+                .minsupp(0.4)
+                .minconf(0.7)
+                .build(),
+        ),
+    ];
+    for (text, built) in cases {
+        let parsed = colarm::parse_query(text, &schema).expect("parses");
+        assert_eq!(parsed, built, "query objects must match for: {text}");
+        let via_text = colarm.execute_text(text).expect("executes");
+        let via_built = colarm.execute(&built).expect("executes");
+        assert_eq!(via_text.answer.rules, via_built.answer.rules);
+    }
+}
+
+#[test]
+fn grammar_corner_cases() {
+    let colarm = system();
+    let schema = colarm.index().dataset().schema().clone();
+    // No FROM clause, no trailing semicolon, mixed case keywords.
+    let q = colarm::parse_query(
+        "Report Localized Association Rules Where Range Gender = (M) \
+         Having MinSupport = 0.5 And MinConfidence = 0.6",
+        &schema,
+    )
+    .expect("parses without FROM/semicolon");
+    assert_eq!(q.minsupp, 0.5);
+    // Values with dashes and digits.
+    let q = colarm::parse_query(
+        "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Age = (20-30, 40-50) \
+         HAVING minsupport = 10% AND minconfidence = 55%",
+        &schema,
+    )
+    .expect("interval labels parse");
+    assert_eq!(q.range.selections().values().next().unwrap().len(), 2);
+}
+
+#[test]
+fn rejected_inputs_do_not_execute() {
+    let colarm = system();
+    for bad in [
+        "",
+        "SELECT * FROM salary",
+        "REPORT LOCALIZED ASSOCIATION RULES HAVING minsupport = 0.5 AND minconfidence = 0.5",
+        "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = () \
+         HAVING minsupport = 0.5 AND minconfidence = 0.5",
+        "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+         HAVING minsupport = 150% AND minconfidence = 0.5",
+    ] {
+        assert!(colarm.execute_text(bad).is_err(), "accepted bad query: {bad}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment T1: the paper's §1.1 walkthrough numbers on the Table 1
+//! salary dataset, end to end through the public API.
+
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, PlanKind};
+
+fn system() -> Colarm {
+    Colarm::build(
+        colarm::data::synth::salary(),
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .expect("salary index builds")
+}
+
+#[test]
+fn rg_holds_globally_with_paper_numbers() {
+    // RG = (A0 → S2): 45% support (5/11), 83% confidence (5/6).
+    let colarm = system();
+    let schema = colarm.index().dataset().schema().clone();
+    let query = LocalizedQuery::builder().minsupp(0.45).minconf(0.8).build();
+    let out = colarm.execute(&query).expect("global query runs");
+    let a0 = schema.encode_named("Age", "20-30").unwrap();
+    let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
+    let rg = out
+        .answer
+        .rules
+        .iter()
+        .find(|r| r.antecedent.contains(a0) && r.consequent.contains(s2))
+        .expect("RG is mined globally");
+    assert_eq!(rg.counts.body, 5);
+    assert_eq!(rg.counts.antecedent, 6);
+    assert_eq!(rg.counts.universe, 11);
+    assert!((rg.support() - 5.0 / 11.0).abs() < 1e-12);
+    assert!((rg.confidence() - 5.0 / 6.0).abs() < 1e-12);
+}
+
+#[test]
+fn rl_emerges_in_the_seattle_female_subset() {
+    // RL = (A1 → S2): 75% support (3/4), 100% confidence (3/3) for the
+    // last four records.
+    let colarm = system();
+    let schema = colarm.index().dataset().schema().clone();
+    let query = LocalizedQuery::builder()
+        .range_named(&schema, "Location", &["Seattle"])
+        .unwrap()
+        .range_named(&schema, "Gender", &["F"])
+        .unwrap()
+        .minsupp(0.75)
+        .minconf(0.9)
+        .build();
+    let out = colarm.execute(&query).expect("localized query runs");
+    assert_eq!(out.answer.subset_size, 4);
+    let a1 = schema.encode_named("Age", "30-40").unwrap();
+    let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
+    let rl = out
+        .answer
+        .rules
+        .iter()
+        .find(|r| r.antecedent.contains(a1) && r.consequent.contains(s2))
+        .expect("RL is mined locally");
+    assert_eq!(rl.counts.body, 3);
+    assert_eq!(rl.counts.antecedent, 3);
+    assert_eq!(rl.counts.universe, 4);
+    assert!((rl.support() - 0.75).abs() < 1e-12);
+    assert!((rl.confidence() - 1.0).abs() < 1e-12);
+    // And RG does NOT hold in this subset: no rule with antecedent A0.
+    let a0 = schema.encode_named("Age", "20-30").unwrap();
+    assert!(
+        !out.answer.rules.iter().any(|r| r.antecedent.contains(a0)),
+        "the global trend must vanish locally (Simpson's paradox)"
+    );
+}
+
+#[test]
+fn rl_is_invisible_to_global_mining_above_27_percent() {
+    // Paper: RL stays hidden globally unless minsupport drops below 27%
+    // (3/11). Check both sides of that boundary.
+    let colarm = system();
+    let schema = colarm.index().dataset().schema().clone();
+    let a1 = schema.encode_named("Age", "30-40").unwrap();
+    let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
+    let find_rl = |minsupp: f64| {
+        let query = LocalizedQuery::builder().minsupp(minsupp).minconf(0.7).build();
+        let out = colarm.execute(&query).expect("global query runs");
+        out.answer
+            .rules
+            .iter()
+            .any(|r| r.antecedent.contains(a1) && r.consequent.contains(s2))
+    };
+    assert!(!find_rl(0.28), "RL must be hidden at minsupp 28%");
+    assert!(find_rl(0.26), "RL must appear once minsupp < 3/11");
+}
+
+#[test]
+fn every_plan_reproduces_the_walkthrough() {
+    let colarm = system();
+    let schema = colarm.index().dataset().schema().clone();
+    let query = LocalizedQuery::builder()
+        .range_named(&schema, "Location", &["Seattle"])
+        .unwrap()
+        .range_named(&schema, "Gender", &["F"])
+        .unwrap()
+        .minsupp(0.75)
+        .minconf(0.9)
+        .build();
+    let answers = colarm.execute_all_plans(&query).expect("all plans run");
+    assert_eq!(answers.len(), PlanKind::ALL.len());
+    for pair in answers.windows(2) {
+        assert_eq!(pair[0].rules, pair[1].rules);
+    }
+    assert!(!answers[0].rules.is_empty());
+}
