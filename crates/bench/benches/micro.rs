@@ -32,6 +32,31 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(small.intersect_count(&big)))
     });
 
+    // Hybrid-kernel representation pairs on a 100k universe (the
+    // BENCH_tidset.json scenarios): dense×dense takes the word-AND +
+    // popcount path, sparse×dense probes bitmap words, sparse×sparse
+    // stays on the merge/gallop path of the seed.
+    let dense10 = Tidset::from_unsorted((0..100_000u32).filter(|_| rng.gen_bool(0.1)));
+    let dense50 = Tidset::from_unsorted((0..100_000u32).filter(|_| rng.gen_bool(0.5)));
+    let sparse_a = Tidset::from_unsorted((0..100_000u32).filter(|_| rng.gen_bool(0.0005)));
+    let sparse_b = Tidset::from_unsorted((0..100_000u32).filter(|_| rng.gen_bool(0.02)));
+    group.bench_function("tidset/intersect_count_dense10_dense50", |b| {
+        b.iter(|| black_box(dense10.intersect_count(&dense50)))
+    });
+    group.bench_function("tidset/intersect_count_sparse_dense", |b| {
+        b.iter(|| black_box(sparse_a.intersect_count(&dense50)))
+    });
+    group.bench_function("tidset/intersect_count_sparse_sparse_gallop", |b| {
+        b.iter(|| black_box(sparse_a.intersect_count(&sparse_b)))
+    });
+    let mut scratch = Tidset::new();
+    group.bench_function("tidset/intersect_into_dense_reused_buffer", |b| {
+        b.iter(|| {
+            dense10.intersect_into(&dense50, &mut scratch);
+            black_box(scratch.len())
+        })
+    });
+
     // Index-level operations on the mushroom analog.
     let spec = mushroom_spec(Scale::Fast);
     let system = build_system(&spec);
@@ -65,6 +90,24 @@ fn bench(c: &mut Criterion) {
     group.bench_function("end_to_end/optimized_query", |b| {
         b.iter(|| black_box(system.execute(&query).expect("runs").answer.rules.len()))
     });
+    // Plan-operator parallelism: the same plan at 1 thread vs the session
+    // default (answers are bit-identical; only the duration moves).
+    let focal = index.resolve_subset(query.range.clone()).expect("resolves");
+    for (label, threads) in [("threads_1", 1), ("threads_default", 0)] {
+        group.bench_function(format!("end_to_end/ssvs_{label}"), |b| {
+            b.iter(|| {
+                let a = colarm::plan::execute_plan_with(
+                    index,
+                    &query,
+                    &focal,
+                    colarm::PlanKind::SsVs,
+                    colarm::ExecOptions::with_threads(threads),
+                )
+                .expect("runs");
+                black_box(a.rules.len())
+            })
+        });
+    }
     group.finish();
 }
 

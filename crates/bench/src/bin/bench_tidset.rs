@@ -1,0 +1,183 @@
+//! Hybrid tidset-kernel microbenchmark: measures `intersect_count` across
+//! representation pairs on a 100k-tid universe against the seed's
+//! sorted-vec baselines (merge for balanced pairs, galloping probes for
+//! skewed ones) and writes the numbers to `BENCH_tidset.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_tidset [-- OUT.json]
+//! ```
+//!
+//! The acceptance gates this file documents: ≥3× on dense×dense at
+//! density ≥10%, and no >5% regression on the sparse gallop path (which
+//! still runs the seed's code).
+
+use colarm_data::Tidset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const UNIVERSE: u32 = 100_000;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: &'static str,
+    universe: u32,
+    len_a: usize,
+    len_b: usize,
+    hybrid_ns: f64,
+    baseline: &'static str,
+    baseline_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: &'static str,
+    scenarios: Vec<Scenario>,
+}
+
+fn sample(density: f64, rng: &mut StdRng) -> Tidset {
+    Tidset::from_unsorted((0..UNIVERSE).filter(|_| rng.gen_bool(density)))
+}
+
+/// The seed's merge intersection count over plain sorted vecs.
+fn merge_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The seed's galloping intersection count (small list probes big list).
+fn gallop_count(small: &[u32], big: &[u32]) -> usize {
+    let mut lo = 0usize;
+    let mut n = 0usize;
+    for &x in small {
+        let mut hi = lo + 1;
+        while hi < big.len() && big[hi] <= x {
+            lo = hi;
+            hi = (hi * 2).min(big.len());
+        }
+        let hi = hi.min(big.len());
+        let idx = lo + big[lo..hi].partition_point(|&y| y < x);
+        if idx < big.len() && big[idx] == x {
+            n += 1;
+        }
+        lo = idx.min(big.len().saturating_sub(1));
+    }
+    n
+}
+
+/// Median of `reps` timings of `f`, in nanoseconds per call.
+fn time_ns<F: FnMut() -> usize>(mut f: F) -> f64 {
+    // Warm up and pick an iteration count that runs ≥ ~1ms per rep.
+    let start = Instant::now();
+    black_box(f());
+    let once = start.elapsed().as_nanos().max(1);
+    let iters = (1_000_000 / once).clamp(1, 100_000) as usize;
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_tidset.json".to_string());
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let dense10 = sample(0.10, &mut rng);
+    let dense30 = sample(0.30, &mut rng);
+    let dense50 = sample(0.50, &mut rng);
+    let sparse_tiny = sample(0.0005, &mut rng);
+    let sparse_mid = sample(0.02, &mut rng);
+    let (v10, v30, v50) = (dense10.to_vec(), dense30.to_vec(), dense50.to_vec());
+    let (v_tiny, v_mid) = (sparse_tiny.to_vec(), sparse_mid.to_vec());
+
+    let mut scenarios = Vec::new();
+    let mut push = |name, a: &Tidset, b: &Tidset, baseline: &'static str, base_ns: f64| {
+        let hybrid_ns = time_ns(|| a.intersect_count(b));
+        scenarios.push(Scenario {
+            name,
+            universe: UNIVERSE,
+            len_a: a.len(),
+            len_b: b.len(),
+            hybrid_ns,
+            baseline,
+            baseline_ns: base_ns,
+            speedup: base_ns / hybrid_ns,
+        });
+    };
+
+    push(
+        "dense10_x_dense10",
+        &dense10,
+        &dense10.clone(),
+        "sorted-vec merge",
+        time_ns(|| merge_count(&v10, &v10)),
+    );
+    push(
+        "dense10_x_dense50",
+        &dense10,
+        &dense50,
+        "sorted-vec merge",
+        time_ns(|| merge_count(&v10, &v50)),
+    );
+    push(
+        "dense50_x_dense50",
+        &dense50,
+        &dense50.clone(),
+        "sorted-vec merge",
+        time_ns(|| merge_count(&v50, &v50)),
+    );
+    push(
+        "sparse_x_dense30",
+        &sparse_tiny,
+        &dense30,
+        "sorted-vec gallop",
+        time_ns(|| gallop_count(&v_tiny, &v30)),
+    );
+    push(
+        "sparse_x_sparse_gallop",
+        &sparse_tiny,
+        &sparse_mid,
+        "sorted-vec gallop",
+        time_ns(|| gallop_count(&v_tiny, &v_mid)),
+    );
+
+    let report = Report {
+        description: "Hybrid bitmap/sorted-vec tidset kernel vs the seed's \
+                      sorted-vec intersection, intersect_count on a 100k-tid \
+                      universe (median of 9 reps)",
+        scenarios,
+    };
+    println!(
+        "{:<26} {:>9} {:>9} {:>12} {:>12} {:>8}",
+        "scenario", "|a|", "|b|", "hybrid ns", "baseline ns", "speedup"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<26} {:>9} {:>9} {:>12.0} {:>12.0} {:>7.1}x",
+            s.name, s.len_a, s.len_b, s.hybrid_ns, s.baseline_ns, s.speedup
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, json).expect("write BENCH_tidset.json");
+    println!("\nwrote {out_path}");
+}

@@ -56,7 +56,10 @@ const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
   index  --data D.tsv --primary P [--out index.json]
   query  (--index I.json | --data D.tsv --primary P) \"REPORT ...\"
   repl   (--index I.json | --data D.tsv --primary P)
-  advise (--index I.json | --data D.tsv --primary P)";
+  advise (--index I.json | --data D.tsv --primary P)
+  common: --threads N   worker threads for build + query execution
+                        (default: COLARM_THREADS env, else all cores;
+                         1 = sequential; answers are identical either way)";
 
 /// Parsed `--flag value` options plus positional arguments.
 struct Options {
@@ -85,6 +88,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.primary = take(&mut it, "--primary")?
                     .parse()
                     .map_err(|_| "--primary expects a number in (0, 1]".to_string())?;
+            }
+            "--threads" => {
+                let n: usize = take(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer".to_string());
+                }
+                colarm_data::par::set_max_threads(n);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional => opts.positional.push(positional.to_string()),

@@ -64,7 +64,8 @@ pub use mip::{MipIndex, MipIndexConfig, Packing};
 pub use optimizer::{Optimizer, PlanChoice};
 pub use parse::parse_query;
 pub use persist::IndexSnapshot;
-pub use plan::{execute_plan, ExecutionTrace, PlanKind, QueryAnswer};
+pub use ops::ExecOptions;
+pub use plan::{execute_plan, execute_plan_with, ExecutionTrace, PlanKind, QueryAnswer};
 pub use query::{LocalizedQuery, Semantics};
 pub use session::{QuerySession, SessionStats};
 

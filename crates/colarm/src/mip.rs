@@ -17,7 +17,7 @@ use crate::error::ColarmError;
 use crate::query::LocalizedQuery;
 use colarm_data::{Dataset, FocalSubset, Itemset, RangeSpec, VerticalIndex};
 use colarm_mine::vertical::full_vertical;
-use colarm_mine::{charm, CfiId, ClosedItTree};
+use colarm_mine::{charm_par, CfiId, ClosedItTree};
 use colarm_rtree::{bulk, Rect, RTree};
 
 /// How the R-tree is constructed offline.
@@ -43,6 +43,11 @@ pub struct MipIndexConfig {
     pub fanout: usize,
     /// R-tree construction scheme.
     pub packing: Packing,
+    /// Worker threads for the offline CHARM mining fan-out: `0` uses the
+    /// session default ([`colarm_data::par::max_threads`]), `1` forces the
+    /// sequential path. The mined CFI vector — and therefore CFI ids,
+    /// R-tree layout and snapshots — is bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for MipIndexConfig {
@@ -51,6 +56,7 @@ impl Default for MipIndexConfig {
             primary_support: 0.1,
             fanout: colarm_rtree::tree::DEFAULT_MAX_ENTRIES,
             packing: Packing::Str,
+            threads: 0,
         }
     }
 }
@@ -82,7 +88,7 @@ impl MipIndex {
         let m = dataset.num_records();
         let primary_count =
             (((config.primary_support * m as f64) - 1e-9).ceil().max(1.0)) as usize;
-        let cfis = charm(&full_vertical(&vertical), primary_count);
+        let cfis = charm_par(&full_vertical(&vertical), primary_count, config.threads);
         Self::assemble(dataset, config, cfis, vertical)
     }
 

@@ -42,7 +42,7 @@ use crate::query::{LocalizedQuery, Semantics};
 use colarm_data::{FocalSubset, ItemId, Itemset, Overlap, Tidset};
 use colarm_mine::ittree::ClosureSupportOracle;
 use colarm_mine::rules::{rules_for_itemset, Rule, SupportOracle};
-use colarm_mine::vertical::{restricted_vertical, ItemTids};
+use colarm_mine::vertical::{restricted_vertical_par, ItemTids};
 use colarm_mine::CfiId;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -62,6 +62,34 @@ pub struct OpTrace {
     /// Wall-clock time.
     pub duration: Duration,
 }
+
+/// Execution options for the operators that can spread their per-candidate
+/// work across threads (`eliminate`, `verify`, `supported_verify`,
+/// `select`, `arm`).
+///
+/// `threads == 0` defers to the session default
+/// ([`colarm_data::par::max_threads`], overridable via the
+/// `COLARM_THREADS` environment variable or
+/// [`colarm_data::par::set_max_threads`]); `threads == 1` forces the
+/// sequential path. Outputs — rule sets, candidate lists, and `OpTrace`
+/// unit totals — are bit-identical at every setting; only wall-clock
+/// durations vary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker-thread cap (`0` = session default, `1` = sequential).
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Options pinned to a specific thread count.
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions { threads }
+    }
+}
+
+/// Below this many candidates the per-candidate work is cheaper than
+/// spawning scoped threads, so the operators stay sequential.
+const PAR_MIN_CANDIDATES: usize = 32;
 
 /// A candidate body flowing between operators: the projection-closed
 /// itemset plus the stored CFI whose tidset equals the body's global
@@ -222,10 +250,29 @@ pub fn eliminate(
     candidates: Vec<CfiId>,
     minsupp_count: usize,
 ) -> (Vec<Candidate>, OpTrace) {
+    eliminate_with(
+        index,
+        query,
+        subset,
+        candidates,
+        minsupp_count,
+        ExecOptions::default(),
+    )
+}
+
+/// [`eliminate`] with explicit execution options.
+pub fn eliminate_with(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    candidates: Vec<CfiId>,
+    minsupp_count: usize,
+    opts: ExecOptions,
+) -> (Vec<Candidate>, OpTrace) {
     let start = Instant::now();
     let input = candidates.len();
     let bodies = project_bodies(index, query, candidates);
-    let (out, units) = eliminate_bodies(index, subset, bodies, minsupp_count);
+    let (out, units) = eliminate_bodies(index, subset, bodies, minsupp_count, opts.threads);
     let trace = OpTrace {
         name: "ELIMINATE",
         input,
@@ -244,9 +291,20 @@ pub fn eliminate_projected(
     candidates: Vec<Candidate>,
     minsupp_count: usize,
 ) -> (Vec<Candidate>, OpTrace) {
+    eliminate_projected_with(index, subset, candidates, minsupp_count, ExecOptions::default())
+}
+
+/// [`eliminate_projected`] with explicit execution options.
+pub fn eliminate_projected_with(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    candidates: Vec<Candidate>,
+    minsupp_count: usize,
+    opts: ExecOptions,
+) -> (Vec<Candidate>, OpTrace) {
     let start = Instant::now();
     let input = candidates.len();
-    let (out, units) = eliminate_bodies(index, subset, candidates, minsupp_count);
+    let (out, units) = eliminate_bodies(index, subset, candidates, minsupp_count, opts.threads);
     let trace = OpTrace {
         name: "ELIMINATE",
         input,
@@ -257,32 +315,55 @@ pub fn eliminate_projected(
     (out, trace)
 }
 
+/// Per-candidate support check: the qualifying local count (if the
+/// candidate survives the threshold) and the cost units charged. Pure in
+/// the candidate, so ELIMINATE can fan checks out across threads.
+fn check_body(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    c: &Candidate,
+    minsupp_count: usize,
+) -> (Option<usize>, f64) {
+    if let Some(local) = c.local_count {
+        // Contained candidate: Lemma 4.5 already finalized it.
+        let verdict = if local >= minsupp_count { Some(local) } else { None };
+        return (verdict, 0.0);
+    }
+    // Record-level check: |t(body) ∩ t(DQ)|. The paper charges |DQ|
+    // per candidate; the galloping intersection is cheaper but remains
+    // the record-level term of the model.
+    let local = index
+        .ittree()
+        .get(c.closure)
+        .tids
+        .intersect_count(subset.tids());
+    let verdict = if local >= minsupp_count { Some(local) } else { None };
+    (verdict, subset.len() as f64)
+}
+
 fn eliminate_bodies(
     index: &MipIndex,
     subset: &FocalSubset,
     bodies: Vec<Candidate>,
     minsupp_count: usize,
+    threads: usize,
 ) -> (Vec<Candidate>, f64) {
+    let threads = if bodies.len() < PAR_MIN_CANDIDATES {
+        1
+    } else {
+        colarm_data::par::resolve_threads(threads)
+    };
+    // In-order fold of per-candidate verdicts. Every unit increment is an
+    // integer-valued f64 far below 2^53, so the sum is exact — the same
+    // bits — at any thread count.
+    let checks = colarm_data::par::parallel_map(&bodies, threads, |_, c| {
+        check_body(index, subset, c, minsupp_count)
+    });
     let mut units = 0.0f64;
     let mut out = Vec::new();
-    for mut c in bodies {
-        if let Some(local) = c.local_count {
-            // Contained candidate: Lemma 4.5 already finalized it.
-            if local >= minsupp_count {
-                out.push(c);
-            }
-            continue;
-        }
-        // Record-level check: |t(body) ∩ t(DQ)|. The paper charges |DQ|
-        // per candidate; the galloping intersection is cheaper but remains
-        // the record-level term of the model.
-        units += subset.len() as f64;
-        let local = index
-            .ittree()
-            .get(c.closure)
-            .tids
-            .intersect_count(subset.tids());
-        if local >= minsupp_count {
+    for (mut c, (verdict, u)) in bodies.into_iter().zip(checks) {
+        units += u;
+        if let Some(local) = verdict {
             c.local_count = Some(local);
             out.push(c);
         }
@@ -299,17 +380,19 @@ pub fn verify(
     candidates: &[Candidate],
     minconf: f64,
 ) -> (Vec<Rule>, OpTrace) {
+    verify_with(index, subset, candidates, minconf, ExecOptions::default())
+}
+
+/// [`verify`] with explicit execution options.
+pub fn verify_with(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    candidates: &[Candidate],
+    minconf: f64,
+    opts: ExecOptions,
+) -> (Vec<Rule>, OpTrace) {
     let start = Instant::now();
-    let mut oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
-    let mut rules = Vec::new();
-    let mut units = 0.0f64;
-    for c in candidates {
-        let local = c
-            .local_count
-            .expect("VERIFY requires established local counts");
-        units += (c.body.len() * subset.len()) as f64;
-        rules_for_itemset(&c.body, local, &mut oracle, minconf, &mut rules);
-    }
+    let (rules, units) = verify_candidates(index, subset, candidates, minconf, opts.threads);
     let trace = OpTrace {
         name: "VERIFY",
         input: candidates.len(),
@@ -318,6 +401,53 @@ pub fn verify(
         duration: start.elapsed(),
     };
     (rules, trace)
+}
+
+/// Shared VERIFY core: rule generation + confidence checks over qualified
+/// candidates, optionally chunked across threads. Each chunk runs its own
+/// [`ClosureSupportOracle`] (the memo only affects speed, never values);
+/// rules and unit sums merge in candidate order, so the output — ordering
+/// included — is bit-identical at every thread count.
+fn verify_candidates(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    candidates: &[Candidate],
+    minconf: f64,
+    threads: usize,
+) -> (Vec<Rule>, f64) {
+    let threads = if candidates.len() < PAR_MIN_CANDIDATES {
+        1
+    } else {
+        colarm_data::par::resolve_threads(threads)
+    };
+    let run_chunk = |chunk: &[Candidate]| -> (Vec<Rule>, f64) {
+        let mut oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
+        let mut rules = Vec::new();
+        let mut units = 0.0f64;
+        for c in chunk {
+            let local = c
+                .local_count
+                .expect("VERIFY requires established local counts");
+            units += (c.body.len() * subset.len()) as f64;
+            rules_for_itemset(&c.body, local, &mut oracle, minconf, &mut rules);
+        }
+        (rules, units)
+    };
+    if threads <= 1 {
+        return run_chunk(candidates);
+    }
+    // Chunks of several candidates amortize each worker's closure-lookup
+    // memo; more chunks than workers keeps skew balanced.
+    let chunk_len = candidates.len().div_ceil(threads * 4).max(1);
+    let chunks: Vec<&[Candidate]> = candidates.chunks(chunk_len).collect();
+    let results = colarm_data::par::parallel_map(&chunks, threads, |_, chunk| run_chunk(chunk));
+    let mut rules = Vec::new();
+    let mut units = 0.0f64;
+    for (mut r, u) in results {
+        rules.append(&mut r);
+        units += u;
+    }
+    (rules, units)
 }
 
 /// SUPPORTED-VERIFY: ELIMINATE merged into VERIFY (selection push-up).
@@ -331,22 +461,39 @@ pub fn supported_verify(
     minsupp_count: usize,
     minconf: f64,
 ) -> (Vec<Rule>, OpTrace) {
+    supported_verify_with(
+        index,
+        query,
+        subset,
+        candidates,
+        minsupp_count,
+        minconf,
+        ExecOptions::default(),
+    )
+}
+
+/// [`supported_verify`] with explicit execution options.
+pub fn supported_verify_with(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    candidates: Vec<CfiId>,
+    minsupp_count: usize,
+    minconf: f64,
+    opts: ExecOptions,
+) -> (Vec<Rule>, OpTrace) {
     let start = Instant::now();
     let input = candidates.len();
     let bodies = project_bodies(index, query, candidates);
-    let (qualified, mut units) = eliminate_bodies(index, subset, bodies, minsupp_count);
-    let mut oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
-    let mut rules = Vec::new();
-    for c in qualified {
-        units += (c.body.len() * subset.len()) as f64;
-        let local = c.local_count.expect("established by the support check");
-        rules_for_itemset(&c.body, local, &mut oracle, minconf, &mut rules);
-    }
+    let (qualified, eliminate_units) =
+        eliminate_bodies(index, subset, bodies, minsupp_count, opts.threads);
+    let (rules, verify_units) =
+        verify_candidates(index, subset, &qualified, minconf, opts.threads);
     let trace = OpTrace {
         name: "SUPPORTED-VERIFY",
         input,
         output: rules.len(),
-        units,
+        units: eliminate_units + verify_units,
         duration: start.elapsed(),
     };
     (rules, trace)
@@ -376,13 +523,24 @@ pub fn select(
     query: &LocalizedQuery,
     subset: &FocalSubset,
 ) -> (Vec<ItemTids>, OpTrace) {
+    select_with(index, query, subset, ExecOptions::default())
+}
+
+/// [`select`] with explicit execution options.
+pub fn select_with(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    opts: ExecOptions,
+) -> (Vec<ItemTids>, OpTrace) {
     let start = Instant::now();
     let attrs: Option<Vec<colarm_data::AttributeId>> = query.item_attrs.clone();
-    let columns = restricted_vertical(
+    let columns = restricted_vertical_par(
         index.dataset(),
         index.vertical(),
         Some(subset.tids()),
         attrs.as_deref(),
+        opts.threads,
     );
     let trace = OpTrace {
         name: "SELECT",
@@ -418,6 +576,28 @@ pub fn arm(
     minsupp_count: usize,
     minconf: f64,
 ) -> (Vec<Rule>, OpTrace) {
+    arm_with(
+        index,
+        query,
+        subset,
+        columns,
+        minsupp_count,
+        minconf,
+        ExecOptions::default(),
+    )
+}
+
+/// [`arm`] with explicit execution options (the CHARM runs fan their
+/// first-level branches out across threads).
+pub fn arm_with(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    columns: &[ItemTids],
+    minsupp_count: usize,
+    minconf: f64,
+    opts: ExecOptions,
+) -> (Vec<Rule>, OpTrace) {
     let start = Instant::now();
     let mut rules = Vec::new();
     let mut units;
@@ -438,7 +618,8 @@ pub fn arm(
                 .iter()
                 .map(|c| c.tids.len() as f64)
                 .sum::<f64>();
-            let mined = colarm_mine::charm(&miner_columns, index.primary_count());
+            let mined =
+                colarm_mine::charm_par(&miner_columns, index.primary_count(), opts.threads);
             // Mining work ∝ the tidset volume of what was enumerated.
             units += mined.iter().map(|c| c.tids.len() as f64).sum::<f64>();
             let schema = index.dataset().schema();
@@ -463,7 +644,7 @@ pub fn arm(
         Semantics::Unrestricted => {
             units = subset.len() as f64 * columns.len().max(1) as f64;
             // Classic two-step mining: closed local itemsets, then rules.
-            let closed = colarm_mine::charm(columns, minsupp_count);
+            let closed = colarm_mine::charm_par(columns, minsupp_count, opts.threads);
             units += closed.len() as f64;
             let mut oracle = SubsetOracle::new(columns, subset.len());
             for c in closed {
@@ -700,6 +881,73 @@ mod tests {
         via_index.sort_by_key(rule_key);
         via_arm.sort_by_key(rule_key);
         assert_eq!(via_index, via_arm);
+    }
+
+    #[test]
+    fn parallel_operators_are_bit_identical() {
+        // A synthetic dataset dense enough that the candidate list crosses
+        // PAR_MIN_CANDIDATES, so the parallel paths actually run.
+        let config = colarm_data::synth::SynthConfig {
+            name: "ops-par".into(),
+            seed: 9,
+            records: 400,
+            domains: vec![3, 3, 4, 2, 3],
+            top_mass: 0.6,
+            skew: 1.0,
+            clusters: 2,
+            cluster_focus: 0.5,
+            focus_strength: 0.9,
+            templates: 3,
+            template_len: 3,
+            template_prob: 0.3,
+        };
+        let dataset = colarm_data::synth::generate(&config);
+        let schema = dataset.schema().clone();
+        let index = MipIndex::build(
+            dataset,
+            MipIndexConfig {
+                primary_support: 0.02,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "a0", &["v0"])
+            .unwrap()
+            .minsupp(0.05)
+            .minconf(0.5)
+            .build();
+        let subset = index.resolve_subset(query.range.clone()).unwrap();
+        let min = query.minsupp_count(subset.len());
+        let (cands, _) = search(&index, &subset);
+        assert!(
+            cands.len() >= PAR_MIN_CANDIDATES,
+            "need ≥{PAR_MIN_CANDIDATES} candidates to exercise the parallel path, got {}",
+            cands.len()
+        );
+        let seq = ExecOptions::with_threads(1);
+        let (kept_seq, el_seq) =
+            eliminate_with(&index, &query, &subset, cands.clone(), min, seq);
+        let (rules_seq, v_seq) = verify_with(&index, &subset, &kept_seq, query.minconf, seq);
+        let (sv_rules_seq, sv_seq) = supported_verify_with(
+            &index, &query, &subset, cands.clone(), min, query.minconf, seq,
+        );
+        assert!(!rules_seq.is_empty());
+        for threads in [2, 3, 8] {
+            let par = ExecOptions::with_threads(threads);
+            let (kept_par, el_par) =
+                eliminate_with(&index, &query, &subset, cands.clone(), min, par);
+            assert_eq!(kept_par, kept_seq, "ELIMINATE diverged at {threads} threads");
+            assert_eq!(el_par.units.to_bits(), el_seq.units.to_bits());
+            let (rules_par, v_par) = verify_with(&index, &subset, &kept_par, query.minconf, par);
+            assert_eq!(rules_par, rules_seq, "VERIFY diverged at {threads} threads");
+            assert_eq!(v_par.units.to_bits(), v_seq.units.to_bits());
+            let (sv_rules_par, sv_par) = supported_verify_with(
+                &index, &query, &subset, cands.clone(), min, query.minconf, par,
+            );
+            assert_eq!(sv_rules_par, sv_rules_seq);
+            assert_eq!(sv_par.units.to_bits(), sv_seq.units.to_bits());
+        }
     }
 
     #[test]

@@ -70,6 +70,9 @@ impl IndexSnapshot {
                 1 => Packing::Hilbert,
                 _ => Packing::Insertion,
             },
+            // A runtime knob, not an index property: restored indexes
+            // fall back to the session default.
+            threads: 0,
         };
         MipIndex::from_parts(
             self.dataset,

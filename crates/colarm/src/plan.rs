@@ -15,7 +15,7 @@
 
 use crate::error::ColarmError;
 use crate::mip::MipIndex;
-use crate::ops::{self, OpTrace};
+use crate::ops::{self, ExecOptions, OpTrace};
 use crate::query::LocalizedQuery;
 use colarm_data::FocalSubset;
 use colarm_mine::rules::Rule;
@@ -124,12 +124,26 @@ pub struct QueryAnswer {
     pub trace: ExecutionTrace,
 }
 
-/// Execute one plan over a resolved focal subset.
+/// Execute one plan over a resolved focal subset with default execution
+/// options (threads = session default; see [`ExecOptions`]).
 pub fn execute_plan(
     index: &MipIndex,
     query: &LocalizedQuery,
     subset: &FocalSubset,
     plan: PlanKind,
+) -> Result<QueryAnswer, ColarmError> {
+    execute_plan_with(index, query, subset, plan, ExecOptions::default())
+}
+
+/// Execute one plan over a resolved focal subset. The answer — rules,
+/// ordering, per-operator units — is bit-identical at every `opts.threads`
+/// setting; only durations vary.
+pub fn execute_plan_with(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    plan: PlanKind,
+    opts: ExecOptions,
 ) -> Result<QueryAnswer, ColarmError> {
     query.validate(index.dataset().schema())?;
     if subset.is_empty() {
@@ -148,34 +162,38 @@ pub fn execute_plan(
         PlanKind::Sev => {
             let (cands, t) = ops::search(index, subset);
             ops_trace.push(t);
-            let (kept, t) = ops::eliminate(index, query, subset, cands, minsupp_count);
+            let (kept, t) =
+                ops::eliminate_with(index, query, subset, cands, minsupp_count, opts);
             ops_trace.push(t);
-            let (rules, t) = ops::verify(index, subset, &kept, minconf);
+            let (rules, t) = ops::verify_with(index, subset, &kept, minconf, opts);
             ops_trace.push(t);
             rules
         }
         PlanKind::Svs => {
             let (cands, t) = ops::search(index, subset);
             ops_trace.push(t);
-            let (rules, t) =
-                ops::supported_verify(index, query, subset, cands, minsupp_count, minconf);
+            let (rules, t) = ops::supported_verify_with(
+                index, query, subset, cands, minsupp_count, minconf, opts,
+            );
             ops_trace.push(t);
             rules
         }
         PlanKind::SsEv => {
             let (cands, t) = ops::supported_search(index, subset, minsupp_count);
             ops_trace.push(t);
-            let (kept, t) = ops::eliminate(index, query, subset, cands, minsupp_count);
+            let (kept, t) =
+                ops::eliminate_with(index, query, subset, cands, minsupp_count, opts);
             ops_trace.push(t);
-            let (rules, t) = ops::verify(index, subset, &kept, minconf);
+            let (rules, t) = ops::verify_with(index, subset, &kept, minconf, opts);
             ops_trace.push(t);
             rules
         }
         PlanKind::SsVs => {
             let (cands, t) = ops::supported_search(index, subset, minsupp_count);
             ops_trace.push(t);
-            let (rules, t) =
-                ops::supported_verify(index, query, subset, cands, minsupp_count, minconf);
+            let (rules, t) = ops::supported_verify_with(
+                index, query, subset, cands, minsupp_count, minconf, opts,
+            );
             ops_trace.push(t);
             rules
         }
@@ -185,19 +203,19 @@ pub fn execute_plan(
             let (contained, partial, t) = ops::classify(index, query, subset, cands);
             ops_trace.push(t);
             let (kept_partial, t) =
-                ops::eliminate_projected(index, subset, partial, minsupp_count);
+                ops::eliminate_projected_with(index, subset, partial, minsupp_count, opts);
             ops_trace.push(t);
             let (merged, t) = ops::union_lists(contained, kept_partial);
             ops_trace.push(t);
-            let (rules, t) = ops::verify(index, subset, &merged, minconf);
+            let (rules, t) = ops::verify_with(index, subset, &merged, minconf, opts);
             ops_trace.push(t);
             rules
         }
         PlanKind::Arm => {
-            let (columns, t) = ops::select(index, query, subset);
+            let (columns, t) = ops::select_with(index, query, subset, opts);
             ops_trace.push(t);
             let (rules, t) =
-                ops::arm(index, query, subset, &columns, minsupp_count, minconf);
+                ops::arm_with(index, query, subset, &columns, minsupp_count, minconf, opts);
             ops_trace.push(t);
             rules
         }

@@ -15,7 +15,8 @@
 
 use crate::error::ColarmError;
 use crate::framework::Colarm;
-use crate::plan::{execute_plan, PlanKind, QueryAnswer};
+use crate::ops::ExecOptions;
+use crate::plan::{execute_plan_with, PlanKind, QueryAnswer};
 use crate::query::{LocalizedQuery, Semantics};
 use colarm_data::{AttributeId, FocalSubset, RangeSpec};
 use parking_lot::RwLock;
@@ -61,6 +62,10 @@ pub struct SessionStats {
 /// A caching façade over [`Colarm`] for interactive query bursts.
 pub struct QuerySession<'a> {
     colarm: &'a Colarm,
+    /// Worker threads for plan operators (0 = process default, 1 =
+    /// sequential). Answers are bit-identical at any setting, so cached
+    /// entries stay valid across changes.
+    threads: AtomicUsize,
     subsets: RwLock<HashMap<RangeSpec, Arc<FocalSubset>>>,
     answers: RwLock<HashMap<AnswerKey, Arc<QueryAnswer>>>,
     subset_hits: AtomicUsize,
@@ -74,12 +79,26 @@ impl<'a> QuerySession<'a> {
     pub fn new(colarm: &'a Colarm) -> Self {
         QuerySession {
             colarm,
+            threads: AtomicUsize::new(0),
             subsets: RwLock::new(HashMap::new()),
             answers: RwLock::new(HashMap::new()),
             subset_hits: AtomicUsize::new(0),
             subset_misses: AtomicUsize::new(0),
             answer_hits: AtomicUsize::new(0),
             answer_misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Cap the worker threads used by this session's plan executions
+    /// (`0` = process default, `1` = sequential). Safe to flip at any
+    /// point: answers don't depend on the thread count.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads, Ordering::Relaxed);
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            threads: self.threads.load(Ordering::Relaxed),
         }
     }
 
@@ -114,11 +133,12 @@ impl<'a> QuerySession<'a> {
             .colarm
             .optimizer()
             .choose(self.colarm.index(), query, &subset);
-        let answer = Arc::new(execute_plan(
+        let answer = Arc::new(execute_plan_with(
             self.colarm.index(),
             query,
             &subset,
             choice.chosen,
+            self.exec_options(),
         )?);
         self.answer_misses.fetch_add(1, Ordering::Relaxed);
         self.answers
@@ -136,7 +156,7 @@ impl<'a> QuerySession<'a> {
         plan: PlanKind,
     ) -> Result<QueryAnswer, ColarmError> {
         let subset = self.subset(&query.range)?;
-        execute_plan(self.colarm.index(), query, &subset, plan)
+        execute_plan_with(self.colarm.index(), query, &subset, plan, self.exec_options())
     }
 
     /// Session cache statistics.
@@ -232,6 +252,25 @@ mod tests {
         let via_session = session.execute(&q).unwrap();
         let direct = colarm.execute(&q).unwrap();
         assert_eq!(via_session.rules, direct.answer.rules);
+    }
+
+    #[test]
+    fn thread_knob_does_not_change_answers() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build();
+        let sequential = QuerySession::new(&colarm);
+        sequential.set_threads(1);
+        let a = sequential.execute(&q).unwrap();
+        let parallel = QuerySession::new(&colarm);
+        parallel.set_threads(4);
+        let b = parallel.execute(&q).unwrap();
+        assert_eq!(a.rules, b.rules);
     }
 
     #[test]

@@ -310,10 +310,10 @@ mod tests {
         let schema = d.schema();
         // Item A=a0 appears in records 0,1,3.
         let a0 = schema.encode_named("A", "a0").unwrap();
-        assert_eq!(v.tids(a0).as_slice(), &[0, 1, 3]);
+        assert_eq!(v.tids(a0).to_vec(), &[0, 1, 3]);
         // Itemset (A=a0, B=b0) in records 0 and 3.
         let iset = Itemset::from_items([a0, schema.encode_named("B", "b0").unwrap()]);
-        assert_eq!(v.itemset_tids(&iset).as_slice(), &[0, 3]);
+        assert_eq!(v.itemset_tids(&iset).to_vec(), &[0, 3]);
         assert_eq!(v.support(&iset), d.count_support(&iset));
         // Empty itemset supported by every record.
         assert_eq!(v.support(&Itemset::empty()), 4);

@@ -11,8 +11,11 @@
 //!   global [`ItemId`] encoding of attribute–value pairs.
 //! * [`Dataset`] — row store of records plus a [`VerticalIndex`] of per-item
 //!   tid-lists (the vertical format CHARM mines over).
-//! * [`Tidset`] — sorted transaction-id lists with merge/galloping set
-//!   algebra; the unit of all support counting in COLARM.
+//! * [`Tidset`] — hybrid sorted-vector / packed-bitmap transaction-id sets
+//!   with merge, galloping and word-wise popcount set algebra; the unit of
+//!   all support counting in COLARM.
+//! * [`par`] — deterministic ordered fork-join used by the parallel
+//!   operator loops and the index build, with the session thread knob.
 //! * [`Itemset`] — sorted item-id sets with subset/union algebra and the
 //!   multidimensional bounding-box semantics of paper Figure 1.
 //! * [`RangeSpec`] / [`FocalSubset`] — the query-time subset-selection
@@ -31,6 +34,7 @@ pub mod discretize;
 pub mod error;
 pub mod io;
 pub mod itemset;
+pub mod par;
 pub mod schema;
 pub mod subset;
 pub mod synth;

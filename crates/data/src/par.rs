@@ -1,0 +1,160 @@
+//! Deterministic fork-join parallelism over `std::thread::scope`.
+//!
+//! The operator loops of the COLARM plans (ELIMINATE's per-candidate
+//! support checks, VERIFY's per-candidate rule generation) and the
+//! offline index build are embarrassingly parallel, but the system
+//! promises *bit-identical* results at every thread count — mined rule
+//! sets, `OpTrace` unit accounting, even CFI numbering must not depend on
+//! scheduling. The helper here therefore returns results **in input
+//! order** regardless of which worker computed what; callers fold unit
+//! counters and merge outputs in that order, which makes thread count an
+//! invisible knob.
+//!
+//! No external thread-pool dependency: scoped threads are spawned per
+//! call. That costs a few microseconds per invocation, which is noise for
+//! the workloads that opt in (callers keep their sequential path for
+//! small inputs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global default thread count. `0` = not yet resolved; resolution reads
+/// `COLARM_THREADS` and falls back to the machine's available parallelism.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The session-wide default thread count: the last `set_max_threads`
+/// value, else `COLARM_THREADS`, else the machine's available
+/// parallelism. Always ≥ 1.
+pub fn max_threads() -> usize {
+    let v = MAX_THREADS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let resolved = std::env::var("COLARM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
+    MAX_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Set the session-wide default thread count (clamped to ≥ 1). `1`
+/// forces every parallel-capable path onto today's sequential code.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Resolve a caller-supplied thread knob: `0` means "use the global
+/// default", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        max_threads()
+    } else {
+        threads
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped workers, returning the
+/// results **in input order** — the output is identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for any
+/// thread count, including the unit-sum folds callers do over it.
+///
+/// Work is distributed dynamically (chunked atomic counter), so skewed
+/// per-item costs — one CHARM branch exploring a deep subtree while its
+/// siblings finish instantly — still balance. `threads <= 1` or a single
+/// item runs inline with no thread spawned.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Hand out small index chunks to keep contention low while still
+    // load-balancing skewed items.
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            local.push((i, f(i, &items[i])));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Scatter worker-local results back to input order.
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for bucket in buckets {
+        for (i, r) in bucket {
+            debug_assert!(out[i].is_none());
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter().map(|r| r.expect("every index computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i as u32, x);
+                x * 2
+            });
+            assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u8], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn skewed_workloads_balance() {
+        // One item 1000× heavier than the rest must not serialize the rest
+        // behind it; correctness (ordering) is what we assert.
+        let items: Vec<usize> = (0..64).collect();
+        let got = parallel_map(&items, 4, |_, &x| {
+            let spins = if x == 0 { 100_000 } else { 100 };
+            (0..spins).fold(x, |acc, _| std::hint::black_box(acc))
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn thread_knob_round_trips() {
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        assert_eq!(resolve_threads(0), 3);
+        assert_eq!(resolve_threads(7), 7);
+        set_max_threads(0); // clamps to 1
+        assert_eq!(max_threads(), 1);
+        set_max_threads(2);
+        assert_eq!(max_threads(), 2);
+    }
+}

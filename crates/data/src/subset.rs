@@ -360,7 +360,7 @@ mod tests {
             .with_named(&s, "Gender", &["F"])
             .unwrap();
         let fs = FocalSubset::resolve(spec, &d, &v).unwrap();
-        assert_eq!(fs.tids().as_slice(), &[3, 4, 5]);
+        assert_eq!(fs.tids().to_vec(), &[3, 4, 5]);
         assert!((fs.fraction() - 0.5).abs() < 1e-12);
     }
 
@@ -380,7 +380,7 @@ mod tests {
             .with_named(&s, "Loc", &["Boston", "SFO"])
             .unwrap();
         let fs = FocalSubset::resolve(spec, &d, &v).unwrap();
-        assert_eq!(fs.tids().as_slice(), &[0, 1, 2]);
+        assert_eq!(fs.tids().to_vec(), &[0, 1, 2]);
     }
 
     #[test]

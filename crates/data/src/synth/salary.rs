@@ -93,7 +93,7 @@ mod tests {
             .with_named(s, "Gender", &["F"])
             .unwrap();
         let fs = crate::subset::FocalSubset::resolve(spec, &d, &v).unwrap();
-        assert_eq!(fs.tids().as_slice(), &[7, 8, 9, 10]);
+        assert_eq!(fs.tids().to_vec(), &[7, 8, 9, 10]);
         let a1 = s.encode_named("Age", "30-40").unwrap();
         let s2 = s.encode_named("Salary", "90K-120K").unwrap();
         let body = Itemset::from_items([a1, s2]);

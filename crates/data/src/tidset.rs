@@ -1,34 +1,87 @@
-//! Sorted transaction-id lists with merge / galloping set algebra.
+//! Hybrid transaction-id sets: sorted vectors *or* packed bitmaps.
 //!
 //! Every support computation in COLARM is a tidset operation: the global
 //! support of an itemset is the length of the intersection of its items'
 //! tid-lists, and the *local* support w.r.t. a focal subset `DQ` is
-//! `|tids(I) ∩ tids(DQ)|` (paper §2.2). Tidsets are stored as sorted,
-//! deduplicated `u32` vectors; intersections switch from linear merging to
-//! galloping (exponential) search when the operand sizes are lopsided,
-//! which is the common case when intersecting a large itemset tid-list with
-//! a small focal subset.
+//! `|tids(I) ∩ tids(DQ)|` (paper §2.2). Two physical representations are
+//! kept behind one logical interface:
+//!
+//! * **Sparse** — a sorted, deduplicated `Vec<u32>`. Intersections switch
+//!   from linear merging to galloping (exponential) search when the
+//!   operand sizes are lopsided, which is the common case when
+//!   intersecting a large itemset tid-list with a small focal subset.
+//! * **Dense** — a packed `u64` bitmap over the record universe, chosen
+//!   automatically when the set's population is a large fraction of its
+//!   id span. On chess/pumsb-style dense datasets (paper §6) most item
+//!   tid-lists cover 30–90 % of all records, and word-wise `AND` +
+//!   `count_ones()` beats element-at-a-time merging by an order of
+//!   magnitude; `intersect_count` and `is_subset_of` never materialize.
+//!
+//! The representation is an internal detail: equality, hashing, iteration
+//! order and the serde format (a plain sorted id sequence, unchanged from
+//! the all-sparse kernel) are representation-independent, so persisted
+//! index snapshots round-trip across kernel versions.
 
-use serde::{Deserialize, Serialize};
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-/// How lopsided two tidsets must be before intersection switches from a
-/// linear merge to a gallop over the larger side.
+/// How lopsided two sparse tidsets must be before intersection switches
+/// from a linear merge to a gallop over the larger side.
 const GALLOP_RATIO: usize = 16;
 
+/// A set is stored dense when `len * DENSE_RATIO >= span` (span = largest
+/// tid + 1): at 1/16 density the bitmap is no bigger than the sorted
+/// vector (64-bit words vs 32-bit ids at 1:16 population) and word-wise
+/// operations already win well before the memory break-even.
+const DENSE_RATIO: usize = 16;
+
+/// Sets smaller than this stay sparse regardless of density — bitmap
+/// setup overhead dominates for tiny sets.
+const DENSE_MIN_LEN: usize = 64;
+
+/// Physical representation of a [`Tidset`].
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Strictly sorted, deduplicated ids.
+    Sparse(Vec<u32>),
+    /// Packed bitmap; bit `t` of `words[t / 64]` set iff `t` is present.
+    /// Invariants: no trailing all-zero words, `len` = total popcount.
+    Dense { words: Vec<u64>, len: usize },
+}
+
 /// A sorted, deduplicated set of transaction (record) ids.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Tidset(Vec<u32>);
+#[derive(Debug, Clone)]
+pub struct Tidset(Repr);
+
+impl Default for Tidset {
+    fn default() -> Self {
+        Tidset(Repr::Sparse(Vec::new()))
+    }
+}
 
 impl Tidset {
     /// The empty tidset.
     pub fn new() -> Self {
-        Tidset(Vec::new())
+        Tidset::default()
     }
 
-    /// Tidset of the full universe `0..n`.
+    /// Tidset of the full universe `0..n` — O(n/64) as a packed bitmap,
+    /// not O(n) ids.
     pub fn full(n: u32) -> Self {
-        Tidset((0..n).collect())
+        let n = n as usize;
+        if n < DENSE_MIN_LEN {
+            return Tidset(Repr::Sparse((0..n as u32).collect()));
+        }
+        let full_words = n / 64;
+        let mut words = vec![u64::MAX; full_words];
+        let rem = n % 64;
+        if rem > 0 {
+            words.push((1u64 << rem) - 1);
+        }
+        Tidset(Repr::Dense { words, len: n })
     }
 
     /// Build from a vector that is already sorted and deduplicated.
@@ -37,7 +90,9 @@ impl Tidset {
     /// paths (the vertical index, CHARM) construct tidsets in order.
     pub fn from_sorted(v: Vec<u32>) -> Self {
         debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "tidset must be strictly sorted");
-        Tidset(v)
+        let mut t = Tidset(Repr::Sparse(v));
+        t.normalize();
+        t
     }
 
     /// Build from an arbitrary iterator (sorts and deduplicates).
@@ -45,35 +100,88 @@ impl Tidset {
         let mut v: Vec<u32> = it.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Tidset(v)
+        Tidset::from_sorted(v)
     }
 
     /// Number of tids — i.e. the absolute support count.
     #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense { len, .. } => *len,
+        }
     }
 
     /// True when no tids are present.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
-    /// Membership test (binary search).
+    /// Largest tid plus one (`0` for the empty set): the id span the
+    /// density rule measures population against.
+    fn span(&self) -> usize {
+        match &self.0 {
+            Repr::Sparse(v) => v.last().map_or(0, |&t| t as usize + 1),
+            Repr::Dense { words, .. } => match words.last() {
+                None => 0,
+                Some(&w) => (words.len() - 1) * 64 + (64 - w.leading_zeros() as usize),
+            },
+        }
+    }
+
+    /// True when this set is exactly `{0, 1, …, len-1}` — a full range.
+    /// O(1) and used to short-circuit operations against universe sets.
+    fn is_full_range(&self) -> bool {
+        self.len() == self.span()
+    }
+
+    /// Re-pick the physical representation for the current contents.
+    /// Deterministic: the chosen representation depends only on the set's
+    /// contents, never on the operation that produced it.
+    fn normalize(&mut self) {
+        let len = self.len();
+        let span = self.span();
+        let want_dense = len >= DENSE_MIN_LEN && len * DENSE_RATIO >= span;
+        match (&mut self.0, want_dense) {
+            (Repr::Sparse(v), true) => {
+                let words = bitmap_of(v);
+                self.0 = Repr::Dense { words, len };
+            }
+            (Repr::Dense { words, .. }, false) => {
+                let ids = ids_of(words, len);
+                self.0 = Repr::Sparse(ids);
+            }
+            _ => {}
+        }
+    }
+
+    /// Membership test.
     pub fn contains(&self, tid: u32) -> bool {
-        self.0.binary_search(&tid).is_ok()
+        match &self.0 {
+            Repr::Sparse(v) => v.binary_search(&tid).is_ok(),
+            Repr::Dense { words, .. } => test_bit(words, tid),
+        }
     }
 
-    /// Borrow the underlying sorted slice.
-    #[inline]
-    pub fn as_slice(&self) -> &[u32] {
-        &self.0
+    /// Copy out the tids as a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        match &self.0 {
+            Repr::Sparse(v) => v.clone(),
+            Repr::Dense { words, len } => ids_of(words, *len),
+        }
     }
 
     /// Iterate tids in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.0.iter().copied()
+    pub fn iter(&self) -> TidIter<'_> {
+        match &self.0 {
+            Repr::Sparse(v) => TidIter::Sparse(v.iter()),
+            Repr::Dense { words, .. } => TidIter::Dense {
+                words,
+                word_idx: 0,
+                current: words.first().copied().unwrap_or(0),
+            },
+        }
     }
 
     /// Append a tid that is strictly greater than every present tid.
@@ -81,149 +189,407 @@ impl Tidset {
     /// # Panics
     /// Panics in debug builds if `tid` is not strictly greater.
     pub fn push_monotonic(&mut self, tid: u32) {
-        debug_assert!(self.0.last().is_none_or(|&last| last < tid));
-        self.0.push(tid);
+        match &mut self.0 {
+            Repr::Sparse(v) => {
+                debug_assert!(v.last().is_none_or(|&last| last < tid));
+                v.push(tid);
+            }
+            Repr::Dense { words, len } => {
+                debug_assert!(words.last().is_none_or(|&w| {
+                    (words.len() - 1) * 64 + (64 - w.leading_zeros() as usize) <= tid as usize
+                }));
+                let w = tid as usize / 64;
+                if words.len() <= w {
+                    words.resize(w + 1, 0);
+                }
+                words[w] |= 1u64 << (tid % 64);
+                *len += 1;
+            }
+        }
     }
 
     /// Set intersection.
     pub fn intersect(&self, other: &Tidset) -> Tidset {
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        if small.is_empty() {
-            return Tidset::new();
+        let mut out = Tidset::new();
+        self.intersect_into(other, &mut out);
+        out
+    }
+
+    /// Set intersection into a caller-owned tidset, reusing its buffers —
+    /// the allocation-free inner loop of CHARM and the ELIMINATE scratch
+    /// path. `out` is overwritten.
+    pub fn intersect_into(&self, other: &Tidset, out: &mut Tidset) {
+        // Universe short-circuits: full(n) ∩ x = x when x ⊆ 0..n.
+        if self.is_full_range() && other.span() <= self.len() {
+            out.clone_from(other);
+            return;
         }
-        let mut out = Vec::with_capacity(small.len());
-        if large.len() / small.len().max(1) >= GALLOP_RATIO {
-            // Gallop each element of the small side through the large side.
-            let mut base = 0usize;
-            for &t in &small.0 {
-                match gallop(&large.0[base..], t) {
-                    Ok(off) => {
-                        out.push(t);
-                        base += off + 1;
-                    }
-                    Err(off) => base += off,
-                }
-                if base >= large.0.len() {
-                    break;
-                }
+        if other.is_full_range() && self.span() <= other.len() {
+            out.clone_from(self);
+            return;
+        }
+        match (&self.0, &other.0) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let buf = out.take_sparse_buf();
+                out.0 = Repr::Sparse(sparse_intersect(a, b, buf));
             }
-        } else {
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < small.0.len() && j < large.0.len() {
-                match small.0[i].cmp(&large.0[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        out.push(small.0[i]);
-                        i += 1;
-                        j += 1;
-                    }
+            (Repr::Sparse(s), Repr::Dense { words, .. })
+            | (Repr::Dense { words, .. }, Repr::Sparse(s)) => {
+                let mut buf = out.take_sparse_buf();
+                buf.extend(s.iter().copied().filter(|&t| test_bit(words, t)));
+                out.0 = Repr::Sparse(buf);
+            }
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => {
+                let mut buf = out.take_dense_buf();
+                let mut len = 0usize;
+                buf.extend(a.iter().zip(b.iter()).map(|(&x, &y)| {
+                    let w = x & y;
+                    len += w.count_ones() as usize;
+                    w
+                }));
+                while buf.last() == Some(&0) {
+                    buf.pop();
                 }
+                out.0 = Repr::Dense { words: buf, len };
             }
         }
-        Tidset(out)
+        out.normalize();
     }
 
     /// `|self ∩ other|` without materializing the intersection — the
-    /// record-level support check of the ELIMINATE operator.
+    /// record-level support check of the ELIMINATE operator. Never
+    /// allocates, in any representation pair.
     pub fn intersect_count(&self, other: &Tidset) -> usize {
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        if small.is_empty() {
-            return 0;
-        }
-        let mut count = 0usize;
-        if large.len() / small.len().max(1) >= GALLOP_RATIO {
-            let mut base = 0usize;
-            for &t in &small.0 {
-                match gallop(&large.0[base..], t) {
-                    Ok(off) => {
-                        count += 1;
-                        base += off + 1;
-                    }
-                    Err(off) => base += off,
-                }
-                if base >= large.0.len() {
-                    break;
-                }
+        match (&self.0, &other.0) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => sparse_intersect_count(a, b),
+            (Repr::Sparse(s), Repr::Dense { words, .. })
+            | (Repr::Dense { words, .. }, Repr::Sparse(s)) => {
+                s.iter().filter(|&&t| test_bit(words, t)).count()
             }
-        } else {
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < small.0.len() && j < large.0.len() {
-                match small.0[i].cmp(&large.0[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        count += 1;
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| (x & y).count_ones() as usize)
+                .sum(),
         }
-        count
     }
 
     /// Set union.
     pub fn union(&self, other: &Tidset) -> Tidset {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(self.0[i]);
-                    i += 1;
+        let mut out = match (&self.0, &other.0) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let mut v = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            v.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            v.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            v.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
                 }
-                std::cmp::Ordering::Greater => {
-                    out.push(other.0[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(self.0[i]);
-                    i += 1;
-                    j += 1;
-                }
+                v.extend_from_slice(&a[i..]);
+                v.extend_from_slice(&b[j..]);
+                Tidset(Repr::Sparse(v))
             }
-        }
-        out.extend_from_slice(&self.0[i..]);
-        out.extend_from_slice(&other.0[j..]);
-        Tidset(out)
+            (Repr::Sparse(s), Repr::Dense { words, len })
+            | (Repr::Dense { words, len }, Repr::Sparse(s)) => {
+                let mut w = words.clone();
+                let mut n = *len;
+                for &t in s {
+                    let idx = t as usize / 64;
+                    if w.len() <= idx {
+                        w.resize(idx + 1, 0);
+                    }
+                    let mask = 1u64 << (t % 64);
+                    if w[idx] & mask == 0 {
+                        w[idx] |= mask;
+                        n += 1;
+                    }
+                }
+                Tidset(Repr::Dense { words: w, len: n })
+            }
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => {
+                let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                let mut w = long.clone();
+                let mut n = 0usize;
+                for (x, &y) in w.iter_mut().zip(short.iter()) {
+                    *x |= y;
+                }
+                for x in &w {
+                    n += x.count_ones() as usize;
+                }
+                Tidset(Repr::Dense { words: w, len: n })
+            }
+        };
+        out.normalize();
+        out
     }
 
     /// Set difference `self \ other`.
     pub fn minus(&self, other: &Tidset) -> Tidset {
-        let mut out = Vec::with_capacity(self.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(self.0[i]);
-                    i += 1;
+        let mut out = match (&self.0, &other.0) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let mut v = Vec::with_capacity(a.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            v.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            i += 1;
+                            j += 1;
+                        }
+                    }
                 }
+                v.extend_from_slice(&a[i..]);
+                Tidset(Repr::Sparse(v))
+            }
+            (Repr::Sparse(s), Repr::Dense { words, .. }) => Tidset(Repr::Sparse(
+                s.iter().copied().filter(|&t| !test_bit(words, t)).collect(),
+            )),
+            (Repr::Dense { words, len }, Repr::Sparse(s)) => {
+                let mut w = words.clone();
+                let mut n = *len;
+                for &t in s {
+                    let idx = t as usize / 64;
+                    if idx < w.len() {
+                        let mask = 1u64 << (t % 64);
+                        if w[idx] & mask != 0 {
+                            w[idx] &= !mask;
+                            n -= 1;
+                        }
+                    }
+                }
+                while w.last() == Some(&0) {
+                    w.pop();
+                }
+                Tidset(Repr::Dense { words: w, len: n })
+            }
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => {
+                let mut n = 0usize;
+                let mut w: Vec<u64> = a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        let r = x & !b.get(i).copied().unwrap_or(0);
+                        n += r.count_ones() as usize;
+                        r
+                    })
+                    .collect();
+                while w.last() == Some(&0) {
+                    w.pop();
+                }
+                Tidset(Repr::Dense { words: w, len: n })
+            }
+        };
+        out.normalize();
+        out
+    }
+
+    /// True when `self ⊆ other`. Word-wise (no counting, early exit) for
+    /// dense⊆dense; never materializes in any representation pair.
+    pub fn is_subset_of(&self, other: &Tidset) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        if other.is_full_range() && self.span() <= other.len() {
+            return true;
+        }
+        match (&self.0, &other.0) {
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => {
+                a.len() <= b.len() && a.iter().zip(b.iter()).all(|(&x, &y)| x & !y == 0)
+            }
+            (Repr::Sparse(s), Repr::Dense { words, .. }) => {
+                s.iter().all(|&t| test_bit(words, t))
+            }
+            _ => self.intersect_count(other) == self.len(),
+        }
+    }
+
+    /// Take (and clear) a sparse buffer out of `self`, reusing its
+    /// allocation when the representation matches.
+    fn take_sparse_buf(&mut self) -> Vec<u32> {
+        match std::mem::replace(&mut self.0, Repr::Sparse(Vec::new())) {
+            Repr::Sparse(mut v) => {
+                v.clear();
+                v
+            }
+            Repr::Dense { .. } => Vec::new(),
+        }
+    }
+
+    /// Take (and clear) a dense word buffer out of `self`, reusing its
+    /// allocation when the representation matches.
+    fn take_dense_buf(&mut self) -> Vec<u64> {
+        match std::mem::replace(&mut self.0, Repr::Sparse(Vec::new())) {
+            Repr::Dense { mut words, .. } => {
+                words.clear();
+                words
+            }
+            Repr::Sparse(_) => Vec::new(),
+        }
+    }
+}
+
+/// Sparse ids → packed bitmap words.
+fn bitmap_of(ids: &[u32]) -> Vec<u64> {
+    let span = ids.last().map_or(0, |&t| t as usize + 1);
+    let mut words = vec![0u64; span.div_ceil(64)];
+    for &t in ids {
+        words[t as usize / 64] |= 1u64 << (t % 64);
+    }
+    words
+}
+
+/// Packed bitmap words → sparse ids (capacity-exact).
+fn ids_of(words: &[u64], len: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(len);
+    for (i, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros();
+            v.push((i as u32) * 64 + bit);
+            w &= w - 1;
+        }
+    }
+    v
+}
+
+#[inline]
+fn test_bit(words: &[u64], tid: u32) -> bool {
+    words
+        .get(tid as usize / 64)
+        .is_some_and(|&w| w & (1u64 << (tid % 64)) != 0)
+}
+
+/// Sparse ∩ sparse into a reused buffer: linear merge, or galloping when
+/// the sizes are lopsided.
+fn sparse_intersect(a: &[u32], b: &[u32], mut out: Vec<u32>) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return out;
+    }
+    out.reserve(small.len());
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut base = 0usize;
+        for &t in small {
+            match gallop(&large[base..], t) {
+                Ok(off) => {
+                    out.push(t);
+                    base += off + 1;
+                }
+                Err(off) => base += off,
+            }
+            if base >= large.len() {
+                break;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        out.extend_from_slice(&self.0[i..]);
-        Tidset(out)
     }
+    out
+}
 
-    /// True when `self ⊆ other`.
-    pub fn is_subset_of(&self, other: &Tidset) -> bool {
-        if self.len() > other.len() {
-            return false;
+/// `|a ∩ b|` for sorted slices, merge or gallop, no allocation.
+fn sparse_intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut base = 0usize;
+        for &t in small {
+            match gallop(&large[base..], t) {
+                Ok(off) => {
+                    count += 1;
+                    base += off + 1;
+                }
+                Err(off) => base += off,
+            }
+            if base >= large.len() {
+                break;
+            }
         }
-        self.intersect_count(other) == self.len()
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Ascending iterator over either representation.
+pub enum TidIter<'a> {
+    /// Sparse: defer to the slice iterator.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Dense: walk set bits word by word.
+    Dense {
+        /// The bitmap being walked.
+        words: &'a [u64],
+        /// Index of the word `current` was loaded from.
+        word_idx: usize,
+        /// Remaining (not yet yielded) bits of the current word.
+        current: u64,
+    },
+}
+
+impl Iterator for TidIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            TidIter::Sparse(it) => it.next().copied(),
+            TidIter::Dense {
+                words,
+                word_idx,
+                current,
+            } => {
+                while *current == 0 {
+                    *word_idx += 1;
+                    if *word_idx >= words.len() {
+                        return None;
+                    }
+                    *current = words[*word_idx];
+                }
+                let bit = current.trailing_zeros();
+                *current &= *current - 1;
+                Some((*word_idx as u32) * 64 + bit)
+            }
+        }
     }
 }
 
@@ -233,10 +599,82 @@ impl FromIterator<u32> for Tidset {
     }
 }
 
+// Equality, ordering-free hashing and serde are all defined over the
+// *logical* contents so that representation differences (e.g. a sparse set
+// built by `push_monotonic` that has crossed the density threshold but not
+// been normalized) never leak.
+
+impl PartialEq for Tidset {
+    fn eq(&self, other: &Tidset) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match (&self.0, &other.0) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => a == b,
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => {
+                // Trailing zero words are trimmed by every constructor, so
+                // equal contents ⇒ equal word vectors.
+                a == b
+            }
+            _ => self.iter().eq(other.iter()),
+        }
+    }
+}
+
+impl Eq for Tidset {}
+
+impl Hash for Tidset {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for t in self.iter() {
+            state.write_u32(t);
+        }
+    }
+}
+
+impl Serialize for Tidset {
+    /// Serializes as a plain sorted id sequence — byte-identical to the
+    /// historical `Vec<u32>` newtype format, whatever the representation.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for t in self.iter() {
+            seq.serialize_element(&t)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Tidset {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Tidset, D::Error> {
+        struct TidsetVisitor;
+
+        impl<'de> Visitor<'de> for TidsetVisitor {
+            type Value = Tidset;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence of sorted u32 transaction ids")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Tidset, A::Error> {
+                let mut v: Vec<u32> = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(t) = seq.next_element()? {
+                    v.push(t);
+                }
+                // Tolerate unsorted input from hand-edited snapshots.
+                v.sort_unstable();
+                v.dedup();
+                Ok(Tidset::from_sorted(v))
+            }
+        }
+
+        deserializer.deserialize_seq(TidsetVisitor)
+    }
+}
+
 impl fmt::Display for Tidset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, t) in self.0.iter().enumerate() {
+        for (i, t) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -269,6 +707,16 @@ mod tests {
         Tidset::from_unsorted(v.iter().copied())
     }
 
+    /// A dense-represented set over `0..span` with every `step`-th tid.
+    fn dense(span: u32, step: u32) -> Tidset {
+        let t = Tidset::from_sorted((0..span).step_by(step as usize).collect());
+        assert!(
+            matches!(t.0, Repr::Dense { .. }),
+            "span {span} step {step} must be dense-represented"
+        );
+        t
+    }
+
     #[test]
     fn basic_ops() {
         let a = ts(&[1, 3, 5, 7, 9]);
@@ -296,14 +744,142 @@ mod tests {
     }
 
     #[test]
+    fn full_is_dense_and_cheap() {
+        let f = Tidset::full(1_000_000);
+        assert_eq!(f.len(), 1_000_000);
+        assert!(matches!(f.0, Repr::Dense { .. }));
+        assert!(f.contains(0) && f.contains(999_999) && !f.contains(1_000_000));
+        // Universe short-circuit: full ∩ x = x, x ⊆ full.
+        let x = ts(&[0, 17, 999_999]);
+        assert_eq!(f.intersect(&x), x);
+        assert_eq!(x.intersect(&f), x);
+        assert!(x.is_subset_of(&f));
+        assert_eq!(x.intersect_count(&f), 3);
+        // Non-multiple-of-64 universe keeps an exact tail word.
+        let g = Tidset::full(100);
+        assert_eq!(g.len(), 100);
+        assert_eq!(g.to_vec(), (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn representation_follows_density() {
+        // 4096 ids over a 4096 span: dense.
+        assert!(matches!(dense(4096, 1).0, Repr::Dense { .. }));
+        // Every 64th id (density 1/64): sparse.
+        let sp = Tidset::from_sorted((0..4096).step_by(64).collect());
+        assert!(matches!(sp.0, Repr::Sparse(_)));
+        // Tiny sets stay sparse even at 100% density.
+        let tiny = ts(&[0, 1, 2, 3]);
+        assert!(matches!(tiny.0, Repr::Sparse(_)));
+        // Operations re-normalize: a dense set minus most of itself
+        // becomes sparse again.
+        let d = dense(4096, 1);
+        let holes = Tidset::from_sorted((0..4096).filter(|t| t % 64 != 0).collect());
+        let diff = d.minus(&holes);
+        assert_eq!(diff, sp);
+        assert!(matches!(diff.0, Repr::Sparse(_)));
+    }
+
+    #[test]
     fn galloping_path_matches_merge_path() {
-        // Small ∩ huge exercises the galloping branch.
-        let small = ts(&[0, 999, 5000, 123456, 999999]);
-        let large = Tidset::from_sorted((0..1_000_000).step_by(3).collect());
-        let expected: Vec<u32> = small.iter().filter(|t| t % 3 == 0).collect();
-        assert_eq!(small.intersect(&large).as_slice(), expected.as_slice());
+        // Small ∩ huge exercises the galloping branch (the huge side stays
+        // sparse at 1/3 step over a 1M span? no — 1/3 density is dense;
+        // use a 1/64 step so the large side is sparse).
+        let small = ts(&[0, 999, 5_000, 123_456, 999_936]);
+        let large = Tidset::from_sorted((0..1_000_000).step_by(64).collect());
+        assert!(matches!(large.0, Repr::Sparse(_)));
+        let expected: Vec<u32> = small.iter().filter(|t| t % 64 == 0).collect();
+        assert_eq!(small.intersect(&large).to_vec(), expected);
         assert_eq!(small.intersect_count(&large), expected.len());
         assert_eq!(large.intersect_count(&small), expected.len());
+    }
+
+    #[test]
+    fn cross_representation_ops_agree() {
+        let d = dense(10_000, 2); // evens, dense
+        let s = Tidset::from_sorted((0..10_000).step_by(33).collect()); // sparse
+        assert!(matches!(s.0, Repr::Sparse(_)));
+        let expected_inter: Vec<u32> =
+            (0..10_000).step_by(33).filter(|t| t % 2 == 0).collect();
+        assert_eq!(d.intersect(&s).to_vec(), expected_inter);
+        assert_eq!(s.intersect(&d).to_vec(), expected_inter);
+        assert_eq!(d.intersect_count(&s), expected_inter.len());
+        assert_eq!(s.intersect_count(&d), expected_inter.len());
+        let su: BTreeSet<u32> = s.iter().collect();
+        let du: BTreeSet<u32> = d.iter().collect();
+        let expected_union: Vec<u32> = su.union(&du).copied().collect();
+        assert_eq!(d.union(&s).to_vec(), expected_union);
+        assert_eq!(s.union(&d).to_vec(), expected_union);
+        let expected_d_minus_s: Vec<u32> = du.difference(&su).copied().collect();
+        assert_eq!(d.minus(&s).to_vec(), expected_d_minus_s);
+        let expected_s_minus_d: Vec<u32> = su.difference(&du).copied().collect();
+        assert_eq!(s.minus(&d).to_vec(), expected_s_minus_d);
+        assert!(!s.is_subset_of(&d));
+        assert!(d.intersect(&s).is_subset_of(&d));
+    }
+
+    #[test]
+    fn dense_dense_ops_agree_with_reference() {
+        let a = dense(8_192, 2); // evens
+        let b = dense(8_192, 3); // multiples of 3
+        let sa: BTreeSet<u32> = a.iter().collect();
+        let sb: BTreeSet<u32> = b.iter().collect();
+        let inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+        assert_eq!(a.intersect(&b).to_vec(), inter);
+        assert_eq!(a.intersect_count(&b), inter.len());
+        assert_eq!(
+            a.union(&b).to_vec(),
+            sa.union(&sb).copied().collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            a.minus(&b).to_vec(),
+            sa.difference(&sb).copied().collect::<Vec<u32>>()
+        );
+        assert!(a.intersect(&b).is_subset_of(&a));
+        assert!(a.intersect(&b).is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+        // Multiples of 6 (= intersection) are a subset of both.
+        let six = Tidset::from_sorted((0..8_192).step_by(6).collect());
+        assert!(six.is_subset_of(&a));
+        assert!(six.is_subset_of(&b));
+    }
+
+    #[test]
+    fn word_edge_boundaries() {
+        // Tids straddling the 64-bit word edges must survive every
+        // representation and operation.
+        let edges = [0u32, 1, 62, 63, 64, 65, 126, 127, 128, 191, 192];
+        let e = ts(&edges);
+        let d = dense(256, 1);
+        assert_eq!(e.intersect(&d), e);
+        assert_eq!(e.intersect_count(&d), edges.len());
+        assert!(e.is_subset_of(&d));
+        assert_eq!(d.minus(&e).len(), 256 - edges.len());
+        for &t in &edges {
+            assert!(d.contains(t));
+            assert!(!d.minus(&e).contains(t));
+        }
+        // A dense set ending exactly at a word edge has no phantom tail.
+        let exact = Tidset::full(128);
+        assert_eq!(exact.len(), 128);
+        assert!(!exact.contains(128));
+        assert_eq!(exact.iter().last(), Some(127));
+    }
+
+    #[test]
+    fn intersect_into_reuses_buffers() {
+        let a = dense(100_000, 2);
+        let b = dense(100_000, 3);
+        let mut scratch = Tidset::new();
+        a.intersect_into(&b, &mut scratch);
+        assert_eq!(scratch.len(), a.intersect_count(&b));
+        // Reuse with different operands: contents fully replaced.
+        let s1 = ts(&[2, 4, 100]);
+        s1.intersect_into(&a, &mut scratch);
+        assert_eq!(scratch.to_vec(), vec![2, 4, 100]);
+        // Reuse for a sparse result after a dense one and vice versa.
+        a.intersect_into(&b, &mut scratch);
+        assert_eq!(scratch.len(), a.intersect_count(&b));
     }
 
     #[test]
@@ -311,15 +887,44 @@ mod tests {
         let mut t = Tidset::new();
         t.push_monotonic(2);
         t.push_monotonic(7);
-        assert_eq!(t.as_slice(), &[2, 7]);
+        assert_eq!(t.to_vec(), &[2, 7]);
+        // Dense sets accept monotonic pushes too.
+        let mut d = Tidset::full(128);
+        d.push_monotonic(200);
+        assert_eq!(d.len(), 129);
+        assert!(d.contains(200));
+        assert_eq!(d.iter().last(), Some(200));
     }
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)]
     fn push_monotonic_rejects_regression() {
         let mut t = Tidset::new();
         t.push_monotonic(7);
         t.push_monotonic(2);
+    }
+
+    #[test]
+    fn equality_and_hash_cross_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        // Build the same logical set two ways: normalized (dense) and via
+        // push_monotonic (left sparse regardless of density).
+        let normalized = Tidset::full(256);
+        let mut pushed = Tidset::new();
+        for t in 0..256 {
+            pushed.push_monotonic(t);
+        }
+        assert!(matches!(normalized.0, Repr::Dense { .. }));
+        assert!(matches!(pushed.0, Repr::Sparse(_)));
+        assert_eq!(normalized, pushed);
+        let hash = |t: &Tidset| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&normalized), hash(&pushed));
+        assert_ne!(normalized, Tidset::full(255));
     }
 
     #[test]
@@ -329,15 +934,89 @@ mod tests {
     }
 
     #[test]
+    fn serde_format_is_a_plain_id_sequence() {
+        // Dense and sparse sets serialize identically to the historical
+        // sorted-vector format, and round-trip.
+        let sparse = ts(&[1, 5, 900_000]);
+        assert_eq!(serde_json::to_string(&sparse).unwrap(), "[1,5,900000]");
+        let dense_set = Tidset::full(70);
+        let json = serde_json::to_string(&dense_set).unwrap();
+        assert_eq!(
+            json,
+            format!(
+                "[{}]",
+                (0..70).map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+            )
+        );
+        for t in [&sparse, &dense_set, &Tidset::new(), &Tidset::full(8_192)] {
+            let back: Tidset =
+                serde_json::from_str(&serde_json::to_string(t).unwrap()).unwrap();
+            assert_eq!(&back, t);
+        }
+        // Restored sets re-pick the density-appropriate representation.
+        let back: Tidset =
+            serde_json::from_str(&serde_json::to_string(&Tidset::full(8_192)).unwrap())
+                .unwrap();
+        assert!(matches!(back.0, Repr::Dense { .. }));
+    }
+
+    #[test]
     fn gallop_finds_exact_probe_boundaries() {
         // Regression: a match sitting exactly at the galloping probe index
         // (a power of two) used to be excluded from the binary-search
-        // range, silently undercounting intersections.
-        let large = Tidset::from_sorted((0..512).collect());
-        for probe in [0u32, 1, 2, 4, 8, 16, 64, 256, 511] {
+        // range, silently undercounting intersections. Step 64 keeps the
+        // large side sparse so the gallop path actually runs.
+        let large = Tidset::from_sorted((0..512 * 64).step_by(64).collect());
+        assert!(matches!(large.0, Repr::Sparse(_)));
+        for probe in [0u32, 64, 128, 256, 512, 1024, 4096, 16384, 511 * 64] {
             let small = Tidset::from_sorted(vec![probe]);
             assert_eq!(small.intersect_count(&large), 1, "probe {probe}");
             assert!(small.is_subset_of(&large), "probe {probe}");
+        }
+    }
+
+    /// Cross-check every operation against `BTreeSet` for one operand pair.
+    fn check_against_reference(a: Vec<u32>, b: Vec<u32>) {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let ta = Tidset::from_unsorted(a);
+        let tb = Tidset::from_unsorted(b);
+        let inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+        let uni: Vec<u32> = sa.union(&sb).copied().collect();
+        let diff: Vec<u32> = sa.difference(&sb).copied().collect();
+        assert_eq!(ta.intersect(&tb).to_vec(), inter);
+        assert_eq!(tb.intersect(&ta).to_vec(), inter);
+        assert_eq!(ta.intersect_count(&tb), inter.len());
+        assert_eq!(tb.intersect_count(&ta), inter.len());
+        assert_eq!(ta.union(&tb).to_vec(), uni);
+        assert_eq!(tb.union(&ta).to_vec(), uni);
+        assert_eq!(ta.minus(&tb).to_vec(), diff);
+        assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
+        assert_eq!(tb.is_subset_of(&ta), sb.is_subset(&sa));
+        let mut scratch = Tidset::new();
+        ta.intersect_into(&tb, &mut scratch);
+        assert_eq!(scratch.to_vec(), inter);
+        assert_eq!(ta.iter().collect::<Vec<u32>>(), ta.to_vec());
+    }
+
+    #[test]
+    fn representation_pair_matrix_matches_reference() {
+        // Deterministic matrix crossing sparse×sparse, sparse×dense,
+        // dense×dense, empty and full, with word-edge tids present.
+        let variants: Vec<Vec<u32>> = vec![
+            vec![],                                          // empty
+            (0..256).collect(),                              // full range (dense)
+            (0..4096).step_by(3).collect(),                  // dense
+            (0..4096).step_by(64).collect(),                 // sparse
+            vec![0, 63, 64, 127, 128, 4095],                 // word edges
+            (100..164).collect(),                            // tiny full run
+            (0..100_000).step_by(7).collect(),               // dense, big span
+            vec![99_999],                                    // singleton at far edge
+        ];
+        for a in &variants {
+            for b in &variants {
+                check_against_reference(a.clone(), b.clone());
+            }
         }
     }
 
@@ -347,14 +1026,15 @@ mod tests {
             a in proptest::collection::vec(0u32..4096, 0..6),
             b in proptest::collection::vec(0u32..4096, 200..400),
         ) {
-            // Heavily lopsided sizes force the galloping path.
+            // Heavily lopsided sizes force the galloping path (and, at
+            // 200–400 ids over a 4096 span, often the dense side too).
             let sa: BTreeSet<u32> = a.iter().copied().collect();
             let sb: BTreeSet<u32> = b.iter().copied().collect();
             let ta = Tidset::from_unsorted(a);
             let tb = Tidset::from_unsorted(b);
             let inter: Vec<u32> = sa.intersection(&sb).copied().collect();
             let got = ta.intersect(&tb);
-            proptest::prop_assert_eq!(got.as_slice(), inter.as_slice());
+            proptest::prop_assert_eq!(got.to_vec(), inter.clone());
             proptest::prop_assert_eq!(ta.intersect_count(&tb), inter.len());
             proptest::prop_assert_eq!(tb.intersect_count(&ta), inter.len());
             proptest::prop_assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
@@ -371,11 +1051,46 @@ mod tests {
             let uni: Vec<u32> = sa.union(&sb).copied().collect();
             let diff: Vec<u32> = sa.difference(&sb).copied().collect();
             let (got_i, got_u, got_d) = (ta.intersect(&tb), ta.union(&tb), ta.minus(&tb));
-            proptest::prop_assert_eq!(got_i.as_slice(), inter.as_slice());
+            proptest::prop_assert_eq!(got_i.to_vec(), inter.clone());
             proptest::prop_assert_eq!(ta.intersect_count(&tb), inter.len());
-            proptest::prop_assert_eq!(got_u.as_slice(), uni.as_slice());
-            proptest::prop_assert_eq!(got_d.as_slice(), diff.as_slice());
+            proptest::prop_assert_eq!(got_u.to_vec(), uni);
+            proptest::prop_assert_eq!(got_d.to_vec(), diff);
             proptest::prop_assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
+        }
+
+        #[test]
+        fn dense_pairs_match_btreeset_reference(
+            a in proptest::collection::vec(0u32..1024, 300..600),
+            b in proptest::collection::vec(0u32..1024, 300..600),
+        ) {
+            // 300–600 distinct-ish ids over a 1024 span: density well past
+            // 1/16, so both operands take the bitmap path.
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let ta = Tidset::from_unsorted(a);
+            let tb = Tidset::from_unsorted(b);
+            let inter: Vec<u32> = sa.intersection(&sb).copied().collect();
+            proptest::prop_assert_eq!(ta.intersect(&tb).to_vec(), inter.clone());
+            proptest::prop_assert_eq!(ta.intersect_count(&tb), inter.len());
+            proptest::prop_assert_eq!(
+                ta.union(&tb).to_vec(),
+                sa.union(&sb).copied().collect::<Vec<u32>>()
+            );
+            proptest::prop_assert_eq!(
+                ta.minus(&tb).to_vec(),
+                sa.difference(&sb).copied().collect::<Vec<u32>>()
+            );
+            proptest::prop_assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
+        }
+
+        #[test]
+        fn serde_round_trip(a in proptest::collection::vec(0u32..100_000, 0..400)) {
+            let t = Tidset::from_unsorted(a);
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Tidset = serde_json::from_str(&json).unwrap();
+            proptest::prop_assert_eq!(&back, &t);
+            // And the wire format equals the plain vector encoding.
+            proptest::prop_assert_eq!(json, serde_json::to_string(&t.to_vec()).unwrap());
         }
     }
 }

@@ -33,7 +33,7 @@ pub mod reference;
 pub mod rules;
 pub mod vertical;
 
-pub use charm::{charm, ClosedItemset};
+pub use charm::{charm, charm_par, ClosedItemset};
 pub use ittree::{CfiId, ClosedItTree};
 pub use rules::{Rule, SupportOracle};
 pub use vertical::ItemTids;

@@ -36,6 +36,19 @@ pub fn restricted_vertical(
     subset: Option<&Tidset>,
     item_attrs: Option<&[AttributeId]>,
 ) -> Vec<ItemTids> {
+    restricted_vertical_par(dataset, vertical, subset, item_attrs, 1)
+}
+
+/// [`restricted_vertical`] with the per-item subset intersections spread
+/// across up to `threads` workers (`0` = session default, `1` =
+/// sequential). Column order is by item id either way.
+pub fn restricted_vertical_par(
+    dataset: &Dataset,
+    vertical: &VerticalIndex,
+    subset: Option<&Tidset>,
+    item_attrs: Option<&[AttributeId]>,
+    threads: usize,
+) -> Vec<ItemTids> {
     let schema = dataset.schema();
     let wanted = |item: ItemId| -> bool {
         match item_attrs {
@@ -43,18 +56,26 @@ pub fn restricted_vertical(
             Some(attrs) => attrs.contains(&schema.item_attribute(item)),
         }
     };
-    (0..vertical.num_items() as u32)
+    let items: Vec<ItemId> = (0..vertical.num_items() as u32)
         .map(ItemId)
         .filter(|&i| wanted(i))
-        .map(|i| ItemTids {
-            item: i,
-            tids: match subset {
-                None => vertical.tids(i).clone(),
-                Some(s) => vertical.tids(i).intersect(s),
-            },
-        })
-        .filter(|it| !it.tids.is_empty())
-        .collect()
+        .collect();
+    // Below ~64 columns the intersections are cheaper than thread setup.
+    let threads = if items.len() < 64 {
+        1
+    } else {
+        colarm_data::par::resolve_threads(threads)
+    };
+    colarm_data::par::parallel_map(&items, threads, |_, &i| ItemTids {
+        item: i,
+        tids: match subset {
+            None => vertical.tids(i).clone(),
+            Some(s) => vertical.tids(i).intersect(s),
+        },
+    })
+    .into_iter()
+    .filter(|it| !it.tids.is_empty())
+    .collect()
 }
 
 #[cfg(test)]

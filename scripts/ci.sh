@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint, as run by CI.
+#
+#   scripts/ci.sh            # build + test + clippy
+#   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "==> bench_tidset (kernel microbenchmark)"
+    cargo run --release --bin bench_tidset
+fi
+
+echo "ci: all green"

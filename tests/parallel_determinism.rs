@@ -1,0 +1,115 @@
+//! Parallel execution is an invisible knob: the offline index build and
+//! all six online plans produce **bit-identical** results at every thread
+//! count — same CFIs in the same order, same rules, same `OpTrace` unit
+//! accounting. Only wall-clock durations may differ.
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::plan::execute_plan_with;
+use colarm::{ExecOptions, LocalizedQuery, MipIndex, MipIndexConfig, PlanKind};
+
+/// Dense enough that candidate lists cross the operators' internal
+/// parallelism threshold, so threads > 1 genuinely take the parallel paths.
+fn dataset() -> colarm::data::Dataset {
+    generate(&SynthConfig {
+        name: "par-det".into(),
+        seed: 77,
+        records: 600,
+        domains: vec![3, 3, 4, 2, 3, 2],
+        top_mass: 0.6,
+        skew: 1.0,
+        clusters: 2,
+        cluster_focus: 0.5,
+        focus_strength: 0.9,
+        templates: 4,
+        template_len: 3,
+        template_prob: 0.3,
+    })
+}
+
+fn build(threads: usize) -> MipIndex {
+    MipIndex::build(
+        dataset(),
+        MipIndexConfig {
+            primary_support: 0.02,
+            threads,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn index_build_is_thread_count_invariant() {
+    let seq = build(1);
+    for threads in [2, 4, 8] {
+        let par = build(threads);
+        assert_eq!(par.num_mips(), seq.num_mips(), "{threads} threads");
+        // Same CFIs with the same ids, itemsets and tidsets: the CFI
+        // numbering feeds the R-tree payloads and snapshots, so it must
+        // not depend on scheduling.
+        for (id, cfi) in seq.ittree().iter() {
+            let other = par.ittree().get(id);
+            assert_eq!(other.itemset, cfi.itemset, "{threads} threads, {id:?}");
+            assert_eq!(other.tids, cfi.tids, "{threads} threads, {id:?}");
+        }
+    }
+}
+
+#[test]
+fn all_plans_bit_identical_across_thread_counts() {
+    let index = build(1);
+    let schema = index.dataset().schema().clone();
+    let queries = [
+        LocalizedQuery::builder()
+            .range_named(&schema, "a0", &["v0"])
+            .unwrap()
+            .minsupp(0.05)
+            .minconf(0.5)
+            .build(),
+        LocalizedQuery::builder()
+            .range_named(&schema, "a1", &["v0", "v1"])
+            .unwrap()
+            .item_attrs_named(&schema, &["a2", "a3", "a4"])
+            .unwrap()
+            .minsupp(0.1)
+            .minconf(0.6)
+            .build(),
+    ];
+    for query in &queries {
+        let subset = index.resolve_subset(query.range.clone()).unwrap();
+        for plan in PlanKind::ALL {
+            let seq = execute_plan_with(
+                &index,
+                query,
+                &subset,
+                plan,
+                ExecOptions::with_threads(1),
+            )
+            .unwrap();
+            // 0 = session default (all cores), the rest pin odd counts.
+            for threads in [2, 3, 8, 0] {
+                let par = execute_plan_with(
+                    &index,
+                    query,
+                    &subset,
+                    plan,
+                    ExecOptions::with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(par.rules, seq.rules, "{plan} diverged at {threads} threads");
+                assert_eq!(par.trace.ops.len(), seq.trace.ops.len());
+                for (a, b) in seq.trace.ops.iter().zip(&par.trace.ops) {
+                    assert_eq!(a.name, b.name);
+                    assert_eq!(a.input, b.input, "{plan}/{} at {threads} threads", a.name);
+                    assert_eq!(a.output, b.output, "{plan}/{} at {threads} threads", a.name);
+                    assert_eq!(
+                        a.units.to_bits(),
+                        b.units.to_bits(),
+                        "{plan}/{} unit accounting drifted at {threads} threads",
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+}
