@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
         .range(range.clone())
         .minsupp(spec.minsupps[1])
         .minconf(spec.minconf)
-        .build();
+        .build().expect("valid query");
     let min = query.minsupp_count(subset.len());
 
     let mut group = c.benchmark_group("ablation");

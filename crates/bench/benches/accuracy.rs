@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
             .range(range)
             .minsupp(spec.minsupps[1])
             .minconf(spec.minconf)
-            .build();
+            .build().expect("valid query");
         group.bench_function(format!("{}/choose", spec.name), |b| {
             b.iter(|| {
                 black_box(

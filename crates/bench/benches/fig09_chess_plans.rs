@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
             .range(range)
             .minsupp(spec.minsupps[1])
             .minconf(spec.minconf)
-            .build();
+            .build().expect("valid query");
         for plan in PlanKind::ALL {
             group.bench_function(
                 format!("dq_{:.0}pct/{}", frac * 100.0, plan.name()),

@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
             .range(range)
             .minsupp(spec.minsupps[0])
             .minconf(spec.minconf)
-            .build();
+            .build().expect("valid query");
         for plan in [
             PlanKind::Sev,
             PlanKind::Svs,

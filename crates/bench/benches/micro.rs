@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
         .range(range)
         .minsupp(spec.minsupps[1])
         .minconf(spec.minconf)
-        .build();
+        .build().expect("valid query");
     let _ = subset;
     group.bench_function("end_to_end/optimized_query", |b| {
         b.iter(|| black_box(system.execute(&query).expect("runs").answer.rules.len()))
@@ -102,6 +102,25 @@ fn bench(c: &mut Criterion) {
                     &focal,
                     colarm::PlanKind::SsVs,
                     colarm::ExecOptions::with_threads(threads),
+                )
+                .expect("runs");
+                black_box(a.rules.len())
+            })
+        });
+    }
+    // Metrics-reporting overhead: counters are tallied unconditionally in
+    // per-worker `Meter`s; the `metrics` flag only controls whether the
+    // aggregated block is attached to the trace. The on/off cases bound
+    // the cost of that design (budget: within 5% of each other).
+    for (label, metrics) in [("metrics_off", false), ("metrics_on", true)] {
+        group.bench_function(format!("end_to_end/ssvs_{label}"), |b| {
+            b.iter(|| {
+                let a = colarm::plan::execute_plan_with(
+                    index,
+                    &query,
+                    &focal,
+                    colarm::PlanKind::SsVs,
+                    colarm::ExecOptions::with_threads(1).with_metrics(metrics),
                 )
                 .expect("runs");
                 black_box(a.rules.len())

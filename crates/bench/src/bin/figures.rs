@@ -389,7 +389,7 @@ fn scale_sweep(args: &Args, json: &mut Json) {
                 .range(range)
                 .minsupp(0.88)
                 .minconf(0.85)
-                .build();
+                .build().expect("valid query");
             let t = Instant::now();
             let _ = system.execute(&query).expect("query runs");
             q_total += t.elapsed().as_secs_f64();
@@ -478,7 +478,7 @@ fn ablation_for(spec: &DatasetSpec, args: &Args, json: &mut Json) {
             .range(range)
             .minsupp(spec.minsupps[1])
             .minconf(spec.minconf)
-            .build();
+            .build().expect("valid query");
         let min = query.minsupp_count(subset.len());
         // (a) SEARCH vs SUPPORTED-SEARCH node accesses.
         let (_, plain) = colarm::ops::search(index, &subset);

@@ -174,7 +174,7 @@ pub fn measure_cell(
             .range(spec)
             .minsupp(minsupp)
             .minconf(minconf)
-            .build();
+            .build().expect("valid query");
         let choice = system.optimizer().choose(system.index(), &query, &subset);
         chosen[plan_index(choice.chosen)] += 1;
         let mut reference: Option<Vec<colarm::mine::Rule>> = None;

@@ -180,7 +180,7 @@ pub fn calibration_queries(
                     .range(range)
                     .minsupp(spec.minsupps[1])
                     .minconf(spec.minconf)
-                    .build(),
+                    .build().expect("valid scenario query"),
             );
         }
     }

@@ -10,6 +10,9 @@
 //!
 //! colarm query (--index index.json | --data D.tsv --primary P) "REPORT …"
 //!     Run one localized mining query (the paper's query language).
+//!     Prefix the query with `EXPLAIN ANALYZE` to execute it with metrics
+//!     on and print the per-operator predicted-vs-actual cost report
+//!     (`--json` emits it machine-readable).
 //!
 //! colarm repl (--index index.json | --data D.tsv --primary P)
 //!     Interactive session: enter queries line by line; :help for the
@@ -54,7 +57,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
   demo                                   the paper's salary walkthrough
   index  --data D.tsv --primary P [--out index.json]
-  query  (--index I.json | --data D.tsv --primary P) \"REPORT ...\"
+  query  (--index I.json | --data D.tsv --primary P) [--json] \"REPORT ...\"
+         prefix the query with EXPLAIN ANALYZE for per-operator
+         predicted-vs-actual cost tracing (--json for machine-readable)
   repl   (--index I.json | --data D.tsv --primary P)
   advise (--index I.json | --data D.tsv --primary P)
   common: --threads N   worker threads for build + query execution
@@ -67,6 +72,7 @@ struct Options {
     index: Option<String>,
     out: Option<String>,
     primary: f64,
+    json: bool,
     positional: Vec<String>,
 }
 
@@ -76,6 +82,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         index: None,
         out: None,
         primary: 0.1,
+        json: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -84,6 +91,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--data" => opts.data = Some(take(&mut it, "--data")?),
             "--index" => opts.index = Some(take(&mut it, "--index")?),
             "--out" => opts.out = Some(take(&mut it, "--out")?),
+            "--json" => opts.json = true,
             "--primary" => {
                 opts.primary = take(&mut it, "--primary")?
                     .parse()
@@ -197,6 +205,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let colarm = load_system(&opts)?;
     let schema = colarm.index().dataset().schema().clone();
+    if let Some(query_text) = repl::strip_analyze_prefix(text) {
+        let query =
+            colarm::parse_query(query_text, &schema).map_err(|e| e.to_string())?;
+        let analyzed = colarm.explain_analyze(&query).map_err(|e| e.to_string())?;
+        if opts.json {
+            println!("{}", analyzed.report.to_json());
+        } else {
+            println!("{}", analyzed.report);
+        }
+        return Ok(());
+    }
     let out = colarm.execute_text(text).map_err(|e| e.to_string())?;
     println!(
         "plan {} over {} records in {:?} → {} rule(s)",
@@ -214,7 +233,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 fn cmd_repl(args: &[String]) -> Result<(), String> {
     let opts = parse_options(args)?;
     let colarm = load_system(&opts)?;
-    repl::run(&colarm)
+    repl::run(colarm.into_shared())
 }
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {

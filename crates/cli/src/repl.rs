@@ -9,18 +9,22 @@
 //! :schema            attributes and domains
 //! :plans             Table 4 (the six plans)
 //! :explain <query>   all six cost estimates + the chosen plan
+//! :analyze <query>   EXPLAIN ANALYZE: execute + predicted-vs-actual
 //! :advise            suggested thresholds and paradox-rich subsets
 //! :stats             session cache statistics
 //! :quit              leave
 //! ```
+//!
+//! A query prefixed with `EXPLAIN ANALYZE` is shorthand for `:analyze`.
 
 use colarm::{Colarm, PlanKind, QuerySession};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// Run the REPL until EOF or `:quit`.
-pub fn run(colarm: &Colarm) -> Result<(), String> {
+pub fn run(colarm: Arc<Colarm>) -> Result<(), String> {
     let schema = colarm.index().dataset().schema().clone();
-    let session = QuerySession::new(colarm);
+    let session = QuerySession::new(colarm.clone());
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     println!(
@@ -67,8 +71,14 @@ pub fn run(colarm: &Colarm) -> Result<(), String> {
             ":stats" => {
                 let s = session.stats();
                 println!(
-                    "  subsets: {} cached hits / {} resolved; answers: {} hits / {} executed",
-                    s.subset_hits, s.subset_misses, s.answer_hits, s.answer_misses
+                    "  subsets: {} cached hits / {} resolved / {} evicted; \
+                     answers: {} hits / {} executed / {} evicted",
+                    s.subset_hits,
+                    s.subset_misses,
+                    s.subset_evictions,
+                    s.answer_hits,
+                    s.answer_misses,
+                    s.answer_evictions
                 );
             }
             ":advise" => match colarm::advisor::advise(
@@ -92,10 +102,17 @@ pub fn run(colarm: &Colarm) -> Result<(), String> {
             },
             _ if line.starts_with(":explain") => {
                 let text = line.trim_start_matches(":explain").trim();
-                explain(colarm, text);
+                explain(&colarm, text);
+            }
+            _ if line.starts_with(":analyze") => {
+                let text = line.trim_start_matches(":analyze").trim();
+                analyze(&session, &schema, text);
             }
             _ if line.starts_with(':') => {
                 println!("  unknown command; :help lists commands");
+            }
+            _ if strip_analyze_prefix(line).is_some() => {
+                analyze(&session, &schema, strip_analyze_prefix(line).unwrap());
             }
             query_text => match colarm::parse_query(query_text, &schema) {
                 Ok(query) => match session.execute(&query) {
@@ -123,6 +140,36 @@ pub fn run(colarm: &Colarm) -> Result<(), String> {
     Ok(())
 }
 
+/// `EXPLAIN ANALYZE <query>` → `Some("<query>")`, case-insensitively.
+pub(crate) fn strip_analyze_prefix(line: &str) -> Option<&str> {
+    let rest = line.trim_start();
+    let mut words = rest.split_whitespace();
+    if words.next()?.eq_ignore_ascii_case("EXPLAIN")
+        && words.next()?.eq_ignore_ascii_case("ANALYZE")
+    {
+        let explain_len = rest.find(char::is_whitespace)?;
+        let after_explain = rest[explain_len..].trim_start();
+        let analyze_len = after_explain.find(char::is_whitespace)?;
+        Some(after_explain[analyze_len..].trim_start())
+    } else {
+        None
+    }
+}
+
+fn analyze(session: &QuerySession, schema: &colarm::data::Schema, text: &str) {
+    match colarm::parse_query(text, schema) {
+        Ok(query) => match session.explain_analyze(&query) {
+            Ok(analyzed) => {
+                for line in analyzed.report.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => println!("  error: {e}"),
+        },
+        Err(e) => println!("  parse error: {e}"),
+    }
+}
+
 fn explain(colarm: &Colarm, text: &str) {
     let schema = colarm.index().dataset().schema();
     match colarm::parse_query(text, schema) {
@@ -143,4 +190,5 @@ const HELP: &str = "  REPORT LOCALIZED ASSOCIATION RULES [FROM Dataset X]
       WHERE RANGE Attr = (v1, v2), Attr2 = (v)
       [AND ITEM ATTRIBUTES A, B]
       HAVING minsupport = 60% AND minconfidence = 80%;
-  :schema | :plans | :explain <query> | :advise | :stats | :quit";
+  EXPLAIN ANALYZE <query>   execute + per-operator predicted vs. actual
+  :schema | :plans | :explain <query> | :analyze <query> | :advise | :stats | :quit";

@@ -17,6 +17,7 @@
 use crate::error::ColarmError;
 use crate::mip::MipIndex;
 use crate::paradox::local_vs_global_cfis;
+use crate::query::LocalizedQuery;
 use colarm_data::{AttributeId, RangeSpec, ValueId};
 
 /// A suggested focal subset with its paradox score.
@@ -32,6 +33,20 @@ pub struct RangeSuggestion {
     pub subset_size: usize,
     /// Fresh-local CFIs surfaced at the suggested thresholds.
     pub fresh_local_cfis: usize,
+}
+
+impl RangeSuggestion {
+    /// Turn the suggestion into a ready-to-run [`LocalizedQuery`] at the
+    /// advisor's thresholds, going through the validating builder so a
+    /// degenerate suggestion can never smuggle an invalid query into the
+    /// engine.
+    pub fn to_query(&self, advice: &Advice) -> Result<LocalizedQuery, ColarmError> {
+        LocalizedQuery::builder()
+            .range(RangeSpec::all().with(self.attribute, [self.value]))
+            .minsupp(advice.minsupp)
+            .minconf(advice.minconf)
+            .build()
+    }
 }
 
 /// The advisor's output.
@@ -152,6 +167,25 @@ mod tests {
             assert!(r.subset_size > 0 && r.subset_size < 11);
             assert!(r.label.contains('='));
         }
+    }
+
+    #[test]
+    fn suggestions_convert_to_runnable_queries() {
+        let colarm = crate::framework::Colarm::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        let advice = advise(colarm.index(), &AdvisorConfig::default()).unwrap();
+        let top = &advice.ranges[0];
+        let query = top.to_query(&advice).unwrap();
+        assert_eq!(query.minsupp, advice.minsupp);
+        assert_eq!(query.minconf, advice.minconf);
+        let out = colarm.execute(&query).unwrap();
+        assert_eq!(out.answer.subset_size, top.subset_size);
     }
 
     #[test]

@@ -265,19 +265,47 @@ pub struct CostModel {
     pub constants: CostConstants,
 }
 
+/// One operator's share of a plan estimate: the raw cost *units* the
+/// paper's formulae predict (node accesses, support checks, …) and the
+/// seconds those units convert to under the fitted [`CostConstants`].
+///
+/// `seconds` is not always `units × constant`: VERIFY folds the
+/// per-candidate-rule confidence-check term into its seconds while its
+/// units stay the paper's `nver × C_I × |DQ|`, the quantity the executor
+/// measures. Serialize-only (operator names are `&'static str`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostTerm {
+    /// Operator name as reported by [`crate::ops::OpTrace::name`].
+    pub op: &'static str,
+    /// Predicted raw operator units (the executor's `OpTrace::units` scale).
+    pub units: f64,
+    /// Predicted seconds for this operator.
+    pub seconds: f64,
+}
+
 /// A per-plan cost estimate, broken into operator terms (seconds).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CostEstimate {
     /// The estimated plan.
     pub plan: PlanKind,
-    /// `(operator name, estimated seconds)` pairs, pipeline order.
-    pub terms: Vec<(&'static str, f64)>,
+    /// Per-operator terms, pipeline order.
+    pub terms: Vec<CostTerm>,
 }
 
 impl CostEstimate {
     /// Total estimated seconds.
     pub fn total(&self) -> f64 {
-        self.terms.iter().map(|(_, t)| t).sum()
+        self.terms.iter().map(|t| t.seconds).sum()
+    }
+
+    /// Total predicted raw units across operators.
+    pub fn total_units(&self) -> f64 {
+        self.terms.iter().map(|t| t.units).sum()
+    }
+
+    /// The term of the named operator, if the plan has one.
+    pub fn term(&self, op: &str) -> Option<&CostTerm> {
+        self.terms.iter().find(|t| t.op == op)
     }
 }
 
@@ -301,48 +329,72 @@ impl CostModel {
         let item_frac = (q.item_attrs as f64 / s.num_attrs.max(1) as f64).clamp(0.0, 1.0);
         let elim_s = cand_s * sigma_e * item_frac;
         let elim_ss = cand_ss * sigma_e * item_frac;
-        // Operator terms.
-        let cost_s = c.node * s.expected_search_nodes(&q.dq_rect);
-        let cost_ss = c.node * s.expected_supported_search_nodes(&q.dq_rect, q.minsupp_count);
-        let cost_e = |ncand: f64| c.eliminate * ncand * dq;
-        let cost_v = |nver: f64| {
-            c.verify * nver * s.avg_len * dq + c.confidence * nver * s.avg_rule_cands
+        // Operator terms: predicted raw units on the executor's OpTrace
+        // scale, plus the seconds they convert to.
+        let search_units = s.expected_search_nodes(&q.dq_rect);
+        let ss_units = s.expected_supported_search_nodes(&q.dq_rect, q.minsupp_count);
+        let term_s = CostTerm {
+            op: "SEARCH",
+            units: search_units,
+            seconds: c.node * search_units,
+        };
+        let term_ss = CostTerm {
+            op: "SUPPORTED-SEARCH",
+            units: ss_units,
+            seconds: c.node * ss_units,
+        };
+        let units_e = |ncand: f64| ncand * dq;
+        let term_e = |ncand: f64| CostTerm {
+            op: "ELIMINATE",
+            units: units_e(ncand),
+            seconds: c.eliminate * units_e(ncand),
+        };
+        // VERIFY's units are the rule-generation volume `nver × C_I × |DQ|`;
+        // its seconds additionally carry the confidence-check term, so the
+        // seconds/units ratio is deliberately not a single constant.
+        let units_v = |nver: f64| nver * s.avg_len * dq;
+        let secs_v = |nver: f64| c.verify * units_v(nver) + c.confidence * nver * s.avg_rule_cands;
+        let term_v = |nver: f64| CostTerm {
+            op: "VERIFY",
+            units: units_v(nver),
+            seconds: secs_v(nver),
         };
         let terms = match plan {
-            PlanKind::Sev => vec![
-                ("SEARCH", cost_s),
-                ("ELIMINATE", cost_e(cand_s)),
-                ("VERIFY", cost_v(elim_s)),
-            ],
+            PlanKind::Sev => vec![term_s, term_e(cand_s), term_v(elim_s)],
             // In this implementation the push-up operator performs the
             // same support check + rule generation as E→V, so its estimate
             // mirrors that sum (the plans are near-ties by construction;
             // the paper's separation came from double record scans its
             // basic plan performed).
             PlanKind::Svs => vec![
-                ("SEARCH", cost_s),
-                ("SUPPORTED-VERIFY", cost_e(cand_s) + cost_v(elim_s)),
+                term_s,
+                CostTerm {
+                    op: "SUPPORTED-VERIFY",
+                    units: units_e(cand_s) + units_v(elim_s),
+                    seconds: c.eliminate * units_e(cand_s) + secs_v(elim_s),
+                },
             ],
-            PlanKind::SsEv => vec![
-                ("SUPPORTED-SEARCH", cost_ss),
-                ("ELIMINATE", cost_e(cand_ss)),
-                ("VERIFY", cost_v(elim_ss)),
-            ],
+            PlanKind::SsEv => vec![term_ss, term_e(cand_ss), term_v(elim_ss)],
             PlanKind::SsVs => vec![
-                ("SUPPORTED-SEARCH", cost_ss),
-                ("SUPPORTED-VERIFY", cost_e(cand_ss) + cost_v(elim_ss)),
+                term_ss,
+                CostTerm {
+                    op: "SUPPORTED-VERIFY",
+                    units: units_e(cand_ss) + units_v(elim_ss),
+                    seconds: c.eliminate * units_e(cand_ss) + secs_v(elim_ss),
+                },
             ],
             PlanKind::SsEuv => {
                 let contained = cand_ss * q.contained_frac;
                 let partial = cand_ss - contained;
                 vec![
-                    ("SUPPORTED-SEARCH", cost_ss),
-                    ("ELIMINATE", cost_e(partial)),
-                    ("UNION", c.union_const),
-                    (
-                        "VERIFY",
-                        cost_v((partial * sigma_e + contained) * item_frac),
-                    ),
+                    term_ss,
+                    term_e(partial),
+                    CostTerm {
+                        op: "UNION",
+                        units: 1.0,
+                        seconds: c.union_const,
+                    },
+                    term_v((partial * sigma_e + contained) * item_frac),
                 ]
             }
             PlanKind::Arm => {
@@ -362,14 +414,22 @@ impl CostModel {
                     s.cfis_surviving_item_restriction(local_frac_threshold)
                         .max(1.0)
                 });
-                let mining = c.arm
-                    * (dq * q.item_attrs.max(1) as f64
-                        + q.arm_clone_units
-                        + est_mined * s.avg_supp_tidwork
-                        + est_mined * dq * sigma_e);
+                let mining_units = dq * q.item_attrs.max(1) as f64
+                    + q.arm_clone_units
+                    + est_mined * s.avg_supp_tidwork
+                    + est_mined * dq * sigma_e;
+                let select_units = dq * s.num_attrs.max(1) as f64;
                 vec![
-                    ("SELECT", c.select * dq * s.num_attrs.max(1) as f64),
-                    ("ARM", mining),
+                    CostTerm {
+                        op: "SELECT",
+                        units: select_units,
+                        seconds: c.select * select_units,
+                    },
+                    CostTerm {
+                        op: "ARM",
+                        units: mining_units,
+                        seconds: c.arm * mining_units,
+                    },
                 ]
             }
         };
@@ -501,6 +561,29 @@ mod tests {
         for w in all.windows(2) {
             assert!(w[0].total() <= w[1].total());
         }
+    }
+
+    #[test]
+    fn terms_expose_predicted_units() {
+        let model = CostModel {
+            stats: synthetic_stats(),
+            constants: CostConstants::default(),
+        };
+        let est = model.estimate(PlanKind::Sev, &profile(50, 25));
+        let ops: Vec<&str> = est.terms.iter().map(|t| t.op).collect();
+        assert_eq!(ops, ["SEARCH", "ELIMINATE", "VERIFY"]);
+        assert!(est.total_units() > 0.0);
+        assert!(est.term("VERIFY").is_some());
+        assert!(est.term("ARM").is_none());
+        // Linear-constant operators keep seconds = units × constant.
+        let e = est.term("ELIMINATE").unwrap();
+        assert!((e.seconds - e.units * CostConstants::default().eliminate).abs() < 1e-15);
+        // The push-up term prices exactly the E + V work it merges.
+        let sev = model.estimate(PlanKind::Sev, &profile(50, 25));
+        let svs = model.estimate(PlanKind::Svs, &profile(50, 25));
+        let merged = svs.term("SUPPORTED-VERIFY").unwrap();
+        let split = sev.term("ELIMINATE").unwrap().units + sev.term("VERIFY").unwrap().units;
+        assert!((merged.units - split).abs() < 1e-9);
     }
 
     #[test]

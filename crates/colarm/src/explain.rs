@@ -1,12 +1,18 @@
-//! Structured `EXPLAIN` for localized mining queries: what the optimizer
-//! saw, what it estimated, and why it chose the plan it chose. Rendered by
-//! the CLI's `:explain` and available programmatically for tooling.
+//! Structured `EXPLAIN` and `EXPLAIN ANALYZE` for localized mining
+//! queries: what the optimizer saw, what it estimated, why it chose the
+//! plan it chose — and, for ANALYZE, what the execution actually cost,
+//! operator by operator, predicted vs. measured. Rendered by the CLI's
+//! `:explain` / `:analyze` and available programmatically for tooling
+//! (JSON via [`AnalyzeReport::to_json`]).
 
-use crate::cost::CostEstimate;
+use crate::cost::{CostEstimate, CostTerm};
 use crate::framework::Colarm;
 use crate::error::ColarmError;
-use crate::plan::PlanKind;
+use crate::optimizer::PlanChoice;
+use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
+use colarm_data::metrics::OpMetrics;
+use serde::Serialize;
 use std::fmt;
 
 /// The optimizer's full view of one query, before execution.
@@ -69,7 +75,7 @@ impl fmt::Display for Explanation {
             let terms: Vec<String> = est
                 .terms
                 .iter()
-                .map(|(name, secs)| format!("{name} {secs:.2e}"))
+                .map(|t| format!("{} {:.2e}", t.op, t.seconds))
                 .collect();
             writeln!(
                 f,
@@ -81,6 +87,219 @@ impl fmt::Display for Explanation {
         }
         Ok(())
     }
+}
+
+/// One operator's row in an `EXPLAIN ANALYZE` report: the cost model's
+/// prediction next to what the executor measured. Predictions are absent
+/// for operators the model carries no term for (CLASSIFY — its work is
+/// priced into its neighbours).
+///
+/// `measured_units` and `metrics` are exact, thread-count-independent
+/// quantities; the two `*_seconds` fields are wall-clock and vary run to
+/// run. Serialize-only (operator names are `&'static str`).
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalyzedOp {
+    /// Operator name (matches [`crate::ops::OpTrace::name`]).
+    pub op: &'static str,
+    /// Raw units the cost model predicted for this operator.
+    pub predicted_units: Option<f64>,
+    /// Seconds the cost model predicted for this operator.
+    pub predicted_seconds: Option<f64>,
+    /// Input cardinality the operator saw.
+    pub input: usize,
+    /// Output cardinality it produced.
+    pub output: usize,
+    /// Raw units it actually consumed (the calibration quantity).
+    pub measured_units: f64,
+    /// Wall-clock seconds it took.
+    pub measured_seconds: f64,
+    /// Execution counters (`None` when the run had metrics reporting off).
+    pub metrics: Option<OpMetrics>,
+}
+
+impl AnalyzedOp {
+    /// `measured_units / predicted_units` — how far off the cardinality
+    /// model was (`None` without a prediction or with a zero prediction).
+    pub fn units_error(&self) -> Option<f64> {
+        match self.predicted_units {
+            Some(p) if p > 0.0 => Some(self.measured_units / p),
+            _ => None,
+        }
+    }
+}
+
+/// The full `EXPLAIN ANALYZE` view of one executed query: the optimizer's
+/// six estimates, the executed plan, and per-operator predicted-vs-actual
+/// accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalyzeReport {
+    /// The plan that ran.
+    pub plan: PlanKind,
+    /// Whether the optimizer picked it (false for forced-plan runs).
+    pub chosen_by_optimizer: bool,
+    /// `|DQ|`.
+    pub subset_size: usize,
+    /// Absolute local minimum support count.
+    pub minsupp_count: usize,
+    /// Rules the execution produced.
+    pub num_rules: usize,
+    /// The executed plan's total predicted seconds.
+    pub predicted_seconds: f64,
+    /// Measured wall-clock seconds for the whole plan.
+    pub actual_seconds: f64,
+    /// All six estimates, cheapest first.
+    pub estimates: Vec<CostEstimate>,
+    /// Per-operator predicted-vs-actual rows, pipeline order.
+    pub ops: Vec<AnalyzedOp>,
+}
+
+impl AnalyzeReport {
+    pub(crate) fn new(
+        answer: &QueryAnswer,
+        choice: &PlanChoice,
+        minsupp_count: usize,
+        chosen_by_optimizer: bool,
+    ) -> AnalyzeReport {
+        let estimate = choice.estimate_for(answer.plan);
+        let ops = answer
+            .trace
+            .ops
+            .iter()
+            .map(|o| {
+                let term: Option<&CostTerm> = estimate.term(o.name);
+                AnalyzedOp {
+                    op: o.name,
+                    predicted_units: term.map(|t| t.units),
+                    predicted_seconds: term.map(|t| t.seconds),
+                    input: o.input,
+                    output: o.output,
+                    measured_units: o.units,
+                    measured_seconds: o.duration.as_secs_f64(),
+                    metrics: o.metrics,
+                }
+            })
+            .collect();
+        AnalyzeReport {
+            plan: answer.plan,
+            chosen_by_optimizer,
+            subset_size: answer.subset_size,
+            minsupp_count,
+            num_rules: answer.rules.len(),
+            predicted_seconds: estimate.total(),
+            actual_seconds: answer.trace.total.as_secs_f64(),
+            estimates: choice.estimates.clone(),
+            ops,
+        }
+    }
+
+    /// The row of the named operator, if the plan ran it.
+    pub fn op(&self, name: &str) -> Option<&AnalyzedOp> {
+        self.ops.iter().find(|o| o.op == name)
+    }
+
+    /// Total measured raw units across operators — matches
+    /// [`crate::plan::ExecutionTrace::total_units`] for the same run, and
+    /// is the quantity the optimizer's feedback accounting sums.
+    pub fn total_measured_units(&self) -> f64 {
+        self.ops.iter().map(|o| o.measured_units).sum()
+    }
+
+    /// Fieldwise sum of the per-operator execution counters (zero when
+    /// the run had metrics reporting off).
+    pub fn metrics_total(&self) -> OpMetrics {
+        let mut total = OpMetrics::default();
+        for op in &self.ops {
+            if let Some(m) = op.metrics {
+                total += m;
+            }
+        }
+        total
+    }
+
+    /// `actual_seconds / predicted_seconds` (`None` on a zero prediction).
+    pub fn time_error(&self) -> Option<f64> {
+        if self.predicted_seconds > 0.0 {
+            Some(self.actual_seconds / self.predicted_seconds)
+        } else {
+            None
+        }
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+impl fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan {} ({}); {} records; minsupp count {}; {} rules",
+            self.plan.name(),
+            if self.chosen_by_optimizer {
+                "optimizer choice"
+            } else {
+                "forced"
+            },
+            self.subset_size,
+            self.minsupp_count,
+            self.num_rules
+        )?;
+        match self.time_error() {
+            Some(ratio) => writeln!(
+                f,
+                "predicted {:.3e} s, actual {:.3e} s ({ratio:.2}x)",
+                self.predicted_seconds, self.actual_seconds
+            )?,
+            None => writeln!(f, "actual {:.3e} s (no prediction)", self.actual_seconds)?,
+        }
+        writeln!(
+            f,
+            "{:<18} {:>11} {:>11} {:>10} {:>10}  counters",
+            "operator", "pred.units", "meas.units", "pred.s", "meas.s"
+        )?;
+        for op in &self.ops {
+            let pu = match op.predicted_units {
+                Some(u) => format!("{u:.1}"),
+                None => "-".to_string(),
+            };
+            let ps = match op.predicted_seconds {
+                Some(s) => format!("{s:.2e}"),
+                None => "-".to_string(),
+            };
+            let counters = match &op.metrics {
+                Some(m) => format!(
+                    "scan {} emit {} isect {} rtree {} lookups {} hits {}",
+                    m.scanned,
+                    m.emitted,
+                    m.intersections(),
+                    m.rtree_nodes,
+                    m.support_lookups,
+                    m.cache_hits
+                ),
+                None => "off".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<18} {:>11} {:>11.1} {:>10} {:>10.2e}  {}",
+                op.op, pu, op.measured_units, ps, op.measured_seconds, counters
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// An `EXPLAIN ANALYZE` result: the executed answer, the optimizer's
+/// decision, and the predicted-vs-actual report.
+#[derive(Debug, Clone)]
+pub struct AnalyzedAnswer {
+    /// The executed answer (rules, trace — metrics reporting on).
+    pub answer: QueryAnswer,
+    /// The optimizer's decision and all six estimates.
+    pub choice: PlanChoice,
+    /// The per-operator predicted-vs-actual report.
+    pub report: AnalyzeReport,
 }
 
 /// Explain a query against a built system without executing it.
@@ -127,7 +346,8 @@ mod tests {
             .unwrap()
             .minsupp(0.5)
             .minconf(0.8)
-            .build();
+            .build()
+            .unwrap();
         let ex = explain(&colarm, &q).unwrap();
         assert_eq!(ex.subset_size, 4);
         assert_eq!(ex.estimates.len(), 6);
@@ -144,7 +364,88 @@ mod tests {
     #[test]
     fn explain_validates_inputs() {
         let colarm = system();
-        let bad = LocalizedQuery::builder().minsupp(0.0).build();
+        // The builder refuses the bad threshold up front; a hand-built
+        // query hits the same check inside `explain`.
+        assert!(LocalizedQuery::builder().minsupp(0.0).build().is_err());
+        let bad = LocalizedQuery {
+            range: colarm_data::RangeSpec::all(),
+            item_attrs: None,
+            minsupp: 0.0,
+            minconf: 0.8,
+            semantics: crate::query::Semantics::Strict,
+        };
         assert!(explain(&colarm, &bad).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_predicted_vs_actual_per_operator() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.8)
+            .build()
+            .unwrap();
+        let analyzed = colarm.explain_analyze(&q).unwrap();
+        let report = &analyzed.report;
+        assert_eq!(report.plan, analyzed.answer.plan);
+        assert!(report.chosen_by_optimizer);
+        assert_eq!(report.estimates.len(), PlanKind::ALL.len());
+        assert_eq!(report.ops.len(), analyzed.answer.trace.ops.len());
+        // Measured units/metrics mirror the trace exactly.
+        assert_eq!(report.total_measured_units(), analyzed.answer.trace.total_units());
+        assert_eq!(report.metrics_total(), analyzed.answer.trace.metrics_total());
+        for (row, op) in report.ops.iter().zip(&analyzed.answer.trace.ops) {
+            assert_eq!(row.op, op.name);
+            assert_eq!(row.measured_units, op.units);
+            assert!(row.metrics.is_some(), "ANALYZE forces metrics on");
+        }
+        // Every cost-model operator in the plan has a prediction.
+        let estimate = analyzed.choice.estimate_for(report.plan);
+        for row in &report.ops {
+            assert_eq!(row.predicted_units.is_some(), estimate.term(row.op).is_some());
+        }
+        assert!(report.predicted_seconds > 0.0);
+        assert!(report.actual_seconds > 0.0);
+        // The rendering carries the plan and the operator names.
+        let text = report.to_string();
+        assert!(text.contains(report.plan.name()));
+        for row in &report.ops {
+            assert!(text.contains(row.op), "missing {} in analyze output", row.op);
+        }
+        // JSON round-trips through serde_json's parser.
+        let json = report.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value["plan"].is_string());
+        assert_eq!(value["ops"].as_array().unwrap().len(), report.ops.len());
+        assert_eq!(
+            value["estimates"].as_array().unwrap().len(),
+            PlanKind::ALL.len()
+        );
+    }
+
+    #[test]
+    fn analyze_forced_plan_is_flagged() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Boston"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        let chosen = colarm.explain_analyze(&q).unwrap().report.plan;
+        let other = PlanKind::ALL
+            .into_iter()
+            .find(|&p| p != chosen)
+            .unwrap();
+        let forced = colarm
+            .explain_analyze_plan(&q, other, crate::ops::ExecOptions::default())
+            .unwrap();
+        assert_eq!(forced.report.plan, other);
+        assert!(!forced.report.chosen_by_optimizer);
     }
 }

@@ -1,14 +1,18 @@
 //! The COLARM framework facade (paper Figure 2): offline preprocessing +
-//! online query processing with cost-based plan selection.
+//! online query processing with cost-based plan selection, execution
+//! feedback, and `EXPLAIN ANALYZE`.
 
 use crate::cost::{CostConstants, CostModel};
 use crate::error::ColarmError;
+use crate::explain::{AnalyzeReport, AnalyzedAnswer};
 use crate::mip::{MipIndex, MipIndexConfig};
-use crate::optimizer::{Optimizer, PlanChoice};
+use crate::ops::ExecOptions;
+use crate::optimizer::{FeedbackLog, Optimizer, PlanChoice};
 use crate::parse::parse_query;
-use crate::plan::{execute_plan, PlanKind, QueryAnswer};
+use crate::plan::{execute_plan, execute_plan_with, PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
-use colarm_data::Dataset;
+use colarm_data::{Dataset, FocalSubset};
+use std::sync::Arc;
 
 /// An optimizer-executed answer: the rules plus the plan decision that
 /// produced them.
@@ -20,11 +24,13 @@ pub struct OptimizedAnswer {
     pub choice: PlanChoice,
 }
 
-/// The COLARM system: a MIP-index plus a calibrated cost-based optimizer.
+/// The COLARM system: a MIP-index, a calibrated cost-based optimizer, and
+/// the execution feedback log that closes the loop between them.
 #[derive(Debug)]
 pub struct Colarm {
     index: MipIndex,
     optimizer: Optimizer,
+    feedback: FeedbackLog,
 }
 
 impl Colarm {
@@ -33,14 +39,7 @@ impl Colarm {
     /// constants to this machine.
     pub fn build(dataset: Dataset, config: MipIndexConfig) -> Result<Self, ColarmError> {
         let index = MipIndex::build(dataset, config)?;
-        let model = CostModel {
-            stats: index.stats().clone(),
-            constants: CostConstants::default(),
-        };
-        Ok(Colarm {
-            index,
-            optimizer: Optimizer::new(model),
-        })
+        Ok(Colarm::from_index(index))
     }
 
     /// Wrap an already-built (e.g. snapshot-restored) MIP-index.
@@ -52,7 +51,14 @@ impl Colarm {
         Colarm {
             index,
             optimizer: Optimizer::new(model),
+            feedback: FeedbackLog::default(),
         }
+    }
+
+    /// Move the system behind an [`Arc`] for sharing across owned
+    /// sessions and threads (see [`crate::session::QuerySession`]).
+    pub fn into_shared(self) -> Arc<Colarm> {
+        Arc::new(self)
     }
 
     /// The underlying MIP-index.
@@ -65,20 +71,49 @@ impl Colarm {
         &self.optimizer
     }
 
-    /// Online phase: pick the cheapest plan and execute it.
-    pub fn execute(&self, query: &LocalizedQuery) -> Result<OptimizedAnswer, ColarmError> {
+    /// The execution feedback log: every query executed through this
+    /// system is recorded as `(query, per-plan predictions, chosen plan,
+    /// actual cost)`.
+    pub fn feedback(&self) -> &FeedbackLog {
+        &self.feedback
+    }
+
+    /// The single validation path every execution funnels through:
+    /// thresholds and schema references checked, the focal subset
+    /// resolved, and empty subsets rejected.
+    pub fn prepare(&self, query: &LocalizedQuery) -> Result<FocalSubset, ColarmError> {
         query.validate(self.index.dataset().schema())?;
         let subset = self.index.resolve_subset(query.range.clone())?;
         if subset.is_empty() {
             return Err(ColarmError::EmptySubset);
         }
-        let mut choice = self.optimizer.choose(&self.index, query, &subset);
+        Ok(subset)
+    }
+
+    /// Online phase: pick the cheapest plan and execute it.
+    pub fn execute(&self, query: &LocalizedQuery) -> Result<OptimizedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        self.execute_on_subset(query, &subset, ExecOptions::default())
+    }
+
+    /// [`Colarm::execute`] against an already-resolved subset with explicit
+    /// execution options — the path sessions use to reuse cached subsets.
+    /// The subset must come from this system's [`Colarm::prepare`].
+    pub fn execute_on_subset(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        let mut choice = self.optimizer.choose(&self.index, query, subset);
         if query.semantics == crate::query::Semantics::Unrestricted {
             // Only the from-scratch plan can see below the primary
             // threshold; the optimizer's estimates stay informational.
             choice.chosen = PlanKind::Arm;
         }
-        let answer = execute_plan(&self.index, query, &subset, choice.chosen)?;
+        let answer = execute_plan_with(&self.index, query, subset, choice.chosen, opts)?;
+        let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
+        self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
         Ok(OptimizedAnswer { answer, choice })
     }
 
@@ -88,21 +123,113 @@ impl Colarm {
         query: &LocalizedQuery,
         plan: PlanKind,
     ) -> Result<QueryAnswer, ColarmError> {
-        let subset = self.index.resolve_subset(query.range.clone())?;
-        execute_plan(&self.index, query, &subset, plan)
+        let subset = self.prepare(query)?;
+        let choice = self.optimizer.choose(&self.index, query, &subset);
+        let answer = execute_plan(&self.index, query, &subset, plan)?;
+        self.feedback
+            .record(query, &choice, &answer, plan == choice.chosen);
+        Ok(answer)
     }
 
     /// Execute all six plans on one query (the §5.1 experiment shape).
-    /// Returns answers in [`PlanKind::ALL`] order.
+    /// Returns answers in [`PlanKind::ALL`] order. Every execution lands
+    /// in the feedback log, so a follow-up [`FeedbackLog::mispicks`] tells
+    /// whether the optimizer's pick was actually fastest.
     pub fn execute_all_plans(
         &self,
         query: &LocalizedQuery,
     ) -> Result<Vec<QueryAnswer>, ColarmError> {
-        let subset = self.index.resolve_subset(query.range.clone())?;
+        let subset = self.prepare(query)?;
+        let choice = self.optimizer.choose(&self.index, query, &subset);
         PlanKind::ALL
             .iter()
-            .map(|&p| execute_plan(&self.index, query, &subset, p))
+            .map(|&p| {
+                let answer = execute_plan(&self.index, query, &subset, p)?;
+                self.feedback
+                    .record(query, &choice, &answer, p == choice.chosen);
+                Ok(answer)
+            })
             .collect()
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the optimizer's chosen plan with metrics
+    /// reporting on and return the per-operator predicted-vs-actual
+    /// report alongside the answer.
+    pub fn explain_analyze(&self, query: &LocalizedQuery) -> Result<AnalyzedAnswer, ColarmError> {
+        self.explain_analyze_with(query, ExecOptions::default())
+    }
+
+    /// [`Colarm::explain_analyze`] with explicit execution options
+    /// (metrics reporting is forced on regardless of `opts.metrics`).
+    pub fn explain_analyze_with(
+        &self,
+        query: &LocalizedQuery,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        self.explain_analyze_on_subset(query, &subset, opts)
+    }
+
+    /// [`Colarm::explain_analyze_with`] against an already-resolved subset
+    /// — the path sessions use to reuse cached subsets. The subset must
+    /// come from this system's [`Colarm::prepare`].
+    pub fn explain_analyze_on_subset(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let mut choice = self.optimizer.choose(&self.index, query, subset);
+        if query.semantics == crate::query::Semantics::Unrestricted {
+            choice.chosen = PlanKind::Arm;
+        }
+        let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
+        self.analyze_on_subset(query, subset, choice, chosen_by_optimizer, opts)
+    }
+
+    /// `EXPLAIN ANALYZE` for a specific (possibly non-optimal) plan — the
+    /// tool for inspecting exactly where a passed-over plan spends its
+    /// time.
+    pub fn explain_analyze_plan(
+        &self,
+        query: &LocalizedQuery,
+        plan: PlanKind,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        let mut choice = self.optimizer.choose(&self.index, query, &subset);
+        let chosen_by_optimizer = plan == choice.chosen;
+        choice.chosen = plan;
+        self.analyze_on_subset(query, &subset, choice, chosen_by_optimizer, opts)
+    }
+
+    fn analyze_on_subset(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        choice: PlanChoice,
+        chosen_by_optimizer: bool,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let answer = execute_plan_with(
+            &self.index,
+            query,
+            subset,
+            choice.chosen,
+            opts.with_metrics(true),
+        )?;
+        self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
+        let report = AnalyzeReport::new(
+            &answer,
+            &choice,
+            query.minsupp_count(subset.len()),
+            chosen_by_optimizer,
+        );
+        Ok(AnalyzedAnswer {
+            answer,
+            choice,
+            report,
+        })
     }
 
     /// Parse and execute a query-language string.
@@ -147,6 +274,24 @@ impl Colarm {
         self.optimizer.model_mut().fit(&borrowed);
         Ok(())
     }
+
+    /// Re-fit the cost constants from the executions already recorded in
+    /// the feedback log — calibration from real workload traffic instead
+    /// of dedicated sample queries. Returns the number of per-operator
+    /// observations consumed (0 = nothing recorded yet, constants
+    /// untouched).
+    pub fn calibrate_from_feedback(&mut self) -> usize {
+        let observations = self.feedback.observations();
+        if observations.is_empty() {
+            return 0;
+        }
+        let borrowed: Vec<(&str, f64, f64)> = observations
+            .iter()
+            .map(|&(n, u, t)| (n, u, t))
+            .collect();
+        self.optimizer.model_mut().fit(&borrowed);
+        observations.len()
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +321,8 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.9)
-            .build();
+            .build()
+            .unwrap();
         let out = colarm.execute(&query).unwrap();
         assert_eq!(out.answer.subset_size, 4);
         // RL = (Age=30-40 → Salary=90K-120K) at 75% / 100%.
@@ -212,7 +358,8 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.9)
-            .build();
+            .build()
+            .unwrap();
         let via_builder = colarm.execute(&query).unwrap();
         assert_eq!(via_text.answer.rules, via_builder.answer.rules);
     }
@@ -226,7 +373,8 @@ mod tests {
             .unwrap()
             .minsupp(0.5)
             .minconf(0.7)
-            .build();
+            .build()
+            .unwrap();
         let answers = colarm.execute_all_plans(&query).unwrap();
         assert_eq!(answers.len(), 6);
         for a in &answers[1..] {
@@ -245,10 +393,97 @@ mod tests {
             colarm.execute_text("DELETE EVERYTHING"),
             Err(ColarmError::QueryParse { .. })
         ));
-        let bad = LocalizedQuery::builder().minconf(0.0).build();
+        assert!(matches!(
+            LocalizedQuery::builder().minconf(0.0).build(),
+            Err(ColarmError::InvalidThreshold { .. })
+        ));
+        // Hand-built (non-builder) queries hit the same check in
+        // `Colarm::prepare`.
+        let bad = LocalizedQuery {
+            range: colarm_data::RangeSpec::all(),
+            item_attrs: None,
+            minsupp: 0.5,
+            minconf: 0.0,
+            semantics: crate::query::Semantics::Strict,
+        };
         assert!(matches!(
             colarm.execute(&bad),
             Err(ColarmError::InvalidThreshold { .. })
         ));
+    }
+
+    #[test]
+    fn executions_land_in_the_feedback_log() {
+        let mut colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        assert!(colarm.feedback().is_empty());
+        colarm.execute(&query).unwrap();
+        assert_eq!(colarm.feedback().len(), 1);
+        let entry = &colarm.feedback().snapshot()[0];
+        assert!(entry.chosen_by_optimizer);
+        assert_eq!(entry.predicted.len(), PlanKind::ALL.len());
+        assert!(entry.total_units() > 0.0);
+        // Forced-plan runs are recorded too, flagged by whether they match
+        // the optimizer's pick.
+        let chosen = entry.chosen;
+        let other = PlanKind::ALL.into_iter().find(|&p| p != chosen).unwrap();
+        colarm.execute_with_plan(&query, other).unwrap();
+        assert_eq!(colarm.feedback().len(), 2);
+        assert!(!colarm.feedback().snapshot()[1].chosen_by_optimizer);
+        // Real-traffic calibration consumes the recorded observations.
+        let consumed = colarm.calibrate_from_feedback();
+        assert!(consumed > 0);
+        let after = colarm.optimizer().model().constants;
+        assert!(after.node > 0.0 && after.eliminate >= 0.0);
+    }
+
+    #[test]
+    fn feedback_total_units_match_trace_accounting() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Boston"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        let out = colarm.execute(&query).unwrap();
+        let entry = &colarm.feedback().snapshot()[0];
+        assert_eq!(entry.total_units(), out.answer.trace.total_units());
+    }
+
+    #[test]
+    fn shared_system_executes_from_plain_threads() {
+        let colarm = system().into_shared();
+        let schema = colarm.index().dataset().schema().clone();
+        let handles: Vec<_> = ["Seattle", "Boston"]
+            .into_iter()
+            .map(|loc| {
+                let colarm = colarm.clone();
+                let schema = schema.clone();
+                std::thread::spawn(move || {
+                    let q = LocalizedQuery::builder()
+                        .range_named(&schema, "Location", &[loc])
+                        .unwrap()
+                        .minsupp(0.5)
+                        .minconf(0.7)
+                        .build()
+                        .unwrap();
+                    colarm.execute(&q).unwrap().answer.rules.len()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(colarm.feedback().len(), 2);
     }
 }

@@ -47,6 +47,7 @@ pub mod cost;
 pub mod error;
 pub mod explain;
 pub mod framework;
+pub mod lru;
 pub mod mip;
 pub mod ops;
 pub mod optimizer;
@@ -57,17 +58,20 @@ pub mod plan;
 pub mod query;
 pub mod session;
 
+pub use cost::{CostEstimate, CostTerm};
 pub use error::ColarmError;
-pub use explain::{explain, Explanation};
+pub use explain::{explain, AnalyzeReport, AnalyzedAnswer, AnalyzedOp, Explanation};
 pub use framework::{Colarm, OptimizedAnswer};
 pub use mip::{MipIndex, MipIndexConfig, Packing};
-pub use optimizer::{Optimizer, PlanChoice};
+pub use optimizer::{FeedbackEntry, FeedbackLog, Mispick, Optimizer, PlanChoice};
 pub use parse::parse_query;
 pub use persist::IndexSnapshot;
-pub use ops::ExecOptions;
+pub use ops::{ExecOptions, OpTrace};
 pub use plan::{execute_plan, execute_plan_with, ExecutionTrace, PlanKind, QueryAnswer};
 pub use query::{LocalizedQuery, Semantics};
-pub use session::{QuerySession, SessionStats};
+pub use session::{QuerySession, SessionConfig, SessionStats};
+
+pub use colarm_data::metrics::OpMetrics;
 
 // Re-export the substrate crates so downstream users need only `colarm`.
 pub use colarm_data as data;

@@ -1,0 +1,164 @@
+//! A small deterministic LRU map backing the session caches.
+//!
+//! Recency is tracked with a monotonic stamp per entry (bumped on every
+//! hit), so the eviction victim — the minimum stamp — is a pure function
+//! of the operation sequence: no wall-clock, no hasher iteration order.
+//! Eviction scans all entries (O(n)), which is the right trade at session
+//! cache sizes (tens to hundreds of entries) and keeps the structure a
+//! single `HashMap` with no intrusive list to maintain.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+///
+/// `capacity == 0` disables the cache entirely: inserts are dropped and
+/// lookups always miss (the knob sessions use to turn caching off).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    tick: u64,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            tick: 0,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of retained entries (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted over the cache's lifetime (survives
+    /// [`LruCache::clear`]).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((value, stamp)) => {
+                *stamp = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert (or replace) an entry, evicting the least-recently-used
+    /// entry first when at capacity. No-op when the cache is disabled.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // Victim = minimum stamp; stamps are unique (monotonic tick),
+            // so the choice is deterministic.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Drop every entry (the lifetime eviction counter is preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_deterministically() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c"); // evicts 1
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2), Some(&"b"));
+        // 2 is now the most recent; inserting 4 evicts 3.
+        c.insert(4, "d");
+        assert!(c.get(&3).is_none());
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.get(&4), Some(&"d"));
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 2 becomes the LRU entry
+        c.insert(3, 30);
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn replacing_an_existing_key_never_evicts() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_the_lifetime_eviction_counter() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.evictions(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 1);
+        c.insert(3, 30);
+        assert_eq!(c.get(&3), Some(&30));
+    }
+}

@@ -463,7 +463,7 @@ mod tests {
         let s = idx.dataset().schema().clone();
         let spec = RangeSpec::all().with_named(&s, "Location", &["Seattle"]).unwrap();
         let subset = idx.resolve_subset(spec).unwrap();
-        let q = LocalizedQuery::builder().minsupp(0.75).build();
+        let q = LocalizedQuery::builder().minsupp(0.75).build().unwrap();
         let p = idx.query_profile(&q, &subset);
         assert_eq!(p.dq_len, 4);
         assert_eq!(p.minsupp_count, 3);

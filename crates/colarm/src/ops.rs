@@ -39,6 +39,7 @@
 
 use crate::mip::MipIndex;
 use crate::query::{LocalizedQuery, Semantics};
+use colarm_data::metrics::{Meter, OpMetrics};
 use colarm_data::{FocalSubset, ItemId, Itemset, Overlap, Tidset};
 use colarm_mine::ittree::ClosureSupportOracle;
 use colarm_mine::rules::{rules_for_itemset, Rule, SupportOracle};
@@ -61,6 +62,12 @@ pub struct OpTrace {
     pub units: f64,
     /// Wall-clock time.
     pub duration: Duration,
+    /// Execution counters (`Some` unless the executor stripped them
+    /// because metrics reporting was disabled; see
+    /// [`ExecOptions::with_metrics`]). Counter totals are bit-identical
+    /// at every thread count — they fold in input order, and VERIFY's
+    /// memo chunking depends only on input size.
+    pub metrics: Option<OpMetrics>,
 }
 
 /// Execution options for the operators that can spread their per-candidate
@@ -78,12 +85,27 @@ pub struct OpTrace {
 pub struct ExecOptions {
     /// Worker-thread cap (`0` = session default, `1` = sequential).
     pub threads: usize,
+    /// Report execution counters in each [`OpTrace`] (`false` = strip
+    /// them). The counters themselves ride on work that dwarfs them —
+    /// an integer add per tidset intersection or node visit — so the
+    /// flag controls *reporting*, not a separate collection pass; the
+    /// disabled path costs the same within measurement noise.
+    pub metrics: bool,
 }
 
 impl ExecOptions {
     /// Options pinned to a specific thread count.
     pub fn with_threads(threads: usize) -> ExecOptions {
-        ExecOptions { threads }
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Toggle execution-counter reporting.
+    pub fn with_metrics(mut self, metrics: bool) -> ExecOptions {
+        self.metrics = metrics;
+        self
     }
 }
 
@@ -138,6 +160,12 @@ fn run_search(
         output: out.len(),
         units: counters.nodes_visited as f64,
         duration: start.elapsed(),
+        metrics: Some(OpMetrics {
+            scanned: index.num_mips() as u64,
+            emitted: out.len() as u64,
+            rtree_nodes: counters.nodes_visited as u64,
+            ..OpMetrics::default()
+        }),
     };
     (out, trace)
 }
@@ -237,6 +265,14 @@ pub fn classify(
         output: contained.len() + partial.len(),
         units: input as f64,
         duration: start.elapsed(),
+        // Contained candidates leave with a free local count (Lemma 4.5) —
+        // record checks the downstream ELIMINATE never has to pay.
+        metrics: Some(OpMetrics {
+            scanned: input as u64,
+            emitted: (contained.len() + partial.len()) as u64,
+            cache_hits: contained.len() as u64,
+            ..OpMetrics::default()
+        }),
     };
     (contained, partial, trace)
 }
@@ -272,13 +308,14 @@ pub fn eliminate_with(
     let start = Instant::now();
     let input = candidates.len();
     let bodies = project_bodies(index, query, candidates);
-    let (out, units) = eliminate_bodies(index, subset, bodies, minsupp_count, opts.threads);
+    let (out, meter) = eliminate_bodies(index, subset, bodies, minsupp_count, opts.threads);
     let trace = OpTrace {
         name: "ELIMINATE",
         input,
         output: out.len(),
-        units,
+        units: meter.units,
         duration: start.elapsed(),
+        metrics: Some(meter.metrics),
     };
     (out, trace)
 }
@@ -304,13 +341,14 @@ pub fn eliminate_projected_with(
 ) -> (Vec<Candidate>, OpTrace) {
     let start = Instant::now();
     let input = candidates.len();
-    let (out, units) = eliminate_bodies(index, subset, candidates, minsupp_count, opts.threads);
+    let (out, meter) = eliminate_bodies(index, subset, candidates, minsupp_count, opts.threads);
     let trace = OpTrace {
         name: "ELIMINATE",
         input,
         output: out.len(),
-        units,
+        units: meter.units,
         duration: start.elapsed(),
+        metrics: Some(meter.metrics),
     };
     (out, trace)
 }
@@ -323,22 +361,24 @@ fn check_body(
     subset: &FocalSubset,
     c: &Candidate,
     minsupp_count: usize,
-) -> (Option<usize>, f64) {
+) -> (Option<usize>, Meter) {
+    let mut meter = Meter::default();
+    meter.metrics.scanned = 1;
     if let Some(local) = c.local_count {
         // Contained candidate: Lemma 4.5 already finalized it.
+        meter.metrics.cache_hits = 1;
         let verdict = if local >= minsupp_count { Some(local) } else { None };
-        return (verdict, 0.0);
+        return (verdict, meter);
     }
     // Record-level check: |t(body) ∩ t(DQ)|. The paper charges |DQ|
     // per candidate; the galloping intersection is cheaper but remains
     // the record-level term of the model.
-    let local = index
-        .ittree()
-        .get(c.closure)
-        .tids
-        .intersect_count(subset.tids());
+    let tids = &index.ittree().get(c.closure).tids;
+    meter.metrics.note_intersection(tids, subset.tids());
+    let local = tids.intersect_count(subset.tids());
+    meter.units = subset.len() as f64;
     let verdict = if local >= minsupp_count { Some(local) } else { None };
-    (verdict, subset.len() as f64)
+    (verdict, meter)
 }
 
 fn eliminate_bodies(
@@ -347,28 +387,28 @@ fn eliminate_bodies(
     bodies: Vec<Candidate>,
     minsupp_count: usize,
     threads: usize,
-) -> (Vec<Candidate>, f64) {
+) -> (Vec<Candidate>, Meter) {
     let threads = if bodies.len() < PAR_MIN_CANDIDATES {
         1
     } else {
         colarm_data::par::resolve_threads(threads)
     };
-    // In-order fold of per-candidate verdicts. Every unit increment is an
-    // integer-valued f64 far below 2^53, so the sum is exact — the same
-    // bits — at any thread count.
-    let checks = colarm_data::par::parallel_map(&bodies, threads, |_, c| {
+    // In-order fold of per-candidate verdicts and charges. Every unit
+    // increment is an integer-valued f64 far below 2^53, so the sum is
+    // exact — the same bits — at any thread count, and the counter block
+    // folds fieldwise the same way.
+    let (checks, mut meter) = colarm_data::par::parallel_map_fold(&bodies, threads, |_, c| {
         check_body(index, subset, c, minsupp_count)
     });
-    let mut units = 0.0f64;
     let mut out = Vec::new();
-    for (mut c, (verdict, u)) in bodies.into_iter().zip(checks) {
-        units += u;
+    for (mut c, verdict) in bodies.into_iter().zip(checks) {
         if let Some(local) = verdict {
             c.local_count = Some(local);
             out.push(c);
         }
     }
-    (out, units)
+    meter.metrics.emitted = out.len() as u64;
+    (out, meter)
 }
 
 /// VERIFY: generate rules from qualified candidates and keep those whose
@@ -392,62 +432,68 @@ pub fn verify_with(
     opts: ExecOptions,
 ) -> (Vec<Rule>, OpTrace) {
     let start = Instant::now();
-    let (rules, units) = verify_candidates(index, subset, candidates, minconf, opts.threads);
+    let (rules, meter) = verify_candidates(index, subset, candidates, minconf, opts.threads);
     let trace = OpTrace {
         name: "VERIFY",
         input: candidates.len(),
         output: rules.len(),
-        units,
+        units: meter.units,
         duration: start.elapsed(),
+        metrics: Some(meter.metrics),
     };
     (rules, trace)
 }
 
+/// How many candidates share one closure-lookup memo in VERIFY. Chunk
+/// boundaries are a function of input size **only** — never the thread
+/// count — so each memo's hit/miss sequence (and the intersections the
+/// misses trigger) is part of the deterministic output, not a scheduling
+/// artifact. A sequential run executes the exact same chunks in order.
+const VERIFY_MEMO_SPAN: usize = 32;
+
 /// Shared VERIFY core: rule generation + confidence checks over qualified
 /// candidates, optionally chunked across threads. Each chunk runs its own
 /// [`ClosureSupportOracle`] (the memo only affects speed, never values);
-/// rules and unit sums merge in candidate order, so the output — ordering
-/// included — is bit-identical at every thread count.
+/// rules, unit sums and counters merge in candidate order, so the output —
+/// ordering and metrics included — is bit-identical at every thread count.
 fn verify_candidates(
     index: &MipIndex,
     subset: &FocalSubset,
     candidates: &[Candidate],
     minconf: f64,
     threads: usize,
-) -> (Vec<Rule>, f64) {
+) -> (Vec<Rule>, Meter) {
     let threads = if candidates.len() < PAR_MIN_CANDIDATES {
         1
     } else {
         colarm_data::par::resolve_threads(threads)
     };
-    let run_chunk = |chunk: &[Candidate]| -> (Vec<Rule>, f64) {
+    let run_chunk = |chunk: &[Candidate]| -> (Vec<Rule>, Meter) {
         let mut oracle = ClosureSupportOracle::new(index.ittree(), Some(subset.tids()));
         let mut rules = Vec::new();
-        let mut units = 0.0f64;
+        let mut meter = Meter::default();
         for c in chunk {
             let local = c
                 .local_count
                 .expect("VERIFY requires established local counts");
-            units += (c.body.len() * subset.len()) as f64;
+            meter.units += (c.body.len() * subset.len()) as f64;
             rules_for_itemset(&c.body, local, &mut oracle, minconf, &mut rules);
         }
-        (rules, units)
+        meter.metrics = oracle.metrics();
+        meter.metrics.scanned = chunk.len() as u64;
+        meter.metrics.emitted = rules.len() as u64;
+        (rules, meter)
     };
-    if threads <= 1 {
+    if candidates.len() <= VERIFY_MEMO_SPAN {
         return run_chunk(candidates);
     }
-    // Chunks of several candidates amortize each worker's closure-lookup
-    // memo; more chunks than workers keeps skew balanced.
-    let chunk_len = candidates.len().div_ceil(threads * 4).max(1);
-    let chunks: Vec<&[Candidate]> = candidates.chunks(chunk_len).collect();
-    let results = colarm_data::par::parallel_map(&chunks, threads, |_, chunk| run_chunk(chunk));
-    let mut rules = Vec::new();
-    let mut units = 0.0f64;
-    for (mut r, u) in results {
-        rules.append(&mut r);
-        units += u;
-    }
-    (rules, units)
+    // Chunks amortize each memo over VERIFY_MEMO_SPAN candidates; spans
+    // far shorter than the input keep skewed chunks balanced across
+    // workers. The same chunking runs sequentially when threads == 1.
+    let chunks: Vec<&[Candidate]> = candidates.chunks(VERIFY_MEMO_SPAN).collect();
+    let (rule_blocks, meter) =
+        colarm_data::par::parallel_map_fold(&chunks, threads, |_, chunk| run_chunk(chunk));
+    (rule_blocks.into_iter().flatten().collect(), meter)
 }
 
 /// SUPPORTED-VERIFY: ELIMINATE merged into VERIFY (selection push-up).
@@ -485,16 +531,22 @@ pub fn supported_verify_with(
     let start = Instant::now();
     let input = candidates.len();
     let bodies = project_bodies(index, query, candidates);
-    let (qualified, eliminate_units) =
+    let (qualified, eliminate_meter) =
         eliminate_bodies(index, subset, bodies, minsupp_count, opts.threads);
-    let (rules, verify_units) =
+    let (rules, verify_meter) =
         verify_candidates(index, subset, &qualified, minconf, opts.threads);
+    let mut metrics = eliminate_meter.metrics + verify_meter.metrics;
+    // The fused operator's interface counts are its own ends, not the
+    // internal hand-off between the eliminate and verify halves.
+    metrics.scanned = input as u64;
+    metrics.emitted = rules.len() as u64;
     let trace = OpTrace {
         name: "SUPPORTED-VERIFY",
         input,
         output: rules.len(),
-        units: eliminate_units + verify_units,
+        units: eliminate_meter.units + verify_meter.units,
         duration: start.elapsed(),
+        metrics: Some(metrics),
     };
     (rules, trace)
 }
@@ -512,6 +564,11 @@ pub fn union_lists(mut a: Vec<Candidate>, mut b: Vec<Candidate>) -> (Vec<Candida
         output: a.len(),
         units: 1.0,
         duration: start.elapsed(),
+        metrics: Some(OpMetrics {
+            scanned: input as u64,
+            emitted: a.len() as u64,
+            ..OpMetrics::default()
+        }),
     };
     (a, trace)
 }
@@ -548,6 +605,19 @@ pub fn select_with(
         output: subset.len(),
         units: subset.len() as f64 * index.dataset().schema().num_attributes() as f64,
         duration: start.elapsed(),
+        // Every restricted column is produced by one vertical-index
+        // intersection against the focal tidset.
+        metrics: Some({
+            let mut m = OpMetrics {
+                scanned: index.dataset().num_records() as u64,
+                emitted: columns.len() as u64,
+                ..OpMetrics::default()
+            };
+            for c in &columns {
+                m.note_intersection(index.vertical().tids(c.item), subset.tids());
+            }
+            m
+        }),
     };
     (columns, trace)
 }
@@ -601,6 +671,7 @@ pub fn arm_with(
     let start = Instant::now();
     let mut rules = Vec::new();
     let mut units;
+    let mut metrics = OpMetrics::default();
     match query.semantics {
         Semantics::Strict => {
             // `columns` are already restricted to DQ ∩ Aitem, so their
@@ -631,15 +702,18 @@ pub fn arm_with(
             let mut oracle =
                 ClosureSupportOracle::new(&scratch_tree, Some(subset.tids()));
             for (_, c) in scratch_tree.iter() {
+                metrics.scanned += 1;
                 if c.itemset.len() < 2 {
                     continue;
                 }
                 units += subset.len() as f64;
+                metrics.note_intersection(&c.tids, subset.tids());
                 let local = c.tids.intersect_count(subset.tids());
                 if local >= minsupp_count {
                     rules_for_itemset(&c.itemset, local, &mut oracle, minconf, &mut rules);
                 }
             }
+            metrics += oracle.metrics();
         }
         Semantics::Unrestricted => {
             units = subset.len() as f64 * columns.len().max(1) as f64;
@@ -648,16 +722,20 @@ pub fn arm_with(
             units += closed.len() as f64;
             let mut oracle = SubsetOracle::new(columns, subset.len());
             for c in closed {
+                metrics.scanned += 1;
                 rules_for_itemset(&c.itemset, c.tids.len(), &mut oracle, minconf, &mut rules);
             }
+            metrics += oracle.stats;
         }
     }
+    metrics.emitted = rules.len() as u64;
     let trace = OpTrace {
         name: "ARM",
         input: subset.len(),
         output: rules.len(),
         units,
         duration: start.elapsed(),
+        metrics: Some(metrics),
     };
     (rules, trace)
 }
@@ -668,6 +746,7 @@ struct SubsetOracle {
     tids: HashMap<ItemId, Tidset>,
     cache: HashMap<Itemset, Option<usize>>,
     universe: usize,
+    stats: OpMetrics,
 }
 
 impl SubsetOracle {
@@ -676,13 +755,16 @@ impl SubsetOracle {
             tids: columns.iter().map(|c| (c.item, c.tids.clone())).collect(),
             cache: HashMap::new(),
             universe,
+            stats: OpMetrics::default(),
         }
     }
 }
 
 impl SupportOracle for SubsetOracle {
     fn support_count(&mut self, itemset: &Itemset) -> Option<usize> {
+        self.stats.support_lookups += 1;
         if let Some(&c) = self.cache.get(itemset) {
+            self.stats.cache_hits += 1;
             return c;
         }
         let mut lists: Vec<&Tidset> = Vec::with_capacity(itemset.len());
@@ -704,6 +786,7 @@ impl SupportOracle for SubsetOracle {
                     if acc.is_empty() {
                         break;
                     }
+                    self.stats.note_intersection(&acc, t);
                     acc = acc.intersect(t);
                 }
                 acc.len()
@@ -741,7 +824,7 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.9)
-            .build();
+            .build().unwrap();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         (index, query, subset)
     }
@@ -858,7 +941,7 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.9)
-            .build();
+            .build().unwrap();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         let min = query.minsupp_count(subset.len());
         let (cands, _) = search(&index, &subset);
@@ -916,7 +999,7 @@ mod tests {
             .unwrap()
             .minsupp(0.05)
             .minconf(0.5)
-            .build();
+            .build().unwrap();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         let min = query.minsupp_count(subset.len());
         let (cands, _) = search(&index, &subset);
@@ -981,8 +1064,8 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.9);
-        let strict = base.clone().semantics(Semantics::Strict).build();
-        let unrestricted = base.semantics(Semantics::Unrestricted).build();
+        let strict = base.clone().semantics(Semantics::Strict).build().unwrap();
+        let unrestricted = base.semantics(Semantics::Unrestricted).build().unwrap();
         let subset = index.resolve_subset(strict.range.clone()).unwrap();
         let min = strict.minsupp_count(subset.len());
         let (columns, _) = select(&index, &strict, &subset);

@@ -4,12 +4,23 @@
 //! formulae (a constant-time computation per plan) and picks the plan with
 //! the minimum estimate. The experiments of §5.1 measure how often this
 //! choice matches the plan that is actually fastest (~93 % in the paper).
+//!
+//! The [`FeedbackLog`] closes the loop: every execution the framework
+//! observes is recorded as `(query, per-plan predictions, chosen plan,
+//! actual cost)`, so mispicks — queries where a plan the optimizer passed
+//! over actually ran faster — are detectable after the fact
+//! ([`FeedbackLog::mispicks`]), and
+//! [`crate::framework::Colarm::calibrate_from_feedback`] can re-fit the
+//! unit constants from real executions instead of dedicated samples.
 
 use crate::cost::{CostEstimate, CostModel};
 use crate::mip::MipIndex;
-use crate::plan::PlanKind;
+use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
 use colarm_data::FocalSubset;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
 
 /// The optimizer's decision for one query.
 #[derive(Debug, Clone)]
@@ -32,6 +43,194 @@ impl PlanChoice {
             .iter()
             .find(|e| e.plan == plan)
             .expect("all plans estimated")
+    }
+}
+
+/// One observed execution, as the feedback log stores it: what every plan
+/// was predicted to cost, which plan ran, and what it actually cost.
+/// Serialize-only (operator names are `&'static str`).
+#[derive(Debug, Clone, Serialize)]
+pub struct FeedbackEntry {
+    /// Stable textual key for the query (grouping re-executions).
+    pub query: String,
+    /// `|DQ|`.
+    pub subset_size: usize,
+    /// Predicted seconds for every plan, cheapest first.
+    pub predicted: Vec<(PlanKind, f64)>,
+    /// The plan that ran.
+    pub chosen: PlanKind,
+    /// Whether the optimizer picked it (false for forced-plan runs).
+    pub chosen_by_optimizer: bool,
+    /// Predicted seconds for the plan that ran.
+    pub predicted_seconds: f64,
+    /// Measured wall-clock seconds.
+    pub actual_seconds: f64,
+    /// Per-operator `(name, measured raw units, measured seconds)` — the
+    /// exact sample shape [`CostModel::fit`] consumes.
+    pub observations: Vec<(&'static str, f64, f64)>,
+}
+
+impl FeedbackEntry {
+    /// Total measured raw units across operators — the optimizer's
+    /// actual-units accounting for this execution.
+    pub fn total_units(&self) -> f64 {
+        self.observations.iter().map(|(_, u, _)| u).sum()
+    }
+}
+
+/// A detected optimizer mispick: on some query, a plan the optimizer
+/// passed over was observed running faster than the plan it chose.
+#[derive(Debug, Clone, Serialize)]
+pub struct Mispick {
+    /// The query key.
+    pub query: String,
+    /// What the optimizer chose.
+    pub chosen: PlanKind,
+    /// Best observed seconds for the chosen plan.
+    pub chosen_seconds: f64,
+    /// The plan that beat it.
+    pub better: PlanKind,
+    /// Best observed seconds for that plan.
+    pub better_seconds: f64,
+}
+
+/// Bounded, thread-safe log of observed executions. The framework records
+/// every execution it runs; the log keeps the most recent
+/// [`FeedbackLog::capacity`] entries (older ones are evicted FIFO).
+#[derive(Debug)]
+pub struct FeedbackLog {
+    entries: Mutex<VecDeque<FeedbackEntry>>,
+    capacity: usize,
+}
+
+impl Default for FeedbackLog {
+    fn default() -> Self {
+        FeedbackLog::new(1024)
+    }
+}
+
+impl FeedbackLog {
+    /// A log retaining at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FeedbackLog {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one executed answer against the decision that produced it.
+    pub fn record(
+        &self,
+        query: &LocalizedQuery,
+        choice: &PlanChoice,
+        answer: &QueryAnswer,
+        chosen_by_optimizer: bool,
+    ) {
+        let entry = FeedbackEntry {
+            query: format!("{query:?}"),
+            subset_size: answer.subset_size,
+            predicted: choice
+                .estimates
+                .iter()
+                .map(|e| (e.plan, e.total()))
+                .collect(),
+            chosen: answer.plan,
+            chosen_by_optimizer,
+            predicted_seconds: choice.estimate_for(answer.plan).total(),
+            actual_seconds: answer.trace.total.as_secs_f64(),
+            observations: answer
+                .trace
+                .ops
+                .iter()
+                .map(|o| (o.name, o.units, o.duration.as_secs_f64()))
+                .collect(),
+        };
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Clone out the retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<FeedbackEntry> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    /// Drop all retained entries.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Every `(operator, units, seconds)` observation across retained
+    /// entries — the sample set [`CostModel::fit`] consumes.
+    pub fn observations(&self) -> Vec<(&'static str, f64, f64)> {
+        self.entries
+            .lock()
+            .iter()
+            .flat_map(|e| e.observations.iter().copied())
+            .collect()
+    }
+
+    /// Detected mispicks: for each query key, compare the best observed
+    /// time of each optimizer-chosen plan against the best observed time
+    /// of every other plan that ran on the same query (via forced-plan or
+    /// ANALYZE executions). One mispick per offending query, reporting the
+    /// biggest winner.
+    pub fn mispicks(&self) -> Vec<Mispick> {
+        let entries = self.entries.lock();
+        // query key → per-plan best observed seconds (+ the optimizer's
+        // chosen plan, when any entry for the key was optimizer-driven).
+        let mut by_query: std::collections::BTreeMap<
+            &str,
+            (Option<PlanKind>, std::collections::BTreeMap<&'static str, (PlanKind, f64)>),
+        > = std::collections::BTreeMap::new();
+        for e in entries.iter() {
+            let slot = by_query.entry(e.query.as_str()).or_default();
+            if e.chosen_by_optimizer {
+                slot.0 = Some(e.chosen);
+            }
+            let best = slot.1.entry(e.chosen.name()).or_insert((e.chosen, f64::INFINITY));
+            if e.actual_seconds < best.1 {
+                best.1 = e.actual_seconds;
+            }
+        }
+        let mut out = Vec::new();
+        for (query, (chosen, plans)) in by_query {
+            let Some(chosen) = chosen else { continue };
+            let Some(&(_, chosen_seconds)) = plans.get(chosen.name()) else {
+                continue;
+            };
+            let beaten = plans
+                .values()
+                .filter(|(p, secs)| *p != chosen && *secs < chosen_seconds)
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some(&(better, better_seconds)) = beaten {
+                out.push(Mispick {
+                    query: query.to_string(),
+                    chosen,
+                    chosen_seconds,
+                    better,
+                    better_seconds,
+                });
+            }
+        }
+        out
     }
 }
 
@@ -106,7 +305,7 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.85)
-            .build();
+            .build().unwrap();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         let choice = opt.choose(&index, &query, &subset);
         assert_eq!(choice.estimates.len(), PlanKind::ALL.len());
@@ -118,10 +317,84 @@ mod tests {
         assert_eq!(choice.estimate_for(PlanKind::Arm).plan, PlanKind::Arm);
     }
 
+    fn synthetic_choice() -> PlanChoice {
+        use crate::cost::{CostEstimate, CostTerm};
+        PlanChoice {
+            chosen: PlanKind::Sev,
+            estimates: PlanKind::ALL
+                .iter()
+                .map(|&p| CostEstimate {
+                    plan: p,
+                    terms: vec![CostTerm {
+                        op: "SEARCH",
+                        units: 1.0,
+                        seconds: 1e-6,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    fn synthetic_answer(plan: PlanKind, secs: f64) -> QueryAnswer {
+        QueryAnswer {
+            plan,
+            rules: Vec::new(),
+            subset_size: 4,
+            trace: crate::plan::ExecutionTrace {
+                ops: Vec::new(),
+                total: std::time::Duration::from_secs_f64(secs),
+            },
+        }
+    }
+
+    #[test]
+    fn feedback_log_records_and_detects_mispicks() {
+        let query = crate::query::LocalizedQuery::builder().build().unwrap();
+        let choice = synthetic_choice();
+        let log = FeedbackLog::new(8);
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 2e-3), true);
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Arm, 1e-3), false);
+        assert_eq!(log.len(), 2);
+        let mis = log.mispicks();
+        assert_eq!(mis.len(), 1);
+        assert_eq!(mis[0].chosen, PlanKind::Sev);
+        assert_eq!(mis[0].better, PlanKind::Arm);
+        assert!(mis[0].better_seconds < mis[0].chosen_seconds);
+        // No mispick when the chosen plan is the fastest observed.
+        log.clear();
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 1e-4), true);
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Arm, 1e-3), false);
+        assert!(log.mispicks().is_empty());
+        // Forced-only executions never accuse the optimizer.
+        log.clear();
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 2e-3), false);
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Arm, 1e-3), false);
+        assert!(log.mispicks().is_empty());
+    }
+
+    #[test]
+    fn feedback_log_is_bounded_fifo() {
+        let choice = synthetic_choice();
+        let log = FeedbackLog::new(2);
+        for minsupp in [0.3, 0.4, 0.5] {
+            let query = crate::query::LocalizedQuery::builder()
+                .minsupp(minsupp)
+                .build()
+                .unwrap();
+            log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 1e-3), true);
+        }
+        assert_eq!(log.len(), 2);
+        let snap = log.snapshot();
+        // The oldest entry (minsupp 0.3) was evicted.
+        assert!(snap[0].query.contains("0.4"));
+        assert!(snap[1].query.contains("0.5"));
+        assert_eq!(snap[0].predicted.len(), PlanKind::ALL.len());
+    }
+
     #[test]
     fn choice_is_deterministic() {
         let (opt, index) = optimizer_and_index();
-        let query = crate::query::LocalizedQuery::builder().build();
+        let query = crate::query::LocalizedQuery::builder().build().unwrap();
         let subset = index.resolve_subset(RangeSpec::all()).unwrap();
         let a = opt.choose(&index, &query, &subset);
         let b = opt.choose(&index, &query, &subset);

@@ -198,7 +198,7 @@ mod tests {
             .unwrap()
             .minsupp(0.45)
             .minconf(0.8)
-            .build();
+            .build().unwrap();
         let report = analyze(&index, &query).unwrap();
         let a1 = schema.encode_named("Age", "30-40").unwrap();
         let a0 = schema.encode_named("Age", "20-30").unwrap();

@@ -128,7 +128,7 @@ mod tests {
             .unwrap()
             .minsupp(0.5)
             .minconf(0.7)
-            .build();
+            .build().unwrap();
         for plan in crate::plan::PlanKind::ALL {
             let subset_a = original.resolve_subset(query.range.clone()).unwrap();
             let subset_b = restored.resolve_subset(query.range.clone()).unwrap();

@@ -109,6 +109,25 @@ impl ExecutionTrace {
     pub fn op(&self, name: &str) -> Option<&OpTrace> {
         self.ops.iter().find(|o| o.name == name)
     }
+
+    /// Total raw cost units across all operators — the quantity the
+    /// optimizer's actual-units accounting sums for calibration. Exact
+    /// (integer-valued f64 additions) and thread-count-independent.
+    pub fn total_units(&self) -> f64 {
+        self.ops.iter().map(|o| o.units).sum()
+    }
+
+    /// Fieldwise sum of the per-operator execution counters. Zero when the
+    /// plan ran with metrics reporting disabled.
+    pub fn metrics_total(&self) -> colarm_data::metrics::OpMetrics {
+        let mut total = colarm_data::metrics::OpMetrics::default();
+        for op in &self.ops {
+            if let Some(m) = op.metrics {
+                total += m;
+            }
+        }
+        total
+    }
 }
 
 /// The answer to a localized mining query.
@@ -223,6 +242,13 @@ pub fn execute_plan_with(
     rules.sort_by(|a, b| {
         (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent))
     });
+    if !opts.metrics {
+        // Counters are collected unconditionally (they ride on work that
+        // dwarfs them); the flag controls whether traces *report* them.
+        for op in &mut ops_trace {
+            op.metrics = None;
+        }
+    }
     Ok(QueryAnswer {
         plan,
         rules,
@@ -257,7 +283,7 @@ mod tests {
             .unwrap()
             .minsupp(0.75)
             .minconf(0.9)
-            .build();
+            .build().unwrap();
         (index, query)
     }
 
@@ -314,7 +340,7 @@ mod tests {
             .unwrap()
             .range_named(&schema, "Age", &["30-40"])
             .unwrap()
-            .build();
+            .build().unwrap();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         assert!(matches!(
             execute_plan(&index, &query, &subset, PlanKind::Sev),
@@ -325,7 +351,15 @@ mod tests {
     #[test]
     fn invalid_query_rejected_before_execution() {
         let (index, _) = setup();
-        let query = LocalizedQuery::builder().minsupp(2.0).build();
+        // The builder refuses this threshold, so hand-build the query to
+        // prove execute_plan validates even adversarial inputs.
+        let query = LocalizedQuery {
+            range: colarm_data::RangeSpec::all(),
+            item_attrs: None,
+            minsupp: 2.0,
+            minconf: 0.9,
+            semantics: crate::query::Semantics::Strict,
+        };
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         assert!(matches!(
             execute_plan(&index, &query, &subset, PlanKind::Sev),
@@ -342,7 +376,7 @@ mod tests {
             .unwrap()
             .minsupp(0.4)
             .minconf(0.6)
-            .build();
+            .build().unwrap();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         let a = execute_plan(&index, &query, &subset, PlanKind::SsVs).unwrap();
         for w in a.rules.windows(2) {

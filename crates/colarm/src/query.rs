@@ -169,15 +169,36 @@ impl LocalizedQueryBuilder {
         self
     }
 
-    /// Finish building (validation happens against a schema at execution).
-    pub fn build(self) -> LocalizedQuery {
-        LocalizedQuery {
+    /// Finish building. Fails fast on everything rejectable without a
+    /// schema: thresholds outside `(0, 1]`, an empty `ITEM ATTRIBUTES`
+    /// list, and range selections admitting no values. Schema-dependent
+    /// checks (unknown attributes or values) still run in
+    /// [`LocalizedQuery::validate`] at execution.
+    pub fn build(self) -> Result<LocalizedQuery, ColarmError> {
+        for (name, value) in [("minsupport", self.minsupp), ("minconfidence", self.minconf)] {
+            if !(value > 0.0 && value <= 1.0) {
+                return Err(ColarmError::InvalidThreshold { name, value });
+            }
+        }
+        if let Some(attrs) = &self.item_attrs {
+            if attrs.is_empty() {
+                return Err(ColarmError::EmptyItemAttributes);
+            }
+        }
+        for (attr, values) in self.range.selections() {
+            if values.is_empty() {
+                return Err(ColarmError::Data(colarm_data::DataError::EmptyRange(
+                    format!("{attr}"),
+                )));
+            }
+        }
+        Ok(LocalizedQuery {
             range: self.range,
             item_attrs: self.item_attrs,
             minsupp: self.minsupp,
             minconf: self.minconf,
             semantics: self.semantics,
-        }
+        })
     }
 }
 
@@ -189,7 +210,7 @@ mod tests {
     #[test]
     fn builder_defaults_and_validation() {
         let s = salary_schema();
-        let q = LocalizedQuery::builder().build();
+        let q = LocalizedQuery::builder().build().unwrap();
         q.validate(&s).unwrap();
         assert!(q.range.is_all());
         assert!(q.item_attrs.is_none());
@@ -197,20 +218,35 @@ mod tests {
     }
 
     #[test]
-    fn threshold_bounds_enforced() {
-        let s = salary_schema();
+    fn builder_rejects_bad_thresholds() {
         for bad in [0.0, -0.1, 1.5] {
-            let q = LocalizedQuery::builder().minsupp(bad).build();
             assert!(matches!(
-                q.validate(&s),
+                LocalizedQuery::builder().minsupp(bad).build(),
                 Err(ColarmError::InvalidThreshold { name: "minsupport", .. })
             ));
-            let q = LocalizedQuery::builder().minconf(bad).build();
             assert!(matches!(
-                q.validate(&s),
+                LocalizedQuery::builder().minconf(bad).build(),
                 Err(ColarmError::InvalidThreshold { name: "minconfidence", .. })
             ));
         }
+    }
+
+    #[test]
+    fn validate_still_enforces_thresholds_on_hand_built_queries() {
+        // Queries constructed without the builder (struct literal, parser
+        // bugs) hit the same checks at execution time.
+        let s = salary_schema();
+        let q = LocalizedQuery {
+            range: RangeSpec::all(),
+            item_attrs: None,
+            minsupp: 2.0,
+            minconf: 0.8,
+            semantics: Semantics::Strict,
+        };
+        assert!(matches!(
+            q.validate(&s),
+            Err(ColarmError::InvalidThreshold { name: "minsupport", .. })
+        ));
     }
 
     #[test]
@@ -223,7 +259,8 @@ mod tests {
             .unwrap()
             .minsupp(0.6)
             .minconf(0.9)
-            .build();
+            .build()
+            .unwrap();
         q.validate(&s).unwrap();
         let age = s.attribute_by_name("Age").unwrap();
         let company = s.attribute_by_name("Company").unwrap();
@@ -232,22 +269,29 @@ mod tests {
     }
 
     #[test]
-    fn empty_item_attrs_rejected() {
-        let s = salary_schema();
-        let q = LocalizedQuery::builder().item_attrs([]).build();
-        assert_eq!(q.validate(&s), Err(ColarmError::EmptyItemAttributes));
+    fn builder_rejects_empty_item_attrs_and_empty_ranges() {
+        assert_eq!(
+            LocalizedQuery::builder().item_attrs([]).build(),
+            Err(ColarmError::EmptyItemAttributes)
+        );
+        let empty_range =
+            RangeSpec::all().with(AttributeId(0), Vec::<colarm_data::ValueId>::new());
+        assert!(matches!(
+            LocalizedQuery::builder().range(empty_range).build(),
+            Err(ColarmError::Data(colarm_data::DataError::EmptyRange(_)))
+        ));
     }
 
     #[test]
     fn minsupp_count_rounds_up_with_boundary_tolerance() {
-        let q = LocalizedQuery::builder().minsupp(0.75).build();
+        let q = LocalizedQuery::builder().minsupp(0.75).build().unwrap();
         assert_eq!(q.minsupp_count(4), 3); // exactly 3/4
         assert_eq!(q.minsupp_count(5), 4); // 3.75 → 4
         assert_eq!(q.minsupp_count(0), 1); // degenerate, at least 1
-        let q = LocalizedQuery::builder().minsupp(0.1).build();
+        let q = LocalizedQuery::builder().minsupp(0.1).build().unwrap();
         assert_eq!(q.minsupp_count(10), 1);
         // 0.3 * 10 = 3.0000000000000004 in floating point; tolerance keeps 3.
-        let q = LocalizedQuery::builder().minsupp(0.3).build();
+        let q = LocalizedQuery::builder().minsupp(0.3).build().unwrap();
         assert_eq!(q.minsupp_count(10), 3);
     }
 }

@@ -10,17 +10,23 @@
 //! * **answer reuse** — full answers are cached per (range, item
 //!   attributes, thresholds, semantics), so repeated questions are free.
 //!
-//! The caches are behind `parking_lot` read–write locks, making a session
-//! shareable across analyst threads.
+//! Both caches are **bounded** ([`SessionConfig`]) with deterministic
+//! least-recently-used eviction ([`crate::lru::LruCache`]), so a
+//! long-lived session's memory stays proportional to its working set, not
+//! its history. Sessions **own** their system behind an
+//! [`Arc<Colarm>`] — `Send + Sync + 'static` — so they move freely into
+//! worker threads and async tasks; clones of the `Arc` can serve multiple
+//! sessions at once.
 
 use crate::error::ColarmError;
+use crate::explain::AnalyzedAnswer;
 use crate::framework::Colarm;
+use crate::lru::LruCache;
 use crate::ops::ExecOptions;
-use crate::plan::{execute_plan_with, PlanKind, QueryAnswer};
+use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::{LocalizedQuery, Semantics};
 use colarm_data::{AttributeId, FocalSubset, RangeSpec};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -46,47 +52,87 @@ impl AnswerKey {
     }
 }
 
-/// Hit/miss counters of one session.
+/// Capacity knobs for one session's caches. `0` disables a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum cached answers (default 256).
+    pub max_answers: usize,
+    /// Maximum cached focal subsets (default 64).
+    pub max_subsets: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_answers: 256,
+            max_subsets: 64,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of one session.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Focal subsets served from cache.
     pub subset_hits: usize,
     /// Focal subsets resolved fresh.
     pub subset_misses: usize,
+    /// Focal subsets evicted to stay within [`SessionConfig::max_subsets`].
+    pub subset_evictions: usize,
     /// Answers served from cache.
     pub answer_hits: usize,
     /// Answers executed fresh.
     pub answer_misses: usize,
+    /// Answers evicted to stay within [`SessionConfig::max_answers`].
+    pub answer_evictions: usize,
 }
 
-/// A caching façade over [`Colarm`] for interactive query bursts.
-pub struct QuerySession<'a> {
-    colarm: &'a Colarm,
+/// An owned, bounded caching façade over a shared [`Colarm`] for
+/// interactive query bursts.
+pub struct QuerySession {
+    colarm: Arc<Colarm>,
+    config: SessionConfig,
     /// Worker threads for plan operators (0 = process default, 1 =
     /// sequential). Answers are bit-identical at any setting, so cached
     /// entries stay valid across changes.
     threads: AtomicUsize,
-    subsets: RwLock<HashMap<RangeSpec, Arc<FocalSubset>>>,
-    answers: RwLock<HashMap<AnswerKey, Arc<QueryAnswer>>>,
+    subsets: Mutex<LruCache<RangeSpec, Arc<FocalSubset>>>,
+    answers: Mutex<LruCache<AnswerKey, Arc<QueryAnswer>>>,
     subset_hits: AtomicUsize,
     subset_misses: AtomicUsize,
     answer_hits: AtomicUsize,
     answer_misses: AtomicUsize,
 }
 
-impl<'a> QuerySession<'a> {
-    /// Open a session over a built system.
-    pub fn new(colarm: &'a Colarm) -> Self {
+impl QuerySession {
+    /// Open a session over a shared system with default cache bounds.
+    pub fn new(colarm: Arc<Colarm>) -> Self {
+        QuerySession::with_config(colarm, SessionConfig::default())
+    }
+
+    /// Open a session with explicit cache bounds.
+    pub fn with_config(colarm: Arc<Colarm>, config: SessionConfig) -> Self {
         QuerySession {
             colarm,
+            config,
             threads: AtomicUsize::new(0),
-            subsets: RwLock::new(HashMap::new()),
-            answers: RwLock::new(HashMap::new()),
+            subsets: Mutex::new(LruCache::new(config.max_subsets)),
+            answers: Mutex::new(LruCache::new(config.max_answers)),
             subset_hits: AtomicUsize::new(0),
             subset_misses: AtomicUsize::new(0),
             answer_hits: AtomicUsize::new(0),
             answer_misses: AtomicUsize::new(0),
         }
+    }
+
+    /// The shared system this session queries.
+    pub fn colarm(&self) -> &Arc<Colarm> {
+        &self.colarm
+    }
+
+    /// The session's cache bounds.
+    pub fn config(&self) -> SessionConfig {
+        self.config
     }
 
     /// Cap the worker threads used by this session's plan executions
@@ -97,23 +143,18 @@ impl<'a> QuerySession<'a> {
     }
 
     fn exec_options(&self) -> ExecOptions {
-        ExecOptions {
-            threads: self.threads.load(Ordering::Relaxed),
-        }
+        ExecOptions::with_threads(self.threads.load(Ordering::Relaxed))
     }
 
     /// Resolve (or reuse) the focal subset of a range spec.
     pub fn subset(&self, range: &RangeSpec) -> Result<Arc<FocalSubset>, ColarmError> {
-        if let Some(cached) = self.subsets.read().get(range) {
+        if let Some(cached) = self.subsets.lock().get(range) {
             self.subset_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached.clone());
         }
         let resolved = Arc::new(self.colarm.index().resolve_subset(range.clone())?);
         self.subset_misses.fetch_add(1, Ordering::Relaxed);
-        self.subsets
-            .write()
-            .entry(range.clone())
-            .or_insert_with(|| resolved.clone());
+        self.subsets.lock().insert(range.clone(), resolved.clone());
         Ok(resolved)
     }
 
@@ -121,7 +162,7 @@ impl<'a> QuerySession<'a> {
     pub fn execute(&self, query: &LocalizedQuery) -> Result<Arc<QueryAnswer>, ColarmError> {
         query.validate(self.colarm.index().dataset().schema())?;
         let key = AnswerKey::of(query);
-        if let Some(cached) = self.answers.read().get(&key) {
+        if let Some(cached) = self.answers.lock().get(&key) {
             self.answer_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached.clone());
         }
@@ -129,22 +170,12 @@ impl<'a> QuerySession<'a> {
         if subset.is_empty() {
             return Err(ColarmError::EmptySubset);
         }
-        let choice = self
+        let out = self
             .colarm
-            .optimizer()
-            .choose(self.colarm.index(), query, &subset);
-        let answer = Arc::new(execute_plan_with(
-            self.colarm.index(),
-            query,
-            &subset,
-            choice.chosen,
-            self.exec_options(),
-        )?);
+            .execute_on_subset(query, &subset, self.exec_options())?;
+        let answer = Arc::new(out.answer);
         self.answer_misses.fetch_add(1, Ordering::Relaxed);
-        self.answers
-            .write()
-            .entry(key)
-            .or_insert_with(|| answer.clone());
+        self.answers.lock().insert(key, answer.clone());
         Ok(answer)
     }
 
@@ -156,7 +187,29 @@ impl<'a> QuerySession<'a> {
         plan: PlanKind,
     ) -> Result<QueryAnswer, ColarmError> {
         let subset = self.subset(&query.range)?;
-        execute_plan_with(self.colarm.index(), query, &subset, plan, self.exec_options())
+        crate::plan::execute_plan_with(
+            self.colarm.index(),
+            query,
+            &subset,
+            plan,
+            self.exec_options(),
+        )
+    }
+
+    /// `EXPLAIN ANALYZE` through the session: reuses the cached subset,
+    /// bypasses the answer cache (the point is to measure an execution),
+    /// and leaves the measured run in the system's feedback log.
+    pub fn explain_analyze(
+        &self,
+        query: &LocalizedQuery,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        query.validate(self.colarm.index().dataset().schema())?;
+        let subset = self.subset(&query.range)?;
+        if subset.is_empty() {
+            return Err(ColarmError::EmptySubset);
+        }
+        self.colarm
+            .explain_analyze_on_subset(query, &subset, self.exec_options())
     }
 
     /// Session cache statistics.
@@ -164,15 +217,18 @@ impl<'a> QuerySession<'a> {
         SessionStats {
             subset_hits: self.subset_hits.load(Ordering::Relaxed),
             subset_misses: self.subset_misses.load(Ordering::Relaxed),
+            subset_evictions: self.subsets.lock().evictions() as usize,
             answer_hits: self.answer_hits.load(Ordering::Relaxed),
             answer_misses: self.answer_misses.load(Ordering::Relaxed),
+            answer_evictions: self.answers.lock().evictions() as usize,
         }
     }
 
-    /// Drop all cached state (e.g. after the analyst switches task).
+    /// Drop all cached state (e.g. after the analyst switches task). The
+    /// lifetime hit/miss/eviction counters are preserved.
     pub fn clear(&self) {
-        self.subsets.write().clear();
-        self.answers.write().clear();
+        self.subsets.lock().clear();
+        self.answers.lock().clear();
     }
 }
 
@@ -182,7 +238,7 @@ mod tests {
     use crate::mip::MipIndexConfig;
     use colarm_data::synth::salary;
 
-    fn system() -> Colarm {
+    fn system() -> Arc<Colarm> {
         Colarm::build(
             salary(),
             MipIndexConfig {
@@ -191,37 +247,40 @@ mod tests {
             },
         )
         .unwrap()
+        .into_shared()
     }
 
     #[test]
     fn threshold_refinement_reuses_the_subset() {
         let colarm = system();
         let schema = colarm.index().dataset().schema().clone();
-        let session = QuerySession::new(&colarm);
+        let session = QuerySession::new(colarm);
         let base = LocalizedQuery::builder()
             .range_named(&schema, "Location", &["Seattle"])
             .unwrap();
         for minsupp in [0.5, 0.6, 0.75] {
-            let q = base.clone().minsupp(minsupp).minconf(0.8).build();
+            let q = base.clone().minsupp(minsupp).minconf(0.8).build().unwrap();
             session.execute(&q).unwrap();
         }
         let stats = session.stats();
         assert_eq!(stats.subset_misses, 1, "one range → one resolution");
         assert_eq!(stats.subset_hits, 2);
         assert_eq!(stats.answer_misses, 3);
+        assert_eq!(stats.answer_evictions, 0);
     }
 
     #[test]
     fn identical_queries_hit_the_answer_cache() {
         let colarm = system();
         let schema = colarm.index().dataset().schema().clone();
-        let session = QuerySession::new(&colarm);
+        let session = QuerySession::new(colarm);
         let q = LocalizedQuery::builder()
             .range_named(&schema, "Gender", &["F"])
             .unwrap()
             .minsupp(0.5)
             .minconf(0.8)
-            .build();
+            .build()
+            .unwrap();
         let a = session.execute(&q).unwrap();
         let b = session.execute(&q).unwrap();
         assert_eq!(a.rules, b.rules);
@@ -233,7 +292,8 @@ mod tests {
             .unwrap()
             .minsupp(0.6)
             .minconf(0.8)
-            .build();
+            .build()
+            .unwrap();
         session.execute(&q2).unwrap();
         assert_eq!(session.stats().answer_misses, 2);
     }
@@ -242,13 +302,14 @@ mod tests {
     fn cached_answers_match_uncached_execution() {
         let colarm = system();
         let schema = colarm.index().dataset().schema().clone();
-        let session = QuerySession::new(&colarm);
+        let session = QuerySession::new(colarm.clone());
         let q = LocalizedQuery::builder()
             .range_named(&schema, "Company", &["Google"])
             .unwrap()
             .minsupp(0.5)
             .minconf(0.7)
-            .build();
+            .build()
+            .unwrap();
         let via_session = session.execute(&q).unwrap();
         let direct = colarm.execute(&q).unwrap();
         assert_eq!(via_session.rules, direct.answer.rules);
@@ -263,11 +324,12 @@ mod tests {
             .unwrap()
             .minsupp(0.5)
             .minconf(0.7)
-            .build();
-        let sequential = QuerySession::new(&colarm);
+            .build()
+            .unwrap();
+        let sequential = QuerySession::new(colarm.clone());
         sequential.set_threads(1);
         let a = sequential.execute(&q).unwrap();
-        let parallel = QuerySession::new(&colarm);
+        let parallel = QuerySession::new(colarm);
         parallel.set_threads(4);
         let b = parallel.execute(&q).unwrap();
         assert_eq!(a.rules, b.rules);
@@ -276,8 +338,12 @@ mod tests {
     #[test]
     fn clear_resets_the_caches() {
         let colarm = system();
-        let session = QuerySession::new(&colarm);
-        let q = LocalizedQuery::builder().minsupp(0.5).minconf(0.8).build();
+        let session = QuerySession::new(colarm);
+        let q = LocalizedQuery::builder()
+            .minsupp(0.5)
+            .minconf(0.8)
+            .build()
+            .unwrap();
         session.execute(&q).unwrap();
         session.clear();
         session.execute(&q).unwrap();
@@ -285,10 +351,113 @@ mod tests {
     }
 
     #[test]
+    fn bounded_answer_cache_evicts_lru_deterministically() {
+        let colarm = system();
+        let session = QuerySession::with_config(
+            colarm,
+            SessionConfig {
+                max_answers: 2,
+                max_subsets: 16,
+            },
+        );
+        let query = |minsupp: f64| {
+            LocalizedQuery::builder()
+                .minsupp(minsupp)
+                .minconf(0.7)
+                .build()
+                .unwrap()
+        };
+        let (q1, q2, q3) = (query(0.3), query(0.4), query(0.5));
+        session.execute(&q1).unwrap();
+        session.execute(&q2).unwrap();
+        session.execute(&q3).unwrap(); // evicts q1's answer
+        assert_eq!(session.stats().answer_evictions, 1);
+        session.execute(&q2).unwrap(); // hit: refreshes q2, q3 becomes LRU
+        assert_eq!(session.stats().answer_hits, 1);
+        session.execute(&q1).unwrap(); // miss again, evicts q3 (q2 refreshed)
+        let stats = session.stats();
+        assert_eq!(stats.answer_misses, 4);
+        assert_eq!(stats.answer_evictions, 2);
+        session.execute(&q2).unwrap();
+        assert_eq!(session.stats().answer_hits, 2, "q2 survived both evictions");
+    }
+
+    #[test]
+    fn bounded_subset_cache_evicts_and_recounts() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::with_config(
+            colarm,
+            SessionConfig {
+                max_answers: 16,
+                max_subsets: 1,
+            },
+        );
+        let range = |loc: &str| {
+            RangeSpec::all()
+                .with_named(&schema, "Location", &[loc])
+                .unwrap()
+        };
+        session.subset(&range("Seattle")).unwrap();
+        session.subset(&range("Boston")).unwrap(); // evicts Seattle
+        session.subset(&range("Seattle")).unwrap(); // miss again
+        let stats = session.stats();
+        assert_eq!(stats.subset_misses, 3);
+        assert_eq!(stats.subset_hits, 0);
+        assert_eq!(stats.subset_evictions, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_but_not_execution() {
+        let colarm = system();
+        let session = QuerySession::with_config(
+            colarm,
+            SessionConfig {
+                max_answers: 0,
+                max_subsets: 0,
+            },
+        );
+        let q = LocalizedQuery::builder()
+            .minsupp(0.5)
+            .minconf(0.8)
+            .build()
+            .unwrap();
+        let a = session.execute(&q).unwrap();
+        let b = session.execute(&q).unwrap();
+        assert_eq!(a.rules, b.rules);
+        let stats = session.stats();
+        assert_eq!(stats.answer_hits, 0);
+        assert_eq!(stats.answer_misses, 2);
+        assert_eq!(stats.answer_evictions, 0);
+    }
+
+    #[test]
+    fn sessions_are_owned_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<QuerySession>();
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(colarm);
+        // An owned session moves into a spawned (non-scoped) thread.
+        let handle = std::thread::spawn(move || {
+            let q = LocalizedQuery::builder()
+                .range_named(&schema, "Location", &["Seattle"])
+                .unwrap()
+                .minsupp(0.5)
+                .minconf(0.7)
+                .build()
+                .unwrap();
+            let answer = session.execute(&q).unwrap();
+            answer.rules.len()
+        });
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn sessions_are_shareable_across_threads() {
         let colarm = system();
         let schema = colarm.index().dataset().schema().clone();
-        let session = QuerySession::new(&colarm);
+        let session = QuerySession::new(colarm);
         std::thread::scope(|scope| {
             for loc in ["Seattle", "Boston", "SFO"] {
                 let session = &session;
@@ -299,12 +468,32 @@ mod tests {
                         .unwrap()
                         .minsupp(0.5)
                         .minconf(0.7)
-                        .build();
+                        .build()
+                        .unwrap();
                     // SFO has 2 records; every location subset is nonempty.
                     session.execute(&q).unwrap();
                 });
             }
         });
         assert_eq!(session.stats().answer_misses, 3);
+    }
+
+    #[test]
+    fn session_analyze_reuses_subset_and_reports_metrics() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(colarm.clone());
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        session.execute(&q).unwrap();
+        let analyzed = session.explain_analyze(&q).unwrap();
+        assert_eq!(session.stats().subset_hits, 1, "analyze reused the subset");
+        assert!(analyzed.report.ops.iter().all(|o| o.metrics.is_some()));
+        assert!(!colarm.feedback().is_empty());
     }
 }

@@ -34,6 +34,7 @@ pub mod discretize;
 pub mod error;
 pub mod io;
 pub mod itemset;
+pub mod metrics;
 pub mod par;
 pub mod schema;
 pub mod subset;
@@ -45,5 +46,6 @@ pub use dataset::{Dataset, DatasetBuilder, VerticalIndex};
 pub use error::DataError;
 pub use itemset::Itemset;
 pub use schema::{Schema, SchemaBuilder};
+pub use metrics::{Meter, OpMetrics};
 pub use subset::{FocalSubset, Overlap, RangeSpec};
-pub use tidset::Tidset;
+pub use tidset::{Tidset, TidsetKind};

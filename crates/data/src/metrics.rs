@@ -1,0 +1,175 @@
+//! Execution-metrics value types shared by the mining operators.
+//!
+//! COLARM promises that everything a plan reports — rules, unit totals,
+//! and now the per-operator counters here — is **bit-identical at every
+//! thread count**. That rules out sampling or per-thread registries:
+//! metrics are plain values produced alongside each unit of work and
+//! folded **in input order** through [`crate::par::parallel_map_fold`],
+//! exactly like the exact-integer `f64` unit sums of PR 1. Collection is
+//! a handful of integer increments riding on operations (tidset
+//! intersections, R-tree node visits, memo probes) that each cost orders
+//! of magnitude more, so it is unconditionally on; whether the counters
+//! are *reported* is the executor's choice.
+
+use crate::tidset::{Tidset, TidsetKind};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Counters of one operator execution (or one slice of it, before the
+/// in-order fold). All fields are exact `u64` tallies, so sums are
+/// associative and scheduling-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMetrics {
+    /// Input elements examined (candidate itemsets, records, tree entries).
+    pub scanned: u64,
+    /// Output elements produced (surviving candidates, rules, columns).
+    pub emitted: u64,
+    /// Tidset intersections with two sparse operands (merge or gallop).
+    pub isect_sparse: u64,
+    /// Tidset intersections with two dense operands (word-AND + popcount).
+    pub isect_dense: u64,
+    /// Mixed sparse/dense intersections (bitmap probe per id).
+    pub isect_mixed: u64,
+    /// R-tree nodes visited by a range search.
+    pub rtree_nodes: u64,
+    /// Support-oracle lookups issued (memo hits included).
+    pub support_lookups: u64,
+    /// Work answered without touching records: support-oracle memo hits
+    /// plus Lemma 4.5 contained candidates whose local count is free.
+    pub cache_hits: u64,
+}
+
+impl OpMetrics {
+    /// Total tidset intersections of any kind.
+    pub fn intersections(&self) -> u64 {
+        self.isect_sparse + self.isect_dense + self.isect_mixed
+    }
+
+    /// Record one intersection, classified by operand representation.
+    #[inline]
+    pub fn note_intersection(&mut self, a: &Tidset, b: &Tidset) {
+        match (a.kind(), b.kind()) {
+            (TidsetKind::Sparse, TidsetKind::Sparse) => self.isect_sparse += 1,
+            (TidsetKind::Dense, TidsetKind::Dense) => self.isect_dense += 1,
+            _ => self.isect_mixed += 1,
+        }
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == OpMetrics::default()
+    }
+}
+
+impl AddAssign for OpMetrics {
+    fn add_assign(&mut self, rhs: OpMetrics) {
+        self.scanned += rhs.scanned;
+        self.emitted += rhs.emitted;
+        self.isect_sparse += rhs.isect_sparse;
+        self.isect_dense += rhs.isect_dense;
+        self.isect_mixed += rhs.isect_mixed;
+        self.rtree_nodes += rhs.rtree_nodes;
+        self.support_lookups += rhs.support_lookups;
+        self.cache_hits += rhs.cache_hits;
+    }
+}
+
+impl Add for OpMetrics {
+    type Output = OpMetrics;
+    fn add(mut self, rhs: OpMetrics) -> OpMetrics {
+        self += rhs;
+        self
+    }
+}
+
+/// The per-item charge an operator accumulates: raw cost units (the
+/// quantity the cost formulae count — an exact integer-valued `f64`, so
+/// in-order sums are bit-exact) plus the counter block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Meter {
+    /// Raw cost units consumed.
+    pub units: f64,
+    /// Counters.
+    pub metrics: OpMetrics,
+}
+
+impl Meter {
+    /// A charge of `units` with no counters.
+    pub fn units(units: f64) -> Meter {
+        Meter {
+            units,
+            metrics: OpMetrics::default(),
+        }
+    }
+}
+
+impl AddAssign for Meter {
+    fn add_assign(&mut self, rhs: Meter) {
+        self.units += rhs.units;
+        self.metrics += rhs.metrics;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_are_fieldwise() {
+        let a = OpMetrics {
+            scanned: 1,
+            emitted: 2,
+            isect_sparse: 3,
+            isect_dense: 4,
+            isect_mixed: 5,
+            rtree_nodes: 6,
+            support_lookups: 7,
+            cache_hits: 8,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.scanned, 2);
+        assert_eq!(c.intersections(), 24);
+        assert!(!c.is_zero());
+        assert!(OpMetrics::default().is_zero());
+    }
+
+    #[test]
+    fn intersections_classify_by_representation() {
+        let sparse = Tidset::from_sorted(vec![1, 2, 3]);
+        let dense = Tidset::full(1024);
+        let mut m = OpMetrics::default();
+        m.note_intersection(&sparse, &sparse);
+        m.note_intersection(&dense, &dense);
+        m.note_intersection(&sparse, &dense);
+        m.note_intersection(&dense, &sparse);
+        assert_eq!((m.isect_sparse, m.isect_dense, m.isect_mixed), (1, 1, 2));
+    }
+
+    #[test]
+    fn meter_folds_units_and_metrics() {
+        let mut acc = Meter::default();
+        acc += Meter::units(3.0);
+        acc += Meter {
+            units: 4.0,
+            metrics: OpMetrics {
+                scanned: 2,
+                ..OpMetrics::default()
+            },
+        };
+        assert_eq!(acc.units, 7.0);
+        assert_eq!(acc.metrics.scanned, 2);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let m = OpMetrics {
+            scanned: 10,
+            cache_hits: 3,
+            ..OpMetrics::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: OpMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -111,6 +111,29 @@ where
     out.into_iter().map(|r| r.expect("every index computed")).collect()
 }
 
+/// [`parallel_map`] for item functions that also produce a metric — cost
+/// units, execution counters ([`crate::metrics::Meter`]) — folding the
+/// metric halves **in input order** into one accumulator. The result is
+/// identical to mapping sequentially and summing left-to-right at any
+/// thread count, which is what keeps operator unit totals and metric
+/// counters bit-exact under parallelism.
+pub fn parallel_map_fold<T, R, M, F>(items: &[T], threads: usize, f: F) -> (Vec<R>, M)
+where
+    T: Sync,
+    R: Send,
+    M: Send + Default + std::ops::AddAssign<M>,
+    F: Fn(usize, &T) -> (R, M) + Sync,
+{
+    let pairs = parallel_map(items, threads, f);
+    let mut acc = M::default();
+    let mut out = Vec::with_capacity(pairs.len());
+    for (r, m) in pairs {
+        acc += m;
+        out.push(r);
+    }
+    (out, acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +167,17 @@ mod tests {
             (0..spins).fold(x, |acc, _| std::hint::black_box(acc))
         });
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn map_fold_matches_sequential_sum_at_any_thread_count() {
+        let items: Vec<u64> = (0..500).collect();
+        let reference: u64 = items.iter().map(|&x| x * 3).sum();
+        for threads in [1, 2, 5, 16] {
+            let (out, total) = parallel_map_fold(&items, threads, |_, &x| (x, x * 3));
+            assert_eq!(out, items);
+            assert_eq!(total, reference);
+        }
     }
 
     #[test]

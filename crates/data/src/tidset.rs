@@ -52,6 +52,21 @@ enum Repr {
     Dense { words: Vec<u64>, len: usize },
 }
 
+/// The physical representation a [`Tidset`] currently uses.
+///
+/// Exposed for instrumentation only: the execution-metrics layer classifies
+/// each intersection by its operand representations (sparse/sparse merge or
+/// gallop, dense/dense word-AND, mixed bitmap probe). The kind is a
+/// deterministic function of the set's contents, never of scheduling, so
+/// metric totals built from it are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TidsetKind {
+    /// Sorted `Vec<u32>` of ids.
+    Sparse,
+    /// Packed `u64` bitmap.
+    Dense,
+}
+
 /// A sorted, deduplicated set of transaction (record) ids.
 #[derive(Debug, Clone)]
 pub struct Tidset(Repr);
@@ -116,6 +131,15 @@ impl Tidset {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The physical representation currently in use (see [`TidsetKind`]).
+    #[inline]
+    pub fn kind(&self) -> TidsetKind {
+        match &self.0 {
+            Repr::Sparse(_) => TidsetKind::Sparse,
+            Repr::Dense { .. } => TidsetKind::Dense,
+        }
     }
 
     /// Largest tid plus one (`0` for the empty set): the id span the

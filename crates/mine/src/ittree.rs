@@ -180,6 +180,7 @@ pub struct ClosureSupportOracle<'a> {
     focal: Option<&'a Tidset>,
     cache: HashMap<Itemset, Option<usize>>,
     universe: usize,
+    stats: colarm_data::metrics::OpMetrics,
 }
 
 impl<'a> ClosureSupportOracle<'a> {
@@ -195,6 +196,7 @@ impl<'a> ClosureSupportOracle<'a> {
             focal,
             cache: HashMap::new(),
             universe,
+            stats: colarm_data::metrics::OpMetrics::default(),
         }
     }
 
@@ -203,16 +205,30 @@ impl<'a> ClosureSupportOracle<'a> {
     pub fn lookups(&self) -> usize {
         self.cache.len()
     }
+
+    /// Execution counters accumulated so far: total lookups, memo hits,
+    /// and the focal-tidset intersections misses triggered, classified by
+    /// operand representation. Counters are exact (not sampled) and depend
+    /// only on the lookup sequence, so callers folding them in input order
+    /// get scheduling-independent totals.
+    pub fn metrics(&self) -> colarm_data::metrics::OpMetrics {
+        self.stats
+    }
 }
 
 impl crate::rules::SupportOracle for ClosureSupportOracle<'_> {
     fn support_count(&mut self, itemset: &Itemset) -> Option<usize> {
+        self.stats.support_lookups += 1;
         if let Some(&cached) = self.cache.get(itemset) {
+            self.stats.cache_hits += 1;
             return cached;
         }
         let result = self.tree.tids_of(itemset).map(|tids| match self.focal {
             None => tids.len(),
-            Some(f) => tids.intersect_count(f),
+            Some(f) => {
+                self.stats.note_intersection(tids, f);
+                tids.intersect_count(f)
+            }
         });
         self.cache.insert(itemset.clone(), result);
         result

@@ -7,9 +7,7 @@
 //! ```
 
 use colarm::advisor::{advise, AdvisorConfig};
-use colarm::LocalizedQuery;
 use colarm_bench::{build_system, chess_spec, Scale};
-use colarm::data::RangeSpec;
 
 fn main() {
     let spec = chess_spec(Scale::Fast);
@@ -43,11 +41,7 @@ fn main() {
             );
         }
         if let Some(best) = advice.ranges.first() {
-            let query = LocalizedQuery::builder()
-                .range(RangeSpec::all().with(best.attribute, [best.value]))
-                .minsupp(advice.minsupp)
-                .minconf(advice.minconf)
-                .build();
+            let query = best.to_query(&advice).expect("advised query is valid");
             let out = system.execute(&query).expect("advised query runs");
             println!(
                 "   → executed advised query on {}: plan {}, {} rules in {:?}\n",

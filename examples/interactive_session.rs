@@ -41,7 +41,8 @@ fn main() {
             .expect("snapshot parses")
             .restore()
             .expect("snapshot restores"),
-    );
+    )
+    .into_shared();
     println!(
         "Restored {} MIPs in {:.2?} (no CHARM run).\n",
         restored.index().num_mips(),
@@ -49,7 +50,7 @@ fn main() {
     );
 
     // ---- the analyst session -------------------------------------------
-    let session = QuerySession::new(&restored);
+    let session = QuerySession::new(restored.clone());
     let mut rng = StdRng::seed_from_u64(3);
     let (range, subset) = random_subset_spec(
         restored.index().dataset(),
@@ -68,7 +69,7 @@ fn main() {
             .range(range.clone())
             .minsupp(minsupp)
             .minconf(minconf)
-            .build();
+            .build().expect("valid query");
         let t = Instant::now();
         let answer = session.execute(&q).expect("query runs");
         println!(

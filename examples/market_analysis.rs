@@ -93,7 +93,7 @@ fn main() {
     let sessions: [(&str, LocalizedQuery); 3] = [
         (
             "All regions, what sells with what",
-            LocalizedQuery::builder().minsupp(0.25).minconf(0.7).build(),
+            LocalizedQuery::builder().minsupp(0.25).minconf(0.7).build().expect("valid query"),
         ),
         (
             "West region only",
@@ -102,7 +102,7 @@ fn main() {
                 .expect("attr")
                 .minsupp(0.2)
                 .minconf(0.7)
-                .build(),
+                .build().expect("valid query"),
         ),
         (
             "West + Online: the hidden local trend",
@@ -115,7 +115,7 @@ fn main() {
                 .expect("attrs")
                 .minsupp(0.15)
                 .minconf(0.6)
-                .build(),
+                .build().expect("valid query"),
         ),
     ];
     for (label, query) in sessions {

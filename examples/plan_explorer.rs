@@ -37,7 +37,7 @@ fn main() {
         .range(range.clone())
         .minsupp(spec.minsupps[0])
         .minconf(spec.minconf)
-        .build();
+        .build().expect("valid query");
     println!(
         "Focal subset: {} — {} records ({:.1}% of D); minsupp {:.0}%, minconf {:.0}%\n",
         range.display(system.index().dataset().schema()),

@@ -38,7 +38,7 @@ fn main() {
     let global = LocalizedQuery::builder()
         .minsupp(0.45)
         .minconf(0.8)
-        .build();
+        .build().expect("valid query");
     let answer = colarm.execute(&global).expect("global query runs");
     println!("Global rules (minsupp 45%, minconf 80%):");
     for rule in &answer.answer.rules {
@@ -53,7 +53,7 @@ fn main() {
         .expect("known attribute")
         .minsupp(0.75)
         .minconf(0.9)
-        .build();
+        .build().expect("valid query");
     let out = colarm.execute(&local).expect("localized query runs");
     println!(
         "\nLocalized rules for Location=Seattle AND Gender=F \

@@ -44,7 +44,7 @@ fn main() {
         .range(RangeSpec::all().with(best.attribute, [best.value]))
         .minsupp(advice.minsupp)
         .minconf(advice.minconf)
-        .build();
+        .build().expect("valid query");
     println!("\nAnalyzing {} …", best.label);
     let report = paradox::analyze(system.index(), &query).expect("analysis runs");
 

@@ -15,6 +15,9 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> bench_tidset (kernel microbenchmark)"
     cargo run --release --bin bench_tidset

@@ -28,7 +28,7 @@ fn analogs_build_and_plans_agree_at_grid_corners() {
                     .range(range.clone())
                     .minsupp(minsupp)
                     .minconf(spec.minconf)
-                    .build();
+                    .build().unwrap();
                 let answers = system.execute_all_plans(&query).expect("plans run");
                 for a in &answers[1..] {
                     assert_eq!(
@@ -63,7 +63,7 @@ fn optimizer_choice_is_reasonable_on_analogs() {
             .range(range)
             .minsupp(spec.minsupps[1])
             .minconf(spec.minconf)
-            .build();
+            .build().unwrap();
         let choice = system.optimizer().choose(system.index(), &query, &subset);
         let mut best = f64::INFINITY;
         let mut chosen_time = f64::INFINITY;

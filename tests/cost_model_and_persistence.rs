@@ -26,7 +26,7 @@ fn calibrated_estimates_are_in_a_sane_range() {
         .range(range)
         .minsupp(spec.minsupps[1])
         .minconf(spec.minconf)
-        .build();
+        .build().unwrap();
     let choice = system.optimizer().choose(system.index(), &query, &subset);
     for plan in PlanKind::ALL {
         let est = choice.estimate_for(plan).total();
@@ -66,7 +66,7 @@ fn snapshot_restores_a_working_system() {
         .range(range)
         .minsupp(spec.minsupps[0])
         .minconf(spec.minconf)
-        .build();
+        .build().unwrap();
     let a = system.execute(&query).unwrap();
     let b = restored.execute(&query).unwrap();
     assert_eq!(a.answer.rules, b.answer.rules);
@@ -75,8 +75,8 @@ fn snapshot_restores_a_working_system() {
 #[test]
 fn session_caching_preserves_answers_under_bursts() {
     let spec = mushroom_spec(Scale::Smoke);
-    let system = build_system(&spec);
-    let session = QuerySession::new(&system);
+    let system = build_system(&spec).into_shared();
+    let session = QuerySession::new(system.clone());
     let mut rng = StdRng::seed_from_u64(29);
     let (range, subset) = random_subset_spec(
         system.index().dataset(),
@@ -97,7 +97,7 @@ fn session_caching_preserves_answers_under_bursts() {
             .range(range.clone())
             .minsupp(minsupp)
             .minconf(minconf)
-            .build();
+            .build().unwrap();
         let via_session = session.execute(&q).unwrap();
         let direct = system.execute(&q).unwrap();
         assert_eq!(via_session.rules, direct.answer.rules);
@@ -126,7 +126,7 @@ fn traditional_arm_agrees_with_every_index_plan() {
         .range(range)
         .minsupp(spec.minsupps[1])
         .minconf(spec.minconf)
-        .build();
+        .build().unwrap();
     let arm = system.execute_with_plan(&query, PlanKind::Arm).unwrap();
     for plan in [PlanKind::Sev, PlanKind::Svs, PlanKind::SsEv, PlanKind::SsVs, PlanKind::SsEuv] {
         let idx = system.execute_with_plan(&query, plan).unwrap();

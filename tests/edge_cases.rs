@@ -31,7 +31,7 @@ fn single_record_dataset() {
     .unwrap();
     // The lone record's full itemset is the only closed set.
     assert_eq!(colarm.index().num_mips(), 1);
-    let q = LocalizedQuery::builder().minsupp(1.0).minconf(1.0).build();
+    let q = LocalizedQuery::builder().minsupp(1.0).minconf(1.0).build().unwrap();
     let answers = colarm.execute_all_plans(&q).unwrap();
     for a in &answers[1..] {
         assert_eq!(a.rules, answers[0].rules);
@@ -53,7 +53,7 @@ fn constant_dataset_yields_one_giant_body() {
     )
     .unwrap();
     assert_eq!(colarm.index().num_mips(), 1);
-    let q = LocalizedQuery::builder().minsupp(0.9).minconf(0.9).build();
+    let q = LocalizedQuery::builder().minsupp(0.9).minconf(0.9).build().unwrap();
     let out = colarm.execute(&q).unwrap();
     assert_eq!(out.answer.rules.len(), 6);
     for r in &out.answer.rules {
@@ -75,7 +75,7 @@ fn primary_support_one_on_diverse_data_gives_empty_index() {
     .unwrap();
     assert_eq!(colarm.index().num_mips(), 0);
     // Queries still run and return the empty answer from every plan.
-    let q = LocalizedQuery::builder().minsupp(0.5).minconf(0.5).build();
+    let q = LocalizedQuery::builder().minsupp(0.5).minconf(0.5).build().unwrap();
     for plan in PlanKind::ALL {
         let a = colarm.execute_with_plan(&q, plan).unwrap();
         assert!(a.rules.is_empty(), "{plan} invented rules");
@@ -95,7 +95,7 @@ fn single_attribute_dataset_has_no_rules() {
         },
     )
     .unwrap();
-    let q = LocalizedQuery::builder().minsupp(0.1).minconf(0.1).build();
+    let q = LocalizedQuery::builder().minsupp(0.1).minconf(0.1).build().unwrap();
     let answers = colarm.execute_all_plans(&q).unwrap();
     for a in &answers {
         assert!(a.rules.is_empty());
@@ -118,7 +118,7 @@ fn full_range_query_equals_global_mining() {
         .range(RangeSpec::all())
         .minsupp(0.3)
         .minconf(0.8)
-        .build();
+        .build().unwrap();
     let answers = colarm.execute_all_plans(&q).unwrap();
     for a in &answers[1..] {
         assert_eq!(a.rules, answers[0].rules);
@@ -148,7 +148,7 @@ fn boundary_thresholds_behave() {
         .unwrap()
         .minsupp(1.0)
         .minconf(1.0)
-        .build();
+        .build().unwrap();
     let out = colarm.execute(&q).unwrap();
     // Both Microsoft records share Location/Gender/Age/Salary → rules exist.
     assert!(!out.answer.rules.is_empty());
@@ -172,7 +172,7 @@ fn sub_primary_minsupp_is_answered_within_the_poqm_contract() {
         },
     )
     .unwrap();
-    let q = LocalizedQuery::builder().minsupp(0.05).minconf(0.3).build();
+    let q = LocalizedQuery::builder().minsupp(0.05).minconf(0.3).build().unwrap();
     let answers = colarm.execute_all_plans(&q).unwrap();
     for a in &answers[1..] {
         assert_eq!(a.rules, answers[0].rules);
@@ -201,7 +201,7 @@ fn unrestricted_semantics_routes_to_arm() {
         .minsupp(0.75)
         .minconf(0.9)
         .semantics(colarm::Semantics::Unrestricted)
-        .build();
+        .build().unwrap();
     // Index plans must refuse the unrestricted contract…
     assert!(matches!(
         colarm.execute_with_plan(&q, PlanKind::Sev),

@@ -1,0 +1,133 @@
+//! `EXPLAIN ANALYZE` end-to-end: every plan produces a per-operator
+//! predicted-vs-actual report; the execution counters are bit-identical at
+//! any thread count; and the report's unit accounting agrees with both
+//! the execution trace and the optimizer's feedback log.
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::{Colarm, ExecOptions, LocalizedQuery, MipIndexConfig, OpMetrics, PlanKind};
+
+/// Dense enough that the operators' internal parallelism thresholds are
+/// crossed, so threads > 1 genuinely exercise the parallel code paths.
+fn system() -> Colarm {
+    let dataset = generate(&SynthConfig {
+        name: "analyze".into(),
+        seed: 41,
+        records: 600,
+        domains: vec![3, 3, 4, 2, 3, 2],
+        top_mass: 0.6,
+        skew: 1.0,
+        clusters: 2,
+        cluster_focus: 0.5,
+        focus_strength: 0.9,
+        templates: 4,
+        template_len: 3,
+        template_prob: 0.3,
+    });
+    Colarm::build(
+        dataset,
+        MipIndexConfig {
+            primary_support: 0.05,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn query(colarm: &Colarm) -> LocalizedQuery {
+    let schema = colarm.index().dataset().schema().clone();
+    LocalizedQuery::builder()
+        .range_named(&schema, "a0", &["v0", "v1"])
+        .unwrap()
+        .minsupp(0.2)
+        .minconf(0.6)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn every_plan_yields_a_full_report() {
+    let colarm = system();
+    let q = query(&colarm);
+    let mut rules = None;
+    for plan in PlanKind::ALL {
+        let analyzed = colarm
+            .explain_analyze_plan(&q, plan, ExecOptions::default())
+            .unwrap();
+        let report = &analyzed.report;
+        assert_eq!(report.plan, plan);
+        assert_eq!(report.num_rules, analyzed.answer.rules.len());
+        assert_eq!(report.estimates.len(), PlanKind::ALL.len());
+        assert!(!report.ops.is_empty());
+        // ANALYZE forces metrics reporting on: every row carries counters.
+        assert!(report.ops.iter().all(|o| o.metrics.is_some()), "{plan}");
+        // The report's unit accounting is the trace's unit accounting.
+        assert_eq!(
+            report.total_measured_units(),
+            analyzed.answer.trace.total_units(),
+            "{plan}"
+        );
+        // A prediction appears exactly where the cost model has a term.
+        let estimate = analyzed.choice.estimate_for(plan);
+        for op in &report.ops {
+            assert_eq!(
+                op.predicted_units.is_some(),
+                estimate.term(op.op).is_some(),
+                "{plan} {}",
+                op.op
+            );
+        }
+        // The report round-trips through JSON.
+        let value: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(value["ops"].as_array().unwrap().len(), report.ops.len());
+        // All plans agree on the rules (the determinism contract).
+        match &rules {
+            None => rules = Some(analyzed.answer.rules.clone()),
+            Some(r) => assert_eq!(&analyzed.answer.rules, r, "{plan} diverged"),
+        }
+    }
+}
+
+#[test]
+fn counters_are_bit_identical_at_every_thread_count() {
+    let colarm = system();
+    let q = query(&colarm);
+    for plan in PlanKind::ALL {
+        let mut reference: Option<Vec<(&'static str, f64, OpMetrics)>> = None;
+        for threads in [1usize, 2, 8] {
+            let analyzed = colarm
+                .explain_analyze_plan(&q, plan, ExecOptions::with_threads(threads))
+                .unwrap();
+            let observed: Vec<(&'static str, f64, OpMetrics)> = analyzed
+                .report
+                .ops
+                .iter()
+                .map(|o| (o.op, o.measured_units, o.metrics.unwrap()))
+                .collect();
+            match &reference {
+                None => reference = Some(observed),
+                Some(r) => assert_eq!(
+                    &observed, r,
+                    "{plan} at {threads} threads diverged from 1 thread"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn report_units_match_the_feedback_log_accounting() {
+    let colarm = system();
+    let q = query(&colarm);
+    let analyzed = colarm.explain_analyze(&q).unwrap();
+    assert!(analyzed.report.chosen_by_optimizer);
+    assert_eq!(analyzed.report.plan, analyzed.choice.chosen);
+    let entries = colarm.feedback().snapshot();
+    let entry = entries.last().unwrap();
+    assert_eq!(entry.chosen, analyzed.report.plan);
+    assert_eq!(entry.total_units(), analyzed.report.total_measured_units());
+    assert_eq!(entry.predicted.len(), PlanKind::ALL.len());
+    // The aggregated counters are non-trivial: work actually happened.
+    let totals = analyzed.report.metrics_total();
+    assert!(totals.scanned > 0);
+    assert!(totals.emitted > 0);
+}

@@ -65,7 +65,7 @@ fn all_plans_bit_identical_across_thread_counts() {
             .unwrap()
             .minsupp(0.05)
             .minconf(0.5)
-            .build(),
+            .build().unwrap(),
         LocalizedQuery::builder()
             .range_named(&schema, "a1", &["v0", "v1"])
             .unwrap()
@@ -73,7 +73,7 @@ fn all_plans_bit_identical_across_thread_counts() {
             .unwrap()
             .minsupp(0.1)
             .minconf(0.6)
-            .build(),
+            .build().unwrap(),
     ];
     for query in &queries {
         let subset = index.resolve_subset(query.range.clone()).unwrap();

@@ -63,7 +63,7 @@ proptest! {
         if restrict_items {
             builder = builder.item_attrs([AttributeId(1), AttributeId(3)]);
         }
-        let query = builder.build();
+        let query = builder.build().expect("valid query");
         let subset = colarm.index().resolve_subset(query.range.clone()).expect("resolves");
         prop_assume!(!subset.is_empty());
         let answers: Vec<_> = PlanKind::ALL
@@ -112,7 +112,7 @@ proptest! {
             .range(RangeSpec::all().with(AttributeId(0), [0u16, 1]))
             .minsupp(minsupp_pct as f64 / 100.0)
             .minconf(0.7)
-            .build();
+            .build().unwrap();
         let _ = &schema;
         let ra = a.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
         let rb = b.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");

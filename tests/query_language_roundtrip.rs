@@ -31,7 +31,7 @@ fn parsed_and_built_queries_are_interchangeable() {
                 .unwrap()
                 .minsupp(0.75)
                 .minconf(0.9)
-                .build(),
+                .build().unwrap(),
         ),
         (
             "report localized association rules where range \
@@ -44,7 +44,7 @@ fn parsed_and_built_queries_are_interchangeable() {
                 .unwrap()
                 .minsupp(0.4)
                 .minconf(0.7)
-                .build(),
+                .build().unwrap(),
         ),
     ];
     for (text, built) in cases {

@@ -19,7 +19,7 @@ fn rg_holds_globally_with_paper_numbers() {
     // RG = (A0 → S2): 45% support (5/11), 83% confidence (5/6).
     let colarm = system();
     let schema = colarm.index().dataset().schema().clone();
-    let query = LocalizedQuery::builder().minsupp(0.45).minconf(0.8).build();
+    let query = LocalizedQuery::builder().minsupp(0.45).minconf(0.8).build().unwrap();
     let out = colarm.execute(&query).expect("global query runs");
     let a0 = schema.encode_named("Age", "20-30").unwrap();
     let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
@@ -49,7 +49,7 @@ fn rl_emerges_in_the_seattle_female_subset() {
         .unwrap()
         .minsupp(0.75)
         .minconf(0.9)
-        .build();
+        .build().unwrap();
     let out = colarm.execute(&query).expect("localized query runs");
     assert_eq!(out.answer.subset_size, 4);
     let a1 = schema.encode_named("Age", "30-40").unwrap();
@@ -82,7 +82,7 @@ fn rl_is_invisible_to_global_mining_above_27_percent() {
     let a1 = schema.encode_named("Age", "30-40").unwrap();
     let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
     let find_rl = |minsupp: f64| {
-        let query = LocalizedQuery::builder().minsupp(minsupp).minconf(0.7).build();
+        let query = LocalizedQuery::builder().minsupp(minsupp).minconf(0.7).build().unwrap();
         let out = colarm.execute(&query).expect("global query runs");
         out.answer
             .rules
@@ -104,7 +104,7 @@ fn every_plan_reproduces_the_walkthrough() {
         .unwrap()
         .minsupp(0.75)
         .minconf(0.9)
-        .build();
+        .build().unwrap();
     let answers = colarm.execute_all_plans(&query).expect("all plans run");
     assert_eq!(answers.len(), PlanKind::ALL.len());
     for pair in answers.windows(2) {
