@@ -1,0 +1,141 @@
+//! Snapshot-format benchmark: the versioned binary snapshot
+//! (`colarm::save_index` / `colarm::load_index`) against the legacy JSON
+//! snapshot (`IndexSnapshot::to_json` / `from_json`), on the Table 1
+//! salary dataset and the mushroom analog. Writes `BENCH_snapshot.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_snapshot [-- OUT.json]
+//! ```
+//!
+//! The acceptance gate this file documents: the binary snapshot is ≥3×
+//! smaller on disk and ≥3× faster to load than the JSON snapshot at
+//! benchmark scale (the tiny salary fixture is reported for reference;
+//! its fixed header overhead dominates at 11 records).
+
+use colarm::{load_index, save_index, Colarm, IndexSnapshot, MipIndex, MipIndexConfig};
+use colarm_bench::{build_system, mushroom_spec, Scale};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: &'static str,
+    records: usize,
+    cfis: usize,
+    binary_bytes: u64,
+    json_bytes: u64,
+    size_ratio: f64,
+    binary_save_s: f64,
+    json_save_s: f64,
+    binary_load_s: f64,
+    json_load_s: f64,
+    load_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: &'static str,
+    scenarios: Vec<Scenario>,
+}
+
+/// Best of `reps` wall-clock timings of `f`.
+fn best_of<T, F: FnMut() -> T>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench(name: &'static str, index: &MipIndex) -> Scenario {
+    let dir = std::env::temp_dir().join(format!("colarm-bench-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bin_path = dir.join(format!("{name}.snap"));
+    let json_path = dir.join(format!("{name}.json"));
+
+    let binary_save_s = best_of(5, || save_index(index, &bin_path).expect("binary save"));
+    let binary_bytes = std::fs::metadata(&bin_path).expect("metadata").len();
+    let json_save_s = best_of(5, || {
+        let json = IndexSnapshot::capture(index).to_json().expect("json");
+        std::fs::write(&json_path, json).expect("json save");
+    });
+    let json_bytes = std::fs::metadata(&json_path).expect("metadata").len();
+
+    let binary_load_s = best_of(5, || load_index(&bin_path).expect("binary load"));
+    let json_load_s = best_of(5, || {
+        let text = std::fs::read_to_string(&json_path).expect("json read");
+        IndexSnapshot::from_json(&text)
+            .expect("json parse")
+            .restore()
+            .expect("restore")
+    });
+
+    // Sanity: both paths restore the same catalog.
+    assert_eq!(load_index(&bin_path).expect("load").num_mips(), index.num_mips());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Scenario {
+        name,
+        records: index.dataset().num_records(),
+        cfis: index.num_mips(),
+        binary_bytes,
+        json_bytes,
+        size_ratio: json_bytes as f64 / binary_bytes as f64,
+        binary_save_s,
+        json_save_s,
+        binary_load_s,
+        json_load_s,
+        load_speedup: json_load_s / binary_load_s,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_snapshot.json".to_string());
+
+    let salary = MipIndex::build(
+        colarm_data::synth::salary(),
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .expect("salary index");
+
+    let mushroom: Colarm = build_system(&mushroom_spec(Scale::Fast));
+
+    let report = Report {
+        description: "Versioned binary snapshot (save_index/load_index) vs the \
+                      legacy JSON snapshot (IndexSnapshot::to_json/from_json), \
+                      through real files (best of 5 reps)",
+        scenarios: vec![
+            bench("salary_table1", &salary),
+            bench("mushroom_fast", mushroom.index()),
+        ],
+    };
+
+    println!(
+        "{:<16} {:>8} {:>6} {:>12} {:>12} {:>6} {:>12} {:>12} {:>8}",
+        "scenario", "records", "cfis", "bin bytes", "json bytes", "ratio", "bin load s", "json load s",
+        "speedup"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<16} {:>8} {:>6} {:>12} {:>12} {:>5.1}x {:>12.4} {:>12.4} {:>7.1}x",
+            s.name,
+            s.records,
+            s.cfis,
+            s.binary_bytes,
+            s.json_bytes,
+            s.size_ratio,
+            s.binary_load_s,
+            s.json_load_s,
+            s.load_speedup
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, json).expect("write BENCH_snapshot.json");
+    println!("\nwrote {out_path}");
+}

@@ -4,27 +4,30 @@
 //! colarm demo
 //!     The paper's Table 1 salary walkthrough.
 //!
-//! colarm index --data D.tsv --primary 0.1 [--out index.json]
+//! colarm index --data D.tsv --primary 0.1 [--out index.snap]
 //!     Offline phase: build (and optionally persist) a MIP-index over a
 //!     TSV dataset (header of attribute names, one record per line).
+//!     Snapshots are written in the checksummed binary format (atomic
+//!     temp-file + rename); `--index` also accepts legacy JSON snapshots.
 //!
-//! colarm query (--index index.json | --data D.tsv --primary P) "REPORT …"
+//! colarm query (--index index.snap | --data D.tsv --primary P) "REPORT …"
 //!     Run one localized mining query (the paper's query language).
 //!     Prefix the query with `EXPLAIN ANALYZE` to execute it with metrics
 //!     on and print the per-operator predicted-vs-actual cost report
 //!     (`--json` emits it machine-readable).
 //!
-//! colarm repl (--index index.json | --data D.tsv --primary P)
+//! colarm repl (--index index.snap | --data D.tsv --primary P)
 //!     Interactive session: enter queries line by line; :help for the
-//!     meta-commands (:plans, :explain, :advise, :stats, :quit).
+//!     meta-commands (:plans, :explain, :advise, :stats, :save, :load,
+//!     :quit).
 //!
-//! colarm advise (--index index.json | --data D.tsv --primary P)
+//! colarm advise (--index index.snap | --data D.tsv --primary P)
 //!     Mine suggested query parameters from the data (§7 future work).
 //! ```
 
 mod repl;
 
-use colarm::{Colarm, IndexSnapshot, MipIndexConfig};
+use colarm::{Colarm, MipIndexConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -56,12 +59,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
   demo                                   the paper's salary walkthrough
-  index  --data D.tsv --primary P [--out index.json]
-  query  (--index I.json | --data D.tsv --primary P) [--json] \"REPORT ...\"
+  index  --data D.tsv --primary P [--out index.snap]
+         --out writes the checksummed binary snapshot format (atomic)
+  query  (--index I.snap | --data D.tsv --primary P) [--json] \"REPORT ...\"
          prefix the query with EXPLAIN ANALYZE for per-operator
          predicted-vs-actual cost tracing (--json for machine-readable)
-  repl   (--index I.json | --data D.tsv --primary P)
-  advise (--index I.json | --data D.tsv --primary P)
+  repl   (--index I.snap | --data D.tsv --primary P)
+  advise (--index I.snap | --data D.tsv --primary P)
+  --index also accepts legacy JSON snapshots (auto-detected by magic)
   common: --threads N   worker threads for build + query execution
                         (default: COLARM_THREADS env, else all cores;
                          1 = sequential; answers are identical either way)";
@@ -119,14 +124,11 @@ fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, Str
         .ok_or_else(|| format!("{flag} expects a value"))
 }
 
-/// Load a system from either a snapshot or a TSV dataset.
+/// Load a system from either a snapshot (binary or legacy JSON,
+/// auto-detected) or a TSV dataset.
 fn load_system(opts: &Options) -> Result<Colarm, String> {
     if let Some(path) = &opts.index {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let index = IndexSnapshot::from_json(&text)
-            .and_then(IndexSnapshot::restore)
-            .map_err(|e| format!("restoring {path}: {e}"))?;
-        return Ok(Colarm::from_index(index));
+        return Colarm::load_index_snapshot(path).map_err(|e| format!("restoring {path}: {e}"));
     }
     let Some(path) = &opts.data else {
         return Err("provide --index FILE or --data FILE".to_string());
@@ -191,9 +193,11 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
         colarm.index().primary_count()
     );
     if let Some(out) = &opts.out {
-        let snapshot = IndexSnapshot::capture(colarm.index());
-        std::fs::write(out, snapshot.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
-        println!("snapshot written to {out}");
+        let bytes = colarm
+            .save_index_snapshot(out)
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("snapshot written to {out} ({bytes} bytes, binary format v{})",
+            colarm::persist::FORMAT_VERSION);
     }
     Ok(())
 }

@@ -12,6 +12,8 @@
 //! :analyze <query>   EXPLAIN ANALYZE: execute + predicted-vs-actual
 //! :advise            suggested thresholds and paradox-rich subsets
 //! :stats             session cache statistics
+//! :save <path>       write the index to a binary snapshot (atomic)
+//! :load <path>       replace the session's index from a snapshot
 //! :quit              leave
 //! ```
 //!
@@ -22,9 +24,9 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 /// Run the REPL until EOF or `:quit`.
-pub fn run(colarm: Arc<Colarm>) -> Result<(), String> {
-    let schema = colarm.index().dataset().schema().clone();
-    let session = QuerySession::new(colarm.clone());
+pub fn run(mut colarm: Arc<Colarm>) -> Result<(), String> {
+    let mut schema = colarm.index().dataset().schema().clone();
+    let mut session = QuerySession::new(colarm.clone());
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     println!(
@@ -100,6 +102,37 @@ pub fn run(colarm: Arc<Colarm>) -> Result<(), String> {
                 }
                 Err(e) => println!("  error: {e}"),
             },
+            _ if line.starts_with(":save") => {
+                let path = line.trim_start_matches(":save").trim();
+                if path.is_empty() {
+                    println!("  usage: :save <path>");
+                } else {
+                    match colarm.save_index_snapshot(path) {
+                        Ok(bytes) => println!("  snapshot written to {path} ({bytes} bytes)"),
+                        Err(e) => println!("  error: {e}"),
+                    }
+                }
+            }
+            _ if line.starts_with(":load") => {
+                let path = line.trim_start_matches(":load").trim();
+                if path.is_empty() {
+                    println!("  usage: :load <path>");
+                } else {
+                    match Colarm::load_index_snapshot(path) {
+                        Ok(loaded) => {
+                            colarm = loaded.into_shared();
+                            schema = colarm.index().dataset().schema().clone();
+                            session = QuerySession::new(colarm.clone());
+                            println!(
+                                "  loaded {path}: {} records, {} MIPs",
+                                colarm.index().dataset().num_records(),
+                                colarm.index().num_mips()
+                            );
+                        }
+                        Err(e) => println!("  error: {e}"),
+                    }
+                }
+            }
             _ if line.starts_with(":explain") => {
                 let text = line.trim_start_matches(":explain").trim();
                 explain(&colarm, text);
@@ -191,4 +224,5 @@ const HELP: &str = "  REPORT LOCALIZED ASSOCIATION RULES [FROM Dataset X]
       [AND ITEM ATTRIBUTES A, B]
       HAVING minsupport = 60% AND minconfidence = 80%;
   EXPLAIN ANALYZE <query>   execute + per-operator predicted vs. actual
-  :schema | :plans | :explain <query> | :analyze <query> | :advise | :stats | :quit";
+  :schema | :plans | :explain <query> | :analyze <query> | :advise | :stats
+  :save <path> | :load <path> | :quit";

@@ -34,7 +34,7 @@ fn demo_prints_the_walkthrough() {
 fn index_query_round_trip_via_snapshot() {
     let dir = tempdir("roundtrip");
     let tsv = salary_tsv(&dir);
-    let snapshot = dir.join("index.json");
+    let snapshot = dir.join("index.snap");
     let out = Command::new(BIN)
         .args([
             "index",
@@ -48,7 +48,9 @@ fn index_query_round_trip_via_snapshot() {
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(snapshot.exists());
+    // The snapshot is the binary format (magic first), not JSON.
+    let bytes = std::fs::read(&snapshot).unwrap();
+    assert_eq!(&bytes[..8], b"COLARMIX");
     // Query against the snapshot (no re-mining).
     let out = Command::new(BIN)
         .args([
@@ -63,6 +65,80 @@ fn index_query_round_trip_via_snapshot() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Age=30-40"), "missing RL in: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_json_snapshot_still_loads() {
+    let dir = tempdir("legacy");
+    let snapshot = dir.join("index.json");
+    let index = colarm::MipIndex::build(
+        colarm_data::synth::salary(),
+        colarm::MipIndexConfig {
+            primary_support: 0.18,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let json = colarm::IndexSnapshot::capture(&index).to_json().unwrap();
+    std::fs::write(&snapshot, json).unwrap();
+    let out = Command::new(BIN)
+        .args([
+            "query",
+            "--index",
+            snapshot.to_str().unwrap(),
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle), Gender = (F) \
+             HAVING minsupport = 75% AND minconfidence = 90%;",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Age=30-40"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_fails_with_snapshot_error() {
+    let dir = tempdir("corrupt");
+    // A binary snapshot with its tail cut off.
+    let tsv = salary_tsv(&dir);
+    let snapshot = dir.join("index.snap");
+    let out = Command::new(BIN)
+        .args([
+            "index",
+            "--data",
+            tsv.to_str().unwrap(),
+            "--primary",
+            "0.18",
+            "--out",
+            snapshot.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&snapshot).unwrap();
+    std::fs::write(&snapshot, &bytes[..bytes.len() - 7]).unwrap();
+    let out = Command::new(BIN)
+        .args([
+            "query",
+            "--index",
+            snapshot.to_str().unwrap(),
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+             HAVING minsupport = 50% AND minconfidence = 80%;",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("snapshot"), "unexpected error text: {err}");
+    // Garbage that is neither binary nor JSON also fails cleanly.
+    std::fs::write(&snapshot, b"\xFF\xFEnot a snapshot").unwrap();
+    let out = Command::new(BIN)
+        .args(["repl", "--index", snapshot.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("snapshot"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -112,18 +188,22 @@ fn repl_session_runs_queries_and_meta_commands() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
+    let snap = dir.join("repl.snap");
+    let script = format!(
+        ":schema\n:plans\n\
+         REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+         HAVING minsupport = 50% AND minconfidence = 80%;\n\
+         :explain REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+         HAVING minsupport = 50% AND minconfidence = 80%;\n\
+         :save {path}\n:load {path}\n\
+         :stats\n:bogus\n:quit\n",
+        path = snap.display()
+    );
     child
         .stdin
         .as_mut()
         .unwrap()
-        .write_all(
-            b":schema\n:plans\n\
-              REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
-              HAVING minsupport = 50% AND minconfidence = 80%;\n\
-              :explain REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
-              HAVING minsupport = 50% AND minconfidence = 80%;\n\
-              :stats\n:bogus\n:quit\n",
-        )
+        .write_all(script.as_bytes())
         .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -132,6 +212,8 @@ fn repl_session_runs_queries_and_meta_commands() {
     assert!(text.contains("SS-E-U-V"), "plan table missing");
     assert!(text.contains("rule(s)"), "query output missing");
     assert!(text.contains("estimates"), "explain output missing");
+    assert!(text.contains("snapshot written to"), "save output missing");
+    assert!(text.contains("loaded"), "load output missing");
     assert!(text.contains("unknown command"), "meta error missing");
     let _ = std::fs::remove_dir_all(&dir);
 }

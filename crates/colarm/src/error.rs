@@ -16,6 +16,12 @@ pub enum ColarmError {
     EmptyItemAttributes,
     /// Query-language parse failure.
     QueryParse { position: usize, message: String },
+    /// An index snapshot could not be written, read, or verified: I/O
+    /// failure, unknown format, truncation, checksum mismatch, or a
+    /// version/field this build does not understand. Snapshot problems
+    /// never masquerade as query errors (they previously surfaced as
+    /// `QueryParse`, which the CLI reported as "parse error at offset 0").
+    Snapshot { message: String },
     /// Unrestricted semantics can only be served by the from-scratch ARM
     /// plan; the MIP-index plans are bound to the primary threshold
     /// (paper footnote 2).
@@ -35,6 +41,9 @@ impl fmt::Display for ColarmError {
             }
             ColarmError::QueryParse { position, message } => {
                 write!(f, "query parse error at offset {position}: {message}")
+            }
+            ColarmError::Snapshot { message } => {
+                write!(f, "index snapshot error: {message}")
             }
             ColarmError::UnrestrictedRequiresArm { requested } => write!(
                 f,

@@ -78,6 +78,23 @@ impl Colarm {
         &self.feedback
     }
 
+    /// Persist the MIP-index to a binary snapshot at `path` (streamed,
+    /// checksummed, atomic temp-file + `rename`; see [`crate::persist`]).
+    /// Returns the snapshot size in bytes.
+    pub fn save_index_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<u64, ColarmError> {
+        crate::persist::save_index(&self.index, path)
+    }
+
+    /// Build a system from an index snapshot at `path` (binary or legacy
+    /// JSON, auto-detected). The optimizer starts from default constants;
+    /// call [`Colarm::calibrate`] afterwards to fit this machine.
+    pub fn load_index_snapshot(path: impl AsRef<std::path::Path>) -> Result<Colarm, ColarmError> {
+        Ok(Colarm::from_index(crate::persist::load_index(path)?))
+    }
+
     /// The single validation path every execution funnels through:
     /// thresholds and schema references checked, the focal subset
     /// resolved, and empty subsets rejected.

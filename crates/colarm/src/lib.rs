@@ -65,7 +65,9 @@ pub use framework::{Colarm, OptimizedAnswer};
 pub use mip::{MipIndex, MipIndexConfig, Packing};
 pub use optimizer::{FeedbackEntry, FeedbackLog, Mispick, Optimizer, PlanChoice};
 pub use parse::parse_query;
-pub use persist::IndexSnapshot;
+pub use persist::{
+    load_index, save_index, IndexSnapshot, SnapshotHeader, SnapshotReader, SnapshotWriter,
+};
 pub use ops::{ExecOptions, OpTrace};
 pub use plan::{execute_plan, execute_plan_with, ExecutionTrace, PlanKind, QueryAnswer};
 pub use query::{LocalizedQuery, Semantics};

@@ -1,0 +1,227 @@
+//! The binary snapshot container: magic, version, checksummed sections.
+//!
+//! Layout (all integers little-endian, varints are unsigned LEB128):
+//!
+//! ```text
+//! file    := magic(8 = "COLARMIX") version(u32) section* trailer
+//! section := tag(u8) len(u64) payload(len bytes) crc32(u32 of payload)
+//! tags    := 1 HEADER    config + schema + record/item counts
+//!            2 RECORDS   chunk of ≤4096 records, row-major varint codes
+//!            3 CFIS      chunk of ≤1024 CFIs (itemset + tidset codec)
+//!            0 TRAILER   total CFI count (u64) + whole-file CRC-32 (u32)
+//! ```
+//!
+//! The trailer's file checksum covers every byte from the magic up to (and
+//! excluding) the trailer's own tag byte, so truncation — even truncation
+//! that happens to end exactly on a section boundary — is detected at
+//! load time. Each section additionally carries its own payload CRC so a
+//! bit-flip is localized to the section it corrupts. Records and CFIs are
+//! chunked into bounded sections, which is what lets the writer and
+//! reader stream a multi-gigabyte index through O(chunk) memory instead
+//! of materializing a second serialized copy.
+//!
+//! Versioning policy: `FORMAT_VERSION` is bumped on any incompatible
+//! layout change; a reader rejects versions it does not know with
+//! [`ColarmError::Snapshot`] instead of guessing. Unknown section tags
+//! within a known version are corruption, not extensions.
+
+use crate::error::ColarmError;
+use colarm_data::codec::{crc32, Crc32};
+use std::io::{Read, Write};
+
+/// Identifies a binary COLARM index snapshot (8 bytes at offset 0).
+pub const MAGIC: [u8; 8] = *b"COLARMIX";
+
+/// Current binary format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tags of format version 1.
+pub(crate) const SEC_TRAILER: u8 = 0;
+pub(crate) const SEC_HEADER: u8 = 1;
+pub(crate) const SEC_RECORDS: u8 = 2;
+pub(crate) const SEC_CFIS: u8 = 3;
+
+/// Records per RECORDS chunk / CFIs per CFIS chunk: bounds writer and
+/// reader memory while keeping framing overhead negligible.
+pub(crate) const RECORDS_PER_CHUNK: usize = 4096;
+pub(crate) const CFIS_PER_CHUNK: usize = 1024;
+
+/// Hard cap on a single section's declared payload length. Chunking keeps
+/// real sections far below this; a corrupt length prefix must not drive a
+/// multi-gigabyte allocation before its checksum is ever verified.
+pub(crate) const MAX_SECTION_LEN: u64 = 64 * 1024 * 1024;
+
+/// Shorthand for the snapshot corruption error.
+pub(crate) fn corrupt(message: impl Into<String>) -> ColarmError {
+    ColarmError::Snapshot {
+        message: message.into(),
+    }
+}
+
+/// Map an I/O failure into the snapshot error taxonomy with context.
+pub(crate) fn io_err(context: &str, e: std::io::Error) -> ColarmError {
+    ColarmError::Snapshot {
+        message: format!("{context}: {e}"),
+    }
+}
+
+/// A writer that maintains the running whole-file CRC as bytes go out.
+pub(crate) struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    pub(crate) fn new(inner: W) -> Self {
+        CrcWriter {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// CRC of everything written so far.
+    pub(crate) fn file_crc(&self) -> u32 {
+        self.crc.value()
+    }
+
+    pub(crate) fn write_all(&mut self, bytes: &[u8]) -> Result<(), ColarmError> {
+        self.inner
+            .write_all(bytes)
+            .map_err(|e| io_err("writing snapshot", e))?;
+        self.crc.update(bytes);
+        Ok(())
+    }
+
+    /// Emit one framed section: tag, length, payload, payload CRC.
+    pub(crate) fn write_section(&mut self, tag: u8, payload: &[u8]) -> Result<(), ColarmError> {
+        debug_assert!((payload.len() as u64) <= MAX_SECTION_LEN);
+        self.write_all(&[tag])?;
+        self.write_all(&(payload.len() as u64).to_le_bytes())?;
+        self.write_all(payload)?;
+        self.write_all(&crc32(payload).to_le_bytes())
+    }
+
+    pub(crate) fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// A reader that tracks the running whole-file CRC and byte offset, so the
+/// trailer's checksum can be verified and errors can cite a position.
+pub(crate) struct CrcReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+    offset: u64,
+}
+
+/// One decoded section frame.
+pub(crate) struct Section {
+    pub(crate) tag: u8,
+    pub(crate) payload: Vec<u8>,
+    /// Whole-file CRC over all bytes *before* this section's tag — what
+    /// the trailer stores when `tag == SEC_TRAILER`.
+    pub(crate) file_crc_before: u32,
+    /// Byte offset of this section's tag, for error messages.
+    pub(crate) offset: u64,
+}
+
+impl<R: Read> CrcReader<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        CrcReader {
+            inner,
+            crc: Crc32::new(),
+            offset: 0,
+        }
+    }
+
+    pub(crate) fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ColarmError> {
+        let at = self.offset;
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                corrupt(format!(
+                    "truncated snapshot: unexpected end of file at byte {at}"
+                ))
+            } else {
+                io_err("reading snapshot", e)
+            }
+        })?;
+        self.crc.update(buf);
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Read and verify the magic + format version preamble.
+    pub(crate) fn read_preamble(&mut self) -> Result<u32, ColarmError> {
+        let mut magic = [0u8; 8];
+        self.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(corrupt(
+                "not a binary COLARM snapshot (bad magic); \
+                 legacy JSON snapshots are detected separately",
+            ));
+        }
+        let mut v = [0u8; 4];
+        self.read_exact(&mut v)?;
+        let version = u32::from_le_bytes(v);
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported snapshot format version {version} \
+                 (this build reads version {FORMAT_VERSION})"
+            )));
+        }
+        Ok(version)
+    }
+
+    /// Read the next framed section, verifying its payload CRC.
+    pub(crate) fn read_section(&mut self) -> Result<Section, ColarmError> {
+        let file_crc_before = self.crc.value();
+        let offset = self.offset;
+        let mut tag = [0u8; 1];
+        self.read_exact(&mut tag)?;
+        let mut len_bytes = [0u8; 8];
+        self.read_exact(&mut len_bytes)?;
+        let len = u64::from_le_bytes(len_bytes);
+        if len > MAX_SECTION_LEN {
+            return Err(corrupt(format!(
+                "section at byte {offset} declares an implausible length \
+                 {len} (limit {MAX_SECTION_LEN}); corrupt length prefix"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact(&mut payload)?;
+        let mut crc_bytes = [0u8; 4];
+        self.read_exact(&mut crc_bytes)?;
+        let expected = u32::from_le_bytes(crc_bytes);
+        let actual = crc32(&payload);
+        if actual != expected {
+            return Err(corrupt(format!(
+                "checksum mismatch in section (tag {}) at byte {offset}: \
+                 stored {expected:#010x}, computed {actual:#010x}",
+                tag[0]
+            )));
+        }
+        Ok(Section {
+            tag: tag[0],
+            payload,
+            file_crc_before,
+            offset,
+        })
+    }
+
+    /// After the trailer: any further byte is garbage.
+    pub(crate) fn expect_eof(&mut self) -> Result<(), ColarmError> {
+        let mut probe = [0u8; 1];
+        match self.inner.read(&mut probe) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(corrupt(format!(
+                "trailing garbage after snapshot trailer at byte {}",
+                self.offset
+            ))),
+            Err(e) => Err(io_err("reading snapshot", e)),
+        }
+    }
+}

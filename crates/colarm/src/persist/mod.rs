@@ -1,0 +1,959 @@
+//! MIP-index persistence.
+//!
+//! The offline phase is a one-time cost (paper §3.2), so a production
+//! deployment wants to build the index once and reload it across process
+//! restarts. A snapshot stores the dataset, the build configuration and
+//! the mined closed itemsets with their exact tidsets; loading rebuilds
+//! the derived structures (IT-tree inverted lists, packed R-tree, index
+//! statistics) deterministically — those rebuilds are cheap compared to
+//! re-running CHARM.
+//!
+//! Two on-disk representations exist:
+//!
+//! * **Binary (current)** — the versioned, sectioned, checksummed format
+//!   of [`format`]: magic `COLARMIX`, delta-varint tidsets, per-section
+//!   and whole-file CRC-32. Written and read *streaming* through
+//!   [`SnapshotWriter`] / [`SnapshotReader`], so a multi-gigabyte index
+//!   never needs a second in-memory serialized copy. All writes go
+//!   through a temp file + `rename`, so a crash mid-save never clobbers
+//!   an existing snapshot.
+//! * **Legacy JSON** — the original [`IndexSnapshot`] serde format, kept
+//!   so snapshots written by earlier builds still load.
+//!
+//! [`load_index`] (and [`IndexSnapshot::load`]) sniff the 8-byte magic to
+//! pick the right reader, so callers never specify a format. Every
+//! failure mode — I/O, truncation, bit-flips, unknown versions, unknown
+//! packing codes — surfaces as [`ColarmError::Snapshot`]; corrupt input
+//! never panics and never masquerades as a query-parse error.
+
+pub mod format;
+
+use crate::error::ColarmError;
+use crate::mip::{MipIndex, MipIndexConfig, Packing};
+use colarm_data::codec::{self, Cursor};
+use colarm_data::{Attribute, Dataset, DatasetBuilder, ItemId, Itemset, Schema, Tidset, ValueId};
+use colarm_mine::ClosedItemset;
+use format::{corrupt, io_err, CrcReader, CrcWriter};
+pub use format::{FORMAT_VERSION, MAGIC};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Longest accepted attribute name / value label in a binary header
+/// (guards allocations against corrupt length prefixes).
+const MAX_LABEL_LEN: usize = 1 << 16;
+
+fn packing_to_byte(p: Packing) -> u8 {
+    match p {
+        Packing::Str => 0,
+        Packing::Hilbert => 1,
+        Packing::Insertion => 2,
+    }
+}
+
+fn packing_from_byte(b: u8) -> Result<Packing, ColarmError> {
+    match b {
+        0 => Ok(Packing::Str),
+        1 => Ok(Packing::Hilbert),
+        2 => Ok(Packing::Insertion),
+        other => Err(corrupt(format!(
+            "unknown R-tree packing code {other} (known: 0=STR, 1=Hilbert, 2=insertion)"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+/// Everything a binary snapshot declares up front: the build configuration
+/// and the dataset schema, so a reader can validate all following sections
+/// against it.
+#[derive(Debug, Clone)]
+pub struct SnapshotHeader {
+    /// Primary support threshold the CFIs were mined at.
+    pub primary_support: f64,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// R-tree construction scheme.
+    pub packing: Packing,
+    /// The dataset schema (attribute names and value domains).
+    pub schema: Arc<Schema>,
+    /// Number of records the RECORDS sections must supply.
+    pub num_records: u64,
+}
+
+impl SnapshotHeader {
+    /// The header describing a built index.
+    pub fn for_index(index: &MipIndex) -> SnapshotHeader {
+        let config = index.config();
+        SnapshotHeader {
+            primary_support: config.primary_support,
+            fanout: config.fanout,
+            packing: config.packing,
+            schema: index.dataset().schema().clone(),
+            num_records: index.dataset().num_records() as u64,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.primary_support.to_le_bytes());
+        codec::write_varint(&mut out, self.fanout as u64);
+        out.push(packing_to_byte(self.packing));
+        codec::write_varint(&mut out, self.schema.num_attributes() as u64);
+        for attr in self.schema.attributes() {
+            codec::write_string(&mut out, attr.name());
+            codec::write_varint(&mut out, attr.domain_size() as u64);
+            for value in attr.values() {
+                codec::write_string(&mut out, value);
+            }
+        }
+        codec::write_varint(&mut out, self.num_records);
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<SnapshotHeader, ColarmError> {
+        let mut cur = Cursor::new(payload);
+        let result = Self::decode_fields(&mut cur).map_err(|e| corrupt(format!("header: {e}")))?;
+        if !cur.is_empty() {
+            return Err(corrupt(format!(
+                "header has {} trailing bytes",
+                cur.remaining()
+            )));
+        }
+        result
+    }
+
+    /// Codec-level field reads; the outer `Result` is semantic validation.
+    fn decode_fields(
+        cur: &mut Cursor<'_>,
+    ) -> Result<Result<SnapshotHeader, ColarmError>, codec::CodecError> {
+        let ps_bytes = cur.read_bytes(8)?;
+        let primary_support = f64::from_le_bytes(ps_bytes.try_into().expect("8 bytes"));
+        let fanout = cur.read_varint()?;
+        let packing_byte = cur.read_u8()?;
+        let num_attributes = cur.read_varint()?;
+        if num_attributes > u16::MAX as u64 {
+            return Ok(Err(corrupt(format!(
+                "header declares {num_attributes} attributes (limit {})",
+                u16::MAX
+            ))));
+        }
+        let mut attributes = Vec::with_capacity(num_attributes as usize);
+        for _ in 0..num_attributes {
+            let name = cur.read_string(MAX_LABEL_LEN)?;
+            let domain = cur.read_varint()?;
+            if domain > u16::MAX as u64 + 1 {
+                return Ok(Err(corrupt(format!(
+                    "attribute {name:?} declares domain size {domain} (limit {})",
+                    u16::MAX as u64 + 1
+                ))));
+            }
+            let mut values = Vec::with_capacity(domain as usize);
+            for _ in 0..domain {
+                values.push(cur.read_string(MAX_LABEL_LEN)?);
+            }
+            attributes.push(Attribute::new(name, values));
+        }
+        let num_records = cur.read_varint()?;
+        if num_records > u32::MAX as u64 {
+            return Ok(Err(corrupt(format!(
+                "header declares {num_records} records (tids are 32-bit)"
+            ))));
+        }
+        if !(primary_support > 0.0 && primary_support <= 1.0) {
+            return Ok(Err(corrupt(format!(
+                "header declares primary support {primary_support} outside (0, 1]"
+            ))));
+        }
+        let packing = match packing_from_byte(packing_byte) {
+            Ok(p) => p,
+            Err(e) => return Ok(Err(e)),
+        };
+        let schema = match Schema::new(attributes) {
+            Ok(s) => Arc::new(s),
+            Err(e) => return Ok(Err(corrupt(format!("invalid schema in header: {e}")))),
+        };
+        Ok(Ok(SnapshotHeader {
+            primary_support,
+            fanout: fanout as usize,
+            packing,
+            schema,
+            num_records,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Itemset codec (delta varints, like sparse tidsets)
+// ---------------------------------------------------------------------------
+
+fn encode_itemset(out: &mut Vec<u8>, itemset: &Itemset) {
+    let items = itemset.items();
+    codec::write_varint(out, items.len() as u64);
+    let mut prev = 0u32;
+    for (i, item) in items.iter().enumerate() {
+        let id = item.0;
+        let delta = if i == 0 { id as u64 } else { (id - prev - 1) as u64 };
+        codec::write_varint(out, delta);
+        prev = id;
+    }
+}
+
+fn decode_itemset(cur: &mut Cursor<'_>, num_items: u32) -> Result<Itemset, ColarmError> {
+    let at = cur.pos();
+    let len = cur
+        .read_varint()
+        .map_err(|e| corrupt(format!("CFI itemset: {e}")))?;
+    if len > num_items as u64 {
+        return Err(corrupt(format!(
+            "itemset at byte {at} declares {len} items but the schema has {num_items}"
+        )));
+    }
+    let mut items = Vec::with_capacity(len as usize);
+    let mut prev: Option<u32> = None;
+    for _ in 0..len {
+        let delta = cur
+            .read_varint()
+            .map_err(|e| corrupt(format!("CFI itemset: {e}")))?;
+        let id = match prev {
+            None => delta,
+            Some(p) => (p as u64)
+                .checked_add(delta)
+                .and_then(|v| v.checked_add(1))
+                .ok_or_else(|| corrupt(format!("itemset at byte {at}: item id overflows")))?,
+        };
+        if id >= num_items as u64 {
+            return Err(corrupt(format!(
+                "itemset at byte {at}: item id {id} out of range (schema has {num_items} items)"
+            )));
+        }
+        prev = Some(id as u32);
+        items.push(ItemId(id as u32));
+    }
+    Ok(Itemset::from_sorted(items))
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------------------
+
+/// Streaming binary snapshot writer: header first, then every record, then
+/// every CFI, then [`SnapshotWriter::finish`]. Rows and CFIs are buffered
+/// into bounded chunks (4096 records / 1024 CFIs per section) so memory
+/// stays O(chunk) regardless of index size.
+pub struct SnapshotWriter<W: Write> {
+    w: CrcWriter<W>,
+    arity: usize,
+    num_records: u64,
+    records_written: u64,
+    in_chunk: usize,
+    cfi_count: u64,
+    chunk: Vec<u8>,
+    in_cfis: bool,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Write the preamble and header section.
+    pub fn new(inner: W, header: &SnapshotHeader) -> Result<SnapshotWriter<W>, ColarmError> {
+        let mut w = CrcWriter::new(inner);
+        w.write_all(&MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_section(format::SEC_HEADER, &header.encode())?;
+        Ok(SnapshotWriter {
+            w,
+            arity: header.schema.num_attributes(),
+            num_records: header.num_records,
+            records_written: 0,
+            in_chunk: 0,
+            cfi_count: 0,
+            chunk: Vec::new(),
+            in_cfis: false,
+        })
+    }
+
+    fn flush_chunk(&mut self, tag: u8) -> Result<(), ColarmError> {
+        if self.in_chunk > 0 {
+            self.w.write_section(tag, &self.chunk)?;
+            self.chunk.clear();
+            self.in_chunk = 0;
+        }
+        Ok(())
+    }
+
+    /// Append one record (value codes in schema order). All records must
+    /// precede the first CFI.
+    pub fn write_record(&mut self, values: &[ValueId]) -> Result<(), ColarmError> {
+        if self.in_cfis {
+            return Err(corrupt("writer misuse: records must precede CFIs"));
+        }
+        if self.records_written == self.num_records {
+            return Err(corrupt(format!(
+                "writer misuse: header declares {} records, got more",
+                self.num_records
+            )));
+        }
+        if values.len() != self.arity {
+            return Err(corrupt(format!(
+                "writer misuse: record has {} values, schema has {} attributes",
+                values.len(),
+                self.arity
+            )));
+        }
+        for &v in values {
+            codec::write_varint(&mut self.chunk, v as u64);
+        }
+        self.records_written += 1;
+        self.in_chunk += 1;
+        if self.in_chunk == format::RECORDS_PER_CHUNK {
+            self.flush_chunk(format::SEC_RECORDS)?;
+        }
+        Ok(())
+    }
+
+    fn close_records(&mut self) -> Result<(), ColarmError> {
+        if self.records_written != self.num_records {
+            return Err(corrupt(format!(
+                "writer misuse: header declares {} records, only {} written",
+                self.num_records, self.records_written
+            )));
+        }
+        self.flush_chunk(format::SEC_RECORDS)?;
+        self.in_cfis = true;
+        Ok(())
+    }
+
+    /// Append one closed frequent itemset with its exact tidset.
+    pub fn write_cfi(&mut self, itemset: &Itemset, tids: &Tidset) -> Result<(), ColarmError> {
+        if !self.in_cfis {
+            self.close_records()?;
+        }
+        encode_itemset(&mut self.chunk, itemset);
+        tids.encode_binary(&mut self.chunk);
+        self.cfi_count += 1;
+        self.in_chunk += 1;
+        if self.in_chunk == format::CFIS_PER_CHUNK {
+            self.flush_chunk(format::SEC_CFIS)?;
+        }
+        Ok(())
+    }
+
+    /// Flush pending chunks, write the trailer (CFI count + whole-file
+    /// CRC) and return the underlying writer.
+    pub fn finish(mut self) -> Result<W, ColarmError> {
+        if !self.in_cfis {
+            self.close_records()?;
+        }
+        self.flush_chunk(format::SEC_CFIS)?;
+        let file_crc = self.w.file_crc();
+        let mut trailer = Vec::with_capacity(12);
+        trailer.extend_from_slice(&self.cfi_count.to_le_bytes());
+        trailer.extend_from_slice(&file_crc.to_le_bytes());
+        self.w.write_section(format::SEC_TRAILER, &trailer)?;
+        Ok(self.w.into_inner())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader
+// ---------------------------------------------------------------------------
+
+/// Streaming binary snapshot reader: verifies the preamble and header on
+/// construction, then [`SnapshotReader::restore`] (or
+/// [`SnapshotReader::read_parts`]) decodes and validates every section.
+pub struct SnapshotReader<R: Read> {
+    r: CrcReader<R>,
+    header: SnapshotHeader,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// Read the preamble (magic, version) and the header section.
+    pub fn new(inner: R) -> Result<SnapshotReader<R>, ColarmError> {
+        let mut r = CrcReader::new(inner);
+        r.read_preamble()?;
+        let sec = r.read_section()?;
+        if sec.tag != format::SEC_HEADER {
+            return Err(corrupt(format!(
+                "expected header section at byte {}, found tag {}",
+                sec.offset, sec.tag
+            )));
+        }
+        let header = SnapshotHeader::decode(&sec.payload)?;
+        Ok(SnapshotReader { r, header })
+    }
+
+    /// The decoded header (available before the body is read).
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// Decode the body into the raw parts a [`MipIndex`] is rebuilt from.
+    pub fn read_parts(
+        mut self,
+    ) -> Result<(Dataset, MipIndexConfig, Vec<ClosedItemset>), ColarmError> {
+        let schema = self.header.schema.clone();
+        let num_items = schema.num_items() as u32;
+        let universe = self.header.num_records as u32;
+        let arity = schema.num_attributes();
+        let mut builder = DatasetBuilder::new(schema);
+        let mut row: Vec<ValueId> = Vec::with_capacity(arity);
+        let mut records_read: u64 = 0;
+        let mut cfis: Vec<ClosedItemset> = Vec::new();
+        let mut seen_cfis = false;
+        loop {
+            let sec = self.r.read_section()?;
+            match sec.tag {
+                format::SEC_RECORDS => {
+                    if seen_cfis {
+                        return Err(corrupt(format!(
+                            "records section at byte {} after a CFI section",
+                            sec.offset
+                        )));
+                    }
+                    let mut cur = Cursor::new(&sec.payload);
+                    while !cur.is_empty() {
+                        if records_read == self.header.num_records {
+                            return Err(corrupt(format!(
+                                "more records than the header's {}",
+                                self.header.num_records
+                            )));
+                        }
+                        row.clear();
+                        for _ in 0..arity {
+                            let v = cur
+                                .read_varint()
+                                .map_err(|e| corrupt(format!("record data: {e}")))?;
+                            if v > u16::MAX as u64 {
+                                return Err(corrupt(format!(
+                                    "record {records_read}: value code {v} exceeds 16 bits"
+                                )));
+                            }
+                            row.push(v as ValueId);
+                        }
+                        builder
+                            .push(&row)
+                            .map_err(|e| corrupt(format!("record {records_read}: {e}")))?;
+                        records_read += 1;
+                    }
+                }
+                format::SEC_CFIS => {
+                    if records_read != self.header.num_records {
+                        return Err(corrupt(format!(
+                            "CFI section at byte {} before all records arrived \
+                             ({records_read} of {})",
+                            sec.offset, self.header.num_records
+                        )));
+                    }
+                    seen_cfis = true;
+                    let mut cur = Cursor::new(&sec.payload);
+                    while !cur.is_empty() {
+                        let itemset = decode_itemset(&mut cur, num_items)?;
+                        let tids = Tidset::decode_binary(&mut cur, universe)
+                            .map_err(|e| corrupt(format!("CFI tidset: {e}")))?;
+                        cfis.push(ClosedItemset { itemset, tids });
+                    }
+                }
+                format::SEC_TRAILER => {
+                    if sec.payload.len() != 12 {
+                        return Err(corrupt(format!(
+                            "trailer payload is {} bytes, expected 12",
+                            sec.payload.len()
+                        )));
+                    }
+                    let declared_cfis =
+                        u64::from_le_bytes(sec.payload[0..8].try_into().expect("8 bytes"));
+                    let declared_crc =
+                        u32::from_le_bytes(sec.payload[8..12].try_into().expect("4 bytes"));
+                    if declared_cfis != cfis.len() as u64 {
+                        return Err(corrupt(format!(
+                            "trailer declares {declared_cfis} CFIs, file contains {}",
+                            cfis.len()
+                        )));
+                    }
+                    if declared_crc != sec.file_crc_before {
+                        return Err(corrupt(format!(
+                            "whole-file checksum mismatch: trailer stores {declared_crc:#010x}, \
+                             computed {:#010x}",
+                            sec.file_crc_before
+                        )));
+                    }
+                    if records_read != self.header.num_records {
+                        return Err(corrupt(format!(
+                            "header declares {} records, file contains {records_read}",
+                            self.header.num_records
+                        )));
+                    }
+                    self.r.expect_eof()?;
+                    break;
+                }
+                other => {
+                    return Err(corrupt(format!(
+                        "unknown section tag {other} at byte {}",
+                        sec.offset
+                    )));
+                }
+            }
+        }
+        let config = MipIndexConfig {
+            primary_support: self.header.primary_support,
+            fanout: self.header.fanout,
+            packing: self.header.packing,
+            // A runtime knob, not an index property: restored indexes
+            // fall back to the session default.
+            threads: 0,
+        };
+        Ok((builder.build(), config, cfis))
+    }
+
+    /// Decode the body and rebuild the index (derived structures are
+    /// reconstructed; the miner is skipped).
+    pub fn restore(self) -> Result<MipIndex, ColarmError> {
+        let (dataset, config, cfis) = self.read_parts()?;
+        MipIndex::from_parts(dataset, config, cfis)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path-based save/load (atomic, format auto-detection)
+// ---------------------------------------------------------------------------
+
+/// Run `write_fn` against a temp file in `path`'s directory, fsync, then
+/// atomically `rename` into place. Returns the file size in bytes. On any
+/// failure the temp file is removed and `path` is left untouched.
+fn write_atomic<F>(path: &Path, write_fn: F) -> Result<u64, ColarmError>
+where
+    F: FnOnce(&mut std::io::BufWriter<std::fs::File>) -> Result<(), ColarmError>,
+{
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| corrupt(format!("invalid snapshot path {}", path.display())))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(format!(
+        "{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let file =
+            std::fs::File::create(&tmp).map_err(|e| io_err("creating snapshot temp file", e))?;
+        let mut buf = std::io::BufWriter::new(file);
+        write_fn(&mut buf)?;
+        buf.flush().map_err(|e| io_err("flushing snapshot", e))?;
+        let file = buf
+            .into_inner()
+            .map_err(|e| io_err("flushing snapshot", e.into_error()))?;
+        file.sync_all().map_err(|e| io_err("syncing snapshot", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err("inspecting snapshot", e))?
+            .len();
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err("publishing snapshot (rename)", e))?;
+        Ok(len)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Stream a built index into a binary snapshot at `path` (atomic
+/// temp-file + `rename`; the index is never serialized in memory).
+/// Returns the snapshot size in bytes.
+pub fn save_index(index: &MipIndex, path: impl AsRef<Path>) -> Result<u64, ColarmError> {
+    let header = SnapshotHeader::for_index(index);
+    write_atomic(path.as_ref(), |out| {
+        let mut w = SnapshotWriter::new(out, &header)?;
+        for (_, values) in index.dataset().iter() {
+            w.write_record(values)?;
+        }
+        for (_, cfi) in index.ittree().iter() {
+            w.write_cfi(&cfi.itemset, &cfi.tids)?;
+        }
+        w.finish()?;
+        Ok(())
+    })
+}
+
+/// True when the file starts with the binary snapshot magic. Rewinds.
+fn starts_with_magic(file: &mut std::fs::File) -> Result<bool, ColarmError> {
+    let mut head = [0u8; 8];
+    let mut read = 0;
+    while read < head.len() {
+        match file.read(&mut head[read..]) {
+            Ok(0) => break,
+            Ok(n) => read += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err("reading snapshot", e)),
+        }
+    }
+    file.seek(SeekFrom::Start(0))
+        .map_err(|e| io_err("reading snapshot", e))?;
+    Ok(read == head.len() && head == MAGIC)
+}
+
+fn read_legacy_json(mut file: std::fs::File) -> Result<IndexSnapshot, ColarmError> {
+    let mut text = String::new();
+    file.read_to_string(&mut text).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            corrupt("snapshot is neither binary (no magic) nor UTF-8 JSON")
+        } else {
+            io_err("reading snapshot", e)
+        }
+    })?;
+    IndexSnapshot::from_json(&text)
+}
+
+/// Load an index snapshot from `path`, auto-detecting the binary format
+/// vs legacy JSON by the leading magic bytes.
+pub fn load_index(path: impl AsRef<Path>) -> Result<MipIndex, ColarmError> {
+    let path = path.as_ref();
+    let mut file = std::fs::File::open(path)
+        .map_err(|e| io_err(&format!("opening snapshot {}", path.display()), e))?;
+    if starts_with_magic(&mut file)? {
+        SnapshotReader::new(std::io::BufReader::new(file))?.restore()
+    } else {
+        read_legacy_json(file)?.restore()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy JSON snapshot (compatibility reader) + materialized snapshot API
+// ---------------------------------------------------------------------------
+
+/// Materialized snapshot of a MIP-index.
+///
+/// [`IndexSnapshot::save`] writes the binary format; [`IndexSnapshot::load`]
+/// reads either format. The serde derives define the *legacy JSON* layout,
+/// kept so snapshots written by earlier builds still load. Prefer
+/// [`save_index`] / [`load_index`] when the index does not need to be held
+/// in snapshot form — they stream and skip this intermediate copy.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct IndexSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    dataset: Dataset,
+    primary_support: f64,
+    fanout: usize,
+    packing: u8,
+    cfis: Vec<(Itemset, Tidset)>,
+}
+
+/// Current legacy-JSON snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl IndexSnapshot {
+    /// Capture a snapshot of a built index.
+    pub fn capture(index: &MipIndex) -> IndexSnapshot {
+        let config = index.config();
+        IndexSnapshot {
+            version: SNAPSHOT_VERSION,
+            dataset: index.dataset().clone(),
+            primary_support: config.primary_support,
+            fanout: config.fanout,
+            packing: packing_to_byte(config.packing),
+            cfis: index
+                .ittree()
+                .iter()
+                .map(|(_, c)| (c.itemset.clone(), c.tids.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restore the index: rebuild the derived structures from the stored
+    /// CFIs without re-running the miner.
+    pub fn restore(self) -> Result<MipIndex, ColarmError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported index snapshot version {} (expected {SNAPSHOT_VERSION})",
+                self.version
+            )));
+        }
+        let config = MipIndexConfig {
+            primary_support: self.primary_support,
+            fanout: self.fanout,
+            packing: packing_from_byte(self.packing)?,
+            // A runtime knob, not an index property: restored indexes
+            // fall back to the session default.
+            threads: 0,
+        };
+        MipIndex::from_parts(
+            self.dataset,
+            config,
+            self.cfis
+                .into_iter()
+                .map(|(itemset, tids)| ClosedItemset { itemset, tids })
+                .collect(),
+        )
+    }
+
+    /// Serialize to the legacy JSON representation.
+    pub fn to_json(&self) -> Result<String, ColarmError> {
+        serde_json::to_string(self).map_err(|e| ColarmError::Snapshot {
+            message: format!("serializing snapshot to JSON: {e}"),
+        })
+    }
+
+    /// Deserialize from the legacy JSON representation.
+    pub fn from_json(text: &str) -> Result<IndexSnapshot, ColarmError> {
+        serde_json::from_str(text).map_err(|e| ColarmError::Snapshot {
+            message: format!("invalid JSON snapshot: {e}"),
+        })
+    }
+
+    /// Write this snapshot to `path` in the binary format (atomic
+    /// temp-file + `rename`). Returns the snapshot size in bytes.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, ColarmError> {
+        let header = SnapshotHeader {
+            primary_support: self.primary_support,
+            fanout: self.fanout,
+            packing: packing_from_byte(self.packing)?,
+            schema: self.dataset.schema().clone(),
+            num_records: self.dataset.num_records() as u64,
+        };
+        write_atomic(path.as_ref(), |out| {
+            let mut w = SnapshotWriter::new(out, &header)?;
+            for (_, values) in self.dataset.iter() {
+                w.write_record(values)?;
+            }
+            for (itemset, tids) in &self.cfis {
+                w.write_cfi(itemset, tids)?;
+            }
+            w.finish()?;
+            Ok(())
+        })
+    }
+
+    /// Read a snapshot from `path`, auto-detecting binary vs legacy JSON.
+    pub fn load(path: impl AsRef<Path>) -> Result<IndexSnapshot, ColarmError> {
+        let path = path.as_ref();
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| io_err(&format!("opening snapshot {}", path.display()), e))?;
+        if starts_with_magic(&mut file)? {
+            let reader = SnapshotReader::new(std::io::BufReader::new(file))?;
+            let (dataset, config, cfis) = reader.read_parts()?;
+            Ok(IndexSnapshot {
+                version: SNAPSHOT_VERSION,
+                dataset,
+                primary_support: config.primary_support,
+                fanout: config.fanout,
+                packing: packing_to_byte(config.packing),
+                cfis: cfis.into_iter().map(|c| (c.itemset, c.tids)).collect(),
+            })
+        } else {
+            read_legacy_json(file)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::LocalizedQuery;
+    use colarm_data::synth::salary;
+
+    fn index() -> MipIndex {
+        MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn snapshot_bytes(index: &MipIndex) -> Vec<u8> {
+        let header = SnapshotHeader::for_index(index);
+        let mut w = SnapshotWriter::new(Vec::new(), &header).unwrap();
+        for (_, values) in index.dataset().iter() {
+            w.write_record(values).unwrap();
+        }
+        for (_, cfi) in index.ittree().iter() {
+            w.write_cfi(&cfi.itemset, &cfi.tids).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn table1_query(index: &MipIndex) -> LocalizedQuery {
+        let schema = index.dataset().schema().clone();
+        LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap()
+    }
+
+    fn assert_same_answers(original: &MipIndex, restored: &MipIndex) {
+        assert_eq!(restored.num_mips(), original.num_mips());
+        assert_eq!(restored.primary_count(), original.primary_count());
+        let query = table1_query(original);
+        for plan in crate::plan::PlanKind::ALL {
+            let subset_a = original.resolve_subset(query.range.clone()).unwrap();
+            let subset_b = restored.resolve_subset(query.range.clone()).unwrap();
+            let a = crate::plan::execute_plan(original, &query, &subset_a, plan).unwrap();
+            let b = crate::plan::execute_plan(restored, &query, &subset_b, plan).unwrap();
+            assert_eq!(a.rules, b.rules, "{plan} diverged after restore");
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("colarm-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_answers() {
+        let original = index();
+        let json = IndexSnapshot::capture(&original).to_json().unwrap();
+        let restored = IndexSnapshot::from_json(&json).unwrap().restore().unwrap();
+        assert_same_answers(&original, &restored);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_answers() {
+        let original = index();
+        let bytes = snapshot_bytes(&original);
+        let restored = SnapshotReader::new(&bytes[..]).unwrap().restore().unwrap();
+        assert_same_answers(&original, &restored);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_files() {
+        let original = index();
+        let path = temp_path("roundtrip.snap");
+        let size = save_index(&original, &path).unwrap();
+        assert_eq!(size, std::fs::metadata(&path).unwrap().len());
+        let restored = load_index(&path).unwrap();
+        assert_same_answers(&original, &restored);
+        // The materialized-snapshot API reads the same file.
+        let via_snapshot = IndexSnapshot::load(&path).unwrap().restore().unwrap();
+        assert_same_answers(&original, &via_snapshot);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_json_snapshot_still_loads() {
+        let original = index();
+        let path = temp_path("legacy.json");
+        std::fs::write(&path, IndexSnapshot::capture(&original).to_json().unwrap()).unwrap();
+        let restored = load_index(&path).unwrap();
+        assert_same_answers(&original, &restored);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_as_snapshot_error() {
+        let mut snap = IndexSnapshot::capture(&index());
+        snap.version = 999;
+        match snap.restore() {
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("version")),
+            other => panic!("expected Snapshot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_packing_byte_is_rejected() {
+        let json = IndexSnapshot::capture(&index()).to_json().unwrap();
+        assert!(json.contains("\"packing\":0"));
+        let snap = IndexSnapshot::from_json(&json.replace("\"packing\":0", "\"packing\":7"))
+            .unwrap();
+        match snap.restore() {
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("packing")),
+            other => panic!("expected Snapshot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_json_is_a_snapshot_error() {
+        for text in ["{not json", "{}"] {
+            match IndexSnapshot::from_json(text) {
+                Err(ColarmError::Snapshot { .. }) => {}
+                other => panic!("expected Snapshot error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_are_rejected() {
+        let bytes = snapshot_bytes(&index());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        match SnapshotReader::new(&bad_magic[..]) {
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("magic")),
+            other => panic!("expected Snapshot error, got {:?}", other.err()),
+        }
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&2u32.to_le_bytes());
+        match SnapshotReader::new(&future[..]) {
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("version 2")),
+            other => panic!("expected Snapshot error, got {:?}", other.err()),
+        }
+    }
+
+    /// Every strict prefix of a snapshot must be reported as truncated —
+    /// including prefixes that end exactly on a section boundary (the
+    /// whole-file CRC in the trailer catches those).
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = snapshot_bytes(&index());
+        for len in 0..bytes.len() {
+            let result = SnapshotReader::new(&bytes[..len]).and_then(|r| r.read_parts());
+            match result {
+                Err(ColarmError::Snapshot { .. }) => {}
+                Ok(_) => panic!("truncation to {len} of {} bytes not detected", bytes.len()),
+                Err(other) => panic!("expected Snapshot error at {len}, got {other:?}"),
+            }
+        }
+    }
+
+    /// Flipping any single byte anywhere in the file must be detected.
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = snapshot_bytes(&index());
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            let result = SnapshotReader::new(&flipped[..]).and_then(|r| r.read_parts());
+            match result {
+                Err(ColarmError::Snapshot { .. }) => {}
+                Ok(_) => panic!("byte flip at {i} of {} bytes not detected", bytes.len()),
+                Err(other) => panic!("expected Snapshot error at {i}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = snapshot_bytes(&index());
+        bytes.push(0);
+        match SnapshotReader::new(&bytes[..]).and_then(|r| r.read_parts()) {
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("trailing")),
+            other => panic!("expected Snapshot error, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn writer_misuse_is_an_error_not_a_panic() {
+        let original = index();
+        let header = SnapshotHeader::for_index(&original);
+        // Wrong arity.
+        let mut w = SnapshotWriter::new(Vec::new(), &header).unwrap();
+        assert!(w.write_record(&[0]).is_err());
+        // CFI before all records arrive.
+        let mut w = SnapshotWriter::new(Vec::new(), &header).unwrap();
+        let (_, cfi) = original.ittree().iter().next().unwrap();
+        assert!(w.write_cfi(&cfi.itemset, &cfi.tids).is_err());
+        // Finish with records missing.
+        let w = SnapshotWriter::new(Vec::new(), &header).unwrap();
+        assert!(w.finish().is_err());
+    }
+}

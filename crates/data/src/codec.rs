@@ -1,0 +1,303 @@
+//! Low-level binary codec primitives for the index snapshot format.
+//!
+//! The snapshot subsystem (`colarm::persist`) serializes tidsets, itemsets
+//! and schema metadata into a versioned, checksummed binary layout. The
+//! representation-independent building blocks live here so the data crate
+//! can encode its own types ([`crate::Tidset`]) and test them in isolation:
+//!
+//! * **LEB128 varints** — unsigned little-endian base-128 integers; small
+//!   values (deltas between sorted tids, domain-bounded value codes) take
+//!   one byte.
+//! * **CRC-32 (IEEE)** — the checksum guarding every snapshot section and
+//!   the whole file, so truncation and bit-flips are caught at load time.
+//! * **[`Cursor`]** — a bounds-checked slice reader that reports the byte
+//!   offset of any malformed field instead of panicking.
+
+use std::fmt;
+
+/// A malformed binary payload: decoding failed at `offset` within the
+/// buffer being decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset (within the decoded buffer) where decoding failed.
+    pub offset: usize,
+    /// What was malformed.
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed binary data at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append an unsigned LEB128 varint.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// IEEE CRC-32 lookup table (reflected polynomial 0xEDB88320).
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental IEEE CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the checksum.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far (the state is unaffected, so
+    /// feeding may continue).
+    pub fn value(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.value()
+}
+
+/// Bounds-checked reader over a byte slice. Every read either succeeds or
+/// returns a [`CodecError`] carrying the failing offset — decoding a
+/// corrupt snapshot must never panic.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, message: impl Into<String>) -> CodecError {
+        CodecError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// Take the next `n` bytes.
+    #[inline]
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(self.err(format!(
+                "need {n} bytes but only {} remain (truncated)",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Next byte.
+    #[inline]
+    pub fn read_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.read_bytes(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    #[inline]
+    pub fn read_u32_le(&mut self) -> Result<u32, CodecError> {
+        let b = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Next little-endian `u64`.
+    #[inline]
+    pub fn read_u64_le(&mut self) -> Result<u64, CodecError> {
+        let b = self.read_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Next unsigned LEB128 varint. Rejects encodings longer than 10 bytes
+    /// and overlong final bytes (a `u64` holds at most 64 payload bits).
+    #[inline]
+    pub fn read_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.read_u8()?;
+            let payload = (byte & 0x7F) as u64;
+            if shift == 63 && payload > 1 {
+                return Err(self.err("varint overflows u64"));
+            }
+            v |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint longer than 10 bytes"))
+    }
+
+    /// Next length-prefixed UTF-8 string (varint byte length + bytes),
+    /// with `max_len` guarding against corrupt length prefixes.
+    pub fn read_string(&mut self, max_len: usize) -> Result<String, CodecError> {
+        let len = self.read_varint()? as usize;
+        if len > max_len {
+            return Err(self.err(format!("string length {len} exceeds limit {max_len}")));
+        }
+        let bytes = self.read_bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| self.err("string is not valid UTF-8"))
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        let samples = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &samples {
+            write_varint(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for &v in &samples {
+            assert_eq!(cur.read_varint().unwrap(), v);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes: longer than any valid u64 varint.
+        let overlong = [0xFFu8; 11];
+        assert!(Cursor::new(&overlong).read_varint().is_err());
+        // 10 bytes whose final payload overflows 64 bits.
+        let overflow = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(Cursor::new(&overflow).read_varint().is_err());
+        // Truncated mid-varint.
+        let truncated = [0x80u8];
+        assert!(Cursor::new(&truncated).read_varint().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental == one-shot.
+        let mut inc = Crc32::new();
+        inc.update(b"1234");
+        inc.update(b"56789");
+        assert_eq!(inc.value(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn cursor_reports_offsets_and_never_panics() {
+        let buf = [1u8, 2, 3];
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.read_u8().unwrap(), 1);
+        let err = cur.read_u32_le().unwrap_err();
+        assert_eq!(err.offset, 1);
+        assert!(err.message.contains("truncated"));
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_lengths() {
+        let mut buf = Vec::new();
+        write_string(&mut buf, "Location");
+        write_string(&mut buf, "");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.read_string(1 << 16).unwrap(), "Location");
+        assert_eq!(cur.read_string(1 << 16).unwrap(), "");
+        // A length prefix past the limit is rejected before allocation.
+        let mut bomb = Vec::new();
+        write_varint(&mut bomb, u64::MAX / 2);
+        assert!(Cursor::new(&bomb).read_string(1 << 16).is_err());
+        // Invalid UTF-8 is rejected.
+        let bad = [2u8, 0xFF, 0xFE];
+        assert!(Cursor::new(&bad).read_string(16).is_err());
+    }
+}

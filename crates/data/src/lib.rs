@@ -27,8 +27,12 @@
 //!   in for the UCI chess / mushroom / PUMSB benchmarks (see DESIGN.md for
 //!   the substitution rationale).
 //! * [`io`] — a small TSV relational format and FIMI `.dat` export.
+//! * [`codec`] — varint / CRC-32 / bounds-checked-cursor primitives
+//!   backing the binary index-snapshot format (`colarm::persist`),
+//!   including the delta-varint / raw-bitmap [`Tidset`] encoding.
 
 pub mod attribute;
+pub mod codec;
 pub mod dataset;
 pub mod discretize;
 pub mod error;

@@ -22,6 +22,7 @@
 //! the all-sparse kernel) are representation-independent, so persisted
 //! index snapshots round-trip across kernel versions.
 
+use crate::codec::{self, CodecError, Cursor};
 use serde::de::{SeqAccess, Visitor};
 use serde::ser::SerializeSeq;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -440,6 +441,120 @@ impl Tidset {
                 s.iter().all(|&t| test_bit(words, t))
             }
             _ => self.intersect_count(other) == self.len(),
+        }
+    }
+
+    /// Append the snapshot binary encoding of this set (see
+    /// `colarm::persist` for the enclosing file format). The encoding
+    /// exploits the hybrid representation directly:
+    ///
+    /// * sparse — tag `0`, varint length, then the first tid followed by
+    ///   delta-minus-one varints (consecutive runs cost one byte per tid);
+    /// * dense — tag `1`, varint population count, varint word count, then
+    ///   the raw little-endian bitmap words (one *bit* per possible tid).
+    ///
+    /// Because [`Tidset`] keeps its representation normalized, the chosen
+    /// encoding is a deterministic function of the set's contents.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        match &self.0 {
+            Repr::Sparse(v) => {
+                out.push(0);
+                codec::write_varint(out, v.len() as u64);
+                let mut prev = 0u32;
+                for (i, &t) in v.iter().enumerate() {
+                    let delta = if i == 0 { t as u64 } else { (t - prev - 1) as u64 };
+                    codec::write_varint(out, delta);
+                    prev = t;
+                }
+            }
+            Repr::Dense { words, len } => {
+                out.push(1);
+                codec::write_varint(out, *len as u64);
+                codec::write_varint(out, words.len() as u64);
+                for &w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode a set written by [`Tidset::encode_binary`]. `universe` is the
+    /// number of records the enclosing snapshot declares: any tid at or
+    /// beyond it, an inconsistent population count, trailing zero words or
+    /// an unknown tag are rejected as corruption — decoding never panics
+    /// and never trusts a length prefix for allocation sizing.
+    pub fn decode_binary(cur: &mut Cursor<'_>, universe: u32) -> Result<Tidset, CodecError> {
+        let start = cur.pos();
+        let corrupt = |pos: usize, message: String| CodecError { offset: pos, message };
+        match cur.read_u8()? {
+            0 => {
+                let len = cur.read_varint()? as usize;
+                if len > universe as usize {
+                    return Err(corrupt(
+                        start,
+                        format!("sparse tidset length {len} exceeds universe {universe}"),
+                    ));
+                }
+                let mut v = Vec::with_capacity(len);
+                let mut prev = 0u64;
+                for i in 0..len {
+                    let delta = cur.read_varint()?;
+                    let t = if i == 0 {
+                        delta
+                    } else {
+                        prev.checked_add(delta + 1).ok_or_else(|| {
+                            corrupt(cur.pos(), "tid delta overflows".to_string())
+                        })?
+                    };
+                    if t >= universe as u64 {
+                        return Err(corrupt(
+                            cur.pos(),
+                            format!("tid {t} outside universe {universe}"),
+                        ));
+                    }
+                    v.push(t as u32);
+                    prev = t;
+                }
+                Ok(Tidset::from_sorted(v))
+            }
+            1 => {
+                let len = cur.read_varint()? as usize;
+                let num_words = cur.read_varint()? as usize;
+                let max_words = (universe as usize).div_ceil(64);
+                if len > universe as usize || num_words > max_words {
+                    return Err(corrupt(
+                        start,
+                        format!(
+                            "dense tidset claims {len} tids / {num_words} words over \
+                             universe {universe}"
+                        ),
+                    ));
+                }
+                let mut words = Vec::with_capacity(num_words);
+                for _ in 0..num_words {
+                    words.push(cur.read_u64_le()?);
+                }
+                if words.last() == Some(&0) {
+                    return Err(corrupt(start, "dense tidset has trailing zero words".into()));
+                }
+                let pop: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+                if pop != len {
+                    return Err(corrupt(
+                        start,
+                        format!("dense tidset population {pop} does not match length {len}"),
+                    ));
+                }
+                let mut t = Tidset(Repr::Dense { words, len });
+                if t.span() > universe as usize {
+                    return Err(corrupt(
+                        start,
+                        format!("dense tidset spans past universe {universe}"),
+                    ));
+                }
+                t.normalize();
+                Ok(t)
+            }
+            tag => Err(corrupt(start, format!("unknown tidset encoding tag {tag}"))),
         }
     }
 
@@ -985,6 +1100,78 @@ mod tests {
     }
 
     #[test]
+    fn binary_codec_round_trips_both_representations() {
+        let universe = 100_000u32;
+        let cases = [
+            Tidset::new(),
+            ts(&[0]),
+            ts(&[99_999]),
+            ts(&[1, 5, 900]),
+            Tidset::from_sorted((0..4096).step_by(64).collect()), // sparse
+            Tidset::full(8_192),                                  // dense
+            Tidset::from_sorted((0..50_000).step_by(2).collect()), // dense, big
+            ts(&[0, 63, 64, 127, 128, 4095]),                     // word edges
+        ];
+        for t in &cases {
+            let mut buf = Vec::new();
+            t.encode_binary(&mut buf);
+            let mut cur = Cursor::new(&buf);
+            let back = Tidset::decode_binary(&mut cur, universe).unwrap();
+            assert!(cur.is_empty(), "codec must consume exactly its bytes");
+            assert_eq!(&back, t);
+            assert_eq!(back.kind(), t.kind(), "representation must be restored");
+        }
+    }
+
+    #[test]
+    fn binary_codec_is_compact_for_runs_and_dense_sets() {
+        // Consecutive tids: 1 byte per tid after the header.
+        let run = Tidset::from_sorted((1000..1064).collect());
+        let mut buf = Vec::new();
+        run.encode_binary(&mut buf);
+        assert!(buf.len() <= 64 + 8, "run encoding too large: {}", buf.len());
+        // Dense sets: ~1 bit per possible tid.
+        let dense_set = Tidset::full(64_000);
+        let mut buf = Vec::new();
+        dense_set.encode_binary(&mut buf);
+        assert!(buf.len() <= 64_000 / 8 + 16, "dense encoding too large: {}", buf.len());
+    }
+
+    #[test]
+    fn binary_codec_rejects_corruption() {
+        let t = Tidset::from_sorted((0..4096).step_by(64).collect());
+        let mut good = Vec::new();
+        t.encode_binary(&mut good);
+        // Unknown tag.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert!(Tidset::decode_binary(&mut Cursor::new(&bad), 100_000).is_err());
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..good.len() {
+            let mut cur = Cursor::new(&good[..cut]);
+            assert!(Tidset::decode_binary(&mut cur, 100_000).is_err(), "cut {cut}");
+        }
+        // Tid past the declared universe.
+        let mut cur = Cursor::new(&good);
+        assert!(Tidset::decode_binary(&mut cur, 100).is_err());
+        // Dense: population count mismatch after a bit flip.
+        let d = Tidset::full(8_192);
+        let mut dbuf = Vec::new();
+        d.encode_binary(&mut dbuf);
+        let flip = dbuf.len() - 1;
+        dbuf[flip] ^= 1;
+        assert!(Tidset::decode_binary(&mut Cursor::new(&dbuf), 100_000).is_err());
+        // Dense: trailing zero words.
+        let mut zbuf = Vec::new();
+        zbuf.push(1u8); // dense tag
+        codec::write_varint(&mut zbuf, 1); // one tid
+        codec::write_varint(&mut zbuf, 2); // two words
+        zbuf.extend_from_slice(&1u64.to_le_bytes());
+        zbuf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(Tidset::decode_binary(&mut Cursor::new(&zbuf), 100_000).is_err());
+    }
+
+    #[test]
     fn gallop_finds_exact_probe_boundaries() {
         // Regression: a match sitting exactly at the galloping probe index
         // (a power of two) used to be excluded from the binary-search
@@ -1105,6 +1292,15 @@ mod tests {
                 sa.difference(&sb).copied().collect::<Vec<u32>>()
             );
             proptest::prop_assert_eq!(ta.is_subset_of(&tb), sa.is_subset(&sb));
+        }
+
+        #[test]
+        fn binary_codec_round_trip(a in proptest::collection::vec(0u32..100_000, 0..400)) {
+            let t = Tidset::from_unsorted(a);
+            let mut buf = Vec::new();
+            t.encode_binary(&mut buf);
+            let back = Tidset::decode_binary(&mut Cursor::new(&buf), 100_000).unwrap();
+            proptest::prop_assert_eq!(&back, &t);
         }
 
         #[test]

@@ -1,7 +1,8 @@
 //! Multi-query session + index persistence: an analyst workflow across
 //! process restarts (paper §7 future-work item (b), plus snapshotting).
 //!
-//! 1. Build the MIP-index over the mushroom analog, snapshot it to JSON.
+//! 1. Build the MIP-index over the mushroom analog, snapshot it to disk
+//!    in the checksummed binary format (atomic temp-file + rename).
 //! 2. "Restart": restore the index from the snapshot (no re-mining).
 //! 3. Explore one region with a burst of threshold refinements through a
 //!    caching [`colarm::QuerySession`] and show the cache doing its job.
@@ -10,7 +11,7 @@
 //! cargo run --release --example interactive_session
 //! ```
 
-use colarm::{Colarm, IndexSnapshot, LocalizedQuery, QuerySession};
+use colarm::{Colarm, LocalizedQuery, QuerySession};
 use colarm_bench::{build_system, mushroom_spec, random_subset_spec, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,23 +27,27 @@ fn main() {
         system.index().num_mips(),
         t.elapsed()
     );
+    let snapshot_path = std::env::temp_dir().join(format!(
+        "colarm-interactive-session-{}.snap",
+        std::process::id()
+    ));
     let t = Instant::now();
-    let snapshot_json = IndexSnapshot::capture(system.index()).to_json();
+    let bytes = system
+        .save_index_snapshot(&snapshot_path)
+        .expect("snapshot saves");
     println!(
-        "Snapshot: {:.1} MiB of JSON in {:.2?}.",
-        snapshot_json.len() as f64 / (1024.0 * 1024.0),
+        "Snapshot: {:.1} MiB of binary (format v{}) in {:.2?}.",
+        bytes as f64 / (1024.0 * 1024.0),
+        colarm::persist::FORMAT_VERSION,
         t.elapsed()
     );
 
     // ---- day two: restore without re-mining ----------------------------
     let t = Instant::now();
-    let restored = Colarm::from_index(
-        IndexSnapshot::from_json(&snapshot_json)
-            .expect("snapshot parses")
-            .restore()
-            .expect("snapshot restores"),
-    )
-    .into_shared();
+    let restored = Colarm::load_index_snapshot(&snapshot_path)
+        .expect("snapshot restores")
+        .into_shared();
+    let _ = std::fs::remove_file(&snapshot_path);
     println!(
         "Restored {} MIPs in {:.2?} (no CHARM run).\n",
         restored.index().num_mips(),

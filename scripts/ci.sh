@@ -2,7 +2,7 @@
 # Tier-1 verification plus lint, as run by CI.
 #
 #   scripts/ci.sh            # build + test + clippy
-#   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json
+#   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json + BENCH_snapshot.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +11,12 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+# Format stability: the committed v1 golden fixture must keep loading and
+# answering Table 1. Redundant with the full test run above, but kept as a
+# named gate so a format break is called out explicitly.
+echo "==> snapshot format stability (tests/fixtures/salary_index_v1.snap)"
+cargo test -q --test snapshot_format golden_fixture_loads_and_answers_table1
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -21,6 +27,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> bench_tidset (kernel microbenchmark)"
     cargo run --release --bin bench_tidset
+    echo "==> bench_snapshot (binary vs JSON snapshot)"
+    cargo run --release --bin bench_snapshot
 fi
 
 echo "ci: all green"

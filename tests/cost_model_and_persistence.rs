@@ -49,7 +49,7 @@ fn calibrated_estimates_are_in_a_sane_range() {
 fn snapshot_restores_a_working_system() {
     let spec = mushroom_spec(Scale::Smoke);
     let system = build_system(&spec);
-    let json = IndexSnapshot::capture(system.index()).to_json();
+    let json = IndexSnapshot::capture(system.index()).to_json().unwrap();
     let restored = Colarm::from_index(
         IndexSnapshot::from_json(&json).unwrap().restore().unwrap(),
     );

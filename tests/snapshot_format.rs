@@ -1,0 +1,199 @@
+//! Binary snapshot format stability, round-trip and corruption tests.
+//!
+//! The committed golden fixture `tests/fixtures/salary_index_v1.snap` pins
+//! format version 1: it must keep loading (and answering the paper's
+//! Table 1 query) on every future build. Regenerate it — only after a
+//! deliberate, version-bumped format change — with:
+//!
+//! ```sh
+//! COLARM_REGEN_SNAPSHOT_FIXTURE=1 cargo test --test snapshot_format
+//! ```
+
+use colarm::{
+    load_index, save_index, Colarm, ColarmError, IndexSnapshot, LocalizedQuery, MipIndex,
+    MipIndexConfig, PlanKind,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v1.snap")
+}
+
+fn salary_index() -> MipIndex {
+    MipIndex::build(
+        colarm::data::synth::salary(),
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("colarm-snapfmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const TABLE1: &str = "REPORT LOCALIZED ASSOCIATION RULES \
+     WHERE RANGE Location = (Seattle), Gender = (F) \
+     HAVING minsupport = 75% AND minconfidence = 90%;";
+
+/// Format stability: the committed version-1 fixture loads and answers
+/// the paper's Table 1 walkthrough, byte-for-byte from disk.
+#[test]
+fn golden_fixture_loads_and_answers_table1() {
+    let path = fixture_path();
+    if std::env::var_os("COLARM_REGEN_SNAPSHOT_FIXTURE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        save_index(&salary_index(), &path).unwrap();
+        eprintln!("regenerated {}", path.display());
+    }
+    let index = load_index(&path).expect("golden v1 fixture must keep loading");
+    // Same closed-itemset catalog as a fresh offline build (the CFI *set*
+    // at a given threshold is canonical).
+    assert_eq!(index.num_mips(), salary_index().num_mips());
+    let schema = index.dataset().schema().clone();
+    let system = Colarm::from_index(index);
+    let out = system.execute_text(TABLE1).unwrap();
+    let rules: Vec<String> = out
+        .answer
+        .rules
+        .iter()
+        .map(|r| r.display(&schema).to_string())
+        .collect();
+    assert!(
+        rules.iter().any(|r| r.contains("Age=30-40") && r.contains("Salary=90K-120K")),
+        "Table 1 localized rule missing from {rules:?}"
+    );
+}
+
+/// capture → save → load → restore answers bit-identically on all six
+/// plans (through real files, exercising the atomic write path).
+#[test]
+fn binary_snapshot_round_trips_all_plans() {
+    let original = salary_index();
+    let path = temp_path("roundtrip.snap");
+    save_index(&original, &path).unwrap();
+    let restored = load_index(&path).unwrap();
+    let schema = original.dataset().schema().clone();
+    let query = colarm::parse_query(TABLE1, &schema).unwrap();
+    for plan in PlanKind::ALL {
+        let sa = original.resolve_subset(query.range.clone()).unwrap();
+        let sb = restored.resolve_subset(query.range.clone()).unwrap();
+        let a = colarm::execute_plan(&original, &query, &sa, plan).unwrap();
+        let b = colarm::execute_plan(&restored, &query, &sb, plan).unwrap();
+        assert_eq!(a.rules, b.rules, "{plan} diverged after file round trip");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Every single-byte flip anywhere in the fixture is a detected
+/// `ColarmError::Snapshot` — never a panic, never a silent wrong answer.
+#[test]
+fn corrupting_the_fixture_is_always_detected() {
+    let bytes = std::fs::read(fixture_path()).unwrap();
+    let path = temp_path("flipped.snap");
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        match load_index(&path) {
+            Err(ColarmError::Snapshot { .. }) => {}
+            Ok(_) => panic!("flip at byte {i} of {} went undetected", bytes.len()),
+            Err(other) => panic!("flip at byte {i}: expected Snapshot error, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Every truncation — including ones landing exactly on a section
+/// boundary — is detected (the trailer's whole-file CRC catches those).
+#[test]
+fn truncating_the_fixture_is_always_detected() {
+    let bytes = std::fs::read(fixture_path()).unwrap();
+    let path = temp_path("truncated.snap");
+    for len in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        match load_index(&path) {
+            Err(ColarmError::Snapshot { .. }) => {}
+            Ok(_) => panic!("truncation to {len} of {} went undetected", bytes.len()),
+            Err(other) => panic!("truncation to {len}: expected Snapshot error, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn future_versions_are_rejected_not_guessed() {
+    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let path = temp_path("future.snap");
+    std::fs::write(&path, &bytes).unwrap();
+    match load_index(&path) {
+        Err(ColarmError::Snapshot { message }) => {
+            assert!(message.contains("version 99"), "unhelpful message: {message}")
+        }
+        other => panic!("expected Snapshot error, got {:?}", other.err()),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: for arbitrary small datasets, a captured snapshot
+    /// survives the binary format with *every* field intact (compared via
+    /// the canonical JSON serialization of the snapshot on both sides).
+    #[test]
+    fn binary_round_trip_is_lossless(
+        rows in proptest::collection::vec((0u16..3, 0u16..4, 0u16..2), 1..40),
+        seed in 0u32..1000,
+    ) {
+        let schema = colarm::data::SchemaBuilder::new()
+            .attribute("A", ["a0", "a1", "a2"])
+            .attribute("B", ["b0", "b1", "b2", "b3"])
+            .attribute("C", ["c0", "c1"])
+            .build()
+            .unwrap();
+        let mut b = colarm::data::DatasetBuilder::new(schema);
+        for (x, y, z) in &rows {
+            b.push(&[*x, *y, *z]).unwrap();
+        }
+        let index = MipIndex::build(
+            b.build(),
+            MipIndexConfig { primary_support: 0.3, ..Default::default() },
+        )
+        .unwrap();
+        let path = temp_path(&format!("prop-{seed}.snap"));
+        save_index(&index, &path).unwrap();
+        let loaded = IndexSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let original = IndexSnapshot::capture(&index);
+        prop_assert_eq!(original.to_json().unwrap(), loaded.to_json().unwrap());
+    }
+}
+
+/// The builder-level API still answers identically after a round trip —
+/// guards the `LocalizedQuery` path as well as the parser path.
+#[test]
+fn restored_system_serves_builder_queries() {
+    let original = salary_index();
+    let path = temp_path("builder.snap");
+    save_index(&original, &path).unwrap();
+    let restored = load_index(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let schema = original.dataset().schema().clone();
+    let query = LocalizedQuery::builder()
+        .range_named(&schema, "Gender", &["F"])
+        .unwrap()
+        .minsupp(0.5)
+        .minconf(0.8)
+        .build()
+        .unwrap();
+    let a = Colarm::from_index(original).execute(&query).unwrap();
+    let b = Colarm::from_index(restored).execute(&query).unwrap();
+    assert_eq!(a.answer.rules, b.answer.rules);
+}
