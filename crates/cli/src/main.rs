@@ -27,8 +27,9 @@
 
 mod repl;
 
-use colarm::{Colarm, MipIndexConfig};
+use colarm::{Colarm, MipIndexConfig, QuerySession};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,9 +68,13 @@ const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
   repl   (--index I.snap | --data D.tsv --primary P)
   advise (--index I.snap | --data D.tsv --primary P)
   --index also accepts legacy JSON snapshots (auto-detected by magic)
-  common: --threads N   worker threads for build + query execution
-                        (default: COLARM_THREADS env, else all cores;
-                         1 = sequential; answers are identical either way)";
+  common: --threads N     worker threads for build + query execution
+                          (default: COLARM_THREADS env, else all cores;
+                           1 = sequential; answers are identical either way)
+          --timeout-ms N  per-query deadline; a query past it fails with
+                          a `canceled in <OPERATOR>` error (0 cancels
+                          immediately). In the repl, adjustable via
+                          :timeout <ms>|off";
 
 /// Parsed `--flag value` options plus positional arguments.
 struct Options {
@@ -78,6 +83,7 @@ struct Options {
     out: Option<String>,
     primary: f64,
     json: bool,
+    timeout_ms: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -88,6 +94,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: None,
         primary: 0.1,
         json: false,
+        timeout_ms: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -97,6 +104,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--index" => opts.index = Some(take(&mut it, "--index")?),
             "--out" => opts.out = Some(take(&mut it, "--out")?),
             "--json" => opts.json = true,
+            "--timeout-ms" => {
+                let ms: u64 = take(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms expects a non-negative integer".to_string())?;
+                opts.timeout_ms = Some(ms);
+            }
             "--primary" => {
                 opts.primary = take(&mut it, "--primary")?
                     .parse()
@@ -207,12 +220,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let Some(text) = opts.positional.first() else {
         return Err("query requires a \"REPORT LOCALIZED ASSOCIATION RULES …\" string".to_string());
     };
-    let colarm = load_system(&opts)?;
+    let colarm = load_system(&opts)?.into_shared();
     let schema = colarm.index().dataset().schema().clone();
+    // One-shot queries run through a session so the --timeout-ms deadline
+    // applies uniformly; a timed-out query surfaces the engine's
+    // `canceled in <OPERATOR>` error on stderr.
+    let session = QuerySession::new(colarm);
+    session.set_timeout(opts.timeout_ms.map(Duration::from_millis));
     if let Some(query_text) = repl::strip_analyze_prefix(text) {
         let query =
             colarm::parse_query(query_text, &schema).map_err(|e| e.to_string())?;
-        let analyzed = colarm.explain_analyze(&query).map_err(|e| e.to_string())?;
+        let analyzed = session.explain_analyze(&query).map_err(|e| e.to_string())?;
         if opts.json {
             println!("{}", analyzed.report.to_json());
         } else {
@@ -220,15 +238,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let out = colarm.execute_text(text).map_err(|e| e.to_string())?;
+    let query = colarm::parse_query(text, &schema).map_err(|e| e.to_string())?;
+    let answer = session.execute(&query).map_err(|e| e.to_string())?;
     println!(
         "plan {} over {} records in {:?} → {} rule(s)",
-        out.answer.plan.name(),
-        out.answer.subset_size,
-        out.answer.trace.total,
-        out.answer.rules.len()
+        answer.plan.name(),
+        answer.subset_size,
+        answer.trace.total,
+        answer.rules.len()
     );
-    for rule in &out.answer.rules {
+    for rule in &answer.rules {
         println!("  {}", rule.display(&schema));
     }
     Ok(())
@@ -237,7 +256,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 fn cmd_repl(args: &[String]) -> Result<(), String> {
     let opts = parse_options(args)?;
     let colarm = load_system(&opts)?;
-    repl::run(colarm.into_shared())
+    repl::run(colarm.into_shared(), opts.timeout_ms.map(Duration::from_millis))
 }
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {

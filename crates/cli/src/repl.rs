@@ -12,21 +12,28 @@
 //! :analyze <query>   EXPLAIN ANALYZE: execute + predicted-vs-actual
 //! :advise            suggested thresholds and paradox-rich subsets
 //! :stats             session cache statistics
+//! :timeout <ms>|off  set/clear the per-query deadline (bare: show it)
+//! :cancel            arm the cancel token: the next query is canceled
 //! :save <path>       write the index to a binary snapshot (atomic)
 //! :load <path>       replace the session's index from a snapshot
 //! :quit              leave
 //! ```
 //!
 //! A query prefixed with `EXPLAIN ANALYZE` is shorthand for `:analyze`.
+//! A timed-out or canceled query reports the operator it stopped in and
+//! leaves the session fully usable (nothing partial is cached).
 
 use colarm::{Colarm, PlanKind, QuerySession};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Run the REPL until EOF or `:quit`.
-pub fn run(mut colarm: Arc<Colarm>) -> Result<(), String> {
+/// Run the REPL until EOF or `:quit`, with an optional initial
+/// per-query deadline (the CLI's `--timeout-ms`).
+pub fn run(mut colarm: Arc<Colarm>, timeout: Option<Duration>) -> Result<(), String> {
     let mut schema = colarm.index().dataset().schema().clone();
     let mut session = QuerySession::new(colarm.clone());
+    session.set_timeout(timeout);
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     println!(
@@ -102,6 +109,30 @@ pub fn run(mut colarm: Arc<Colarm>) -> Result<(), String> {
                 }
                 Err(e) => println!("  error: {e}"),
             },
+            ":cancel" => {
+                session.cancel();
+                println!("  cancel armed: the next query will be canceled");
+            }
+            _ if line.starts_with(":timeout") => {
+                let arg = line.trim_start_matches(":timeout").trim();
+                if arg.is_empty() {
+                    match session.timeout() {
+                        Some(t) => println!("  timeout: {t:?}"),
+                        None => println!("  timeout: off"),
+                    }
+                } else if arg.eq_ignore_ascii_case("off") {
+                    session.set_timeout(None);
+                    println!("  timeout cleared");
+                } else {
+                    match arg.parse::<u64>() {
+                        Ok(ms) => {
+                            session.set_timeout(Some(Duration::from_millis(ms)));
+                            println!("  timeout set to {ms} ms");
+                        }
+                        Err(_) => println!("  usage: :timeout <ms>|off"),
+                    }
+                }
+            }
             _ if line.starts_with(":save") => {
                 let path = line.trim_start_matches(":save").trim();
                 if path.is_empty() {
@@ -120,9 +151,11 @@ pub fn run(mut colarm: Arc<Colarm>) -> Result<(), String> {
                 } else {
                     match Colarm::load_index_snapshot(path) {
                         Ok(loaded) => {
+                            let timeout = session.timeout();
                             colarm = loaded.into_shared();
                             schema = colarm.index().dataset().schema().clone();
                             session = QuerySession::new(colarm.clone());
+                            session.set_timeout(timeout);
                             println!(
                                 "  loaded {path}: {} records, {} MIPs",
                                 colarm.index().dataset().num_records(),
@@ -140,34 +173,41 @@ pub fn run(mut colarm: Arc<Colarm>) -> Result<(), String> {
             _ if line.starts_with(":analyze") => {
                 let text = line.trim_start_matches(":analyze").trim();
                 analyze(&session, &schema, text);
+                session.reset_cancel();
             }
             _ if line.starts_with(':') => {
                 println!("  unknown command; :help lists commands");
             }
             _ if strip_analyze_prefix(line).is_some() => {
                 analyze(&session, &schema, strip_analyze_prefix(line).unwrap());
+                session.reset_cancel();
             }
-            query_text => match colarm::parse_query(query_text, &schema) {
-                Ok(query) => match session.execute(&query) {
-                    Ok(answer) => {
-                        println!(
-                            "  plan {} over {} records in {:?} → {} rule(s)",
-                            answer.plan.name(),
-                            answer.subset_size,
-                            answer.trace.total,
-                            answer.rules.len()
-                        );
-                        for rule in answer.rules.iter().take(20) {
-                            println!("    {}", rule.display(&schema));
+            query_text => {
+                match colarm::parse_query(query_text, &schema) {
+                    Ok(query) => match session.execute(&query) {
+                        Ok(answer) => {
+                            println!(
+                                "  plan {} over {} records in {:?} → {} rule(s)",
+                                answer.plan.name(),
+                                answer.subset_size,
+                                answer.trace.total,
+                                answer.rules.len()
+                            );
+                            for rule in answer.rules.iter().take(20) {
+                                println!("    {}", rule.display(&schema));
+                            }
+                            if answer.rules.len() > 20 {
+                                println!("    … and {} more", answer.rules.len() - 20);
+                            }
                         }
-                        if answer.rules.len() > 20 {
-                            println!("    … and {} more", answer.rules.len() - 20);
-                        }
-                    }
-                    Err(e) => println!("  error: {e}"),
-                },
-                Err(e) => println!("  parse error: {e}"),
-            },
+                        Err(e) => println!("  error: {e}"),
+                    },
+                    Err(e) => println!("  parse error: {e}"),
+                }
+                // `:cancel` is one-shot: disarm after the attempt so the
+                // session stays usable for the next query.
+                session.reset_cancel();
+            }
         }
     }
     Ok(())
@@ -225,4 +265,6 @@ const HELP: &str = "  REPORT LOCALIZED ASSOCIATION RULES [FROM Dataset X]
       HAVING minsupport = 60% AND minconfidence = 80%;
   EXPLAIN ANALYZE <query>   execute + per-operator predicted vs. actual
   :schema | :plans | :explain <query> | :analyze <query> | :advise | :stats
+  :timeout <ms>|off   per-query deadline (bare :timeout shows it)
+  :cancel             arm the cancel token: the next query is canceled
   :save <path> | :load <path> | :quit";

@@ -219,6 +219,84 @@ fn repl_session_runs_queries_and_meta_commands() {
 }
 
 #[test]
+fn zero_timeout_query_reports_the_canceled_operator() {
+    let dir = tempdir("timeout");
+    let tsv = salary_tsv(&dir);
+    let out = Command::new(BIN)
+        .args([
+            "query",
+            "--data",
+            tsv.to_str().unwrap(),
+            "--primary",
+            "0.18",
+            "--timeout-ms",
+            "0",
+            "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+             HAVING minsupport = 50% AND minconfidence = 80%;",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a 0ms deadline must cancel the query");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("canceled in") && err.contains("cost units"),
+        "expected the Canceled error naming the operator, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repl_timeout_and_cancel_leave_the_session_usable() {
+    let dir = tempdir("repl-cancel");
+    let tsv = salary_tsv(&dir);
+    let mut child = Command::new(BIN)
+        .args(["repl", "--data", tsv.to_str().unwrap(), "--primary", "0.18"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // A 0ms deadline cancels; clearing it makes the same query succeed.
+    // `:cancel` arms the token for exactly one query: the next one is
+    // canceled, the retry runs normally (nothing partial was cached).
+    let script = ":timeout 0\n\
+         REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+         HAVING minsupport = 50% AND minconfidence = 80%;\n\
+         :timeout off\n\
+         REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
+         HAVING minsupport = 50% AND minconfidence = 80%;\n\
+         :cancel\n\
+         REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle) \
+         HAVING minsupport = 50% AND minconfidence = 80%;\n\
+         REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle) \
+         HAVING minsupport = 50% AND minconfidence = 80%;\n\
+         :quit\n";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("timeout set to 0 ms"), "missing :timeout ack: {text}");
+    assert!(text.contains("timeout cleared"), "missing :timeout off ack: {text}");
+    assert!(text.contains("cancel armed"), "missing :cancel ack: {text}");
+    assert_eq!(
+        text.matches("canceled in").count(),
+        2,
+        "expected exactly the deadline + the armed-token cancellations: {text}"
+    );
+    assert_eq!(
+        text.matches("rule(s)").count(),
+        2,
+        "both recovery queries must succeed: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let out = Command::new(BIN).output().unwrap();
     assert!(!out.status.success());

@@ -26,6 +26,7 @@
 //! re-fits them from executed query traces (the COLARM optimizer calibrates
 //! itself on a handful of sample queries at index-build time).
 
+use crate::ops::OpKind;
 use crate::plan::PlanKind;
 use colarm_rtree::{Rect, RTree, TreeStats};
 use serde::{Deserialize, Serialize};
@@ -272,11 +273,13 @@ pub struct CostModel {
 /// `seconds` is not always `units × constant`: VERIFY folds the
 /// per-candidate-rule confidence-check term into its seconds while its
 /// units stay the paper's `nver × C_I × |DQ|`, the quantity the executor
-/// measures. Serialize-only (operator names are `&'static str`).
+/// measures. Serialize-only (`OpKind` serializes as its name string, so
+/// the JSON wire format is unchanged from the string-keyed days).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct CostTerm {
-    /// Operator name as reported by [`crate::ops::OpTrace::name`].
-    pub op: &'static str,
+    /// The operator this term predicts, matching [`crate::ops::OpTrace`]'s
+    /// typed kind.
+    pub op: OpKind,
     /// Predicted raw operator units (the executor's `OpTrace::units` scale).
     pub units: f64,
     /// Predicted seconds for this operator.
@@ -303,8 +306,8 @@ impl CostEstimate {
         self.terms.iter().map(|t| t.units).sum()
     }
 
-    /// The term of the named operator, if the plan has one.
-    pub fn term(&self, op: &str) -> Option<&CostTerm> {
+    /// The term of the given operator, if the plan has one.
+    pub fn term(&self, op: OpKind) -> Option<&CostTerm> {
         self.terms.iter().find(|t| t.op == op)
     }
 }
@@ -334,18 +337,18 @@ impl CostModel {
         let search_units = s.expected_search_nodes(&q.dq_rect);
         let ss_units = s.expected_supported_search_nodes(&q.dq_rect, q.minsupp_count);
         let term_s = CostTerm {
-            op: "SEARCH",
+            op: OpKind::Search,
             units: search_units,
             seconds: c.node * search_units,
         };
         let term_ss = CostTerm {
-            op: "SUPPORTED-SEARCH",
+            op: OpKind::SupportedSearch,
             units: ss_units,
             seconds: c.node * ss_units,
         };
         let units_e = |ncand: f64| ncand * dq;
         let term_e = |ncand: f64| CostTerm {
-            op: "ELIMINATE",
+            op: OpKind::Eliminate,
             units: units_e(ncand),
             seconds: c.eliminate * units_e(ncand),
         };
@@ -355,7 +358,7 @@ impl CostModel {
         let units_v = |nver: f64| nver * s.avg_len * dq;
         let secs_v = |nver: f64| c.verify * units_v(nver) + c.confidence * nver * s.avg_rule_cands;
         let term_v = |nver: f64| CostTerm {
-            op: "VERIFY",
+            op: OpKind::Verify,
             units: units_v(nver),
             seconds: secs_v(nver),
         };
@@ -369,7 +372,7 @@ impl CostModel {
             PlanKind::Svs => vec![
                 term_s,
                 CostTerm {
-                    op: "SUPPORTED-VERIFY",
+                    op: OpKind::SupportedVerify,
                     units: units_e(cand_s) + units_v(elim_s),
                     seconds: c.eliminate * units_e(cand_s) + secs_v(elim_s),
                 },
@@ -378,7 +381,7 @@ impl CostModel {
             PlanKind::SsVs => vec![
                 term_ss,
                 CostTerm {
-                    op: "SUPPORTED-VERIFY",
+                    op: OpKind::SupportedVerify,
                     units: units_e(cand_ss) + units_v(elim_ss),
                     seconds: c.eliminate * units_e(cand_ss) + secs_v(elim_ss),
                 },
@@ -390,7 +393,7 @@ impl CostModel {
                     term_ss,
                     term_e(partial),
                     CostTerm {
-                        op: "UNION",
+                        op: OpKind::Union,
                         units: 1.0,
                         seconds: c.union_const,
                     },
@@ -421,12 +424,12 @@ impl CostModel {
                 let select_units = dq * s.num_attrs.max(1) as f64;
                 vec![
                     CostTerm {
-                        op: "SELECT",
+                        op: OpKind::Select,
                         units: select_units,
                         seconds: c.select * select_units,
                     },
                     CostTerm {
-                        op: "ARM",
+                        op: OpKind::Arm,
                         units: mining_units,
                         seconds: c.arm * mining_units,
                     },
@@ -570,19 +573,20 @@ mod tests {
             constants: CostConstants::default(),
         };
         let est = model.estimate(PlanKind::Sev, &profile(50, 25));
-        let ops: Vec<&str> = est.terms.iter().map(|t| t.op).collect();
+        let ops: Vec<&str> = est.terms.iter().map(|t| t.op.name()).collect();
         assert_eq!(ops, ["SEARCH", "ELIMINATE", "VERIFY"]);
         assert!(est.total_units() > 0.0);
-        assert!(est.term("VERIFY").is_some());
-        assert!(est.term("ARM").is_none());
+        assert!(est.term(OpKind::Verify).is_some());
+        assert!(est.term(OpKind::Arm).is_none());
         // Linear-constant operators keep seconds = units × constant.
-        let e = est.term("ELIMINATE").unwrap();
+        let e = est.term(OpKind::Eliminate).unwrap();
         assert!((e.seconds - e.units * CostConstants::default().eliminate).abs() < 1e-15);
         // The push-up term prices exactly the E + V work it merges.
         let sev = model.estimate(PlanKind::Sev, &profile(50, 25));
         let svs = model.estimate(PlanKind::Svs, &profile(50, 25));
-        let merged = svs.term("SUPPORTED-VERIFY").unwrap();
-        let split = sev.term("ELIMINATE").unwrap().units + sev.term("VERIFY").unwrap().units;
+        let merged = svs.term(OpKind::SupportedVerify).unwrap();
+        let split =
+            sev.term(OpKind::Eliminate).unwrap().units + sev.term(OpKind::Verify).unwrap().units;
         assert!((merged.units - split).abs() < 1e-9);
     }
 

@@ -1,5 +1,6 @@
 //! Typed errors for the COLARM framework.
 
+use crate::ops::OpKind;
 use colarm_data::DataError;
 use std::fmt;
 
@@ -26,6 +27,16 @@ pub enum ColarmError {
     /// plan; the MIP-index plans are bound to the primary threshold
     /// (paper footnote 2).
     UnrestrictedRequiresArm { requested: &'static str },
+    /// The query was stopped by its deadline, cost budget, or an explicit
+    /// cancel before completing. The engine checks at batch boundaries,
+    /// so cancellation is prompt (within one batch) and never yields a
+    /// silent partial answer: the whole execution fails with this error.
+    Canceled {
+        /// Cost units already consumed when the execution stopped.
+        after_units: f64,
+        /// The operator that was running (or about to run) at the check.
+        op: OpKind,
+    },
 }
 
 impl fmt::Display for ColarmError {
@@ -49,6 +60,10 @@ impl fmt::Display for ColarmError {
                 f,
                 "Semantics::Unrestricted reports rules invisible to the MIP-index; \
                  only the ARM plan can serve it (requested plan: {requested})"
+            ),
+            ColarmError::Canceled { after_units, op } => write!(
+                f,
+                "query canceled in {op} after {after_units:.0} cost units"
             ),
         }
     }

@@ -8,6 +8,7 @@
 use crate::cost::{CostEstimate, CostTerm};
 use crate::framework::Colarm;
 use crate::error::ColarmError;
+use crate::ops::OpKind;
 use crate::optimizer::PlanChoice;
 use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
@@ -96,11 +97,13 @@ impl fmt::Display for Explanation {
 ///
 /// `measured_units` and `metrics` are exact, thread-count-independent
 /// quantities; the two `*_seconds` fields are wall-clock and vary run to
-/// run. Serialize-only (operator names are `&'static str`).
+/// run. Serialize-only (`OpKind` serializes as its name string, keeping
+/// the JSON wire format identical to the string-keyed days).
 #[derive(Debug, Clone, Serialize)]
 pub struct AnalyzedOp {
-    /// Operator name (matches [`crate::ops::OpTrace::name`]).
-    pub op: &'static str,
+    /// The operator this row measures (typed; renders as the same name
+    /// string the trace reports).
+    pub op: OpKind,
     /// Raw units the cost model predicted for this operator.
     pub predicted_units: Option<f64>,
     /// Seconds the cost model predicted for this operator.
@@ -166,9 +169,9 @@ impl AnalyzeReport {
             .ops
             .iter()
             .map(|o| {
-                let term: Option<&CostTerm> = estimate.term(o.name);
+                let term: Option<&CostTerm> = estimate.term(o.kind);
                 AnalyzedOp {
-                    op: o.name,
+                    op: o.kind,
                     predicted_units: term.map(|t| t.units),
                     predicted_seconds: term.map(|t| t.seconds),
                     input: o.input,
@@ -192,9 +195,15 @@ impl AnalyzeReport {
         }
     }
 
-    /// The row of the named operator, if the plan ran it.
+    /// The row of the named operator, if the plan ran it. Resolves
+    /// through the typed kind's name, so string lookups stay robust.
     pub fn op(&self, name: &str) -> Option<&AnalyzedOp> {
-        self.ops.iter().find(|o| o.op == name)
+        self.ops.iter().find(|o| o.op.name() == name)
+    }
+
+    /// The row of the given operator kind, if the plan ran it.
+    pub fn op_kind(&self, kind: OpKind) -> Option<&AnalyzedOp> {
+        self.ops.iter().find(|o| o.op == kind)
     }
 
     /// Total measured raw units across operators — matches
@@ -207,13 +216,7 @@ impl AnalyzeReport {
     /// Fieldwise sum of the per-operator execution counters (zero when
     /// the run had metrics reporting off).
     pub fn metrics_total(&self) -> OpMetrics {
-        let mut total = OpMetrics::default();
-        for op in &self.ops {
-            if let Some(m) = op.metrics {
-                total += m;
-            }
-        }
-        total
+        OpMetrics::fold(self.ops.iter().filter_map(|o| o.metrics.as_ref()))
     }
 
     /// `actual_seconds / predicted_seconds` (`None` on a zero prediction).
@@ -398,7 +401,7 @@ mod tests {
         assert_eq!(report.total_measured_units(), analyzed.answer.trace.total_units());
         assert_eq!(report.metrics_total(), analyzed.answer.trace.metrics_total());
         for (row, op) in report.ops.iter().zip(&analyzed.answer.trace.ops) {
-            assert_eq!(row.op, op.name);
+            assert_eq!(row.op, op.kind);
             assert_eq!(row.measured_units, op.units);
             assert!(row.metrics.is_some(), "ANALYZE forces metrics on");
         }
@@ -413,7 +416,11 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains(report.plan.name()));
         for row in &report.ops {
-            assert!(text.contains(row.op), "missing {} in analyze output", row.op);
+            assert!(
+                text.contains(row.op.name()),
+                "missing {} in analyze output",
+                row.op
+            );
         }
         // JSON round-trips through serde_json's parser.
         let json = report.to_json();

@@ -3,13 +3,14 @@
 //! feedback, and `EXPLAIN ANALYZE`.
 
 use crate::cost::{CostConstants, CostModel};
+use crate::engine::QueryLimits;
 use crate::error::ColarmError;
 use crate::explain::{AnalyzeReport, AnalyzedAnswer};
 use crate::mip::{MipIndex, MipIndexConfig};
 use crate::ops::ExecOptions;
 use crate::optimizer::{FeedbackLog, Optimizer, PlanChoice};
 use crate::parse::parse_query;
-use crate::plan::{execute_plan, execute_plan_with, PlanKind, QueryAnswer};
+use crate::plan::{execute_plan, execute_plan_limited, PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
 use colarm_data::{Dataset, FocalSubset};
 use std::sync::Arc;
@@ -113,6 +114,19 @@ impl Colarm {
         self.execute_on_subset(query, &subset, ExecOptions::default())
     }
 
+    /// [`Colarm::execute`] under explicit [`QueryLimits`]: a deadline,
+    /// cost budget, or armed cancel token stops the execution with
+    /// [`ColarmError::Canceled`]. Canceled executions are never recorded
+    /// in the feedback log.
+    pub fn execute_limited(
+        &self,
+        query: &LocalizedQuery,
+        limits: &QueryLimits,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        self.execute_on_subset_limited(query, &subset, ExecOptions::default(), limits)
+    }
+
     /// [`Colarm::execute`] against an already-resolved subset with explicit
     /// execution options — the path sessions use to reuse cached subsets.
     /// The subset must come from this system's [`Colarm::prepare`].
@@ -122,13 +136,26 @@ impl Colarm {
         subset: &FocalSubset,
         opts: ExecOptions,
     ) -> Result<OptimizedAnswer, ColarmError> {
+        self.execute_on_subset_limited(query, subset, opts, &QueryLimits::none())
+    }
+
+    /// [`Colarm::execute_on_subset`] under explicit [`QueryLimits`].
+    /// Canceled executions propagate the error and never land in the
+    /// feedback log (a truncated run would poison calibration).
+    pub fn execute_on_subset_limited(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+    ) -> Result<OptimizedAnswer, ColarmError> {
         let mut choice = self.optimizer.choose(&self.index, query, subset);
         if query.semantics == crate::query::Semantics::Unrestricted {
             // Only the from-scratch plan can see below the primary
             // threshold; the optimizer's estimates stay informational.
             choice.chosen = PlanKind::Arm;
         }
-        let answer = execute_plan_with(&self.index, query, subset, choice.chosen, opts)?;
+        let answer = execute_plan_limited(&self.index, query, subset, choice.chosen, opts, limits)?;
         let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
         self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
         Ok(OptimizedAnswer { answer, choice })
@@ -196,12 +223,25 @@ impl Colarm {
         subset: &FocalSubset,
         opts: ExecOptions,
     ) -> Result<AnalyzedAnswer, ColarmError> {
+        self.explain_analyze_on_subset_limited(query, subset, opts, &QueryLimits::none())
+    }
+
+    /// [`Colarm::explain_analyze_on_subset`] under explicit
+    /// [`QueryLimits`]. A canceled analysis propagates the error; nothing
+    /// is recorded.
+    pub fn explain_analyze_on_subset_limited(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
         let mut choice = self.optimizer.choose(&self.index, query, subset);
         if query.semantics == crate::query::Semantics::Unrestricted {
             choice.chosen = PlanKind::Arm;
         }
         let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
-        self.analyze_on_subset(query, subset, choice, chosen_by_optimizer, opts)
+        self.analyze_on_subset(query, subset, choice, chosen_by_optimizer, opts, limits)
     }
 
     /// `EXPLAIN ANALYZE` for a specific (possibly non-optimal) plan — the
@@ -217,7 +257,14 @@ impl Colarm {
         let mut choice = self.optimizer.choose(&self.index, query, &subset);
         let chosen_by_optimizer = plan == choice.chosen;
         choice.chosen = plan;
-        self.analyze_on_subset(query, &subset, choice, chosen_by_optimizer, opts)
+        self.analyze_on_subset(
+            query,
+            &subset,
+            choice,
+            chosen_by_optimizer,
+            opts,
+            &QueryLimits::none(),
+        )
     }
 
     fn analyze_on_subset(
@@ -227,13 +274,15 @@ impl Colarm {
         choice: PlanChoice,
         chosen_by_optimizer: bool,
         opts: ExecOptions,
+        limits: &QueryLimits,
     ) -> Result<AnalyzedAnswer, ColarmError> {
-        let answer = execute_plan_with(
+        let answer = execute_plan_limited(
             &self.index,
             query,
             subset,
             choice.chosen,
             opts.with_metrics(true),
+            limits,
         )?;
         self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
         let report = AnalyzeReport::new(
@@ -277,7 +326,7 @@ impl Colarm {
                 let answer = execute_plan(&self.index, query, &subset, plan)?;
                 for op in &answer.trace.ops {
                     observations.push((
-                        op.name.to_string(),
+                        op.name().to_string(),
                         op.units,
                         op.duration.as_secs_f64(),
                     ));

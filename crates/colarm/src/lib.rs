@@ -44,6 +44,7 @@
 
 pub mod advisor;
 pub mod cost;
+pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod framework;
@@ -59,6 +60,7 @@ pub mod query;
 pub mod session;
 
 pub use cost::{CostEstimate, CostTerm};
+pub use engine::{pipeline_ops, Batch, CancelToken, Ctx, PlanOp, QueryLimits, ENGINE_BATCH};
 pub use error::ColarmError;
 pub use explain::{explain, AnalyzeReport, AnalyzedAnswer, AnalyzedOp, Explanation};
 pub use framework::{Colarm, OptimizedAnswer};
@@ -68,8 +70,10 @@ pub use parse::parse_query;
 pub use persist::{
     load_index, save_index, IndexSnapshot, SnapshotHeader, SnapshotReader, SnapshotWriter,
 };
-pub use ops::{ExecOptions, OpTrace};
-pub use plan::{execute_plan, execute_plan_with, ExecutionTrace, PlanKind, QueryAnswer};
+pub use ops::{ExecOptions, OpKind, OpTrace};
+pub use plan::{
+    execute_plan, execute_plan_limited, execute_plan_with, ExecutionTrace, PlanKind, QueryAnswer,
+};
 pub use query::{LocalizedQuery, Semantics};
 pub use session::{QuerySession, SessionConfig, SessionStats};
 

@@ -48,11 +48,84 @@ use colarm_mine::CfiId;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
+/// The nine mining operators, as a typed key. `Display` (and
+/// [`OpKind::name`]) render exactly the names the cost model's term
+/// names and the pre-engine string traces used, so rendered output is
+/// unchanged — but trace and cost-term lookups compare this enum, never
+/// display strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// `S`: hull range search.
+    Search,
+    /// `SS`: range search with the Lemma 4.4 support bound.
+    SupportedSearch,
+    /// Contained/partial split (SS-E-U-V); priced into its neighbours.
+    Classify,
+    /// `E`: projection + record-level local-support checks.
+    Eliminate,
+    /// `U`: constant-time merge of disjoint candidate lists.
+    Union,
+    /// `V`: rule generation + confidence verification.
+    Verify,
+    /// `VS`: ELIMINATE merged into VERIFY (selection push-up).
+    SupportedVerify,
+    /// `σ`: focal-subset extraction for the traditional plan.
+    Select,
+    /// `εAR`: from-scratch mining over the subset.
+    Arm,
+}
+
+impl OpKind {
+    /// All operators, in a fixed order.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::Search,
+        OpKind::SupportedSearch,
+        OpKind::Classify,
+        OpKind::Eliminate,
+        OpKind::Union,
+        OpKind::Verify,
+        OpKind::SupportedVerify,
+        OpKind::Select,
+        OpKind::Arm,
+    ];
+
+    /// The operator's name — identical to the pre-`OpKind` trace strings
+    /// and to the cost model's term names.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Search => "SEARCH",
+            OpKind::SupportedSearch => "SUPPORTED-SEARCH",
+            OpKind::Classify => "CLASSIFY",
+            OpKind::Eliminate => "ELIMINATE",
+            OpKind::Union => "UNION",
+            OpKind::Verify => "VERIFY",
+            OpKind::SupportedVerify => "SUPPORTED-VERIFY",
+            OpKind::Select => "SELECT",
+            OpKind::Arm => "ARM",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Serialized reports (EXPLAIN ANALYZE JSON) carried plain name strings
+// before the typed key existed; keep the wire format identical.
+impl serde::Serialize for OpKind {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name())
+    }
+}
+
 /// Instrumentation for one operator execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpTrace {
-    /// Operator name (matches the cost model's term names).
-    pub name: &'static str,
+    /// Which operator ran (its [`OpKind::name`] matches the cost model's
+    /// term names).
+    pub kind: OpKind,
     /// Input cardinality.
     pub input: usize,
     /// Output cardinality.
@@ -68,6 +141,13 @@ pub struct OpTrace {
     /// at every thread count — they fold in input order, and VERIFY's
     /// memo chunking depends only on input size.
     pub metrics: Option<OpMetrics>,
+}
+
+impl OpTrace {
+    /// The operator's display name (`self.kind.name()`).
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
 }
 
 /// Execution options for the operators that can spread their per-candidate
@@ -111,7 +191,7 @@ impl ExecOptions {
 
 /// Below this many candidates the per-candidate work is cheaper than
 /// spawning scoped threads, so the operators stay sequential.
-const PAR_MIN_CANDIDATES: usize = 32;
+pub(crate) const PAR_MIN_CANDIDATES: usize = 32;
 
 /// A candidate body flowing between operators: the projection-closed
 /// itemset plus the stored CFI whose tidset equals the body's global
@@ -131,7 +211,7 @@ pub struct Candidate {
 /// raw candidate CFI ids ({I_S^Q} may contain false positives, never
 /// false negatives).
 pub fn search(index: &MipIndex, subset: &FocalSubset) -> (Vec<CfiId>, OpTrace) {
-    run_search("SEARCH", index, subset, 0)
+    run_search(OpKind::Search, index, subset, 0)
 }
 
 /// SUPPORTED-SEARCH: range search pruned by the global-support bound
@@ -141,11 +221,11 @@ pub fn supported_search(
     subset: &FocalSubset,
     minsupp_count: usize,
 ) -> (Vec<CfiId>, OpTrace) {
-    run_search("SUPPORTED-SEARCH", index, subset, minsupp_count as u32)
+    run_search(OpKind::SupportedSearch, index, subset, minsupp_count as u32)
 }
 
 fn run_search(
-    name: &'static str,
+    kind: OpKind,
     index: &MipIndex,
     subset: &FocalSubset,
     min_weight: u32,
@@ -155,7 +235,7 @@ fn run_search(
     let (hits, counters) = index.rtree().query(&rect, min_weight);
     let out: Vec<CfiId> = hits.iter().map(|h| *h.payload).collect();
     let trace = OpTrace {
-        name,
+        kind,
         input: index.num_mips(),
         output: out.len(),
         units: counters.nodes_visited as f64,
@@ -179,11 +259,27 @@ fn project_bodies(
     query: &LocalizedQuery,
     candidates: Vec<CfiId>,
 ) -> Vec<Candidate> {
-    let schema = index.dataset().schema();
-    let tree = index.ittree();
     let mut seen: HashSet<Itemset> = HashSet::with_capacity(candidates.len());
     let mut out = Vec::with_capacity(candidates.len());
-    for id in candidates {
+    project_bodies_into(index, query, &candidates, &mut seen, &mut out);
+    out
+}
+
+/// Batch-friendly core of [`project_bodies`]: the dedup set persists
+/// across calls, so a stream of candidate batches projects to exactly the
+/// candidates (in the same order) one monolithic call would produce. The
+/// engine's batched operators rely on this to stay bit-identical with the
+/// free-function path.
+pub(crate) fn project_bodies_into(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    candidates: &[CfiId],
+    seen: &mut HashSet<Itemset>,
+    out: &mut Vec<Candidate>,
+) {
+    let schema = index.dataset().schema();
+    let tree = index.ittree();
+    for &id in candidates {
         let cfi = tree.get(id);
         let (body, closure) = match &query.item_attrs {
             None => (cfi.itemset.clone(), id),
@@ -225,7 +321,6 @@ fn project_bodies(
             });
         }
     }
-    out
 }
 
 /// Split candidates into (contained, partial) per the exact §3.4 test,
@@ -238,10 +333,40 @@ pub fn classify(
     candidates: Vec<CfiId>,
 ) -> (Vec<Candidate>, Vec<Candidate>, OpTrace) {
     let start = Instant::now();
-    let schema = index.dataset().schema();
     let input = candidates.len();
     let bodies = project_bodies(index, query, candidates);
     let (mut contained, mut partial) = (Vec::new(), Vec::new());
+    classify_bodies(index, subset, bodies, &mut contained, &mut partial);
+    let trace = OpTrace {
+        kind: OpKind::Classify,
+        input,
+        output: contained.len() + partial.len(),
+        units: input as f64,
+        duration: start.elapsed(),
+        // Contained candidates leave with a free local count (Lemma 4.5) —
+        // record checks the downstream ELIMINATE never has to pay.
+        metrics: Some(OpMetrics {
+            scanned: input as u64,
+            emitted: (contained.len() + partial.len()) as u64,
+            cache_hits: contained.len() as u64,
+            ..OpMetrics::default()
+        }),
+    };
+    (contained, partial, trace)
+}
+
+/// Batch-friendly core of [`classify`]: the contained/partial split over
+/// already-projected bodies, appending to caller-held output lists so a
+/// stream of body batches classifies to exactly what one monolithic call
+/// would produce.
+pub(crate) fn classify_bodies(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    bodies: Vec<Candidate>,
+    contained: &mut Vec<Candidate>,
+    partial: &mut Vec<Candidate>,
+) {
+    let schema = index.dataset().schema();
     for mut c in bodies {
         // Classification runs on the *closure's* full itemset: its box
         // bounds every record supporting the body, so containment makes
@@ -259,22 +384,6 @@ pub fn classify(
             Overlap::Disjoint => {}
         }
     }
-    let trace = OpTrace {
-        name: "CLASSIFY",
-        input,
-        output: contained.len() + partial.len(),
-        units: input as f64,
-        duration: start.elapsed(),
-        // Contained candidates leave with a free local count (Lemma 4.5) —
-        // record checks the downstream ELIMINATE never has to pay.
-        metrics: Some(OpMetrics {
-            scanned: input as u64,
-            emitted: (contained.len() + partial.len()) as u64,
-            cache_hits: contained.len() as u64,
-            ..OpMetrics::default()
-        }),
-    };
-    (contained, partial, trace)
 }
 
 /// ELIMINATE over raw search output: `Aitem` projection plus record-level
@@ -310,7 +419,7 @@ pub fn eliminate_with(
     let bodies = project_bodies(index, query, candidates);
     let (out, meter) = eliminate_bodies(index, subset, bodies, minsupp_count, opts.threads);
     let trace = OpTrace {
-        name: "ELIMINATE",
+        kind: OpKind::Eliminate,
         input,
         output: out.len(),
         units: meter.units,
@@ -343,7 +452,7 @@ pub fn eliminate_projected_with(
     let input = candidates.len();
     let (out, meter) = eliminate_bodies(index, subset, candidates, minsupp_count, opts.threads);
     let trace = OpTrace {
-        name: "ELIMINATE",
+        kind: OpKind::Eliminate,
         input,
         output: out.len(),
         units: meter.units,
@@ -381,7 +490,7 @@ fn check_body(
     (verdict, meter)
 }
 
-fn eliminate_bodies(
+pub(crate) fn eliminate_bodies(
     index: &MipIndex,
     subset: &FocalSubset,
     bodies: Vec<Candidate>,
@@ -434,7 +543,7 @@ pub fn verify_with(
     let start = Instant::now();
     let (rules, meter) = verify_candidates(index, subset, candidates, minconf, opts.threads);
     let trace = OpTrace {
-        name: "VERIFY",
+        kind: OpKind::Verify,
         input: candidates.len(),
         output: rules.len(),
         units: meter.units,
@@ -449,14 +558,14 @@ pub fn verify_with(
 /// count — so each memo's hit/miss sequence (and the intersections the
 /// misses trigger) is part of the deterministic output, not a scheduling
 /// artifact. A sequential run executes the exact same chunks in order.
-const VERIFY_MEMO_SPAN: usize = 32;
+pub(crate) const VERIFY_MEMO_SPAN: usize = 32;
 
 /// Shared VERIFY core: rule generation + confidence checks over qualified
 /// candidates, optionally chunked across threads. Each chunk runs its own
 /// [`ClosureSupportOracle`] (the memo only affects speed, never values);
 /// rules, unit sums and counters merge in candidate order, so the output —
 /// ordering and metrics included — is bit-identical at every thread count.
-fn verify_candidates(
+pub(crate) fn verify_candidates(
     index: &MipIndex,
     subset: &FocalSubset,
     candidates: &[Candidate],
@@ -541,7 +650,7 @@ pub fn supported_verify_with(
     metrics.scanned = input as u64;
     metrics.emitted = rules.len() as u64;
     let trace = OpTrace {
-        name: "SUPPORTED-VERIFY",
+        kind: OpKind::SupportedVerify,
         input,
         output: rules.len(),
         units: eliminate_meter.units + verify_meter.units,
@@ -559,7 +668,7 @@ pub fn union_lists(mut a: Vec<Candidate>, mut b: Vec<Candidate>) -> (Vec<Candida
     let input = a.len() + b.len();
     a.append(&mut b);
     let trace = OpTrace {
-        name: "UNION",
+        kind: OpKind::Union,
         input,
         output: a.len(),
         units: 1.0,
@@ -600,7 +709,7 @@ pub fn select_with(
         opts.threads,
     );
     let trace = OpTrace {
-        name: "SELECT",
+        kind: OpKind::Select,
         input: index.dataset().num_records(),
         output: subset.len(),
         units: subset.len() as f64 * index.dataset().schema().num_attributes() as f64,
@@ -730,7 +839,7 @@ pub fn arm_with(
     }
     metrics.emitted = rules.len() as u64;
     let trace = OpTrace {
-        name: "ARM",
+        kind: OpKind::Arm,
         input: subset.len(),
         output: rules.len(),
         units,

@@ -147,7 +147,7 @@ impl FeedbackLog {
                 .trace
                 .ops
                 .iter()
-                .map(|o| (o.name, o.units, o.duration.as_secs_f64()))
+                .map(|o| (o.name(), o.units, o.duration.as_secs_f64()))
                 .collect(),
         };
         let mut entries = self.entries.lock();
@@ -319,6 +319,7 @@ mod tests {
 
     fn synthetic_choice() -> PlanChoice {
         use crate::cost::{CostEstimate, CostTerm};
+        use crate::ops::OpKind;
         PlanChoice {
             chosen: PlanKind::Sev,
             estimates: PlanKind::ALL
@@ -326,7 +327,7 @@ mod tests {
                 .map(|&p| CostEstimate {
                     plan: p,
                     terms: vec![CostTerm {
-                        op: "SEARCH",
+                        op: OpKind::Search,
                         units: 1.0,
                         seconds: 1e-6,
                     }],

@@ -13,14 +13,15 @@
 //! differ only in execution cost. Plan equivalence is enforced by the
 //! integration and property tests.
 
+use crate::engine::{self, QueryLimits};
 use crate::error::ColarmError;
 use crate::mip::MipIndex;
-use crate::ops::{self, ExecOptions, OpTrace};
+use crate::ops::{ExecOptions, OpKind, OpTrace};
 use crate::query::LocalizedQuery;
 use colarm_data::FocalSubset;
 use colarm_mine::rules::Rule;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One of the six mining plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,9 +106,17 @@ pub struct ExecutionTrace {
 }
 
 impl ExecutionTrace {
-    /// The trace of the named operator, if it ran.
+    /// The trace of the named operator, if it ran. Resolves through each
+    /// trace's typed [`OpKind`] (`o.name()`), so lookups stay robust to
+    /// how the trace was produced.
     pub fn op(&self, name: &str) -> Option<&OpTrace> {
-        self.ops.iter().find(|o| o.name == name)
+        self.ops.iter().find(|o| o.name() == name)
+    }
+
+    /// The trace of the given operator kind, if it ran — the typed
+    /// counterpart of [`ExecutionTrace::op`].
+    pub fn op_kind(&self, kind: OpKind) -> Option<&OpTrace> {
+        self.ops.iter().find(|o| o.kind == kind)
     }
 
     /// Total raw cost units across all operators — the quantity the
@@ -120,13 +129,7 @@ impl ExecutionTrace {
     /// Fieldwise sum of the per-operator execution counters. Zero when the
     /// plan ran with metrics reporting disabled.
     pub fn metrics_total(&self) -> colarm_data::metrics::OpMetrics {
-        let mut total = colarm_data::metrics::OpMetrics::default();
-        for op in &self.ops {
-            if let Some(m) = op.metrics {
-                total += m;
-            }
-        }
-        total
+        colarm_data::metrics::OpMetrics::fold(self.ops.iter().filter_map(|o| o.metrics.as_ref()))
     }
 }
 
@@ -157,6 +160,10 @@ pub fn execute_plan(
 /// Execute one plan over a resolved focal subset. The answer — rules,
 /// ordering, per-operator units — is bit-identical at every `opts.threads`
 /// setting; only durations vary.
+///
+/// Every plan runs through the operator engine ([`crate::engine`]): this
+/// is a thin wrapper applying no limits (no deadline, no budget, no
+/// cancellation). Use [`execute_plan_limited`] to bound the execution.
 pub fn execute_plan_with(
     index: &MipIndex,
     query: &LocalizedQuery,
@@ -164,100 +171,21 @@ pub fn execute_plan_with(
     plan: PlanKind,
     opts: ExecOptions,
 ) -> Result<QueryAnswer, ColarmError> {
-    query.validate(index.dataset().schema())?;
-    if subset.is_empty() {
-        return Err(ColarmError::EmptySubset);
-    }
-    if query.semantics == crate::query::Semantics::Unrestricted && plan != PlanKind::Arm {
-        return Err(ColarmError::UnrestrictedRequiresArm {
-            requested: plan.name(),
-        });
-    }
-    let start = Instant::now();
-    let minsupp_count = query.minsupp_count(subset.len());
-    let minconf = query.minconf;
-    let mut ops_trace = Vec::new();
-    let mut rules = match plan {
-        PlanKind::Sev => {
-            let (cands, t) = ops::search(index, subset);
-            ops_trace.push(t);
-            let (kept, t) =
-                ops::eliminate_with(index, query, subset, cands, minsupp_count, opts);
-            ops_trace.push(t);
-            let (rules, t) = ops::verify_with(index, subset, &kept, minconf, opts);
-            ops_trace.push(t);
-            rules
-        }
-        PlanKind::Svs => {
-            let (cands, t) = ops::search(index, subset);
-            ops_trace.push(t);
-            let (rules, t) = ops::supported_verify_with(
-                index, query, subset, cands, minsupp_count, minconf, opts,
-            );
-            ops_trace.push(t);
-            rules
-        }
-        PlanKind::SsEv => {
-            let (cands, t) = ops::supported_search(index, subset, minsupp_count);
-            ops_trace.push(t);
-            let (kept, t) =
-                ops::eliminate_with(index, query, subset, cands, minsupp_count, opts);
-            ops_trace.push(t);
-            let (rules, t) = ops::verify_with(index, subset, &kept, minconf, opts);
-            ops_trace.push(t);
-            rules
-        }
-        PlanKind::SsVs => {
-            let (cands, t) = ops::supported_search(index, subset, minsupp_count);
-            ops_trace.push(t);
-            let (rules, t) = ops::supported_verify_with(
-                index, query, subset, cands, minsupp_count, minconf, opts,
-            );
-            ops_trace.push(t);
-            rules
-        }
-        PlanKind::SsEuv => {
-            let (cands, t) = ops::supported_search(index, subset, minsupp_count);
-            ops_trace.push(t);
-            let (contained, partial, t) = ops::classify(index, query, subset, cands);
-            ops_trace.push(t);
-            let (kept_partial, t) =
-                ops::eliminate_projected_with(index, subset, partial, minsupp_count, opts);
-            ops_trace.push(t);
-            let (merged, t) = ops::union_lists(contained, kept_partial);
-            ops_trace.push(t);
-            let (rules, t) = ops::verify_with(index, subset, &merged, minconf, opts);
-            ops_trace.push(t);
-            rules
-        }
-        PlanKind::Arm => {
-            let (columns, t) = ops::select_with(index, query, subset, opts);
-            ops_trace.push(t);
-            let (rules, t) =
-                ops::arm_with(index, query, subset, &columns, minsupp_count, minconf, opts);
-            ops_trace.push(t);
-            rules
-        }
-    };
-    rules.sort_by(|a, b| {
-        (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent))
-    });
-    if !opts.metrics {
-        // Counters are collected unconditionally (they ride on work that
-        // dwarfs them); the flag controls whether traces *report* them.
-        for op in &mut ops_trace {
-            op.metrics = None;
-        }
-    }
-    Ok(QueryAnswer {
-        plan,
-        rules,
-        subset_size: subset.len(),
-        trace: ExecutionTrace {
-            ops: ops_trace,
-            total: start.elapsed(),
-        },
-    })
+    engine::execute(index, query, subset, plan, opts, &QueryLimits::none())
+}
+
+/// [`execute_plan_with`] under explicit [`QueryLimits`]: a deadline, cost
+/// budget, or armed cancel token stops the run at the next batch boundary
+/// with [`ColarmError::Canceled`].
+pub fn execute_plan_limited(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    plan: PlanKind,
+    opts: ExecOptions,
+    limits: &QueryLimits,
+) -> Result<QueryAnswer, ColarmError> {
+    engine::execute(index, query, subset, plan, opts, limits)
 }
 
 #[cfg(test)]
@@ -319,7 +247,7 @@ mod tests {
         let (index, query) = setup();
         let subset = index.resolve_subset(query.range.clone()).unwrap();
         let a = execute_plan(&index, &query, &subset, PlanKind::SsEuv).unwrap();
-        let names: Vec<&str> = a.trace.ops.iter().map(|o| o.name).collect();
+        let names: Vec<&str> = a.trace.ops.iter().map(|o| o.name()).collect();
         assert_eq!(
             names,
             ["SUPPORTED-SEARCH", "CLASSIFY", "ELIMINATE", "UNION", "VERIFY"]

@@ -18,6 +18,7 @@
 //! worker threads and async tasks; clones of the `Arc` can serve multiple
 //! sessions at once.
 
+use crate::engine::{CancelToken, QueryLimits};
 use crate::error::ColarmError;
 use crate::explain::AnalyzedAnswer;
 use crate::framework::Colarm;
@@ -27,8 +28,9 @@ use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::{LocalizedQuery, Semantics};
 use colarm_data::{AttributeId, FocalSubset, RangeSpec};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Cache key: the query with thresholds in hashable (bit) form.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -96,6 +98,12 @@ pub struct QuerySession {
     /// sequential). Answers are bit-identical at any setting, so cached
     /// entries stay valid across changes.
     threads: AtomicUsize,
+    /// Per-query deadline in nanoseconds; 0 = none. Applied to every
+    /// execution this session runs.
+    timeout_ns: AtomicU64,
+    /// Cooperative cancellation flag shared with every execution this
+    /// session runs; armed via [`QuerySession::cancel`].
+    cancel: CancelToken,
     subsets: Mutex<LruCache<RangeSpec, Arc<FocalSubset>>>,
     answers: Mutex<LruCache<AnswerKey, Arc<QueryAnswer>>>,
     subset_hits: AtomicUsize,
@@ -116,6 +124,8 @@ impl QuerySession {
             colarm,
             config,
             threads: AtomicUsize::new(0),
+            timeout_ns: AtomicU64::new(0),
+            cancel: CancelToken::new(),
             subsets: Mutex::new(LruCache::new(config.max_subsets)),
             answers: Mutex::new(LruCache::new(config.max_answers)),
             subset_hits: AtomicUsize::new(0),
@@ -146,6 +156,53 @@ impl QuerySession {
         ExecOptions::with_threads(self.threads.load(Ordering::Relaxed))
     }
 
+    /// Set (or clear, with `None`) the per-query deadline applied to
+    /// every execution this session runs. A timed-out execution fails
+    /// with [`ColarmError::Canceled`] naming the operator it stopped in;
+    /// canceled answers are never cached, so a later retry without the
+    /// deadline re-executes fully. `Some(Duration::ZERO)` is a valid
+    /// setting: every execution cancels before its first operator.
+    pub fn set_timeout(&self, timeout: Option<Duration>) {
+        let ns = timeout.map_or(0, |t| {
+            u64::try_from(t.as_nanos()).unwrap_or(u64::MAX).max(1)
+        });
+        self.timeout_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The session's current per-query deadline, if one is set.
+    pub fn timeout(&self) -> Option<Duration> {
+        match self.timeout_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Arm the session's cancel token: in-flight and subsequent
+    /// executions fail with [`ColarmError::Canceled`] at their next batch
+    /// boundary until [`QuerySession::reset_cancel`] disarms it. The
+    /// session itself stays fully usable — caches, stats, and later
+    /// queries are unaffected.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Disarm the cancel token so executions run normally again.
+    pub fn reset_cancel(&self) {
+        self.cancel.reset();
+    }
+
+    /// The session's cancel token — clone it into whatever (signal
+    /// handler, watchdog thread) may need to cancel from outside.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    fn limits(&self) -> QueryLimits {
+        let mut limits = QueryLimits::none().with_cancel(self.cancel.clone());
+        limits.timeout = self.timeout();
+        limits
+    }
+
     /// Resolve (or reuse) the focal subset of a range spec.
     pub fn subset(&self, range: &RangeSpec) -> Result<Arc<FocalSubset>, ColarmError> {
         if let Some(cached) = self.subsets.lock().get(range) {
@@ -170,9 +227,14 @@ impl QuerySession {
         if subset.is_empty() {
             return Err(ColarmError::EmptySubset);
         }
-        let out = self
-            .colarm
-            .execute_on_subset(query, &subset, self.exec_options())?;
+        // A canceled execution propagates here before anything is cached:
+        // partial work never masquerades as an answer.
+        let out = self.colarm.execute_on_subset_limited(
+            query,
+            &subset,
+            self.exec_options(),
+            &self.limits(),
+        )?;
         let answer = Arc::new(out.answer);
         self.answer_misses.fetch_add(1, Ordering::Relaxed);
         self.answers.lock().insert(key, answer.clone());
@@ -187,12 +249,13 @@ impl QuerySession {
         plan: PlanKind,
     ) -> Result<QueryAnswer, ColarmError> {
         let subset = self.subset(&query.range)?;
-        crate::plan::execute_plan_with(
+        crate::plan::execute_plan_limited(
             self.colarm.index(),
             query,
             &subset,
             plan,
             self.exec_options(),
+            &self.limits(),
         )
     }
 
@@ -208,8 +271,12 @@ impl QuerySession {
         if subset.is_empty() {
             return Err(ColarmError::EmptySubset);
         }
-        self.colarm
-            .explain_analyze_on_subset(query, &subset, self.exec_options())
+        self.colarm.explain_analyze_on_subset_limited(
+            query,
+            &subset,
+            self.exec_options(),
+            &self.limits(),
+        )
     }
 
     /// Session cache statistics.
@@ -476,6 +543,56 @@ mod tests {
             }
         });
         assert_eq!(session.stats().answer_misses, 3);
+    }
+
+    #[test]
+    fn zero_timeout_cancels_and_clearing_it_restores_the_session() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(colarm);
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        session.set_timeout(Some(Duration::ZERO));
+        let err = session.execute(&q).unwrap_err();
+        assert!(
+            matches!(err, ColarmError::Canceled { .. }),
+            "expected Canceled, got {err:?}"
+        );
+        assert!(err.to_string().contains("canceled in"));
+        // The canceled run was never cached...
+        assert_eq!(session.stats().answer_misses, 0);
+        // ...and the session works again once the deadline is lifted.
+        session.set_timeout(None);
+        assert_eq!(session.timeout(), None);
+        session.execute(&q).unwrap();
+        assert_eq!(session.stats().answer_misses, 1);
+    }
+
+    #[test]
+    fn armed_cancel_token_blocks_until_reset() {
+        let colarm = system();
+        let session = QuerySession::new(colarm);
+        let q = LocalizedQuery::builder()
+            .minsupp(0.5)
+            .minconf(0.8)
+            .build()
+            .unwrap();
+        session.cancel();
+        let err = session.execute(&q).unwrap_err();
+        assert!(matches!(err, ColarmError::Canceled { .. }));
+        // Cached state and stats are untouched by the cancellation; a
+        // reset session executes (and caches) normally.
+        session.reset_cancel();
+        session.execute(&q).unwrap();
+        session.execute(&q).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.answer_misses, 1);
+        assert_eq!(stats.answer_hits, 1);
     }
 
     #[test]

@@ -59,6 +59,18 @@ impl OpMetrics {
     pub fn is_zero(&self) -> bool {
         *self == OpMetrics::default()
     }
+
+    /// Fold a sequence of counter blocks into one total — the batch-
+    /// boundary fold of the plan engine. Fieldwise `u64` addition is
+    /// associative, so any contiguous batching of the same per-item
+    /// blocks folds to the same bits as one monolithic pass.
+    pub fn fold<'a>(blocks: impl IntoIterator<Item = &'a OpMetrics>) -> OpMetrics {
+        let mut total = OpMetrics::default();
+        for b in blocks {
+            total += *b;
+        }
+        total
+    }
 }
 
 impl AddAssign for OpMetrics {

@@ -62,7 +62,7 @@ fn main() {
             .trace
             .ops
             .iter()
-            .map(|o| format!("{} {:.1}ms ({}→{})", o.name, o.duration.as_secs_f64() * 1e3, o.input, o.output))
+            .map(|o| format!("{} {:.1}ms ({}→{})", o.kind, o.duration.as_secs_f64() * 1e3, o.input, o.output))
             .collect();
         let marker = if plan == choice.chosen { "→" } else { " " };
         println!(

@@ -78,7 +78,7 @@ fn main() {
             .trace
             .ops
             .iter()
-            .map(|o| o.name)
+            .map(|o| o.name())
             .collect::<Vec<_>>()
             .join(" → ")
     );

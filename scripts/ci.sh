@@ -2,7 +2,8 @@
 # Tier-1 verification plus lint, as run by CI.
 #
 #   scripts/ci.sh            # build + test + clippy
-#   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json + BENCH_snapshot.json
+#   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json,
+#                            # BENCH_snapshot.json + BENCH_engine.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +30,8 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release --bin bench_tidset
     echo "==> bench_snapshot (binary vs JSON snapshot)"
     cargo run --release --bin bench_snapshot
+    echo "==> bench_engine (operator-engine dispatch overhead)"
+    cargo run --release --bin bench_engine
 fi
 
 echo "ci: all green"

@@ -99,14 +99,14 @@ fn all_plans_bit_identical_across_thread_counts() {
                 assert_eq!(par.rules, seq.rules, "{plan} diverged at {threads} threads");
                 assert_eq!(par.trace.ops.len(), seq.trace.ops.len());
                 for (a, b) in seq.trace.ops.iter().zip(&par.trace.ops) {
-                    assert_eq!(a.name, b.name);
-                    assert_eq!(a.input, b.input, "{plan}/{} at {threads} threads", a.name);
-                    assert_eq!(a.output, b.output, "{plan}/{} at {threads} threads", a.name);
+                    assert_eq!(a.kind, b.kind);
+                    assert_eq!(a.input, b.input, "{plan}/{} at {threads} threads", a.kind);
+                    assert_eq!(a.output, b.output, "{plan}/{} at {threads} threads", a.kind);
                     assert_eq!(
                         a.units.to_bits(),
                         b.units.to_bits(),
                         "{plan}/{} unit accounting drifted at {threads} threads",
-                        a.name
+                        a.kind
                     );
                 }
             }
