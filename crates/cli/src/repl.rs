@@ -80,14 +80,24 @@ pub fn run(mut colarm: Arc<Colarm>, timeout: Option<Duration>) -> Result<(), Str
             ":stats" => {
                 let s = session.stats();
                 println!(
-                    "  subsets: {} cached hits / {} resolved / {} evicted; \
+                    "  subsets: {} cached hits / {} derived / {} resolved / {} evicted; \
                      answers: {} hits / {} executed / {} evicted",
                     s.subset_hits,
+                    s.subsets_derived,
                     s.subset_misses,
                     s.subset_evictions,
                     s.answer_hits,
                     s.answer_misses,
                     s.answer_evictions
+                );
+                println!(
+                    "  columns: {} exact hits / {} derived / {} scanned / {} evicted",
+                    s.column_hits, s.columns_derived, s.column_misses, s.column_evictions
+                );
+                let p = colarm::pool_stats();
+                println!(
+                    "  pool: {} workers, {} tasks, {} steals, {} parks/{} unparks",
+                    p.workers, p.tasks_submitted, p.steals, p.parks, p.unparks
                 );
             }
             ":advise" => match colarm::advisor::advise(

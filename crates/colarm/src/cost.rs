@@ -235,6 +235,30 @@ impl Default for CostConstants {
     }
 }
 
+/// How the ARM plan's SELECT would be served, given the session's caches.
+///
+/// Standalone executions always scan fresh; a [`crate::QuerySession`]
+/// probes its restricted-column cache before optimizing and threads the
+/// answer into the [`QueryProfile`] so the plan choice reflects the real
+/// (cheaper) SELECT the engine is about to run. Predicted *units* are
+/// unchanged — only the seconds drop, mirroring the executor, whose
+/// traces stay cache-independent while its wall-clock does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum SelectReuse {
+    /// No reusable materialization: SELECT probes the global vertical DB.
+    #[default]
+    Fresh,
+    /// A refined parent's columns are cached; SELECT intersects them with
+    /// the focal subset. `volume` is the parent columns' total tid count —
+    /// the work actually scanned instead of the global tid-lists.
+    Derive {
+        /// Total tids across the cached parent's columns.
+        volume: f64,
+    },
+    /// The exact column set is cached: SELECT is a constant-time handoff.
+    Cached,
+}
+
 /// Query-specific inputs to the estimator, computed once per query.
 #[derive(Debug, Clone)]
 pub struct QueryProfile {
@@ -255,6 +279,8 @@ pub struct QueryProfile {
     /// Tidset volume of the restricted item columns the ARM plan clones
     /// (exact when `arm_mined` is exact, else estimated).
     pub arm_clone_units: f64,
+    /// How SELECT would be served by the session's column cache.
+    pub select_reuse: SelectReuse,
 }
 
 /// The cost model: statistics + constants.
@@ -422,11 +448,27 @@ impl CostModel {
                     + est_mined * s.avg_supp_tidwork
                     + est_mined * dq * sigma_e;
                 let select_units = dq * s.num_attrs.max(1) as f64;
+                // A session-cached materialization serves SELECT cheaper
+                // than the fresh scan the units describe: deriving scans
+                // only the parent columns' tids (a strict subset of the
+                // global volume for any proper refinement), and an exact
+                // hit is a constant-time handoff. Units stay the fresh
+                // scan's — they are the executor's trace scale, which is
+                // deliberately cache-independent.
+                let select_seconds = match q.select_reuse {
+                    SelectReuse::Fresh => c.select * select_units,
+                    SelectReuse::Derive { volume } => {
+                        let global =
+                            (s.num_records as f64) * q.item_attrs.max(1) as f64;
+                        c.select * select_units * (volume / global.max(1.0)).min(1.0)
+                    }
+                    SelectReuse::Cached => c.union_const,
+                };
                 vec![
                     CostTerm {
                         op: OpKind::Select,
                         units: select_units,
-                        seconds: c.select * select_units,
+                        seconds: select_seconds,
                     },
                     CostTerm {
                         op: OpKind::Arm,
@@ -525,7 +567,33 @@ mod tests {
             contained_frac: 0.3,
             arm_mined: None,
             arm_clone_units: 100.0,
+            select_reuse: SelectReuse::Fresh,
         }
+    }
+
+    #[test]
+    fn cached_parent_lowers_predicted_select_seconds() {
+        let model = CostModel {
+            stats: synthetic_stats(),
+            constants: CostConstants::default(),
+        };
+        let fresh = model.estimate(PlanKind::Arm, &profile(50, 25));
+        let mut q = profile(50, 25);
+        q.select_reuse = SelectReuse::Derive { volume: 80.0 }; // 80 of 100×2 global tids
+        let derive = model.estimate(PlanKind::Arm, &q);
+        q.select_reuse = SelectReuse::Cached;
+        let cached = model.estimate(PlanKind::Arm, &q);
+        let secs = |e: &CostEstimate| e.term(OpKind::Select).unwrap().seconds;
+        assert!(secs(&derive) < secs(&fresh), "derive must beat fresh");
+        assert!(secs(&cached) < secs(&derive), "exact hit must beat derive");
+        // Predicted units are the executor's trace scale: cache-independent.
+        let units = |e: &CostEstimate| e.term(OpKind::Select).unwrap().units;
+        assert_eq!(units(&fresh).to_bits(), units(&derive).to_bits());
+        assert_eq!(units(&fresh).to_bits(), units(&cached).to_bits());
+        // A volume at (or above) the global volume clamps to the fresh cost.
+        q.select_reuse = SelectReuse::Derive { volume: 1.0e9 };
+        let clamped = model.estimate(PlanKind::Arm, &q);
+        assert_eq!(secs(&clamped).to_bits(), secs(&fresh).to_bits());
     }
 
     #[test]

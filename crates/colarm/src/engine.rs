@@ -37,6 +37,7 @@ use crate::mip::MipIndex;
 use crate::ops::{self, Candidate, ExecOptions, OpKind, OpTrace};
 use crate::plan::{ExecutionTrace, PlanKind, QueryAnswer};
 use crate::query::{LocalizedQuery, Semantics};
+use crate::reuse::{ColumnReuse, ColumnStore};
 use colarm_data::metrics::Meter;
 use colarm_data::{FocalSubset, Itemset};
 use colarm_mine::rules::Rule;
@@ -140,6 +141,8 @@ pub struct Ctx<'a> {
     cancel: CancelToken,
     units: f64,
     traces: Vec<OpTrace>,
+    /// Session column cache consulted by SELECT; `None` = always fresh.
+    columns: Option<&'a dyn ColumnStore>,
 }
 
 impl<'a> Ctx<'a> {
@@ -163,7 +166,15 @@ impl<'a> Ctx<'a> {
             cancel: limits.cancel.clone(),
             units: 0.0,
             traces: Vec::new(),
+            columns: None,
         }
+    }
+
+    /// Attach a session's column store for SELECT reuse (`None` by
+    /// default: every SELECT scans fresh).
+    pub fn with_column_store(mut self, store: Option<&'a dyn ColumnStore>) -> Ctx<'a> {
+        self.columns = store;
+        self
     }
 
     /// Charge raw cost units against the budget.
@@ -223,8 +234,9 @@ pub enum Batch {
         /// Partially overlapping candidates, pending ELIMINATE.
         partial: Vec<Candidate>,
     },
-    /// SELECT's restricted vertical columns.
-    Columns(Vec<ItemTids>),
+    /// SELECT's restricted vertical columns, shared so a session cache
+    /// can retain the materialization without copying a tid-list.
+    Columns(Arc<Vec<ItemTids>>),
     /// Final rules.
     Rules(Vec<Rule>),
 }
@@ -582,6 +594,14 @@ impl PlanOp for SupportedVerifyOp {
 
 /// SELECT: focal-subset extraction for the traditional plan. One shot —
 /// a pipeline breaker by nature (ARM needs every column).
+///
+/// With a [`ColumnStore`] attached, the materialization may be served
+/// from an exact cached entry or derived from a cached parent subset's
+/// columns. All three paths emit the same trace `units` (the fresh-scan
+/// formula), so rules, unit accounting, and budget behaviour are
+/// independent of cache state; only the metrics counters reveal which
+/// path ran. Publication happens strictly after complete
+/// materialization (never-cache-partial).
 struct SelectOp;
 
 impl PlanOp for SelectOp {
@@ -590,7 +610,32 @@ impl PlanOp for SelectOp {
     }
 
     fn run(&self, ctx: &mut Ctx<'_>, _input: Batch) -> Result<Batch, ColarmError> {
-        let (columns, trace) = ops::select_with(ctx.index, ctx.query, ctx.subset, ctx.opts);
+        let reuse = match ctx.columns {
+            Some(store) => store.fetch(ctx.query, ctx.subset),
+            None => ColumnReuse::Fresh,
+        };
+        let (columns, trace) = match reuse {
+            ColumnReuse::Fresh => {
+                let (cols, trace) = ops::select_with(ctx.index, ctx.query, ctx.subset, ctx.opts);
+                let cols = Arc::new(cols);
+                if let Some(store) = ctx.columns {
+                    store.publish(ctx.query, ctx.subset, &cols, false);
+                }
+                (cols, trace)
+            }
+            ColumnReuse::Exact(cols) => {
+                let trace = ops::select_cached(ctx.index, ctx.subset, &cols);
+                (cols, trace)
+            }
+            ColumnReuse::Derive(parent) => {
+                let (cols, trace) = ops::select_derived(ctx.index, ctx.subset, &parent, ctx.opts);
+                let cols = Arc::new(cols);
+                if let Some(store) = ctx.columns {
+                    store.publish(ctx.query, ctx.subset, &cols, true);
+                }
+                (cols, trace)
+            }
+        };
         ctx.charge(trace.units);
         ctx.emit(trace);
         Ok(Batch::Columns(columns))
@@ -667,6 +712,23 @@ pub fn execute(
     opts: ExecOptions,
     limits: &QueryLimits,
 ) -> Result<QueryAnswer, ColarmError> {
+    execute_with_store(index, query, subset, plan, opts, limits, None)
+}
+
+/// [`execute`] with an optional session [`ColumnStore`] the SELECT
+/// operator consults for cross-query reuse. Rules, traces, and unit
+/// accounting are bit-identical with or without a store; only metrics
+/// counters (and wall-clock) differ.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_store(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    plan: PlanKind,
+    opts: ExecOptions,
+    limits: &QueryLimits,
+    store: Option<&dyn ColumnStore>,
+) -> Result<QueryAnswer, ColarmError> {
     query.validate(index.dataset().schema())?;
     if subset.is_empty() {
         return Err(ColarmError::EmptySubset);
@@ -677,7 +739,7 @@ pub fn execute(
         });
     }
     let start = Instant::now();
-    let mut ctx = Ctx::new(index, query, subset, opts, limits);
+    let mut ctx = Ctx::new(index, query, subset, opts, limits).with_column_store(store);
     let mut batch = Batch::Seed;
     for op in pipeline_ops(plan) {
         ctx.check(op.kind())?;

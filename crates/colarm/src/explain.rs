@@ -154,6 +154,11 @@ pub struct AnalyzeReport {
     pub estimates: Vec<CostEstimate>,
     /// Per-operator predicted-vs-actual rows, pipeline order.
     pub ops: Vec<AnalyzedOp>,
+    /// Worker-pool activity over this execution ([`colarm_data::par`]
+    /// counter deltas; `workers` is the pool's current size). The pool is
+    /// process-global, so concurrent executions' tasks land in whichever
+    /// report is in flight — treat as observability, not accounting.
+    pub pool: colarm_data::par::PoolStats,
 }
 
 impl AnalyzeReport {
@@ -162,6 +167,7 @@ impl AnalyzeReport {
         choice: &PlanChoice,
         minsupp_count: usize,
         chosen_by_optimizer: bool,
+        pool: colarm_data::par::PoolStats,
     ) -> AnalyzeReport {
         let estimate = choice.estimate_for(answer.plan);
         let ops = answer
@@ -192,6 +198,7 @@ impl AnalyzeReport {
             actual_seconds: answer.trace.total.as_secs_f64(),
             estimates: choice.estimates.clone(),
             ops,
+            pool,
         }
     }
 
@@ -289,6 +296,15 @@ impl fmt::Display for AnalyzeReport {
                 op.op, pu, op.measured_units, ps, op.measured_seconds, counters
             )?;
         }
+        writeln!(
+            f,
+            "pool: {} workers, {} tasks, {} steals, {} parks/{} unparks",
+            self.pool.workers,
+            self.pool.tasks_submitted,
+            self.pool.steals,
+            self.pool.parks,
+            self.pool.unparks
+        )?;
         Ok(())
     }
 }

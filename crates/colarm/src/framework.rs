@@ -2,7 +2,7 @@
 //! online query processing with cost-based plan selection, execution
 //! feedback, and `EXPLAIN ANALYZE`.
 
-use crate::cost::{CostConstants, CostModel};
+use crate::cost::{CostConstants, CostModel, SelectReuse};
 use crate::engine::QueryLimits;
 use crate::error::ColarmError;
 use crate::explain::{AnalyzeReport, AnalyzedAnswer};
@@ -10,8 +10,9 @@ use crate::mip::{MipIndex, MipIndexConfig};
 use crate::ops::ExecOptions;
 use crate::optimizer::{FeedbackLog, Optimizer, PlanChoice};
 use crate::parse::parse_query;
-use crate::plan::{execute_plan, execute_plan_limited, PlanKind, QueryAnswer};
+use crate::plan::{execute_plan, execute_plan_hooked, PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
+use crate::reuse::ColumnStore;
 use colarm_data::{Dataset, FocalSubset};
 use std::sync::Arc;
 
@@ -149,13 +150,33 @@ impl Colarm {
         opts: ExecOptions,
         limits: &QueryLimits,
     ) -> Result<OptimizedAnswer, ColarmError> {
-        let mut choice = self.optimizer.choose(&self.index, query, subset);
+        self.execute_on_subset_hooked(query, subset, opts, limits, None, SelectReuse::Fresh)
+    }
+
+    /// [`Colarm::execute_on_subset_limited`] with the session hooks: an
+    /// optional [`ColumnStore`] serving the ARM plan's SELECT from cached
+    /// materializations, and a [`SelectReuse`] hint telling the optimizer
+    /// how that SELECT would actually be served. Rules and traces are
+    /// bit-identical to the hookless path.
+    pub fn execute_on_subset_hooked(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+        store: Option<&dyn ColumnStore>,
+        reuse: SelectReuse,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        let mut choice = self
+            .optimizer
+            .choose_with_reuse(&self.index, query, subset, reuse);
         if query.semantics == crate::query::Semantics::Unrestricted {
             // Only the from-scratch plan can see below the primary
             // threshold; the optimizer's estimates stay informational.
             choice.chosen = PlanKind::Arm;
         }
-        let answer = execute_plan_limited(&self.index, query, subset, choice.chosen, opts, limits)?;
+        let answer =
+            execute_plan_hooked(&self.index, query, subset, choice.chosen, opts, limits, store)?;
         let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
         self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
         Ok(OptimizedAnswer { answer, choice })
@@ -236,12 +257,30 @@ impl Colarm {
         opts: ExecOptions,
         limits: &QueryLimits,
     ) -> Result<AnalyzedAnswer, ColarmError> {
-        let mut choice = self.optimizer.choose(&self.index, query, subset);
+        self.explain_analyze_on_subset_hooked(query, subset, opts, limits, None, SelectReuse::Fresh)
+    }
+
+    /// [`Colarm::explain_analyze_on_subset_limited`] with the session
+    /// hooks (see [`Colarm::execute_on_subset_hooked`]): the report's
+    /// estimates then price SELECT the way the cache will actually serve
+    /// it, and its metrics reveal cache hits and derivations.
+    pub fn explain_analyze_on_subset_hooked(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+        store: Option<&dyn ColumnStore>,
+        reuse: SelectReuse,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let mut choice = self
+            .optimizer
+            .choose_with_reuse(&self.index, query, subset, reuse);
         if query.semantics == crate::query::Semantics::Unrestricted {
             choice.chosen = PlanKind::Arm;
         }
         let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
-        self.analyze_on_subset(query, subset, choice, chosen_by_optimizer, opts, limits)
+        self.analyze_on_subset(query, subset, choice, chosen_by_optimizer, opts, limits, store)
     }
 
     /// `EXPLAIN ANALYZE` for a specific (possibly non-optimal) plan — the
@@ -264,9 +303,11 @@ impl Colarm {
             chosen_by_optimizer,
             opts,
             &QueryLimits::none(),
+            None,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn analyze_on_subset(
         &self,
         query: &LocalizedQuery,
@@ -275,21 +316,26 @@ impl Colarm {
         chosen_by_optimizer: bool,
         opts: ExecOptions,
         limits: &QueryLimits,
+        store: Option<&dyn ColumnStore>,
     ) -> Result<AnalyzedAnswer, ColarmError> {
-        let answer = execute_plan_limited(
+        let pool_before = colarm_data::par::pool_stats();
+        let answer = execute_plan_hooked(
             &self.index,
             query,
             subset,
             choice.chosen,
             opts.with_metrics(true),
             limits,
+            store,
         )?;
+        let pool = colarm_data::par::pool_stats().delta_since(&pool_before);
         self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
         let report = AnalyzeReport::new(
             &answer,
             &choice,
             query.minsupp_count(subset.len()),
             chosen_by_optimizer,
+            pool,
         );
         Ok(AnalyzedAnswer {
             answer,

@@ -57,9 +57,10 @@ pub mod persist;
 pub mod parse;
 pub mod plan;
 pub mod query;
+pub mod reuse;
 pub mod session;
 
-pub use cost::{CostEstimate, CostTerm};
+pub use cost::{CostEstimate, CostTerm, SelectReuse};
 pub use engine::{pipeline_ops, Batch, CancelToken, Ctx, PlanOp, QueryLimits, ENGINE_BATCH};
 pub use error::ColarmError;
 pub use explain::{explain, AnalyzeReport, AnalyzedAnswer, AnalyzedOp, Explanation};
@@ -72,12 +73,15 @@ pub use persist::{
 };
 pub use ops::{ExecOptions, OpKind, OpTrace};
 pub use plan::{
-    execute_plan, execute_plan_limited, execute_plan_with, ExecutionTrace, PlanKind, QueryAnswer,
+    execute_plan, execute_plan_hooked, execute_plan_limited, execute_plan_with, ExecutionTrace,
+    PlanKind, QueryAnswer,
 };
 pub use query::{LocalizedQuery, Semantics};
+pub use reuse::{ColumnReuse, ColumnStore};
 pub use session::{QuerySession, SessionConfig, SessionStats};
 
 pub use colarm_data::metrics::OpMetrics;
+pub use colarm_data::par::{pool_stats, PoolStats};
 
 // Re-export the substrate crates so downstream users need only `colarm`.
 pub use colarm_data as data;

@@ -90,6 +90,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.insert(key, (value, self.tick));
     }
 
+    /// Visit every entry with its recency stamp, without refreshing
+    /// recency. Iteration order is the backing map's (NOT deterministic);
+    /// callers scanning for a "best" entry must pick by a total order —
+    /// stamps are unique, so `(score, stamp)` works as one.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V, u64)> {
+        self.map.iter().map(|(k, (v, stamp))| (k, v, *stamp))
+    }
+
     /// Drop every entry (the lifetime eviction counter is preserved).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -147,6 +155,24 @@ mod tests {
         assert!(c.is_empty());
         assert!(c.get(&1).is_none());
         assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn iter_exposes_unique_stamps_without_refreshing() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        let mut stamps: Vec<u64> = c.iter().map(|(_, _, s)| s).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 3, "stamps are unique");
+        // Scanning must not count as a use: 1 is still the LRU victim.
+        let best = c.iter().min_by_key(|&(_, _, s)| s).map(|(k, _, _)| *k);
+        assert_eq!(best, Some(1));
+        c.insert(4, 40);
+        c.insert(5, 50);
+        assert!(c.get(&1).is_none());
     }
 
     #[test]

@@ -332,6 +332,9 @@ impl MipIndex {
             contained_frac,
             arm_mined,
             arm_clone_units,
+            // Standalone profiles assume a fresh SELECT; sessions override
+            // this from their column cache before estimating.
+            select_reuse: crate::cost::SelectReuse::Fresh,
         }
     }
 }

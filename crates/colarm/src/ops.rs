@@ -43,7 +43,7 @@ use colarm_data::metrics::{Meter, OpMetrics};
 use colarm_data::{FocalSubset, ItemId, Itemset, Overlap, Tidset};
 use colarm_mine::ittree::ClosureSupportOracle;
 use colarm_mine::rules::{rules_for_itemset, Rule, SupportOracle};
-use colarm_mine::vertical::{restricted_vertical_par, ItemTids};
+use colarm_mine::vertical::{derive_restricted_par, restricted_vertical_par, ItemTids};
 use colarm_mine::CfiId;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -724,6 +724,65 @@ pub fn select_with(
             };
             for c in &columns {
                 m.note_intersection(index.vertical().tids(c.item), subset.tids());
+            }
+            m
+        }),
+    };
+    (columns, trace)
+}
+
+/// SELECT served from a session's **exact** cached materialization: no
+/// tid-list is touched. The trace keeps the fresh scan's `units` formula
+/// so rule answers, budgets, and traces are independent of cache state;
+/// only the metrics counters reveal the cache (every emitted column is a
+/// `cache_hits` entry and no intersection runs).
+pub fn select_cached(index: &MipIndex, subset: &FocalSubset, columns: &[ItemTids]) -> OpTrace {
+    let start = Instant::now();
+    OpTrace {
+        kind: OpKind::Select,
+        input: index.dataset().num_records(),
+        output: subset.len(),
+        units: subset.len() as f64 * index.dataset().schema().num_attributes() as f64,
+        duration: start.elapsed(),
+        metrics: Some(OpMetrics {
+            scanned: index.dataset().num_records() as u64,
+            emitted: columns.len() as u64,
+            cache_hits: columns.len() as u64,
+            ..OpMetrics::default()
+        }),
+    }
+}
+
+/// SELECT **derived** from a cached parent materialization (drill-down
+/// reuse): every parent column is intersected with the refined subset —
+/// output bit-identical to the fresh scan (the
+/// [`derive_restricted_par`] contract), same `units` formula, while the
+/// metrics show the derivation: `cache_hits` counts reused parent
+/// columns and the intersection counters classify the
+/// parent-column ∩ subset kernels actually run.
+pub fn select_derived(
+    index: &MipIndex,
+    subset: &FocalSubset,
+    parent: &[ItemTids],
+    opts: ExecOptions,
+) -> (Vec<ItemTids>, OpTrace) {
+    let start = Instant::now();
+    let columns = derive_restricted_par(parent, subset.tids(), opts.threads);
+    let trace = OpTrace {
+        kind: OpKind::Select,
+        input: index.dataset().num_records(),
+        output: subset.len(),
+        units: subset.len() as f64 * index.dataset().schema().num_attributes() as f64,
+        duration: start.elapsed(),
+        metrics: Some({
+            let mut m = OpMetrics {
+                scanned: index.dataset().num_records() as u64,
+                emitted: columns.len() as u64,
+                cache_hits: parent.len() as u64,
+                ..OpMetrics::default()
+            };
+            for c in parent {
+                m.note_intersection(&c.tids, subset.tids());
             }
             m
         }),

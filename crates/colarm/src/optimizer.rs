@@ -263,7 +263,22 @@ impl Optimizer {
         query: &LocalizedQuery,
         subset: &FocalSubset,
     ) -> PlanChoice {
-        let profile = index.query_profile(query, subset);
+        self.choose_with_reuse(index, query, subset, crate::cost::SelectReuse::Fresh)
+    }
+
+    /// [`Optimizer::choose`] with a session-provided hint describing how
+    /// the ARM plan's SELECT would actually be served (cached columns
+    /// beat the fresh scan the standalone profile assumes), so the plan
+    /// comparison reflects the execution about to happen.
+    pub fn choose_with_reuse(
+        &self,
+        index: &MipIndex,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        reuse: crate::cost::SelectReuse,
+    ) -> PlanChoice {
+        let mut profile = index.query_profile(query, subset);
+        profile.select_reuse = reuse;
         let estimates = self.model.estimate_all(&profile);
         PlanChoice {
             chosen: estimates[0].plan,

@@ -188,6 +188,23 @@ pub fn execute_plan_limited(
     engine::execute(index, query, subset, plan, opts, limits)
 }
 
+/// [`execute_plan_limited`] with an optional session [`ColumnStore`]
+/// hooked into the ARM plan's SELECT (cross-query drill-down reuse).
+/// Rules, trace kinds, and units stay bit-identical to the storeless
+/// path — only durations and cache-revealing metric counters differ.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_hooked(
+    index: &MipIndex,
+    query: &LocalizedQuery,
+    subset: &FocalSubset,
+    plan: PlanKind,
+    opts: ExecOptions,
+    limits: &QueryLimits,
+    store: Option<&dyn crate::reuse::ColumnStore>,
+) -> Result<QueryAnswer, ColarmError> {
+    engine::execute_with_store(index, query, subset, plan, opts, limits, store)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,57 @@
+//! Cross-query drill-down reuse: the hook through which a session's
+//! restricted-column cache reaches the engine's SELECT operator.
+//!
+//! COLARM's motivating workload is a chain of refining queries (the
+//! Simpson's-paradox drill-down): each query's `RangeSpec` adds conjuncts
+//! to the previous one. A session that kept the previous query's
+//! restricted vertical DB can serve the next SELECT by intersecting each
+//! cached column with the refined subset — bit-identical to the fresh
+//! scan (see [`colarm_mine::vertical::derive_restricted_par`]) at a
+//! fraction of the tid-list volume. The engine stays cache-agnostic: it
+//! asks an optional [`ColumnStore`] how to serve SELECT and offers the
+//! result back for caching; sessions own the policy (keys, LRU bounds,
+//! parent choice).
+
+use crate::query::LocalizedQuery;
+use colarm_data::FocalSubset;
+use colarm_mine::vertical::ItemTids;
+use std::sync::Arc;
+
+/// How the SELECT operator may serve its restricted vertical DB.
+#[derive(Debug, Clone, Default)]
+pub enum ColumnReuse {
+    /// No reusable materialization: probe the global vertical index.
+    #[default]
+    Fresh,
+    /// The exact `(range, item-attrs)` columns are cached: reuse as-is.
+    Exact(Arc<Vec<ItemTids>>),
+    /// A *parent* subset's columns (same item-attrs restriction, range
+    /// refined by this query) are cached: derive by intersecting each
+    /// with the refined subset.
+    Derive(Arc<Vec<ItemTids>>),
+}
+
+/// A session-owned store of restricted-column materializations consulted
+/// by the engine's SELECT operator. Implemented by
+/// [`crate::QuerySession`]; standalone executions run without one and
+/// always scan fresh.
+///
+/// Never-cache-partial contract: [`ColumnStore::publish`] is only called
+/// with a **complete** materialization — SELECT is single-shot and the
+/// engine's limit check runs before it starts, so a canceled execution
+/// never publishes anything.
+pub trait ColumnStore: Sync {
+    /// How should SELECT serve `query` over `subset`?
+    fn fetch(&self, query: &LocalizedQuery, subset: &FocalSubset) -> ColumnReuse;
+
+    /// Offer a fully materialized column set for caching. `derived`
+    /// distinguishes a parent-derived materialization from a fresh scan
+    /// (sessions count the two separately).
+    fn publish(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        columns: &Arc<Vec<ItemTids>>,
+        derived: bool,
+    );
+}

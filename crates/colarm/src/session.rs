@@ -18,6 +18,7 @@
 //! worker threads and async tasks; clones of the `Arc` can serve multiple
 //! sessions at once.
 
+use crate::cost::SelectReuse;
 use crate::engine::{CancelToken, QueryLimits};
 use crate::error::ColarmError;
 use crate::explain::AnalyzedAnswer;
@@ -26,7 +27,9 @@ use crate::lru::LruCache;
 use crate::ops::ExecOptions;
 use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::{LocalizedQuery, Semantics};
+use crate::reuse::{ColumnReuse, ColumnStore};
 use colarm_data::{AttributeId, FocalSubset, RangeSpec};
+use colarm_mine::vertical::ItemTids;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -54,6 +57,30 @@ impl AnswerKey {
     }
 }
 
+/// Cache key of one restricted-column materialization: the query inputs
+/// that determine it (the focal range and the `Aitem` restriction —
+/// thresholds and semantics don't change the columns).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ColumnsKey {
+    range: RangeSpec,
+    item_attrs: Option<Vec<AttributeId>>,
+}
+
+impl ColumnsKey {
+    fn of(query: &LocalizedQuery) -> ColumnsKey {
+        ColumnsKey {
+            range: query.range.clone(),
+            item_attrs: query.item_attrs.clone(),
+        }
+    }
+}
+
+/// Total tids across a materialization's columns — the work a derivation
+/// from it would scan, and the deterministic parent-choice score.
+fn column_volume(columns: &[ItemTids]) -> usize {
+    columns.iter().map(|c| c.tids.len()).sum()
+}
+
 /// Capacity knobs for one session's caches. `0` disables a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionConfig {
@@ -61,6 +88,10 @@ pub struct SessionConfig {
     pub max_answers: usize,
     /// Maximum cached focal subsets (default 64).
     pub max_subsets: usize,
+    /// Maximum cached restricted-column materializations (default 16).
+    /// These are the heaviest entries — each holds a restricted vertical
+    /// DB — so the default is deliberately small.
+    pub max_columns: usize,
 }
 
 impl Default for SessionConfig {
@@ -68,6 +99,7 @@ impl Default for SessionConfig {
         SessionConfig {
             max_answers: 256,
             max_subsets: 64,
+            max_columns: 16,
         }
     }
 }
@@ -87,6 +119,19 @@ pub struct SessionStats {
     pub answer_misses: usize,
     /// Answers evicted to stay within [`SessionConfig::max_answers`].
     pub answer_evictions: usize,
+    /// Focal subsets derived from a cached parent by intersecting only
+    /// the refining delta selections (neither a hit nor a miss).
+    pub subsets_derived: usize,
+    /// Restricted-column sets served exactly from cache.
+    pub column_hits: usize,
+    /// Restricted-column sets materialized by a fresh scan.
+    pub column_misses: usize,
+    /// Restricted-column sets derived from a cached parent
+    /// materialization (neither a hit nor a miss).
+    pub columns_derived: usize,
+    /// Column materializations evicted to stay within
+    /// [`SessionConfig::max_columns`].
+    pub column_evictions: usize,
 }
 
 /// An owned, bounded caching façade over a shared [`Colarm`] for
@@ -106,10 +151,17 @@ pub struct QuerySession {
     cancel: CancelToken,
     subsets: Mutex<LruCache<RangeSpec, Arc<FocalSubset>>>,
     answers: Mutex<LruCache<AnswerKey, Arc<QueryAnswer>>>,
+    /// Restricted-column materializations (the ARM plan's SELECT output),
+    /// shared with the engine via the [`ColumnStore`] hook.
+    columns: Mutex<LruCache<ColumnsKey, Arc<Vec<ItemTids>>>>,
     subset_hits: AtomicUsize,
     subset_misses: AtomicUsize,
+    subsets_derived: AtomicUsize,
     answer_hits: AtomicUsize,
     answer_misses: AtomicUsize,
+    column_hits: AtomicUsize,
+    column_misses: AtomicUsize,
+    columns_derived: AtomicUsize,
 }
 
 impl QuerySession {
@@ -128,10 +180,15 @@ impl QuerySession {
             cancel: CancelToken::new(),
             subsets: Mutex::new(LruCache::new(config.max_subsets)),
             answers: Mutex::new(LruCache::new(config.max_answers)),
+            columns: Mutex::new(LruCache::new(config.max_columns)),
             subset_hits: AtomicUsize::new(0),
             subset_misses: AtomicUsize::new(0),
+            subsets_derived: AtomicUsize::new(0),
             answer_hits: AtomicUsize::new(0),
             answer_misses: AtomicUsize::new(0),
+            column_hits: AtomicUsize::new(0),
+            column_misses: AtomicUsize::new(0),
+            columns_derived: AtomicUsize::new(0),
         }
     }
 
@@ -203,16 +260,53 @@ impl QuerySession {
         limits
     }
 
-    /// Resolve (or reuse) the focal subset of a range spec.
+    /// Resolve (or reuse) the focal subset of a range spec. A drill-down
+    /// refinement of a cached subset is *derived* — the cached tidset is
+    /// intersected with only the delta selections' tid-lists instead of
+    /// re-resolving every conjunct (bit-identical result; see
+    /// [`FocalSubset::derive_refinement`]). Counted in
+    /// [`SessionStats::subsets_derived`], separate from hits and misses.
     pub fn subset(&self, range: &RangeSpec) -> Result<Arc<FocalSubset>, ColarmError> {
         if let Some(cached) = self.subsets.lock().get(range) {
             self.subset_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(cached.clone());
         }
+        if let Some(derived) = self.derive_subset(range)? {
+            let derived = Arc::new(derived);
+            self.subsets_derived.fetch_add(1, Ordering::Relaxed);
+            self.subsets.lock().insert(range.clone(), derived.clone());
+            return Ok(derived);
+        }
         let resolved = Arc::new(self.colarm.index().resolve_subset(range.clone())?);
         self.subset_misses.fetch_add(1, Ordering::Relaxed);
         self.subsets.lock().insert(range.clone(), resolved.clone());
         Ok(resolved)
+    }
+
+    /// Try to derive `range`'s subset from the best cached parent it
+    /// refines. Parent choice is deterministic: the smallest parent tidset
+    /// (least intersection work), recency stamps breaking exact-size ties
+    /// — stamps are unique, so the backing map's iteration order never
+    /// shows through.
+    fn derive_subset(&self, range: &RangeSpec) -> Result<Option<FocalSubset>, ColarmError> {
+        let parent: Option<Arc<FocalSubset>> = {
+            let cache = self.subsets.lock();
+            cache
+                .iter()
+                .filter(|(spec, _, _)| range.refinement_delta(spec).is_some())
+                .min_by_key(|(_, subset, stamp)| (subset.len(), *stamp))
+                .map(|(_, subset, _)| subset.clone())
+        };
+        let Some(parent) = parent else {
+            return Ok(None);
+        };
+        let index = self.colarm.index();
+        Ok(FocalSubset::derive_refinement(
+            &parent,
+            range.clone(),
+            index.dataset(),
+            index.vertical(),
+        )?)
     }
 
     /// Execute (or reuse) a query with optimizer-selected plan.
@@ -228,12 +322,16 @@ impl QuerySession {
             return Err(ColarmError::EmptySubset);
         }
         // A canceled execution propagates here before anything is cached:
-        // partial work never masquerades as an answer.
-        let out = self.colarm.execute_on_subset_limited(
+        // partial work never masquerades as an answer. The session hooks
+        // in as the engine's column store, and tells the optimizer how
+        // SELECT would actually be served so plan choice reflects reality.
+        let out = self.colarm.execute_on_subset_hooked(
             query,
             &subset,
             self.exec_options(),
             &self.limits(),
+            Some(self),
+            self.probe_reuse(query),
         )?;
         let answer = Arc::new(out.answer);
         self.answer_misses.fetch_add(1, Ordering::Relaxed);
@@ -249,13 +347,14 @@ impl QuerySession {
         plan: PlanKind,
     ) -> Result<QueryAnswer, ColarmError> {
         let subset = self.subset(&query.range)?;
-        crate::plan::execute_plan_limited(
+        crate::plan::execute_plan_hooked(
             self.colarm.index(),
             query,
             &subset,
             plan,
             self.exec_options(),
             &self.limits(),
+            Some(self),
         )
     }
 
@@ -271,12 +370,40 @@ impl QuerySession {
         if subset.is_empty() {
             return Err(ColarmError::EmptySubset);
         }
-        self.colarm.explain_analyze_on_subset_limited(
+        self.colarm.explain_analyze_on_subset_hooked(
             query,
             &subset,
             self.exec_options(),
             &self.limits(),
+            Some(self),
+            self.probe_reuse(query),
         )
+    }
+
+    /// How this session's column cache would serve the query's SELECT —
+    /// the [`SelectReuse`] hint handed to the optimizer before execution.
+    /// Purely observational: counts nothing, refreshes no recency.
+    fn probe_reuse(&self, query: &LocalizedQuery) -> SelectReuse {
+        let key = ColumnsKey::of(query);
+        let cache = self.columns.lock();
+        let mut best: Option<usize> = None;
+        for (k, cols, _) in cache.iter() {
+            if *k == key {
+                return SelectReuse::Cached;
+            }
+            if k.item_attrs == key.item_attrs
+                && query.range.refinement_delta(&k.range).is_some()
+            {
+                let vol = column_volume(cols);
+                best = Some(best.map_or(vol, |b| b.min(vol)));
+            }
+        }
+        match best {
+            Some(volume) => SelectReuse::Derive {
+                volume: volume as f64,
+            },
+            None => SelectReuse::Fresh,
+        }
     }
 
     /// Session cache statistics.
@@ -288,6 +415,11 @@ impl QuerySession {
             answer_hits: self.answer_hits.load(Ordering::Relaxed),
             answer_misses: self.answer_misses.load(Ordering::Relaxed),
             answer_evictions: self.answers.lock().evictions() as usize,
+            subsets_derived: self.subsets_derived.load(Ordering::Relaxed),
+            column_hits: self.column_hits.load(Ordering::Relaxed),
+            column_misses: self.column_misses.load(Ordering::Relaxed),
+            columns_derived: self.columns_derived.load(Ordering::Relaxed),
+            column_evictions: self.columns.lock().evictions() as usize,
         }
     }
 
@@ -296,6 +428,50 @@ impl QuerySession {
     pub fn clear(&self) {
         self.subsets.lock().clear();
         self.answers.lock().clear();
+        self.columns.lock().clear();
+    }
+}
+
+impl ColumnStore for QuerySession {
+    fn fetch(&self, query: &LocalizedQuery, _subset: &FocalSubset) -> ColumnReuse {
+        let key = ColumnsKey::of(query);
+        let mut cache = self.columns.lock();
+        if let Some(cols) = cache.get(&key) {
+            self.column_hits.fetch_add(1, Ordering::Relaxed);
+            return ColumnReuse::Exact(cols.clone());
+        }
+        // Parent scan: same item restriction, range refined by this
+        // query. Deterministic choice — smallest tid volume (least
+        // derivation work), unique recency stamps breaking ties.
+        let parent = cache
+            .iter()
+            .filter(|(k, _, _)| {
+                k.item_attrs == key.item_attrs
+                    && query.range.refinement_delta(&k.range).is_some()
+            })
+            .min_by_key(|(_, cols, stamp)| (column_volume(cols), *stamp))
+            .map(|(_, cols, _)| cols.clone());
+        match parent {
+            Some(cols) => ColumnReuse::Derive(cols),
+            None => ColumnReuse::Fresh,
+        }
+    }
+
+    fn publish(
+        &self,
+        query: &LocalizedQuery,
+        _subset: &FocalSubset,
+        columns: &Arc<Vec<ItemTids>>,
+        derived: bool,
+    ) {
+        if derived {
+            self.columns_derived.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.column_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.columns
+            .lock()
+            .insert(ColumnsKey::of(query), columns.clone());
     }
 }
 
@@ -425,6 +601,7 @@ mod tests {
             SessionConfig {
                 max_answers: 2,
                 max_subsets: 16,
+                ..Default::default()
             },
         );
         let query = |minsupp: f64| {
@@ -458,6 +635,7 @@ mod tests {
             SessionConfig {
                 max_answers: 16,
                 max_subsets: 1,
+                ..Default::default()
             },
         );
         let range = |loc: &str| {
@@ -482,6 +660,7 @@ mod tests {
             SessionConfig {
                 max_answers: 0,
                 max_subsets: 0,
+                max_columns: 0,
             },
         );
         let q = LocalizedQuery::builder()
@@ -612,5 +791,105 @@ mod tests {
         assert_eq!(session.stats().subset_hits, 1, "analyze reused the subset");
         assert!(analyzed.report.ops.iter().all(|o| o.metrics.is_some()));
         assert!(!colarm.feedback().is_empty());
+    }
+
+    #[test]
+    fn drill_down_derives_subsets_and_columns_bit_identically() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(colarm.clone());
+        // Unrestricted semantics forces the ARM plan, so SELECT (and the
+        // column cache) runs on every query of the chain.
+        let q1 = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .semantics(Semantics::Unrestricted)
+            .build()
+            .unwrap();
+        let q2 = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .range_named(&schema, "Gender", &["F"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .semantics(Semantics::Unrestricted)
+            .build()
+            .unwrap();
+        session.execute(&q1).unwrap();
+        let drilled = session.execute(&q2).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.subset_misses, 1, "only q1 resolved from scratch");
+        assert_eq!(stats.subsets_derived, 1, "q2's subset derived from q1's");
+        assert_eq!(stats.column_misses, 1, "only q1 scanned the vertical DB");
+        assert_eq!(stats.columns_derived, 1, "q2's columns derived from q1's");
+        // Bit-identical to a cold session that does everything fresh.
+        let cold = QuerySession::new(colarm).execute(&q2).unwrap();
+        assert_eq!(drilled.rules, cold.rules);
+        assert_eq!(drilled.subset_size, cold.subset_size);
+        assert_eq!(drilled.trace.ops.len(), cold.trace.ops.len());
+        for (a, b) in drilled.trace.ops.iter().zip(&cold.trace.ops) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.units.to_bits(), b.units.to_bits(), "{} units drifted", a.name());
+        }
+    }
+
+    #[test]
+    fn repeated_forced_arm_hits_the_exact_column_cache() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(colarm);
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        let a = session.execute_with_plan(&q, PlanKind::Arm).unwrap();
+        let b = session.execute_with_plan(&q, PlanKind::Arm).unwrap();
+        assert_eq!(a.rules, b.rules);
+        let stats = session.stats();
+        assert_eq!(stats.column_misses, 1);
+        assert_eq!(stats.column_hits, 1, "second run reused the exact columns");
+        // Reuse shows only in wall-clock and counters — units are pinned.
+        for (x, y) in a.trace.ops.iter().zip(&b.trace.ops) {
+            assert_eq!(x.units.to_bits(), y.units.to_bits());
+        }
+    }
+
+    #[test]
+    fn warmed_cache_lowers_the_predicted_select_cost() {
+        use crate::ops::OpKind;
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let session = QuerySession::new(colarm);
+        let q = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .semantics(Semantics::Unrestricted)
+            .build()
+            .unwrap();
+        let cold = session.explain_analyze(&q).unwrap();
+        let warm = session.explain_analyze(&q).unwrap();
+        let select_secs = |a: &AnalyzedAnswer| {
+            a.choice
+                .estimate_for(PlanKind::Arm)
+                .term(OpKind::Select)
+                .unwrap()
+                .seconds
+        };
+        assert!(
+            select_secs(&warm) < select_secs(&cold),
+            "optimizer must price the cached SELECT cheaper"
+        );
+        // The executed SELECT reveals the exact hit through its counters.
+        let m = warm.report.op_kind(OpKind::Select).unwrap().metrics.unwrap();
+        assert!(m.cache_hits > 0, "exact column reuse recorded");
+        assert_eq!(session.stats().column_hits, 1);
     }
 }

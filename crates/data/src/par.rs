@@ -1,49 +1,70 @@
-//! Deterministic fork-join parallelism over `std::thread::scope`.
+//! Deterministic fork-join parallelism over a persistent worker pool.
 //!
 //! The operator loops of the COLARM plans (ELIMINATE's per-candidate
 //! support checks, VERIFY's per-candidate rule generation) and the
 //! offline index build are embarrassingly parallel, but the system
 //! promises *bit-identical* results at every thread count — mined rule
 //! sets, `OpTrace` unit accounting, even CFI numbering must not depend on
-//! scheduling. The helper here therefore returns results **in input
+//! scheduling. The helpers here therefore return results **in input
 //! order** regardless of which worker computed what; callers fold unit
 //! counters and merge outputs in that order, which makes thread count an
 //! invisible knob.
 //!
-//! No external thread-pool dependency: scoped threads are spawned per
-//! call. That costs a few microseconds per invocation, which is noise for
-//! the workloads that opt in (callers keep their sequential path for
-//! small inputs).
+//! No external thread-pool dependency. Workers are spawned lazily on the
+//! first parallel region that needs them and then *persist*, parked on a
+//! condvar between regions — an interactive session issuing many queries
+//! pays the thread-spawn cost once, not per `parallel_map` call. Work
+//! distribution inside a region is a chunked atomic cursor (identical to
+//! the original scoped-thread design), so chunk boundaries — and with
+//! them every fold order — depend only on the input size, never on which
+//! thread ran first.
+//!
+//! ## Soundness of borrowed work
+//!
+//! A parallel region's closure may borrow from the submitting thread's
+//! stack even though pool workers are `'static` threads. This is sound
+//! because [`Pool::run`] never returns until the region is over: the
+//! submitting thread participates in its own region (so progress never
+//! depends on a pool worker being free — nested regions from inside a
+//! worker stay deadlock-free), then revokes all unclaimed worker slots
+//! and blocks until every claimed slot has finished. The job descriptor
+//! and closure therefore strictly outlive every access from the pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Global default thread count. `0` = not yet resolved; resolution reads
-/// `COLARM_THREADS` and falls back to the machine's available parallelism.
-static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// Explicit [`set_max_threads`] override; `0` = no override set.
+static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// The session-wide default thread count: the last `set_max_threads`
-/// value, else `COLARM_THREADS`, else the machine's available
-/// parallelism. Always ≥ 1.
-pub fn max_threads() -> usize {
-    let v = MAX_THREADS.load(Ordering::Relaxed);
-    if v != 0 {
-        return v;
-    }
-    let resolved = std::env::var("COLARM_THREADS")
+/// Environment default, resolved exactly once per process. Single-shot
+/// resolution means a mid-session `COLARM_THREADS` change cannot flip the
+/// resolved default between two operators of one query.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_default() -> usize {
+    std::env::var("COLARM_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        });
-    MAX_THREADS.store(resolved, Ordering::Relaxed);
-    resolved
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The session-wide default thread count: the last `set_max_threads`
+/// value, else `COLARM_THREADS` (read once), else the machine's available
+/// parallelism. Always ≥ 1.
+pub fn max_threads() -> usize {
+    let v = OVERRIDE_THREADS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    *DEFAULT_THREADS.get_or_init(env_default)
 }
 
 /// Set the session-wide default thread count (clamped to ≥ 1). `1`
-/// forces every parallel-capable path onto today's sequential code.
+/// forces every parallel-capable path onto the sequential code.
 pub fn set_max_threads(n: usize) {
-    MAX_THREADS.store(n.max(1), Ordering::Relaxed);
+    OVERRIDE_THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// Resolve a caller-supplied thread knob: `0` means "use the global
@@ -56,7 +77,273 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Map `f` over `items` on up to `threads` scoped workers, returning the
+/// Hard cap on persistent pool workers; regions asking for more run with
+/// the submitting thread plus however many workers exist.
+const POOL_MAX_WORKERS: usize = 64;
+
+/// When set, parallel regions run on freshly spawned scoped threads — the
+/// executor the persistent pool replaced — instead of pool workers.
+static SCOPED_EXECUTOR: AtomicBool = AtomicBool::new(false);
+
+/// Route parallel regions through the per-call `std::thread::scope`
+/// executor (`true`) or the persistent pool (`false`, the default).
+///
+/// Both executors drain the same chunked cursor, so results are
+/// bit-identical either way; only the region setup cost differs (a
+/// spawn + join per worker per region on the scoped path). Kept as a
+/// kill switch for the pool and as the baseline side of `bench_session`,
+/// which measures the pool against the executor it replaced.
+pub fn set_scoped_executor(on: bool) {
+    SCOPED_EXECUTOR.store(on, Ordering::Relaxed);
+}
+
+/// Whether regions currently run on the scoped fallback executor.
+pub fn scoped_executor() -> bool {
+    SCOPED_EXECUTOR.load(Ordering::Relaxed)
+}
+
+/// The pre-pool executor: spawn `extra` scoped threads for this one
+/// region and join them all before returning. Same work closure and
+/// cursor as the pooled path, strictly more setup cost.
+fn scoped_run(extra: usize, work: &(dyn Fn() + Sync)) {
+    std::thread::scope(|scope| {
+        for _ in 0..extra {
+            scope.spawn(|| work());
+        }
+        work();
+    });
+}
+
+/// Snapshot of the persistent pool's process-wide counters, taken with
+/// [`pool_stats`]. All-zero until the first parallel region starts the
+/// pool. `workers` is a level (current pool size); the rest are monotonic
+/// counters — diff two snapshots with [`PoolStats::delta_since`] to
+/// attribute activity to a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PoolStats {
+    /// Persistent workers spawned so far (workers never exit).
+    pub workers: u64,
+    /// Parallel regions submitted to the pool.
+    pub tasks_submitted: u64,
+    /// Worker slots claimed by pool workers. The submitting thread always
+    /// participates in its own region and is not counted here.
+    pub steals: u64,
+    /// Times a worker parked on the condvar with no work queued.
+    pub parks: u64,
+    /// Times a parked worker woke up.
+    pub unparks: u64,
+}
+
+impl PoolStats {
+    /// Counter movement since `earlier`. `workers` reports the current
+    /// level rather than a difference.
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            tasks_submitted: self.tasks_submitted.saturating_sub(earlier.tasks_submitted),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+            unparks: self.unparks.saturating_sub(earlier.unparks),
+        }
+    }
+}
+
+/// Current pool counters (all zero if no parallel region has run yet).
+pub fn pool_stats() -> PoolStats {
+    match POOL.get() {
+        None => PoolStats::default(),
+        Some(pool) => PoolStats {
+            workers: pool.state.lock().unwrap().spawned as u64,
+            tasks_submitted: pool.tasks_submitted.load(Ordering::Relaxed),
+            steals: pool.steals.load(Ordering::Relaxed),
+            parks: pool.parks.load(Ordering::Relaxed),
+            unparks: pool.unparks.load(Ordering::Relaxed),
+        },
+    }
+}
+
+/// One parallel region, living on the submitting thread's stack for the
+/// duration of [`Pool::run`]. All field accesses happen under the pool
+/// mutex except the immutable `func` read.
+struct JobCore {
+    /// The region's work closure, lifetime-erased. Valid until `Pool::run`
+    /// returns, which waits for `pending == 0` first.
+    func: *const (dyn Fn() + Sync),
+    /// Worker slots not yet claimed.
+    slots: usize,
+    /// Claimed slots still executing.
+    pending: usize,
+}
+
+/// Queue entry pointing at a `JobCore` on a submitter's stack.
+struct JobRef(*mut JobCore);
+
+// SAFETY: the pointee is only dereferenced under the pool mutex (slot
+// accounting) or after a claim made under it (the `func` call), and
+// `Pool::run` keeps the pointee alive until `pending == 0`.
+unsafe impl Send for JobRef {}
+
+struct PoolState {
+    queue: VecDeque<JobRef>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Doubles as "work available" (workers park here) and "slot
+    /// finished" (submitters wait here); spurious wakeups just re-scan.
+    cv: Condvar,
+    tasks_submitted: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                spawned: 0,
+            }),
+            cv: Condvar::new(),
+            tasks_submitted: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+        })
+    }
+
+    /// Grow the pool to at least `want` workers (capped).
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(POOL_MAX_WORKERS);
+        let mut st = self.state.lock().unwrap();
+        while st.spawned < want {
+            let id = st.spawned;
+            st.spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("colarm-pool-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn colarm pool worker");
+        }
+    }
+
+    /// Claim one worker slot from the front job, dropping the job from
+    /// the queue once its last slot is taken.
+    fn try_claim(st: &mut PoolState) -> Option<*mut JobCore> {
+        let job = st.queue.front()?.0;
+        // SAFETY: entries stay queued only while their submitter blocks in
+        // `run`, and accounting fields are only touched under this mutex.
+        unsafe {
+            (*job).slots -= 1;
+            (*job).pending += 1;
+            if (*job).slots == 0 {
+                st.queue.pop_front();
+            }
+        }
+        Some(job)
+    }
+
+    fn worker_loop(&'static self) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match Self::try_claim(&mut st) {
+                Some(job) => {
+                    drop(st);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: `pending` was raised under the lock, so the
+                    // submitter cannot return (and the closure cannot die)
+                    // until we lower it again below.
+                    let func = unsafe { &*(*job).func };
+                    func();
+                    st = self.state.lock().unwrap();
+                    // SAFETY: accounting under the mutex, as above.
+                    unsafe { (*job).pending -= 1 };
+                    // Wake the submitter possibly waiting on completion.
+                    self.cv.notify_all();
+                }
+                None => {
+                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    st = self.cv.wait(st).unwrap();
+                    self.unparks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Run `work` on the calling thread plus up to `extra` pool workers.
+    /// Every participant drains the same chunked cursor, so the region is
+    /// over exactly when every claimed slot returns. Blocks until then,
+    /// which is what lets `work` borrow from the caller's stack.
+    fn run(&'static self, extra: usize, work: &(dyn Fn() + Sync)) {
+        if extra == 0 {
+            work();
+            return;
+        }
+        self.ensure_workers(extra);
+        // SAFETY: only erases the borrow lifetime; the revoke-and-wait
+        // protocol below keeps `work` alive past every pool access.
+        let func = unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work)
+        };
+        let mut core = JobCore {
+            func,
+            slots: extra,
+            pending: 0,
+        };
+        let core_ptr: *mut JobCore = &mut core;
+        self.state.lock().unwrap().queue.push_back(JobRef(core_ptr));
+        self.tasks_submitted.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        // Participate: progress never depends on a free pool worker.
+        work();
+        let mut st = self.state.lock().unwrap();
+        // SAFETY: `core` is alive on this stack; accounting under the mutex.
+        unsafe {
+            if (*core_ptr).slots > 0 {
+                // Revoke slots nobody claimed — the cursor is drained, so
+                // late claimers would only spin on an empty range anyway.
+                (*core_ptr).slots = 0;
+                st.queue.retain(|j| j.0 != core_ptr);
+            }
+        }
+        while unsafe { (*core_ptr).pending } > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Shared output slots for [`parallel_map`]. Chunk indices from the
+/// atomic cursor are disjoint, so each slot is written exactly once.
+struct SharedSlots<R>(*mut Option<R>);
+
+impl<R> Clone for SharedSlots<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SharedSlots<R> {}
+
+// SAFETY: writes target disjoint indices and are published to the
+// submitter by the pool's mutex handoff; `R: Send` bounds the transfer.
+unsafe impl<R: Send> Sync for SharedSlots<R> {}
+
+impl<R> SharedSlots<R> {
+    /// Write slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, claimed by exactly one region participant,
+    /// and the backing vector must outlive the region. Going through a
+    /// method (rather than touching `.0` in the worker closure) also keeps
+    /// closures capturing the `Sync` wrapper, not the raw pointer field.
+    unsafe fn write(&self, i: usize, r: R) {
+        unsafe { *self.0.add(i) = Some(r) };
+    }
+}
+
+/// Map `f` over `items` on up to `threads` workers, returning the
 /// results **in input order** — the output is identical to
 /// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for any
 /// thread count, including the unit-sum folds callers do over it.
@@ -64,7 +351,7 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// Work is distributed dynamically (chunked atomic counter), so skewed
 /// per-item costs — one CHARM branch exploring a deep subtree while its
 /// siblings finish instantly — still balance. `threads <= 1` or a single
-/// item runs inline with no thread spawned.
+/// item runs inline with no pool interaction.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -77,36 +364,29 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     // Hand out small index chunks to keep contention low while still
-    // load-balancing skewed items.
+    // load-balancing skewed items. Chunking depends only on the input
+    // size and requested width, never on scheduling.
     let chunk = (n / (workers * 8)).max(1);
     let cursor = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for i in start..(start + chunk).min(n) {
-                            local.push((i, f(i, &items[i])));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    // Scatter worker-local results back to input order.
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    for bucket in buckets {
-        for (i, r) in bucket {
-            debug_assert!(out[i].is_none());
-            out[i] = Some(r);
+    let slots = SharedSlots(out.as_mut_ptr());
+    let work = move || loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
         }
+        for i in start..(start + chunk).min(n) {
+            let r = f(i, &items[i]);
+            // SAFETY: `i` comes from a chunk this participant claimed, so
+            // no other write targets this slot, and `out` outlives the
+            // region (`Pool::run` blocks until every slot finishes).
+            unsafe { slots.write(i, r) };
+        }
+    };
+    if scoped_executor() {
+        scoped_run(workers - 1, &work);
+    } else {
+        Pool::global().run(workers - 1, &work);
     }
     out.into_iter().map(|r| r.expect("every index computed")).collect()
 }
@@ -190,5 +470,65 @@ mod tests {
         assert_eq!(max_threads(), 1);
         set_max_threads(2);
         assert_eq!(max_threads(), 2);
+    }
+
+    #[test]
+    fn scoped_fallback_matches_pool_bit_for_bit() {
+        // The kill-switch executor must be an invisible knob: same results
+        // in the same order at every thread count. Flipping it mid-process
+        // is safe for any concurrent region for the same reason, which is
+        // why this test can toggle a global without fencing other tests.
+        let items: Vec<u64> = (0..777).collect();
+        let pooled = parallel_map(&items, 8, |i, &x| x * 7 + i as u64);
+        set_scoped_executor(true);
+        assert!(scoped_executor());
+        let scoped = parallel_map(&items, 8, |i, &x| x * 7 + i as u64);
+        set_scoped_executor(false);
+        assert_eq!(pooled, scoped);
+    }
+
+    #[test]
+    fn pool_persists_across_regions_and_counts_tasks() {
+        let before = pool_stats();
+        let items: Vec<u64> = (0..512).collect();
+        for _ in 0..4 {
+            let got = parallel_map(&items, 4, |_, &x| x + 1);
+            assert_eq!(got.len(), items.len());
+        }
+        let after = pool_stats();
+        let delta = after.delta_since(&before);
+        assert!(delta.tasks_submitted >= 4, "regions went through the pool");
+        assert!(after.workers >= 3, "workers persist between regions");
+    }
+
+    #[test]
+    fn nested_regions_are_deadlock_free() {
+        // A pool worker's item function submits its own parallel region;
+        // the submitter always participates, so this cannot deadlock even
+        // with every other worker busy.
+        let outer: Vec<u32> = (0..16).collect();
+        let got = parallel_map(&outer, 8, |_, &x| {
+            let inner: Vec<u32> = (0..64).collect();
+            parallel_map(&inner, 4, |_, &y| y + x).iter().sum::<u32>()
+        });
+        let want: Vec<u32> = outer.iter().map(|&x| (0..64).map(|y| y + x).sum()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_submitters_each_get_ordered_results() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let items: Vec<u64> = (0..700).collect();
+                    let got = parallel_map(&items, 4, move |_, &x| x * (t + 1));
+                    let want: Vec<u64> = items.iter().map(|&x| x * (t + 1)).collect();
+                    assert_eq!(got, want);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -212,6 +212,43 @@ impl RangeSpec {
     pub fn display<'a>(&'a self, schema: &'a Schema) -> RangeSpecDisplay<'a> {
         RangeSpecDisplay { spec: self, schema }
     }
+
+    /// If `self` *refines* `parent` — every attribute `parent` constrains
+    /// is constrained by `self` to a subset of `parent`'s values — return
+    /// the **delta**: the selections of `self` that actually narrow
+    /// `parent` (newly constrained attributes plus strictly shrunk ones).
+    /// `None` when `self` relaxes or shifts any of `parent`'s selections.
+    ///
+    /// The delta is what drill-down reuse intersects into `parent`'s
+    /// already-resolved tidset: for `c ⊆ p`, `(X ∩ p) ∩ c = X ∩ c`, so
+    /// applying only the delta to the parent subset yields exactly the
+    /// fresh resolution of `self`. An identical spec has an empty delta.
+    pub fn refinement_delta<'a>(
+        &'a self,
+        parent: &RangeSpec,
+    ) -> Option<Vec<(AttributeId, &'a BTreeSet<ValueId>)>> {
+        let mut delta = Vec::new();
+        for (aid, pvals) in &parent.selections {
+            match self.selections.get(aid) {
+                // `self` dropped a constraint `parent` had: not a refinement.
+                None => return None,
+                Some(svals) => {
+                    if !svals.is_subset(pvals) {
+                        return None;
+                    }
+                    if svals.len() < pvals.len() {
+                        delta.push((*aid, svals));
+                    }
+                }
+            }
+        }
+        for (aid, svals) in &self.selections {
+            if !parent.selections.contains_key(aid) {
+                delta.push((*aid, svals));
+            }
+        }
+        Some(delta)
+    }
 }
 
 /// Schema-aware pretty printer returned by [`RangeSpec::display`].
@@ -284,6 +321,45 @@ impl FocalSubset {
             tids: tids.unwrap_or_else(|| crate::tidset::Tidset::full(universe)),
             universe,
         })
+    }
+
+    /// Derive a refinement's subset from an already-resolved parent:
+    /// intersect the parent's tidset with only the *delta* selections'
+    /// tid-lists instead of rescanning every constrained attribute.
+    /// Returns `Ok(None)` when `spec` is not a refinement of the parent's
+    /// spec. The result is **bit-identical** to
+    /// [`FocalSubset::resolve`]`(spec, …)` — tidset representations are a
+    /// pure function of content (see `tidset`), so even the hybrid
+    /// Sparse/Dense choice matches the fresh scan.
+    pub fn derive_refinement(
+        parent: &FocalSubset,
+        spec: RangeSpec,
+        dataset: &Dataset,
+        vertical: &VerticalIndex,
+    ) -> Result<Option<Self>, DataError> {
+        let schema = dataset.schema();
+        spec.validate(schema)?;
+        let Some(delta) = spec.refinement_delta(&parent.spec) else {
+            return Ok(None);
+        };
+        let mut tids = parent.tids.clone();
+        for (aid, values) in delta {
+            // Full-domain extra conjuncts select nothing; `resolve` skips
+            // them, so the derivation must too.
+            if spec.covers_domain(schema, aid) {
+                continue;
+            }
+            let mut union = crate::tidset::Tidset::new();
+            for &v in values {
+                union = union.union(vertical.tids(schema.encode(aid, v)));
+            }
+            tids = tids.intersect(&union);
+        }
+        Ok(Some(FocalSubset {
+            spec,
+            tids,
+            universe: parent.universe,
+        }))
     }
 
     /// The originating range spec.
@@ -467,6 +543,55 @@ mod tests {
         assert_eq!(spec.hull(&s), vec![(0, 2), (0, 1), (0, 1)]);
         // extents: Loc 2/3, Gender 1, Age 1 → avg (2/3 + 1 + 1)/3
         assert!((spec.avg_extent(&s) - (2.0 / 3.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_delta_accepts_narrowing_and_rejects_relaxing() {
+        let (d, _) = dataset();
+        let s = schema_of(&d);
+        let parent = RangeSpec::all()
+            .with_named(&s, "Loc", &["Boston", "Seattle"])
+            .unwrap();
+        // Extra conjunct → delta is just the new attribute.
+        let child = parent.clone().with_named(&s, "Gender", &["F"]).unwrap();
+        let delta = child.refinement_delta(&parent).unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].0, s.attribute_by_name("Gender").unwrap());
+        // Shrinking an existing selection → delta is the shrunk set.
+        let narrower = RangeSpec::all().with_named(&s, "Loc", &["Seattle"]).unwrap();
+        let delta = narrower.refinement_delta(&parent).unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].1.len(), 1);
+        // Identical spec → empty delta.
+        assert!(parent.clone().refinement_delta(&parent).unwrap().is_empty());
+        // Relaxing (dropping Loc) or shifting (disjoint values) → None.
+        assert!(RangeSpec::all().refinement_delta(&parent).is_none());
+        let shifted = RangeSpec::all().with_named(&s, "Loc", &["SFO"]).unwrap();
+        assert!(shifted.refinement_delta(&parent).is_none());
+        // Everything refines the unconstrained range.
+        assert_eq!(parent.refinement_delta(&RangeSpec::all()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn derived_subset_is_bit_identical_to_fresh_resolution() {
+        let (d, v) = dataset();
+        let s = schema_of(&d);
+        let parent_spec = RangeSpec::all().with_named(&s, "Loc", &["Seattle"]).unwrap();
+        let parent = FocalSubset::resolve(parent_spec.clone(), &d, &v).unwrap();
+        let child_spec = parent_spec.with_named(&s, "Gender", &["F"]).unwrap();
+        let derived = FocalSubset::derive_refinement(&parent, child_spec.clone(), &d, &v)
+            .unwrap()
+            .expect("child refines parent");
+        let fresh = FocalSubset::resolve(child_spec, &d, &v).unwrap();
+        assert_eq!(derived.tids(), fresh.tids());
+        assert_eq!(derived.tids().kind(), fresh.tids().kind());
+        assert_eq!(derived.spec(), fresh.spec());
+        assert_eq!(derived.len(), 3); // Seattle ∧ F = records {3, 4, 5}
+        // Non-refinements don't derive.
+        let unrelated = RangeSpec::all().with_named(&s, "Loc", &["Boston"]).unwrap();
+        assert!(FocalSubset::derive_refinement(&parent, unrelated, &d, &v)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 #
 #   scripts/ci.sh            # build + test + clippy
 #   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json,
-#                            # BENCH_snapshot.json + BENCH_engine.json
+#                            # BENCH_snapshot.json, BENCH_engine.json
+#                            # + BENCH_session.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +20,20 @@ cargo test -q
 echo "==> snapshot format stability (tests/fixtures/salary_index_v1.snap)"
 cargo test -q --test snapshot_format golden_fixture_loads_and_answers_table1
 
+# Concurrent sessions over one shared system must stay bit-identical both
+# when the test harness serializes them and when it runs them alongside
+# everything else — the worker pool sees both contention shapes.
+echo "==> concurrent-session determinism (serialized + default harness)"
+RUST_TEST_THREADS=1 cargo test -q --test parallel_determinism \
+    concurrent_sessions_share_one_system_deterministically
+cargo test -q --test parallel_determinism \
+    concurrent_sessions_share_one_system_deterministically
+
+# The persistent pool's park/unpark and handoff paths behave differently
+# under optimization; run its unit tests in release too.
+echo "==> worker-pool tests (release)"
+cargo test --release -q -p colarm-data par::
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -32,6 +47,8 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release --bin bench_snapshot
     echo "==> bench_engine (operator-engine dispatch overhead)"
     cargo run --release --bin bench_engine
+    echo "==> bench_session (drill-down reuse + persistent pool)"
+    cargo run --release --bin bench_session
 fi
 
 echo "ci: all green"

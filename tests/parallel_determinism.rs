@@ -5,7 +5,10 @@
 
 use colarm::data::synth::{generate, SynthConfig};
 use colarm::plan::execute_plan_with;
-use colarm::{ExecOptions, LocalizedQuery, MipIndex, MipIndexConfig, PlanKind};
+use colarm::{
+    Colarm, ExecOptions, LocalizedQuery, MipIndex, MipIndexConfig, PlanKind, QuerySession,
+    Semantics,
+};
 
 /// Dense enough that candidate lists cross the operators' internal
 /// parallelism threshold, so threads > 1 genuinely take the parallel paths.
@@ -53,6 +56,72 @@ fn index_build_is_thread_count_invariant() {
             assert_eq!(other.tids, cfi.tids, "{threads} threads, {id:?}");
         }
     }
+}
+
+/// N OS threads each drive their own drill-down session over ONE shared
+/// system, concurrently, at different per-session thread counts. Every
+/// session must produce bit-identical rules and unit accounting, and —
+/// because each session runs the same chain against its own caches — the
+/// same derivation/hit/miss counters. This pins down that the persistent
+/// worker pool and the cross-query reuse caches introduce no
+/// scheduling-dependent state into answers or session accounting.
+#[test]
+fn concurrent_sessions_share_one_system_deterministically() {
+    let colarm = Colarm::from_index(build(1)).into_shared();
+    let schema = colarm.index().dataset().schema().clone();
+    // A 4-step refinement chain; Unrestricted semantics forces the ARM
+    // plan, so SELECT (and the column cache) runs at every step.
+    let steps: [(&str, &[&str]); 4] = [
+        ("a0", &["v0", "v1"]),
+        ("a1", &["v0", "v1"]),
+        ("a2", &["v0", "v1", "v2"]),
+        ("a3", &["v0"]),
+    ];
+    let chain: Vec<LocalizedQuery> = (1..=steps.len())
+        .map(|depth| {
+            let mut b = LocalizedQuery::builder();
+            for (attr, values) in &steps[..depth] {
+                b = b.range_named(&schema, attr, values).unwrap();
+            }
+            b.minsupp(0.2)
+                .minconf(0.5)
+                .semantics(Semantics::Unrestricted)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let run_chain = |threads: usize| {
+        let session = QuerySession::new(colarm.clone());
+        session.set_threads(threads);
+        let mut out = Vec::new();
+        for q in &chain {
+            let answer = session.execute(q).unwrap();
+            let units: Vec<u64> = answer.trace.ops.iter().map(|o| o.units.to_bits()).collect();
+            out.push((answer.rules.clone(), units, answer.subset_size));
+        }
+        (out, session.stats())
+    };
+    let (reference, ref_stats) = run_chain(1);
+    assert!(reference.iter().any(|(rules, _, _)| !rules.is_empty()));
+    assert_eq!(ref_stats.subset_misses, 1, "only the chain root resolves fresh");
+    assert_eq!(ref_stats.subsets_derived, chain.len() - 1);
+    assert_eq!(ref_stats.column_misses, 1, "only the chain root scans fresh");
+    assert_eq!(ref_stats.columns_derived, chain.len() - 1);
+    assert_eq!(ref_stats.answer_misses, chain.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = [2usize, 3, 8, 0]
+            .into_iter()
+            .map(|threads| {
+                let run_chain = &run_chain;
+                scope.spawn(move || run_chain(threads))
+            })
+            .collect();
+        for h in handles {
+            let (result, stats) = h.join().unwrap();
+            assert_eq!(result, reference, "concurrent session diverged");
+            assert_eq!(stats, ref_stats, "per-session counters diverged");
+        }
+    });
 }
 
 #[test]
