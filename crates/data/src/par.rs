@@ -23,16 +23,26 @@
 //!
 //! A parallel region's closure may borrow from the submitting thread's
 //! stack even though pool workers are `'static` threads. This is sound
-//! because [`Pool::run`] never returns until the region is over: the
-//! submitting thread participates in its own region (so progress never
-//! depends on a pool worker being free — nested regions from inside a
-//! worker stay deadlock-free), then revokes all unclaimed worker slots
-//! and blocks until every claimed slot has finished. The job descriptor
-//! and closure therefore strictly outlive every access from the pool.
+//! because [`Pool::run`] never returns *or unwinds* until the region is
+//! over: the submitting thread participates in its own region (so
+//! progress never depends on a pool worker being free — nested regions
+//! from inside a worker stay deadlock-free), then revokes all unclaimed
+//! worker slots and blocks until every claimed slot has finished. That
+//! teardown runs from a drop guard, so a panic in the submitter's own
+//! share of the work performs the same revoke-and-wait before the job
+//! descriptor leaves the stack. On the worker side every region closure
+//! runs under `catch_unwind`: a panicking closure still lowers `pending`
+//! and wakes the submitter (no hang, no dead accounting), and the first
+//! captured payload is re-thrown on the submitting thread once the
+//! region is fully quiesced — matching the join-propagation semantics of
+//! the scoped executor this pool replaced. The job descriptor and
+//! closure therefore strictly outlive every access from the pool.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Explicit [`set_max_threads`] override; `0` = no override set.
 static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -153,7 +163,7 @@ pub fn pool_stats() -> PoolStats {
     match POOL.get() {
         None => PoolStats::default(),
         Some(pool) => PoolStats {
-            workers: pool.state.lock().unwrap().spawned as u64,
+            workers: pool.lock_state().spawned as u64,
             tasks_submitted: pool.tasks_submitted.load(Ordering::Relaxed),
             steals: pool.steals.load(Ordering::Relaxed),
             parks: pool.parks.load(Ordering::Relaxed),
@@ -173,6 +183,9 @@ struct JobCore {
     slots: usize,
     /// Claimed slots still executing.
     pending: usize,
+    /// First panic payload caught on a pool worker, re-thrown by the
+    /// submitter once the region has quiesced.
+    panicked: Option<Box<dyn Any + Send>>,
 }
 
 /// Queue entry pointing at a `JobCore` on a submitter's stack.
@@ -216,17 +229,41 @@ impl Pool {
         })
     }
 
-    /// Grow the pool to at least `want` workers (capped).
+    /// Lock the pool state. The pool's invariants never depend on a
+    /// poison-free mutex (panics in region closures are caught before
+    /// the lock is retaken), so a poisoned guard is safe to adopt — and
+    /// must be, because the teardown in [`RegionGuard::drop`] cannot be
+    /// allowed to double-panic.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Grow the pool to at least `want` workers (capped). The worker
+    /// count is *reserved* under the lock but the spawn syscalls happen
+    /// outside it, so concurrent submitters and finishing workers are
+    /// not serialized behind thread creation. If the OS refuses a spawn,
+    /// the unfilled reservation is returned and the pool simply runs
+    /// with fewer workers — regions still complete because the
+    /// submitting thread always participates in its own region.
     fn ensure_workers(&'static self, want: usize) {
         let want = want.min(POOL_MAX_WORKERS);
-        let mut st = self.state.lock().unwrap();
-        while st.spawned < want {
-            let id = st.spawned;
-            st.spawned += 1;
-            std::thread::Builder::new()
+        let (first, target) = {
+            let mut st = self.lock_state();
+            if st.spawned >= want {
+                return;
+            }
+            let first = st.spawned;
+            st.spawned = want;
+            (first, want)
+        };
+        for id in first..target {
+            let spawned = std::thread::Builder::new()
                 .name(format!("colarm-pool-{id}"))
-                .spawn(move || self.worker_loop())
-                .expect("spawn colarm pool worker");
+                .spawn(move || self.worker_loop());
+            if spawned.is_err() {
+                self.lock_state().spawned -= target - id;
+                break;
+            }
         }
     }
 
@@ -247,7 +284,7 @@ impl Pool {
     }
 
     fn worker_loop(&'static self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         loop {
             match Self::try_claim(&mut st) {
                 Some(job) => {
@@ -257,16 +294,27 @@ impl Pool {
                     // submitter cannot return (and the closure cannot die)
                     // until we lower it again below.
                     let func = unsafe { &*(*job).func };
-                    func();
-                    st = self.state.lock().unwrap();
+                    // Catch panics so an unwinding closure cannot kill
+                    // this worker with `pending` still raised — that
+                    // would leave the submitter waiting forever. The
+                    // payload is handed to the submitter instead.
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(func));
+                    st = self.lock_state();
                     // SAFETY: accounting under the mutex, as above.
-                    unsafe { (*job).pending -= 1 };
+                    unsafe {
+                        (*job).pending -= 1;
+                        if let Err(payload) = outcome {
+                            if (*job).panicked.is_none() {
+                                (*job).panicked = Some(payload);
+                            }
+                        }
+                    }
                     // Wake the submitter possibly waiting on completion.
                     self.cv.notify_all();
                 }
                 None => {
                     self.parks.fetch_add(1, Ordering::Relaxed);
-                    st = self.cv.wait(st).unwrap();
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
                     self.unparks.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -277,6 +325,14 @@ impl Pool {
     /// Every participant drains the same chunked cursor, so the region is
     /// over exactly when every claimed slot returns. Blocks until then,
     /// which is what lets `work` borrow from the caller's stack.
+    ///
+    /// Panic protocol: if `work` unwinds on the calling thread, the
+    /// [`RegionGuard`] still revokes unclaimed slots and waits out every
+    /// claimed one before the unwind may pass this frame — the `JobCore`
+    /// and closure never die while the pool can reach them. If `work`
+    /// unwinds on a pool worker, the caught payload is re-thrown here
+    /// after the region quiesces (the caller's own panic wins if both
+    /// happen).
     fn run(&'static self, extra: usize, work: &(dyn Fn() + Sync)) {
         if extra == 0 {
             work();
@@ -292,25 +348,55 @@ impl Pool {
             func,
             slots: extra,
             pending: 0,
+            panicked: None,
         };
         let core_ptr: *mut JobCore = &mut core;
-        self.state.lock().unwrap().queue.push_back(JobRef(core_ptr));
+        self.lock_state().queue.push_back(JobRef(core_ptr));
         self.tasks_submitted.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
-        // Participate: progress never depends on a free pool worker.
-        work();
-        let mut st = self.state.lock().unwrap();
-        // SAFETY: `core` is alive on this stack; accounting under the mutex.
+        {
+            // Armed before the first local `work()` call: teardown must
+            // run on the unwind path too, or the pool would outlive the
+            // stack memory it points at.
+            let _quiesce = RegionGuard {
+                pool: self,
+                core: core_ptr,
+            };
+            // Participate: progress never depends on a free pool worker.
+            work();
+        }
+        // Fully quiesced; nothing else references `core`. Propagate the
+        // first worker panic like the scoped executor's join would have.
+        if let Some(payload) = core.panicked.take() {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Teardown for one parallel region: revoke every unclaimed worker slot,
+/// then block until every claimed slot has finished. Runs from `Drop` so
+/// the same quiesce happens whether the submitter's share of the work
+/// returns or unwinds — only after it may the `JobCore` leave the stack.
+struct RegionGuard {
+    pool: &'static Pool,
+    core: *mut JobCore,
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let mut st = self.pool.lock_state();
+        // SAFETY: `core` outlives this guard on the submitter's stack;
+        // accounting fields are only touched under the pool mutex.
         unsafe {
-            if (*core_ptr).slots > 0 {
+            if (*self.core).slots > 0 {
                 // Revoke slots nobody claimed — the cursor is drained, so
                 // late claimers would only spin on an empty range anyway.
-                (*core_ptr).slots = 0;
-                st.queue.retain(|j| j.0 != core_ptr);
+                (*self.core).slots = 0;
+                st.queue.retain(|j| j.0 != self.core);
             }
         }
-        while unsafe { (*core_ptr).pending } > 0 {
-            st = self.cv.wait(st).unwrap();
+        while unsafe { (*self.core).pending } > 0 {
+            st = self.pool.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -418,6 +504,16 @@ where
 mod tests {
     use super::*;
 
+    /// Held by every test that either flips the global executor toggle or
+    /// asserts on pool counters: regions routed to the scoped executor
+    /// don't move `tasks_submitted`/`workers`, so those two kinds of test
+    /// must not interleave under the default parallel test harness.
+    static EXECUTOR_LOCK: Mutex<()> = Mutex::new(());
+
+    fn executor_lock() -> MutexGuard<'static, ()> {
+        EXECUTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn results_are_in_input_order() {
         let items: Vec<u32> = (0..1000).collect();
@@ -475,9 +571,11 @@ mod tests {
     #[test]
     fn scoped_fallback_matches_pool_bit_for_bit() {
         // The kill-switch executor must be an invisible knob: same results
-        // in the same order at every thread count. Flipping it mid-process
-        // is safe for any concurrent region for the same reason, which is
-        // why this test can toggle a global without fencing other tests.
+        // in the same order at every thread count. Results are
+        // executor-independent for any concurrent region too, but the
+        // lock keeps the toggle from starving counter assertions in
+        // `pool_persists_across_regions_and_counts_tasks`.
+        let _fence = executor_lock();
         let items: Vec<u64> = (0..777).collect();
         let pooled = parallel_map(&items, 8, |i, &x| x * 7 + i as u64);
         set_scoped_executor(true);
@@ -489,6 +587,7 @@ mod tests {
 
     #[test]
     fn pool_persists_across_regions_and_counts_tasks() {
+        let _fence = executor_lock();
         let before = pool_stats();
         let items: Vec<u64> = (0..512).collect();
         for _ in 0..4 {
@@ -499,6 +598,56 @@ mod tests {
         let delta = after.delta_since(&before);
         assert!(delta.tasks_submitted >= 4, "regions went through the pool");
         assert!(after.workers >= 3, "workers persist between regions");
+    }
+
+    #[test]
+    fn submitter_panic_quiesces_region_before_unwinding() {
+        // Index 0 belongs to the first chunk, which the submitter may
+        // claim; whoever hits it panics. The RegionGuard must revoke and
+        // drain the region before the unwind passes `Pool::run` — if it
+        // did not, workers would read the dead JobCore and the next
+        // region would crash or corrupt. Surviving many iterations plus
+        // the health-check region below is the observable contract.
+        for _ in 0..8 {
+            let items: Vec<u32> = (0..256).collect();
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(&items, 4, |_, &x| {
+                    if x == 0 {
+                        panic!("boom in region closure");
+                    }
+                    x
+                })
+            }));
+            assert!(caught.is_err(), "panic must propagate to the caller");
+        }
+        let items: Vec<u32> = (0..256).collect();
+        assert_eq!(parallel_map(&items, 4, |_, &x| x + 1).len(), items.len());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // Force the panic onto a pool worker: the submitter claims the
+        // first chunks while workers wake, so panic on the *last* index
+        // only after burning time on every item — some claimed slot
+        // (often a worker's) hits it. Pre-fix, a worker panic killed the
+        // worker with `pending` raised and the submitter waited forever;
+        // now the payload must surface as a caller-visible panic and the
+        // pool must stay healthy.
+        for _ in 0..8 {
+            let items: Vec<u32> = (0..512).collect();
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(&items, 8, |_, &x| {
+                    std::hint::black_box((0..200).fold(x, |a, _| std::hint::black_box(a)));
+                    if x == 511 {
+                        panic!("boom on a claimed slot");
+                    }
+                    x
+                })
+            }));
+            assert!(caught.is_err(), "panic must propagate, not hang");
+        }
+        let items: Vec<u32> = (0..512).collect();
+        assert_eq!(parallel_map(&items, 8, |_, &x| x).len(), items.len());
     }
 
     #[test]
