@@ -1,15 +1,25 @@
-//! Hybrid tidset-kernel microbenchmark: measures `intersect_count` across
-//! representation pairs on a 100k-tid universe against the seed's
-//! sorted-vec baselines (merge for balanced pairs, galloping probes for
-//! skewed ones) and writes the numbers to `BENCH_tidset.json`.
+//! Chunked tidset-kernel microbenchmark: measures `intersect_count`
+//! across container pairings against two baselines and writes the
+//! numbers plus per-scenario acceptance thresholds to `BENCH_tidset.json`.
 //!
 //! ```text
-//! cargo run --release --bin bench_tidset [-- OUT.json]
+//! cargo run --release --bin bench_tidset [-- OUT.json] [--check]
 //! ```
 //!
-//! The acceptance gates this file documents: ≥3× on dense×dense at
-//! density ≥10%, and no >5% regression on the sparse gallop path (which
-//! still runs the seed's code).
+//! Baselines:
+//!
+//! * **seed** — the pre-PR-1 sorted-vec merge / gallop kernels, kept for
+//!   the original five scenarios so their history stays comparable.
+//! * **PR 1 hybrid** — a faithful replica of the two-kind whole-set
+//!   representation this PR replaced (bitmap when `len × 16 ≥ span` and
+//!   `len ≥ 64`, else sorted vec; same kernels, same gallop ratio). The
+//!   three container scenarios measure against it, on exactly the shapes
+//!   its single global density rule mispredicts.
+//!
+//! Every scenario carries a `min_speedup` threshold; the run exits
+//! nonzero if any measured speedup lands below its threshold, which is
+//! the hard gate `scripts/ci.sh --bench` relies on. `--check` verifies
+//! without rewriting the committed JSON.
 
 use colarm_data::Tidset;
 use rand::rngs::StdRng;
@@ -19,6 +29,18 @@ use std::hint::black_box;
 use std::time::Instant;
 
 const UNIVERSE: u32 = 100_000;
+/// Universe of the clustered scenario: big enough that 64k clusters are
+/// a rounding error of global density.
+const CLUSTER_UNIVERSE: u32 = 1 << 22;
+const RUNS_UNIVERSE: u32 = 1 << 20;
+const MIXED_UNIVERSE: u32 = 1 << 21;
+
+#[derive(Serialize)]
+struct Acceptance {
+    dense_x_dense_min_speedup: f64,
+    sparse_gallop_max_regression: f64,
+    container_scenarios_min_speedup: f64,
+}
 
 #[derive(Serialize)]
 struct Scenario {
@@ -26,21 +48,24 @@ struct Scenario {
     universe: u32,
     len_a: usize,
     len_b: usize,
-    hybrid_ns: f64,
+    chunked_ns: f64,
     baseline: &'static str,
     baseline_ns: f64,
     speedup: f64,
+    min_speedup: f64,
 }
 
 #[derive(Serialize)]
 struct Report {
     description: &'static str,
+    harness: &'static str,
+    acceptance: Acceptance,
     scenarios: Vec<Scenario>,
 }
 
-fn sample(density: f64, rng: &mut StdRng) -> Tidset {
-    Tidset::from_unsorted((0..UNIVERSE).filter(|_| rng.gen_bool(density)))
-}
+// ---------------------------------------------------------------------------
+// Seed baseline: plain sorted-vec kernels (pre-PR-1).
+// ---------------------------------------------------------------------------
 
 /// The seed's merge intersection count over plain sorted vecs.
 fn merge_count(a: &[u32], b: &[u32]) -> usize {
@@ -79,6 +104,110 @@ fn gallop_count(small: &[u32], big: &[u32]) -> usize {
     n
 }
 
+// ---------------------------------------------------------------------------
+// PR 1 baseline: replica of the retired two-kind sparse/dense hybrid.
+// Thresholds and kernels match the removed `Repr::{Sparse, Dense}` code.
+// ---------------------------------------------------------------------------
+
+const PR1_DENSE_RATIO: usize = 16;
+const PR1_DENSE_MIN_LEN: usize = 64;
+const PR1_GALLOP_RATIO: usize = 16;
+
+enum Pr1Hybrid {
+    Sparse(Vec<u32>),
+    Dense(Vec<u64>),
+}
+
+impl Pr1Hybrid {
+    fn build(ids: Vec<u32>) -> Pr1Hybrid {
+        let span = ids.last().map_or(0, |&t| t as usize + 1);
+        if ids.len() >= PR1_DENSE_MIN_LEN && ids.len() * PR1_DENSE_RATIO >= span {
+            let mut words = vec![0u64; span.div_ceil(64)];
+            for &t in &ids {
+                words[t as usize / 64] |= 1u64 << (t % 64);
+            }
+            Pr1Hybrid::Dense(words)
+        } else {
+            Pr1Hybrid::Sparse(ids)
+        }
+    }
+
+    fn is_dense(&self) -> bool {
+        matches!(self, Pr1Hybrid::Dense(_))
+    }
+
+    fn intersect_count(&self, other: &Pr1Hybrid) -> usize {
+        fn test_bit(words: &[u64], t: u32) -> bool {
+            words
+                .get(t as usize / 64)
+                .is_some_and(|w| w & (1u64 << (t % 64)) != 0)
+        }
+        match (self, other) {
+            (Pr1Hybrid::Sparse(a), Pr1Hybrid::Sparse(b)) => {
+                let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                if small.is_empty() {
+                    return 0;
+                }
+                if large.len() / small.len() >= PR1_GALLOP_RATIO {
+                    gallop_count(small, large)
+                } else {
+                    merge_count(small, large)
+                }
+            }
+            (Pr1Hybrid::Sparse(s), Pr1Hybrid::Dense(words))
+            | (Pr1Hybrid::Dense(words), Pr1Hybrid::Sparse(s)) => {
+                s.iter().filter(|&&t| test_bit(words, t)).count()
+            }
+            (Pr1Hybrid::Dense(a), Pr1Hybrid::Dense(b)) => a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| (x & y).count_ones() as usize)
+                .sum(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario data.
+// ---------------------------------------------------------------------------
+
+fn sample(density: f64, rng: &mut StdRng) -> Tidset {
+    Tidset::from_unsorted((0..UNIVERSE).filter(|_| rng.gen_bool(density)))
+}
+
+/// Globally sparse, locally clustered: four 32k-wide half-density blobs
+/// at megabyte-aligned offsets — 1.6% global density, so PR 1 keeps a
+/// sorted vec and probes per id, while the chunked kernel word-ANDs the
+/// four bitmap chunks the blobs occupy.
+fn clustered_ids() -> Vec<u32> {
+    (0..4u32)
+        .flat_map(|c| {
+            let start = c * (1 << 20);
+            (start..start + 32_768).step_by(2)
+        })
+        .collect()
+}
+
+/// 90%-duty interval pattern: `t mod p < 0.9p`. Dense enough that PR 1
+/// builds a whole-universe bitmap; the chunked kernel stores a handful of
+/// runs per chunk and intersects interval boundaries instead of words.
+fn duty_ids(universe: u32, period: u32, offset: u32) -> Vec<u32> {
+    (0..universe)
+        .filter(|t| (t + offset) % period < period / 10 * 9)
+        .collect()
+}
+
+/// One bitmap chunk + sixteen run chunks + a scattered-array tail: every
+/// container kind in one set. Globally ~47% dense, so PR 1 word-ANDs the
+/// full 2M-tid span; the chunked kernel dispatches per-chunk kernels and
+/// touches two orders of magnitude fewer words.
+fn mixed_ids(bitmap_step: usize, runs_offset: u32, array_step: usize) -> Vec<u32> {
+    let bitmap = (0..65_536u32).step_by(bitmap_step);
+    let runs = (65_536..1_114_112u32).filter(move |t| (t + runs_offset) % 1_000 < 900);
+    let tail = (1_114_112..MIXED_UNIVERSE).step_by(array_step);
+    bitmap.chain(runs).chain(tail).collect()
+}
+
 /// Median of `reps` timings of `f`, in nanoseconds per call.
 fn time_ns<F: FnMut() -> usize>(mut f: F) -> f64 {
     // Warm up and pick an iteration count that runs ≥ ~1ms per rep.
@@ -100,7 +229,16 @@ fn time_ns<F: FnMut() -> usize>(mut f: F) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_tidset.json".to_string());
+    let mut out_path = "BENCH_tidset.json".to_string();
+    let mut check_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_only = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
     let mut rng = StdRng::seed_from_u64(0xBE7C);
     let dense10 = sample(0.10, &mut rng);
     let dense30 = sample(0.30, &mut rng);
@@ -111,73 +249,184 @@ fn main() {
     let (v_tiny, v_mid) = (sparse_tiny.to_vec(), sparse_mid.to_vec());
 
     let mut scenarios = Vec::new();
-    let mut push = |name, a: &Tidset, b: &Tidset, baseline: &'static str, base_ns: f64| {
-        let hybrid_ns = time_ns(|| a.intersect_count(b));
+    let mut push = |name,
+                    universe,
+                    a: &Tidset,
+                    b: &Tidset,
+                    baseline: &'static str,
+                    base_ns: f64,
+                    base_count: usize,
+                    min_speedup: f64| {
+        assert_eq!(
+            a.intersect_count(b),
+            base_count,
+            "{name}: chunked and baseline kernels disagree"
+        );
+        let chunked_ns = time_ns(|| a.intersect_count(b));
         scenarios.push(Scenario {
             name,
-            universe: UNIVERSE,
+            universe,
             len_a: a.len(),
             len_b: b.len(),
-            hybrid_ns,
+            chunked_ns,
             baseline,
             baseline_ns: base_ns,
-            speedup: base_ns / hybrid_ns,
+            speedup: base_ns / chunked_ns,
+            min_speedup,
         });
     };
 
+    // Original five scenarios against the seed's sorted-vec kernels.
     push(
         "dense10_x_dense10",
+        UNIVERSE,
         &dense10,
         &dense10.clone(),
         "sorted-vec merge",
         time_ns(|| merge_count(&v10, &v10)),
+        merge_count(&v10, &v10),
+        3.0,
     );
     push(
         "dense10_x_dense50",
+        UNIVERSE,
         &dense10,
         &dense50,
         "sorted-vec merge",
         time_ns(|| merge_count(&v10, &v50)),
+        merge_count(&v10, &v50),
+        3.0,
     );
     push(
         "dense50_x_dense50",
+        UNIVERSE,
         &dense50,
         &dense50.clone(),
         "sorted-vec merge",
         time_ns(|| merge_count(&v50, &v50)),
+        merge_count(&v50, &v50),
+        3.0,
     );
     push(
         "sparse_x_dense30",
+        UNIVERSE,
         &sparse_tiny,
         &dense30,
         "sorted-vec gallop",
         time_ns(|| gallop_count(&v_tiny, &v30)),
+        gallop_count(&v_tiny, &v30),
+        3.0,
     );
     push(
         "sparse_x_sparse_gallop",
+        UNIVERSE,
         &sparse_tiny,
         &sparse_mid,
         "sorted-vec gallop",
         time_ns(|| gallop_count(&v_tiny, &v_mid)),
+        gallop_count(&v_tiny, &v_mid),
+        0.95, // ≤5% regression: this path still runs comparable code.
+    );
+
+    // Container scenarios against the PR 1 two-kind hybrid replica, on
+    // the shapes its whole-set density rule mispredicts.
+    let clustered = clustered_ids();
+    let wide_dense: Vec<u32> = (0..CLUSTER_UNIVERSE).step_by(2).collect();
+    let a = Tidset::from_sorted(clustered.clone());
+    let b = Tidset::from_sorted(wide_dense.clone());
+    let pa = Pr1Hybrid::build(clustered);
+    let pb = Pr1Hybrid::build(wide_dense);
+    assert!(!pa.is_dense(), "clustered set must be PR1-sparse");
+    assert!(pb.is_dense(), "wide set must be PR1-dense");
+    push(
+        "clustered_sparse_x_dense",
+        CLUSTER_UNIVERSE,
+        &a,
+        &b,
+        "PR1 hybrid (probe)",
+        time_ns(|| pa.intersect_count(&pb)),
+        pa.intersect_count(&pb),
+        3.0,
+    );
+
+    let ra = duty_ids(RUNS_UNIVERSE, 10_000, 0);
+    let rb = duty_ids(RUNS_UNIVERSE, 10_000, 5_000);
+    let a = Tidset::from_sorted(ra.clone());
+    let b = Tidset::from_sorted(rb.clone());
+    let pa = Pr1Hybrid::build(ra);
+    let pb = Pr1Hybrid::build(rb);
+    assert!(pa.is_dense() && pb.is_dense(), "duty sets must be PR1-dense");
+    push(
+        "runs_x_runs",
+        RUNS_UNIVERSE,
+        &a,
+        &b,
+        "PR1 hybrid (word-AND)",
+        time_ns(|| pa.intersect_count(&pb)),
+        pa.intersect_count(&pb),
+        3.0,
+    );
+
+    let ma = mixed_ids(2, 0, 2_048);
+    let mb = mixed_ids(4, 500, 3_072);
+    let a = Tidset::from_sorted(ma.clone());
+    let b = Tidset::from_sorted(mb.clone());
+    let pa = Pr1Hybrid::build(ma);
+    let pb = Pr1Hybrid::build(mb);
+    assert!(pa.is_dense() && pb.is_dense(), "mixed sets must be PR1-dense");
+    push(
+        "mixed_chunk_x_mixed_chunk",
+        MIXED_UNIVERSE,
+        &a,
+        &b,
+        "PR1 hybrid (word-AND)",
+        time_ns(|| pa.intersect_count(&pb)),
+        pa.intersect_count(&pb),
+        3.0,
     );
 
     let report = Report {
-        description: "Hybrid bitmap/sorted-vec tidset kernel vs the seed's \
-                      sorted-vec intersection, intersect_count on a 100k-tid \
-                      universe (median of 9 reps)",
+        description: "Chunked container tidset kernel (array/bitmap/run per \
+                      64k chunk) vs the seed's sorted-vec kernels (original \
+                      scenarios) and a PR 1 two-kind hybrid replica \
+                      (container scenarios), intersect_count medians of 9 reps",
+        harness: "cargo run --release --bin bench_tidset [-- OUT.json] [--check]; \
+                  every scenario's measured speedup must reach its min_speedup \
+                  or the run exits nonzero (the scripts/ci.sh --bench gate)",
+        acceptance: Acceptance {
+            dense_x_dense_min_speedup: 3.0,
+            sparse_gallop_max_regression: 0.05,
+            container_scenarios_min_speedup: 3.0,
+        },
         scenarios,
     };
     println!(
-        "{:<26} {:>9} {:>9} {:>12} {:>12} {:>8}",
-        "scenario", "|a|", "|b|", "hybrid ns", "baseline ns", "speedup"
+        "{:<26} {:>9} {:>9} {:>12} {:>12} {:>8} {:>6}",
+        "scenario", "|a|", "|b|", "chunked ns", "baseline ns", "speedup", "gate"
     );
     for s in &report.scenarios {
         println!(
-            "{:<26} {:>9} {:>9} {:>12.0} {:>12.0} {:>7.1}x",
-            s.name, s.len_a, s.len_b, s.hybrid_ns, s.baseline_ns, s.speedup
+            "{:<26} {:>9} {:>9} {:>12.0} {:>12.0} {:>7.1}x {:>5.2}x",
+            s.name, s.len_a, s.len_b, s.chunked_ns, s.baseline_ns, s.speedup, s.min_speedup
         );
     }
-    let json = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write(&out_path, json).expect("write BENCH_tidset.json");
-    println!("\nwrote {out_path}");
+    if !check_only {
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        std::fs::write(&out_path, json).expect("write BENCH_tidset.json");
+        println!("\nwrote {out_path}");
+    }
+    let failures: Vec<String> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.speedup < s.min_speedup)
+        .map(|s| format!("{}: {:.2}x < required {:.2}x", s.name, s.speedup, s.min_speedup))
+        .collect();
+    if !failures.is_empty() {
+        eprintln!("\nbench gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench gate: all {} scenarios green", report.scenarios.len());
 }

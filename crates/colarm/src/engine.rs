@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 /// unbatched run — batching changes when the engine *checks*, never what
 /// it computes.
 pub const ENGINE_BATCH: usize = 256;
-const _: () = assert!(ENGINE_BATCH % ops::VERIFY_MEMO_SPAN == 0);
+const _: () = assert!(ENGINE_BATCH.is_multiple_of(ops::VERIFY_MEMO_SPAN));
 
 /// A shareable cancellation flag. Cloning shares the flag; arming it
 /// makes every execution holding a clone fail with

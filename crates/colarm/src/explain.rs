@@ -279,15 +279,39 @@ impl fmt::Display for AnalyzeReport {
                 None => "-".to_string(),
             };
             let counters = match &op.metrics {
-                Some(m) => format!(
-                    "scan {} emit {} isect {} rtree {} lookups {} hits {}",
-                    m.scanned,
-                    m.emitted,
-                    m.intersections(),
-                    m.rtree_nodes,
-                    m.support_lookups,
-                    m.cache_hits
-                ),
+                Some(m) => {
+                    // Break total intersections down by the chunk-kernel
+                    // container pairing (a=array, b=bitmap, r=runs),
+                    // omitting pairs that never ran.
+                    let mut kernels = String::new();
+                    for (label, count) in [
+                        ("a*a", m.isect_array_array),
+                        ("a*b", m.isect_array_bitmap),
+                        ("a*r", m.isect_array_runs),
+                        ("b*b", m.isect_bitmap_bitmap),
+                        ("b*r", m.isect_bitmap_runs),
+                        ("r*r", m.isect_runs_runs),
+                    ] {
+                        if count > 0 {
+                            let sep = if kernels.is_empty() { "" } else { " " };
+                            kernels.push_str(&format!("{sep}{label} {count}"));
+                        }
+                    }
+                    let isect = if kernels.is_empty() {
+                        "isect 0".to_string()
+                    } else {
+                        format!("isect {} [{kernels}]", m.intersections())
+                    };
+                    format!(
+                        "scan {} emit {} {} rtree {} lookups {} hits {}",
+                        m.scanned,
+                        m.emitted,
+                        isect,
+                        m.rtree_nodes,
+                        m.support_lookups,
+                        m.cache_hits
+                    )
+                }
                 None => "off".to_string(),
             };
             writeln!(

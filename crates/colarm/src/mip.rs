@@ -181,6 +181,7 @@ impl MipIndex {
             &cfi_attr_presence,
             &item_supports,
             &cfi_min_item_supports,
+            cfis.iter().flat_map(|c| c.tids.chunk_stats()),
             m,
             primary_count,
         );

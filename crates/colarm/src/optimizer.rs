@@ -193,13 +193,13 @@ impl FeedbackLog {
     /// ANALYZE executions). One mispick per offending query, reporting the
     /// biggest winner.
     pub fn mispicks(&self) -> Vec<Mispick> {
+        /// Per-plan best observed seconds, keyed by plan name.
+        type PlanBests = std::collections::BTreeMap<&'static str, (PlanKind, f64)>;
         let entries = self.entries.lock();
         // query key → per-plan best observed seconds (+ the optimizer's
         // chosen plan, when any entry for the key was optimizer-driven).
-        let mut by_query: std::collections::BTreeMap<
-            &str,
-            (Option<PlanKind>, std::collections::BTreeMap<&'static str, (PlanKind, f64)>),
-        > = std::collections::BTreeMap::new();
+        let mut by_query: std::collections::BTreeMap<&str, (Option<PlanKind>, PlanBests)> =
+            std::collections::BTreeMap::new();
         for e in entries.iter() {
             let slot = by_query.entry(e.query.as_str()).or_default();
             if e.chosen_by_optimizer {

@@ -32,10 +32,17 @@ use std::io::{Read, Write};
 /// Identifies a binary COLARM index snapshot (8 bytes at offset 0).
 pub const MAGIC: [u8; 8] = *b"COLARMIX";
 
-/// Current binary format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current binary format version. Version 2 switched the CFI tidset
+/// payloads to the per-chunk container encoding (codec tag `2`); the
+/// section framing is unchanged.
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Section tags of format version 1.
+/// Oldest format version this build still reads. Version 1 files differ
+/// only in their tidset payload encoding (codec tags `0`/`1`), which the
+/// tidset decoder accepts as a fallback, so v1 snapshots load bit-for-bit.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// Section tags (unchanged since format version 1).
 pub(crate) const SEC_TRAILER: u8 = 0;
 pub(crate) const SEC_HEADER: u8 = 1;
 pub(crate) const SEC_RECORDS: u8 = 2;
@@ -134,10 +141,6 @@ impl<R: Read> CrcReader<R> {
         }
     }
 
-    pub(crate) fn offset(&self) -> u64 {
-        self.offset
-    }
-
     fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ColarmError> {
         let at = self.offset;
         self.inner.read_exact(buf).map_err(|e| {
@@ -167,10 +170,11 @@ impl<R: Read> CrcReader<R> {
         let mut v = [0u8; 4];
         self.read_exact(&mut v)?;
         let version = u32::from_le_bytes(v);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(corrupt(format!(
                 "unsupported snapshot format version {version} \
-                 (this build reads version {FORMAT_VERSION})"
+                 (this build reads versions {MIN_FORMAT_VERSION} \
+                 through {FORMAT_VERSION})"
             )));
         }
         Ok(version)

@@ -11,7 +11,7 @@
 //! Two on-disk representations exist:
 //!
 //! * **Binary (current)** — the versioned, sectioned, checksummed format
-//!   of [`format`]: magic `COLARMIX`, delta-varint tidsets, per-section
+//!   of [`mod@format`]: magic `COLARMIX`, delta-varint tidsets, per-section
 //!   and whole-file CRC-32. Written and read *streaming* through
 //!   [`SnapshotWriter`] / [`SnapshotReader`], so a multi-gigabyte index
 //!   never needs a second in-memory serialized copy. All writes go
@@ -34,7 +34,7 @@ use colarm_data::codec::{self, Cursor};
 use colarm_data::{Attribute, Dataset, DatasetBuilder, ItemId, Itemset, Schema, Tidset, ValueId};
 use colarm_mine::ClosedItemset;
 use format::{corrupt, io_err, CrcReader, CrcWriter};
-pub use format::{FORMAT_VERSION, MAGIC};
+pub use format::{FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -892,9 +892,9 @@ mod tests {
             other => panic!("expected Snapshot error, got {:?}", other.err()),
         }
         let mut future = bytes.clone();
-        future[8..12].copy_from_slice(&2u32.to_le_bytes());
+        future[8..12].copy_from_slice(&3u32.to_le_bytes());
         match SnapshotReader::new(&future[..]) {
-            Err(ColarmError::Snapshot { message }) => assert!(message.contains("version 2")),
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("version 3")),
             other => panic!("expected Snapshot error, got {:?}", other.err()),
         }
     }

@@ -188,7 +188,7 @@ pub fn execute_plan_limited(
     engine::execute(index, query, subset, plan, opts, limits)
 }
 
-/// [`execute_plan_limited`] with an optional session [`ColumnStore`]
+/// [`execute_plan_limited`] with an optional session `ColumnStore`
 /// hooked into the ARM plan's SELECT (cross-query drill-down reuse).
 /// Rules, trace kinds, and units stay bit-identical to the storeless
 /// path — only durations and cache-revealing metric counters differ.

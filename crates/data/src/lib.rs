@@ -11,9 +11,11 @@
 //!   global [`ItemId`] encoding of attribute–value pairs.
 //! * [`Dataset`] — row store of records plus a [`VerticalIndex`] of per-item
 //!   tid-lists (the vertical format CHARM mines over).
-//! * [`Tidset`] — hybrid sorted-vector / packed-bitmap transaction-id sets
-//!   with merge, galloping and word-wise popcount set algebra; the unit of
-//!   all support counting in COLARM.
+//! * [`Tidset`] — chunked transaction-id sets: the u32 tid universe is
+//!   partitioned into 64k-aligned chunks, each stored as a sorted-u16
+//!   array, packed bitmap, or run list by local density, with kernels
+//!   specialized per container pairing; the unit of all support counting
+//!   in COLARM.
 //! * [`par`] — deterministic ordered fork-join used by the parallel
 //!   operator loops and the index build, with the session thread knob.
 //! * [`Itemset`] — sorted item-id sets with subset/union algebra and the
@@ -52,4 +54,4 @@ pub use itemset::Itemset;
 pub use schema::{Schema, SchemaBuilder};
 pub use metrics::{Meter, OpMetrics};
 pub use subset::{FocalSubset, Overlap, RangeSpec};
-pub use tidset::{Tidset, TidsetKind};
+pub use tidset::{ContainerKind, Tidset, TidsetKind};

@@ -11,25 +11,39 @@
 //! of magnitude more, so it is unconditionally on; whether the counters
 //! are *reported* is the executor's choice.
 
-use crate::tidset::{Tidset, TidsetKind};
+use crate::tidset::{ContainerKind, Tidset};
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Counters of one operator execution (or one slice of it, before the
 /// in-order fold). All fields are exact `u64` tallies, so sums are
 /// associative and scheduling-independent.
+///
+/// Intersections are attributed at *chunk-kernel* granularity: one
+/// whole-set intersection over chunked operands counts one tick per
+/// chunk-level kernel it dispatches (see
+/// [`Tidset::for_each_kernel_pair`]), classified by the unordered
+/// container-kind pair. A set-level intersection where the operands share
+/// no chunk keys therefore contributes zero kernel ticks — the kernel
+/// never ran.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpMetrics {
     /// Input elements examined (candidate itemsets, records, tree entries).
     pub scanned: u64,
     /// Output elements produced (surviving candidates, rules, columns).
     pub emitted: u64,
-    /// Tidset intersections with two sparse operands (merge or gallop).
-    pub isect_sparse: u64,
-    /// Tidset intersections with two dense operands (word-AND + popcount).
-    pub isect_dense: u64,
-    /// Mixed sparse/dense intersections (bitmap probe per id).
-    pub isect_mixed: u64,
+    /// Chunk kernels over two sorted-u16 array containers (merge/gallop).
+    pub isect_array_array: u64,
+    /// Chunk kernels pairing an array with a bitmap (per-id bit probe).
+    pub isect_array_bitmap: u64,
+    /// Chunk kernels pairing an array with a run list (interval probe).
+    pub isect_array_runs: u64,
+    /// Chunk kernels over two bitmaps (word-AND + popcount).
+    pub isect_bitmap_bitmap: u64,
+    /// Chunk kernels pairing a bitmap with a run list (masked words).
+    pub isect_bitmap_runs: u64,
+    /// Chunk kernels over two run lists (interval intersection).
+    pub isect_runs_runs: u64,
     /// R-tree nodes visited by a range search.
     pub rtree_nodes: u64,
     /// Support-oracle lookups issued (memo hits included).
@@ -40,19 +54,32 @@ pub struct OpMetrics {
 }
 
 impl OpMetrics {
-    /// Total tidset intersections of any kind.
+    /// Total chunk-level intersection kernels of any container pairing.
     pub fn intersections(&self) -> u64 {
-        self.isect_sparse + self.isect_dense + self.isect_mixed
+        self.isect_array_array
+            + self.isect_array_bitmap
+            + self.isect_array_runs
+            + self.isect_bitmap_bitmap
+            + self.isect_bitmap_runs
+            + self.isect_runs_runs
     }
 
-    /// Record one intersection, classified by operand representation.
+    /// Record one set-level intersection as the chunk kernels it
+    /// dispatches, each classified by its unordered container-kind pair.
     #[inline]
     pub fn note_intersection(&mut self, a: &Tidset, b: &Tidset) {
-        match (a.kind(), b.kind()) {
-            (TidsetKind::Sparse, TidsetKind::Sparse) => self.isect_sparse += 1,
-            (TidsetKind::Dense, TidsetKind::Dense) => self.isect_dense += 1,
-            _ => self.isect_mixed += 1,
-        }
+        a.for_each_kernel_pair(b, |x, y| {
+            use ContainerKind::{Array, Bitmap, Runs};
+            let slot = match (x, y) {
+                (Array, Array) => &mut self.isect_array_array,
+                (Array, Bitmap) | (Bitmap, Array) => &mut self.isect_array_bitmap,
+                (Array, Runs) | (Runs, Array) => &mut self.isect_array_runs,
+                (Bitmap, Bitmap) => &mut self.isect_bitmap_bitmap,
+                (Bitmap, Runs) | (Runs, Bitmap) => &mut self.isect_bitmap_runs,
+                (Runs, Runs) => &mut self.isect_runs_runs,
+            };
+            *slot += 1;
+        });
     }
 
     /// True when every counter is zero.
@@ -77,9 +104,12 @@ impl AddAssign for OpMetrics {
     fn add_assign(&mut self, rhs: OpMetrics) {
         self.scanned += rhs.scanned;
         self.emitted += rhs.emitted;
-        self.isect_sparse += rhs.isect_sparse;
-        self.isect_dense += rhs.isect_dense;
-        self.isect_mixed += rhs.isect_mixed;
+        self.isect_array_array += rhs.isect_array_array;
+        self.isect_array_bitmap += rhs.isect_array_bitmap;
+        self.isect_array_runs += rhs.isect_array_runs;
+        self.isect_bitmap_bitmap += rhs.isect_bitmap_bitmap;
+        self.isect_bitmap_runs += rhs.isect_bitmap_runs;
+        self.isect_runs_runs += rhs.isect_runs_runs;
         self.rtree_nodes += rhs.rtree_nodes;
         self.support_lookups += rhs.support_lookups;
         self.cache_hits += rhs.cache_hits;
@@ -131,31 +161,78 @@ mod tests {
         let a = OpMetrics {
             scanned: 1,
             emitted: 2,
-            isect_sparse: 3,
-            isect_dense: 4,
-            isect_mixed: 5,
-            rtree_nodes: 6,
-            support_lookups: 7,
-            cache_hits: 8,
+            isect_array_array: 3,
+            isect_array_bitmap: 4,
+            isect_array_runs: 5,
+            isect_bitmap_bitmap: 6,
+            isect_bitmap_runs: 7,
+            isect_runs_runs: 8,
+            rtree_nodes: 9,
+            support_lookups: 10,
+            cache_hits: 11,
         };
         let b = a;
         let c = a + b;
         assert_eq!(c.scanned, 2);
-        assert_eq!(c.intersections(), 24);
+        assert_eq!(c.intersections(), 66);
         assert!(!c.is_zero());
         assert!(OpMetrics::default().is_zero());
     }
 
     #[test]
-    fn intersections_classify_by_representation() {
-        let sparse = Tidset::from_sorted(vec![1, 2, 3]);
-        let dense = Tidset::full(1024);
+    fn intersections_classify_by_container_pair() {
+        // Scattered low ids: a single array chunk. Dense even ids over
+        // 0..20000: a bitmap chunk. 0..=1023 contiguous: a run chunk.
+        let array = Tidset::from_sorted(vec![1, 5, 9]);
+        let bitmap = Tidset::from_sorted((0..20_000).step_by(2).collect());
+        let runs = Tidset::full(1024);
+        assert_eq!(array.kind(), crate::tidset::TidsetKind::Array);
+        assert_eq!(bitmap.kind(), crate::tidset::TidsetKind::Bitmap);
+        assert_eq!(runs.kind(), crate::tidset::TidsetKind::Runs);
+
         let mut m = OpMetrics::default();
-        m.note_intersection(&sparse, &sparse);
-        m.note_intersection(&dense, &dense);
-        m.note_intersection(&sparse, &dense);
-        m.note_intersection(&dense, &sparse);
-        assert_eq!((m.isect_sparse, m.isect_dense, m.isect_mixed), (1, 1, 2));
+        m.note_intersection(&array, &array);
+        m.note_intersection(&bitmap, &bitmap);
+        m.note_intersection(&runs, &runs);
+        m.note_intersection(&array, &bitmap);
+        m.note_intersection(&bitmap, &array); // unordered: same counter
+        m.note_intersection(&array, &runs);
+        m.note_intersection(&runs, &bitmap);
+        assert_eq!(
+            (
+                m.isect_array_array,
+                m.isect_array_bitmap,
+                m.isect_array_runs,
+                m.isect_bitmap_bitmap,
+                m.isect_bitmap_runs,
+                m.isect_runs_runs,
+            ),
+            (1, 2, 1, 1, 1, 1)
+        );
+        assert_eq!(m.intersections(), 7);
+    }
+
+    #[test]
+    fn disjoint_chunk_keys_dispatch_no_kernels() {
+        // Operands living in different 64k chunks never reach a chunk
+        // kernel, so nothing is counted.
+        let lo = Tidset::from_sorted(vec![1, 2, 3]);
+        let hi = Tidset::from_sorted(vec![1 << 16, (1 << 16) + 1]);
+        let mut m = OpMetrics::default();
+        m.note_intersection(&lo, &hi);
+        assert_eq!(m.intersections(), 0);
+    }
+
+    #[test]
+    fn multi_chunk_operands_count_per_chunk_kernel() {
+        // Two chunks in common: chunk 0 is bitmap x bitmap, chunk 1 is
+        // array x array — one tick each from a single set intersection.
+        let a = Tidset::from_unsorted((0..40_000u32).step_by(2).chain([70_000, 70_004]));
+        let b = Tidset::from_unsorted((0..40_000u32).step_by(4).chain([70_000, 70_008]));
+        let mut m = OpMetrics::default();
+        m.note_intersection(&a, &b);
+        assert_eq!((m.isect_bitmap_bitmap, m.isect_array_array), (1, 1));
+        assert_eq!(m.intersections(), 2);
     }
 
     #[test]

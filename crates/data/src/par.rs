@@ -23,7 +23,7 @@
 //!
 //! A parallel region's closure may borrow from the submitting thread's
 //! stack even though pool workers are `'static` threads. This is sound
-//! because [`Pool::run`] never returns *or unwinds* until the region is
+//! because `Pool::run` never returns *or unwinds* until the region is
 //! over: the submitting thread participates in its own region (so
 //! progress never depends on a pool worker being free — nested regions
 //! from inside a worker stay deadlock-free), then revokes all unclaimed
@@ -118,7 +118,7 @@ pub fn scoped_executor() -> bool {
 fn scoped_run(extra: usize, work: &(dyn Fn() + Sync)) {
     std::thread::scope(|scope| {
         for _ in 0..extra {
-            scope.spawn(|| work());
+            scope.spawn(work);
         }
         work();
     });
@@ -395,7 +395,12 @@ impl Drop for RegionGuard {
                 st.queue.retain(|j| j.0 != self.core);
             }
         }
-        while unsafe { (*self.core).pending } > 0 {
+        // Condvar wait loop: `pending` is decremented by workers under the
+        // pool mutex, so each wakeup re-reads it under fresh `st`.
+        loop {
+            if unsafe { (*self.core).pending } == 0 {
+                break;
+            }
             st = self.pool.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -461,8 +466,9 @@ where
         if start >= n {
             break;
         }
-        for i in start..(start + chunk).min(n) {
-            let r = f(i, &items[i]);
+        let end = (start + chunk).min(n);
+        for (i, item) in (start..end).zip(&items[start..end]) {
+            let r = f(i, item);
             // SAFETY: `i` comes from a chunk this participant claimed, so
             // no other write targets this slot, and `out` outlives the
             // region (`Pool::run` blocks until every slot finishes).

@@ -1,0 +1,1039 @@
+//! Per-chunk physical containers for the chunked [`super::Tidset`] layout.
+//!
+//! A tidset partitions the u32 tid universe into 64k-aligned chunks
+//! (chunk key = `tid >> 16`); each non-empty chunk stores its low 16 bits
+//! in whichever of three layouts is smallest for its contents:
+//!
+//! * **Array** — a strictly sorted `Vec<u16>` (2 bytes per tid);
+//! * **Bitmap** — packed `u64` words, trailing zero words trimmed
+//!   (8 bytes per word, at most 1024 words);
+//! * **Runs** — sorted maximal `(start, end)` intervals, inclusive, with
+//!   a gap of at least one tid between consecutive runs (4 bytes per run).
+//!
+//! The canonical choice is the byte-smallest layout, ties broken Runs >
+//! Array > Bitmap. Because the rule is a pure function of the chunk's
+//! *contents* — never of the operation or schedule that produced it —
+//! two executions computing the same set always hold the same physical
+//! shape, which is what keeps parallel runs and drill-down derivations
+//! bit-identical (and lets the snapshot codec reject a flipped container
+//! type byte as corruption).
+//!
+//! Every pairwise operation ([`intersect`], [`intersect_count`],
+//! [`union`], [`subtract`], [`is_subset`]) has a kernel specialized to
+//! its operand layouts: sorted-u16 merge/gallop for array pairs, word
+//! `AND`/`OR`/`ANDNOT` for bitmap pairs, interval merges for run pairs,
+//! and probe/mask kernels for the mixed combinations.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Number of low bits addressed inside one chunk: chunks span 2^16 tids.
+pub(crate) const CHUNK_BITS: u32 = 16;
+
+/// Words of a full chunk bitmap (2^16 bits / 64).
+const MAX_WORDS: usize = 1 << (CHUNK_BITS - 6);
+
+/// How lopsided two arrays must be before intersection switches from a
+/// linear merge to a gallop over the larger side (inherited from the
+/// PR 1 sorted-vector kernel, where the ratio was tuned).
+const GALLOP_RATIO: usize = 16;
+
+/// The physical layout of one chunk of a [`super::Tidset`].
+///
+/// Exposed for instrumentation: the execution-metrics layer classifies
+/// each intersection by the container kinds its per-chunk kernels
+/// dispatched on, and the cost model summarizes an index's container
+/// histogram. The kind is a deterministic function of the chunk's
+/// contents, never of scheduling, so totals built from it reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContainerKind {
+    /// Strictly sorted `Vec<u16>` of low bits.
+    Array,
+    /// Packed `u64` bitmap, trailing zero words trimmed.
+    Bitmap,
+    /// Sorted inclusive `(start, end)` intervals.
+    Runs,
+}
+
+impl fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ContainerKind::Array => "array",
+            ContainerKind::Bitmap => "bitmap",
+            ContainerKind::Runs => "runs",
+        })
+    }
+}
+
+/// One chunk's payload. Invariants (upheld by every constructor here):
+/// non-empty; arrays strictly sorted; bitmaps have no trailing zero word,
+/// at most [`MAX_WORDS`] words, and `card` equal to the popcount; runs
+/// are sorted, satisfy `start <= end`, and leave a gap of at least one
+/// tid between consecutive runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Container {
+    /// Strictly sorted low bits.
+    Array(Vec<u16>),
+    /// Packed bitmap with cached population count.
+    Bitmap { words: Vec<u64>, card: u32 },
+    /// Sorted maximal inclusive intervals.
+    Runs(Vec<(u16, u16)>),
+}
+
+/// The canonical (byte-smallest) layout for a chunk with `card` tids,
+/// `n_runs` maximal runs and highest low-bits `last`: runs cost 4 bytes
+/// each, array entries 2 bytes each, and a bitmap 8 bytes per word up to
+/// `last`. Ties prefer Runs, then Array — any fixed rule works, as long
+/// as it is a pure function of the contents.
+pub(crate) fn canonical_kind(card: usize, n_runs: usize, last: u16) -> ContainerKind {
+    let run_bytes = 4 * n_runs;
+    let array_bytes = 2 * card;
+    let bitmap_bytes = 8 * (last as usize / 64 + 1);
+    if run_bytes <= array_bytes && run_bytes <= bitmap_bytes {
+        ContainerKind::Runs
+    } else if array_bytes <= bitmap_bytes {
+        ContainerKind::Array
+    } else {
+        ContainerKind::Bitmap
+    }
+}
+
+impl Container {
+    /// Number of tids stored.
+    pub(crate) fn card(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap { card, .. } => *card as usize,
+            Container::Runs(r) => r.iter().map(|&(s, e)| (e - s) as usize + 1).sum(),
+        }
+    }
+
+    /// The physical layout in use.
+    pub(crate) fn kind(&self) -> ContainerKind {
+        match self {
+            Container::Array(_) => ContainerKind::Array,
+            Container::Bitmap { .. } => ContainerKind::Bitmap,
+            Container::Runs(_) => ContainerKind::Runs,
+        }
+    }
+
+    /// Highest stored value. Containers are never empty.
+    pub(crate) fn last(&self) -> u16 {
+        match self {
+            Container::Array(v) => *v.last().expect("container is never empty"),
+            Container::Bitmap { words, .. } => {
+                let i = words.len() - 1;
+                (i as u32 * 64 + 63 - words[i].leading_zeros()) as u16
+            }
+            Container::Runs(r) => r.last().expect("container is never empty").1,
+        }
+    }
+
+    /// Number of maximal runs of consecutive values.
+    pub(crate) fn n_runs(&self) -> usize {
+        match self {
+            Container::Array(v) => {
+                let mut n = usize::from(!v.is_empty());
+                for w in v.windows(2) {
+                    if w[1] - w[0] > 1 {
+                        n += 1;
+                    }
+                }
+                n
+            }
+            Container::Bitmap { words, .. } => {
+                // A set bit starts a run iff its predecessor bit is clear;
+                // the carry threads bit 63 across word boundaries.
+                let mut n = 0usize;
+                let mut carry = 0u64;
+                for &w in words {
+                    n += (w & !((w << 1) | carry)).count_ones() as usize;
+                    carry = w >> 63;
+                }
+                n
+            }
+            Container::Runs(r) => r.len(),
+        }
+    }
+
+    /// Membership test.
+    pub(crate) fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&low).is_ok(),
+            Container::Bitmap { words, .. } => word_test(words, low),
+            Container::Runs(r) => r
+                .binary_search_by(|&(s, e)| {
+                    if e < low {
+                        Ordering::Less
+                    } else if s > low {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Equal
+                    }
+                })
+                .is_ok(),
+        }
+    }
+
+    /// Iterate stored values in ascending order.
+    pub(crate) fn iter(&self) -> ContainerIter<'_> {
+        match self {
+            Container::Array(v) => ContainerIter::Array(v.iter()),
+            Container::Bitmap { words, .. } => ContainerIter::Bitmap {
+                words,
+                word_idx: 0,
+                current: words.first().copied().unwrap_or(0),
+            },
+            Container::Runs(r) => ContainerIter::Runs {
+                runs: r.iter(),
+                cur: None,
+            },
+        }
+    }
+
+    /// Append a value strictly greater than every present value, without
+    /// re-normalizing (callers batch-construct and normalize once, or are
+    /// test-only like [`super::Tidset::push_monotonic`]).
+    pub(crate) fn push_monotonic(&mut self, low: u16) {
+        match self {
+            Container::Array(v) => v.push(low),
+            Container::Bitmap { words, card } => {
+                let wi = low as usize / 64;
+                if words.len() <= wi {
+                    words.resize(wi + 1, 0);
+                }
+                words[wi] |= 1u64 << (low & 63);
+                *card += 1;
+            }
+            Container::Runs(r) => {
+                let last = r.last_mut().expect("container is never empty");
+                if last.1 as u32 + 1 == low as u32 {
+                    last.1 = low;
+                } else {
+                    r.push((low, low));
+                }
+            }
+        }
+    }
+
+    /// Convert to the canonical layout for the current contents.
+    pub(crate) fn normalized(self) -> Container {
+        debug_assert!(self.card() > 0, "normalize of an empty container");
+        let target = canonical_kind(self.card(), self.n_runs(), self.last());
+        if self.kind() == target {
+            return self;
+        }
+        match target {
+            ContainerKind::Array => Container::Array(self.iter().collect()),
+            ContainerKind::Bitmap => bitmap_from_iter(self.iter()),
+            ContainerKind::Runs => Container::Runs(runs_from_iter(self.iter())),
+        }
+    }
+}
+
+/// Ascending iterator over any container layout.
+pub(crate) enum ContainerIter<'a> {
+    Array(std::slice::Iter<'a, u16>),
+    Bitmap {
+        words: &'a [u64],
+        word_idx: usize,
+        current: u64,
+    },
+    Runs {
+        runs: std::slice::Iter<'a, (u16, u16)>,
+        /// Next value to yield and the (inclusive) end of the current run,
+        /// widened to u32 so `end + 1` cannot wrap at 65535.
+        cur: Option<(u32, u32)>,
+    },
+}
+
+impl Iterator for ContainerIter<'_> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        match self {
+            ContainerIter::Array(it) => it.next().copied(),
+            ContainerIter::Bitmap {
+                words,
+                word_idx,
+                current,
+            } => {
+                while *current == 0 {
+                    *word_idx += 1;
+                    if *word_idx >= words.len() {
+                        return None;
+                    }
+                    *current = words[*word_idx];
+                }
+                let bit = current.trailing_zeros();
+                *current &= *current - 1;
+                Some((*word_idx as u32 * 64 + bit) as u16)
+            }
+            ContainerIter::Runs { runs, cur } => loop {
+                if let Some((next, end)) = cur {
+                    if *next <= *end {
+                        let v = *next as u16;
+                        *next += 1;
+                        return Some(v);
+                    }
+                    *cur = None;
+                }
+                let &(s, e) = runs.next()?;
+                *cur = Some((s as u32, e as u32));
+            },
+        }
+    }
+}
+
+/// Chunk-pair intersection kernel; `None` when the result is empty,
+/// otherwise the canonical container of the intersection.
+pub(crate) fn intersect(a: &Container, b: &Container) -> Option<Container> {
+    use Container::*;
+    let raw = match (a, b) {
+        (Array(x), Array(y)) => Array(array_intersect(x, y)),
+        (Array(x), Bitmap { words, .. }) | (Bitmap { words, .. }, Array(x)) => {
+            Array(x.iter().copied().filter(|&v| word_test(words, v)).collect())
+        }
+        (Array(x), Runs(r)) | (Runs(r), Array(x)) => Array(array_run_intersect(x, r)),
+        (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => bitmap_and(x, y),
+        (Bitmap { words, .. }, Runs(r)) | (Runs(r), Bitmap { words, .. }) => {
+            bitmap_run_and(words, r)
+        }
+        (Runs(x), Runs(y)) => Runs(run_intersect(x, y)),
+    };
+    (raw.card() > 0).then(|| raw.normalized())
+}
+
+/// Chunk-pair `|a ∩ b|` without materializing. Never allocates.
+pub(crate) fn intersect_count(a: &Container, b: &Container) -> usize {
+    use Container::*;
+    match (a, b) {
+        (Array(x), Array(y)) => array_intersect_count(x, y),
+        (Array(x), Bitmap { words, .. }) | (Bitmap { words, .. }, Array(x)) => {
+            x.iter().filter(|&&v| word_test(words, v)).count()
+        }
+        (Array(x), Runs(r)) | (Runs(r), Array(x)) => array_run_count(x, r),
+        (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => x
+            .iter()
+            .zip(y.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum(),
+        (Bitmap { words, .. }, Runs(r)) | (Runs(r), Bitmap { words, .. }) => {
+            let cap = words.len() * 64;
+            let mut n = 0usize;
+            for &(s, e) in r {
+                if s as usize >= cap {
+                    break;
+                }
+                let e = (e as usize).min(cap - 1);
+                for_each_run_word(s as usize, e, |wi, mask| {
+                    n += (words[wi] & mask).count_ones() as usize;
+                });
+            }
+            n
+        }
+        (Runs(x), Runs(y)) => {
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+            while i < x.len() && j < y.len() {
+                let s = x[i].0.max(y[j].0) as u32;
+                let e = (x[i].1 as u32).min(y[j].1 as u32);
+                if s <= e {
+                    n += (e - s + 1) as usize;
+                }
+                match x[i].1.cmp(&y[j].1) {
+                    Ordering::Less => i += 1,
+                    Ordering::Greater => j += 1,
+                    Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            n
+        }
+    }
+}
+
+/// Chunk-pair union kernel; always non-empty, canonical.
+pub(crate) fn union(a: &Container, b: &Container) -> Container {
+    use Container::*;
+    let raw = match (a, b) {
+        (Array(x), Array(y)) => Array(array_union(x, y)),
+        (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => {
+            let (long, short) = if x.len() >= y.len() { (x, y) } else { (y, x) };
+            let mut w = long.clone();
+            for (o, &s) in w.iter_mut().zip(short.iter()) {
+                *o |= s;
+            }
+            bitmap_recount(w)
+        }
+        (Bitmap { words, .. }, Array(x)) | (Array(x), Bitmap { words, .. }) => {
+            let mut w = words.clone();
+            grow_words(&mut w, *x.last().expect("non-empty") as usize);
+            for &v in x {
+                w[v as usize / 64] |= 1u64 << (v & 63);
+            }
+            bitmap_recount(w)
+        }
+        (Bitmap { words, .. }, Runs(r)) | (Runs(r), Bitmap { words, .. }) => {
+            let mut w = words.clone();
+            grow_words(&mut w, r.last().expect("non-empty").1 as usize);
+            for &(s, e) in r {
+                for_each_run_word(s as usize, e as usize, |wi, mask| w[wi] |= mask);
+            }
+            bitmap_recount(w)
+        }
+        (Runs(x), Runs(y)) => Runs(run_union(x, y)),
+        (Array(x), Runs(r)) | (Runs(r), Array(x)) => Runs(run_union(&runs_of_array(x), r)),
+    };
+    raw.normalized()
+}
+
+/// Chunk-pair difference kernel `a \ b`; `None` when empty, else canonical.
+pub(crate) fn subtract(a: &Container, b: &Container) -> Option<Container> {
+    use Container::*;
+    let raw = match (a, b) {
+        (Array(x), Array(y)) => Array(array_subtract(x, y)),
+        (Array(x), Bitmap { words, .. }) => {
+            Array(x.iter().copied().filter(|&v| !word_test(words, v)).collect())
+        }
+        (Array(x), Runs(r)) => Array(array_run_subtract(x, r)),
+        (Bitmap { words, .. }, Array(y)) => {
+            let mut w = words.clone();
+            for &v in y {
+                if let Some(slot) = w.get_mut(v as usize / 64) {
+                    *slot &= !(1u64 << (v & 63));
+                }
+            }
+            bitmap_recount(w)
+        }
+        (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => {
+            let w = x
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| a & !y.get(i).copied().unwrap_or(0))
+                .collect();
+            bitmap_recount(w)
+        }
+        (Bitmap { words, .. }, Runs(r)) => {
+            let mut w = words.clone();
+            let cap = w.len() * 64;
+            for &(s, e) in r {
+                if s as usize >= cap {
+                    break;
+                }
+                let e = (e as usize).min(cap - 1);
+                for_each_run_word(s as usize, e, |wi, mask| w[wi] &= !mask);
+            }
+            bitmap_recount(w)
+        }
+        (Runs(r), Array(y)) => Runs(run_array_subtract(r, y)),
+        (Runs(r), Bitmap { words, .. }) => {
+            // Expand the runs into words once, then one ANDNOT pass.
+            let mut w = vec![0u64; r.last().expect("non-empty").1 as usize / 64 + 1];
+            for &(s, e) in r {
+                for_each_run_word(s as usize, e as usize, |wi, mask| w[wi] |= mask);
+            }
+            for (i, slot) in w.iter_mut().enumerate() {
+                *slot &= !words.get(i).copied().unwrap_or(0);
+            }
+            bitmap_recount(w)
+        }
+        (Runs(x), Runs(y)) => Runs(run_subtract(x, y)),
+    };
+    (raw.card() > 0).then(|| raw.normalized())
+}
+
+/// Chunk-pair subset test `a ⊆ b`; never materializes.
+pub(crate) fn is_subset(a: &Container, b: &Container) -> bool {
+    use Container::*;
+    if a.card() > b.card() {
+        return false;
+    }
+    match (a, b) {
+        (Array(x), Bitmap { words, .. }) => x.iter().all(|&v| word_test(words, v)),
+        (Array(x), Runs(r)) => {
+            let mut j = 0usize;
+            x.iter().all(|&v| {
+                while j < r.len() && r[j].1 < v {
+                    j += 1;
+                }
+                j < r.len() && r[j].0 <= v
+            })
+        }
+        (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => x
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !y.get(i).copied().unwrap_or(0) == 0),
+        (Runs(x), Runs(y)) => {
+            let mut j = 0usize;
+            x.iter().all(|&(s, e)| {
+                while j < y.len() && y[j].1 < e {
+                    j += 1;
+                }
+                j < y.len() && y[j].0 <= s && e <= y[j].1
+            })
+        }
+        (Runs(x), Bitmap { words, .. }) => {
+            let cap = words.len() * 64;
+            x.iter().all(|&(s, e)| {
+                if e as usize >= cap {
+                    return false;
+                }
+                ((s as usize / 64)..=(e as usize / 64)).all(|wi| {
+                    let m = run_word_mask(s as usize, e as usize, wi);
+                    words[wi] & m == m
+                })
+            })
+        }
+        // Remaining pairs (array ⊆ array, bitmap ⊆ array, bitmap ⊆ runs,
+        // runs ⊆ array): count the intersection, which never allocates.
+        _ => intersect_count(a, b) == a.card(),
+    }
+}
+
+#[inline]
+fn word_test(words: &[u64], low: u16) -> bool {
+    words
+        .get(low as usize / 64)
+        .is_some_and(|&w| w & (1u64 << (low & 63)) != 0)
+}
+
+/// Bits of word `wi` that fall inside the inclusive value range `[s, e]`.
+#[inline]
+fn run_word_mask(s: usize, e: usize, wi: usize) -> u64 {
+    let lo = s.max(wi * 64) - wi * 64;
+    let hi = e.min(wi * 64 + 63) - wi * 64;
+    let top = if hi == 63 { u64::MAX } else { (1u64 << (hi + 1)) - 1 };
+    top & !((1u64 << lo) - 1)
+}
+
+/// Visit each word index the inclusive value run `[s, e]` overlaps,
+/// paired with that word's in-run bit mask.
+#[inline]
+fn for_each_run_word(s: usize, e: usize, mut f: impl FnMut(usize, u64)) {
+    for wi in (s / 64)..=(e / 64) {
+        f(wi, run_word_mask(s, e, wi));
+    }
+}
+
+/// Trim trailing zero words and recount population.
+fn bitmap_recount(mut words: Vec<u64>) -> Container {
+    while words.last() == Some(&0) {
+        words.pop();
+    }
+    let card: u32 = words.iter().map(|w| w.count_ones()).sum();
+    Container::Bitmap { words, card }
+}
+
+/// AND two (possibly different-length, trimmed) bitmaps.
+fn bitmap_and(x: &[u64], y: &[u64]) -> Container {
+    let n = x.len().min(y.len());
+    let words: Vec<u64> = x[..n].iter().zip(&y[..n]).map(|(&a, &b)| a & b).collect();
+    bitmap_recount(words)
+}
+
+/// AND a bitmap with a run list (mask out everything outside the runs).
+fn bitmap_run_and(words: &[u64], r: &[(u16, u16)]) -> Container {
+    let cap = words.len() * 64;
+    let mut out = vec![0u64; words.len()];
+    for &(s, e) in r {
+        if s as usize >= cap {
+            break;
+        }
+        let e = (e as usize).min(cap - 1);
+        for_each_run_word(s as usize, e, |wi, mask| out[wi] |= words[wi] & mask);
+    }
+    bitmap_recount(out)
+}
+
+/// Grow `words` to cover value `last` (bit index), zero-filled.
+fn grow_words(words: &mut Vec<u64>, last: usize) {
+    let need = last / 64 + 1;
+    if words.len() < need {
+        words.resize(need, 0);
+    }
+}
+
+fn bitmap_from_iter(it: impl Iterator<Item = u16>) -> Container {
+    let mut words = vec![0u64; MAX_WORDS];
+    let mut card = 0u32;
+    let mut last = 0usize;
+    for v in it {
+        words[v as usize / 64] |= 1u64 << (v & 63);
+        card += 1;
+        last = v as usize;
+    }
+    words.truncate(last / 64 + 1);
+    Container::Bitmap { words, card }
+}
+
+/// Coalesce an ascending value iterator into maximal runs.
+fn runs_from_iter(it: impl Iterator<Item = u16>) -> Vec<(u16, u16)> {
+    let mut runs: Vec<(u16, u16)> = Vec::new();
+    for v in it {
+        match runs.last_mut() {
+            Some(last) if last.1 as u32 + 1 == v as u32 => last.1 = v,
+            _ => runs.push((v, v)),
+        }
+    }
+    runs
+}
+
+/// View a sorted array as (coalesced) runs.
+fn runs_of_array(x: &[u16]) -> Vec<(u16, u16)> {
+    runs_from_iter(x.iter().copied())
+}
+
+/// Sorted-u16 intersection: linear merge, or galloping when lopsided.
+fn array_intersect(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    if small.is_empty() {
+        return out;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut base = 0usize;
+        for &t in small {
+            match gallop(&large[base..], t) {
+                Ok(off) => {
+                    out.push(t);
+                    base += off + 1;
+                }
+                Err(off) => base += off,
+            }
+            if base >= large.len() {
+                break;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `|a ∩ b|` for sorted u16 slices, merge or gallop, no allocation.
+fn array_intersect_count(a: &[u16], b: &[u16]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    if large.len() / small.len() >= GALLOP_RATIO {
+        let mut base = 0usize;
+        for &t in small {
+            match gallop(&large[base..], t) {
+                Ok(off) => {
+                    count += 1;
+                    base += off + 1;
+                }
+                Err(off) => base += off,
+            }
+            if base >= large.len() {
+                break;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn array_union(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+fn array_subtract(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Keep the array values that fall inside some run.
+fn array_run_intersect(x: &[u16], r: &[(u16, u16)]) -> Vec<u16> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &v in x {
+        while j < r.len() && r[j].1 < v {
+            j += 1;
+        }
+        if j >= r.len() {
+            break;
+        }
+        if r[j].0 <= v {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn array_run_count(x: &[u16], r: &[(u16, u16)]) -> usize {
+    let mut n = 0usize;
+    let mut j = 0usize;
+    for &v in x {
+        while j < r.len() && r[j].1 < v {
+            j += 1;
+        }
+        if j >= r.len() {
+            break;
+        }
+        if r[j].0 <= v {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Keep the array values that fall inside no run.
+fn array_run_subtract(x: &[u16], r: &[(u16, u16)]) -> Vec<u16> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &v in x {
+        while j < r.len() && r[j].1 < v {
+            j += 1;
+        }
+        if j >= r.len() || r[j].0 > v {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Interval intersection of two sorted run lists.
+fn run_intersect(x: &[(u16, u16)], y: &[(u16, u16)]) -> Vec<(u16, u16)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < x.len() && j < y.len() {
+        let s = x[i].0.max(y[j].0);
+        let e = x[i].1.min(y[j].1);
+        if s <= e {
+            out.push((s, e));
+        }
+        match x[i].1.cmp(&y[j].1) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Interval union of two sorted run lists (coalesces touching runs).
+fn run_union(x: &[(u16, u16)], y: &[(u16, u16)]) -> Vec<(u16, u16)> {
+    let mut out: Vec<(u16, u16)> = Vec::with_capacity(x.len() + y.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < x.len() || j < y.len() {
+        let next = if j >= y.len() || (i < x.len() && x[i].0 <= y[j].0) {
+            let r = x[i];
+            i += 1;
+            r
+        } else {
+            let r = y[j];
+            j += 1;
+            r
+        };
+        match out.last_mut() {
+            Some(last) if next.0 as u32 <= last.1 as u32 + 1 => last.1 = last.1.max(next.1),
+            _ => out.push(next),
+        }
+    }
+    out
+}
+
+/// Interval difference `x \ y` of two sorted run lists.
+fn run_subtract(x: &[(u16, u16)], y: &[(u16, u16)]) -> Vec<(u16, u16)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    for &(s, e) in x {
+        let (s, e) = (s as u32, e as u32);
+        while i < y.len() && (y[i].1 as u32) < s {
+            i += 1;
+        }
+        let mut cur = s;
+        let mut k = i;
+        while k < y.len() && (y[k].0 as u32) <= e {
+            let (bs, be) = (y[k].0 as u32, y[k].1 as u32);
+            if bs > cur {
+                out.push((cur as u16, (bs - 1) as u16));
+            }
+            cur = cur.max(be + 1);
+            if be >= e {
+                break;
+            }
+            k += 1;
+        }
+        if cur <= e {
+            out.push((cur as u16, e as u16));
+        }
+    }
+    out
+}
+
+/// Punch sorted points out of a run list, splitting runs as needed.
+fn run_array_subtract(r: &[(u16, u16)], pts: &[u16]) -> Vec<(u16, u16)> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &(s, e) in r {
+        let (s, e) = (s as u32, e as u32);
+        while j < pts.len() && (pts[j] as u32) < s {
+            j += 1;
+        }
+        let mut cur = s;
+        while j < pts.len() && (pts[j] as u32) <= e {
+            let p = pts[j] as u32;
+            if p > cur {
+                out.push((cur as u16, (p - 1) as u16));
+            }
+            cur = p + 1;
+            j += 1;
+        }
+        if cur <= e {
+            out.push((cur as u16, e as u16));
+        }
+    }
+    out
+}
+
+/// Binary-search `slice` for `x` with an exponential (galloping) prefix
+/// probe; returns `Ok(pos)` / `Err(insertion_pos)` like `binary_search`.
+fn gallop(slice: &[u16], x: u16) -> Result<usize, usize> {
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi] < x {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    // `slice[lo] < x` (for lo > 0) and either `hi ≥ len` or `slice[hi] ≥ x`,
+    // so the first candidate position is in `[lo, hi]` — inclusive of `hi`.
+    let hi = (hi + 1).min(slice.len());
+    slice[lo..hi].binary_search(&x).map(|p| p + lo).map_err(|p| p + lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Build the canonical container of a value set.
+    fn c(vals: &[u16]) -> Container {
+        let mut v: Vec<u16> = vals.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert!(!v.is_empty());
+        Container::Array(v).normalized()
+    }
+
+    fn vals(c: &Container) -> BTreeSet<u16> {
+        c.iter().collect()
+    }
+
+    #[test]
+    fn canonical_rule_picks_smallest_encoding() {
+        // Singleton: array (2 bytes) beats one run (4 bytes).
+        assert_eq!(c(&[7]).kind(), ContainerKind::Array);
+        // A pair of adjacent values ties runs vs array; runs wins ties.
+        assert_eq!(c(&[7, 8]).kind(), ContainerKind::Runs);
+        // Scattered values: array.
+        assert_eq!(c(&[1, 5, 9, 200]).kind(), ContainerKind::Array);
+        // A long consecutive block: one run.
+        let block: Vec<u16> = (100..5000).collect();
+        assert_eq!(c(&block).kind(), ContainerKind::Runs);
+        // Half-density noise over a wide span: bitmap.
+        let noise: Vec<u16> = (0..30_000).step_by(2).map(|v| v as u16).collect();
+        assert_eq!(c(&noise).kind(), ContainerKind::Bitmap);
+        // On a *narrow* span the trimmed-bitmap rule promotes much
+        // earlier: 100 values below 1000 cost 200 array bytes but only a
+        // 128-byte (16-word) trimmed bitmap.
+        let narrow: Vec<u16> = (0..1000).step_by(10).map(|v| v as u16).collect();
+        assert_eq!(narrow.len(), 100);
+        assert_eq!(c(&narrow).kind(), ContainerKind::Bitmap);
+    }
+
+    #[test]
+    fn normalization_is_content_pure() {
+        // The same logical set reaches one canonical shape from any
+        // starting layout.
+        let set: Vec<u16> = (0..4000).step_by(3).map(|v| v as u16).collect();
+        let from_array = Container::Array(set.clone()).normalized();
+        let from_bitmap = bitmap_from_iter(set.iter().copied()).normalized();
+        let from_runs = Container::Runs(runs_from_iter(set.iter().copied())).normalized();
+        assert_eq!(from_array, from_bitmap);
+        assert_eq!(from_bitmap, from_runs);
+    }
+
+    #[test]
+    fn n_runs_counts_word_boundary_runs() {
+        // Runs straddling 64-bit word edges in bitmap form.
+        let set: Vec<u16> = (60..70).chain(128..130).chain([300]).collect();
+        let bm = bitmap_from_iter(set.iter().copied());
+        assert_eq!(bm.n_runs(), 3);
+        assert_eq!(Container::Array(set).n_runs(), 3);
+    }
+
+    #[test]
+    fn all_nine_kernel_pairs_match_reference() {
+        // One representative per kind, with chunk-edge values present.
+        let reps = [
+            c(&[0, 17, 65, 900, 65535]),                                    // array
+            {
+                let v: Vec<u16> = (0..20000).step_by(2).map(|v| v as u16).collect();
+                c(&v)
+            }, // bitmap
+            {
+                let v: Vec<u16> = (0..9).flat_map(|r| (r * 700)..(r * 700 + 650)).collect();
+                c(&v)
+            }, // runs
+        ];
+        assert_eq!(reps[0].kind(), ContainerKind::Array);
+        assert_eq!(reps[1].kind(), ContainerKind::Bitmap);
+        assert_eq!(reps[2].kind(), ContainerKind::Runs);
+        for a in &reps {
+            for b in &reps {
+                let (sa, sb) = (vals(a), vals(b));
+                let inter: BTreeSet<u16> = sa.intersection(&sb).copied().collect();
+                let uni: BTreeSet<u16> = sa.union(&sb).copied().collect();
+                let diff: BTreeSet<u16> = sa.difference(&sb).copied().collect();
+                match intersect(a, b) {
+                    Some(got) => assert_eq!(vals(&got), inter),
+                    None => assert!(inter.is_empty()),
+                }
+                assert_eq!(intersect_count(a, b), inter.len());
+                assert_eq!(vals(&union(a, b)), uni);
+                match subtract(a, b) {
+                    Some(got) => assert_eq!(vals(&got), diff),
+                    None => assert!(diff.is_empty()),
+                }
+                assert_eq!(is_subset(a, b), sa.is_subset(&sb));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_results_are_canonical() {
+        // A bitmap∩bitmap result whose population collapses must demote.
+        let a = c(&(0..20000).step_by(2).map(|v| v as u16).collect::<Vec<_>>());
+        let b = c(&(0..20000).step_by(1024).map(|v| v as u16).collect::<Vec<_>>());
+        assert_eq!(a.kind(), ContainerKind::Bitmap);
+        let i = intersect(&a, &a).unwrap();
+        assert_eq!(i.kind(), ContainerKind::Bitmap);
+        let small = intersect(&a, &b).unwrap();
+        assert_eq!(small.kind(), ContainerKind::Array);
+        // A run-heavy union of arrays promotes to runs.
+        let left = c(&(0..2000).map(|v| v as u16).collect::<Vec<_>>());
+        let right = c(&(2000..4000).map(|v| v as u16).collect::<Vec<_>>());
+        assert_eq!(union(&left, &right), c(&(0..4000).map(|v| v as u16).collect::<Vec<_>>()));
+        assert_eq!(union(&left, &right).kind(), ContainerKind::Runs);
+    }
+
+    #[test]
+    fn run_word_masks_cover_edges() {
+        assert_eq!(run_word_mask(0, 63, 0), u64::MAX);
+        assert_eq!(run_word_mask(0, 0, 0), 1);
+        assert_eq!(run_word_mask(63, 63, 0), 1u64 << 63);
+        assert_eq!(run_word_mask(60, 70, 0), !0u64 << 60);
+        assert_eq!(run_word_mask(60, 70, 1), (1u64 << 7) - 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn kernels_match_btreeset_reference(
+            a in proptest::collection::vec(0u16..2048, 1..300),
+            b in proptest::collection::vec(0u16..2048, 1..300),
+            // Widen some values into blocks so runs containers appear.
+            blocks in proptest::collection::vec((0u16..2000, 1u16..60), 0..4),
+        ) {
+            let mut av: Vec<u16> = a;
+            for &(s, l) in &blocks {
+                av.extend(s..s.saturating_add(l));
+            }
+            av.sort_unstable();
+            av.dedup();
+            let bv: Vec<u16> = {
+                let mut v = b;
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let ca = Container::Array(av.clone()).normalized();
+            let cb = Container::Array(bv.clone()).normalized();
+            let sa: BTreeSet<u16> = av.iter().copied().collect();
+            let sb: BTreeSet<u16> = bv.iter().copied().collect();
+            let inter: BTreeSet<u16> = sa.intersection(&sb).copied().collect();
+            match intersect(&ca, &cb) {
+                Some(got) => proptest::prop_assert_eq!(vals(&got), inter.clone()),
+                None => proptest::prop_assert!(inter.is_empty()),
+            }
+            proptest::prop_assert_eq!(intersect_count(&ca, &cb), inter.len());
+            proptest::prop_assert_eq!(
+                vals(&union(&ca, &cb)),
+                sa.union(&sb).copied().collect::<BTreeSet<u16>>()
+            );
+            let diff: BTreeSet<u16> = sa.difference(&sb).copied().collect();
+            match subtract(&ca, &cb) {
+                Some(got) => proptest::prop_assert_eq!(vals(&got), diff.clone()),
+                None => proptest::prop_assert!(diff.is_empty()),
+            }
+            proptest::prop_assert_eq!(is_subset(&ca, &cb), sa.is_subset(&sb));
+            proptest::prop_assert_eq!(is_subset(&cb, &ca), sb.is_subset(&sa));
+        }
+    }
+}

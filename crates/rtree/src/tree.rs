@@ -956,7 +956,7 @@ mod tests {
                 t.insert(r.clone(), *w, i);
             }
             // Remove a pseudo-random subset.
-            let keep: Vec<bool> = (0..n).map(|i| (i * 7 + seed as usize) % 3 != 0).collect();
+            let keep: Vec<bool> = (0..n).map(|i| !(i * 7 + seed as usize).is_multiple_of(3)).collect();
             for (i, (r, _)) in data.iter().enumerate() {
                 if !keep[i] {
                     proptest::prop_assert!(t.remove(r, &i));

@@ -2,7 +2,8 @@
 # Tier-1 verification plus lint, as run by CI.
 #
 #   scripts/ci.sh            # build + test + clippy
-#   scripts/ci.sh --bench    # also regenerate BENCH_tidset.json,
+#   scripts/ci.sh --bench    # also gate on BENCH_tidset.json thresholds
+#                            # (bench_tidset --check) and regenerate
 #                            # BENCH_snapshot.json, BENCH_engine.json
 #                            # + BENCH_session.json
 set -euo pipefail
@@ -14,11 +15,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-# Format stability: the committed v1 golden fixture must keep loading and
-# answering Table 1. Redundant with the full test run above, but kept as a
-# named gate so a format break is called out explicitly.
-echo "==> snapshot format stability (tests/fixtures/salary_index_v1.snap)"
-cargo test -q --test snapshot_format golden_fixture_loads_and_answers_table1
+# Format stability: both committed golden fixtures (v1 sparse/dense and
+# v2 container payloads) must keep loading and answering Table 1 on all
+# six plans. Redundant with the full test run above, but kept as a named
+# gate so a format break is called out explicitly.
+echo "==> snapshot format stability (tests/fixtures/salary_index_v{1,2}.snap)"
+cargo test -q --test snapshot_format golden_fixtures_load_and_answer_table1_on_all_plans
 
 # Concurrent sessions over one shared system must stay bit-identical both
 # when the test harness serializes them and when it runs them alongside
@@ -41,14 +43,18 @@ echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "==> bench_tidset (kernel microbenchmark)"
-    cargo run --release --bin bench_tidset
+    # bench_tidset enforces the per-scenario min_speedup thresholds
+    # recorded in BENCH_tidset.json and exits nonzero below any of them,
+    # so this step is a hard gate, not just a report. --check re-measures
+    # without rewriting the committed JSON.
+    echo "==> bench_tidset (kernel microbenchmark + threshold gate)"
+    cargo run --release -p colarm-bench --bin bench_tidset -- /tmp/bench_tidset_ci.json --check
     echo "==> bench_snapshot (binary vs JSON snapshot)"
-    cargo run --release --bin bench_snapshot
+    cargo run --release -p colarm-bench --bin bench_snapshot
     echo "==> bench_engine (operator-engine dispatch overhead)"
-    cargo run --release --bin bench_engine
+    cargo run --release -p colarm-bench --bin bench_engine
     echo "==> bench_session (drill-down reuse + persistent pool)"
-    cargo run --release --bin bench_session
+    cargo run --release -p colarm-bench --bin bench_session
 fi
 
 echo "ci: all green"

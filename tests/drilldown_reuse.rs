@@ -95,11 +95,15 @@ proptest! {
         prop_assert_eq!(stats.subset_misses, 1);
         prop_assert_eq!(stats.column_misses, 1);
 
-        // The derived subset is bitwise the fresh resolution — content
-        // AND hybrid representation.
+        // The derived subset is bitwise the fresh resolution — content,
+        // overall kind, AND the per-chunk container shape. Derivation
+        // subtracts/intersects cached parents, so this pins down that the
+        // canonical container rule is a pure function of contents, not of
+        // the operation history that produced them.
         let derived_subset = warm.subset(&refined_range).expect("cached");
         prop_assert_eq!(derived_subset.tids(), fresh_refined.tids());
         prop_assert_eq!(derived_subset.tids().kind(), fresh_refined.tids().kind());
+        prop_assert_eq!(derived_subset.tids().shape(), fresh_refined.tids().shape());
 
         // The drilled answer is bit-identical to a cold session's.
         let cold = QuerySession::new(colarm.clone());
@@ -115,6 +119,47 @@ proptest! {
                 "{} unit accounting drifted",
                 a.kind
             );
+        }
+    }
+}
+
+/// The derived container shapes (and everything downstream of them) must
+/// not depend on worker-pool width: a drill-down executed at 1, 2 and 8
+/// threads produces bit-identical rules and byte-identical per-chunk
+/// subset shapes to each other and to a fresh resolution.
+#[test]
+fn derived_shapes_are_stable_across_thread_counts() {
+    let colarm = shared(7, 110);
+    let base_range = RangeSpec::all().with(AttributeId(0), [0u16, 1]);
+    let refined_range = RangeSpec::all()
+        .with(AttributeId(0), [0u16, 1])
+        .with(AttributeId(1), [0u16, 1, 2]);
+    let fresh = colarm
+        .index()
+        .resolve_subset(refined_range.clone())
+        .expect("resolves");
+    let base_q = arm_query(&base_range, 0.25);
+    let refined_q = arm_query(&refined_range, 0.25);
+    let mut reference: Option<(Vec<_>, _)> = None;
+    for threads in [1usize, 2, 8] {
+        let session = QuerySession::new(colarm.clone());
+        session.set_threads(threads);
+        session.execute(&base_q).expect("base runs");
+        let drilled = session.execute(&refined_q).expect("refined runs");
+        assert_eq!(session.stats().subsets_derived, 1, "{threads} threads");
+        let derived = session.subset(&refined_range).expect("cached");
+        assert_eq!(derived.tids(), fresh.tids(), "{threads} threads");
+        assert_eq!(
+            derived.tids().shape(),
+            fresh.tids().shape(),
+            "container shape drifted at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some((drilled.rules.clone(), fresh.tids().shape())),
+            Some((rules, shape)) => {
+                assert_eq!(&drilled.rules, rules, "{threads} threads");
+                assert_eq!(&derived.tids().shape(), shape, "{threads} threads");
+            }
         }
     }
 }

@@ -101,7 +101,7 @@ fn counters_are_bit_identical_at_every_thread_count() {
                 .report
                 .ops
                 .iter()
-                .map(|o| (o.op, o.measured_units, o.metrics.unwrap()))
+                .map(|o| (o.op.name(), o.measured_units, o.metrics.unwrap()))
                 .collect();
             match &reference {
                 None => reference = Some(observed),

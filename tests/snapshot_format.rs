@@ -1,13 +1,22 @@
 //! Binary snapshot format stability, round-trip and corruption tests.
 //!
-//! The committed golden fixture `tests/fixtures/salary_index_v1.snap` pins
-//! format version 1: it must keep loading (and answering the paper's
-//! Table 1 query) on every future build. Regenerate it — only after a
-//! deliberate, version-bumped format change — with:
+//! Two golden fixtures are committed:
+//!
+//! * `tests/fixtures/salary_index_v1.snap` — format version 1 (PR 1's
+//!   sparse/dense tidset payloads). **Never regenerated**: it pins the
+//!   historical bytes this build promises to keep reading, and a current
+//!   writer can only produce version 2.
+//! * `tests/fixtures/salary_index_v2.snap` — the current format version 2
+//!   (per-chunk container tidset payloads). Regenerate it — only after a
+//!   deliberate, version-bumped format change — with:
 //!
 //! ```sh
 //! COLARM_REGEN_SNAPSHOT_FIXTURE=1 cargo test --test snapshot_format
 //! ```
+//!
+//! Both fixtures must load and answer the paper's Table 1 walkthrough
+//! with bit-identical rules on all six plans, and every single-byte flip
+//! or truncation of either must be a detected error.
 
 use colarm::{
     load_index, save_index, Colarm, ColarmError, IndexSnapshot, LocalizedQuery, MipIndex,
@@ -16,8 +25,16 @@ use colarm::{
 use proptest::prelude::*;
 use std::path::PathBuf;
 
-fn fixture_path() -> PathBuf {
+fn fixture_v1_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v1.snap")
+}
+
+fn fixture_v2_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v2.snap")
+}
+
+fn fixture_paths() -> [PathBuf; 2] {
+    [fixture_v1_path(), fixture_v2_path()]
 }
 
 fn salary_index() -> MipIndex {
@@ -41,32 +58,67 @@ const TABLE1: &str = "REPORT LOCALIZED ASSOCIATION RULES \
      WHERE RANGE Location = (Seattle), Gender = (F) \
      HAVING minsupport = 75% AND minconfidence = 90%;";
 
-/// Format stability: the committed version-1 fixture loads and answers
-/// the paper's Table 1 walkthrough, byte-for-byte from disk.
+/// Format stability: both committed fixtures load byte-for-byte from disk
+/// and answer the paper's Table 1 walkthrough with rules bit-identical to
+/// a fresh offline build, on every one of the six plans.
 #[test]
-fn golden_fixture_loads_and_answers_table1() {
-    let path = fixture_path();
+fn golden_fixtures_load_and_answer_table1_on_all_plans() {
     if std::env::var_os("COLARM_REGEN_SNAPSHOT_FIXTURE").is_some() {
+        // Only the current-version fixture can ever be regenerated; the
+        // v1 bytes are history and a v2 writer must not touch them.
+        let path = fixture_v2_path();
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         save_index(&salary_index(), &path).unwrap();
         eprintln!("regenerated {}", path.display());
     }
-    let index = load_index(&path).expect("golden v1 fixture must keep loading");
-    // Same closed-itemset catalog as a fresh offline build (the CFI *set*
-    // at a given threshold is canonical).
-    assert_eq!(index.num_mips(), salary_index().num_mips());
-    let schema = index.dataset().schema().clone();
-    let system = Colarm::from_index(index);
-    let out = system.execute_text(TABLE1).unwrap();
-    let rules: Vec<String> = out
-        .answer
-        .rules
-        .iter()
-        .map(|r| r.display(&schema).to_string())
-        .collect();
-    assert!(
-        rules.iter().any(|r| r.contains("Age=30-40") && r.contains("Salary=90K-120K")),
-        "Table 1 localized rule missing from {rules:?}"
+    let fresh = salary_index();
+    let schema = fresh.dataset().schema().clone();
+    let query = colarm::parse_query(TABLE1, &schema).unwrap();
+    for path in fixture_paths() {
+        let index = load_index(&path)
+            .unwrap_or_else(|e| panic!("golden fixture {} must keep loading: {e}", path.display()));
+        // Same closed-itemset catalog as a fresh offline build (the CFI
+        // *set* at a given threshold is canonical).
+        assert_eq!(index.num_mips(), fresh.num_mips(), "{}", path.display());
+        for plan in PlanKind::ALL {
+            let sa = fresh.resolve_subset(query.range.clone()).unwrap();
+            let sb = index.resolve_subset(query.range.clone()).unwrap();
+            let a = colarm::execute_plan(&fresh, &query, &sa, plan).unwrap();
+            let b = colarm::execute_plan(&index, &query, &sb, plan).unwrap();
+            assert_eq!(
+                a.rules,
+                b.rules,
+                "{plan} diverged on fixture {}",
+                path.display()
+            );
+        }
+        let system = Colarm::from_index(load_index(&path).unwrap());
+        let out = system.execute_text(TABLE1).unwrap();
+        let rules: Vec<String> = out
+            .answer
+            .rules
+            .iter()
+            .map(|r| r.display(&schema).to_string())
+            .collect();
+        assert!(
+            rules.iter().any(|r| r.contains("Age=30-40") && r.contains("Salary=90K-120K")),
+            "Table 1 localized rule missing from {rules:?} ({})",
+            path.display()
+        );
+    }
+}
+
+/// The current writer emits format version 2; the v1 fixture stays v1.
+#[test]
+fn fixture_preambles_pin_their_versions() {
+    let v1 = std::fs::read(fixture_v1_path()).unwrap();
+    assert_eq!(&v1[..8], b"COLARMIX");
+    assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+    let v2 = std::fs::read(fixture_v2_path()).unwrap();
+    assert_eq!(&v2[..8], b"COLARMIX");
+    assert_eq!(
+        u32::from_le_bytes(v2[8..12].try_into().unwrap()),
+        colarm::persist::FORMAT_VERSION
     );
 }
 
@@ -90,45 +142,63 @@ fn binary_snapshot_round_trips_all_plans() {
     std::fs::remove_file(&path).unwrap();
 }
 
-/// Every single-byte flip anywhere in the fixture is a detected
+/// Every single-byte flip anywhere in either fixture is a detected
 /// `ColarmError::Snapshot` — never a panic, never a silent wrong answer.
 #[test]
-fn corrupting_the_fixture_is_always_detected() {
-    let bytes = std::fs::read(fixture_path()).unwrap();
-    let path = temp_path("flipped.snap");
-    for i in 0..bytes.len() {
-        let mut flipped = bytes.clone();
-        flipped[i] ^= 0xFF;
-        std::fs::write(&path, &flipped).unwrap();
-        match load_index(&path) {
-            Err(ColarmError::Snapshot { .. }) => {}
-            Ok(_) => panic!("flip at byte {i} of {} went undetected", bytes.len()),
-            Err(other) => panic!("flip at byte {i}: expected Snapshot error, got {other:?}"),
+fn corrupting_the_fixtures_is_always_detected() {
+    for fixture in fixture_paths() {
+        let bytes = std::fs::read(&fixture).unwrap();
+        let path = temp_path("flipped.snap");
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            std::fs::write(&path, &flipped).unwrap();
+            match load_index(&path) {
+                Err(ColarmError::Snapshot { .. }) => {}
+                Ok(_) => panic!(
+                    "flip at byte {i} of {} went undetected ({})",
+                    bytes.len(),
+                    fixture.display()
+                ),
+                Err(other) => panic!(
+                    "flip at byte {i}: expected Snapshot error, got {other:?} ({})",
+                    fixture.display()
+                ),
+            }
         }
+        std::fs::remove_file(&path).unwrap();
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 /// Every truncation — including ones landing exactly on a section
 /// boundary — is detected (the trailer's whole-file CRC catches those).
 #[test]
-fn truncating_the_fixture_is_always_detected() {
-    let bytes = std::fs::read(fixture_path()).unwrap();
-    let path = temp_path("truncated.snap");
-    for len in 0..bytes.len() {
-        std::fs::write(&path, &bytes[..len]).unwrap();
-        match load_index(&path) {
-            Err(ColarmError::Snapshot { .. }) => {}
-            Ok(_) => panic!("truncation to {len} of {} went undetected", bytes.len()),
-            Err(other) => panic!("truncation to {len}: expected Snapshot error, got {other:?}"),
+fn truncating_the_fixtures_is_always_detected() {
+    for fixture in fixture_paths() {
+        let bytes = std::fs::read(&fixture).unwrap();
+        let path = temp_path("truncated.snap");
+        for len in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..len]).unwrap();
+            match load_index(&path) {
+                Err(ColarmError::Snapshot { .. }) => {}
+                Ok(_) => panic!(
+                    "truncation to {len} of {} went undetected ({})",
+                    bytes.len(),
+                    fixture.display()
+                ),
+                Err(other) => panic!(
+                    "truncation to {len}: expected Snapshot error, got {other:?} ({})",
+                    fixture.display()
+                ),
+            }
         }
+        std::fs::remove_file(&path).unwrap();
     }
-    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
 fn future_versions_are_rejected_not_guessed() {
-    let mut bytes = std::fs::read(fixture_path()).unwrap();
+    let mut bytes = std::fs::read(fixture_v2_path()).unwrap();
     bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
     let path = temp_path("future.snap");
     std::fs::write(&path, &bytes).unwrap();

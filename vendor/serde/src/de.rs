@@ -1,0 +1,673 @@
+//! Deserialization half of the shim: `Deserialize`, `Deserializer`, the
+//! visitor data model, and seq/map/enum access traits.
+
+use std::fmt::{self, Display};
+
+/// A deserialization error type constructible from a message.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// An enum variant name was not recognized.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// A value had the wrong type for the visitor.
+    fn invalid_type(unexpected: &str, expected: &dyn Expected) -> Self {
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {expected}"
+        ))
+    }
+}
+
+/// Object-safe view of a visitor's `expecting` message.
+pub trait Expected {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, T: Visitor<'de>> Expected for T {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, f)
+    }
+}
+
+/// A data structure deserializable from any serde format.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A serde input format. Formats in this shim are self-describing, so every
+/// hinted method defaults to `deserialize_any`.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        let _ = len;
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        let _ = (name, fields);
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        let _ = name;
+        visitor.visit_newtype_struct(self)
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        let _ = (name, variants);
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+}
+
+macro_rules! visit_default {
+    ($($method:ident => $ty:ty as $unexpected:expr,)*) => {$(
+        fn $method<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(Error::invalid_type($unexpected, &self))
+        }
+    )*};
+}
+
+/// Drives deserialization: the format calls back into the visitor with
+/// whatever shape the input holds.
+pub trait Visitor<'de>: Sized {
+    type Value;
+
+    /// What this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default! {
+        visit_bool => bool as "a boolean",
+        visit_i64 => i64 as "an integer",
+        visit_f64 => f64 as "a float",
+        visit_char => char as "a character",
+    }
+
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        if v <= i64::MAX as u64 {
+            self.visit_i64(v as i64)
+        } else {
+            Err(Error::invalid_type("an integer", &self))
+        }
+    }
+
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::invalid_type("a string", &self))
+    }
+
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::invalid_type("a unit", &self))
+    }
+
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::invalid_type("an option", &self))
+    }
+
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type("an option", &self))
+    }
+
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type("a newtype struct", &self))
+    }
+
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::invalid_type("a sequence", &self))
+    }
+
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::invalid_type("a map", &self))
+    }
+
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::invalid_type("an enum", &self))
+    }
+}
+
+/// Access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    type Error: Error;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>;
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>;
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error>;
+}
+
+/// Access to the payload of an enum variant being deserialized.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+}
+
+/// Accepts and discards any value — used to skip unknown struct fields.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IgnoredAny;
+
+impl<'de> Visitor<'de> for IgnoredAny {
+    type Value = IgnoredAny;
+
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("anything")
+    }
+
+    fn visit_bool<E: Error>(self, _: bool) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i64<E: Error>(self, _: i64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u64<E: Error>(self, _: u64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_f64<E: Error>(self, _: f64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_char<E: Error>(self, _: char) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_str<E: Error>(self, _: &str) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Self::Value, D::Error> {
+        d.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(self, d: D) -> Result<Self::Value, D::Error> {
+        d.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+        while seq.next_element::<IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        while map.next_entry::<IgnoredAny, IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+}
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+}
+
+// --- impls for std types -------------------------------------------------
+
+struct BoolVisitor;
+impl<'de> Visitor<'de> for BoolVisitor {
+    type Value = bool;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a boolean")
+    }
+    fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+macro_rules! int_deserialize {
+    ($($ty:ident),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(concat!("a ", stringify!($ty)))
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!(
+                                "integer {v} out of range for {}", stringify!($ty)
+                            ))
+                        })
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!(
+                                "integer {v} out of range for {}", stringify!($ty)
+                            ))
+                        })
+                    }
+                }
+                deserializer.deserialize_u64(V)
+            }
+        }
+    )*};
+}
+
+int_deserialize!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_deserialize {
+    ($($ty:ident),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a float")
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                }
+                deserializer.deserialize_f64(V)
+            }
+        }
+    )*};
+}
+
+float_deserialize!(f32, f64);
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a character")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single character")),
+                }
+            }
+        }
+        deserializer.deserialize_char(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Self::Value, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(std::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(v) = seq.next_element()? {
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(std::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(deserializer)?.into_iter().collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::HashSet<T>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(deserializer)?.into_iter().collect())
+    }
+}
+
+fn deserialize_map_entries<'de, D, K, V>(deserializer: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    D: Deserializer<'de>,
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+{
+    struct Vis<K, V>(std::marker::PhantomData<(K, V)>);
+    impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+        type Value = Vec<(K, V)>;
+        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("a map")
+        }
+        fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+            let mut out = Vec::with_capacity(map.size_hint().unwrap_or(0));
+            while let Some(entry) = map.next_entry()? {
+                out.push(entry);
+            }
+            Ok(out)
+        }
+    }
+    deserializer.deserialize_map(Vis(std::marker::PhantomData))
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserialize_map_entries(deserializer)?.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserialize_map_entries(deserializer)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(N);
+                while out.len() < N {
+                    match seq.next_element()? {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                out.try_into()
+                    .map_err(|_| A::Error::custom(format!("expected an array of length {N}")))
+            }
+        }
+        deserializer.deserialize_tuple(N, V::<T, N>(std::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::rc::Rc::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($($name:ident),+) as $len:expr,)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                struct V<$($name),+>(std::marker::PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<__A: SeqAccess<'de>>(
+                        self,
+                        mut seq: __A,
+                    ) -> Result<Self::Value, __A::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| Error::custom("tuple too short"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(std::marker::PhantomData))
+            }
+        }
+    )*};
+}
+
+tuple_deserialize! {
+    (TA) as 1,
+    (TA, TB) as 2,
+    (TA, TB, TC) as 3,
+    (TA, TB, TC, TD) as 4,
+}
+
+/// Matches serde's std impl: a `Duration` deserializes from a struct with
+/// `secs` and `nanos` fields.
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = std::time::Duration;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Duration")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let (mut secs, mut nanos) = (None::<u64>, None::<u32>);
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "secs" => secs = Some(map.next_value()?),
+                        "nanos" => nanos = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                Ok(std::time::Duration::new(
+                    secs.ok_or_else(|| Error::missing_field("secs"))?,
+                    nanos.ok_or_else(|| Error::missing_field("nanos"))?,
+                ))
+            }
+        }
+        deserializer.deserialize_struct("Duration", &["secs", "nanos"], V)
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal offline shim of the serde serialization framework.
+//!
+//! Implements the subset of serde's public API that this repository uses:
+//! the `Serialize`/`Deserialize` traits, the visitor-based deserialization
+//! data model, `Serializer`/`Deserializer` with seq/map/struct/enum
+//! composition, and impls for the std types that appear in the codebase.
+//! See `vendor/README.md` for the full story.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,557 @@
+//! Minimal offline shim of serde's derive macros.
+//!
+//! Parses the item declaration by walking the raw token stream (no `syn`)
+//! and emits the impl as formatted source text parsed back into a
+//! `TokenStream`. Supports exactly the shapes this repository uses: named
+//! structs, one-field newtype structs, enums with unit or newtype variants,
+//! plain type-parameter generics, and the `#[serde(try_from = "..")]` /
+//! `#[serde(into = "..")]` container attributes. Anything else panics with
+//! a descriptive message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+struct Item {
+    name: String,
+    /// Type-parameter idents, in declaration order.
+    params: Vec<String>,
+    shape: Shape,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Shape {
+    /// Named-field struct; the field names in declaration order.
+    Struct(Vec<String>),
+    /// One-field tuple struct.
+    Newtype,
+    /// Enum; `(variant name, has newtype payload)` in declaration order.
+    Enum(Vec<(String, bool)>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand(gen_serialize(&item))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand(gen_deserialize(&item))
+}
+
+fn expand(source: String) -> TokenStream {
+    TokenStream::from_str(&source)
+        .unwrap_or_else(|e| panic!("serde_derive shim: generated code failed to parse: {e}\n{source}"))
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut into = None;
+
+    while is_punct(tokens.get(i), '#') {
+        match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) => parse_attr(g.stream(), &mut try_from, &mut into),
+            other => panic!("serde_derive shim: expected attribute body, got {other:?}"),
+        }
+        i += 2;
+    }
+
+    if is_ident(tokens.get(i), "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kw = expect_ident(tokens.get(i));
+    i += 1;
+    if kw != "struct" && kw != "enum" {
+        panic!("serde_derive shim: expected `struct` or `enum`, found `{kw}`");
+    }
+    let name = expect_ident(tokens.get(i));
+    i += 1;
+
+    let mut params = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expect_param = true,
+                    '\'' => panic!("serde_derive shim: lifetime generics are not supported"),
+                    _ => {}
+                },
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if depth == 1 && expect_param {
+                        if s == "const" {
+                            panic!("serde_derive shim: const generics are not supported");
+                        }
+                        params.push(s);
+                        expect_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde_derive shim: unterminated generic parameter list"),
+            }
+            i += 1;
+        }
+    }
+
+    if is_ident(tokens.get(i), "where") {
+        panic!("serde_derive shim: where-clauses are not supported");
+    }
+
+    let shape = match (kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = count_tuple_fields(g.stream());
+            if fields != 1 {
+                panic!(
+                    "serde_derive shim: tuple struct `{name}` has {fields} fields; \
+                     only one-field newtype structs are supported"
+                );
+            }
+            Shape::Newtype
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream(), &name))
+        }
+        _ => panic!("serde_derive shim: unsupported body for `{name}`"),
+    };
+
+    Item { name, params, shape, try_from, into }
+}
+
+fn parse_attr(stream: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if !is_ident(tokens.first(), "serde") {
+        return; // #[doc], #[cfg], #[repr], ... — not ours.
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde_derive shim: malformed #[serde] attribute: {other:?}"),
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        let key = expect_ident(inner.get(i));
+        if !is_punct(inner.get(i + 1), '=') {
+            panic!("serde_derive shim: unsupported serde attribute `{key}`");
+        }
+        let value = match inner.get(i + 2) {
+            Some(TokenTree::Literal(lit)) => unquote(&lit.to_string()),
+            other => panic!("serde_derive shim: expected string value for `{key}`, got {other:?}"),
+        };
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            _ => panic!("serde_derive shim: unsupported serde attribute `{key}`"),
+        }
+        i += 3;
+        if is_punct(inner.get(i), ',') {
+            i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while is_punct(tokens.get(i), '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if is_ident(tokens.get(i), "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        fields.push(expect_ident(tokens.get(i)));
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            panic!("serde_derive shim: expected `:` after field `{}`", fields.last().unwrap());
+        }
+        i += 1;
+        // Skip the type: everything up to a comma outside angle brackets.
+        // Parens/brackets/braces arrive as single Group tokens, so only
+        // `<`/`>` need depth tracking.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut depth = 0usize;
+    let mut trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        fields += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    fields
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while is_punct(tokens.get(i), '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens.get(i));
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                "serde_derive shim: struct variant `{enum_name}::{name}` is not supported"
+            ),
+            _ => false,
+        };
+        if is_punct(tokens.get(i), '=') {
+            panic!("serde_derive shim: explicit discriminants are not supported");
+        }
+        variants.push((name, payload));
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn is_ident(tok: Option<&TokenTree>, name: &str) -> bool {
+    matches!(tok, Some(TokenTree::Ident(id)) if id.to_string() == name)
+}
+
+fn expect_ident(tok: Option<&TokenTree>) -> String {
+    match tok {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive shim: expected string literal, got {lit}"))
+        .to_owned()
+}
+
+// --- codegen helpers -----------------------------------------------------
+
+/// `impl<T: serde::Serialize> serde::Serialize for Name<T>` pieces:
+/// returns `(impl_generics, type_generics)`.
+fn ser_generics(params: &[String]) -> (String, String) {
+    if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounds: Vec<String> = params.iter().map(|p| format!("{p}: serde::Serialize")).collect();
+        (format!("<{}>", bounds.join(", ")), format!("<{}>", params.join(", ")))
+    }
+}
+
+/// Deserialize pieces: `(impl_generics, type_generics)` where impl generics
+/// always lead with the `'de` lifetime.
+fn de_generics(params: &[String]) -> (String, String) {
+    if params.is_empty() {
+        ("<'de>".to_owned(), String::new())
+    } else {
+        let bounds: Vec<String> =
+            params.iter().map(|p| format!("{p}: serde::Deserialize<'de>")).collect();
+        (
+            format!("<'de, {}>", bounds.join(", ")),
+            format!("<{}>", params.join(", ")),
+        )
+    }
+}
+
+// --- Serialize -----------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let (impl_generics, ty_generics) = ser_generics(&item.params);
+
+    if let Some(proxy) = &item.into {
+        if !item.params.is_empty() {
+            panic!("serde_derive shim: #[serde(into)] on generic types is not supported");
+        }
+        return format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, serializer: __S) \
+                     -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                     let __proxy: {proxy} = std::convert::Into::into(std::clone::Clone::clone(self));\n\
+                     serde::Serialize::serialize(&__proxy, serializer)\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut b = format!(
+                "let mut __state = serde::Serializer::serialize_struct(serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeStruct::end(__state)\n");
+            b
+        }
+        Shape::Newtype => format!(
+            "serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)\n"
+        ),
+        Shape::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for (idx, (variant, payload)) in variants.iter().enumerate() {
+                if *payload {
+                    b.push_str(&format!(
+                        "{name}::{variant}(__v) => serde::Serializer::serialize_newtype_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{variant}\", __v),\n"
+                    ));
+                } else {
+                    b.push_str(&format!(
+                        "{name}::{variant} => serde::Serializer::serialize_unit_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{variant}\"),\n"
+                    ));
+                }
+            }
+            b.push_str("}\n");
+            b
+        }
+    };
+
+    format!(
+        "impl{impl_generics} serde::Serialize for {name}{ty_generics} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, serializer: __S) \
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+// --- Deserialize ---------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (impl_generics, ty_generics) = de_generics(&item.params);
+
+    if let Some(proxy) = &item.try_from {
+        if !item.params.is_empty() {
+            panic!("serde_derive shim: #[serde(try_from)] on generic types is not supported");
+        }
+        return format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D) \
+                     -> std::result::Result<Self, __D::Error> {{\n\
+                     let __proxy: {proxy} = serde::Deserialize::deserialize(deserializer)?;\n\
+                     std::convert::TryFrom::try_from(__proxy)\
+                         .map_err(<__D::Error as serde::de::Error>::custom)\n\
+                 }}\n\
+             }}\n"
+        );
+    }
+
+    match &item.shape {
+        Shape::Newtype => format!(
+            "impl{impl_generics} serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D) \
+                     -> std::result::Result<Self, __D::Error> {{\n\
+                     std::result::Result::Ok({name}(serde::Deserialize::deserialize(deserializer)?))\n\
+                 }}\n\
+             }}\n"
+        ),
+        Shape::Struct(fields) => gen_deserialize_struct(item, fields, &impl_generics, &ty_generics),
+        Shape::Enum(variants) => gen_deserialize_enum(item, variants, &impl_generics, &ty_generics),
+    }
+}
+
+/// Visitor declaration + instantiation expressions, generic-aware.
+fn visitor_decl(params: &[String]) -> (String, String) {
+    if params.is_empty() {
+        ("struct __Visitor;".to_owned(), "__Visitor".to_owned())
+    } else {
+        let tuple = format!("({},)", params.join(", "));
+        (
+            format!("struct __Visitor<{}>(std::marker::PhantomData<{tuple}>);", params.join(", ")),
+            "__Visitor(std::marker::PhantomData)".to_owned(),
+        )
+    }
+}
+
+fn gen_deserialize_struct(
+    item: &Item,
+    fields: &[String],
+    impl_generics: &str,
+    ty_generics: &str,
+) -> String {
+    let name = &item.name;
+    let (visitor_struct, visitor_expr) = visitor_decl(&item.params);
+    let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    let field_list = field_list.join(", ");
+
+    let mut slots = String::new();
+    let mut arms = String::new();
+    let mut build = String::new();
+    for f in fields {
+        slots.push_str(&format!("let mut __field_{f} = std::option::Option::None;\n"));
+        arms.push_str(&format!(
+            "\"{f}\" => {{ __field_{f} = std::option::Option::Some(\
+                 <__A as serde::de::MapAccess<'de>>::next_value(&mut __map)?); }}\n"
+        ));
+        build.push_str(&format!(
+            "{f}: __field_{f}.ok_or_else(|| \
+                 <__A::Error as serde::de::Error>::missing_field(\"{f}\"))?,\n"
+        ));
+    }
+
+    format!(
+        "impl{impl_generics} serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D) \
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 {visitor_struct}\n\
+                 impl{impl_generics} serde::de::Visitor<'de> for __Visitor{ty_generics} {{\n\
+                     type Value = {name}{ty_generics};\n\
+                     fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                         __f.write_str(\"struct {name}\")\n\
+                     }}\n\
+                     fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                         -> std::result::Result<Self::Value, __A::Error> {{\n\
+                         {slots}\
+                         while let std::option::Option::Some(__key) = \
+                             <__A as serde::de::MapAccess<'de>>::next_key::<std::string::String>(&mut __map)? {{\n\
+                             match __key.as_str() {{\n\
+                                 {arms}\
+                                 _ => {{ <__A as serde::de::MapAccess<'de>>\
+                                     ::next_value::<serde::de::IgnoredAny>(&mut __map)?; }}\n\
+                             }}\n\
+                         }}\n\
+                         std::result::Result::Ok({name} {{\n\
+                             {build}\
+                         }})\n\
+                     }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_struct(\
+                     deserializer, \"{name}\", &[{field_list}], {visitor_expr})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(
+    item: &Item,
+    variants: &[(String, bool)],
+    impl_generics: &str,
+    ty_generics: &str,
+) -> String {
+    let name = &item.name;
+    let (visitor_struct, visitor_expr) = visitor_decl(&item.params);
+    let variant_list: Vec<String> = variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+    let variant_list = variant_list.join(", ");
+
+    let mut arms = String::new();
+    for (variant, payload) in variants {
+        if *payload {
+            arms.push_str(&format!(
+                "\"{variant}\" => std::result::Result::Ok({name}::{variant}(\
+                     serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+            ));
+        } else {
+            arms.push_str(&format!(
+                "\"{variant}\" => {{ serde::de::VariantAccess::unit_variant(__variant)?; \
+                     std::result::Result::Ok({name}::{variant}) }}\n"
+            ));
+        }
+    }
+
+    format!(
+        "impl{impl_generics} serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D) \
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 {visitor_struct}\n\
+                 impl{impl_generics} serde::de::Visitor<'de> for __Visitor{ty_generics} {{\n\
+                     type Value = {name}{ty_generics};\n\
+                     fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                         -> std::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__tag, __variant): (std::string::String, __A::Variant) = \
+                             serde::de::EnumAccess::variant(__data)?;\n\
+                         match __tag.as_str() {{\n\
+                             {arms}\
+                             _ => std::result::Result::Err(<__A::Error as serde::de::Error>\
+                                 ::unknown_variant(&__tag, &[{variant_list}])),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_enum(\
+                     deserializer, \"{name}\", &[{variant_list}], {visitor_expr})\n\
+             }}\n\
+         }}\n"
+    )
+}

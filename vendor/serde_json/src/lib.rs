@@ -1,0 +1,1144 @@
+//! Minimal offline shim of `serde_json`: a `Value` tree, a recursive-descent
+//! parser, compact/pretty writers, the `json!` macro, and `Serializer` /
+//! `Deserializer` bridges into the vendored `serde` shim.
+//!
+//! Matches real serde_json behavior where this repository can observe it:
+//! objects are sorted-key maps (serde_json's default `Map` is a `BTreeMap`),
+//! integer map keys serialize as strings and parse back through typed key
+//! deserialization, unit enum variants are plain strings, newtype variants
+//! are one-entry objects, and non-finite floats serialize as `null`.
+
+use serde::de::{
+    self, Deserialize, DeserializeOwned, Deserializer, EnumAccess, MapAccess, SeqAccess,
+    VariantAccess, Visitor,
+};
+use serde::ser::{
+    self, Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation; sorted keys, like serde_json's default `Map`.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: unsigned, signed, or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(v) => Some(v),
+            N::I(v) => u64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(v) => i64::try_from(v).ok(),
+            N::I(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::U(v) => Some(v as f64),
+            N::I(v) => Some(v as f64),
+            N::F(v) => Some(v),
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number(N::U(v))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::U(v as u64))
+        } else {
+            Number(N::I(v))
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number(N::F(v))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(v) => write!(f, "{v}"),
+            N::I(v) => write!(f, "{v}"),
+            N::F(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+// --- error ---------------------------------------------------------------
+
+/// Parse or data-model mismatch error.
+pub struct Error(String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// --- public entry points -------------------------------------------------
+
+/// Serialize any value into a `Value` tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    write_compact(&mut out, &v);
+    Ok(out)
+}
+
+/// Serialize to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    write_pretty(&mut out, &v, 0);
+    Ok(out)
+}
+
+/// Parse a JSON document into any deserializable type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::deserialize(value)
+}
+
+/// Deserialize any type from an already-parsed `Value`.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+/// Build a `Value` from a literal object/array shape or any serializable
+/// expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $( __map.insert(($key).to_string(), $crate::json!($value)); )*
+        $crate::Value::Object(__map)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($value) ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+// --- writers -------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n.0 {
+        N::F(f) if !f.is_finite() => out.push_str("null"),
+        _ => out.push_str(&n.to_string()),
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, level: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, level + 1);
+                write_pretty(out, item, level + 1);
+            }
+            out.push('\n');
+            indent(out, level);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, level + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, level + 1);
+            }
+            out.push('\n');
+            indent(out, level);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+// --- parser --------------------------------------------------------------
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal, expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = (v << 4) | d as u16;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((hi as u32 - 0xD800) << 10)
+                                    + (lo as u32).wrapping_sub(0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input was a &str, so this is safe
+                    // to do bytewise by finding the next char boundary).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::U(v))));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::I(v))));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number(N::F(v))))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// --- Serialize / Deserialize for Value itself ----------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(n) => match n.0 {
+                N::U(v) => serializer.serialize_u64(v),
+                N::I(v) => serializer.serialize_i64(v),
+                N::F(v) => serializer.serialize_f64(v),
+            },
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = Value;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("any JSON value")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<Value, E> {
+                Ok(Value::Bool(v))
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<Value, E> {
+                Ok(Value::Number(Number::from(v)))
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<Value, E> {
+                Ok(Value::Number(Number::from(v)))
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<Value, E> {
+                Ok(Value::Number(Number::from(v)))
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<Value, E> {
+                Ok(Value::String(v.to_owned()))
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<Value, E> {
+                Ok(Value::String(v))
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Value, E> {
+                Ok(Value::Null)
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Value, E> {
+                Ok(Value::Null)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Value, D::Error> {
+                Value::deserialize(d)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Value, A::Error> {
+                let mut items = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(v) = seq.next_element()? {
+                    items.push(v);
+                }
+                Ok(Value::Array(items))
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Value, A::Error> {
+                let mut entries = Map::new();
+                while let Some((k, v)) = map.next_entry::<String, Value>()? {
+                    entries.insert(k, v);
+                }
+                Ok(Value::Object(entries))
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+// --- Serializer producing Value ------------------------------------------
+
+struct ValueSerializer;
+
+/// Unconstructible compound type for serializers that reject composites.
+enum Impossible {}
+
+impl SerializeSeq for Impossible {
+    type Ok = String;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<String, Error> {
+        match self {}
+    }
+}
+
+impl SerializeTuple for Impossible {
+    type Ok = String;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<String, Error> {
+        match self {}
+    }
+}
+
+impl SerializeMap for Impossible {
+    type Ok = String;
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, _: &T) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<String, Error> {
+        match self {}
+    }
+}
+
+impl SerializeStruct for Impossible {
+    type Ok = String;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _: &'static str,
+        _: &T,
+    ) -> Result<(), Error> {
+        match *self {}
+    }
+    fn end(self) -> Result<String, Error> {
+        match self {}
+    }
+}
+
+struct SeqValueSerializer {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl SerializeTuple for SeqValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+struct MapValueSerializer {
+    entries: Map<String, Value>,
+    next_key: Option<String>,
+}
+
+impl SerializeMap for MapValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        self.next_key = Some(key.serialize(KeySerializer)?);
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        let key = self
+            .next_key
+            .take()
+            .ok_or_else(|| Error("serialize_value called before serialize_key".into()))?;
+        self.entries.insert(key, to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
+impl SerializeStruct for MapValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries.insert(key.to_owned(), to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqValueSerializer;
+    type SerializeTuple = SeqValueSerializer;
+    type SerializeMap = MapValueSerializer;
+    type SerializeStruct = MapValueSerializer;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from(v)))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from(v)))
+    }
+    fn serialize_char(self, v: char) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_owned()))
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let mut entries = Map::new();
+        entries.insert(variant.to_owned(), to_value(value)?);
+        Ok(Value::Object(entries))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqValueSerializer, Error> {
+        Ok(SeqValueSerializer { items: Vec::with_capacity(len.unwrap_or(0)) })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqValueSerializer, Error> {
+        Ok(SeqValueSerializer { items: Vec::with_capacity(len) })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapValueSerializer, Error> {
+        Ok(MapValueSerializer { entries: Map::new(), next_key: None })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<MapValueSerializer, Error> {
+        Ok(MapValueSerializer { entries: Map::new(), next_key: None })
+    }
+}
+
+/// Serializes map keys: strings pass through, integers and bools become
+/// strings (matching serde_json), everything else errors.
+struct KeySerializer;
+
+impl Serializer for KeySerializer {
+    type Ok = String;
+    type Error = Error;
+    type SerializeSeq = Impossible;
+    type SerializeTuple = Impossible;
+    type SerializeMap = Impossible;
+    type SerializeStruct = Impossible;
+
+    fn serialize_bool(self, v: bool) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_i64(self, v: i64) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_u64(self, v: u64) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_f64(self, _v: f64) -> Result<String, Error> {
+        Err(Error("float JSON map keys are not supported".into()))
+    }
+    fn serialize_char(self, v: char) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_str(self, v: &str) -> Result<String, Error> {
+        Ok(v.to_owned())
+    }
+    fn serialize_none(self) -> Result<String, Error> {
+        Err(Error("null JSON map keys are not supported".into()))
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<String, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<String, Error> {
+        Err(Error("unit JSON map keys are not supported".into()))
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<String, Error> {
+        Ok(variant.to_owned())
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<String, Error> {
+        Err(Error("newtype-variant JSON map keys are not supported".into()))
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Impossible, Error> {
+        Err(Error("sequence JSON map keys are not supported".into()))
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Impossible, Error> {
+        Err(Error("tuple JSON map keys are not supported".into()))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Impossible, Error> {
+        Err(Error("map JSON map keys are not supported".into()))
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Impossible, Error> {
+        Err(Error("struct JSON map keys are not supported".into()))
+    }
+}
+
+// --- Deserializer over Value ---------------------------------------------
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(n) => match n.0 {
+                N::U(v) => visitor.visit_u64(v),
+                N::I(v) => visitor.visit_i64(v),
+                N::F(v) => visitor.visit_f64(v),
+            },
+            Value::String(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqValueAccess {
+                len: items.len(),
+                iter: items.into_iter(),
+            }),
+            Value::Object(entries) => visitor.visit_map(MapValueAccess {
+                len: entries.len(),
+                iter: entries.into_iter(),
+                value: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Null => visitor.visit_none(),
+            other => visitor.visit_some(other),
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self {
+            Value::String(tag) => visitor.visit_enum(EnumValueAccess { tag, payload: None }),
+            Value::Object(entries) => {
+                let mut iter = entries.into_iter();
+                let (tag, payload) = iter
+                    .next()
+                    .ok_or_else(|| Error("expected enum object with one entry".into()))?;
+                if iter.next().is_some() {
+                    return Err(Error("expected enum object with exactly one entry".into()));
+                }
+                visitor.visit_enum(EnumValueAccess { tag, payload: Some(payload) })
+            }
+            _ => Err(Error("expected string or object for enum".into())),
+        }
+    }
+}
+
+struct SeqValueAccess {
+    len: usize,
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> SeqAccess<'de> for SeqValueAccess {
+    type Error = Error;
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            Some(v) => T::deserialize(v).map(Some),
+            None => Ok(None),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.len)
+    }
+}
+
+struct MapValueAccess {
+    len: usize,
+    iter: std::collections::btree_map::IntoIter<String, Value>,
+    value: Option<Value>,
+}
+
+impl<'de> MapAccess<'de> for MapValueAccess {
+    type Error = Error;
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.iter.next() {
+            Some((k, v)) => {
+                self.value = Some(v);
+                K::deserialize(MapKeyDeserializer(k)).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value = self
+            .value
+            .take()
+            .ok_or_else(|| Error("next_value called before next_key".into()))?;
+        V::deserialize(value)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.len)
+    }
+}
+
+/// Deserializes a typed map key out of its JSON string form: numeric key
+/// types parse the string back to a number (serde_json's behavior for
+/// integer-keyed maps).
+struct MapKeyDeserializer(String);
+
+impl<'de> Deserializer<'de> for MapKeyDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_string(self.0)
+    }
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        if let Ok(v) = self.0.parse::<u64>() {
+            return visitor.visit_u64(v);
+        }
+        if let Ok(v) = self.0.parse::<i64>() {
+            return visitor.visit_i64(v);
+        }
+        Err(Error(format!("invalid numeric map key `{}`", self.0)))
+    }
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        self.deserialize_u64(visitor)
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0.parse::<f64>() {
+            Ok(v) => visitor.visit_f64(v),
+            Err(_) => Err(Error(format!("invalid float map key `{}`", self.0))),
+        }
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0.as_str() {
+            "true" => visitor.visit_bool(true),
+            "false" => visitor.visit_bool(false),
+            _ => Err(Error(format!("invalid bool map key `{}`", self.0))),
+        }
+    }
+}
+
+struct EnumValueAccess {
+    tag: String,
+    payload: Option<Value>,
+}
+
+impl<'de> EnumAccess<'de> for EnumValueAccess {
+    type Error = Error;
+    type Variant = VariantValueAccess;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, VariantValueAccess), Error> {
+        let tag = V::deserialize(Value::String(self.tag))?;
+        Ok((tag, VariantValueAccess { payload: self.payload }))
+    }
+}
+
+struct VariantValueAccess {
+    payload: Option<Value>,
+}
+
+impl<'de> VariantAccess<'de> for VariantValueAccess {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<(), Error> {
+        match self.payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(_) => Err(Error("unexpected payload for unit enum variant".into())),
+        }
+    }
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Error> {
+        let payload = self
+            .payload
+            .ok_or_else(|| Error("missing payload for newtype enum variant".into()))?;
+        T::deserialize(payload)
+    }
+}
