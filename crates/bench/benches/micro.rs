@@ -87,8 +87,9 @@ fn bench(c: &mut Criterion) {
         .minconf(spec.minconf)
         .build().expect("valid query");
     let _ = subset;
+    let request = colarm::QueryRequest::query(&query);
     group.bench_function("end_to_end/optimized_query", |b| {
-        b.iter(|| black_box(system.execute(&query).expect("runs").answer.rules.len()))
+        b.iter(|| black_box(system.run(&request).expect("runs").rules.len()))
     });
     // Plan-operator parallelism: the same plan at 1 thread vs the session
     // default (answers are bit-identical; only the duration moves).

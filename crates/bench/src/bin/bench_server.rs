@@ -1,0 +1,288 @@
+//! Server throughput benchmark: concurrent drill-down clients hammering
+//! a [`ColarmServer`] over real HTTP/1.1 keep-alive connections.
+//!
+//! Eight client threads each open one persistent connection and repeat a
+//! drill-down round: create a fresh tenant session, then walk the same
+//! 8-query refinement chain `bench_session` uses, so every round pays
+//! session setup + 8 queries with subset/column derivation between them —
+//! the interactive multi-tenant workload `colarm serve` exists for.
+//! Per-request wall latencies are pooled into p50/p99 and an aggregate
+//! qps. Before timing, one client's responses are checked rule-for-rule
+//! against in-process execution, so the numbers describe a server that
+//! is provably returning the right answers. Writes `BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_server [-- OUT.json]
+//! ```
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::data::{AttributeId, RangeSpec};
+use colarm::{
+    Colarm, ColarmServer, LocalizedQuery, MipIndexConfig, QueryRequest, Semantics, ServerConfig,
+};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const ROUNDS_PER_CLIENT: usize = 6;
+const MINSUPP: f64 = 0.75;
+const MINCONF: f64 = 0.6;
+
+/// Same interactive-scale dataset as `bench_session`: 10k records over a
+/// 16-attribute schema, wide enough that restricted SELECT scans run as
+/// parallel regions.
+fn dataset() -> colarm::data::Dataset {
+    generate(&SynthConfig {
+        name: "server-bench".into(),
+        seed: 4242,
+        records: 10_000,
+        domains: vec![5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4],
+        top_mass: 0.6,
+        skew: 1.0,
+        clusters: 3,
+        cluster_focus: 0.5,
+        focus_strength: 0.9,
+        templates: 4,
+        template_len: 3,
+        template_prob: 0.3,
+    })
+}
+
+/// The 8-query drill-down chain (one more attribute constrained per
+/// step). Unrestricted semantics forces ARM so SELECT — and therefore
+/// the session column cache — is exercised at every step.
+fn chain() -> Vec<LocalizedQuery> {
+    let keeps: [&[u16]; 8] = [&[0], &[0], &[0], &[0], &[0, 1], &[0], &[0, 1], &[0]];
+    (1..=keeps.len())
+        .map(|depth| {
+            let mut range = RangeSpec::all();
+            for (i, keep) in keeps[..depth].iter().enumerate() {
+                range = range.with(AttributeId(i as u16), keep.iter().copied());
+            }
+            LocalizedQuery::builder()
+                .range(range)
+                .minsupp(MINSUPP)
+                .minconf(MINCONF)
+                .semantics(Semantics::Unrestricted)
+                .build()
+                .expect("valid query")
+        })
+        .collect()
+}
+
+/// A keep-alive HTTP/1.1 client: one TCP connection, many requests.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(port: u16) -> Self {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, serde_json::Value) {
+        write!(
+            self.reader.get_mut(),
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("request writes");
+        let mut status = 0u16;
+        let mut length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if line.starts_with("HTTP/1.1 ") {
+                status = line
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("status code");
+            } else if let Some(v) = line.strip_prefix("Content-Length: ") {
+                length = v.parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body).expect("body reads");
+        let body = String::from_utf8(body).expect("utf8 body");
+        (status, serde_json::from_str(&body).expect("JSON body"))
+    }
+}
+
+/// One drill-down round for tenant `session`: create the session, then
+/// walk the whole chain through it. Returns per-request latencies.
+fn run_round(client: &mut Client, session: &str, bodies: &[String]) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(bodies.len() + 1);
+    let create = format!(r#"{{"id": "{session}"}}"#);
+    let path = format!("/sessions/{session}/query");
+    let t = Instant::now();
+    let (status, _) = client.request("POST", "/sessions", &create);
+    latencies.push(t.elapsed());
+    assert_eq!(status, 201, "session create failed");
+    for body in bodies {
+        let t = Instant::now();
+        let (status, outcome) = client.request("POST", &path, body);
+        latencies.push(t.elapsed());
+        assert_eq!(status, 200, "query failed: {outcome}");
+    }
+    let (status, _) = client.request("DELETE", &path.replace("/query", ""), "");
+    assert_eq!(status, 200, "session evict failed");
+    latencies
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: &'static str,
+    harness: String,
+    records: usize,
+    chain_len: usize,
+    minsupp: f64,
+    minconf: f64,
+    clients: usize,
+    rounds_per_client: usize,
+    /// session create + 8 queries per round, across all clients.
+    total_requests: usize,
+    wall_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    server_queries: u64,
+    server_rejected: u64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".to_string());
+    let colarm = Colarm::build(
+        dataset(),
+        MipIndexConfig {
+            primary_support: 0.05,
+            ..Default::default()
+        },
+    )
+    .expect("index builds")
+    .into_shared();
+    let server = ColarmServer::new(
+        colarm.clone(),
+        ServerConfig {
+            max_concurrency: CLIENTS * 2,
+            ..Default::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let port = listener.local_addr().unwrap().port();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let _ = server.serve_listener(listener);
+        });
+    }
+    let bodies: Vec<String> = chain()
+        .iter()
+        .map(|q| serde_json::to_string(&QueryRequest::query(q)).expect("serializes"))
+        .collect();
+
+    // Correctness gate before any timing: the wire answers must match
+    // in-process execution query for query.
+    {
+        let mut client = Client::connect(port);
+        let (status, _) = client.request("POST", "/sessions", r#"{"id": "gate"}"#);
+        assert_eq!(status, 201);
+        for (q, body) in chain().iter().zip(&bodies) {
+            let (status, wire) = client.request("POST", "/sessions/gate/query", body);
+            assert_eq!(status, 200, "gate query failed: {wire}");
+            let direct = colarm.run(&QueryRequest::query(q)).expect("in-process run");
+            assert_eq!(
+                wire["rules"],
+                serde_json::to_value(&direct.rules).expect("rules serialize"),
+                "server diverged from in-process execution"
+            );
+        }
+        let (status, _) = client.request("DELETE", "/sessions/gate", "");
+        assert_eq!(status, 200);
+    }
+
+    // Warmup: one untimed round per client thread's connection path.
+    let warm: Vec<Duration> = run_round(&mut Client::connect(port), "warmup", &bodies);
+    drop(warm);
+
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bodies = bodies.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(port);
+                let mut latencies = Vec::new();
+                for round in 0..ROUNDS_PER_CLIENT {
+                    let session = format!("client-{c}-round-{round}");
+                    latencies.extend(run_round(&mut client, &session, &bodies));
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_s = wall.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let stats = server.handle("GET", "/stats", b"");
+    let stats: serde_json::Value = serde_json::from_str(&stats.body).expect("stats JSON");
+    let report = Report {
+        description: "8 concurrent keep-alive HTTP clients, each repeating a \
+                      drill-down round (create tenant session, walk the 8-query \
+                      refinement chain, evict) against one shared ColarmServer; \
+                      wire answers verified against in-process execution before \
+                      timing",
+        harness: "cargo run --release --bin bench_server".to_string(),
+        records: colarm.index().dataset().num_records(),
+        chain_len: bodies.len(),
+        minsupp: MINSUPP,
+        minconf: MINCONF,
+        clients: CLIENTS,
+        rounds_per_client: ROUNDS_PER_CLIENT,
+        total_requests: latencies.len(),
+        wall_s,
+        qps: latencies.len() as f64 / wall_s,
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        max_ms: percentile_ms(&latencies, 100.0),
+        server_queries: stats["queries"].as_u64().unwrap_or(0),
+        server_rejected: stats["rejected"].as_u64().unwrap_or(0),
+    };
+    println!(
+        "{} clients × {} rounds: {} requests in {:.3}s = {:.0} qps | p50 {:.2}ms, \
+         p99 {:.2}ms, max {:.2}ms | server saw {} queries, {} rejected",
+        report.clients,
+        report.rounds_per_client,
+        report.total_requests,
+        report.wall_s,
+        report.qps,
+        report.p50_ms,
+        report.p99_ms,
+        report.max_ms,
+        report.server_queries,
+        report.server_rejected
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).expect("report written");
+    println!("wrote {out_path}");
+}

@@ -391,11 +391,13 @@ fn scale_sweep(args: &Args, json: &mut Json) {
                 .minconf(0.85)
                 .build().expect("valid query");
             let t = Instant::now();
-            let _ = system.execute(&query).expect("query runs");
+            let _ = system
+                .run(&colarm::QueryRequest::query(&query))
+                .expect("query runs");
             q_total += t.elapsed().as_secs_f64();
             let t = Instant::now();
             let _ = system
-                .execute_with_plan(&query, PlanKind::Arm)
+                .run(&colarm::QueryRequest::query(&query).with_plan(PlanKind::Arm))
                 .expect("arm runs");
             arm_total += t.elapsed().as_secs_f64();
             n += 1;

@@ -21,13 +21,21 @@
 //!     meta-commands (:plans, :explain, :advise, :stats, :save, :load,
 //!     :quit).
 //!
+//! colarm serve (--index index.snap | --data D.tsv --primary P) [--addr H:P]
+//!     Long-running multi-tenant query daemon speaking HTTP/1.1 + JSON.
+//!     Tenants create drill-down sessions (`POST /sessions`) whose
+//!     focal-subset and column caches persist across queries; sessions
+//!     idle past `--idle-ttl-secs` are evicted, and the server admits at
+//!     most `--concurrency` queries at once (excess gets 429, not a
+//!     queue).
+//!
 //! colarm advise (--index index.snap | --data D.tsv --primary P)
 //!     Mine suggested query parameters from the data (§7 future work).
 //! ```
 
 mod repl;
 
-use colarm::{Colarm, MipIndexConfig, QuerySession};
+use colarm::{Colarm, ColarmServer, MipIndexConfig, QuerySession, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "repl" => cmd_repl(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "advise" => cmd_advise(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -58,7 +67,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
+const USAGE: &str = "usage: colarm <demo|index|query|repl|serve|advise> [options]
   demo                                   the paper's salary walkthrough
   index  --data D.tsv --primary P [--out index.snap]
          --out writes the checksummed binary snapshot format (atomic)
@@ -66,6 +75,10 @@ const USAGE: &str = "usage: colarm <demo|index|query|repl|advise> [options]
          prefix the query with EXPLAIN ANALYZE for per-operator
          predicted-vs-actual cost tracing (--json for machine-readable)
   repl   (--index I.snap | --data D.tsv --primary P)
+  serve  (--index I.snap | --data D.tsv --primary P) [--addr H:P]
+         multi-tenant HTTP/JSON query daemon (default 127.0.0.1:7878);
+         tuning: --max-sessions N (64)  --idle-ttl-secs N (900)
+                 --concurrency N (8)    --timeout-cap-ms N (none)
   advise (--index I.snap | --data D.tsv --primary P)
   --index also accepts legacy JSON snapshots (auto-detected by magic)
   common: --threads N     worker threads for build + query execution
@@ -84,6 +97,11 @@ struct Options {
     primary: f64,
     json: bool,
     timeout_ms: Option<u64>,
+    addr: String,
+    max_sessions: Option<usize>,
+    idle_ttl_secs: Option<u64>,
+    concurrency: Option<usize>,
+    timeout_cap_ms: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -95,6 +113,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         primary: 0.1,
         json: false,
         timeout_ms: None,
+        addr: "127.0.0.1:7878".to_string(),
+        max_sessions: None,
+        idle_ttl_secs: None,
+        concurrency: None,
+        timeout_cap_ms: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -109,6 +132,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--timeout-ms expects a non-negative integer".to_string())?;
                 opts.timeout_ms = Some(ms);
+            }
+            "--addr" => opts.addr = take(&mut it, "--addr")?,
+            "--max-sessions" => {
+                opts.max_sessions = Some(parse_flag(&mut it, "--max-sessions")?);
+            }
+            "--idle-ttl-secs" => {
+                opts.idle_ttl_secs = Some(parse_flag(&mut it, "--idle-ttl-secs")?);
+            }
+            "--concurrency" => {
+                opts.concurrency = Some(parse_flag(&mut it, "--concurrency")?);
+            }
+            "--timeout-cap-ms" => {
+                opts.timeout_cap_ms = Some(parse_flag(&mut it, "--timeout-cap-ms")?);
             }
             "--primary" => {
                 opts.primary = take(&mut it, "--primary")?
@@ -135,6 +171,15 @@ fn take(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, Str
     it.next()
         .cloned()
         .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    take(it, flag)?
+        .parse()
+        .map_err(|_| format!("{flag} expects a non-negative integer"))
 }
 
 /// Load a system from either a snapshot (binary or legacy JSON,
@@ -179,14 +224,14 @@ fn demo() -> Result<(), String> {
                 WHERE RANGE Location = (Seattle), Gender = (F) \
                 HAVING minsupport = 75% AND minconfidence = 90%;";
     println!("\n{text}\n");
-    let out = colarm.execute_text(text).map_err(|e| e.to_string())?;
+    let out = colarm.run_text(text).map_err(|e| e.to_string())?;
     println!(
         "plan {} over {} records → {} rule(s):",
-        out.answer.plan.name(),
-        out.answer.subset_size,
-        out.answer.rules.len()
+        out.plan.name(),
+        out.subset_size,
+        out.rules.len()
     );
-    for rule in &out.answer.rules {
+    for rule in &out.rules {
         println!("  {}", rule.display(&schema));
     }
     println!("\nThe global trend (Age=20-30 → Salary=90K-120K, 45%/83%) does not\nhold in this subset — Simpson's paradox, mined online.");
@@ -239,15 +284,25 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let query = colarm::parse_query(text, &schema).map_err(|e| e.to_string())?;
-    let answer = session.execute(&query).map_err(|e| e.to_string())?;
+    let request = colarm::QueryRequest::query(&query).with_trace(true);
+    let out = session.run(&request).map_err(|e| e.to_string())?;
+    if opts.json {
+        // The same QueryOutcome JSON the server returns, so scripts can
+        // diff wire answers against in-process execution byte for byte.
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
     println!(
         "plan {} over {} records in {:?} → {} rule(s)",
-        answer.plan.name(),
-        answer.subset_size,
-        answer.trace.total,
-        answer.rules.len()
+        out.plan.name(),
+        out.subset_size,
+        out.trace.as_ref().map(|t| t.total).unwrap_or_default(),
+        out.rules.len()
     );
-    for rule in &answer.rules {
+    for rule in &out.rules {
         println!("  {}", rule.display(&schema));
     }
     Ok(())
@@ -257,6 +312,41 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
     let opts = parse_options(args)?;
     let colarm = load_system(&opts)?;
     repl::run(colarm.into_shared(), opts.timeout_ms.map(Duration::from_millis))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let colarm = load_system(&opts)?;
+    let mut config = ServerConfig::default();
+    if let Some(n) = opts.max_sessions {
+        if n == 0 {
+            return Err("--max-sessions expects a positive integer".to_string());
+        }
+        config.max_sessions = n;
+    }
+    if let Some(secs) = opts.idle_ttl_secs {
+        config.idle_ttl = Duration::from_secs(secs);
+    }
+    if let Some(n) = opts.concurrency {
+        if n == 0 {
+            return Err("--concurrency expects a positive integer".to_string());
+        }
+        config.max_concurrency = n;
+    }
+    if let Some(ms) = opts.timeout_cap_ms {
+        config.timeout_cap = Some(Duration::from_millis(ms));
+    }
+    let server = ColarmServer::new(colarm.into_shared(), config);
+    eprintln!(
+        "colarm serving on http://{} — {} records, {} MIPs; POST /query, \
+         POST /sessions, GET /health",
+        opts.addr,
+        server.colarm().index().dataset().num_records(),
+        server.colarm().index().num_mips()
+    );
+    server
+        .serve(&opts.addr)
+        .map_err(|e| format!("serving {}: {e}", opts.addr))
 }
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {

@@ -210,9 +210,9 @@ pub fn run(mut colarm: Arc<Colarm>, timeout: Option<Duration>) -> Result<(), Str
                                 println!("    … and {} more", answer.rules.len() - 20);
                             }
                         }
-                        Err(e) => println!("  error: {e}"),
+                        Err(e) => println!("  error [{}]: {e}", e.code()),
                     },
-                    Err(e) => println!("  parse error: {e}"),
+                    Err(e) => println!("  parse error [{}]: {e}", e.code()),
                 }
                 // `:cancel` is one-shot: disarm after the attempt so the
                 // session stays usable for the next query.
@@ -247,9 +247,9 @@ fn analyze(session: &QuerySession, schema: &colarm::data::Schema, text: &str) {
                     println!("  {line}");
                 }
             }
-            Err(e) => println!("  error: {e}"),
+            Err(e) => println!("  error [{}]: {e}", e.code()),
         },
-        Err(e) => println!("  parse error: {e}"),
+        Err(e) => println!("  parse error [{}]: {e}", e.code()),
     }
 }
 
@@ -263,9 +263,9 @@ fn explain(colarm: &Colarm, text: &str) {
                     println!("  {line}");
                 }
             }
-            Err(e) => println!("  error: {e}"),
+            Err(e) => println!("  error [{}]: {e}", e.code()),
         },
-        Err(e) => println!("  parse error: {e}"),
+        Err(e) => println!("  parse error [{}]: {e}", e.code()),
     }
 }
 

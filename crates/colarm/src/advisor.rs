@@ -184,8 +184,10 @@ mod tests {
         let query = top.to_query(&advice).unwrap();
         assert_eq!(query.minsupp, advice.minsupp);
         assert_eq!(query.minconf, advice.minconf);
-        let out = colarm.execute(&query).unwrap();
-        assert_eq!(out.answer.subset_size, top.subset_size);
+        let out = colarm
+            .run(&crate::request::QueryRequest::query(&query))
+            .unwrap();
+        assert_eq!(out.subset_size, top.subset_size);
     }
 
     #[test]

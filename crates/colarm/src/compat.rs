@@ -1,0 +1,262 @@
+//! The deprecated pre-[`QueryRequest`] execution surface, kept as thin
+//! forwarders onto the unified path.
+//!
+//! Before the API redesign, [`Colarm`] exposed a matrix of entry points —
+//! `execute` × {plain, `_limited`, `_on_subset`, `_on_subset_limited`,
+//! `_on_subset_hooked`} plus the mirror `explain_analyze*` family — one
+//! method per combination of subset handling, limits, and session hooks.
+//! [`Colarm::run`] (and [`crate::QuerySession::run`]) with a
+//! [`QueryRequest`] replaces all of them: the request says what to do,
+//! one method does it.
+//!
+//! | Deprecated | Replacement |
+//! |---|---|
+//! | `execute`, `execute_limited` | `run(&QueryRequest::query(q))`, `.with_limits(…)` |
+//! | `execute_on_subset*`, `execute_on_subset_hooked` | `QuerySession::run` (cached subsets + hooks) |
+//! | `execute_with_plan` | `run(&…​.with_plan(p))` |
+//! | `execute_text` | `run_text` / `run(&QueryRequest::text(…))` |
+//! | `explain_analyze*` | `run(&…​.with_analyze(true))` |
+//!
+//! Every forwarder routes through the same `run_inner` path as `run`, so
+//! answers stay bit-identical; only the calling convention is legacy.
+//! This module is the **only** place in the workspace allowed to mention
+//! the deprecated names (`scripts/ci.sh` builds the rest with
+//! `-D deprecated`).
+#![allow(deprecated)]
+
+use crate::cost::{SelectReuse, SelectReuse::Fresh};
+use crate::engine::QueryLimits;
+use crate::error::ColarmError;
+use crate::explain::AnalyzedAnswer;
+use crate::framework::{Colarm, OptimizedAnswer};
+use crate::ops::ExecOptions;
+use crate::plan::{PlanKind, QueryAnswer};
+use crate::query::LocalizedQuery;
+use crate::request::QueryRequest;
+use crate::reuse::ColumnStore;
+use colarm_data::FocalSubset;
+
+impl Colarm {
+    /// Online phase: pick the cheapest plan and execute it.
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute(&self, query: &LocalizedQuery) -> Result<OptimizedAnswer, ColarmError> {
+        self.execute_limited(query, &QueryLimits::none())
+    }
+
+    /// [`Colarm::execute`] under explicit [`QueryLimits`].
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute_limited(
+        &self,
+        query: &LocalizedQuery,
+        limits: &QueryLimits,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        self.execute_on_subset_limited(query, &subset, ExecOptions::default(), limits)
+    }
+
+    /// [`Colarm::execute`] against an already-resolved subset with
+    /// explicit execution options. The subset must come from this
+    /// system's [`Colarm::prepare`].
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute_on_subset(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        self.execute_on_subset_limited(query, subset, opts, &QueryLimits::none())
+    }
+
+    /// [`Colarm::execute_on_subset`] under explicit [`QueryLimits`].
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute_on_subset_limited(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        self.execute_on_subset_hooked(query, subset, opts, limits, None, Fresh)
+    }
+
+    /// [`Colarm::execute_on_subset_limited`] with the session hooks.
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute_on_subset_hooked(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+        store: Option<&dyn ColumnStore>,
+        reuse: SelectReuse,
+    ) -> Result<OptimizedAnswer, ColarmError> {
+        self.run_inner(query, subset, opts, limits, store, reuse, None, false)
+            .map(crate::framework::RunOutput::into_optimized)
+    }
+
+    /// Execute a specific plan (experiments, ablations).
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute_with_plan(
+        &self,
+        query: &LocalizedQuery,
+        plan: PlanKind,
+    ) -> Result<QueryAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        let opts = ExecOptions::default();
+        let limits = QueryLimits::none();
+        self.run_inner(query, &subset, opts, &limits, None, Fresh, Some(plan), false)
+            .map(|out| out.answer)
+    }
+
+    /// Parse and execute a query-language string.
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn execute_text(&self, text: &str) -> Result<OptimizedAnswer, ColarmError> {
+        let request = QueryRequest::text(text);
+        let query = request.resolve(self.index().dataset().schema())?;
+        let subset = self.prepare(&query)?;
+        let opts = ExecOptions::default();
+        let limits = QueryLimits::none();
+        self.run_inner(&query, &subset, opts, &limits, None, Fresh, None, false)
+            .map(crate::framework::RunOutput::into_optimized)
+    }
+
+    /// `EXPLAIN ANALYZE` the optimizer's chosen plan.
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn explain_analyze(&self, query: &LocalizedQuery) -> Result<AnalyzedAnswer, ColarmError> {
+        self.explain_analyze_with(query, ExecOptions::default())
+    }
+
+    /// [`Colarm::explain_analyze`] with explicit execution options
+    /// (metrics reporting is forced on regardless of `opts.metrics`).
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn explain_analyze_with(
+        &self,
+        query: &LocalizedQuery,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        self.explain_analyze_on_subset(query, &subset, opts)
+    }
+
+    /// [`Colarm::explain_analyze_with`] against an already-resolved
+    /// subset. The subset must come from this system's
+    /// [`Colarm::prepare`].
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn explain_analyze_on_subset(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        self.explain_analyze_on_subset_limited(query, subset, opts, &QueryLimits::none())
+    }
+
+    /// [`Colarm::explain_analyze_on_subset`] under explicit
+    /// [`QueryLimits`].
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn explain_analyze_on_subset_limited(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        self.explain_analyze_on_subset_hooked(query, subset, opts, limits, None, Fresh)
+    }
+
+    /// [`Colarm::explain_analyze_on_subset_limited`] with the session
+    /// hooks.
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn explain_analyze_on_subset_hooked(
+        &self,
+        query: &LocalizedQuery,
+        subset: &FocalSubset,
+        opts: ExecOptions,
+        limits: &QueryLimits,
+        store: Option<&dyn ColumnStore>,
+        reuse: SelectReuse,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        self.run_inner(query, subset, opts, limits, store, reuse, None, true)
+            .map(crate::framework::RunOutput::into_analyzed)
+    }
+
+    /// `EXPLAIN ANALYZE` for a specific (possibly non-optimal) plan.
+    #[deprecated(since = "0.2.0", note = "use Colarm::run / QuerySession::run with a QueryRequest")]
+    pub fn explain_analyze_plan(
+        &self,
+        query: &LocalizedQuery,
+        plan: PlanKind,
+        opts: ExecOptions,
+    ) -> Result<AnalyzedAnswer, ColarmError> {
+        let subset = self.prepare(query)?;
+        let limits = QueryLimits::none();
+        self.run_inner(query, &subset, opts, &limits, None, Fresh, Some(plan), true)
+            .map(crate::framework::RunOutput::into_analyzed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mip::MipIndexConfig;
+    use colarm_data::synth::salary;
+
+    fn system() -> Colarm {
+        Colarm::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 2.0 / 11.0,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// The forwarders stay bit-identical to the unified path they wrap.
+    #[test]
+    fn forwarders_match_the_unified_path() {
+        let colarm = system();
+        let schema = colarm.index().dataset().schema().clone();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .minsupp(0.5)
+            .minconf(0.7)
+            .build()
+            .unwrap();
+        let legacy = colarm.execute(&query).unwrap();
+        let unified = colarm.run(&QueryRequest::query(&query)).unwrap();
+        assert_eq!(legacy.answer.rules, unified.rules);
+        assert_eq!(legacy.answer.plan, unified.plan);
+        assert_eq!(
+            legacy.choice.chosen,
+            unified.choice.as_ref().unwrap().chosen
+        );
+
+        let legacy_text = colarm
+            .execute_text(
+                "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
+                 WHERE RANGE Location = (Seattle) \
+                 HAVING minsupport = 50% AND minconfidence = 70%;",
+            )
+            .unwrap();
+        assert_eq!(legacy_text.answer.rules, unified.rules);
+
+        for plan in PlanKind::ALL {
+            let forced = colarm.execute_with_plan(&query, plan).unwrap();
+            let via_run = colarm
+                .run(&QueryRequest::query(&query).with_plan(plan))
+                .unwrap();
+            assert_eq!(forced.rules, via_run.rules, "{plan} diverged");
+        }
+
+        let analyzed = colarm.explain_analyze(&query).unwrap();
+        let via_run = colarm
+            .run(&QueryRequest::query(&query).with_analyze(true))
+            .unwrap();
+        let report = via_run.analyze.expect("analyze report present");
+        assert_eq!(analyzed.report.plan, report.plan);
+        assert_eq!(analyzed.report.num_rules, report.num_rules);
+        assert_eq!(analyzed.answer.rules, via_run.rules);
+    }
+}

@@ -358,9 +358,10 @@ pub struct CostModel {
 /// `seconds` is not always `units × constant`: VERIFY folds the
 /// per-candidate-rule confidence-check term into its seconds while its
 /// units stay the paper's `nver × C_I × |DQ|`, the quantity the executor
-/// measures. Serialize-only (`OpKind` serializes as its name string, so
-/// the JSON wire format is unchanged from the string-keyed days).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+/// measures. `OpKind` serializes as its name string, so the JSON wire
+/// format is unchanged from the string-keyed days; terms round-trip
+/// (deserialize) so analyze reports survive the server wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostTerm {
     /// The operator this term predicts, matching [`crate::ops::OpTrace`]'s
     /// typed kind.
@@ -372,7 +373,7 @@ pub struct CostTerm {
 }
 
 /// A per-plan cost estimate, broken into operator terms (seconds).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostEstimate {
     /// The estimated plan.
     pub plan: PlanKind,

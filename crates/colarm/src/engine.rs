@@ -86,7 +86,14 @@ impl CancelToken {
 
 /// Per-query execution limits. The default is unlimited: no deadline, no
 /// budget, an un-armed token — exactly the pre-engine behaviour.
-#[derive(Debug, Clone, Default)]
+///
+/// Limits are part of the [`crate::request::QueryRequest`] wire format:
+/// they serialize through [`QueryLimitsWire`] (deadline as integer
+/// nanoseconds, budget as raw units). The cancel token is process-local
+/// state and does not cross the wire — a deserialized `QueryLimits`
+/// carries a fresh, un-armed token.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[serde(into = "QueryLimitsWire", try_from = "QueryLimitsWire")]
 pub struct QueryLimits {
     /// Wall-clock deadline, measured from the start of [`execute`].
     pub timeout: Option<Duration>,
@@ -119,6 +126,57 @@ impl QueryLimits {
     pub fn with_cancel(mut self, cancel: CancelToken) -> QueryLimits {
         self.cancel = cancel;
         self
+    }
+
+    /// Clamp these limits by server-wide caps: the effective deadline and
+    /// budget are the minimum of the request's and the cap's (a cap with
+    /// no request value applies as-is). The cancel token is untouched.
+    pub fn clamped(mut self, timeout_cap: Option<Duration>, budget_cap: Option<f64>) -> QueryLimits {
+        self.timeout = match (self.timeout, timeout_cap) {
+            (Some(t), Some(cap)) => Some(t.min(cap)),
+            (t, cap) => t.or(cap),
+        };
+        self.budget_units = match (self.budget_units, budget_cap) {
+            (Some(b), Some(cap)) => Some(b.min(cap)),
+            (b, cap) => b.or(cap),
+        };
+        self
+    }
+}
+
+/// The serialized shape of [`QueryLimits`]: deadline in integer
+/// nanoseconds, budget in raw cost units. Pinned by the wire-format
+/// golden fixtures — field renames break clients.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct QueryLimitsWire {
+    /// Wall-clock deadline in nanoseconds (`None` = no deadline).
+    pub timeout_ns: Option<u64>,
+    /// Maximum raw cost units (`None` = no budget).
+    pub budget_units: Option<f64>,
+}
+
+impl From<QueryLimits> for QueryLimitsWire {
+    fn from(limits: QueryLimits) -> QueryLimitsWire {
+        QueryLimitsWire {
+            timeout_ns: limits
+                .timeout
+                .map(|t| u64::try_from(t.as_nanos()).unwrap_or(u64::MAX)),
+            budget_units: limits.budget_units,
+        }
+    }
+}
+
+// Infallible by design, but the vendored serde_derive shim only supports
+// `#[serde(try_from = "…")]`, not `#[serde(from = "…")]`.
+#[allow(clippy::infallible_try_from)]
+impl TryFrom<QueryLimitsWire> for QueryLimits {
+    type Error = std::convert::Infallible;
+    fn try_from(wire: QueryLimitsWire) -> Result<QueryLimits, Self::Error> {
+        Ok(QueryLimits {
+            timeout: wire.timeout_ns.map(Duration::from_nanos),
+            budget_units: wire.budget_units,
+            cancel: CancelToken::new(),
+        })
     }
 }
 

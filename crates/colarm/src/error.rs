@@ -39,6 +39,26 @@ pub enum ColarmError {
     },
 }
 
+impl ColarmError {
+    /// Stable machine-readable error code, one per variant. This is the
+    /// `code` field of the server's JSON error body and the `[code]` tag
+    /// in REPL error output; clients dispatch on it, so the strings are
+    /// part of the wire contract and must never change (pinned by the
+    /// golden wire-format tests).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ColarmError::InvalidThreshold { .. } => "invalid_threshold",
+            ColarmError::Data(_) => "bad_reference",
+            ColarmError::EmptySubset => "empty_subset",
+            ColarmError::EmptyItemAttributes => "empty_item_attributes",
+            ColarmError::QueryParse { .. } => "query_parse",
+            ColarmError::Snapshot { .. } => "snapshot",
+            ColarmError::UnrestrictedRequiresArm { .. } => "unrestricted_requires_arm",
+            ColarmError::Canceled { .. } => "canceled",
+        }
+    }
+}
+
 impl fmt::Display for ColarmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -13,7 +13,7 @@ use crate::optimizer::PlanChoice;
 use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
 use colarm_data::metrics::OpMetrics;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The optimizer's full view of one query, before execution.
@@ -97,9 +97,9 @@ impl fmt::Display for Explanation {
 ///
 /// `measured_units` and `metrics` are exact, thread-count-independent
 /// quantities; the two `*_seconds` fields are wall-clock and vary run to
-/// run. Serialize-only (`OpKind` serializes as its name string, keeping
-/// the JSON wire format identical to the string-keyed days).
-#[derive(Debug, Clone, Serialize)]
+/// run. `OpKind` serializes as its name string, keeping the JSON wire
+/// format identical to the string-keyed days.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalyzedOp {
     /// The operator this row measures (typed; renders as the same name
     /// string the trace reports).
@@ -134,7 +134,7 @@ impl AnalyzedOp {
 /// The full `EXPLAIN ANALYZE` view of one executed query: the optimizer's
 /// six estimates, the executed plan, and per-operator predicted-vs-actual
 /// accounting.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalyzeReport {
     /// The plan that ran.
     pub plan: PlanKind,
@@ -395,8 +395,10 @@ mod tests {
         assert_eq!(ex.subset_size, 4);
         assert_eq!(ex.estimates.len(), 6);
         assert!(ex.decision_margin() >= 1.0);
-        let out = colarm.execute(&q).unwrap();
-        assert_eq!(ex.chosen, out.answer.plan);
+        let out = colarm
+            .run(&crate::request::QueryRequest::query(&q))
+            .unwrap();
+        assert_eq!(ex.chosen, out.plan);
         // Render includes every plan name.
         let text = ex.to_string();
         for p in PlanKind::ALL {
@@ -431,22 +433,33 @@ mod tests {
             .minconf(0.8)
             .build()
             .unwrap();
-        let analyzed = colarm.explain_analyze(&q).unwrap();
-        let report = &analyzed.report;
-        assert_eq!(report.plan, analyzed.answer.plan);
+        let out = colarm
+            .run(
+                &crate::request::QueryRequest::query(&q)
+                    .with_analyze(true)
+                    .with_trace(true),
+            )
+            .unwrap();
+        let report = out.analyze.as_ref().expect("analyze report present");
+        let trace = out.trace.as_ref().expect("trace requested");
+        assert_eq!(report.plan, out.plan);
         assert!(report.chosen_by_optimizer);
         assert_eq!(report.estimates.len(), PlanKind::ALL.len());
-        assert_eq!(report.ops.len(), analyzed.answer.trace.ops.len());
+        assert_eq!(report.ops.len(), trace.ops.len());
         // Measured units/metrics mirror the trace exactly.
-        assert_eq!(report.total_measured_units(), analyzed.answer.trace.total_units());
-        assert_eq!(report.metrics_total(), analyzed.answer.trace.metrics_total());
-        for (row, op) in report.ops.iter().zip(&analyzed.answer.trace.ops) {
+        assert_eq!(report.total_measured_units(), trace.total_units());
+        assert_eq!(report.metrics_total(), trace.metrics_total());
+        for (row, op) in report.ops.iter().zip(&trace.ops) {
             assert_eq!(row.op, op.kind);
             assert_eq!(row.measured_units, op.units);
             assert!(row.metrics.is_some(), "ANALYZE forces metrics on");
         }
         // Every cost-model operator in the plan has a prediction.
-        let estimate = analyzed.choice.estimate_for(report.plan);
+        let estimate = out
+            .choice
+            .as_ref()
+            .expect("optimizer ran")
+            .estimate_for(report.plan);
         for row in &report.ops {
             assert_eq!(row.predicted_units.is_some(), estimate.term(row.op).is_some());
         }
@@ -484,15 +497,26 @@ mod tests {
             .minconf(0.7)
             .build()
             .unwrap();
-        let chosen = colarm.explain_analyze(&q).unwrap().report.plan;
+        let chosen = colarm
+            .run(&crate::request::QueryRequest::query(&q).with_analyze(true))
+            .unwrap()
+            .analyze
+            .expect("analyze report present")
+            .plan;
         let other = PlanKind::ALL
             .into_iter()
             .find(|&p| p != chosen)
             .unwrap();
         let forced = colarm
-            .explain_analyze_plan(&q, other, crate::ops::ExecOptions::default())
-            .unwrap();
-        assert_eq!(forced.report.plan, other);
-        assert!(!forced.report.chosen_by_optimizer);
+            .run(
+                &crate::request::QueryRequest::query(&q)
+                    .with_plan(other)
+                    .with_analyze(true),
+            )
+            .unwrap()
+            .analyze
+            .expect("analyze report present");
+        assert_eq!(forced.plan, other);
+        assert!(!forced.chosen_by_optimizer);
     }
 }

@@ -9,9 +9,9 @@ use crate::explain::{AnalyzeReport, AnalyzedAnswer};
 use crate::mip::{MipIndex, MipIndexConfig};
 use crate::ops::ExecOptions;
 use crate::optimizer::{FeedbackLog, Optimizer, PlanChoice};
-use crate::parse::parse_query;
 use crate::plan::{execute_plan, execute_plan_hooked, PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
+use crate::request::{QueryOutcome, QueryRequest};
 use crate::reuse::ColumnStore;
 use colarm_data::{Dataset, FocalSubset};
 use std::sync::Arc;
@@ -24,6 +24,55 @@ pub struct OptimizedAnswer {
     pub answer: QueryAnswer,
     /// The optimizer's decision and all six estimates.
     pub choice: PlanChoice,
+}
+
+/// What one [`Colarm::run_inner`] execution produced, before it is shaped
+/// for a caller: the answer, the optimizer's decision, and (for analyze
+/// runs) the `EXPLAIN ANALYZE` report. Internal — public surfaces convert
+/// it to [`QueryOutcome`] or the legacy answer types.
+#[derive(Debug, Clone)]
+pub(crate) struct RunOutput {
+    pub(crate) answer: QueryAnswer,
+    pub(crate) choice: PlanChoice,
+    pub(crate) report: Option<AnalyzeReport>,
+}
+
+impl RunOutput {
+    /// Shape for the unified API: decompose the answer, attach the
+    /// requested extras.
+    pub(crate) fn into_outcome(
+        self,
+        include_trace: bool,
+        session: Option<crate::session::SessionStats>,
+    ) -> QueryOutcome {
+        QueryOutcome {
+            plan: self.answer.plan,
+            subset_size: self.answer.subset_size,
+            rules: self.answer.rules,
+            choice: Some(self.choice),
+            trace: include_trace.then_some(self.answer.trace),
+            analyze: self.report,
+            session,
+        }
+    }
+
+    /// Shape for the legacy execute* surface.
+    pub(crate) fn into_optimized(self) -> OptimizedAnswer {
+        OptimizedAnswer {
+            answer: self.answer,
+            choice: self.choice,
+        }
+    }
+
+    /// Shape for the legacy explain_analyze* surface. Panics if the run
+    /// was not an analyze run.
+    pub(crate) fn into_analyzed(self) -> AnalyzedAnswer {
+        AnalyzedAnswer {
+            answer: self.answer,
+            choice: self.choice,
+            report: self.report.expect("analyze run carries a report"),
+        }
+    }
 }
 
 /// The COLARM system: a MIP-index, a calibrated cost-based optimizer, and
@@ -109,56 +158,49 @@ impl Colarm {
         Ok(subset)
     }
 
-    /// Online phase: pick the cheapest plan and execute it.
-    pub fn execute(&self, query: &LocalizedQuery) -> Result<OptimizedAnswer, ColarmError> {
-        let subset = self.prepare(query)?;
-        self.execute_on_subset(query, &subset, ExecOptions::default())
+    /// Run one [`QueryRequest`] — **the** online entry point. Resolves
+    /// the query (text or parsed fields), validates it, lets the
+    /// optimizer pick a plan (or honours the request's override),
+    /// executes under the request's limits, records feedback, and
+    /// returns a [`QueryOutcome`] carrying whatever extras the request
+    /// asked for. Canceled executions propagate
+    /// [`ColarmError::Canceled`] and are never recorded in the feedback
+    /// log (a truncated run would poison calibration).
+    ///
+    /// Every other execution surface — the deprecated method matrix
+    /// ([`crate::compat`]), the CLI, the REPL, and the HTTP
+    /// server — funnels through the same inner path, so answers are
+    /// bit-identical across transports. Session-aware runs go through
+    /// [`crate::QuerySession::run`], which adds cache reuse on that
+    /// path.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryOutcome, ColarmError> {
+        let query = request.resolve(self.index.dataset().schema())?;
+        let subset = self.prepare(&query)?;
+        let out = self.run_inner(
+            &query,
+            &subset,
+            ExecOptions::default().with_metrics(request.metrics),
+            &request.effective_limits(),
+            None,
+            SelectReuse::Fresh,
+            request.plan,
+            request.analyze,
+        )?;
+        Ok(out.into_outcome(request.trace, None))
     }
 
-    /// [`Colarm::execute`] under explicit [`QueryLimits`]: a deadline,
-    /// cost budget, or armed cancel token stops the execution with
-    /// [`ColarmError::Canceled`]. Canceled executions are never recorded
-    /// in the feedback log.
-    pub fn execute_limited(
-        &self,
-        query: &LocalizedQuery,
-        limits: &QueryLimits,
-    ) -> Result<OptimizedAnswer, ColarmError> {
-        let subset = self.prepare(query)?;
-        self.execute_on_subset_limited(query, &subset, ExecOptions::default(), limits)
+    /// Parse and run a query-language string — sugar for [`Colarm::run`]
+    /// with [`QueryRequest::text`].
+    pub fn run_text(&self, text: &str) -> Result<QueryOutcome, ColarmError> {
+        self.run(&QueryRequest::text(text))
     }
 
-    /// [`Colarm::execute`] against an already-resolved subset with explicit
-    /// execution options — the path sessions use to reuse cached subsets.
-    /// The subset must come from this system's [`Colarm::prepare`].
-    pub fn execute_on_subset(
-        &self,
-        query: &LocalizedQuery,
-        subset: &FocalSubset,
-        opts: ExecOptions,
-    ) -> Result<OptimizedAnswer, ColarmError> {
-        self.execute_on_subset_limited(query, subset, opts, &QueryLimits::none())
-    }
-
-    /// [`Colarm::execute_on_subset`] under explicit [`QueryLimits`].
-    /// Canceled executions propagate the error and never land in the
-    /// feedback log (a truncated run would poison calibration).
-    pub fn execute_on_subset_limited(
-        &self,
-        query: &LocalizedQuery,
-        subset: &FocalSubset,
-        opts: ExecOptions,
-        limits: &QueryLimits,
-    ) -> Result<OptimizedAnswer, ColarmError> {
-        self.execute_on_subset_hooked(query, subset, opts, limits, None, SelectReuse::Fresh)
-    }
-
-    /// [`Colarm::execute_on_subset_limited`] with the session hooks: an
-    /// optional [`ColumnStore`] serving the ARM plan's SELECT from cached
-    /// materializations, and a [`SelectReuse`] hint telling the optimizer
-    /// how that SELECT would actually be served. Rules and traces are
-    /// bit-identical to the hookless path.
-    pub fn execute_on_subset_hooked(
+    /// The single execution path every surface funnels through:
+    /// reuse-aware plan choice, the Unrestricted→ARM coercion, the
+    /// optional forced plan, hooked execution under limits, feedback
+    /// recording, and (for analyze runs) the `EXPLAIN ANALYZE` report.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_inner(
         &self,
         query: &LocalizedQuery,
         subset: &FocalSubset,
@@ -166,7 +208,9 @@ impl Colarm {
         limits: &QueryLimits,
         store: Option<&dyn ColumnStore>,
         reuse: SelectReuse,
-    ) -> Result<OptimizedAnswer, ColarmError> {
+        plan_override: Option<PlanKind>,
+        analyze: bool,
+    ) -> Result<RunOutput, ColarmError> {
         let mut choice = self
             .optimizer
             .choose_with_reuse(&self.index, query, subset, reuse);
@@ -175,25 +219,51 @@ impl Colarm {
             // threshold; the optimizer's estimates stay informational.
             choice.chosen = PlanKind::Arm;
         }
-        let answer =
-            execute_plan_hooked(&self.index, query, subset, choice.chosen, opts, limits, store)?;
+        if let Some(plan) = plan_override {
+            choice.chosen = plan;
+        }
         let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
+        if !analyze {
+            let answer = execute_plan_hooked(
+                &self.index,
+                query,
+                subset,
+                choice.chosen,
+                opts,
+                limits,
+                store,
+            )?;
+            self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
+            return Ok(RunOutput {
+                answer,
+                choice,
+                report: None,
+            });
+        }
+        let pool_before = colarm_data::par::pool_stats();
+        let answer = execute_plan_hooked(
+            &self.index,
+            query,
+            subset,
+            choice.chosen,
+            opts.with_metrics(true),
+            limits,
+            store,
+        )?;
+        let pool = colarm_data::par::pool_stats().delta_since(&pool_before);
         self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
-        Ok(OptimizedAnswer { answer, choice })
-    }
-
-    /// Execute a specific plan (experiments, ablations).
-    pub fn execute_with_plan(
-        &self,
-        query: &LocalizedQuery,
-        plan: PlanKind,
-    ) -> Result<QueryAnswer, ColarmError> {
-        let subset = self.prepare(query)?;
-        let choice = self.optimizer.choose(&self.index, query, &subset);
-        let answer = execute_plan(&self.index, query, &subset, plan)?;
-        self.feedback
-            .record(query, &choice, &answer, plan == choice.chosen);
-        Ok(answer)
+        let report = AnalyzeReport::new(
+            &answer,
+            &choice,
+            query.minsupp_count(subset.len()),
+            chosen_by_optimizer,
+            pool,
+        );
+        Ok(RunOutput {
+            answer,
+            choice,
+            report: Some(report),
+        })
     }
 
     /// Execute all six plans on one query (the §5.1 experiment shape).
@@ -215,139 +285,6 @@ impl Colarm {
                 Ok(answer)
             })
             .collect()
-    }
-
-    /// `EXPLAIN ANALYZE`: execute the optimizer's chosen plan with metrics
-    /// reporting on and return the per-operator predicted-vs-actual
-    /// report alongside the answer.
-    pub fn explain_analyze(&self, query: &LocalizedQuery) -> Result<AnalyzedAnswer, ColarmError> {
-        self.explain_analyze_with(query, ExecOptions::default())
-    }
-
-    /// [`Colarm::explain_analyze`] with explicit execution options
-    /// (metrics reporting is forced on regardless of `opts.metrics`).
-    pub fn explain_analyze_with(
-        &self,
-        query: &LocalizedQuery,
-        opts: ExecOptions,
-    ) -> Result<AnalyzedAnswer, ColarmError> {
-        let subset = self.prepare(query)?;
-        self.explain_analyze_on_subset(query, &subset, opts)
-    }
-
-    /// [`Colarm::explain_analyze_with`] against an already-resolved subset
-    /// — the path sessions use to reuse cached subsets. The subset must
-    /// come from this system's [`Colarm::prepare`].
-    pub fn explain_analyze_on_subset(
-        &self,
-        query: &LocalizedQuery,
-        subset: &FocalSubset,
-        opts: ExecOptions,
-    ) -> Result<AnalyzedAnswer, ColarmError> {
-        self.explain_analyze_on_subset_limited(query, subset, opts, &QueryLimits::none())
-    }
-
-    /// [`Colarm::explain_analyze_on_subset`] under explicit
-    /// [`QueryLimits`]. A canceled analysis propagates the error; nothing
-    /// is recorded.
-    pub fn explain_analyze_on_subset_limited(
-        &self,
-        query: &LocalizedQuery,
-        subset: &FocalSubset,
-        opts: ExecOptions,
-        limits: &QueryLimits,
-    ) -> Result<AnalyzedAnswer, ColarmError> {
-        self.explain_analyze_on_subset_hooked(query, subset, opts, limits, None, SelectReuse::Fresh)
-    }
-
-    /// [`Colarm::explain_analyze_on_subset_limited`] with the session
-    /// hooks (see [`Colarm::execute_on_subset_hooked`]): the report's
-    /// estimates then price SELECT the way the cache will actually serve
-    /// it, and its metrics reveal cache hits and derivations.
-    pub fn explain_analyze_on_subset_hooked(
-        &self,
-        query: &LocalizedQuery,
-        subset: &FocalSubset,
-        opts: ExecOptions,
-        limits: &QueryLimits,
-        store: Option<&dyn ColumnStore>,
-        reuse: SelectReuse,
-    ) -> Result<AnalyzedAnswer, ColarmError> {
-        let mut choice = self
-            .optimizer
-            .choose_with_reuse(&self.index, query, subset, reuse);
-        if query.semantics == crate::query::Semantics::Unrestricted {
-            choice.chosen = PlanKind::Arm;
-        }
-        let chosen_by_optimizer = choice.chosen == choice.estimates[0].plan;
-        self.analyze_on_subset(query, subset, choice, chosen_by_optimizer, opts, limits, store)
-    }
-
-    /// `EXPLAIN ANALYZE` for a specific (possibly non-optimal) plan — the
-    /// tool for inspecting exactly where a passed-over plan spends its
-    /// time.
-    pub fn explain_analyze_plan(
-        &self,
-        query: &LocalizedQuery,
-        plan: PlanKind,
-        opts: ExecOptions,
-    ) -> Result<AnalyzedAnswer, ColarmError> {
-        let subset = self.prepare(query)?;
-        let mut choice = self.optimizer.choose(&self.index, query, &subset);
-        let chosen_by_optimizer = plan == choice.chosen;
-        choice.chosen = plan;
-        self.analyze_on_subset(
-            query,
-            &subset,
-            choice,
-            chosen_by_optimizer,
-            opts,
-            &QueryLimits::none(),
-            None,
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn analyze_on_subset(
-        &self,
-        query: &LocalizedQuery,
-        subset: &FocalSubset,
-        choice: PlanChoice,
-        chosen_by_optimizer: bool,
-        opts: ExecOptions,
-        limits: &QueryLimits,
-        store: Option<&dyn ColumnStore>,
-    ) -> Result<AnalyzedAnswer, ColarmError> {
-        let pool_before = colarm_data::par::pool_stats();
-        let answer = execute_plan_hooked(
-            &self.index,
-            query,
-            subset,
-            choice.chosen,
-            opts.with_metrics(true),
-            limits,
-            store,
-        )?;
-        let pool = colarm_data::par::pool_stats().delta_since(&pool_before);
-        self.feedback.record(query, &choice, &answer, chosen_by_optimizer);
-        let report = AnalyzeReport::new(
-            &answer,
-            &choice,
-            query.minsupp_count(subset.len()),
-            chosen_by_optimizer,
-            pool,
-        );
-        Ok(AnalyzedAnswer {
-            answer,
-            choice,
-            report,
-        })
-    }
-
-    /// Parse and execute a query-language string.
-    pub fn execute_text(&self, text: &str) -> Result<OptimizedAnswer, ColarmError> {
-        let query = parse_query(text, self.index.dataset().schema())?;
-        self.execute(&query)
     }
 
     /// Calibrate the cost model's unit constants by executing the sample
@@ -435,12 +372,11 @@ mod tests {
             .minconf(0.9)
             .build()
             .unwrap();
-        let out = colarm.execute(&query).unwrap();
-        assert_eq!(out.answer.subset_size, 4);
+        let out = colarm.run(&QueryRequest::query(&query)).unwrap();
+        assert_eq!(out.subset_size, 4);
         // RL = (Age=30-40 → Salary=90K-120K) at 75% / 100%.
         let a1 = schema.encode_named("Age", "30-40").unwrap();
         let rl = out
-            .answer
             .rules
             .iter()
             .find(|r| r.antecedent.contains(a1))
@@ -448,8 +384,9 @@ mod tests {
         assert!((rl.support() - 0.75).abs() < 1e-12);
         assert!((rl.confidence() - 1.0).abs() < 1e-12);
         // The optimizer's decision covers all six plans.
-        assert_eq!(out.choice.estimates.len(), 6);
-        assert_eq!(out.answer.plan, out.choice.chosen);
+        let choice = out.choice.as_ref().unwrap();
+        assert_eq!(choice.estimates.len(), 6);
+        assert_eq!(out.plan, choice.chosen);
     }
 
     #[test]
@@ -457,7 +394,7 @@ mod tests {
         let colarm = system();
         let schema = colarm.index().dataset().schema().clone();
         let via_text = colarm
-            .execute_text(
+            .run_text(
                 "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
                  WHERE RANGE Location = (Seattle), Gender = (F) \
                  HAVING minsupport = 75% AND minconfidence = 90%;",
@@ -472,8 +409,8 @@ mod tests {
             .minconf(0.9)
             .build()
             .unwrap();
-        let via_builder = colarm.execute(&query).unwrap();
-        assert_eq!(via_text.answer.rules, via_builder.answer.rules);
+        let via_builder = colarm.run(&QueryRequest::query(&query)).unwrap();
+        assert_eq!(via_text.rules, via_builder.rules);
     }
 
     #[test]
@@ -502,7 +439,7 @@ mod tests {
     fn errors_propagate() {
         let colarm = system();
         assert!(matches!(
-            colarm.execute_text("DELETE EVERYTHING"),
+            colarm.run_text("DELETE EVERYTHING"),
             Err(ColarmError::QueryParse { .. })
         ));
         assert!(matches!(
@@ -519,7 +456,7 @@ mod tests {
             semantics: crate::query::Semantics::Strict,
         };
         assert!(matches!(
-            colarm.execute(&bad),
+            colarm.run(&QueryRequest::query(&bad)),
             Err(ColarmError::InvalidThreshold { .. })
         ));
     }
@@ -536,7 +473,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(colarm.feedback().is_empty());
-        colarm.execute(&query).unwrap();
+        colarm.run(&QueryRequest::query(&query)).unwrap();
         assert_eq!(colarm.feedback().len(), 1);
         let entry = &colarm.feedback().snapshot()[0];
         assert!(entry.chosen_by_optimizer);
@@ -546,7 +483,9 @@ mod tests {
         // the optimizer's pick.
         let chosen = entry.chosen;
         let other = PlanKind::ALL.into_iter().find(|&p| p != chosen).unwrap();
-        colarm.execute_with_plan(&query, other).unwrap();
+        colarm
+            .run(&QueryRequest::query(&query).with_plan(other))
+            .unwrap();
         assert_eq!(colarm.feedback().len(), 2);
         assert!(!colarm.feedback().snapshot()[1].chosen_by_optimizer);
         // Real-traffic calibration consumes the recorded observations.
@@ -567,9 +506,11 @@ mod tests {
             .minconf(0.7)
             .build()
             .unwrap();
-        let out = colarm.execute(&query).unwrap();
+        let out = colarm
+            .run(&QueryRequest::query(&query).with_trace(true))
+            .unwrap();
         let entry = &colarm.feedback().snapshot()[0];
-        assert_eq!(entry.total_units(), out.answer.trace.total_units());
+        assert_eq!(entry.total_units(), out.trace.unwrap().total_units());
     }
 
     #[test]
@@ -589,7 +530,7 @@ mod tests {
                         .minconf(0.7)
                         .build()
                         .unwrap();
-                    colarm.execute(&q).unwrap().answer.rules.len()
+                    colarm.run(&QueryRequest::query(&q)).unwrap().rules.len()
                 })
             })
             .collect();

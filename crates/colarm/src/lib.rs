@@ -33,16 +33,17 @@
 //!
 //! // Online: localized rules for female employees in Seattle.
 //! let out = colarm
-//!     .execute_text(
+//!     .run_text(
 //!         "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
 //!          WHERE RANGE Location = (Seattle), Gender = (F) \
 //!          HAVING minsupport = 75% AND minconfidence = 90%;",
 //!     )
 //!     .unwrap();
-//! assert!(!out.answer.rules.is_empty()); // RL = (Age=30-40 → Salary=90K-120K)
+//! assert!(!out.rules.is_empty()); // RL = (Age=30-40 → Salary=90K-120K)
 //! ```
 
 pub mod advisor;
+pub mod compat;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -57,7 +58,9 @@ pub mod persist;
 pub mod parse;
 pub mod plan;
 pub mod query;
+pub mod request;
 pub mod reuse;
+pub mod server;
 pub mod session;
 
 pub use cost::{CostEstimate, CostTerm, SelectReuse};
@@ -77,6 +80,8 @@ pub use plan::{
     PlanKind, QueryAnswer,
 };
 pub use query::{LocalizedQuery, Semantics};
+pub use request::{QueryOutcome, QueryRequest};
+pub use server::{ColarmServer, Clock, MockClock, ServerConfig, SystemClock};
 pub use reuse::{ColumnReuse, ColumnStore};
 pub use session::{QuerySession, SessionConfig, SessionStats};
 

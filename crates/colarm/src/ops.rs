@@ -120,8 +120,36 @@ impl serde::Serialize for OpKind {
     }
 }
 
-/// Instrumentation for one operator execution.
-#[derive(Debug, Clone, PartialEq)]
+impl OpKind {
+    /// The inverse of [`OpKind::name`] — resolves the wire name string
+    /// back to the typed operator.
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+// The typed key deserializes from the same name strings it serializes
+// as, so analyze reports and wire traces round-trip through JSON.
+impl<'de> serde::Deserialize<'de> for OpKind {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = OpKind;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("an operator name string")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<OpKind, E> {
+                OpKind::from_name(v)
+                    .ok_or_else(|| E::custom(format!("unknown operator name `{v}`")))
+            }
+        }
+        deserializer.deserialize_str(V)
+    }
+}
+
+/// Instrumentation for one operator execution. Part of the server wire
+/// format (`QueryOutcome::trace`), so the field names are wire-stable.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OpTrace {
     /// Which operator ran (its [`OpKind::name`] matches the cost model's
     /// term names).

@@ -19,11 +19,12 @@ use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
 use colarm_data::FocalSubset;
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// The optimizer's decision for one query.
-#[derive(Debug, Clone)]
+/// The optimizer's decision for one query. Part of the server wire
+/// format (`QueryOutcome::choice`), so the field names are wire-stable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlanChoice {
     /// The plan with the lowest estimated cost.
     pub chosen: PlanKind,

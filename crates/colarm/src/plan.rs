@@ -96,8 +96,10 @@ impl std::fmt::Display for PlanKind {
     }
 }
 
-/// Per-operator instrumentation of one plan execution.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// Per-operator instrumentation of one plan execution. Part of the
+/// server wire format (`QueryOutcome::trace`), so the field names are
+/// wire-stable.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ExecutionTrace {
     /// Operator traces in pipeline order.
     pub ops: Vec<OpTrace>,
@@ -134,7 +136,7 @@ impl ExecutionTrace {
 }
 
 /// The answer to a localized mining query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryAnswer {
     /// The plan that produced the answer.
     pub plan: PlanKind,

@@ -12,11 +12,17 @@
 //! Queries can be built fluently ([`LocalizedQuery::builder`]) or parsed
 //! from the paper's query language ([`crate::parse::parse_query`]).
 
+use crate::engine::QueryLimits;
 use crate::error::ColarmError;
+use crate::plan::PlanKind;
+use crate::request::QueryRequest;
 use colarm_data::{AttributeId, RangeSpec, Schema};
+use serde::{Deserialize, Serialize};
 
 /// Output contract of a localized mining query (see DESIGN.md).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+/// Serializes as the bare variant name (`"Strict"` / `"Unrestricted"`) —
+/// part of the [`crate::request::QueryRequest`] wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Semantics {
     /// Rules whose bodies are the non-redundant localized itemsets:
     /// closed within the focal subset's `Aitem` projection, locally
@@ -91,7 +97,14 @@ impl LocalizedQuery {
     }
 }
 
-/// Fluent builder for [`LocalizedQuery`].
+/// Fluent builder for [`LocalizedQuery`] — and, via
+/// [`LocalizedQueryBuilder::build_request`], for a full
+/// [`QueryRequest`]: the run-level knobs (forced plan, limits, the
+/// metrics / analyze / trace flags) are settable right on the builder,
+/// so one fluent chain describes the whole run. [`build`] returns the
+/// bare query and ignores the run-level knobs.
+///
+/// [`build`]: LocalizedQueryBuilder::build
 #[derive(Debug, Clone)]
 pub struct LocalizedQueryBuilder {
     range: RangeSpec,
@@ -99,6 +112,11 @@ pub struct LocalizedQueryBuilder {
     minsupp: f64,
     minconf: f64,
     semantics: Semantics,
+    plan: Option<PlanKind>,
+    limits: Option<QueryLimits>,
+    metrics: bool,
+    analyze: bool,
+    trace: bool,
 }
 
 impl Default for LocalizedQueryBuilder {
@@ -109,6 +127,11 @@ impl Default for LocalizedQueryBuilder {
             minsupp: 0.5,
             minconf: 0.8,
             semantics: Semantics::Strict,
+            plan: None,
+            limits: None,
+            metrics: false,
+            analyze: false,
+            trace: false,
         }
     }
 }
@@ -167,6 +190,62 @@ impl LocalizedQueryBuilder {
     pub fn semantics(mut self, s: Semantics) -> Self {
         self.semantics = s;
         self
+    }
+
+    /// Force this plan instead of the optimizer's pick
+    /// ([`QueryRequest::plan`]; run-level — only [`build_request`]
+    /// carries it).
+    ///
+    /// [`build_request`]: LocalizedQueryBuilder::build_request
+    pub fn plan(mut self, plan: PlanKind) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Bound the run with a deadline / cost budget
+    /// ([`QueryRequest::limits`]; run-level).
+    pub fn limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Report per-operator execution counters
+    /// ([`QueryRequest::metrics`]; run-level).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Return an `EXPLAIN ANALYZE` report ([`QueryRequest::analyze`];
+    /// run-level).
+    pub fn analyze(mut self, on: bool) -> Self {
+        self.analyze = on;
+        self
+    }
+
+    /// Include the execution trace in the outcome
+    /// ([`QueryRequest::trace`]; run-level).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Finish building a full [`QueryRequest`]: the query (checked as in
+    /// [`build`]) plus every run-level knob set on this builder.
+    ///
+    /// [`build`]: LocalizedQueryBuilder::build
+    pub fn build_request(self) -> Result<QueryRequest, ColarmError> {
+        let (plan, limits) = (self.plan, self.limits.clone());
+        let (metrics, analyze, trace) = (self.metrics, self.analyze, self.trace);
+        let query = self.build()?;
+        Ok(QueryRequest {
+            plan,
+            limits,
+            metrics,
+            analyze,
+            trace,
+            ..QueryRequest::query(&query)
+        })
     }
 
     /// Finish building. Fails fast on everything rejectable without a
@@ -280,6 +359,31 @@ mod tests {
             LocalizedQuery::builder().range(empty_range).build(),
             Err(ColarmError::Data(colarm_data::DataError::EmptyRange(_)))
         ));
+    }
+
+    #[test]
+    fn builder_request_knobs_ride_into_the_request() {
+        let request = LocalizedQuery::builder()
+            .minsupp(0.6)
+            .plan(PlanKind::Arm)
+            .limits(QueryLimits::none().with_budget_units(1e6))
+            .metrics(true)
+            .trace(true)
+            .build_request()
+            .unwrap();
+        assert_eq!(request.plan, Some(PlanKind::Arm));
+        assert_eq!(request.limits.as_ref().unwrap().budget_units, Some(1e6));
+        assert!(request.metrics && request.trace && !request.analyze);
+        assert_eq!(request.minsupp, Some(0.6));
+        // The run-level knobs never leak into the bare query...
+        let query = LocalizedQuery::builder().plan(PlanKind::Sev).build().unwrap();
+        assert_eq!(query.minsupp, 0.5);
+        // ...and bad thresholds still fail fast on the request path.
+        assert!(LocalizedQuery::builder()
+            .minsupp(0.0)
+            .analyze(true)
+            .build_request()
+            .is_err());
     }
 
     #[test]

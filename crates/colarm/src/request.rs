@@ -1,0 +1,316 @@
+//! The unified query API: one request type in, one outcome type out.
+//!
+//! [`QueryRequest`] describes everything a caller may ask of the system —
+//! the query itself (as query-language text or parsed fields), an optional
+//! forced plan, execution limits, and which extras to return — and
+//! [`QueryOutcome`] carries everything the system can answer with: the
+//! rules, the optimizer's decision, and (on request) the execution trace,
+//! the `EXPLAIN ANALYZE` report, and session cache statistics.
+//!
+//! The pair doubles as the **wire format** of the query server
+//! ([`crate::server`]): both types serialize to JSON, and every transport
+//! — in-process [`crate::Colarm::run`] / [`crate::QuerySession::run`], the
+//! CLI, the REPL, and the HTTP daemon — routes through the same pair, so
+//! answers are bit-identical regardless of how a query arrives.
+//!
+//! `QueryRequest`'s `Deserialize` is hand-written: every field is
+//! optional on the wire (`{}` is a valid request meaning "defaults over
+//! the whole dataset"), and unknown fields are rejected so client typos
+//! (`"minssup"`) fail loudly instead of silently mining at defaults.
+
+use crate::engine::QueryLimits;
+use crate::error::ColarmError;
+use crate::explain::AnalyzeReport;
+use crate::optimizer::PlanChoice;
+use crate::parse::parse_query;
+use crate::plan::{ExecutionTrace, PlanKind};
+use crate::query::{LocalizedQuery, Semantics};
+use crate::session::SessionStats;
+use colarm_data::{AttributeId, RangeSpec, Schema};
+use colarm_mine::rules::Rule;
+use serde::{Deserialize, Serialize};
+
+/// One localized-mining request, self-describing and transport-agnostic.
+///
+/// The query can arrive two ways, composable in one request:
+///
+/// * `text` — a query-language string (`REPORT LOCALIZED ASSOCIATION
+///   RULES …`), parsed against the index's schema;
+/// * the parsed fields (`range`, `item_attrs`, `minsupp`, `minconf`,
+///   `semantics`) — each, when present, **overrides** the corresponding
+///   parsed-text value (or the builder default when there is no text).
+///
+/// Everything else tunes the run: `plan` forces a specific plan instead
+/// of the optimizer's pick, `limits` bounds the execution, and the three
+/// flags select which extras ride back on the [`QueryOutcome`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct QueryRequest {
+    /// Query-language text, parsed first when present.
+    pub text: Option<String>,
+    /// Focal-range selections (`Arange`); overrides the text's `RANGE`.
+    pub range: Option<RangeSpec>,
+    /// Attributes allowed to compose rules (`Aitem`).
+    pub item_attrs: Option<Vec<AttributeId>>,
+    /// Minimum local support in `(0, 1]` (default 0.5).
+    pub minsupp: Option<f64>,
+    /// Minimum local confidence in `(0, 1]` (default 0.8).
+    pub minconf: Option<f64>,
+    /// Output contract (default [`Semantics::Strict`]).
+    pub semantics: Option<Semantics>,
+    /// Force this plan instead of the optimizer's pick. Forced runs
+    /// bypass a session's answer cache so plan comparisons stay honest.
+    pub plan: Option<PlanKind>,
+    /// Deadline / cost budget for this run. Servers clamp these by their
+    /// own caps ([`QueryLimits::clamped`]); the cancel token is
+    /// process-local and never crosses the wire.
+    pub limits: Option<QueryLimits>,
+    /// Report per-operator execution counters in the trace.
+    pub metrics: bool,
+    /// Return an `EXPLAIN ANALYZE` report (forces metrics on; bypasses a
+    /// session's answer cache — the point is to measure an execution).
+    pub analyze: bool,
+    /// Include the per-operator execution trace in the outcome.
+    pub trace: bool,
+}
+
+impl QueryRequest {
+    /// A request from query-language text.
+    pub fn text(text: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            text: Some(text.into()),
+            ..QueryRequest::default()
+        }
+    }
+
+    /// A request from an already-built query.
+    pub fn query(query: &LocalizedQuery) -> QueryRequest {
+        QueryRequest {
+            range: Some(query.range.clone()),
+            item_attrs: query.item_attrs.clone(),
+            minsupp: Some(query.minsupp),
+            minconf: Some(query.minconf),
+            semantics: Some(query.semantics),
+            ..QueryRequest::default()
+        }
+    }
+
+    /// Force a specific plan (experiments, ablations).
+    pub fn with_plan(mut self, plan: PlanKind) -> QueryRequest {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Bound the execution (deadline, cost budget, cancel token).
+    pub fn with_limits(mut self, limits: QueryLimits) -> QueryRequest {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Toggle execution-counter reporting.
+    pub fn with_metrics(mut self, on: bool) -> QueryRequest {
+        self.metrics = on;
+        self
+    }
+
+    /// Toggle the `EXPLAIN ANALYZE` report.
+    pub fn with_analyze(mut self, on: bool) -> QueryRequest {
+        self.analyze = on;
+        self
+    }
+
+    /// Toggle the execution trace in the outcome.
+    pub fn with_trace(mut self, on: bool) -> QueryRequest {
+        self.trace = on;
+        self
+    }
+
+    /// Materialize the [`LocalizedQuery`] this request describes: parse
+    /// `text` if present (builder defaults otherwise), then apply the
+    /// parsed-field overrides. Validation against the schema happens at
+    /// execution ([`crate::Colarm::prepare`]).
+    pub fn resolve(&self, schema: &Schema) -> Result<LocalizedQuery, ColarmError> {
+        let mut query = match &self.text {
+            Some(text) => parse_query(text, schema)?,
+            None => LocalizedQuery::builder()
+                .build()
+                .expect("builder defaults are valid"),
+        };
+        if let Some(range) = &self.range {
+            query.range = range.clone();
+        }
+        if let Some(attrs) = &self.item_attrs {
+            query.item_attrs = Some(attrs.clone());
+        }
+        if let Some(minsupp) = self.minsupp {
+            query.minsupp = minsupp;
+        }
+        if let Some(minconf) = self.minconf {
+            query.minconf = minconf;
+        }
+        if let Some(semantics) = self.semantics {
+            query.semantics = semantics;
+        }
+        Ok(query)
+    }
+
+    /// The effective limits of this request (none when unset).
+    pub(crate) fn effective_limits(&self) -> QueryLimits {
+        self.limits.clone().unwrap_or_default()
+    }
+}
+
+impl From<LocalizedQuery> for QueryRequest {
+    fn from(query: LocalizedQuery) -> QueryRequest {
+        QueryRequest::query(&query)
+    }
+}
+
+impl<'de> Deserialize<'de> for QueryRequest {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = QueryRequest;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a QueryRequest object")
+            }
+
+            fn visit_map<A: serde::de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<QueryRequest, A::Error> {
+                let mut request = QueryRequest::default();
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "text" => request.text = map.next_value()?,
+                        "range" => request.range = map.next_value()?,
+                        "item_attrs" => request.item_attrs = map.next_value()?,
+                        "minsupp" => request.minsupp = map.next_value()?,
+                        "minconf" => request.minconf = map.next_value()?,
+                        "semantics" => request.semantics = map.next_value()?,
+                        "plan" => request.plan = map.next_value()?,
+                        "limits" => request.limits = map.next_value()?,
+                        "metrics" => request.metrics = map.next_value()?,
+                        "analyze" => request.analyze = map.next_value()?,
+                        "trace" => request.trace = map.next_value()?,
+                        other => {
+                            return Err(serde::de::Error::custom(format!(
+                                "unknown QueryRequest field `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(request)
+            }
+        }
+        deserializer.deserialize_map(V)
+    }
+}
+
+/// Everything one run can answer with. The companion of [`QueryRequest`]:
+/// always the rules and the plan that produced them; the optional fields
+/// are present exactly when the request (or transport) asked for them.
+///
+/// Field names are wire-stable (server JSON responses; see the golden
+/// fixtures in `tests/wire_format.rs`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The plan that produced the answer.
+    pub plan: PlanKind,
+    /// `|DQ|`.
+    pub subset_size: usize,
+    /// The localized rules, sorted by (antecedent, consequent).
+    pub rules: Vec<Rule>,
+    /// The optimizer's decision and all six estimates. `None` when no
+    /// optimization ran — the answer came straight from a session's
+    /// answer cache.
+    pub choice: Option<PlanChoice>,
+    /// Per-operator execution trace (`request.trace`).
+    pub trace: Option<ExecutionTrace>,
+    /// `EXPLAIN ANALYZE` report (`request.analyze`).
+    pub analyze: Option<AnalyzeReport>,
+    /// Cache statistics of the session that ran the query (session runs
+    /// only).
+    pub session: Option<SessionStats>,
+}
+
+impl QueryOutcome {
+    /// The plan the optimizer picked, when it ran (differs from
+    /// [`QueryOutcome::plan`] for forced-plan requests).
+    pub fn optimizer_pick(&self) -> Option<PlanKind> {
+        self.choice.as_ref().map(|c| c.estimates[0].plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary_schema;
+
+    #[test]
+    fn empty_object_is_a_default_request() {
+        let request: QueryRequest = serde_json::from_str("{}").unwrap();
+        assert!(request.text.is_none() && request.plan.is_none());
+        assert!(!request.metrics && !request.analyze && !request.trace);
+        let query = request.resolve(&salary_schema()).unwrap();
+        assert!(query.range.is_all());
+        assert_eq!(query.minsupp, 0.5);
+        assert_eq!(query.minconf, 0.8);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = serde_json::from_str::<QueryRequest>(r#"{"minssup": 0.5}"#).unwrap_err();
+        assert!(err.to_string().contains("minssup"), "{err}");
+    }
+
+    #[test]
+    fn parsed_fields_override_text() {
+        let schema = salary_schema();
+        let request = QueryRequest {
+            text: Some(
+                "REPORT LOCALIZED ASSOCIATION RULES FROM Dataset salary \
+                 WHERE RANGE Location = (Seattle) \
+                 HAVING minsupport = 75% AND minconfidence = 90%;"
+                    .into(),
+            ),
+            minconf: Some(0.95),
+            ..QueryRequest::default()
+        };
+        let query = request.resolve(&schema).unwrap();
+        assert_eq!(query.minsupp, 0.75, "text value kept");
+        assert_eq!(query.minconf, 0.95, "override applied");
+        assert!(!query.range.is_all(), "text RANGE kept");
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let schema = salary_schema();
+        let query = LocalizedQuery::builder()
+            .range_named(&schema, "Location", &["Seattle"])
+            .unwrap()
+            .item_attrs_named(&schema, &["Age", "Salary"])
+            .unwrap()
+            .minsupp(0.75)
+            .minconf(0.9)
+            .semantics(Semantics::Unrestricted)
+            .build()
+            .unwrap();
+        let request = QueryRequest::query(&query)
+            .with_plan(PlanKind::Arm)
+            .with_limits(
+                QueryLimits::none().with_timeout(std::time::Duration::from_secs(5)),
+            )
+            .with_metrics(true)
+            .with_trace(true);
+        let json = serde_json::to_string(&request).unwrap();
+        let back: QueryRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.resolve(&schema).unwrap(), query);
+        assert_eq!(back.plan, Some(PlanKind::Arm));
+        assert_eq!(
+            back.limits.as_ref().unwrap().timeout,
+            Some(std::time::Duration::from_secs(5))
+        );
+        assert!(back.metrics && back.trace && !back.analyze);
+    }
+}

@@ -1,0 +1,196 @@
+//! A minimal, dependency-free HTTP/1.1 shell over
+//! [`ColarmServer::handle`].
+//!
+//! Supports exactly what the query protocol needs: request line +
+//! headers, `Content-Length` bodies (no chunked encoding), keep-alive
+//! connections, and JSON responses. One thread per connection — tenancy
+//! is bounded by the server's admission limiter, not by the transport.
+
+use super::{ColarmServer, Response};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Largest accepted request body (16 MiB) — a defensive cap, far above
+/// any real [`crate::QueryRequest`].
+const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Largest accepted request line or header line.
+const MAX_LINE: usize = 64 * 1024;
+
+impl ColarmServer {
+    /// Bind `addr` and serve forever, one thread per connection. Returns
+    /// only on listener failure. Use [`ColarmServer::serve_listener`]
+    /// with a pre-bound listener to learn the ephemeral port first.
+    pub fn serve(self: &Arc<Self>, addr: impl ToSocketAddrs) -> io::Result<()> {
+        self.serve_listener(TcpListener::bind(addr)?)
+    }
+
+    /// Serve connections from an already-bound listener forever.
+    pub fn serve_listener(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let server = self.clone();
+            std::thread::spawn(move || serve_connection(&server, stream));
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection until the peer closes, errors, or sends
+/// `Connection: close`.
+pub fn serve_connection(server: &ColarmServer, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let response = server.handle(&request.method, &request.path, &request.body);
+                let keep_alive = request.keep_alive;
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            // Clean end of connection.
+            Ok(None) => return,
+            Err(ReadError::Io) => return,
+            Err(ReadError::Malformed(message)) => {
+                // Protocol-level garbage: answer once, then hang up (the
+                // framing is unrecoverable).
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(400, "bad_request", &message),
+                    false,
+                );
+                return;
+            }
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+enum ReadError {
+    /// Transport failure or peer hangup — nothing to answer.
+    Io,
+    /// Unframeable request — answer 400 once, then hang up.
+    Malformed(String),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(_: io::Error) -> ReadError {
+        ReadError::Io
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ReadError> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE as u64 + 1)
+        .read_line(&mut line)
+        .map_err(ReadError::from)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_LINE {
+        return Err(ReadError::Malformed("header line too long".into()));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, ReadError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::Malformed(format!(
+            "malformed request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    // Query strings are not part of the protocol; strip them defensively.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(ReadError::Malformed("connection closed mid-headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("malformed header `{line}`")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{value}`")))?;
+            if content_length > MAX_BODY {
+                return Err(ReadError::Malformed("request body too large".into()));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ReadError::Malformed(
+                "chunked requests are not supported; send Content-Length".into(),
+            ));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ReadError::from)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}

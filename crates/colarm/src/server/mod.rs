@@ -1,0 +1,811 @@
+//! The multi-tenant query server: a long-running daemon serving localized
+//! mining queries over HTTP/JSON (`colarm serve`).
+//!
+//! The wire format **is** the unified API: requests are
+//! [`QueryRequest`] JSON, responses are [`QueryOutcome`](crate::QueryOutcome) JSON, and every
+//! query routes through the same [`Colarm::run`] /
+//! [`QuerySession::run`] path as in-process callers — answers are
+//! bit-identical regardless of transport.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Body | Response |
+//! |---|---|---|
+//! | `GET /health` | — | `{"status":"ok"}` |
+//! | `GET /stats` | — | server counters |
+//! | `POST /sessions` | `{}` or `{"id":"…"}` | `{"id":"…"}` (201) |
+//! | `GET /sessions/{id}` | — | [`SessionStats`] |
+//! | `DELETE /sessions/{id}` | — | `{"evicted":true}` |
+//! | `POST /query` | [`QueryRequest`] | [`QueryOutcome`](crate::QueryOutcome) |
+//! | `POST /sessions/{id}/query` | [`QueryRequest`] | [`QueryOutcome`](crate::QueryOutcome) |
+//!
+//! Session queries hit the session's subset / answer / column caches, so
+//! an interactive drill-down served over HTTP reuses derivations exactly
+//! like an in-process [`QuerySession`]. Sessions are **tenants**: each
+//! holds bounded caches ([`SessionConfig`]), idles out after
+//! [`ServerConfig::idle_ttl`], and the registry evicts
+//! least-recently-used sessions beyond [`ServerConfig::max_sessions`] —
+//! both deterministically (recency stamps are unique).
+//!
+//! ## Errors and admission
+//!
+//! Failures are structured JSON — `{"error":{"code":…,"message":…}}` —
+//! with the stable machine-readable [`ColarmError::code`] taxonomy:
+//! invalid queries map to 400, canceled/timed-out runs to 408, unknown
+//! sessions to 404, snapshot corruption to 500. A semaphore-style
+//! [`ServerConfig::max_concurrency`] limiter bounds in-flight queries;
+//! beyond it the server **rejects** with 429/`overloaded` instead of
+//! queueing, so saturation degrades loudly rather than deadlocks.
+//!
+//! The request/response core ([`ColarmServer::handle`]) is
+//! transport-independent and fully testable without sockets; the
+//! hand-rolled HTTP/1.1 layer ([`http`]) is a thin shell over it.
+
+pub mod http;
+
+use crate::error::ColarmError;
+use crate::framework::Colarm;
+use crate::request::QueryRequest;
+use crate::session::{QuerySession, SessionConfig, SessionStats};
+use parking_lot::Mutex;
+use serde_json::json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The server's notion of time, in milliseconds since server start.
+/// Injected so idle-TTL eviction is deterministic under test
+/// ([`MockClock`]); production uses the monotonic [`SystemClock`].
+pub trait Clock: Send + Sync {
+    /// Milliseconds elapsed since the clock was created.
+    fn now_ms(&self) -> u64;
+}
+
+/// Monotonic wall-clock time ([`Instant`]-based, immune to system clock
+/// steps).
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for deterministic eviction tests: time moves
+/// only when [`MockClock::advance_ms`] is called.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now_ms: AtomicU64,
+}
+
+impl MockClock {
+    /// A clock frozen at 0 ms.
+    pub fn new() -> Arc<MockClock> {
+        Arc::new(MockClock::default())
+    }
+
+    /// Advance time by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+}
+
+/// Capacity and policy knobs of one server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum live sessions; the stamp-LRU session is evicted to admit
+    /// a new one beyond this (default 64).
+    pub max_sessions: usize,
+    /// A session untouched for this long is evicted at the next registry
+    /// operation (default 15 minutes).
+    pub idle_ttl: Duration,
+    /// Maximum concurrently executing queries; excess requests are
+    /// rejected with 429 (default 8). Admission control, not a queue.
+    pub max_concurrency: usize,
+    /// Server-wide cap on per-request deadlines: the effective deadline
+    /// is `min(request, cap)` (default none).
+    pub timeout_cap: Option<Duration>,
+    /// Server-wide cap on per-request cost budgets (default none).
+    pub budget_cap: Option<f64>,
+    /// Cache bounds of each tenant session.
+    pub session: SessionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            idle_ttl: Duration::from_secs(15 * 60),
+            max_concurrency: 8,
+            timeout_cap: None,
+            budget_cap: None,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// Semaphore-style admission limiter: `try_acquire` either hands out a
+/// permit (returned on drop) or refuses immediately — it never blocks,
+/// so a saturated server rejects instead of deadlocking.
+#[derive(Debug)]
+struct Limiter {
+    available: AtomicUsize,
+}
+
+impl Limiter {
+    fn new(permits: usize) -> Limiter {
+        Limiter {
+            available: AtomicUsize::new(permits),
+        }
+    }
+
+    fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut current = self.available.load(Ordering::Acquire);
+        loop {
+            if current == 0 {
+                return None;
+            }
+            match self.available.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(Permit { limiter: self }),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn in_use(&self, capacity: usize) -> usize {
+        capacity.saturating_sub(self.available.load(Ordering::Acquire))
+    }
+}
+
+struct Permit<'a> {
+    limiter: &'a Limiter,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.limiter.available.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// One tenant in the registry: the session plus its recency bookkeeping.
+struct SessionEntry {
+    session: Arc<QuerySession>,
+    /// Last touch, clock milliseconds — the idle-TTL quantity.
+    last_used_ms: u64,
+    /// Unique monotonic touch stamp breaking same-millisecond LRU ties,
+    /// so eviction order never depends on map iteration order.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: HashMap<String, SessionEntry>,
+    next_stamp: u64,
+    next_auto_id: u64,
+    created: u64,
+    evicted_idle: u64,
+    evicted_lru: u64,
+}
+
+impl RegistryInner {
+    /// Drop every session idle for the full TTL. Runs at each registry
+    /// operation, so expiry is observed deterministically at the next
+    /// access — there is no background sweeper thread to race against.
+    fn sweep(&mut self, now_ms: u64, ttl_ms: u64) {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now_ms.saturating_sub(e.last_used_ms) < ttl_ms);
+        self.evicted_idle += (before - self.entries.len()) as u64;
+    }
+
+    /// Evict the least-recently-used session (smallest `(last_used_ms,
+    /// stamp)`; stamps are unique, so the pick is deterministic).
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| (e.last_used_ms, e.stamp))
+            .map(|(id, _)| id.clone());
+        if let Some(id) = victim {
+            self.entries.remove(&id);
+            self.evicted_lru += 1;
+        }
+    }
+
+    fn touch(&mut self, id: &str, now_ms: u64) -> Option<Arc<QuerySession>> {
+        let stamp = self.next_stamp;
+        let entry = self.entries.get_mut(id)?;
+        self.next_stamp += 1;
+        entry.last_used_ms = now_ms;
+        entry.stamp = stamp;
+        Some(entry.session.clone())
+    }
+}
+
+/// A transport-independent HTTP-shaped response: status code plus a JSON
+/// body. The [`http`] layer adds the protocol framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body (always an object).
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, value: &serde_json::Value) -> Response {
+        Response {
+            status,
+            body: serde_json::to_string(value).expect("JSON value serializes"),
+        }
+    }
+
+    fn error(status: u16, code: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            &json!({"error": json!({"code": code, "message": message})}),
+        )
+    }
+
+    fn from_colarm_error(err: &ColarmError) -> Response {
+        let status = match err {
+            ColarmError::Canceled { .. } => 408,
+            ColarmError::Snapshot { .. } => 500,
+            _ => 400,
+        };
+        Response::error(status, err.code(), &err.to_string())
+    }
+}
+
+/// The multi-tenant query server core: a shared [`Colarm`], the session
+/// registry, and the admission limiter. Transport-free — the HTTP layer
+/// ([`ColarmServer::serve`]) and tests both drive
+/// [`ColarmServer::handle`].
+pub struct ColarmServer {
+    colarm: Arc<Colarm>,
+    config: ServerConfig,
+    clock: Arc<dyn Clock>,
+    registry: Mutex<RegistryInner>,
+    limiter: Limiter,
+    queries: AtomicU64,
+    query_errors: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ColarmServer {
+    /// A server over a shared system, timed by the monotonic
+    /// [`SystemClock`].
+    pub fn new(colarm: Arc<Colarm>, config: ServerConfig) -> Arc<ColarmServer> {
+        ColarmServer::with_clock(colarm, config, Arc::new(SystemClock::default()))
+    }
+
+    /// A server with an injected [`Clock`] (deterministic TTL tests).
+    pub fn with_clock(
+        colarm: Arc<Colarm>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<ColarmServer> {
+        let limiter = Limiter::new(config.max_concurrency.max(1));
+        Arc::new(ColarmServer {
+            colarm,
+            config,
+            clock,
+            registry: Mutex::new(RegistryInner::default()),
+            limiter,
+            queries: AtomicU64::new(0),
+            query_errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared system this server queries.
+    pub fn colarm(&self) -> &Arc<Colarm> {
+        &self.colarm
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    fn ttl_ms(&self) -> u64 {
+        u64::try_from(self.config.idle_ttl.as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Create a session — client-chosen id, or a generated `s1`, `s2`, …
+    /// Sweeps expired tenants first, then evicts the LRU tenant if the
+    /// registry is full. An id already in use is a 409.
+    pub fn create_session(&self, id: Option<String>) -> Result<String, Response> {
+        let now = self.clock.now_ms();
+        let mut inner = self.registry.lock();
+        inner.sweep(now, self.ttl_ms());
+        let id = match id {
+            Some(id) if id.is_empty() || id.len() > 128 || id.contains('/') => {
+                return Err(Response::error(
+                    400,
+                    "bad_session_id",
+                    "session ids are 1-128 characters with no '/'",
+                ))
+            }
+            Some(id) => {
+                if inner.entries.contains_key(&id) {
+                    return Err(Response::error(
+                        409,
+                        "session_exists",
+                        &format!("session `{id}` already exists"),
+                    ));
+                }
+                id
+            }
+            None => loop {
+                inner.next_auto_id += 1;
+                let candidate = format!("s{}", inner.next_auto_id);
+                if !inner.entries.contains_key(&candidate) {
+                    break candidate;
+                }
+            },
+        };
+        while self.config.max_sessions > 0 && inner.entries.len() >= self.config.max_sessions {
+            inner.evict_lru();
+        }
+        let session = Arc::new(QuerySession::with_config(
+            self.colarm.clone(),
+            self.config.session,
+        ));
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.created += 1;
+        inner.entries.insert(
+            id.clone(),
+            SessionEntry {
+                session,
+                last_used_ms: now,
+                stamp,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Look up a session, refreshing its recency. Expired sessions are
+    /// swept first, so an access past the idle TTL deterministically
+    /// finds nothing.
+    pub fn session(&self, id: &str) -> Option<Arc<QuerySession>> {
+        let now = self.clock.now_ms();
+        let mut inner = self.registry.lock();
+        inner.sweep(now, self.ttl_ms());
+        inner.touch(id, now)
+    }
+
+    /// Evict a session explicitly. Returns whether it existed.
+    pub fn evict_session(&self, id: &str) -> bool {
+        let now = self.clock.now_ms();
+        let mut inner = self.registry.lock();
+        inner.sweep(now, self.ttl_ms());
+        inner.entries.remove(id).is_some()
+    }
+
+    /// Live session count (after sweeping expired tenants).
+    pub fn session_count(&self) -> usize {
+        let mut inner = self.registry.lock();
+        inner.sweep(self.clock.now_ms(), self.ttl_ms());
+        inner.entries.len()
+    }
+
+    /// Cache statistics of one session (refreshes its recency).
+    pub fn session_stats(&self, id: &str) -> Option<SessionStats> {
+        self.session(id).map(|s| s.stats())
+    }
+
+    /// Route one request. `body` is the raw request body (JSON where the
+    /// endpoint takes one; an empty body reads as `{}`).
+    pub fn handle(&self, method: &str, path: &str, body: &[u8]) -> Response {
+        match (method, path) {
+            ("GET", "/health") => Response::json(200, &json!({"status": "ok"})),
+            ("GET", "/stats") => self.handle_stats(),
+            ("POST", "/sessions") => self.handle_create_session(body),
+            ("POST", "/query") => self.handle_query(None, body),
+            _ => {
+                if let Some(rest) = path.strip_prefix("/sessions/") {
+                    return self.handle_session_route(method, rest, body);
+                }
+                Response::error(404, "not_found", &format!("no route for {method} {path}"))
+            }
+        }
+    }
+
+    fn handle_session_route(&self, method: &str, rest: &str, body: &[u8]) -> Response {
+        if let Some(id) = rest.strip_suffix("/query") {
+            return match method {
+                "POST" => self.handle_query(Some(id), body),
+                _ => Response::error(405, "method_not_allowed", "use POST for queries"),
+            };
+        }
+        if rest.contains('/') {
+            return Response::error(404, "not_found", &format!("no route for /sessions/{rest}"));
+        }
+        match method {
+            "GET" => match self.session_stats(rest) {
+                Some(stats) => Response::json(200, &json!(stats)),
+                None => Response::error(
+                    404,
+                    "session_not_found",
+                    &format!("no session `{rest}` (evicted or never created)"),
+                ),
+            },
+            "DELETE" => {
+                if self.evict_session(rest) {
+                    Response::json(200, &json!({"evicted": true}))
+                } else {
+                    Response::error(
+                        404,
+                        "session_not_found",
+                        &format!("no session `{rest}` (evicted or never created)"),
+                    )
+                }
+            }
+            _ => Response::error(405, "method_not_allowed", "use GET or DELETE on a session"),
+        }
+    }
+
+    fn handle_create_session(&self, body: &[u8]) -> Response {
+        let id = if body.is_empty() {
+            None
+        } else {
+            let parsed: serde_json::Value = match parse_body(body) {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            match parsed.get("id") {
+                None => None,
+                Some(v) => match v.as_str() {
+                    Some(s) => Some(s.to_string()),
+                    None => {
+                        return Response::error(400, "bad_request", "`id` must be a string")
+                    }
+                },
+            }
+        };
+        match self.create_session(id) {
+            Ok(id) => Response::json(201, &json!({"id": id})),
+            Err(resp) => resp,
+        }
+    }
+
+    fn handle_query(&self, session_id: Option<&str>, body: &[u8]) -> Response {
+        let Some(_permit) = self.limiter.try_acquire() else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::error(
+                429,
+                "overloaded",
+                "server at max concurrent queries; retry later",
+            );
+        };
+        let mut request: QueryRequest = if body.is_empty() {
+            QueryRequest::default()
+        } else {
+            match parse_body(body) {
+                Ok(request) => request,
+                Err(resp) => return resp,
+            }
+        };
+        // Server-wide caps bound every request's limits; a request with
+        // no limits of its own still inherits the caps.
+        if self.config.timeout_cap.is_some() || self.config.budget_cap.is_some() {
+            request.limits = Some(
+                request
+                    .effective_limits()
+                    .clamped(self.config.timeout_cap, self.config.budget_cap),
+            );
+        }
+        let outcome = match session_id {
+            None => self.colarm.run(&request),
+            Some(id) => match self.session(id) {
+                None => {
+                    return Response::error(
+                        404,
+                        "session_not_found",
+                        &format!("no session `{id}` (evicted or never created)"),
+                    )
+                }
+                Some(session) => session.run(&request),
+            },
+        };
+        match outcome {
+            Ok(outcome) => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, &json!(outcome))
+            }
+            Err(err) => {
+                self.query_errors.fetch_add(1, Ordering::Relaxed);
+                Response::from_colarm_error(&err)
+            }
+        }
+    }
+
+    fn handle_stats(&self) -> Response {
+        let (sessions, created, evicted_idle, evicted_lru) = {
+            let mut inner = self.registry.lock();
+            inner.sweep(self.clock.now_ms(), self.ttl_ms());
+            (
+                inner.entries.len(),
+                inner.created,
+                inner.evicted_idle,
+                inner.evicted_lru,
+            )
+        };
+        Response::json(
+            200,
+            &json!({
+                "sessions": sessions,
+                "sessions_created": created,
+                "sessions_evicted_idle": evicted_idle,
+                "sessions_evicted_lru": evicted_lru,
+                "queries": self.queries.load(Ordering::Relaxed),
+                "query_errors": self.query_errors.load(Ordering::Relaxed),
+                "rejected": self.rejected.load(Ordering::Relaxed),
+                "in_flight": self.limiter.in_use(self.config.max_concurrency.max(1)),
+                "uptime_ms": self.clock.now_ms(),
+                "feedback_entries": self.colarm.feedback().len(),
+            }),
+        )
+    }
+}
+
+fn parse_body<T: serde::de::DeserializeOwned>(body: &[u8]) -> Result<T, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "bad_request", "request body is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| Response::error(400, "bad_request", &format!("invalid request body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth::{generate, SynthConfig};
+    use crate::data::{AttributeId, RangeSpec};
+    use crate::mip::MipIndexConfig;
+    use crate::query::{LocalizedQuery, Semantics};
+
+    fn shared_system() -> Arc<Colarm> {
+        let dataset = generate(&SynthConfig {
+            name: "server-test".into(),
+            seed: 7,
+            records: 80,
+            domains: vec![3, 4, 2, 5],
+            top_mass: 0.55,
+            skew: 1.0,
+            clusters: 2,
+            cluster_focus: 0.6,
+            focus_strength: 0.9,
+            templates: 3,
+            template_len: 3,
+            template_prob: 0.3,
+        });
+        Colarm::build(
+            dataset,
+            MipIndexConfig {
+                primary_support: 0.1,
+                ..Default::default()
+            },
+        )
+        .expect("index builds")
+        .into_shared()
+    }
+
+    fn mock_server(config: ServerConfig) -> (Arc<ColarmServer>, Arc<MockClock>) {
+        let clock = MockClock::new();
+        let server = ColarmServer::with_clock(shared_system(), config, clock.clone());
+        (server, clock)
+    }
+
+    /// Unrestricted semantics forces the ARM plan, so the query runs
+    /// SELECT and exercises both the subset and the column caches.
+    fn arm_query(range: &RangeSpec) -> LocalizedQuery {
+        LocalizedQuery::builder()
+            .range(range.clone())
+            .minsupp(0.3)
+            .minconf(0.5)
+            .semantics(Semantics::Unrestricted)
+            .build()
+            .expect("valid query")
+    }
+
+    fn base_range() -> RangeSpec {
+        RangeSpec::all().with(AttributeId(0), vec![0u16, 1])
+    }
+
+    fn refined_range() -> RangeSpec {
+        RangeSpec::all()
+            .with(AttributeId(0), vec![0u16, 1])
+            .with(AttributeId(1), vec![0u16, 1])
+    }
+
+    fn post_query(server: &ColarmServer, session: &str, query: &LocalizedQuery) -> Response {
+        let body = serde_json::to_string(&QueryRequest::query(query)).unwrap();
+        server.handle(
+            "POST",
+            &format!("/sessions/{session}/query"),
+            body.as_bytes(),
+        )
+    }
+
+    fn body_json(response: &Response) -> serde_json::Value {
+        serde_json::from_str(&response.body).expect("JSON body")
+    }
+
+    #[test]
+    fn idle_sessions_expire_deterministically_under_a_mock_clock() {
+        let (server, clock) = mock_server(ServerConfig {
+            idle_ttl: Duration::from_secs(10),
+            ..ServerConfig::default()
+        });
+        server.create_session(Some("tenant".into())).unwrap();
+        // One millisecond short of the TTL: still alive (and re-stamped).
+        clock.advance_ms(9_999);
+        assert!(server.session("tenant").is_some());
+        // Now idle exactly the TTL since the touch: swept at next access.
+        clock.advance_ms(10_000);
+        assert!(server.session("tenant").is_none());
+        let stats = body_json(&server.handle("GET", "/stats", b""));
+        assert_eq!(stats["sessions"].as_u64(), Some(0));
+        assert_eq!(stats["sessions_evicted_idle"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn evicted_sessions_rebuild_caches_with_no_stale_reuse() {
+        let (server, clock) = mock_server(ServerConfig {
+            idle_ttl: Duration::from_secs(10),
+            ..ServerConfig::default()
+        });
+        server.create_session(Some("t".into())).unwrap();
+        assert_eq!(post_query(&server, "t", &arm_query(&base_range())).status, 200);
+        let drilled = post_query(&server, "t", &arm_query(&refined_range()));
+        assert_eq!(drilled.status, 200);
+        let warm = body_json(&drilled);
+        let warm_rules = warm["rules"].clone();
+        // The drill-down was served by derivation, visible over the wire.
+        assert_eq!(warm["session"]["subsets_derived"].as_u64(), Some(1));
+        assert_eq!(warm["session"]["columns_derived"].as_u64(), Some(1));
+
+        // Idle out the tenant; its queries now 404.
+        clock.advance_ms(20_000);
+        let gone = post_query(&server, "t", &arm_query(&refined_range()));
+        assert_eq!(gone.status, 404);
+        assert_eq!(
+            body_json(&gone)["error"]["code"].as_str(),
+            Some("session_not_found")
+        );
+
+        // A recreated tenant starts cold: fresh resolution, nothing
+        // derived from the evicted caches — and identical rules.
+        server.create_session(Some("t".into())).unwrap();
+        let cold = body_json(&post_query(&server, "t", &arm_query(&refined_range())));
+        assert_eq!(cold["session"]["subsets_derived"].as_u64(), Some(0));
+        assert_eq!(cold["session"]["columns_derived"].as_u64(), Some(0));
+        assert_eq!(cold["session"]["subset_misses"].as_u64(), Some(1));
+        assert_eq!(cold["rules"], warm_rules);
+    }
+
+    #[test]
+    fn lru_eviction_picks_the_stalest_tenant() {
+        let (server, clock) = mock_server(ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        });
+        server.create_session(Some("a".into())).unwrap();
+        clock.advance_ms(1);
+        server.create_session(Some("b".into())).unwrap();
+        clock.advance_ms(1);
+        // Touch `a`, making `b` the least recently used.
+        assert!(server.session("a").is_some());
+        clock.advance_ms(1);
+        server.create_session(Some("c".into())).unwrap();
+        assert!(server.session("b").is_none(), "LRU tenant must be evicted");
+        assert!(server.session("a").is_some());
+        assert!(server.session("c").is_some());
+        let stats = body_json(&server.handle("GET", "/stats", b""));
+        assert_eq!(stats["sessions_evicted_lru"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn same_millisecond_lru_ties_break_by_stamp() {
+        let (server, _clock) = mock_server(ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::default()
+        });
+        // All at t=0: creation order is the only recency signal.
+        server.create_session(Some("a".into())).unwrap();
+        server.create_session(Some("b".into())).unwrap();
+        server.create_session(Some("c".into())).unwrap();
+        assert!(server.session("a").is_none(), "oldest stamp is the victim");
+        assert!(server.session("b").is_some());
+        assert!(server.session("c").is_some());
+    }
+
+    #[test]
+    fn saturated_limiter_rejects_with_429_instead_of_queueing() {
+        let (server, _clock) = mock_server(ServerConfig {
+            max_concurrency: 1,
+            ..ServerConfig::default()
+        });
+        let request = serde_json::to_string(&QueryRequest::query(&arm_query(&base_range())))
+            .unwrap();
+        // Hold the only permit, as an in-flight query would.
+        let permit = server.limiter.try_acquire().expect("permit available");
+        let rejected = server.handle("POST", "/query", request.as_bytes());
+        assert_eq!(rejected.status, 429);
+        assert_eq!(
+            body_json(&rejected)["error"]["code"].as_str(),
+            Some("overloaded")
+        );
+        // Releasing the permit restores admission — no queue, no deadlock.
+        drop(permit);
+        assert_eq!(server.handle("POST", "/query", request.as_bytes()).status, 200);
+        let stats = body_json(&server.handle("GET", "/stats", b""));
+        assert_eq!(stats["rejected"].as_u64(), Some(1));
+        assert_eq!(stats["queries"].as_u64(), Some(1));
+        assert_eq!(stats["in_flight"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn server_caps_clamp_request_limits() {
+        // A budget cap far below any real query cancels even requests
+        // that asked for no limits at all.
+        let (server, _clock) = mock_server(ServerConfig {
+            budget_cap: Some(0.001),
+            ..ServerConfig::default()
+        });
+        let request = serde_json::to_string(&QueryRequest::query(&arm_query(&base_range())))
+            .unwrap();
+        let response = server.handle("POST", "/query", request.as_bytes());
+        assert_eq!(response.status, 408);
+        assert_eq!(body_json(&response)["error"]["code"].as_str(), Some("canceled"));
+    }
+
+    #[test]
+    fn protocol_errors_carry_stable_codes() {
+        let (server, _clock) = mock_server(ServerConfig::default());
+        let case = |method: &str, path: &str, body: &[u8], status: u16, code: &str| {
+            let response = server.handle(method, path, body);
+            assert_eq!(response.status, status, "{method} {path}: {}", response.body);
+            assert_eq!(
+                body_json(&response)["error"]["code"].as_str(),
+                Some(code),
+                "{method} {path}"
+            );
+        };
+        case("GET", "/nope", b"", 404, "not_found");
+        case("GET", "/sessions/ghost", b"", 404, "session_not_found");
+        case("POST", "/sessions/x/query", b"", 404, "session_not_found");
+        case("POST", "/sessions", br#"{"id": "a/b"}"#, 400, "bad_session_id");
+        case("POST", "/query", b"not json", 400, "bad_request");
+        case("POST", "/query", br#"{"plon": "Sev"}"#, 400, "bad_request");
+        server.create_session(Some("x".into())).unwrap();
+        case("POST", "/sessions", br#"{"id": "x"}"#, 409, "session_exists");
+        case("PATCH", "/sessions/x", b"", 405, "method_not_allowed");
+        case("GET", "/sessions/x/query", b"", 405, "method_not_allowed");
+    }
+}

@@ -27,6 +27,7 @@ use crate::lru::LruCache;
 use crate::ops::ExecOptions;
 use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::{LocalizedQuery, Semantics};
+use crate::request::{QueryOutcome, QueryRequest};
 use crate::reuse::{ColumnReuse, ColumnStore};
 use colarm_data::{AttributeId, FocalSubset, RangeSpec};
 use colarm_mine::vertical::ItemTids;
@@ -104,8 +105,10 @@ impl Default for SessionConfig {
     }
 }
 
-/// Hit/miss/eviction counters of one session.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Hit/miss/eviction counters of one session. Part of the server wire
+/// format (`QueryOutcome::session`, `GET /sessions/{id}`), so the field
+/// names are wire-stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SessionStats {
     /// Focal subsets served from cache.
     pub subset_hits: usize,
@@ -309,7 +312,81 @@ impl QuerySession {
         )?)
     }
 
-    /// Execute (or reuse) a query with optimizer-selected plan.
+    /// Run one [`QueryRequest`] through this session — the session-aware
+    /// twin of [`Colarm::run`]. Adds three things to the direct path:
+    /// the session's subset / answer / column caches (so drill-downs
+    /// derive instead of re-resolving), the session's own limits
+    /// (deadline and cancel token, clamped together with the request's),
+    /// and a [`SessionStats`] snapshot on the outcome.
+    ///
+    /// Plain runs (no forced plan, no analyze, no metrics) are served
+    /// from — and land in — the answer cache; cache-hit outcomes carry
+    /// no [`crate::PlanChoice`] (the optimizer didn't run). Forced-plan,
+    /// analyze, and metrics runs bypass the answer cache so plan
+    /// comparisons and measurements stay honest, while still reusing
+    /// cached subsets and columns.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryOutcome, ColarmError> {
+        let schema = self.colarm.index().dataset().schema();
+        let query = request.resolve(schema)?;
+        query.validate(schema)?;
+        let plain = request.plan.is_none() && !request.analyze && !request.metrics;
+        let key = AnswerKey::of(&query);
+        if plain {
+            if let Some(cached) = self.answers.lock().get(&key) {
+                self.answer_hits.fetch_add(1, Ordering::Relaxed);
+                let answer = (**cached).clone();
+                return Ok(QueryOutcome {
+                    plan: answer.plan,
+                    subset_size: answer.subset_size,
+                    rules: answer.rules,
+                    choice: None,
+                    trace: request.trace.then_some(answer.trace),
+                    analyze: None,
+                    session: Some(self.stats()),
+                });
+            }
+        }
+        let subset = self.subset(&query.range)?;
+        if subset.is_empty() {
+            return Err(ColarmError::EmptySubset);
+        }
+        // Request limits clamped by the session's deadline; executions
+        // answer to the session's cancel token (the request's token is
+        // process-local and never crosses the wire).
+        let limits = request
+            .effective_limits()
+            .clamped(self.timeout(), None)
+            .with_cancel(self.cancel.clone());
+        let out = self.colarm.run_inner(
+            &query,
+            &subset,
+            self.exec_options().with_metrics(request.metrics),
+            &limits,
+            Some(self),
+            self.probe_reuse(&query),
+            request.plan,
+            request.analyze,
+        )?;
+        // A canceled execution propagated above before anything was
+        // cached: partial work never masquerades as an answer.
+        let outcome = if plain {
+            self.answer_misses.fetch_add(1, Ordering::Relaxed);
+            let cached = Arc::new(out.answer.clone());
+            self.answers.lock().insert(key, cached);
+            out.into_outcome(request.trace, None)
+        } else {
+            out.into_outcome(request.trace, None)
+        };
+        Ok(QueryOutcome {
+            session: Some(self.stats()),
+            ..outcome
+        })
+    }
+
+    /// Execute (or reuse) a query with optimizer-selected plan — the
+    /// typed convenience over [`QuerySession::run`] for callers that
+    /// want the cached [`Arc<QueryAnswer>`] itself (repeat hits share
+    /// one allocation).
     pub fn execute(&self, query: &LocalizedQuery) -> Result<Arc<QueryAnswer>, ColarmError> {
         query.validate(self.colarm.index().dataset().schema())?;
         let key = AnswerKey::of(query);
@@ -325,13 +402,15 @@ impl QuerySession {
         // partial work never masquerades as an answer. The session hooks
         // in as the engine's column store, and tells the optimizer how
         // SELECT would actually be served so plan choice reflects reality.
-        let out = self.colarm.execute_on_subset_hooked(
+        let out = self.colarm.run_inner(
             query,
             &subset,
             self.exec_options(),
             &self.limits(),
             Some(self),
             self.probe_reuse(query),
+            None,
+            false,
         )?;
         let answer = Arc::new(out.answer);
         self.answer_misses.fetch_add(1, Ordering::Relaxed);
@@ -347,15 +426,18 @@ impl QuerySession {
         plan: PlanKind,
     ) -> Result<QueryAnswer, ColarmError> {
         let subset = self.subset(&query.range)?;
-        crate::plan::execute_plan_hooked(
-            self.colarm.index(),
-            query,
-            &subset,
-            plan,
-            self.exec_options(),
-            &self.limits(),
-            Some(self),
-        )
+        self.colarm
+            .run_inner(
+                query,
+                &subset,
+                self.exec_options(),
+                &self.limits(),
+                Some(self),
+                self.probe_reuse(query),
+                Some(plan),
+                false,
+            )
+            .map(|out| out.answer)
     }
 
     /// `EXPLAIN ANALYZE` through the session: reuses the cached subset,
@@ -370,14 +452,18 @@ impl QuerySession {
         if subset.is_empty() {
             return Err(ColarmError::EmptySubset);
         }
-        self.colarm.explain_analyze_on_subset_hooked(
-            query,
-            &subset,
-            self.exec_options(),
-            &self.limits(),
-            Some(self),
-            self.probe_reuse(query),
-        )
+        self.colarm
+            .run_inner(
+                query,
+                &subset,
+                self.exec_options(),
+                &self.limits(),
+                Some(self),
+                self.probe_reuse(query),
+                None,
+                true,
+            )
+            .map(crate::framework::RunOutput::into_analyzed)
     }
 
     /// How this session's column cache would serve the query's SELECT —
@@ -554,8 +640,10 @@ mod tests {
             .build()
             .unwrap();
         let via_session = session.execute(&q).unwrap();
-        let direct = colarm.execute(&q).unwrap();
-        assert_eq!(via_session.rules, direct.answer.rules);
+        let direct = colarm
+            .run(&crate::request::QueryRequest::query(&q))
+            .unwrap();
+        assert_eq!(via_session.rules, direct.rules);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! and the Simpson's-paradox study.
 
 /// Counts needed to evaluate a rule `X ⇒ Y` in some context (the whole
-/// dataset or a focal subset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// dataset or a focal subset). Serialized inside wire rules (the server's
+/// `QueryOutcome`), so the field names are wire-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RuleCounts {
     /// `|t(X ∪ Y)|` — records containing the whole rule body.
     pub body: usize,

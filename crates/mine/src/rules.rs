@@ -28,8 +28,10 @@ pub trait SupportOracle {
     fn universe(&self) -> usize;
 }
 
-/// An association rule `X ⇒ Y` with its evaluation counts.
-#[derive(Debug, Clone, PartialEq)]
+/// An association rule `X ⇒ Y` with its evaluation counts. Serialized in
+/// the server's `QueryOutcome` wire format (itemsets as item-id arrays,
+/// counts by name), so the shape is wire-stable.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Rule {
     /// Antecedent `X`.
     pub antecedent: Itemset,

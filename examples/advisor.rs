@@ -42,13 +42,15 @@ fn main() {
         }
         if let Some(best) = advice.ranges.first() {
             let query = best.to_query(&advice).expect("advised query is valid");
-            let out = system.execute(&query).expect("advised query runs");
+            let out = system
+                .run(&colarm::QueryRequest::query(&query).with_trace(true))
+                .expect("advised query runs");
             println!(
                 "   → executed advised query on {}: plan {}, {} rules in {:?}\n",
                 best.label,
-                out.answer.plan.name(),
-                out.answer.rules.len(),
-                out.answer.trace.total
+                out.plan.name(),
+                out.rules.len(),
+                out.trace.as_ref().expect("trace requested").total
             );
         } else {
             println!("   → nothing fresh at this setting\n");

@@ -119,15 +119,17 @@ fn main() {
         ),
     ];
     for (label, query) in sessions {
-        let out = colarm.execute(&query).expect("query runs");
+        let out = colarm
+            .run(&colarm::QueryRequest::query(&query).with_trace(true))
+            .expect("query runs");
         println!(
             "▸ {label}: plan {}, {} records, {} rules, {:?}",
-            out.answer.plan.name(),
-            out.answer.subset_size,
-            out.answer.rules.len(),
-            out.answer.trace.total
+            out.plan.name(),
+            out.subset_size,
+            out.rules.len(),
+            out.trace.as_ref().expect("trace requested").total
         );
-        for rule in out.answer.rules.iter().take(4) {
+        for rule in out.rules.iter().take(4) {
             println!("    {}", rule.display(&schema));
         }
         println!();

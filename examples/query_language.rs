@@ -42,19 +42,19 @@ fn main() {
     for (i, text) in statements.iter().enumerate() {
         println!("── query {} ────────────────────────────────────────────", i + 1);
         println!("{}\n", text.split_whitespace().collect::<Vec<_>>().join(" "));
-        match colarm.execute_text(text) {
+        match colarm.run_text(text) {
             Ok(out) => {
                 println!(
                     "plan {} over {} records → {} rules:",
-                    out.answer.plan.name(),
-                    out.answer.subset_size,
-                    out.answer.rules.len()
+                    out.plan.name(),
+                    out.subset_size,
+                    out.rules.len()
                 );
-                for rule in out.answer.rules.iter().take(8) {
+                for rule in out.rules.iter().take(8) {
                     println!("  {}", rule.display(&schema));
                 }
-                if out.answer.rules.len() > 8 {
-                    println!("  … and {} more", out.answer.rules.len() - 8);
+                if out.rules.len() > 8 {
+                    println!("  … and {} more", out.rules.len() - 8);
                 }
             }
             Err(e) => println!("error: {e}"),
@@ -66,8 +66,8 @@ fn main() {
     let bad = "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Bogus = (x) \
                HAVING minsupport = 0.5 AND minconfidence = 0.5";
     println!("── malformed query ─────────────────────────────────────");
-    match colarm.execute_text(bad) {
+    match colarm.run_text(bad) {
         Ok(_) => unreachable!("must fail"),
-        Err(e) => println!("rejected as expected: {e}"),
+        Err(e) => println!("rejected as expected [{}]: {e}", e.code()),
     }
 }

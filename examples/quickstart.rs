@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use colarm::{Colarm, LocalizedQuery, MipIndexConfig};
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, QueryRequest};
 
 fn main() {
     // ---- offline phase: preprocess once --------------------------------
@@ -39,9 +39,11 @@ fn main() {
         .minsupp(0.45)
         .minconf(0.8)
         .build().expect("valid query");
-    let answer = colarm.execute(&global).expect("global query runs");
+    let answer = colarm
+        .run(&QueryRequest::query(&global))
+        .expect("global query runs");
     println!("Global rules (minsupp 45%, minconf 80%):");
-    for rule in &answer.answer.rules {
+    for rule in &answer.rules {
         println!("  {}", rule.display(&schema));
     }
 
@@ -54,28 +56,31 @@ fn main() {
         .minsupp(0.75)
         .minconf(0.9)
         .build().expect("valid query");
-    let out = colarm.execute(&local).expect("localized query runs");
+    let out = colarm
+        .run(&QueryRequest::query(&local).with_trace(true))
+        .expect("localized query runs");
     println!(
         "\nLocalized rules for Location=Seattle AND Gender=F \
          (|DQ| = {}, minsupp 75%, minconf 90%):",
-        out.answer.subset_size
+        out.subset_size
     );
-    for rule in &out.answer.rules {
+    for rule in &out.rules {
         println!("  {}", rule.display(&schema));
     }
 
     // ---- what the optimizer did ------------------------------------------
+    let choice = out.choice.as_ref().expect("optimizer ran");
     println!("\nOptimizer decision (plan: estimated cost):");
-    for est in &out.choice.estimates {
-        let marker = if est.plan == out.choice.chosen { "→" } else { " " };
+    for est in &choice.estimates {
+        let marker = if est.plan == choice.chosen { "→" } else { " " };
         println!("  {marker} {:<9} {:.3e} s", est.plan.name(), est.total());
     }
+    let trace = out.trace.as_ref().expect("trace requested");
     println!(
         "\nExecuted {} in {:?} via operators: {}",
-        out.answer.plan.name(),
-        out.answer.trace.total,
-        out.answer
-            .trace
+        out.plan.name(),
+        trace.total,
+        trace
             .ops
             .iter()
             .map(|o| o.name())

@@ -4,8 +4,8 @@
 #   scripts/ci.sh            # build + test + clippy
 #   scripts/ci.sh --bench    # also gate on BENCH_tidset.json thresholds
 #                            # (bench_tidset --check) and regenerate
-#                            # BENCH_snapshot.json, BENCH_engine.json
-#                            # + BENCH_session.json
+#                            # BENCH_snapshot.json, BENCH_engine.json,
+#                            # BENCH_session.json + BENCH_server.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +36,19 @@ cargo test -q --test parallel_determinism \
 echo "==> worker-pool tests (release)"
 cargo test --release -q -p colarm-data par::
 
+# The execute*/explain_analyze* matrix is deprecated in favor of the
+# unified QueryRequest/QueryOutcome path; nothing in-repo may still call
+# it except the forwarder module itself (compat.rs carries the only
+# #![allow(deprecated)]).
+echo "==> no in-repo callers of the deprecated method matrix (-D deprecated)"
+RUSTFLAGS="-D deprecated" cargo check --workspace --all-targets
+
+# Boot the released `colarm serve` binary on an ephemeral port, run a
+# 3-query drill-down over HTTP, and diff every answer against in-process
+# execution. Covers the CLI + socket loop the in-process tests skip.
+echo "==> server smoke (colarm serve vs in-process, scripts/server_smoke.sh)"
+scripts/server_smoke.sh
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -55,6 +68,8 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p colarm-bench --bin bench_engine
     echo "==> bench_session (drill-down reuse + persistent pool)"
     cargo run --release -p colarm-bench --bin bench_session
+    echo "==> bench_server (concurrent HTTP drill-down clients)"
+    cargo run --release -p colarm-bench --bin bench_server
 fi
 
 echo "ci: all green"

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Server smoke gate: boot the real `colarm serve` binary on an ephemeral
+# port, run a 3-query drill-down over HTTP against a tenant session, and
+# diff every answer's rules against in-process execution of the same
+# query (`colarm query --json`). Exercises the full stack the unit and
+# e2e tests can't: the CLI arg parsing, the snapshot load, and the
+# actual socket loop of the released binary.
+#
+#   scripts/server_smoke.sh [path/to/colarm]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COLARM="${1:-target/release/colarm-cli}"
+SNAP="tests/fixtures/salary_index_v2.snap"
+PORT="$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')"
+
+"$COLARM" serve --index "$SNAP" --addr "127.0.0.1:$PORT" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$PORT/health" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -sf "http://127.0.0.1:$PORT/health" >/dev/null || {
+    echo "server_smoke: server never became healthy" >&2
+    exit 1
+}
+
+# Table 1 drill-down: Seattle, then Seattle women, then the paper's
+# thresholds — each query refines the last, driving the session's
+# subset/column reuse path.
+QUERIES=(
+    "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle) HAVING minsupport = 50% AND minconfidence = 50%;"
+    "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle), Gender = (F) HAVING minsupport = 50% AND minconfidence = 50%;"
+    "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Location = (Seattle), Gender = (F) HAVING minsupport = 75% AND minconfidence = 90%;"
+)
+
+curl -sf -X POST -d '{"id": "smoke"}' "http://127.0.0.1:$PORT/sessions" >/dev/null
+
+for query in "${QUERIES[@]}"; do
+    body="$(jq -cn --arg text "$query" '{text: $text}')"
+    wire="$(curl -sf -X POST -d "$body" "http://127.0.0.1:$PORT/sessions/smoke/query" | jq -cS .rules)"
+    local_rules="$("$COLARM" query --index "$SNAP" --json "$query" | jq -cS .rules)"
+    if [[ "$wire" != "$local_rules" ]]; then
+        echo "server_smoke: wire answer diverged from in-process execution" >&2
+        echo "  query: $query" >&2
+        echo "  wire:  $wire" >&2
+        echo "  local: $local_rules" >&2
+        exit 1
+    fi
+done
+
+# The third query must have reused session state derived from earlier
+# ones — the point of routing drill-downs through a tenant session.
+derived="$(curl -sf "http://127.0.0.1:$PORT/sessions/smoke" | jq '.subsets_derived + .answer_hits + .subset_hits')"
+if [[ "$derived" -lt 1 ]]; then
+    echo "server_smoke: session showed no reuse across the drill-down" >&2
+    exit 1
+fi
+
+echo "server_smoke: 3-query drill-down bit-identical to in-process (reuse events: $derived)"

@@ -69,9 +69,14 @@ fn optimizer_choice_is_reasonable_on_analogs() {
         let mut chosen_time = f64::INFINITY;
         for plan in PlanKind::ALL {
             let t = system
-                .execute_with_plan(&query, plan)
+                .run(
+                    &colarm::QueryRequest::query(&query)
+                        .with_plan(plan)
+                        .with_trace(true),
+                )
                 .expect("plan runs")
                 .trace
+                .expect("trace requested")
                 .total
                 .as_secs_f64();
             best = best.min(t);

@@ -2,7 +2,7 @@
 //! decision quality at smoke scale, index persistence, and the
 //! multi-query session cache.
 
-use colarm::{Colarm, IndexSnapshot, LocalizedQuery, PlanKind, QuerySession};
+use colarm::{Colarm, IndexSnapshot, LocalizedQuery, PlanKind, QueryRequest, QuerySession};
 use colarm_bench::{build_system, mushroom_spec, random_subset_spec, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,9 +32,10 @@ fn calibrated_estimates_are_in_a_sane_range() {
         let est = choice.estimate_for(plan).total();
         assert!(est.is_finite() && est > 0.0, "{plan}: estimate {est}");
         let measured = system
-            .execute_with_plan(&query, plan)
+            .run(&QueryRequest::query(&query).with_plan(plan).with_trace(true))
             .unwrap()
             .trace
+            .unwrap()
             .total
             .as_secs_f64();
         let ratio = (est / measured.max(1e-7)).max(measured.max(1e-7) / est);
@@ -67,9 +68,9 @@ fn snapshot_restores_a_working_system() {
         .minsupp(spec.minsupps[0])
         .minconf(spec.minconf)
         .build().unwrap();
-    let a = system.execute(&query).unwrap();
-    let b = restored.execute(&query).unwrap();
-    assert_eq!(a.answer.rules, b.answer.rules);
+    let a = system.run(&QueryRequest::query(&query)).unwrap();
+    let b = restored.run(&QueryRequest::query(&query)).unwrap();
+    assert_eq!(a.rules, b.rules);
 }
 
 #[test]
@@ -99,8 +100,8 @@ fn session_caching_preserves_answers_under_bursts() {
             .minconf(minconf)
             .build().unwrap();
         let via_session = session.execute(&q).unwrap();
-        let direct = system.execute(&q).unwrap();
-        assert_eq!(via_session.rules, direct.answer.rules);
+        let direct = system.run(&QueryRequest::query(&q)).unwrap();
+        assert_eq!(via_session.rules, direct.rules);
     }
     let stats = session.stats();
     assert_eq!(stats.subset_misses, 1, "one region, one resolution");
@@ -127,9 +128,13 @@ fn traditional_arm_agrees_with_every_index_plan() {
         .minsupp(spec.minsupps[1])
         .minconf(spec.minconf)
         .build().unwrap();
-    let arm = system.execute_with_plan(&query, PlanKind::Arm).unwrap();
+    let arm = system
+        .run(&QueryRequest::query(&query).with_plan(PlanKind::Arm))
+        .unwrap();
     for plan in [PlanKind::Sev, PlanKind::Svs, PlanKind::SsEv, PlanKind::SsVs, PlanKind::SsEuv] {
-        let idx = system.execute_with_plan(&query, plan).unwrap();
+        let idx = system
+            .run(&QueryRequest::query(&query).with_plan(plan))
+            .unwrap();
         assert_eq!(arm.rules, idx.rules, "{plan} disagrees with ARM");
     }
 }

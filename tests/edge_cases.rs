@@ -54,9 +54,9 @@ fn constant_dataset_yields_one_giant_body() {
     .unwrap();
     assert_eq!(colarm.index().num_mips(), 1);
     let q = LocalizedQuery::builder().minsupp(0.9).minconf(0.9).build().unwrap();
-    let out = colarm.execute(&q).unwrap();
-    assert_eq!(out.answer.rules.len(), 6);
-    for r in &out.answer.rules {
+    let out = colarm.run(&colarm::QueryRequest::query(&q)).unwrap();
+    assert_eq!(out.rules.len(), 6);
+    for r in &out.rules {
         assert_eq!(r.confidence(), 1.0);
         assert_eq!(r.support(), 1.0);
     }
@@ -77,7 +77,9 @@ fn primary_support_one_on_diverse_data_gives_empty_index() {
     // Queries still run and return the empty answer from every plan.
     let q = LocalizedQuery::builder().minsupp(0.5).minconf(0.5).build().unwrap();
     for plan in PlanKind::ALL {
-        let a = colarm.execute_with_plan(&q, plan).unwrap();
+        let a = colarm
+            .run(&colarm::QueryRequest::query(&q).with_plan(plan))
+            .unwrap();
         assert!(a.rules.is_empty(), "{plan} invented rules");
     }
 }
@@ -149,10 +151,10 @@ fn boundary_thresholds_behave() {
         .minsupp(1.0)
         .minconf(1.0)
         .build().unwrap();
-    let out = colarm.execute(&q).unwrap();
+    let out = colarm.run(&colarm::QueryRequest::query(&q)).unwrap();
     // Both Microsoft records share Location/Gender/Age/Salary → rules exist.
-    assert!(!out.answer.rules.is_empty());
-    for r in &out.answer.rules {
+    assert!(!out.rules.is_empty());
+    for r in &out.rules {
         assert_eq!(r.support(), 1.0);
         assert_eq!(r.confidence(), 1.0);
     }
@@ -204,15 +206,19 @@ fn unrestricted_semantics_routes_to_arm() {
         .build().unwrap();
     // Index plans must refuse the unrestricted contract…
     assert!(matches!(
-        colarm.execute_with_plan(&q, PlanKind::Sev),
+        colarm.run(&colarm::QueryRequest::query(&q).with_plan(PlanKind::Sev)),
         Err(colarm::ColarmError::UnrestrictedRequiresArm { .. })
     ));
     // …while the optimizer path transparently routes to ARM.
-    let out = colarm.execute(&q).unwrap();
-    assert_eq!(out.answer.plan, PlanKind::Arm);
+    let out = colarm.run(&colarm::QueryRequest::query(&q)).unwrap();
+    assert_eq!(out.plan, PlanKind::Arm);
     // And the unrestricted answer sees below-primary local patterns the
     // strict contract hides.
     let strict = LocalizedQuery { semantics: colarm::Semantics::Strict, ..q.clone() };
-    let strict_rules = colarm.execute(&strict).unwrap().answer.rules.len();
-    assert!(out.answer.rules.len() >= strict_rules);
+    let strict_rules = colarm
+        .run(&colarm::QueryRequest::query(&strict))
+        .unwrap()
+        .rules
+        .len();
+    assert!(out.rules.len() >= strict_rules);
 }

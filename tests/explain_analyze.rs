@@ -4,7 +4,9 @@
 //! the execution trace and the optimizer's feedback log.
 
 use colarm::data::synth::{generate, SynthConfig};
-use colarm::{Colarm, ExecOptions, LocalizedQuery, MipIndexConfig, OpMetrics, PlanKind};
+use colarm::{
+    Colarm, LocalizedQuery, MipIndexConfig, OpMetrics, PlanKind, QueryRequest, QuerySession,
+};
 
 /// Dense enough that the operators' internal parallelism thresholds are
 /// crossed, so threads > 1 genuinely exercise the parallel code paths.
@@ -50,12 +52,17 @@ fn every_plan_yields_a_full_report() {
     let q = query(&colarm);
     let mut rules = None;
     for plan in PlanKind::ALL {
-        let analyzed = colarm
-            .explain_analyze_plan(&q, plan, ExecOptions::default())
+        let out = colarm
+            .run(
+                &QueryRequest::query(&q)
+                    .with_plan(plan)
+                    .with_analyze(true)
+                    .with_trace(true),
+            )
             .unwrap();
-        let report = &analyzed.report;
+        let report = out.analyze.as_ref().expect("analyze report present");
         assert_eq!(report.plan, plan);
-        assert_eq!(report.num_rules, analyzed.answer.rules.len());
+        assert_eq!(report.num_rules, out.rules.len());
         assert_eq!(report.estimates.len(), PlanKind::ALL.len());
         assert!(!report.ops.is_empty());
         // ANALYZE forces metrics reporting on: every row carries counters.
@@ -63,11 +70,12 @@ fn every_plan_yields_a_full_report() {
         // The report's unit accounting is the trace's unit accounting.
         assert_eq!(
             report.total_measured_units(),
-            analyzed.answer.trace.total_units(),
+            out.trace.as_ref().expect("trace requested").total_units(),
             "{plan}"
         );
         // A prediction appears exactly where the cost model has a term.
-        let estimate = analyzed.choice.estimate_for(plan);
+        let choice = out.choice.as_ref().expect("optimizer ran");
+        let estimate = choice.estimate_for(plan);
         for op in &report.ops {
             assert_eq!(
                 op.predicted_units.is_some(),
@@ -81,24 +89,30 @@ fn every_plan_yields_a_full_report() {
         assert_eq!(value["ops"].as_array().unwrap().len(), report.ops.len());
         // All plans agree on the rules (the determinism contract).
         match &rules {
-            None => rules = Some(analyzed.answer.rules.clone()),
-            Some(r) => assert_eq!(&analyzed.answer.rules, r, "{plan} diverged"),
+            None => rules = Some(out.rules.clone()),
+            Some(r) => assert_eq!(&out.rules, r, "{plan} diverged"),
         }
     }
 }
 
 #[test]
 fn counters_are_bit_identical_at_every_thread_count() {
-    let colarm = system();
+    let colarm = system().into_shared();
     let q = query(&colarm);
     for plan in PlanKind::ALL {
         let mut reference: Option<Vec<(&'static str, f64, OpMetrics)>> = None;
         for threads in [1usize, 2, 8] {
-            let analyzed = colarm
-                .explain_analyze_plan(&q, plan, ExecOptions::with_threads(threads))
+            // A fresh session per run: the per-session thread cap is the
+            // one execution knob the request deliberately doesn't carry,
+            // and a fresh session has no caches to blur the counters.
+            let session = QuerySession::new(colarm.clone());
+            session.set_threads(threads);
+            let out = session
+                .run(&QueryRequest::query(&q).with_plan(plan).with_analyze(true))
                 .unwrap();
-            let observed: Vec<(&'static str, f64, OpMetrics)> = analyzed
-                .report
+            let observed: Vec<(&'static str, f64, OpMetrics)> = out
+                .analyze
+                .expect("analyze report present")
                 .ops
                 .iter()
                 .map(|o| (o.op.name(), o.measured_units, o.metrics.unwrap()))
@@ -118,16 +132,20 @@ fn counters_are_bit_identical_at_every_thread_count() {
 fn report_units_match_the_feedback_log_accounting() {
     let colarm = system();
     let q = query(&colarm);
-    let analyzed = colarm.explain_analyze(&q).unwrap();
-    assert!(analyzed.report.chosen_by_optimizer);
-    assert_eq!(analyzed.report.plan, analyzed.choice.chosen);
+    let out = colarm
+        .run(&QueryRequest::query(&q).with_analyze(true))
+        .unwrap();
+    let report = out.analyze.expect("analyze report present");
+    let choice = out.choice.expect("optimizer ran");
+    assert!(report.chosen_by_optimizer);
+    assert_eq!(report.plan, choice.chosen);
     let entries = colarm.feedback().snapshot();
     let entry = entries.last().unwrap();
-    assert_eq!(entry.chosen, analyzed.report.plan);
-    assert_eq!(entry.total_units(), analyzed.report.total_measured_units());
+    assert_eq!(entry.chosen, report.plan);
+    assert_eq!(entry.total_units(), report.total_measured_units());
     assert_eq!(entry.predicted.len(), PlanKind::ALL.len());
     // The aggregated counters are non-trivial: work actually happened.
-    let totals = analyzed.report.metrics_total();
+    let totals = report.metrics_total();
     assert!(totals.scanned > 0);
     assert!(totals.emitted > 0);
 }

@@ -68,7 +68,11 @@ proptest! {
         prop_assume!(!subset.is_empty());
         let answers: Vec<_> = PlanKind::ALL
             .iter()
-            .map(|&p| colarm.execute_with_plan(&query, p).expect("plan runs"))
+            .map(|&p| {
+                colarm
+                    .run(&colarm::QueryRequest::query(&query).with_plan(p))
+                    .expect("plan runs")
+            })
             .collect();
         for a in &answers[1..] {
             prop_assert_eq!(&a.rules, &answers[0].rules, "plan {} diverged", a.plan);
@@ -114,9 +118,10 @@ proptest! {
             .minconf(0.7)
             .build().unwrap();
         let _ = &schema;
-        let ra = a.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
-        let rb = b.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
-        let rc = c.execute_with_plan(&query, PlanKind::SsEuv).expect("runs");
+        let forced = colarm::QueryRequest::query(&query).with_plan(PlanKind::SsEuv);
+        let ra = a.run(&forced).expect("runs");
+        let rb = b.run(&forced).expect("runs");
+        let rc = c.run(&forced).expect("runs");
         prop_assert_eq!(&ra.rules, &rb.rules);
         prop_assert_eq!(&ra.rules, &rc.rules);
     }

@@ -2,7 +2,7 @@
 //! exactly like builder-constructed ones, and the full paper grammar is
 //! accepted.
 
-use colarm::{Colarm, LocalizedQuery, MipIndexConfig};
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, QueryRequest};
 
 fn system() -> Colarm {
     Colarm::build(
@@ -50,9 +50,9 @@ fn parsed_and_built_queries_are_interchangeable() {
     for (text, built) in cases {
         let parsed = colarm::parse_query(text, &schema).expect("parses");
         assert_eq!(parsed, built, "query objects must match for: {text}");
-        let via_text = colarm.execute_text(text).expect("executes");
-        let via_built = colarm.execute(&built).expect("executes");
-        assert_eq!(via_text.answer.rules, via_built.answer.rules);
+        let via_text = colarm.run_text(text).expect("executes");
+        let via_built = colarm.run(&QueryRequest::query(&built)).expect("executes");
+        assert_eq!(via_text.rules, via_built.rules);
     }
 }
 
@@ -90,6 +90,6 @@ fn rejected_inputs_do_not_execute() {
         "REPORT LOCALIZED ASSOCIATION RULES WHERE RANGE Gender = (F) \
          HAVING minsupport = 150% AND minconfidence = 0.5",
     ] {
-        assert!(colarm.execute_text(bad).is_err(), "accepted bad query: {bad}");
+        assert!(colarm.run_text(bad).is_err(), "accepted bad query: {bad}");
     }
 }

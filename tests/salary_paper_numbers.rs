@@ -1,7 +1,7 @@
 //! Experiment T1: the paper's §1.1 walkthrough numbers on the Table 1
 //! salary dataset, end to end through the public API.
 
-use colarm::{Colarm, LocalizedQuery, MipIndexConfig, PlanKind};
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, PlanKind, QueryRequest};
 
 fn system() -> Colarm {
     Colarm::build(
@@ -20,11 +20,10 @@ fn rg_holds_globally_with_paper_numbers() {
     let colarm = system();
     let schema = colarm.index().dataset().schema().clone();
     let query = LocalizedQuery::builder().minsupp(0.45).minconf(0.8).build().unwrap();
-    let out = colarm.execute(&query).expect("global query runs");
+    let out = colarm.run(&QueryRequest::query(&query)).expect("global query runs");
     let a0 = schema.encode_named("Age", "20-30").unwrap();
     let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
     let rg = out
-        .answer
         .rules
         .iter()
         .find(|r| r.antecedent.contains(a0) && r.consequent.contains(s2))
@@ -50,12 +49,11 @@ fn rl_emerges_in_the_seattle_female_subset() {
         .minsupp(0.75)
         .minconf(0.9)
         .build().unwrap();
-    let out = colarm.execute(&query).expect("localized query runs");
-    assert_eq!(out.answer.subset_size, 4);
+    let out = colarm.run(&QueryRequest::query(&query)).expect("localized query runs");
+    assert_eq!(out.subset_size, 4);
     let a1 = schema.encode_named("Age", "30-40").unwrap();
     let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
     let rl = out
-        .answer
         .rules
         .iter()
         .find(|r| r.antecedent.contains(a1) && r.consequent.contains(s2))
@@ -68,7 +66,7 @@ fn rl_emerges_in_the_seattle_female_subset() {
     // And RG does NOT hold in this subset: no rule with antecedent A0.
     let a0 = schema.encode_named("Age", "20-30").unwrap();
     assert!(
-        !out.answer.rules.iter().any(|r| r.antecedent.contains(a0)),
+        !out.rules.iter().any(|r| r.antecedent.contains(a0)),
         "the global trend must vanish locally (Simpson's paradox)"
     );
 }
@@ -83,9 +81,8 @@ fn rl_is_invisible_to_global_mining_above_27_percent() {
     let s2 = schema.encode_named("Salary", "90K-120K").unwrap();
     let find_rl = |minsupp: f64| {
         let query = LocalizedQuery::builder().minsupp(minsupp).minconf(0.7).build().unwrap();
-        let out = colarm.execute(&query).expect("global query runs");
-        out.answer
-            .rules
+        let out = colarm.run(&QueryRequest::query(&query)).expect("global query runs");
+        out.rules
             .iter()
             .any(|r| r.antecedent.contains(a1) && r.consequent.contains(s2))
     };

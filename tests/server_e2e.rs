@@ -1,0 +1,220 @@
+//! End-to-end exercise of `colarm serve` over real sockets: spin the
+//! server on an ephemeral port, speak hand-written HTTP/1.1 at it, and
+//! hold the transport to the in-process contract — bit-identical rules
+//! for every plan, and drill-down reuse visible across wire requests.
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::data::{AttributeId, RangeSpec};
+use colarm::{
+    Colarm, ColarmServer, LocalizedQuery, MipIndexConfig, PlanKind, QueryRequest, Semantics,
+    ServerConfig,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn shared_system() -> Arc<Colarm> {
+    let dataset = generate(&SynthConfig {
+        name: "server-e2e".into(),
+        seed: 11,
+        records: 80,
+        domains: vec![3, 4, 2, 5],
+        top_mass: 0.55,
+        skew: 1.0,
+        clusters: 2,
+        cluster_focus: 0.6,
+        focus_strength: 0.9,
+        templates: 3,
+        template_len: 3,
+        template_prob: 0.3,
+    });
+    Colarm::build(
+        dataset,
+        MipIndexConfig {
+            primary_support: 0.1,
+            ..Default::default()
+        },
+    )
+    .expect("index builds")
+    .into_shared()
+}
+
+/// Bind an ephemeral port, serve on a background thread, return the port.
+fn spawn_server(server: &Arc<ColarmServer>) -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let port = listener.local_addr().unwrap().port();
+    let server = server.clone();
+    std::thread::spawn(move || {
+        let _ = server.serve_listener(listener);
+    });
+    port
+}
+
+/// One full HTTP/1.1 exchange on a fresh connection.
+fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, serde_json::Value) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request writes");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response reads");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let json_body = raw.split("\r\n\r\n").nth(1).expect("body present");
+    (status, serde_json::from_str(json_body).expect("JSON body"))
+}
+
+fn query(range: &RangeSpec, semantics: Semantics) -> LocalizedQuery {
+    LocalizedQuery::builder()
+        .range(range.clone())
+        .minsupp(0.3)
+        .minconf(0.5)
+        .semantics(semantics)
+        .build()
+        .expect("valid query")
+}
+
+fn request_body(request: &QueryRequest) -> String {
+    serde_json::to_string(request).expect("request serializes")
+}
+
+#[test]
+fn http_answers_are_bit_identical_to_in_process_for_all_six_plans() {
+    let colarm = shared_system();
+    let server = ColarmServer::new(colarm.clone(), ServerConfig::default());
+    let port = spawn_server(&server);
+    let q = query(
+        &RangeSpec::all().with(AttributeId(0), vec![0u16, 1]),
+        Semantics::Strict,
+    );
+
+    assert_eq!(http(port, "GET", "/health", "").0, 200);
+
+    for plan in PlanKind::ALL {
+        let request = QueryRequest::query(&q).with_plan(plan);
+        let direct = colarm.run(&request).expect("in-process run");
+        let (status, wire) = http(port, "POST", "/query", &request_body(&request));
+        assert_eq!(status, 200, "{plan}: {wire}");
+        assert_eq!(wire["plan"], serde_json::to_value(plan).unwrap(), "{plan}");
+        assert_eq!(
+            wire["subset_size"].as_u64(),
+            Some(direct.subset_size as u64)
+        );
+        // Rules are integer-exact JSON: equality here is bit-identity.
+        assert_eq!(
+            wire["rules"],
+            serde_json::to_value(&direct.rules).unwrap(),
+            "{plan} diverged over the wire"
+        );
+    }
+
+    // The optimizer path (no forced plan) matches too.
+    let request = QueryRequest::query(&q);
+    let direct = colarm.run(&request).expect("in-process run");
+    let (status, wire) = http(port, "POST", "/query", &request_body(&request));
+    assert_eq!(status, 200);
+    assert_eq!(wire["plan"], serde_json::to_value(direct.plan).unwrap());
+    assert_eq!(wire["rules"], serde_json::to_value(&direct.rules).unwrap());
+}
+
+#[test]
+fn session_drilldowns_reuse_subsets_and_columns_over_the_wire() {
+    let colarm = shared_system();
+    let server = ColarmServer::new(colarm.clone(), ServerConfig::default());
+    let port = spawn_server(&server);
+    // Unrestricted forces ARM, whose SELECT exercises the column cache.
+    let base = query(
+        &RangeSpec::all().with(AttributeId(0), vec![0u16, 1]),
+        Semantics::Unrestricted,
+    );
+    let refined = query(
+        &RangeSpec::all()
+            .with(AttributeId(0), vec![0u16, 1])
+            .with(AttributeId(1), vec![0u16, 1]),
+        Semantics::Unrestricted,
+    );
+
+    let (status, created) = http(port, "POST", "/sessions", r#"{"id": "tenant-1"}"#);
+    assert_eq!(status, 201);
+    assert_eq!(created["id"].as_str(), Some("tenant-1"));
+
+    let (status, first) = http(
+        port,
+        "POST",
+        "/sessions/tenant-1/query",
+        &request_body(&QueryRequest::query(&base)),
+    );
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(first["session"]["subset_misses"].as_u64(), Some(1));
+    assert_eq!(first["session"]["subsets_derived"].as_u64(), Some(0));
+
+    // The second query on the same session derives from the first's
+    // caches — the PR 5 reuse path, observed end-to-end over HTTP.
+    let (status, second) = http(
+        port,
+        "POST",
+        "/sessions/tenant-1/query",
+        &request_body(&QueryRequest::query(&refined)),
+    );
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(second["session"]["subsets_derived"].as_u64(), Some(1));
+    assert_eq!(second["session"]["columns_derived"].as_u64(), Some(1));
+
+    // Derivation changed nothing: a cold in-process run agrees exactly.
+    let cold = colarm
+        .run(&QueryRequest::query(&refined))
+        .expect("cold run");
+    assert_eq!(second["rules"], serde_json::to_value(&cold.rules).unwrap());
+
+    // Session stats and eviction round-trip over the transport too.
+    let (status, stats) = http(port, "GET", "/sessions/tenant-1", "");
+    assert_eq!(status, 200);
+    assert!(stats["subsets_derived"].as_u64() >= Some(1));
+    let (status, evicted) = http(port, "DELETE", "/sessions/tenant-1", "");
+    assert_eq!(status, 200);
+    assert_eq!(evicted["evicted"].as_bool(), Some(true));
+    let (status, error) = http(port, "GET", "/sessions/tenant-1", "");
+    assert_eq!(status, 404);
+    assert_eq!(error["error"]["code"].as_str(), Some("session_not_found"));
+}
+
+#[test]
+fn keep_alive_connections_serve_sequential_requests() {
+    let server = ColarmServer::new(shared_system(), ServerConfig::default());
+    let port = spawn_server(&server);
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    for _ in 0..3 {
+        write!(
+            stream,
+            "GET /health HTTP/1.1\r\nHost: localhost\r\n\r\n"
+        )
+        .expect("request writes");
+        let mut header = Vec::new();
+        let mut byte = [0u8; 1];
+        while !header.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("header byte");
+            header.push(byte[0]);
+        }
+        let head = String::from_utf8(header).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).expect("body reads");
+        let body = String::from_utf8(body).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(value["status"].as_str(), Some("ok"));
+    }
+}

@@ -93,9 +93,8 @@ fn golden_fixtures_load_and_answer_table1_on_all_plans() {
             );
         }
         let system = Colarm::from_index(load_index(&path).unwrap());
-        let out = system.execute_text(TABLE1).unwrap();
+        let out = system.run_text(TABLE1).unwrap();
         let rules: Vec<String> = out
-            .answer
             .rules
             .iter()
             .map(|r| r.display(&schema).to_string())
@@ -263,7 +262,8 @@ fn restored_system_serves_builder_queries() {
         .minconf(0.8)
         .build()
         .unwrap();
-    let a = Colarm::from_index(original).execute(&query).unwrap();
-    let b = Colarm::from_index(restored).execute(&query).unwrap();
-    assert_eq!(a.answer.rules, b.answer.rules);
+    let request = colarm::QueryRequest::query(&query);
+    let a = Colarm::from_index(original).run(&request).unwrap();
+    let b = Colarm::from_index(restored).run(&request).unwrap();
+    assert_eq!(a.rules, b.rules);
 }

@@ -1,0 +1,132 @@
+//! Wire-format stability for the unified query API.
+//!
+//! The JSON shapes of [`QueryRequest`], [`QueryOutcome`], and
+//! [`QueryLimits`] ARE the server protocol: a renamed field silently
+//! breaks every deployed client. The golden fixture in
+//! `tests/fixtures/query_request.json` pins the request schema — if one
+//! of these tests fails after an edit, that edit changed the wire format
+//! and needs a protocol version bump, not a fixture update.
+
+use colarm::{
+    Colarm, LocalizedQuery, MipIndexConfig, PlanKind, QueryLimits, QueryRequest,
+};
+use std::time::Duration;
+
+const GOLDEN_REQUEST: &str = include_str!("fixtures/query_request.json");
+
+fn system() -> Colarm {
+    Colarm::build(
+        colarm::data::synth::salary(),
+        MipIndexConfig {
+            primary_support: 2.0 / 11.0,
+            ..Default::default()
+        },
+    )
+    .expect("salary index builds")
+}
+
+/// The request the golden fixture encodes, built through the public API.
+fn golden_request(colarm: &Colarm) -> QueryRequest {
+    let schema = colarm.index().dataset().schema().clone();
+    let query = LocalizedQuery::builder()
+        .range_named(&schema, "Location", &["Seattle"])
+        .unwrap()
+        .range_named(&schema, "Gender", &["F"])
+        .unwrap()
+        .item_attrs_named(&schema, &["Age", "Salary"])
+        .unwrap()
+        .minsupp(0.75)
+        .minconf(0.9)
+        .build()
+        .unwrap();
+    QueryRequest::query(&query)
+        .with_plan(PlanKind::SsEv)
+        .with_limits(
+            QueryLimits::none()
+                .with_timeout(Duration::from_millis(250))
+                .with_budget_units(1.5),
+        )
+        .with_metrics(true)
+        .with_trace(true)
+}
+
+#[test]
+fn request_serialization_matches_the_golden_fixture() {
+    let colarm = system();
+    let built = serde_json::to_value(golden_request(&colarm)).unwrap();
+    let golden: serde_json::Value = serde_json::from_str(GOLDEN_REQUEST).unwrap();
+    assert_eq!(
+        built, golden,
+        "QueryRequest wire format drifted from tests/fixtures/query_request.json"
+    );
+}
+
+#[test]
+fn golden_fixture_deserializes_to_the_same_request() {
+    let colarm = system();
+    let parsed: QueryRequest = serde_json::from_str(GOLDEN_REQUEST).unwrap();
+    assert_eq!(
+        serde_json::to_value(&parsed).unwrap(),
+        serde_json::to_value(golden_request(&colarm)).unwrap()
+    );
+    // The fixture's 1.5-unit budget is live after deserialization: the
+    // forced SsEv run is canceled mid-plan, proving limits cross the wire.
+    assert!(matches!(
+        colarm.run(&parsed),
+        Err(colarm::ColarmError::Canceled { .. })
+    ));
+    // Without the budget, the parsed request executes the forced plan.
+    let mut unlimited = parsed.clone();
+    unlimited.limits = None;
+    let out = colarm.run(&unlimited).unwrap();
+    assert_eq!(out.plan, PlanKind::SsEv);
+    assert_eq!(out.subset_size, 4);
+}
+
+#[test]
+fn outcome_round_trips_bit_identically() {
+    let colarm = system();
+    let mut request = golden_request(&colarm).with_analyze(true);
+    request.limits = None; // the golden budget would cancel the run
+    let out = colarm.run(&request).unwrap();
+    let json = serde_json::to_string(&out).unwrap();
+    let back: colarm::QueryOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        serde_json::to_value(&back).unwrap(),
+        serde_json::to_value(&out).unwrap(),
+        "QueryOutcome must survive serialize → deserialize unchanged"
+    );
+    // Pin the outcome's top-level field names: this set is the protocol.
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    for field in ["plan", "subset_size", "rules", "choice", "trace", "analyze", "session"] {
+        assert!(value.get(field).is_some(), "outcome lost field `{field}`");
+    }
+}
+
+#[test]
+fn limits_round_trip_and_default_to_none() {
+    let limits = QueryLimits::none()
+        .with_timeout(Duration::from_secs(2))
+        .with_budget_units(42.0);
+    let value = serde_json::to_value(&limits).unwrap();
+    assert_eq!(value["timeout_ns"].as_u64(), Some(2_000_000_000));
+    assert_eq!(value["budget_units"].as_f64(), Some(42.0));
+    let back: QueryLimits = serde_json::from_value(value).unwrap();
+    assert_eq!(back.timeout, limits.timeout);
+    assert_eq!(back.budget_units, limits.budget_units);
+
+    let none: QueryLimits = serde_json::from_str(
+        r#"{"timeout_ns": null, "budget_units": null}"#,
+    )
+    .unwrap();
+    assert_eq!(none.timeout, None);
+    assert_eq!(none.budget_units, None);
+}
+
+#[test]
+fn unknown_request_fields_are_rejected_not_ignored() {
+    // A typo'd client field must fail loudly: silently dropping it would
+    // run a different query than the client asked for.
+    let err = serde_json::from_str::<QueryRequest>(r#"{"plon": "Sev"}"#);
+    assert!(err.is_err(), "unknown field must be rejected");
+}
