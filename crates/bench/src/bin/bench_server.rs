@@ -12,13 +12,19 @@
 //! is provably returning the right answers. Writes `BENCH_server.json`.
 //!
 //! ```text
-//! cargo run --release --bin bench_server [-- OUT.json]
+//! cargo run --release --bin bench_server [-- OUT.json] [--check]
 //! ```
+//!
+//! The run always enforces the `acceptance` thresholds (minimum qps,
+//! maximum p99) and exits nonzero on a miss — the hard gate
+//! `scripts/ci.sh --bench` relies on. `--check` additionally skips
+//! rewriting the committed report file.
 
 use colarm::data::synth::{generate, SynthConfig};
 use colarm::data::{AttributeId, RangeSpec};
 use colarm::{
     Colarm, ColarmServer, LocalizedQuery, MipIndexConfig, QueryRequest, Semantics, ServerConfig,
+    TransportConfig,
 };
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -29,6 +35,13 @@ const CLIENTS: usize = 8;
 const ROUNDS_PER_CLIENT: usize = 6;
 const MINSUPP: f64 = 0.75;
 const MINCONF: f64 = 0.6;
+
+// CI-gate floors, deliberately loose: the committed numbers come from a
+// single-core container, and the gate exists to catch transport-level
+// collapses (an order-of-magnitude qps drop, multi-second tail stalls),
+// not scheduler jitter.
+const MIN_QPS: f64 = 25.0;
+const MAX_P99_MS: f64 = 3_000.0;
 
 /// Same interactive-scale dataset as `bench_session`: 10k records over a
 /// 16-attribute schema, wide enough that restricted SELECT scans run as
@@ -80,6 +93,9 @@ struct Client {
 impl Client {
     fn connect(port: u16) -> Self {
         let stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+        // Requests are written in small pieces; without NODELAY each one
+        // risks a Nagle/delayed-ACK stall that dominates the latency.
+        stream.set_nodelay(true).expect("nodelay sets");
         Client {
             reader: BufReader::new(stream),
         }
@@ -145,6 +161,12 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
 }
 
 #[derive(Serialize)]
+struct Acceptance {
+    min_qps: f64,
+    max_p99_ms: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     description: &'static str,
     harness: String,
@@ -154,6 +176,7 @@ struct Report {
     minconf: f64,
     clients: usize,
     rounds_per_client: usize,
+    workers: usize,
     /// session create + 8 queries per round, across all clients.
     total_requests: usize,
     wall_s: f64,
@@ -163,12 +186,19 @@ struct Report {
     max_ms: f64,
     server_queries: u64,
     server_rejected: u64,
+    acceptance: Acceptance,
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_server.json".to_string());
+    let mut out_path = "BENCH_server.json".to_string();
+    let mut check_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_only = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let colarm = Colarm::build(
         dataset(),
         MipIndexConfig {
@@ -186,13 +216,20 @@ fn main() {
         },
     );
     let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
-    let port = listener.local_addr().unwrap().port();
-    {
-        let server = server.clone();
-        std::thread::spawn(move || {
-            let _ = server.serve_listener(listener);
-        });
-    }
+    // One worker per client: with fewer workers than connections the
+    // CPU-bound queries head-of-line block their queue-mates and the
+    // tail measures scheduling, not the transport. Sized equal, the
+    // numbers compare apples-to-apples with a thread-per-connection
+    // server.
+    let transport = TransportConfig {
+        workers: CLIENTS,
+        ..TransportConfig::default()
+    };
+    let workers = transport.workers;
+    let handle = server
+        .serve_listener_with(listener, transport)
+        .expect("transport starts");
+    let port = handle.addr().port();
     let bodies: Vec<String> = chain()
         .iter()
         .map(|q| serde_json::to_string(&QueryRequest::query(q)).expect("serializes"))
@@ -247,18 +284,23 @@ fn main() {
     let stats = server.handle("GET", "/stats", b"");
     let stats: serde_json::Value = serde_json::from_str(&stats.body).expect("stats JSON");
     let report = Report {
-        description: "8 concurrent keep-alive HTTP clients, each repeating a \
-                      drill-down round (create tenant session, walk the 8-query \
-                      refinement chain, evict) against one shared ColarmServer; \
-                      wire answers verified against in-process execution before \
+        description: "8 concurrent keep-alive HTTP clients (TCP_NODELAY), each \
+                      repeating a drill-down round (create tenant session, walk \
+                      the 8-query refinement chain, evict) against one shared \
+                      ColarmServer on the bounded worker-pool transport; wire \
+                      answers verified against in-process execution before \
                       timing",
-        harness: "cargo run --release --bin bench_server".to_string(),
+        harness: "cargo run --release --bin bench_server [-- OUT.json] [--check]; \
+                  qps must reach min_qps and p99 must stay under max_p99_ms or \
+                  the run exits nonzero (the scripts/ci.sh --bench gate)"
+            .to_string(),
         records: colarm.index().dataset().num_records(),
         chain_len: bodies.len(),
         minsupp: MINSUPP,
         minconf: MINCONF,
         clients: CLIENTS,
         rounds_per_client: ROUNDS_PER_CLIENT,
+        workers,
         total_requests: latencies.len(),
         wall_s,
         qps: latencies.len() as f64 / wall_s,
@@ -267,6 +309,10 @@ fn main() {
         max_ms: percentile_ms(&latencies, 100.0),
         server_queries: stats["queries"].as_u64().unwrap_or(0),
         server_rejected: stats["rejected"].as_u64().unwrap_or(0),
+        acceptance: Acceptance {
+            min_qps: MIN_QPS,
+            max_p99_ms: MAX_P99_MS,
+        },
     };
     println!(
         "{} clients × {} rounds: {} requests in {:.3}s = {:.0} qps | p50 {:.2}ms, \
@@ -282,7 +328,28 @@ fn main() {
         report.server_queries,
         report.server_rejected
     );
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, json).expect("report written");
-    println!("wrote {out_path}");
+    handle.shutdown();
+    if !check_only {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&out_path, json).expect("report written");
+        println!("wrote {out_path}");
+    }
+    let mut failures = Vec::new();
+    if report.qps < MIN_QPS {
+        failures.push(format!("qps {:.1} < required {MIN_QPS:.1}", report.qps));
+    }
+    if report.p99_ms > MAX_P99_MS {
+        failures.push(format!(
+            "p99 {:.1}ms > allowed {MAX_P99_MS:.1}ms",
+            report.p99_ms
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("\nbench gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench gate: qps and p99 within thresholds");
 }

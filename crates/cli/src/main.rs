@@ -21,13 +21,18 @@
 //!     meta-commands (:plans, :explain, :advise, :stats, :save, :load,
 //!     :quit).
 //!
-//! colarm serve (--index index.snap | --data D.tsv --primary P) [--addr H:P]
-//!     Long-running multi-tenant query daemon speaking HTTP/1.1 + JSON.
-//!     Tenants create drill-down sessions (`POST /sessions`) whose
-//!     focal-subset and column caches persist across queries; sessions
-//!     idle past `--idle-ttl-secs` are evicted, and the server admits at
-//!     most `--concurrency` queries at once (excess gets 429, not a
-//!     queue).
+//! colarm serve (--index [NAME=]I.snap … | --data D.tsv --primary P) [--addr H:P]
+//!     Long-running multi-tenant query daemon speaking HTTP/1.1 + JSON
+//!     over a bounded acceptor + `--workers` I/O worker pool. Repeating
+//!     `--index NAME=PATH` hosts several named snapshots, each routable
+//!     as `/indexes/{name}/…` (the bare routes alias the first/default
+//!     index). Tenants create drill-down sessions (`POST /sessions`)
+//!     whose focal-subset and column caches persist across queries;
+//!     sessions idle past `--idle-ttl-secs` are evicted, and the server
+//!     admits at most `--concurrency` queries at once (excess gets 429,
+//!     not a queue). SIGHUP reloads every index from its source path
+//!     into a new generation (live sessions keep their snapshot);
+//!     SIGTERM/SIGINT drain in-flight requests and exit cleanly.
 //!
 //! colarm advise (--index index.snap | --data D.tsv --primary P)
 //!     Mine suggested query parameters from the data (§7 future work).
@@ -35,7 +40,7 @@
 
 mod repl;
 
-use colarm::{Colarm, ColarmServer, MipIndexConfig, QuerySession, ServerConfig};
+use colarm::{Colarm, ColarmServer, MipIndexConfig, QuerySession, ServerConfig, TransportConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -75,10 +80,16 @@ const USAGE: &str = "usage: colarm <demo|index|query|repl|serve|advise> [options
          prefix the query with EXPLAIN ANALYZE for per-operator
          predicted-vs-actual cost tracing (--json for machine-readable)
   repl   (--index I.snap | --data D.tsv --primary P)
-  serve  (--index I.snap | --data D.tsv --primary P) [--addr H:P]
+  serve  (--index [NAME=]I.snap … | --data D.tsv --primary P) [--addr H:P]
          multi-tenant HTTP/JSON query daemon (default 127.0.0.1:7878);
-         tuning: --max-sessions N (64)  --idle-ttl-secs N (900)
-                 --concurrency N (8)    --timeout-cap-ms N (none)
+         repeat --index NAME=PATH to host several named snapshots
+         (routes: /indexes/{name}/query, /indexes/{name}/sessions/…);
+         SIGHUP reloads all indexes in place, SIGTERM drains and exits
+         sessions: --max-sessions N (64)   --idle-ttl-secs N (900)
+                   --concurrency N (8)     --timeout-cap-ms N (none)
+         sockets:  --workers N (4)         --idle-conn-secs N (120)
+                   --read-timeout-ms N (10000)
+                   --write-timeout-ms N (10000)
   advise (--index I.snap | --data D.tsv --primary P)
   --index also accepts legacy JSON snapshots (auto-detected by magic)
   common: --threads N     worker threads for build + query execution
@@ -92,7 +103,9 @@ const USAGE: &str = "usage: colarm <demo|index|query|repl|serve|advise> [options
 /// Parsed `--flag value` options plus positional arguments.
 struct Options {
     data: Option<String>,
-    index: Option<String>,
+    /// `--index` occurrences, each `PATH` or `NAME=PATH` (`serve` hosts
+    /// them all; the other commands use the first).
+    indexes: Vec<String>,
     out: Option<String>,
     primary: f64,
     json: bool,
@@ -102,13 +115,17 @@ struct Options {
     idle_ttl_secs: Option<u64>,
     concurrency: Option<usize>,
     timeout_cap_ms: Option<u64>,
+    workers: Option<usize>,
+    idle_conn_secs: Option<u64>,
+    read_timeout_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
     positional: Vec<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         data: None,
-        index: None,
+        indexes: Vec::new(),
         out: None,
         primary: 0.1,
         json: false,
@@ -118,13 +135,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         idle_ttl_secs: None,
         concurrency: None,
         timeout_cap_ms: None,
+        workers: None,
+        idle_conn_secs: None,
+        read_timeout_ms: None,
+        write_timeout_ms: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--data" => opts.data = Some(take(&mut it, "--data")?),
-            "--index" => opts.index = Some(take(&mut it, "--index")?),
+            "--index" => opts.indexes.push(take(&mut it, "--index")?),
             "--out" => opts.out = Some(take(&mut it, "--out")?),
             "--json" => opts.json = true,
             "--timeout-ms" => {
@@ -145,6 +166,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--timeout-cap-ms" => {
                 opts.timeout_cap_ms = Some(parse_flag(&mut it, "--timeout-cap-ms")?);
+            }
+            "--workers" => {
+                opts.workers = Some(parse_flag(&mut it, "--workers")?);
+            }
+            "--idle-conn-secs" => {
+                opts.idle_conn_secs = Some(parse_flag(&mut it, "--idle-conn-secs")?);
+            }
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = Some(parse_flag(&mut it, "--read-timeout-ms")?);
+            }
+            "--write-timeout-ms" => {
+                opts.write_timeout_ms = Some(parse_flag(&mut it, "--write-timeout-ms")?);
             }
             "--primary" => {
                 opts.primary = take(&mut it, "--primary")?
@@ -185,7 +218,8 @@ fn parse_flag<T: std::str::FromStr>(
 /// Load a system from either a snapshot (binary or legacy JSON,
 /// auto-detected) or a TSV dataset.
 fn load_system(opts: &Options) -> Result<Colarm, String> {
-    if let Some(path) = &opts.index {
+    if let Some(spec) = opts.indexes.first() {
+        let (_, path) = split_index_spec(spec);
         return Colarm::load_index_snapshot(path).map_err(|e| format!("restoring {path}: {e}"));
     }
     let Some(path) = &opts.data else {
@@ -314,9 +348,89 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
     repl::run(colarm.into_shared(), opts.timeout_ms.map(Duration::from_millis))
 }
 
+/// Split an `--index` argument into `(name, path)`. `NAME=PATH` names
+/// the index; a bare `PATH` gets the default name for the first entry.
+/// A `=` whose left side contains a path separator is part of the path.
+fn split_index_spec(spec: &str) -> (Option<&str>, &str) {
+    match spec.split_once('=') {
+        Some((name, path)) if !name.is_empty() && !name.contains('/') => (Some(name), path),
+        _ => (None, spec),
+    }
+}
+
+/// Where one served index came from, so SIGHUP can reload it.
+enum IndexSource {
+    Snapshot(String),
+    Tsv { path: String, primary: f64 },
+}
+
+impl IndexSource {
+    fn load(&self) -> Result<Colarm, String> {
+        match self {
+            IndexSource::Snapshot(path) => {
+                Colarm::load_index_snapshot(path).map_err(|e| format!("restoring {path}: {e}"))
+            }
+            IndexSource::Tsv { path, primary } => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let dataset = colarm_data::io::from_tsv(&text)
+                    .map_err(|e| format!("parsing {path}: {e}"))?;
+                Colarm::build(
+                    dataset,
+                    MipIndexConfig {
+                        primary_support: *primary,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// Signal-to-flag bridge: handlers only flip atomics (async-signal-safe);
+/// the serve loop polls them. On non-unix targets the flags exist but
+/// nothing sets them — `colarm serve` runs until killed.
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static RELOAD: AtomicBool = AtomicBool::new(false);
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    pub fn install() {
+        use std::sync::atomic::Ordering;
+        const SIGHUP: i32 = 1;
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" fn on_hup(_: i32) {
+            RELOAD.store(true, Ordering::SeqCst);
+        }
+        extern "C" fn on_term(_: i32) {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        unsafe extern "C" {
+            // C library signal(2), linked through std; handlers stay
+            // installed (glibc gives BSD semantics).
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let hup = on_hup as extern "C" fn(i32) as *const () as usize;
+        let term = on_term as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGHUP, hup);
+            signal(SIGINT, term);
+            signal(SIGTERM, term);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::sync::atomic::Ordering;
+
     let opts = parse_options(args)?;
-    let colarm = load_system(&opts)?;
     let mut config = ServerConfig::default();
     if let Some(n) = opts.max_sessions {
         if n == 0 {
@@ -336,17 +450,101 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = opts.timeout_cap_ms {
         config.timeout_cap = Some(Duration::from_millis(ms));
     }
-    let server = ColarmServer::new(colarm.into_shared(), config);
+    let mut transport = TransportConfig::default();
+    if let Some(n) = opts.workers {
+        if n == 0 {
+            return Err("--workers expects a positive integer".to_string());
+        }
+        transport.workers = n;
+    }
+    if let Some(secs) = opts.idle_conn_secs {
+        transport.idle_conn_ttl = Duration::from_secs(secs.max(1));
+    }
+    if let Some(ms) = opts.read_timeout_ms {
+        transport.read_timeout = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = opts.write_timeout_ms {
+        transport.write_timeout = Duration::from_millis(ms.max(1));
+    }
+
+    // Resolve the index sources: every `--index [NAME=]PATH`, or the
+    // `--data` TSV as the default index. Sources are remembered so
+    // SIGHUP can reload each one into a new generation.
+    let mut sources: Vec<(String, IndexSource)> = Vec::new();
+    for (i, spec) in opts.indexes.iter().enumerate() {
+        let (name, path) = split_index_spec(spec);
+        let name = match name {
+            Some(name) => name.to_string(),
+            None if i == 0 => colarm::DEFAULT_INDEX.to_string(),
+            None => {
+                return Err(format!(
+                    "--index {path}: additional indexes need a name (--index NAME=PATH)"
+                ))
+            }
+        };
+        sources.push((name, IndexSource::Snapshot(path.to_string())));
+    }
+    if sources.is_empty() {
+        let Some(path) = &opts.data else {
+            return Err("provide --index [NAME=]FILE (repeatable) or --data FILE".to_string());
+        };
+        sources.push((
+            colarm::DEFAULT_INDEX.to_string(),
+            IndexSource::Tsv {
+                path: path.clone(),
+                primary: opts.primary,
+            },
+        ));
+    }
+
+    let mut named = Vec::with_capacity(sources.len());
+    for (name, source) in &sources {
+        named.push((name.clone(), source.load()?.into_shared()));
+    }
+    let server = ColarmServer::with_named_indexes(
+        named,
+        config,
+        std::sync::Arc::new(colarm::SystemClock::default()),
+    )?;
+
+    sig::install();
+    let listener = std::net::TcpListener::bind(&opts.addr)
+        .map_err(|e| format!("binding {}: {e}", opts.addr))?;
+    let handle = server
+        .serve_listener_with(listener, transport)
+        .map_err(|e| format!("serving {}: {e}", opts.addr))?;
     eprintln!(
-        "colarm serving on http://{} — {} records, {} MIPs; POST /query, \
-         POST /sessions, GET /health",
-        opts.addr,
-        server.colarm().index().dataset().num_records(),
-        server.colarm().index().num_mips()
+        "colarm serving on http://{} — indexes [{}], {} workers; \
+         POST /query, POST /sessions, GET /indexes, GET /health \
+         (SIGHUP reloads, SIGTERM drains)",
+        handle.addr(),
+        server.index_names().join(", "),
+        opts.workers.unwrap_or(TransportConfig::default().workers),
     );
-    server
-        .serve(&opts.addr)
-        .map_err(|e| format!("serving {}: {e}", opts.addr))
+
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if sig::SHUTDOWN.load(Ordering::SeqCst) {
+            eprintln!("colarm: draining connections and shutting down");
+            handle.shutdown();
+            return Ok(());
+        }
+        if sig::RELOAD.swap(false, Ordering::SeqCst) {
+            for (name, source) in &sources {
+                match source.load() {
+                    Ok(colarm) => {
+                        let generation = server.reload_index(name, colarm.into_shared());
+                        eprintln!(
+                            "colarm: reloaded index `{name}` (generation {})",
+                            generation.unwrap_or(0)
+                        );
+                    }
+                    // A failed reload keeps the old generation serving.
+                    Err(e) => eprintln!("colarm: reload of `{name}` failed, keeping current: {e}"),
+                }
+            }
+        }
+    }
 }
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {

@@ -81,7 +81,10 @@ pub use plan::{
 };
 pub use query::{LocalizedQuery, Semantics};
 pub use request::{QueryOutcome, QueryRequest};
-pub use server::{ColarmServer, Clock, MockClock, ServerConfig, SystemClock};
+pub use server::{
+    Clock, ColarmServer, MockClock, ServerConfig, ServerHandle, SystemClock, TransportConfig,
+    TransportStats, DEFAULT_INDEX,
+};
 pub use reuse::{ColumnReuse, ColumnStore};
 pub use session::{QuerySession, SessionConfig, SessionStats};
 

@@ -1,72 +1,562 @@
-//! A minimal, dependency-free HTTP/1.1 shell over
-//! [`ColarmServer::handle`].
+//! A minimal, dependency-free HTTP/1.1 transport over
+//! [`ColarmServer::handle`]: a bounded acceptor plus a fixed pool of
+//! I/O workers.
 //!
 //! Supports exactly what the query protocol needs: request line +
 //! headers, `Content-Length` bodies (no chunked encoding), keep-alive
-//! connections, and JSON responses. One thread per connection — tenancy
-//! is bounded by the server's admission limiter, not by the transport.
+//! connections with pipelining, and JSON responses.
+//!
+//! ## I/O model
+//!
+//! One acceptor thread accepts connections and deals them round-robin
+//! onto per-worker queues; [`TransportConfig::workers`] worker threads
+//! each own their connections outright (no cross-worker sharing, no
+//! locks on the hot path). Sockets are nonblocking; each worker runs a
+//! small readiness loop (`poll(2)` on unix) over its connections plus a
+//! loopback wake socket, so 10k mostly-idle keep-alive connections cost
+//! file descriptors, not OS threads. Requests are parsed incrementally
+//! from per-connection buffers and dispatched synchronously on the
+//! worker — admission beyond the worker pool is still governed by the
+//! server's semaphore limiter.
+//!
+//! ## Connection lifecycle
+//!
+//! Every accepted socket gets `TCP_NODELAY`. A request that does not
+//! frame completely within [`TransportConfig::read_timeout`] of its
+//! first byte is answered `408` and the connection closed (slowloris /
+//! short-`Content-Length` clients cannot pin a worker). A keep-alive
+//! connection idle past [`TransportConfig::idle_conn_ttl`] is reaped
+//! silently. A peer that will not drain a response within
+//! [`TransportConfig::write_timeout`] is dropped.
+//!
+//! ## Drain
+//!
+//! [`ServerHandle::shutdown`] stops the acceptor, closes idle
+//! connections, finishes every in-flight request (responses go out with
+//! `Connection: close`), and joins all threads — nothing in flight is
+//! dropped, and no detached thread outlives the handle.
 
-use super::{ColarmServer, Response};
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use super::{ColarmServer, Response, TransportStats};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body (16 MiB) — a defensive cap, far above
 /// any real [`crate::QueryRequest`].
-const MAX_BODY: usize = 16 * 1024 * 1024;
-/// Largest accepted request line or header line.
-const MAX_LINE: usize = 64 * 1024;
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Largest accepted request line or header line (terminator excluded).
+pub const MAX_LINE: usize = 64 * 1024;
+/// Cap on the whole buffered header section of one request.
+const MAX_HEAD: usize = 4 * MAX_LINE;
+/// Upper bound on one readiness wait; timeout bookkeeping and shutdown
+/// flags are re-checked at least this often.
+const POLL_SLICE: Duration = Duration::from_millis(200);
 
-impl ColarmServer {
-    /// Bind `addr` and serve forever, one thread per connection. Returns
-    /// only on listener failure. Use [`ColarmServer::serve_listener`]
-    /// with a pre-bound listener to learn the ephemeral port first.
-    pub fn serve(self: &Arc<Self>, addr: impl ToSocketAddrs) -> io::Result<()> {
-        self.serve_listener(TcpListener::bind(addr)?)
-    }
+/// Socket-level knobs of one listener (the server-policy knobs live in
+/// [`super::ServerConfig`]).
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// I/O worker threads (connections are dealt round-robin; each
+    /// worker multiplexes all of its connections). Default 4, floor 1.
+    pub workers: usize,
+    /// A request must frame completely within this long of its first
+    /// byte, or the connection is answered 408 and closed (default 10s).
+    pub read_timeout: Duration,
+    /// A peer that will not drain a pending response for this long is
+    /// dropped (default 10s).
+    pub write_timeout: Duration,
+    /// A keep-alive connection with no request in progress for this
+    /// long is silently reaped (default 120s).
+    pub idle_conn_ttl: Duration,
+}
 
-    /// Serve connections from an already-bound listener forever.
-    pub fn serve_listener(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
-        for stream in listener.incoming() {
-            let Ok(stream) = stream else { continue };
-            let server = self.clone();
-            std::thread::spawn(move || serve_connection(&server, stream));
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            idle_conn_ttl: Duration::from_secs(120),
         }
-        Ok(())
     }
 }
 
-/// Serve one connection until the peer closes, errors, or sends
-/// `Connection: close`.
-pub fn serve_connection(server: &ColarmServer, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
+/// Running transport: join handles for the acceptor and every worker,
+/// plus the shared shutdown flag. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) drains and joins everything — tests and
+/// benches cannot leak a detached accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<WorkerLink>,
+    stats: Arc<TransportStats>,
+}
+
+struct WorkerLink {
+    handle: Option<JoinHandle<()>>,
+    /// Loopback socket; one byte written here pops the worker out of
+    /// its readiness wait.
+    wake: TcpStream,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The transport's live counters (also surfaced in `GET /stats`).
+    pub fn stats(&self) -> Arc<TransportStats> {
+        self.stats.clone()
+    }
+
+    /// Stop accepting, drain in-flight requests, close every
+    /// connection, and join the acceptor and all workers. Idempotent
+    /// via [`Drop`]; nothing in flight is dropped.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor may be parked in its readiness wait; a no-op
+        // connection pops it immediately (the accepted socket lands on a
+        // draining worker and is closed as idle).
+        let _ = TcpStream::connect(self.addr);
+        for worker in &mut self.workers {
+            let _ = worker.wake.write(&[1]);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in &mut self.workers {
+            let _ = worker.wake.write(&[1]);
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl ColarmServer {
+    /// Bind `addr` and serve on background threads; returns a
+    /// [`ServerHandle`] immediately. Use [`ServerHandle::shutdown`] for
+    /// a graceful drain.
+    pub fn serve(self: &Arc<Self>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+        self.serve_listener(TcpListener::bind(addr)?)
+    }
+
+    /// Serve an already-bound listener with default transport knobs.
+    pub fn serve_listener(self: &Arc<Self>, listener: TcpListener) -> io::Result<ServerHandle> {
+        self.serve_listener_with(listener, TransportConfig::default())
+    }
+
+    /// Serve an already-bound listener: spawn the acceptor and
+    /// `config.workers` I/O workers, and return the handle that owns
+    /// them.
+    pub fn serve_listener_with(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        config: TransportConfig,
+    ) -> io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let stats = Arc::new(TransportStats::default());
+        stats.workers.store(workers, Ordering::Relaxed);
+        self.attach_transport(stats.clone());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut links = Vec::with_capacity(workers);
+        let mut feeds = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (wake_tx, wake_rx) = wake_pair()?;
+            let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+            let server = self.clone();
+            let shutdown = shutdown.clone();
+            let config = config.clone();
+            let stats = stats.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("colarm-http-w{i}"))
+                .spawn(move || worker_loop(&server, &conn_rx, wake_rx, &shutdown, &config, &stats))?;
+            feeds.push(Feed {
+                tx: conn_tx,
+                wake: wake_tx.try_clone()?,
+            });
+            links.push(WorkerLink {
+                handle: Some(handle),
+                wake: wake_tx,
+            });
+        }
+
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            std::thread::Builder::new()
+                .name("colarm-http-accept".to_string())
+                .spawn(move || acceptor_loop(&listener, feeds, &shutdown, &stats))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: links,
+            stats,
+        })
+    }
+}
+
+/// The acceptor's channel to one worker: the connection queue plus the
+/// wake socket that pops the worker out of its readiness wait.
+struct Feed {
+    tx: mpsc::Sender<TcpStream>,
+    wake: TcpStream,
+}
+
+/// A loopback socket pair standing in for a pipe — std has no
+/// `pipe(2)`, but a localhost TCP pair gives the same one-byte wake
+/// semantics on every platform.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let writer = TcpStream::connect(listener.local_addr()?)?;
+    let (reader, _) = listener.accept()?;
+    writer.set_nonblocking(true)?;
+    reader.set_nonblocking(true)?;
+    let _ = writer.set_nodelay(true);
+    Ok((writer, reader))
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    mut feeds: Vec<Feed>,
+    shutdown: &AtomicBool,
+    stats: &TransportStats,
+) {
+    if listener.set_nonblocking(true).is_err() {
         return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = write_half;
-    loop {
-        match read_request(&mut reader) {
-            Ok(Some(request)) => {
-                let response = server.handle(&request.method, &request.path, &request.body);
-                let keep_alive = request.keep_alive;
-                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
-                    return;
+    }
+    let mut fds = [poll::PollFd::readable(poll::listener_fd(listener))];
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::Acquire) {
+        poll::wait(&mut fds, POLL_SLICE);
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    let slot = next % feeds.len();
+                    next = next.wrapping_add(1);
+                    let feed = &mut feeds[slot];
+                    if feed.tx.send(stream).is_ok() {
+                        let _ = feed.wake.write(&[1]);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failure (e.g. EMFILE): back off briefly
+                // instead of spinning.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
                 }
             }
-            // Clean end of connection.
-            Ok(None) => return,
-            Err(ReadError::Io) => return,
-            Err(ReadError::Malformed(message)) => {
-                // Protocol-level garbage: answer once, then hang up (the
-                // framing is unrecoverable).
-                let _ = write_response(
-                    &mut writer,
-                    &Response::error(400, "bad_request", &message),
-                    false,
-                );
+        }
+    }
+}
+
+/// Incremental parse state of one connection.
+struct Conn {
+    stream: TcpStream,
+    /// Received, not-yet-parsed bytes.
+    inbuf: Vec<u8>,
+    /// Response bytes not yet written, from `outpos`.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// When the first byte of the current request arrived; the whole
+    /// request must frame within `read_timeout` of it.
+    request_started: Option<Instant>,
+    /// Last byte in or out — the idle / write-stall quantity.
+    last_activity: Instant,
+    close_after_flush: bool,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            request_started: None,
+            last_activity: Instant::now(),
+            close_after_flush: false,
+            closed: false,
+        }
+    }
+
+    fn has_output(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    /// A request is being read or a response is being written.
+    fn in_flight(&self) -> bool {
+        self.request_started.is_some() || self.has_output()
+    }
+
+    /// Earliest instant at which a timeout fires for this connection.
+    fn deadline(&self, config: &TransportConfig) -> Instant {
+        if self.has_output() {
+            self.last_activity + config.write_timeout
+        } else if let Some(started) = self.request_started {
+            started + config.read_timeout
+        } else {
+            self.last_activity + config.idle_conn_ttl
+        }
+    }
+}
+
+fn worker_loop(
+    server: &Arc<ColarmServer>,
+    conn_rx: &mpsc::Receiver<TcpStream>,
+    mut wake: TcpStream,
+    shutdown: &AtomicBool,
+    config: &TransportConfig,
+    stats: &TransportStats,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<poll::PollFd> = Vec::new();
+    loop {
+        while let Ok(stream) = conn_rx.try_recv() {
+            conns.push(Conn::new(stream));
+            stats.connections_open.fetch_add(1, Ordering::Relaxed);
+        }
+        let draining = shutdown.load(Ordering::Acquire);
+        if draining {
+            // Idle keep-alive connections are closed outright; in-flight
+            // requests are finished below.
+            for conn in &mut conns {
+                if !conn.in_flight() {
+                    conn.closed = true;
+                }
+            }
+            reap(&mut conns, stats);
+            if conns.is_empty() {
+                break;
+            }
+        }
+
+        // Readiness set: the wake socket first, then the connections in
+        // vector order (kept aligned below).
+        fds.clear();
+        fds.push(poll::PollFd::readable(poll::stream_fd(&wake)));
+        let now = Instant::now();
+        let mut timeout = POLL_SLICE;
+        for conn in &conns {
+            fds.push(poll::PollFd::new(
+                poll::stream_fd(&conn.stream),
+                conn.has_output(),
+            ));
+            timeout = timeout.min(conn.deadline(config).saturating_duration_since(now));
+        }
+        poll::wait(&mut fds, timeout);
+        let mut scratch = [0u8; 64];
+        while matches!(wake.read(&mut scratch), Ok(n) if n > 0) {}
+
+        let now = Instant::now();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if fds[i + 1].ready() {
+                progress_conn(server, conn, config, now, draining);
+            }
+            enforce_deadlines(conn, config, now, stats, draining);
+        }
+        reap(&mut conns, stats);
+        if !draining && conns.is_empty() {
+            // Park on the wake socket alone; try_recv above picks up
+            // whatever the acceptor queued before waking us.
+            continue;
+        }
+    }
+}
+
+/// Drop closed connections and keep the open-connection gauge honest.
+fn reap(conns: &mut Vec<Conn>, stats: &TransportStats) {
+    let before = conns.len();
+    conns.retain(|c| !c.closed);
+    let closed = (before - conns.len()) as u64;
+    if closed > 0 {
+        stats.connections_open.fetch_sub(closed, Ordering::Relaxed);
+    }
+}
+
+/// Flush pending output, read whatever the socket has, parse and
+/// dispatch every complete request, and flush again.
+fn progress_conn(
+    server: &ColarmServer,
+    conn: &mut Conn,
+    config: &TransportConfig,
+    now: Instant,
+    draining: bool,
+) {
+    if flush(conn, now).is_err() {
+        conn.closed = true;
+        return;
+    }
+    if conn.closed {
+        return;
+    }
+    // Read until WouldBlock or EOF.
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer hangup. Anything half-read is unanswerable.
+                conn.closed = !conn.has_output();
+                conn.close_after_flush = true;
+                break;
+            }
+            Ok(n) => {
+                if conn.inbuf.is_empty() {
+                    conn.request_started = Some(now);
+                }
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = now;
+                if conn.inbuf.len() > MAX_HEAD + MAX_BODY {
+                    respond_and_close(conn, &Response::error(400, "bad_request", "request too large"));
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closed = true;
                 return;
             }
         }
+    }
+    dispatch_buffered(server, conn, config, now, draining);
+    if flush(conn, now).is_err() {
+        conn.closed = true;
+    }
+}
+
+/// Parse and answer every complete request sitting in `inbuf`
+/// (pipelining: responses are appended in order).
+fn dispatch_buffered(
+    server: &ColarmServer,
+    conn: &mut Conn,
+    _config: &TransportConfig,
+    now: Instant,
+    draining: bool,
+) {
+    while !conn.close_after_flush && !conn.closed {
+        match try_parse(&conn.inbuf) {
+            Parse::NeedMore => break,
+            Parse::Bad(message) => {
+                // Protocol-level garbage: answer once, then hang up (the
+                // framing is unrecoverable).
+                respond_and_close(conn, &Response::error(400, "bad_request", &message));
+                break;
+            }
+            Parse::Done { request, consumed } => {
+                conn.inbuf.drain(..consumed);
+                // Leftover bytes are the start of the next pipelined
+                // request; its read deadline starts now.
+                conn.request_started = (!conn.inbuf.is_empty()).then_some(now);
+                let response = server.handle(&request.method, &request.path, &request.body);
+                // During drain every response announces closure so
+                // keep-alive clients reconnect elsewhere.
+                let keep_alive = request.keep_alive && !draining;
+                append_response(&mut conn.outbuf, &response, keep_alive);
+                if !keep_alive {
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+}
+
+/// Queue an error response and close once it is flushed; any buffered
+/// request bytes are abandoned.
+fn respond_and_close(conn: &mut Conn, response: &Response) {
+    conn.inbuf.clear();
+    conn.request_started = None;
+    append_response(&mut conn.outbuf, response, false);
+    conn.close_after_flush = true;
+}
+
+fn flush(conn: &mut Conn, now: Instant) -> io::Result<()> {
+    while conn.has_output() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.outpos += n;
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    if conn.close_after_flush {
+        conn.closed = true;
+    }
+    Ok(())
+}
+
+fn enforce_deadlines(
+    conn: &mut Conn,
+    config: &TransportConfig,
+    now: Instant,
+    stats: &TransportStats,
+    draining: bool,
+) {
+    if conn.closed {
+        return;
+    }
+    if conn.has_output() {
+        if now.saturating_duration_since(conn.last_activity) >= config.write_timeout {
+            stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
+            conn.closed = true;
+        }
+    } else if let Some(started) = conn.request_started {
+        if now.saturating_duration_since(started) >= config.read_timeout {
+            stats.request_read_timeouts.fetch_add(1, Ordering::Relaxed);
+            respond_and_close(
+                conn,
+                &Response::error(
+                    408,
+                    "request_timeout",
+                    "request did not arrive within the read timeout",
+                ),
+            );
+            let _ = flush(conn, now);
+        }
+    } else if draining
+        || now.saturating_duration_since(conn.last_activity) >= config.idle_conn_ttl
+    {
+        if !draining {
+            stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        }
+        conn.closed = true;
     }
 }
 
@@ -77,94 +567,107 @@ struct Request {
     keep_alive: bool,
 }
 
-enum ReadError {
-    /// Transport failure or peer hangup — nothing to answer.
-    Io,
+enum Parse {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// A complete request and the byte count it occupied.
+    Done { request: Request, consumed: usize },
     /// Unframeable request — answer 400 once, then hang up.
-    Malformed(String),
+    Bad(String),
 }
 
-impl From<io::Error> for ReadError {
-    fn from(_: io::Error) -> ReadError {
-        ReadError::Io
+/// Pull one line (terminated by `\n`, optional `\r` stripped) out of
+/// `buf` at `pos`. Lines longer than [`MAX_LINE`] are rejected as soon
+/// as enough bytes prove it.
+fn take_line(buf: &[u8], pos: usize) -> Result<Option<(String, usize)>, String> {
+    let window_end = buf.len().min(pos + MAX_LINE + 2);
+    match buf[pos..window_end].iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            let mut end = pos + nl;
+            let next = end + 1;
+            if end > pos && buf[end - 1] == b'\r' {
+                end -= 1;
+            }
+            if end - pos > MAX_LINE {
+                return Err("header line too long".to_string());
+            }
+            let line = std::str::from_utf8(&buf[pos..end])
+                .map_err(|_| "header line is not UTF-8".to_string())?;
+            Ok(Some((line.to_string(), next)))
+        }
+        None if window_end - pos > MAX_LINE + 1 => Err("header line too long".to_string()),
+        None => Ok(None),
     }
 }
 
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ReadError> {
-    let mut line = String::new();
-    let n = reader
-        .by_ref()
-        .take(MAX_LINE as u64 + 1)
-        .read_line(&mut line)
-        .map_err(ReadError::from)?;
-    if n == 0 {
-        return Ok(None);
+/// Try to frame one request out of the front of `buf`.
+fn try_parse(buf: &[u8]) -> Parse {
+    if buf.is_empty() {
+        return Parse::NeedMore;
     }
-    if line.len() > MAX_LINE {
-        return Err(ReadError::Malformed("header line too long".into()));
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(Some(line))
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, ReadError> {
-    let Some(request_line) = read_line(reader)? else {
-        return Ok(None);
+    let (request_line, mut pos) = match take_line(buf, 0) {
+        Err(message) => return Parse::Bad(message),
+        Ok(None) => return Parse::NeedMore,
+        Ok(Some(line)) => line,
     };
     let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) =
-        (parts.next(), parts.next(), parts.next())
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Err(ReadError::Malformed(format!(
-            "malformed request line `{request_line}`"
-        )));
+        return Parse::Bad(format!("malformed request line `{request_line}`"));
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(format!(
-            "unsupported protocol `{version}`"
-        )));
+        return Parse::Bad(format!("unsupported protocol `{version}`"));
     }
     // Query strings are not part of the protocol; strip them defensively.
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    // HTTP/1.0 defaults to close; 1.1 to keep-alive.
     let mut keep_alive = version != "HTTP/1.0";
     loop {
-        let Some(line) = read_line(reader)? else {
-            return Err(ReadError::Malformed("connection closed mid-headers".into()));
+        if pos > MAX_HEAD {
+            return Parse::Bad("header section too large".to_string());
+        }
+        let (line, next) = match take_line(buf, pos) {
+            Err(message) => return Parse::Bad(message),
+            Ok(None) => return Parse::NeedMore,
+            Ok(Some(line)) => line,
         };
+        pos = next;
         if line.is_empty() {
             break;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Malformed(format!("malformed header `{line}`")));
+            return Parse::Bad(format!("malformed header `{line}`"));
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{value}`")))?;
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => return Parse::Bad(format!("bad Content-Length `{value}`")),
+            };
             if content_length > MAX_BODY {
-                return Err(ReadError::Malformed("request body too large".into()));
+                return Parse::Bad("request body too large".to_string());
             }
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(ReadError::Malformed(
-                "chunked requests are not supported; send Content-Length".into(),
-            ));
+            return Parse::Bad("chunked requests are not supported; send Content-Length".to_string());
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(ReadError::from)?;
-    Ok(Some(Request {
-        method: method.to_string(),
-        path,
-        body,
-        keep_alive,
-    }))
+    let total = pos + content_length;
+    if buf.len() < total {
+        return Parse::NeedMore;
+    }
+    Parse::Done {
+        request: Request {
+            method: method.to_string(),
+            path,
+            body: buf[pos..total].to_vec(),
+            keep_alive,
+        },
+        consumed: total,
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -178,11 +681,12 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response, keep_alive: bool) -> io::Result<()> {
+fn append_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
@@ -190,7 +694,192 @@ fn write_response(writer: &mut TcpStream, response: &Response, keep_alive: bool)
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(response.body.as_bytes())?;
-    writer.flush()
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(response.body.as_bytes());
+}
+
+/// Readiness waiting. On unix this is `poll(2)` called straight through
+/// the C library std already links — no new dependency. Elsewhere it
+/// degrades to a short sleep that reports every descriptor ready;
+/// nonblocking I/O turns the spurious readiness into `WouldBlock`, so
+/// the fallback is correct, just less efficient.
+mod poll {
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+
+    #[repr(C)]
+    pub struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        pub fn readable(fd: i32) -> PollFd {
+            PollFd {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            }
+        }
+
+        /// Read-readiness always; write-readiness only while output is
+        /// pending (a writable idle socket must not busy-loop the
+        /// worker).
+        pub fn new(fd: i32, want_write: bool) -> PollFd {
+            PollFd {
+                fd,
+                events: if want_write { POLLIN | POLLOUT } else { POLLIN },
+                revents: 0,
+            }
+        }
+
+        /// Any event — including `POLLHUP`/`POLLERR`, which surface as
+        /// EOF or an error on the next read attempt.
+        pub fn ready(&self) -> bool {
+            self.revents != 0
+        }
+    }
+
+    #[cfg(unix)]
+    pub fn stream_fd(stream: &TcpStream) -> i32 {
+        use std::os::fd::AsRawFd;
+        stream.as_raw_fd()
+    }
+
+    #[cfg(unix)]
+    pub fn listener_fd(listener: &TcpListener) -> i32 {
+        use std::os::fd::AsRawFd;
+        listener.as_raw_fd()
+    }
+
+    #[cfg(unix)]
+    pub fn wait(fds: &mut [PollFd], timeout: Duration) {
+        unsafe extern "C" {
+            // `nfds_t` is `c_ulong` on every unix libc.
+            fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        }
+        let ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX).max(0);
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, ms) };
+        if rc < 0 {
+            // EINTR or transient failure: report nothing ready; the
+            // caller's loop re-polls.
+            for fd in fds {
+                fd.revents = 0;
+            }
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn stream_fd(_stream: &TcpStream) -> i32 {
+        0
+    }
+
+    #[cfg(not(unix))]
+    pub fn listener_fd(_listener: &TcpListener) -> i32 {
+        0
+    }
+
+    #[cfg(not(unix))]
+    pub fn wait(fds: &mut [PollFd], timeout: Duration) {
+        std::thread::sleep(timeout.min(Duration::from_millis(2)));
+        for fd in fds {
+            fd.revents = fd.events;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> (Request, usize) {
+        match try_parse(bytes) {
+            Parse::Done { request, consumed } => (request, consumed),
+            Parse::NeedMore => panic!("unexpected NeedMore"),
+            Parse::Bad(m) => panic!("unexpected Bad: {m}"),
+        }
+    }
+
+    #[test]
+    fn frames_a_body_and_reports_consumption() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdXYZ";
+        let (request, consumed) = parse_ok(raw);
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/query");
+        assert_eq!(request.body, b"abcd");
+        assert!(request.keep_alive);
+        assert_eq!(consumed, raw.len() - 3, "pipelined bytes stay buffered");
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        assert!(matches!(try_parse(b""), Parse::NeedMore));
+        assert!(matches!(try_parse(b"GET /health HT"), Parse::NeedMore));
+        assert!(matches!(
+            try_parse(b"GET /health HTTP/1.1\r\nHost: x\r\n"),
+            Parse::NeedMore
+        ));
+        assert!(matches!(
+            try_parse(b"POST /q HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Parse::NeedMore
+        ));
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close_and_1_1_to_keep_alive() {
+        let (request, _) = parse_ok(b"GET /health HTTP/1.0\r\n\r\n");
+        assert!(!request.keep_alive);
+        let (request, _) = parse_ok(b"GET /health HTTP/1.1\r\n\r\n");
+        assert!(request.keep_alive);
+        let (request, _) = parse_ok(b"GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(request.keep_alive);
+        let (request, _) = parse_ok(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!request.keep_alive);
+    }
+
+    #[test]
+    fn header_line_boundary_sits_exactly_at_max_line() {
+        let mut raw = b"GET /health HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE - "X-Pad: ".len()));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let (request, _) = parse_ok(&raw);
+        assert_eq!(request.path, "/health");
+
+        let mut raw = b"GET /health HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE - "X-Pad: ".len() + 1));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(try_parse(&raw), Parse::Bad(m) if m.contains("too long")));
+    }
+
+    #[test]
+    fn unterminated_oversized_line_is_rejected_without_waiting() {
+        let raw = vec![b'a'; MAX_LINE + 2];
+        assert!(matches!(try_parse(&raw), Parse::Bad(m) if m.contains("too long")));
+    }
+
+    #[test]
+    fn framing_garbage_is_bad() {
+        assert!(matches!(try_parse(b"nonsense\r\n\r\n"), Parse::Bad(_)));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/2.0\r\n\r\n"),
+            Parse::Bad(m) if m.contains("unsupported")
+        ));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Parse::Bad(m) if m.contains("Content-Length")
+        ));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parse::Bad(m) if m.contains("chunked")
+        ));
+        let oversized = format!("POST /q HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            try_parse(oversized.as_bytes()),
+            Parse::Bad(m) if m.contains("too large")
+        ));
+    }
 }

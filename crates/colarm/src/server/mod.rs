@@ -9,15 +9,22 @@
 //!
 //! ## Endpoints
 //!
+//! One daemon hosts **multiple named snapshots**. Every query route
+//! exists in two spellings: the `/indexes/{name}/…` form addressing a
+//! specific snapshot, and the bare form (no prefix) aliasing the
+//! **default index** (the first one registered).
+//!
 //! | Method & path | Body | Response |
 //! |---|---|---|
 //! | `GET /health` | — | `{"status":"ok"}` |
-//! | `GET /stats` | — | server counters |
-//! | `POST /sessions` | `{}` or `{"id":"…"}` | `{"id":"…"}` (201) |
-//! | `GET /sessions/{id}` | — | [`SessionStats`] |
-//! | `DELETE /sessions/{id}` | — | `{"evicted":true}` |
-//! | `POST /query` | [`QueryRequest`] | [`QueryOutcome`](crate::QueryOutcome) |
-//! | `POST /sessions/{id}/query` | [`QueryRequest`] | [`QueryOutcome`](crate::QueryOutcome) |
+//! | `GET /stats` | — | server counters (per-index + transport) |
+//! | `GET /indexes` | — | `{"default":…, "indexes":{…}}` |
+//! | `GET /indexes/{name}` | — | one index's summary |
+//! | `POST [/indexes/{name}]/sessions` | `{}` or `{"id":"…"}` | `{"id":"…"}` (201) |
+//! | `GET [/indexes/{name}]/sessions/{id}` | — | [`SessionStats`] |
+//! | `DELETE [/indexes/{name}]/sessions/{id}` | — | `{"evicted":true}` |
+//! | `POST [/indexes/{name}]/query` | [`QueryRequest`] | [`QueryOutcome`](crate::QueryOutcome) |
+//! | `POST [/indexes/{name}]/sessions/{id}/query` | [`QueryRequest`] | [`QueryOutcome`](crate::QueryOutcome) |
 //!
 //! Session queries hit the session's subset / answer / column caches, so
 //! an interactive drill-down served over HTTP reuses derivations exactly
@@ -26,6 +33,17 @@
 //! [`ServerConfig::idle_ttl`], and the registry evicts
 //! least-recently-used sessions beyond [`ServerConfig::max_sessions`] —
 //! both deterministically (recency stamps are unique).
+//!
+//! ## Generations and reload
+//!
+//! Each named index carries a **generation** counter.
+//! [`ColarmServer::reload_index`] (wired to SIGHUP in `colarm serve`)
+//! atomically swaps in a new snapshot and bumps the generation: new
+//! sessions and one-shot queries route to the new generation, while
+//! existing sessions keep the `Arc<Colarm>` they were created on and
+//! drain off through the ordinary TTL/LRU machinery — a long-lived
+//! drill-down never sees its snapshot change mid-session, and no
+//! in-flight request is dropped by a reload.
 //!
 //! ## Errors and admission
 //!
@@ -43,16 +61,23 @@
 
 pub mod http;
 
+pub use http::{ServerHandle, TransportConfig};
+
 use crate::error::ColarmError;
 use crate::framework::Colarm;
 use crate::request::QueryRequest;
 use crate::session::{QuerySession, SessionConfig, SessionStats};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde_json::json;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The name [`ColarmServer::new`] registers its snapshot under. The
+/// un-prefixed routes (`/query`, `/sessions/…`) always alias the
+/// server's default index, whatever its name.
+pub const DEFAULT_INDEX: &str = "default";
 
 /// The server's notion of time, in milliseconds since server start.
 /// Injected so idle-TTL eviction is deterministic under test
@@ -190,9 +215,64 @@ impl Drop for Permit<'_> {
     }
 }
 
+/// One named snapshot the server routes queries to.
+struct IndexEntry {
+    colarm: Arc<Colarm>,
+    /// Bumped by every [`ColarmServer::reload_index`]; sessions remember
+    /// the generation they were created on.
+    generation: u64,
+}
+
+struct IndexTable {
+    entries: HashMap<String, IndexEntry>,
+    /// The index the un-prefixed alias routes resolve to.
+    default_name: String,
+}
+
+/// Socket-transport counters, populated by the HTTP layer and surfaced
+/// under `"transport"` in `GET /stats`. All counters are cumulative
+/// except `connections_open`.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Size of the I/O worker pool.
+    pub workers: AtomicUsize,
+    /// Connections accepted since the listener started.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently owned by workers.
+    pub connections_open: AtomicU64,
+    /// Requests answered 408 because they did not frame within the read
+    /// timeout (slowloris / short-body clients).
+    pub request_read_timeouts: AtomicU64,
+    /// Keep-alive connections silently reaped past the idle deadline.
+    pub idle_reaped: AtomicU64,
+    /// Connections dropped because the peer would not drain a response
+    /// within the write timeout.
+    pub write_timeouts: AtomicU64,
+}
+
+impl TransportStats {
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "workers": self.workers.load(Ordering::Relaxed),
+            "connections_accepted": self.connections_accepted.load(Ordering::Relaxed),
+            "connections_open": self.connections_open.load(Ordering::Relaxed),
+            "request_read_timeouts": self.request_read_timeouts.load(Ordering::Relaxed),
+            "idle_reaped": self.idle_reaped.load(Ordering::Relaxed),
+            "write_timeouts": self.write_timeouts.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Registry key: `(index name, session id)` — tenants are scoped to the
+/// index they were created on.
+type SessionKey = (String, String);
+
 /// One tenant in the registry: the session plus its recency bookkeeping.
 struct SessionEntry {
     session: Arc<QuerySession>,
+    /// Index generation the session was created on; the session's
+    /// `Arc<Colarm>` keeps that generation alive until eviction.
+    generation: u64,
     /// Last touch, clock milliseconds — the idle-TTL quantity.
     last_used_ms: u64,
     /// Unique monotonic touch stamp breaking same-millisecond LRU ties,
@@ -202,7 +282,7 @@ struct SessionEntry {
 
 #[derive(Default)]
 struct RegistryInner {
-    entries: HashMap<String, SessionEntry>,
+    entries: HashMap<SessionKey, SessionEntry>,
     next_stamp: u64,
     next_auto_id: u64,
     created: u64,
@@ -228,16 +308,18 @@ impl RegistryInner {
             .entries
             .iter()
             .min_by_key(|(_, e)| (e.last_used_ms, e.stamp))
-            .map(|(id, _)| id.clone());
-        if let Some(id) = victim {
-            self.entries.remove(&id);
+            .map(|(key, _)| key.clone());
+        if let Some(key) = victim {
+            self.entries.remove(&key);
             self.evicted_lru += 1;
         }
     }
 
-    fn touch(&mut self, id: &str, now_ms: u64) -> Option<Arc<QuerySession>> {
+    fn touch(&mut self, index: &str, id: &str, now_ms: u64) -> Option<Arc<QuerySession>> {
         let stamp = self.next_stamp;
-        let entry = self.entries.get_mut(id)?;
+        let entry = self
+            .entries
+            .get_mut(&(index.to_string(), id.to_string()))?;
         self.next_stamp += 1;
         entry.last_used_ms = now_ms;
         entry.stamp = stamp;
@@ -280,12 +362,12 @@ impl Response {
     }
 }
 
-/// The multi-tenant query server core: a shared [`Colarm`], the session
-/// registry, and the admission limiter. Transport-free — the HTTP layer
-/// ([`ColarmServer::serve`]) and tests both drive
-/// [`ColarmServer::handle`].
+/// The multi-tenant query server core: a routing table of named
+/// [`Colarm`] snapshots, the session registry, and the admission
+/// limiter. Transport-free — the HTTP layer ([`ColarmServer::serve`])
+/// and tests both drive [`ColarmServer::handle`].
 pub struct ColarmServer {
-    colarm: Arc<Colarm>,
+    indexes: RwLock<IndexTable>,
     config: ServerConfig,
     clock: Arc<dyn Clock>,
     registry: Mutex<RegistryInner>,
@@ -293,11 +375,23 @@ pub struct ColarmServer {
     queries: AtomicU64,
     query_errors: AtomicU64,
     rejected: AtomicU64,
+    /// Set by the HTTP layer when the server goes on a socket; `None`
+    /// while the core is driven transport-free.
+    transport: Mutex<Option<Arc<TransportStats>>>,
+}
+
+fn validate_index_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 || name.contains('/') {
+        return Err(format!(
+            "index name `{name}` invalid: 1-64 characters with no '/'"
+        ));
+    }
+    Ok(())
 }
 
 impl ColarmServer {
-    /// A server over a shared system, timed by the monotonic
-    /// [`SystemClock`].
+    /// A server over one shared system registered as the
+    /// [`DEFAULT_INDEX`], timed by the monotonic [`SystemClock`].
     pub fn new(colarm: Arc<Colarm>, config: ServerConfig) -> Arc<ColarmServer> {
         ColarmServer::with_clock(colarm, config, Arc::new(SystemClock::default()))
     }
@@ -308,9 +402,38 @@ impl ColarmServer {
         config: ServerConfig,
         clock: Arc<dyn Clock>,
     ) -> Arc<ColarmServer> {
+        ColarmServer::with_named_indexes(vec![(DEFAULT_INDEX.to_string(), colarm)], config, clock)
+            .expect("the default index name is valid")
+    }
+
+    /// A server hosting several named snapshots; the first is the
+    /// default index the un-prefixed routes alias to. Fails on empty,
+    /// duplicate, or invalid names.
+    pub fn with_named_indexes(
+        indexes: Vec<(String, Arc<Colarm>)>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Arc<ColarmServer>, String> {
+        let Some((default_name, _)) = indexes.first() else {
+            return Err("a server needs at least one index".to_string());
+        };
+        let default_name = default_name.clone();
+        let mut entries = HashMap::new();
+        for (name, colarm) in indexes {
+            validate_index_name(&name)?;
+            if entries
+                .insert(name.clone(), IndexEntry { colarm, generation: 1 })
+                .is_some()
+            {
+                return Err(format!("index `{name}` listed twice"));
+            }
+        }
         let limiter = Limiter::new(config.max_concurrency.max(1));
-        Arc::new(ColarmServer {
-            colarm,
+        Ok(Arc::new(ColarmServer {
+            indexes: RwLock::new(IndexTable {
+                entries,
+                default_name,
+            }),
             config,
             clock,
             registry: Mutex::new(RegistryInner::default()),
@@ -318,12 +441,71 @@ impl ColarmServer {
             queries: AtomicU64::new(0),
             query_errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-        })
+            transport: Mutex::new(None),
+        }))
     }
 
-    /// The shared system this server queries.
-    pub fn colarm(&self) -> &Arc<Colarm> {
-        &self.colarm
+    /// The current generation of the default index's system.
+    pub fn colarm(&self) -> Arc<Colarm> {
+        let table = self.indexes.read();
+        table.entries[&table.default_name].colarm.clone()
+    }
+
+    /// The index the un-prefixed alias routes resolve to.
+    pub fn default_index_name(&self) -> String {
+        self.indexes.read().default_name.clone()
+    }
+
+    /// Current generation of index `name`'s system, if registered.
+    pub fn index(&self, name: &str) -> Option<Arc<Colarm>> {
+        self.indexes
+            .read()
+            .entries
+            .get(name)
+            .map(|e| e.colarm.clone())
+    }
+
+    /// Generation counter of index `name` (starts at 1; bumped by every
+    /// reload).
+    pub fn index_generation(&self, name: &str) -> Option<u64> {
+        self.indexes.read().entries.get(name).map(|e| e.generation)
+    }
+
+    /// Registered index names, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.indexes.read().entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Register an additional named snapshot at generation 1.
+    pub fn add_index(&self, name: &str, colarm: Arc<Colarm>) -> Result<(), String> {
+        validate_index_name(name)?;
+        let mut table = self.indexes.write();
+        if table.entries.contains_key(name) {
+            return Err(format!("index `{name}` already exists"));
+        }
+        table.entries.insert(
+            name.to_string(),
+            IndexEntry {
+                colarm,
+                generation: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Swap index `name` to a freshly loaded snapshot and bump its
+    /// generation (returned). New sessions and one-shot queries route to
+    /// the new generation immediately; existing sessions keep the
+    /// `Arc<Colarm>` they were created on and drain off via TTL/LRU —
+    /// nothing in flight is dropped. Returns `None` for an unknown name.
+    pub fn reload_index(&self, name: &str, colarm: Arc<Colarm>) -> Option<u64> {
+        let mut table = self.indexes.write();
+        let entry = table.entries.get_mut(name)?;
+        entry.colarm = colarm;
+        entry.generation += 1;
+        Some(entry.generation)
     }
 
     /// The server's configuration.
@@ -331,14 +513,40 @@ impl ColarmServer {
         &self.config
     }
 
+    /// Attach the socket transport's counter block (HTTP layer only).
+    pub(crate) fn attach_transport(&self, stats: Arc<TransportStats>) {
+        *self.transport.lock() = Some(stats);
+    }
+
     fn ttl_ms(&self) -> u64 {
         u64::try_from(self.config.idle_ttl.as_millis()).unwrap_or(u64::MAX)
     }
 
-    /// Create a session — client-chosen id, or a generated `s1`, `s2`, …
-    /// Sweeps expired tenants first, then evicts the LRU tenant if the
-    /// registry is full. An id already in use is a 409.
+    /// Create a session on the default index ([`ColarmServer::create_session_on`]).
     pub fn create_session(&self, id: Option<String>) -> Result<String, Response> {
+        let default = self.default_index_name();
+        self.create_session_on(&default, id)
+    }
+
+    /// Create a session on index `index` — client-chosen id, or a
+    /// generated `s1`, `s2`, … Sweeps expired tenants first, then evicts
+    /// the LRU tenant if the registry is full. An id already in use on
+    /// the same index is a 409. The session pins the index's *current*
+    /// generation for its whole lifetime.
+    pub fn create_session_on(&self, index: &str, id: Option<String>) -> Result<String, Response> {
+        // Lock order: index table before registry (matched everywhere
+        // both are held).
+        let (colarm, generation) = {
+            let table = self.indexes.read();
+            let Some(entry) = table.entries.get(index) else {
+                return Err(Response::error(
+                    404,
+                    "index_not_found",
+                    &format!("no index `{index}`"),
+                ));
+            };
+            (entry.colarm.clone(), entry.generation)
+        };
         let now = self.clock.now_ms();
         let mut inner = self.registry.lock();
         inner.sweep(now, self.ttl_ms());
@@ -351,7 +559,7 @@ impl ColarmServer {
                 ))
             }
             Some(id) => {
-                if inner.entries.contains_key(&id) {
+                if inner.entries.contains_key(&(index.to_string(), id.clone())) {
                     return Err(Response::error(
                         409,
                         "session_exists",
@@ -363,7 +571,10 @@ impl ColarmServer {
             None => loop {
                 inner.next_auto_id += 1;
                 let candidate = format!("s{}", inner.next_auto_id);
-                if !inner.entries.contains_key(&candidate) {
+                if !inner
+                    .entries
+                    .contains_key(&(index.to_string(), candidate.clone()))
+                {
                     break candidate;
                 }
             },
@@ -371,17 +582,15 @@ impl ColarmServer {
         while self.config.max_sessions > 0 && inner.entries.len() >= self.config.max_sessions {
             inner.evict_lru();
         }
-        let session = Arc::new(QuerySession::with_config(
-            self.colarm.clone(),
-            self.config.session,
-        ));
+        let session = Arc::new(QuerySession::with_config(colarm, self.config.session));
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
         inner.created += 1;
         inner.entries.insert(
-            id.clone(),
+            (index.to_string(), id.clone()),
             SessionEntry {
                 session,
+                generation,
                 last_used_ms: now,
                 stamp,
             },
@@ -389,57 +598,113 @@ impl ColarmServer {
         Ok(id)
     }
 
+    /// Look up a session on the default index.
+    pub fn session(&self, id: &str) -> Option<Arc<QuerySession>> {
+        let default = self.default_index_name();
+        self.session_on(&default, id)
+    }
+
     /// Look up a session, refreshing its recency. Expired sessions are
     /// swept first, so an access past the idle TTL deterministically
     /// finds nothing.
-    pub fn session(&self, id: &str) -> Option<Arc<QuerySession>> {
+    pub fn session_on(&self, index: &str, id: &str) -> Option<Arc<QuerySession>> {
         let now = self.clock.now_ms();
         let mut inner = self.registry.lock();
         inner.sweep(now, self.ttl_ms());
-        inner.touch(id, now)
+        inner.touch(index, id, now)
+    }
+
+    /// Evict a session on the default index.
+    pub fn evict_session(&self, id: &str) -> bool {
+        let default = self.default_index_name();
+        self.evict_session_on(&default, id)
     }
 
     /// Evict a session explicitly. Returns whether it existed.
-    pub fn evict_session(&self, id: &str) -> bool {
+    pub fn evict_session_on(&self, index: &str, id: &str) -> bool {
         let now = self.clock.now_ms();
         let mut inner = self.registry.lock();
         inner.sweep(now, self.ttl_ms());
-        inner.entries.remove(id).is_some()
+        inner
+            .entries
+            .remove(&(index.to_string(), id.to_string()))
+            .is_some()
     }
 
-    /// Live session count (after sweeping expired tenants).
+    /// Live session count across all indexes (after sweeping expired
+    /// tenants).
     pub fn session_count(&self) -> usize {
         let mut inner = self.registry.lock();
         inner.sweep(self.clock.now_ms(), self.ttl_ms());
         inner.entries.len()
     }
 
-    /// Cache statistics of one session (refreshes its recency).
+    /// Cache statistics of one session on the default index.
     pub fn session_stats(&self, id: &str) -> Option<SessionStats> {
         self.session(id).map(|s| s.stats())
     }
 
+    /// Cache statistics of one session (refreshes its recency).
+    pub fn session_stats_on(&self, index: &str, id: &str) -> Option<SessionStats> {
+        self.session_on(index, id).map(|s| s.stats())
+    }
+
     /// Route one request. `body` is the raw request body (JSON where the
-    /// endpoint takes one; an empty body reads as `{}`).
+    /// endpoint takes one; an empty body reads as `{}`). Paths under
+    /// `/indexes/{name}/…` address a specific snapshot; the bare forms
+    /// alias the default index.
     pub fn handle(&self, method: &str, path: &str, body: &[u8]) -> Response {
         match (method, path) {
             ("GET", "/health") => Response::json(200, &json!({"status": "ok"})),
             ("GET", "/stats") => self.handle_stats(),
-            ("POST", "/sessions") => self.handle_create_session(body),
-            ("POST", "/query") => self.handle_query(None, body),
+            ("GET", "/indexes") => self.handle_indexes(),
+            (_, "/health" | "/stats" | "/indexes") => {
+                Response::error(405, "method_not_allowed", &format!("use GET for {path}"))
+            }
             _ => {
-                if let Some(rest) = path.strip_prefix("/sessions/") {
-                    return self.handle_session_route(method, rest, body);
+                if let Some(rest) = path.strip_prefix("/indexes/") {
+                    return match rest.split_once('/') {
+                        Some((name, sub)) => {
+                            self.route_index(method, name, &format!("/{sub}"), body)
+                        }
+                        None => self.handle_index_info(method, rest),
+                    };
                 }
-                Response::error(404, "not_found", &format!("no route for {method} {path}"))
+                let default = self.default_index_name();
+                self.route_index(method, &default, path, body)
             }
         }
     }
 
-    fn handle_session_route(&self, method: &str, rest: &str, body: &[u8]) -> Response {
+    /// Route a query/session path against one named index.
+    fn route_index(&self, method: &str, index: &str, sub: &str, body: &[u8]) -> Response {
+        let routable = matches!(sub, "/query" | "/sessions") || sub.starts_with("/sessions/");
+        if !routable {
+            return Response::error(404, "not_found", &format!("no route for {method} {sub}"));
+        }
+        if self.index_generation(index).is_none() {
+            return Response::error(404, "index_not_found", &format!("no index `{index}`"));
+        }
+        match (method, sub) {
+            ("POST", "/query") => self.handle_query(index, None, body),
+            (_, "/query") => Response::error(405, "method_not_allowed", "use POST for queries"),
+            ("POST", "/sessions") => self.handle_create_session(index, body),
+            (_, "/sessions") => Response::error(
+                405,
+                "method_not_allowed",
+                "use POST to create a session",
+            ),
+            _ => {
+                let rest = sub.strip_prefix("/sessions/").expect("checked routable");
+                self.handle_session_route(index, method, rest, body)
+            }
+        }
+    }
+
+    fn handle_session_route(&self, index: &str, method: &str, rest: &str, body: &[u8]) -> Response {
         if let Some(id) = rest.strip_suffix("/query") {
             return match method {
-                "POST" => self.handle_query(Some(id), body),
+                "POST" => self.handle_query(index, Some(id), body),
                 _ => Response::error(405, "method_not_allowed", "use POST for queries"),
             };
         }
@@ -447,7 +712,7 @@ impl ColarmServer {
             return Response::error(404, "not_found", &format!("no route for /sessions/{rest}"));
         }
         match method {
-            "GET" => match self.session_stats(rest) {
+            "GET" => match self.session_stats_on(index, rest) {
                 Some(stats) => Response::json(200, &json!(stats)),
                 None => Response::error(
                     404,
@@ -456,7 +721,7 @@ impl ColarmServer {
                 ),
             },
             "DELETE" => {
-                if self.evict_session(rest) {
+                if self.evict_session_on(index, rest) {
                     Response::json(200, &json!({"evicted": true}))
                 } else {
                     Response::error(
@@ -470,7 +735,7 @@ impl ColarmServer {
         }
     }
 
-    fn handle_create_session(&self, body: &[u8]) -> Response {
+    fn handle_create_session(&self, index: &str, body: &[u8]) -> Response {
         let id = if body.is_empty() {
             None
         } else {
@@ -488,13 +753,13 @@ impl ColarmServer {
                 },
             }
         };
-        match self.create_session(id) {
+        match self.create_session_on(index, id) {
             Ok(id) => Response::json(201, &json!({"id": id})),
             Err(resp) => resp,
         }
     }
 
-    fn handle_query(&self, session_id: Option<&str>, body: &[u8]) -> Response {
+    fn handle_query(&self, index: &str, session_id: Option<&str>, body: &[u8]) -> Response {
         let Some(_permit) = self.limiter.try_acquire() else {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Response::error(
@@ -521,8 +786,17 @@ impl ColarmServer {
             );
         }
         let outcome = match session_id {
-            None => self.colarm.run(&request),
-            Some(id) => match self.session(id) {
+            None => match self.index(index) {
+                None => {
+                    return Response::error(
+                        404,
+                        "index_not_found",
+                        &format!("no index `{index}`"),
+                    )
+                }
+                Some(colarm) => colarm.run(&request),
+            },
+            Some(id) => match self.session_on(index, id) {
                 None => {
                     return Response::error(
                         404,
@@ -545,6 +819,59 @@ impl ColarmServer {
         }
     }
 
+    /// Per-index summaries: generation, live/stale session counts, and
+    /// snapshot dimensions. `BTreeMap` keeps the JSON key order stable.
+    fn index_summaries(&self) -> serde_json::Value {
+        let table = self.indexes.read();
+        let mut reg = self.registry.lock();
+        reg.sweep(self.clock.now_ms(), self.ttl_ms());
+        let mut out = BTreeMap::new();
+        for (name, entry) in &table.entries {
+            let sessions = reg
+                .entries
+                .iter()
+                .filter(|((index, _), _)| index == name)
+                .count();
+            let stale = reg
+                .entries
+                .iter()
+                .filter(|((index, _), e)| index == name && e.generation < entry.generation)
+                .count();
+            out.insert(
+                name.clone(),
+                json!({
+                    "generation": entry.generation,
+                    "sessions": sessions,
+                    "stale_sessions": stale,
+                    "records": entry.colarm.index().dataset().num_records(),
+                    "mips": entry.colarm.index().num_mips(),
+                    "feedback_entries": entry.colarm.feedback().len(),
+                }),
+            );
+        }
+        json!(out)
+    }
+
+    fn handle_indexes(&self) -> Response {
+        Response::json(
+            200,
+            &json!({
+                "default": self.default_index_name(),
+                "indexes": self.index_summaries(),
+            }),
+        )
+    }
+
+    fn handle_index_info(&self, method: &str, name: &str) -> Response {
+        if method != "GET" {
+            return Response::error(405, "method_not_allowed", "use GET on an index");
+        }
+        match self.index_summaries().get(name) {
+            Some(summary) => Response::json(200, summary),
+            None => Response::error(404, "index_not_found", &format!("no index `{name}`")),
+        }
+    }
+
     fn handle_stats(&self) -> Response {
         let (sessions, created, evicted_idle, evicted_lru) = {
             let mut inner = self.registry.lock();
@@ -556,21 +883,24 @@ impl ColarmServer {
                 inner.evicted_lru,
             )
         };
-        Response::json(
-            200,
-            &json!({
-                "sessions": sessions,
-                "sessions_created": created,
-                "sessions_evicted_idle": evicted_idle,
-                "sessions_evicted_lru": evicted_lru,
-                "queries": self.queries.load(Ordering::Relaxed),
-                "query_errors": self.query_errors.load(Ordering::Relaxed),
-                "rejected": self.rejected.load(Ordering::Relaxed),
-                "in_flight": self.limiter.in_use(self.config.max_concurrency.max(1)),
-                "uptime_ms": self.clock.now_ms(),
-                "feedback_entries": self.colarm.feedback().len(),
-            }),
-        )
+        let mut stats = json!({
+            "sessions": sessions,
+            "sessions_created": created,
+            "sessions_evicted_idle": evicted_idle,
+            "sessions_evicted_lru": evicted_lru,
+            "queries": self.queries.load(Ordering::Relaxed),
+            "query_errors": self.query_errors.load(Ordering::Relaxed),
+            "rejected": self.rejected.load(Ordering::Relaxed),
+            "in_flight": self.limiter.in_use(self.config.max_concurrency.max(1)),
+            "uptime_ms": self.clock.now_ms(),
+            "default_index": self.default_index_name(),
+            "indexes": self.index_summaries(),
+        });
+        let transport = self.transport.lock().as_ref().map(|t| t.to_json());
+        if let (serde_json::Value::Object(map), Some(t)) = (&mut stats, transport) {
+            map.insert("transport".to_string(), t);
+        }
+        Response::json(200, &stats)
     }
 }
 
@@ -807,5 +1137,112 @@ mod tests {
         case("POST", "/sessions", br#"{"id": "x"}"#, 409, "session_exists");
         case("PATCH", "/sessions/x", b"", 405, "method_not_allowed");
         case("GET", "/sessions/x/query", b"", 405, "method_not_allowed");
+        // Multi-index routes share the taxonomy.
+        case("GET", "/indexes/ghost", b"", 404, "index_not_found");
+        case("POST", "/indexes/ghost/query", b"{}", 404, "index_not_found");
+        case("POST", "/indexes/ghost/sessions", b"{}", 404, "index_not_found");
+        case("GET", "/indexes/x/nope", b"", 404, "not_found");
+        case("POST", "/indexes", b"", 405, "method_not_allowed");
+    }
+
+    #[test]
+    fn named_index_routes_alias_the_default_and_isolate_sessions() {
+        let (server, _clock) = mock_server(ServerConfig::default());
+        assert_eq!(server.default_index_name(), DEFAULT_INDEX);
+        server.add_index("alt", shared_system()).unwrap();
+        assert_eq!(server.index_names(), vec!["alt", "default"]);
+
+        // Same query through the alias and the explicit default route:
+        // identical rules (it is the same snapshot).
+        let body = serde_json::to_string(&QueryRequest::query(&arm_query(&base_range()))).unwrap();
+        let alias = server.handle("POST", "/query", body.as_bytes());
+        let named = server.handle("POST", "/indexes/default/query", body.as_bytes());
+        assert_eq!(alias.status, 200);
+        assert_eq!(named.status, 200);
+        assert_eq!(body_json(&alias)["rules"], body_json(&named)["rules"]);
+
+        // The same session id can exist on two indexes independently.
+        let created = server.handle("POST", "/indexes/alt/sessions", br#"{"id": "t"}"#);
+        assert_eq!(created.status, 201, "{}", created.body);
+        let created = server.handle("POST", "/sessions", br#"{"id": "t"}"#);
+        assert_eq!(created.status, 201, "{}", created.body);
+        assert_eq!(
+            server.handle("GET", "/indexes/alt/sessions/t", b"").status,
+            200
+        );
+        // Evicting on one index leaves the other's session alive.
+        let evicted = server.handle("DELETE", "/indexes/alt/sessions/t", b"");
+        assert_eq!(evicted.status, 200);
+        assert_eq!(
+            server
+                .handle("GET", "/indexes/alt/sessions/t", b"")
+                .status,
+            404
+        );
+        assert_eq!(server.handle("GET", "/sessions/t", b"").status, 200);
+
+        let listing = body_json(&server.handle("GET", "/indexes", b""));
+        assert_eq!(listing["default"].as_str(), Some(DEFAULT_INDEX));
+        assert!(listing["indexes"]["alt"].is_object());
+        assert!(listing["indexes"]["default"].is_object());
+    }
+
+    #[test]
+    fn reload_bumps_the_generation_and_pins_old_sessions_to_their_snapshot() {
+        let (server, _clock) = mock_server(ServerConfig::default());
+        assert_eq!(server.index_generation(DEFAULT_INDEX), Some(1));
+        server.create_session(Some("old".into())).unwrap();
+        let before = post_query(&server, "old", &arm_query(&base_range()));
+        assert_eq!(before.status, 200);
+
+        // Swap in a new snapshot. The in-flight session must keep
+        // answering from the generation it was created on.
+        assert_eq!(server.reload_index(DEFAULT_INDEX, shared_system()), Some(2));
+        assert_eq!(server.index_generation(DEFAULT_INDEX), Some(2));
+        let after = post_query(&server, "old", &arm_query(&base_range()));
+        assert_eq!(after.status, 200);
+        assert_eq!(body_json(&before)["rules"], body_json(&after)["rules"]);
+
+        // The old-generation session is surfaced as stale; a new session
+        // lands on generation 2 and is not.
+        server.create_session(Some("new".into())).unwrap();
+        let stats = body_json(&server.handle("GET", "/stats", b""));
+        let summary = &stats["indexes"][DEFAULT_INDEX];
+        assert_eq!(summary["generation"].as_u64(), Some(2));
+        assert_eq!(summary["sessions"].as_u64(), Some(2));
+        assert_eq!(summary["stale_sessions"].as_u64(), Some(1));
+
+        // Reloading an unknown index is a no-op.
+        assert_eq!(server.reload_index("ghost", shared_system()), None);
+    }
+
+    #[test]
+    fn index_names_are_validated_and_duplicates_rejected() {
+        let (server, _clock) = mock_server(ServerConfig::default());
+        assert!(server.add_index("", shared_system()).is_err());
+        assert!(server.add_index("a/b", shared_system()).is_err());
+        assert!(server.add_index(&"x".repeat(65), shared_system()).is_err());
+        assert!(server.add_index(DEFAULT_INDEX, shared_system()).is_err());
+        server.add_index("ok", shared_system()).unwrap();
+        assert!(server.add_index("ok", shared_system()).is_err());
+    }
+
+    /// Regression: the answer-cache-hit path of [`QuerySession::run`]
+    /// used to hold the cache guard (an `if let` scrutinee temporary)
+    /// across `stats()`, which re-locks the same cache — the second
+    /// identical query on a session deadlocked the serving worker.
+    #[test]
+    fn repeated_identical_session_query_hits_the_answer_cache() {
+        let (server, _clock) = mock_server(ServerConfig::default());
+        server.create_session(Some("s".into())).unwrap();
+        let first = post_query(&server, "s", &arm_query(&base_range()));
+        assert_eq!(first.status, 200);
+        let second = post_query(&server, "s", &arm_query(&base_range()));
+        assert_eq!(second.status, 200);
+        assert_eq!(
+            body_json(&second)["session"]["answer_hits"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(body_json(&first)["rules"], body_json(&second)["rules"]);
     }
 }

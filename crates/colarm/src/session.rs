@@ -332,9 +332,14 @@ impl QuerySession {
         let plain = request.plan.is_none() && !request.analyze && !request.metrics;
         let key = AnswerKey::of(&query);
         if plain {
-            if let Some(cached) = self.answers.lock().get(&key) {
+            // Clone the hit out and drop the guard first: `stats()` below
+            // re-locks the answer cache, and the scrutinee temporary of an
+            // `if let` lives for the whole body — holding it across
+            // `stats()` self-deadlocks.
+            let hit = self.answers.lock().get(&key).cloned();
+            if let Some(cached) = hit {
                 self.answer_hits.fetch_add(1, Ordering::Relaxed);
-                let answer = (**cached).clone();
+                let answer = (*cached).clone();
                 return Ok(QueryOutcome {
                     plan: answer.plan,
                     subset_size: answer.subset_size,

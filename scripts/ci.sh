@@ -2,10 +2,10 @@
 # Tier-1 verification plus lint, as run by CI.
 #
 #   scripts/ci.sh            # build + test + clippy
-#   scripts/ci.sh --bench    # also gate on BENCH_tidset.json thresholds
-#                            # (bench_tidset --check) and regenerate
-#                            # BENCH_snapshot.json, BENCH_engine.json,
-#                            # BENCH_session.json + BENCH_server.json
+#   scripts/ci.sh --bench    # also gate on BENCH_tidset.json and
+#                            # BENCH_server.json thresholds (--check)
+#                            # and regenerate BENCH_snapshot.json,
+#                            # BENCH_engine.json + BENCH_session.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,8 +68,12 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p colarm-bench --bin bench_engine
     echo "==> bench_session (drill-down reuse + persistent pool)"
     cargo run --release -p colarm-bench --bin bench_session
-    echo "==> bench_server (concurrent HTTP drill-down clients)"
-    cargo run --release -p colarm-bench --bin bench_server
+    # bench_server enforces the min_qps / max_p99_ms acceptance floors
+    # recorded in BENCH_server.json and exits nonzero below them — a
+    # hard gate on the worker-pool transport, same pattern as
+    # bench_tidset above.
+    echo "==> bench_server (concurrent HTTP drill-down clients + threshold gate)"
+    cargo run --release -p colarm-bench --bin bench_server -- /tmp/bench_server_ci.json --check
 fi
 
 echo "ci: all green"

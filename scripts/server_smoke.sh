@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Server smoke gate: boot the real `colarm serve` binary on an ephemeral
-# port, run a 3-query drill-down over HTTP against a tenant session, and
-# diff every answer's rules against in-process execution of the same
-# query (`colarm query --json`). Exercises the full stack the unit and
-# e2e tests can't: the CLI arg parsing, the snapshot load, and the
-# actual socket loop of the released binary.
+# port with two named indexes, run a 3-query drill-down over HTTP against
+# a tenant session, and diff every answer's rules against in-process
+# execution of the same query (`colarm query --json`). Finishes with a
+# SIGTERM and asserts the graceful drain exits 0. Exercises the full
+# stack the unit and e2e tests can't: the CLI arg parsing, the snapshot
+# load, the worker-pool socket loop, and the signal path of the released
+# binary.
 #
 #   scripts/server_smoke.sh [path/to/colarm]
 set -euo pipefail
@@ -14,7 +16,8 @@ COLARM="${1:-target/release/colarm-cli}"
 SNAP="tests/fixtures/salary_index_v2.snap"
 PORT="$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')"
 
-"$COLARM" serve --index "$SNAP" --addr "127.0.0.1:$PORT" &
+"$COLARM" serve --index "$SNAP" --index "mirror=$SNAP" \
+    --addr "127.0.0.1:$PORT" --workers 2 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -51,6 +54,16 @@ for query in "${QUERIES[@]}"; do
         echo "  local: $local_rules" >&2
         exit 1
     fi
+    # The same snapshot served under the named `/indexes/mirror/...`
+    # prefix must answer one-shot queries identically.
+    mirror="$(curl -sf -X POST -d "$body" "http://127.0.0.1:$PORT/indexes/mirror/query" | jq -cS .rules)"
+    if [[ "$mirror" != "$local_rules" ]]; then
+        echo "server_smoke: /indexes/mirror/query diverged from in-process" >&2
+        echo "  query:  $query" >&2
+        echo "  mirror: $mirror" >&2
+        echo "  local:  $local_rules" >&2
+        exit 1
+    fi
 done
 
 # The third query must have reused session state derived from earlier
@@ -61,4 +74,15 @@ if [[ "$derived" -lt 1 ]]; then
     exit 1
 fi
 
-echo "server_smoke: 3-query drill-down bit-identical to in-process (reuse events: $derived)"
+# Graceful drain: SIGTERM must stop the acceptor, join every transport
+# thread, and exit 0 — not die on the signal (which would report 143).
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+trap - EXIT
+if [[ "$STATUS" -ne 0 ]]; then
+    echo "server_smoke: SIGTERM drain exited $STATUS, expected 0" >&2
+    exit 1
+fi
+
+echo "server_smoke: 3-query drill-down bit-identical to in-process on both routes, graceful drain exited 0 (reuse events: $derived)"

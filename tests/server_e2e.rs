@@ -7,7 +7,7 @@ use colarm::data::synth::{generate, SynthConfig};
 use colarm::data::{AttributeId, RangeSpec};
 use colarm::{
     Colarm, ColarmServer, LocalizedQuery, MipIndexConfig, PlanKind, QueryRequest, Semantics,
-    ServerConfig,
+    ServerConfig, ServerHandle, SystemClock, TransportConfig,
 };
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -39,19 +39,18 @@ fn shared_system() -> Arc<Colarm> {
     .into_shared()
 }
 
-/// Bind an ephemeral port, serve on a background thread, return the port.
-fn spawn_server(server: &Arc<ColarmServer>) -> u16 {
+/// Bind an ephemeral port and start the worker-pool transport. The
+/// returned handle owns the acceptor and worker threads; dropping it
+/// (or calling `shutdown()`) drains and joins them, so tests leak no
+/// detached accept loop.
+fn spawn_server(server: &Arc<ColarmServer>) -> ServerHandle {
     let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
-    let port = listener.local_addr().unwrap().port();
-    let server = server.clone();
-    std::thread::spawn(move || {
-        let _ = server.serve_listener(listener);
-    });
-    port
+    server.serve_listener(listener).expect("transport starts")
 }
 
 /// One full HTTP/1.1 exchange on a fresh connection.
-fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, serde_json::Value) {
+fn http(handle: &ServerHandle, method: &str, path: &str, body: &str) -> (u16, serde_json::Value) {
+    let port = handle.addr().port();
     let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
     write!(
         stream,
@@ -90,18 +89,18 @@ fn request_body(request: &QueryRequest) -> String {
 fn http_answers_are_bit_identical_to_in_process_for_all_six_plans() {
     let colarm = shared_system();
     let server = ColarmServer::new(colarm.clone(), ServerConfig::default());
-    let port = spawn_server(&server);
+    let handle = spawn_server(&server);
     let q = query(
         &RangeSpec::all().with(AttributeId(0), vec![0u16, 1]),
         Semantics::Strict,
     );
 
-    assert_eq!(http(port, "GET", "/health", "").0, 200);
+    assert_eq!(http(&handle, "GET", "/health", "").0, 200);
 
     for plan in PlanKind::ALL {
         let request = QueryRequest::query(&q).with_plan(plan);
         let direct = colarm.run(&request).expect("in-process run");
-        let (status, wire) = http(port, "POST", "/query", &request_body(&request));
+        let (status, wire) = http(&handle, "POST", "/query", &request_body(&request));
         assert_eq!(status, 200, "{plan}: {wire}");
         assert_eq!(wire["plan"], serde_json::to_value(plan).unwrap(), "{plan}");
         assert_eq!(
@@ -119,7 +118,7 @@ fn http_answers_are_bit_identical_to_in_process_for_all_six_plans() {
     // The optimizer path (no forced plan) matches too.
     let request = QueryRequest::query(&q);
     let direct = colarm.run(&request).expect("in-process run");
-    let (status, wire) = http(port, "POST", "/query", &request_body(&request));
+    let (status, wire) = http(&handle, "POST", "/query", &request_body(&request));
     assert_eq!(status, 200);
     assert_eq!(wire["plan"], serde_json::to_value(direct.plan).unwrap());
     assert_eq!(wire["rules"], serde_json::to_value(&direct.rules).unwrap());
@@ -129,7 +128,7 @@ fn http_answers_are_bit_identical_to_in_process_for_all_six_plans() {
 fn session_drilldowns_reuse_subsets_and_columns_over_the_wire() {
     let colarm = shared_system();
     let server = ColarmServer::new(colarm.clone(), ServerConfig::default());
-    let port = spawn_server(&server);
+    let handle = spawn_server(&server);
     // Unrestricted forces ARM, whose SELECT exercises the column cache.
     let base = query(
         &RangeSpec::all().with(AttributeId(0), vec![0u16, 1]),
@@ -142,12 +141,12 @@ fn session_drilldowns_reuse_subsets_and_columns_over_the_wire() {
         Semantics::Unrestricted,
     );
 
-    let (status, created) = http(port, "POST", "/sessions", r#"{"id": "tenant-1"}"#);
+    let (status, created) = http(&handle, "POST", "/sessions", r#"{"id": "tenant-1"}"#);
     assert_eq!(status, 201);
     assert_eq!(created["id"].as_str(), Some("tenant-1"));
 
     let (status, first) = http(
-        port,
+        &handle,
         "POST",
         "/sessions/tenant-1/query",
         &request_body(&QueryRequest::query(&base)),
@@ -159,7 +158,7 @@ fn session_drilldowns_reuse_subsets_and_columns_over_the_wire() {
     // The second query on the same session derives from the first's
     // caches — the PR 5 reuse path, observed end-to-end over HTTP.
     let (status, second) = http(
-        port,
+        &handle,
         "POST",
         "/sessions/tenant-1/query",
         &request_body(&QueryRequest::query(&refined)),
@@ -175,22 +174,171 @@ fn session_drilldowns_reuse_subsets_and_columns_over_the_wire() {
     assert_eq!(second["rules"], serde_json::to_value(&cold.rules).unwrap());
 
     // Session stats and eviction round-trip over the transport too.
-    let (status, stats) = http(port, "GET", "/sessions/tenant-1", "");
+    let (status, stats) = http(&handle, "GET", "/sessions/tenant-1", "");
     assert_eq!(status, 200);
     assert!(stats["subsets_derived"].as_u64() >= Some(1));
-    let (status, evicted) = http(port, "DELETE", "/sessions/tenant-1", "");
+    let (status, evicted) = http(&handle, "DELETE", "/sessions/tenant-1", "");
     assert_eq!(status, 200);
     assert_eq!(evicted["evicted"].as_bool(), Some(true));
-    let (status, error) = http(port, "GET", "/sessions/tenant-1", "");
+    let (status, error) = http(&handle, "GET", "/sessions/tenant-1", "");
     assert_eq!(status, 404);
     assert_eq!(error["error"]["code"].as_str(), Some("session_not_found"));
 }
 
 #[test]
+fn named_index_routes_answer_bit_identically_to_the_default_alias() {
+    let colarm = shared_system();
+    let server = ColarmServer::with_named_indexes(
+        vec![
+            ("retail".to_string(), colarm.clone()),
+            ("weblog".to_string(), colarm.clone()),
+        ],
+        ServerConfig::default(),
+        Arc::new(SystemClock::default()),
+    )
+    .expect("named indexes build");
+    let handle = spawn_server(&server);
+    let base = query(
+        &RangeSpec::all().with(AttributeId(0), vec![0u16, 1]),
+        Semantics::Unrestricted,
+    );
+    let refined = query(
+        &RangeSpec::all()
+            .with(AttributeId(0), vec![0u16, 1])
+            .with(AttributeId(1), vec![0u16, 1]),
+        Semantics::Unrestricted,
+    );
+
+    // The same Table-1-style drill-down runs three ways: bare routes
+    // (alias for `retail`, the first-listed index), the explicit
+    // `/indexes/retail/...` prefix, and `/indexes/weblog/...`. All
+    // three must produce bit-identical rules for the same snapshot.
+    let mut answers = Vec::new();
+    for prefix in ["", "/indexes/retail", "/indexes/weblog"] {
+        let sid = format!("drill{}", answers.len());
+        let (status, _) = http(
+            &handle,
+            "POST",
+            &format!("{prefix}/sessions"),
+            &format!(r#"{{"id": "{sid}"}}"#),
+        );
+        assert_eq!(status, 201, "{prefix}");
+        let (status, first) = http(
+            &handle,
+            "POST",
+            &format!("{prefix}/sessions/{sid}/query"),
+            &request_body(&QueryRequest::query(&base)),
+        );
+        assert_eq!(status, 200, "{prefix}: {first}");
+        let (status, second) = http(
+            &handle,
+            "POST",
+            &format!("{prefix}/sessions/{sid}/query"),
+            &request_body(&QueryRequest::query(&refined)),
+        );
+        assert_eq!(status, 200, "{prefix}: {second}");
+        assert_eq!(
+            second["session"]["subsets_derived"].as_u64(),
+            Some(1),
+            "{prefix} lost the drill-down reuse path"
+        );
+        answers.push((first["rules"].clone(), second["rules"].clone()));
+    }
+    let cold = colarm
+        .run(&QueryRequest::query(&refined))
+        .expect("cold run");
+    let expected = serde_json::to_value(&cold.rules).unwrap();
+    for (i, (first, second)) in answers.iter().enumerate() {
+        assert_eq!(second, &expected, "route #{i} diverged from in-process");
+        assert_eq!(first, &answers[0].0, "route #{i} first answer diverged");
+    }
+
+    // Sessions are namespaced per index: the default-alias session is
+    // the retail one, and weblog cannot see it.
+    let (status, _) = http(&handle, "GET", "/indexes/retail/sessions/drill0", "");
+    assert_eq!(status, 200);
+    let (status, error) = http(&handle, "GET", "/indexes/weblog/sessions/drill0", "");
+    assert_eq!(status, 404);
+    assert_eq!(error["error"]["code"].as_str(), Some("session_not_found"));
+    handle.shutdown();
+}
+
+#[test]
+fn many_more_connections_than_workers_all_complete_the_drilldown() {
+    let colarm = shared_system();
+    let server = ColarmServer::new(colarm.clone(), ServerConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let handle = Arc::new(
+        server
+            .serve_listener_with(
+                listener,
+                TransportConfig {
+                    workers: 2,
+                    ..TransportConfig::default()
+                },
+            )
+            .expect("transport starts"),
+    );
+    let base = query(
+        &RangeSpec::all().with(AttributeId(0), vec![0u16, 1]),
+        Semantics::Unrestricted,
+    );
+    let refined = query(
+        &RangeSpec::all()
+            .with(AttributeId(0), vec![0u16, 1])
+            .with(AttributeId(1), vec![0u16, 1]),
+        Semantics::Unrestricted,
+    );
+    let expected = serde_json::to_value(
+        &colarm
+            .run(&QueryRequest::query(&refined))
+            .expect("cold run")
+            .rules,
+    )
+    .unwrap();
+
+    // 24 concurrent clients against 2 workers: every one creates a
+    // session, drills down, and must see rules bit-identical to the
+    // in-process run. Readiness multiplexing — not thread count — is
+    // what lets them all make progress.
+    let clients: Vec<_> = (0..24)
+        .map(|i| {
+            let handle = Arc::clone(&handle);
+            let base = request_body(&QueryRequest::query(&base));
+            let refined = request_body(&QueryRequest::query(&refined));
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let sid = format!("load{i}");
+                let (status, _) = http(
+                    &handle,
+                    "POST",
+                    "/sessions",
+                    &format!(r#"{{"id": "{sid}"}}"#),
+                );
+                assert_eq!(status, 201, "client {i}");
+                let (status, _) =
+                    http(&handle, "POST", &format!("/sessions/{sid}/query"), &base);
+                assert_eq!(status, 200, "client {i}");
+                let (status, second) =
+                    http(&handle, "POST", &format!("/sessions/{sid}/query"), &refined);
+                assert_eq!(status, 200, "client {i}");
+                assert_eq!(second["rules"], expected, "client {i} diverged");
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    Arc::try_unwrap(handle)
+        .unwrap_or_else(|_| panic!("clients hold the handle"))
+        .shutdown();
+}
+
+#[test]
 fn keep_alive_connections_serve_sequential_requests() {
     let server = ColarmServer::new(shared_system(), ServerConfig::default());
-    let port = spawn_server(&server);
-    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    let handle = spawn_server(&server);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connects");
     for _ in 0..3 {
         write!(
             stream,

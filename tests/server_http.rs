@@ -1,0 +1,291 @@
+//! Connection-layer behavior of the worker-pool HTTP transport, over
+//! real sockets: framing edge cases, read/write timeouts, slowloris
+//! reaping, keep-alive and pipelining semantics.
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::{Colarm, ColarmServer, ServerConfig, ServerHandle, TransportConfig};
+use colarm::MipIndexConfig;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn shared_system() -> Arc<Colarm> {
+    let dataset = generate(&SynthConfig {
+        name: "server-http".into(),
+        seed: 5,
+        records: 60,
+        domains: vec![3, 4, 2],
+        top_mass: 0.55,
+        skew: 1.0,
+        clusters: 2,
+        cluster_focus: 0.6,
+        focus_strength: 0.9,
+        templates: 2,
+        template_len: 3,
+        template_prob: 0.3,
+    });
+    Colarm::build(
+        dataset,
+        MipIndexConfig {
+            primary_support: 0.1,
+            ..Default::default()
+        },
+    )
+    .expect("index builds")
+    .into_shared()
+}
+
+fn serve(config: TransportConfig) -> ServerHandle {
+    let server = ColarmServer::new(shared_system(), ServerConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    server
+        .serve_listener_with(listener, config)
+        .expect("transport starts")
+}
+
+fn quick_timeouts() -> TransportConfig {
+    TransportConfig {
+        workers: 1,
+        read_timeout: Duration::from_millis(400),
+        write_timeout: Duration::from_secs(5),
+        idle_conn_ttl: Duration::from_millis(400),
+    }
+}
+
+/// Read until the peer closes; fails the test if nothing arrives within
+/// `patience`.
+fn read_to_close(stream: &mut TcpStream, patience: Duration) -> String {
+    stream
+        .set_read_timeout(Some(patience))
+        .expect("read timeout sets");
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                panic!("peer neither answered nor closed within {patience:?}; got {raw:?}")
+            }
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => break,
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    TcpStream::connect(handle.addr()).expect("connects")
+}
+
+#[test]
+fn health_roundtrip_and_shutdown_joins() {
+    let handle = serve(TransportConfig {
+        workers: 2,
+        ..TransportConfig::default()
+    });
+    let mut stream = connect(&handle);
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains(r#""status":"ok""#), "{raw}");
+    let addr = handle.addr();
+    handle.shutdown();
+    // The listener is gone: a fresh connection is refused (or, if the
+    // OS briefly keeps the port, the socket closes without an answer).
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            stream
+                .write_all(b"GET /health HTTP/1.1\r\n\r\n")
+                .unwrap_or(());
+            let raw = read_to_close(&mut stream, Duration::from_secs(2));
+            assert!(raw.is_empty(), "a drained server answered: {raw}");
+        }
+    }
+}
+
+#[test]
+fn header_line_at_exactly_max_line_is_accepted_and_one_more_rejected() {
+    let handle = serve(TransportConfig::default());
+    let max_line = colarm::server::http::MAX_LINE;
+
+    let mut request = b"GET /health HTTP/1.1\r\nConnection: close\r\nX-Pad: ".to_vec();
+    request.extend(std::iter::repeat_n(b'a', max_line - "X-Pad: ".len()));
+    request.extend_from_slice(b"\r\n\r\n");
+    let mut stream = connect(&handle);
+    stream.write_all(&request).unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(raw.starts_with("HTTP/1.1 200"), "{}", &raw[..raw.len().min(200)]);
+
+    let mut request = b"GET /health HTTP/1.1\r\nConnection: close\r\nX-Pad: ".to_vec();
+    request.extend(std::iter::repeat_n(b'a', max_line - "X-Pad: ".len() + 1));
+    request.extend_from_slice(b"\r\n\r\n");
+    let mut stream = connect(&handle);
+    stream.write_all(&request).unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(raw.starts_with("HTTP/1.1 400"), "{}", &raw[..raw.len().min(200)]);
+    handle.shutdown();
+}
+
+#[test]
+fn content_length_longer_than_body_gets_408_not_a_hang() {
+    let handle = serve(quick_timeouts());
+    let mut stream = connect(&handle);
+    // Claims 100 bytes, sends 3, then stalls.
+    stream
+        .write_all(b"POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc")
+        .unwrap();
+    let started = Instant::now();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(raw.starts_with("HTTP/1.1 408"), "{raw}");
+    assert!(raw.contains("request_timeout"), "{raw}");
+    // Answered promptly after the read deadline, not at some larger
+    // multiple of it.
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "408 took {:?}",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn trickle_writer_is_cut_off_by_the_total_request_deadline() {
+    let handle = serve(quick_timeouts());
+    let mut stream = connect(&handle);
+    // One byte every 60ms never finishes a request under a 400ms total
+    // deadline, even though the connection is never idle — the
+    // classic slowloris pattern.
+    let request = b"GET /health HTTP/1.1\r\nHost: local\r\n\r\n";
+    let mut got = None;
+    for byte in request {
+        if stream.write_all(&[*byte]).is_err() {
+            got = Some(String::new());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        // Poll for an early 408 so the response is not raced away.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        match stream.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                got = Some(String::from_utf8_lossy(&buf[..n]).into_owned());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let raw = match got {
+        Some(raw) if !raw.is_empty() => raw,
+        _ => read_to_close(&mut stream, Duration::from_secs(5)),
+    };
+    assert!(
+        raw.is_empty() || raw.starts_with("HTTP/1.1 408"),
+        "trickling client got: {raw}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn silent_client_is_reaped_and_the_worker_keeps_serving() {
+    let handle = serve(quick_timeouts()); // one worker
+    // A slowloris connection that never sends a byte.
+    let mut idle = connect(&handle);
+    // It is reaped silently — EOF, no 408 (no request ever started).
+    let raw = read_to_close(&mut idle, Duration::from_secs(5));
+    assert_eq!(raw, "", "idle reap must not write a response");
+    // The single worker is free again and serves a real request.
+    let mut stream = connect(&handle);
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let stats = handle.stats();
+    assert!(
+        stats.idle_reaped.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "reap not counted"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn http_1_0_requests_default_to_close() {
+    let handle = serve(TransportConfig::default());
+    let mut stream = connect(&handle);
+    stream
+        .write_all(b"GET /health HTTP/1.0\r\n\r\n")
+        .unwrap();
+    // No `Connection: close` sent, yet the server must close.
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let handle = serve(TransportConfig::default());
+    let mut stream = connect(&handle);
+    stream
+        .write_all(
+            b"GET /health HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    let statuses: Vec<&str> = raw
+        .split("HTTP/1.1 ")
+        .skip(1)
+        .map(|part| part.split_whitespace().next().unwrap())
+        .collect();
+    assert_eq!(statuses, ["200", "200"], "{raw}");
+    assert!(raw.contains(r#""status":"ok""#), "{raw}");
+    assert!(raw.contains("uptime_ms"), "{raw}");
+    handle.shutdown();
+}
+
+#[test]
+fn a_400_closes_the_connection_and_drops_the_pipelined_followup() {
+    let handle = serve(TransportConfig::default());
+    let mut stream = connect(&handle);
+    // First request is unframeable garbage; a valid request is already
+    // pipelined behind it. The server must answer 400 once and close —
+    // it cannot trust the framing of anything after the garbage.
+    stream
+        .write_all(b"garbage\r\n\r\nGET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    let responses = raw.matches("HTTP/1.1 ").count();
+    assert_eq!(responses, 1, "{raw}");
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_survives_a_404_and_serves_the_next_request() {
+    let handle = serve(TransportConfig::default());
+    let mut stream = connect(&handle);
+    // A well-framed request for a missing route is an application
+    // error, not a protocol error: keep-alive continues.
+    stream
+        .write_all(b"GET /nope HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let mut first = vec![0u8; 1];
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.read_exact(&mut first).unwrap();
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let rest = read_to_close(&mut stream, Duration::from_secs(5));
+    let raw = format!("{}{rest}", first[0] as char);
+    assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+    assert!(raw.contains("HTTP/1.1 200"), "{raw}");
+    handle.shutdown();
+}
