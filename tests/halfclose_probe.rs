@@ -1,0 +1,75 @@
+//! Temporary probe: does a client that half-closes (shutdown WR) after a
+//! complete request still get a response?
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::{Colarm, ColarmServer, MipIndexConfig, ServerConfig, ServerHandle, TransportConfig};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn shared_system() -> Arc<Colarm> {
+    let dataset = generate(&SynthConfig {
+        name: "probe".into(),
+        seed: 5,
+        records: 60,
+        domains: vec![3, 4, 2],
+        top_mass: 0.55,
+        skew: 1.0,
+        clusters: 2,
+        cluster_focus: 0.6,
+        focus_strength: 0.9,
+        templates: 2,
+        template_len: 3,
+        template_prob: 0.3,
+    });
+    Colarm::build(
+        dataset,
+        MipIndexConfig {
+            primary_support: 0.1,
+            ..Default::default()
+        },
+    )
+    .expect("index builds")
+    .into_shared()
+}
+
+fn serve() -> ServerHandle {
+    let server = ColarmServer::new(shared_system(), ServerConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+    server
+        .serve_listener_with(listener, TransportConfig::default())
+        .expect("starts")
+}
+
+#[test]
+fn half_close_after_complete_request_still_gets_answered() {
+    let handle = serve();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    // Sleep so the request bytes and the FIN arrive in separate read
+    // batches on a slow machine... actually send FIN immediately to model
+    // the common `send(); shutdown(WR); recv()` client.
+    stream.shutdown(Shutdown::Write).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(_) => break,
+        }
+    }
+    let raw = String::from_utf8_lossy(&raw).into_owned();
+    handle.shutdown();
+    assert!(
+        raw.starts_with("HTTP/1.1 200"),
+        "half-closing client got no/&wrong response: {raw:?}"
+    );
+}
