@@ -1,0 +1,265 @@
+//! Optimizer-quality benchmark: prediction accuracy and plan-pick
+//! quality of the calibrated cost model, with the statistics catalog
+//! (per-attribute histograms, Eqs. 1–6 per-query inputs) against the
+//! global-average fallback, on the same calibration and the same seeded
+//! query workload. Writes `BENCH_optimizer.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_optimizer [-- OUT.json] [--check]
+//! ```
+//!
+//! Per query, every one of the six plans is estimated and executed; a
+//! *mispick* is a chosen plan whose measured time exceeds 1.25× the
+//! measured-fastest plan (the margin absorbs near-tie noise between the
+//! index plans). Accuracy is the |log10(estimated / measured)| of the
+//! chosen plan — 0 is perfect, 1 is an order of magnitude off.
+//!
+//! Gates (`scripts/ci.sh --bench` runs `--check` and relies on the
+//! nonzero exit):
+//!
+//! * catalog median |log10 ratio| ≤ 1.0 — predictions land within an
+//!   order of magnitude of reality;
+//! * catalog mispick rate ≤ 0.40;
+//! * catalog mispick rate ≤ baseline mispick rate + 0.10 — the catalog
+//!   must not cost picks relative to the global averages it replaced.
+
+use colarm::stats::StatsSource;
+use colarm::{Colarm, LocalizedQuery, MipIndexConfig, PlanKind};
+use colarm_bench::{calibration_queries, mushroom_spec, plan_index, random_subset_spec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const QUERIES: usize = 24;
+const MISPICK_MARGIN: f64 = 1.25;
+
+#[derive(Serialize)]
+struct Acceptance {
+    catalog_max_median_abs_log10: f64,
+    catalog_max_mispick_rate: f64,
+    catalog_max_mispick_rate_over_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct SystemSummary {
+    name: &'static str,
+    queries: usize,
+    /// Median |log10(estimated / measured)| of the chosen plan.
+    median_abs_log10: f64,
+    /// Worst |log10 ratio| seen across all queries and plans.
+    worst_abs_log10: f64,
+    mispicks: usize,
+    mispick_rate: f64,
+    /// Fraction of cost terms whose prediction came from the catalog
+    /// (1.0 for the catalog system, 0.0 for the baseline).
+    catalog_term_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: &'static str,
+    harness: &'static str,
+    acceptance: Acceptance,
+    systems: Vec<SystemSummary>,
+}
+
+/// Run the seeded workload through one system and summarize it.
+fn evaluate(system: &Colarm, name: &'static str, minsupps: &[f64], minconf: f64) -> SystemSummary {
+    let mut rng = StdRng::seed_from_u64(0x0B71);
+    let mut ratios = Vec::new();
+    let mut worst = 0.0f64;
+    let mut mispicks = 0usize;
+    let mut catalog_terms = 0usize;
+    let mut total_terms = 0usize;
+    let mut completed = 0usize;
+    while completed < QUERIES {
+        let frac = [0.1, 0.2, 0.4][completed % 3];
+        let (range, subset) = random_subset_spec(
+            system.index().dataset(),
+            system.index().vertical(),
+            frac,
+            &mut rng,
+        );
+        if subset.is_empty() {
+            continue;
+        }
+        let query = LocalizedQuery::builder()
+            .range(range)
+            .minsupp(minsupps[completed % minsupps.len()])
+            .minconf(minconf)
+            .build()
+            .expect("valid query");
+        let choice = system.optimizer().choose(system.index(), &query, &subset);
+        for est in &choice.estimates {
+            catalog_terms += est
+                .terms
+                .iter()
+                .filter(|t| t.stats_source == StatsSource::Catalog)
+                .count();
+            total_terms += est.terms.len();
+        }
+        let mut measured = [0.0f64; 6];
+        for (i, &plan) in PlanKind::ALL.iter().enumerate() {
+            // Best of 3: smoke-scale executions run in microseconds, so a
+            // single sample is mostly scheduler noise.
+            measured[i] = (0..3)
+                .map(|_| {
+                    colarm::execute_plan(system.index(), &query, &subset, plan)
+                        .expect("valid query")
+                        .trace
+                        .total
+                        .as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            let est = choice.estimate_for(plan).total();
+            let ratio = (est / measured[i].max(1e-9)).log10().abs();
+            worst = worst.max(ratio);
+        }
+        let chosen_secs = measured[plan_index(choice.chosen)];
+        let est = choice.estimate_for(choice.chosen).total();
+        ratios.push((est / chosen_secs.max(1e-9)).log10().abs());
+        let fastest = measured.iter().cloned().fold(f64::INFINITY, f64::min);
+        if chosen_secs > fastest * MISPICK_MARGIN {
+            mispicks += 1;
+        }
+        completed += 1;
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    SystemSummary {
+        name,
+        queries: completed,
+        median_abs_log10: ratios[ratios.len() / 2],
+        worst_abs_log10: worst,
+        mispicks,
+        mispick_rate: mispicks as f64 / completed as f64,
+        catalog_term_fraction: catalog_terms as f64 / total_terms.max(1) as f64,
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_optimizer.json".to_string();
+    let mut check_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_only = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let spec = mushroom_spec(Scale::Smoke);
+
+    // Catalog system: the normal offline phase (collect_stats defaults on).
+    let catalog_system = colarm_bench::build_system(&spec);
+    assert!(
+        catalog_system.index().catalog().is_some(),
+        "offline build must produce a statistics catalog"
+    );
+
+    // Baseline: identical dataset, config, and calibration workload, but
+    // no catalog — the optimizer falls back to the global averages.
+    let mut baseline_system = Colarm::build(
+        (spec.build)(),
+        MipIndexConfig {
+            primary_support: spec.primary,
+            collect_stats: false,
+            ..MipIndexConfig::default()
+        },
+    )
+    .expect("valid scenario config");
+    let samples = calibration_queries(&baseline_system, &spec, 3);
+    baseline_system
+        .calibrate(&samples)
+        .expect("calibration queries are valid");
+    assert!(baseline_system.index().catalog().is_none());
+
+    let catalog = evaluate(&catalog_system, "catalog", &spec.minsupps, spec.minconf);
+    let baseline = evaluate(
+        &baseline_system,
+        "global_fallback",
+        &spec.minsupps,
+        spec.minconf,
+    );
+    assert!(
+        catalog.catalog_term_fraction > 0.99,
+        "catalog system predicted from the fallback"
+    );
+    assert!(
+        baseline.catalog_term_fraction == 0.0,
+        "baseline system predicted from a catalog"
+    );
+
+    let acceptance = Acceptance {
+        catalog_max_median_abs_log10: 1.0,
+        catalog_max_mispick_rate: 0.40,
+        catalog_max_mispick_rate_over_baseline: 0.10,
+    };
+    let report = Report {
+        description: "Cost-model prediction accuracy (|log10 est/measured| of \
+                      the chosen plan) and mispick rate (chosen plan slower \
+                      than 1.25x the measured-fastest) over a seeded random \
+                      workload, statistics catalog vs global-average fallback \
+                      on the same calibration",
+        harness: "cargo run --release --bin bench_optimizer [-- OUT.json] \
+                  [--check]; the catalog gates (median accuracy, absolute \
+                  mispick rate, mispick rate vs baseline) exit nonzero on \
+                  failure (the scripts/ci.sh --bench gate)",
+        acceptance,
+        systems: vec![catalog, baseline],
+    };
+
+    println!(
+        "{:<16} {:>8} {:>12} {:>11} {:>9} {:>13} {:>14}",
+        "system", "queries", "median log10", "worst log10", "mispicks", "mispick rate", "catalog terms"
+    );
+    for s in &report.systems {
+        println!(
+            "{:<16} {:>8} {:>12.3} {:>11.3} {:>9} {:>12.1}% {:>13.0}%",
+            s.name,
+            s.queries,
+            s.median_abs_log10,
+            s.worst_abs_log10,
+            s.mispicks,
+            s.mispick_rate * 100.0,
+            s.catalog_term_fraction * 100.0
+        );
+    }
+    if !check_only {
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        std::fs::write(&out_path, json).expect("write BENCH_optimizer.json");
+        println!("\nwrote {out_path}");
+    }
+
+    let cat = &report.systems[0];
+    let base = &report.systems[1];
+    let mut failures = Vec::new();
+    if cat.median_abs_log10 > report.acceptance.catalog_max_median_abs_log10 {
+        failures.push(format!(
+            "catalog median |log10| {:.3} > allowed {:.3}",
+            cat.median_abs_log10, report.acceptance.catalog_max_median_abs_log10
+        ));
+    }
+    if cat.mispick_rate > report.acceptance.catalog_max_mispick_rate {
+        failures.push(format!(
+            "catalog mispick rate {:.2} > allowed {:.2}",
+            cat.mispick_rate, report.acceptance.catalog_max_mispick_rate
+        ));
+    }
+    if cat.mispick_rate > base.mispick_rate + report.acceptance.catalog_max_mispick_rate_over_baseline
+    {
+        failures.push(format!(
+            "catalog mispick rate {:.2} > baseline {:.2} + {:.2}",
+            cat.mispick_rate,
+            base.mispick_rate,
+            report.acceptance.catalog_max_mispick_rate_over_baseline
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("\nbench gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench gate: optimizer accuracy green");
+}

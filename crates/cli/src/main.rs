@@ -4,11 +4,13 @@
 //! colarm demo
 //!     The paper's Table 1 salary walkthrough.
 //!
-//! colarm index --data D.tsv --primary 0.1 [--out index.snap]
+//! colarm index --data D.tsv --primary 0.1 [--out index.snap] [--no-stats]
 //!     Offline phase: build (and optionally persist) a MIP-index over a
 //!     TSV dataset (header of attribute names, one record per line).
 //!     Snapshots are written in the checksummed binary format (atomic
 //!     temp-file + rename); `--index` also accepts legacy JSON snapshots.
+//!     `--no-stats` skips the statistics catalog, so the optimizer prices
+//!     plans from global averages only (A/B baseline for the catalog).
 //!
 //! colarm query (--index index.snap | --data D.tsv --primary P) "REPORT …"
 //!     Run one localized mining query (the paper's query language).
@@ -74,8 +76,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: colarm <demo|index|query|repl|serve|advise> [options]
   demo                                   the paper's salary walkthrough
-  index  --data D.tsv --primary P [--out index.snap]
-         --out writes the checksummed binary snapshot format (atomic)
+  index  --data D.tsv --primary P [--out index.snap] [--no-stats]
+         --out writes the checksummed binary snapshot format (atomic);
+         --no-stats skips the statistics catalog (optimizer falls back
+         to global averages — the A/B baseline)
   query  (--index I.snap | --data D.tsv --primary P) [--json] \"REPORT ...\"
          prefix the query with EXPLAIN ANALYZE for per-operator
          predicted-vs-actual cost tracing (--json for machine-readable)
@@ -108,6 +112,7 @@ struct Options {
     indexes: Vec<String>,
     out: Option<String>,
     primary: f64,
+    no_stats: bool,
     json: bool,
     timeout_ms: Option<u64>,
     addr: String,
@@ -128,6 +133,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         indexes: Vec::new(),
         out: None,
         primary: 0.1,
+        no_stats: false,
         json: false,
         timeout_ms: None,
         addr: "127.0.0.1:7878".to_string(),
@@ -147,6 +153,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--data" => opts.data = Some(take(&mut it, "--data")?),
             "--index" => opts.indexes.push(take(&mut it, "--index")?),
             "--out" => opts.out = Some(take(&mut it, "--out")?),
+            "--no-stats" => opts.no_stats = true,
             "--json" => opts.json = true,
             "--timeout-ms" => {
                 let ms: u64 = take(&mut it, "--timeout-ms")?
@@ -237,6 +244,7 @@ fn load_system(opts: &Options) -> Result<Colarm, String> {
         dataset,
         MipIndexConfig {
             primary_support: opts.primary,
+            collect_stats: !opts.no_stats,
             ..Default::default()
         },
     )
@@ -279,10 +287,16 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     }
     let colarm = load_system(&opts)?;
     println!(
-        "MIP-index: {} closed frequent itemsets, R-tree height {}, primary count {}",
+        "MIP-index: {} closed frequent itemsets, R-tree height {}, primary count {}, \
+         statistics catalog {}",
         colarm.index().num_mips(),
         colarm.index().rtree().height(),
-        colarm.index().primary_count()
+        colarm.index().primary_count(),
+        if colarm.index().catalog().is_some() {
+            "present"
+        } else {
+            "absent (global-average costing)"
+        }
     );
     if let Some(out) = &opts.out {
         let bytes = colarm
@@ -532,7 +546,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if sig::RELOAD.swap(false, Ordering::SeqCst) {
             for (name, source) in &sources {
                 match source.load() {
-                    Ok(colarm) => {
+                    Ok(mut colarm) => {
+                        // Carry the retiring generation's fitted cost
+                        // constants forward, so a reload does not lose
+                        // what feedback calibration learned.
+                        if let Some(old) = server.index(name) {
+                            colarm.adopt_calibration(&old);
+                        }
                         let generation = server.reload_index(name, colarm.into_shared());
                         eprintln!(
                             "colarm: reloaded index `{name}` (generation {})",

@@ -94,6 +94,16 @@ pub fn run(mut colarm: Arc<Colarm>, timeout: Option<Duration>) -> Result<(), Str
                     "  columns: {} exact hits / {} derived / {} scanned / {} evicted",
                     s.column_hits, s.columns_derived, s.column_misses, s.column_evictions
                 );
+                println!(
+                    "  optimizer: statistics catalog {}, {} feedback entries, {} mispicks",
+                    if colarm.index().catalog().is_some() {
+                        "present"
+                    } else {
+                        "absent (global-average costing)"
+                    },
+                    colarm.feedback().len(),
+                    colarm.feedback().mispick_count()
+                );
                 let p = colarm::pool_stats();
                 println!(
                     "  pool: {} workers, {} tasks, {} steals, {} parks/{} unparks",

@@ -28,6 +28,7 @@
 
 use crate::ops::OpKind;
 use crate::plan::PlanKind;
+use crate::stats::{CatalogHints, StatsSource};
 use colarm_data::ContainerKind;
 use colarm_rtree::{Rect, RTree, TreeStats};
 use serde::{Deserialize, Serialize};
@@ -66,13 +67,17 @@ pub struct IndexStats {
     pub level_weights: Vec<Vec<u32>>,
     /// Per attribute: fraction of CFIs containing an item of it.
     pub attr_coverage: Vec<f64>,
-    /// Mean CFI length (`C_I`).
+    /// Mean CFI length (`C_I`). Global fallback — estimates prefer the
+    /// conditional [`CatalogHints::avg_len`] when the statistics catalog
+    /// is present.
     pub avg_len: f64,
     /// Longest CFI length.
     pub max_len: usize,
-    /// Mean candidate-rule count per CFI (`2^len − 2`, capped).
+    /// Mean candidate-rule count per CFI (`2^len − 2`, capped). Global
+    /// fallback for [`CatalogHints::avg_rule_cands`].
     pub avg_rule_cands: f64,
     /// Mean CFI support count (the tidset work one mined itemset costs).
+    /// Global fallback for [`CatalogHints::avg_supp_tidwork`].
     pub avg_supp_tidwork: f64,
     /// Chunk-container histogram over every stored CFI tid-list, gathered
     /// at index build: chunks of each [`ContainerKind`], indexed
@@ -340,6 +345,12 @@ pub struct QueryProfile {
     pub arm_clone_units: f64,
     /// How SELECT would be served by the session's column cache.
     pub select_reuse: SelectReuse,
+    /// Conditional statistics for this query's admitted item attributes,
+    /// looked up in the index's [`StatsCatalog`](crate::stats::StatsCatalog)
+    /// by [`MipIndex::query_profile`](crate::MipIndex::query_profile).
+    /// `None` (stats-absent index) selects the global-average fallback
+    /// path and stamps every term [`StatsSource::GlobalFallback`].
+    pub catalog: Option<CatalogHints>,
 }
 
 /// The cost model: statistics + constants.
@@ -370,6 +381,9 @@ pub struct CostTerm {
     pub units: f64,
     /// Predicted seconds for this operator.
     pub seconds: f64,
+    /// Which statistics produced this prediction: the per-query catalog,
+    /// or the index-wide averages (stats-absent fallback).
+    pub stats_source: StatsSource,
 }
 
 /// A per-plan cost estimate, broken into operator terms (seconds).
@@ -415,7 +429,27 @@ impl CostModel {
             as usize)
             .min(s.num_records);
         let sigma_e = s.support_selectivity(global_equiv);
-        let item_frac = (q.item_attrs as f64 / s.num_attrs.max(1) as f64).clamp(0.0, 1.0);
+        // Shape statistics: conditional on the query's admitted item
+        // attributes when the catalog supplied hints, else the index-wide
+        // averages (the documented stats-absent fallback — identical to
+        // the pre-catalog model).
+        let (avg_len, avg_rule_cands, avg_supp_tidwork, item_frac, stats_source) = match &q.catalog
+        {
+            Some(h) => (
+                h.avg_len,
+                h.avg_rule_cands,
+                h.avg_supp_tidwork,
+                h.item_restriction_frac,
+                StatsSource::Catalog,
+            ),
+            None => (
+                s.avg_len,
+                s.avg_rule_cands,
+                s.avg_supp_tidwork,
+                (q.item_attrs as f64 / s.num_attrs.max(1) as f64).clamp(0.0, 1.0),
+                StatsSource::GlobalFallback,
+            ),
+        };
         let elim_s = cand_s * sigma_e * item_frac;
         let elim_ss = cand_ss * sigma_e * item_frac;
         // Operator terms: predicted raw units on the executor's OpTrace
@@ -426,11 +460,13 @@ impl CostModel {
             op: OpKind::Search,
             units: search_units,
             seconds: c.node * search_units,
+            stats_source,
         };
         let term_ss = CostTerm {
             op: OpKind::SupportedSearch,
             units: ss_units,
             seconds: c.node * ss_units,
+            stats_source,
         };
         // ELIMINATE's work is tidset intersections; its per-unit seconds
         // scale with the index's container mix (units stay the paper's
@@ -441,16 +477,18 @@ impl CostModel {
             op: OpKind::Eliminate,
             units: units_e(ncand),
             seconds: elim_secs_per_unit * units_e(ncand),
+            stats_source,
         };
         // VERIFY's units are the rule-generation volume `nver × C_I × |DQ|`;
         // its seconds additionally carry the confidence-check term, so the
         // seconds/units ratio is deliberately not a single constant.
-        let units_v = |nver: f64| nver * s.avg_len * dq;
-        let secs_v = |nver: f64| c.verify * units_v(nver) + c.confidence * nver * s.avg_rule_cands;
+        let units_v = |nver: f64| nver * avg_len * dq;
+        let secs_v = |nver: f64| c.verify * units_v(nver) + c.confidence * nver * avg_rule_cands;
         let term_v = |nver: f64| CostTerm {
             op: OpKind::Verify,
             units: units_v(nver),
             seconds: secs_v(nver),
+            stats_source,
         };
         let terms = match plan {
             PlanKind::Sev => vec![term_s, term_e(cand_s), term_v(elim_s)],
@@ -465,6 +503,7 @@ impl CostModel {
                     op: OpKind::SupportedVerify,
                     units: units_e(cand_s) + units_v(elim_s),
                     seconds: elim_secs_per_unit * units_e(cand_s) + secs_v(elim_s),
+                    stats_source,
                 },
             ],
             PlanKind::SsEv => vec![term_ss, term_e(cand_ss), term_v(elim_ss)],
@@ -474,6 +513,7 @@ impl CostModel {
                     op: OpKind::SupportedVerify,
                     units: units_e(cand_ss) + units_v(elim_ss),
                     seconds: elim_secs_per_unit * units_e(cand_ss) + secs_v(elim_ss),
+                    stats_source,
                 },
             ],
             PlanKind::SsEuv => {
@@ -486,6 +526,7 @@ impl CostModel {
                         op: OpKind::Union,
                         units: 1.0,
                         seconds: c.union_const,
+                        stats_source,
                     },
                     term_v((partial * sigma_e + contained) * item_frac),
                 ]
@@ -500,16 +541,23 @@ impl CostModel {
                 // histogram prices the restriction. Note the volume is
                 // largely |DQ|-independent — which is why ARM's cost curve
                 // is flat where the index plans' shrink with the subset.
-                let est_mined = q.arm_mined.unwrap_or_else(|| {
-                    let local_frac_threshold = ((q.minsupp_count as f64 / dq.max(1.0))
-                        * s.num_records as f64)
-                        as usize;
-                    s.cfis_surviving_item_restriction(local_frac_threshold)
-                        .max(1.0)
+                let est_mined = q.arm_mined.unwrap_or_else(|| match &q.catalog {
+                    // The catalog already counted the surviving CFIs
+                    // *inside the admitted attribute set*; the global
+                    // histogram cannot distinguish admitted from excluded
+                    // items.
+                    Some(h) => h.arm_surviving.max(1.0),
+                    None => {
+                        let local_frac_threshold = ((q.minsupp_count as f64 / dq.max(1.0))
+                            * s.num_records as f64)
+                            as usize;
+                        s.cfis_surviving_item_restriction(local_frac_threshold)
+                            .max(1.0)
+                    }
                 });
                 let mining_units = dq * q.item_attrs.max(1) as f64
                     + q.arm_clone_units
-                    + est_mined * s.avg_supp_tidwork
+                    + est_mined * avg_supp_tidwork
                     + est_mined * dq * sigma_e;
                 let select_units = dq * s.num_attrs.max(1) as f64;
                 // A session-cached materialization serves SELECT cheaper
@@ -533,11 +581,13 @@ impl CostModel {
                         op: OpKind::Select,
                         units: select_units,
                         seconds: select_seconds,
+                        stats_source,
                     },
                     CostTerm {
                         op: OpKind::Arm,
                         units: mining_units,
                         seconds: c.arm * mining_units,
+                        stats_source,
                     },
                 ]
             }
@@ -642,7 +692,60 @@ mod tests {
             arm_mined: None,
             arm_clone_units: 100.0,
             select_reuse: SelectReuse::Fresh,
+            catalog: None,
         }
+    }
+
+    #[test]
+    fn catalog_hints_replace_global_averages_and_stamp_the_source() {
+        let model = CostModel {
+            stats: synthetic_stats(),
+            constants: CostConstants::default(),
+        };
+        let fallback = model.estimate(PlanKind::Sev, &profile(50, 25));
+        assert!(fallback
+            .terms
+            .iter()
+            .all(|t| t.stats_source == StatsSource::GlobalFallback));
+        let mut q = profile(50, 25);
+        // Hints mirroring the global averages with full restriction: the
+        // estimate must be numerically identical, only the source changes.
+        q.catalog = Some(CatalogHints {
+            avg_len: model.stats.avg_len,
+            avg_rule_cands: model.stats.avg_rule_cands,
+            avg_supp_tidwork: model.stats.avg_supp_tidwork,
+            item_restriction_frac: 1.0,
+            arm_surviving: 1.0,
+        });
+        let mirrored = model.estimate(PlanKind::Sev, &q);
+        assert!(mirrored
+            .terms
+            .iter()
+            .all(|t| t.stats_source == StatsSource::Catalog));
+        assert_eq!(mirrored.total().to_bits(), fallback.total().to_bits());
+        // A sharper restriction fraction lowers ELIMINATE/VERIFY volume.
+        q.catalog = Some(CatalogHints {
+            avg_len: model.stats.avg_len,
+            avg_rule_cands: model.stats.avg_rule_cands,
+            avg_supp_tidwork: model.stats.avg_supp_tidwork,
+            item_restriction_frac: 0.25,
+            arm_surviving: 1.0,
+        });
+        let restricted = model.estimate(PlanKind::Sev, &q);
+        assert!(restricted.total() < mirrored.total());
+        // The ARM plan prices its re-mining from the conditional
+        // surviving count instead of the global histogram.
+        q.catalog = Some(CatalogHints {
+            avg_len: 2.0,
+            avg_rule_cands: 4.0,
+            avg_supp_tidwork: 50.0,
+            item_restriction_frac: 1.0,
+            arm_surviving: 500.0,
+        });
+        let arm_hinted = model.estimate(PlanKind::Arm, &q);
+        q.catalog = None;
+        let arm_fallback = model.estimate(PlanKind::Arm, &q);
+        assert!(arm_hinted.total() > arm_fallback.total());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::ops::OpKind;
 use crate::optimizer::PlanChoice;
 use crate::plan::{PlanKind, QueryAnswer};
 use crate::query::LocalizedQuery;
+use crate::stats::StatsSource;
 use colarm_data::metrics::OpMetrics;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -118,6 +119,11 @@ pub struct AnalyzedOp {
     pub measured_seconds: f64,
     /// Execution counters (`None` when the run had metrics reporting off).
     pub metrics: Option<OpMetrics>,
+    /// Where the prediction's cardinality inputs came from — the
+    /// statistics catalog or the global-average fallback. Absent for
+    /// operators without a cost-model term.
+    #[serde(default)]
+    pub stats_source: Option<StatsSource>,
 }
 
 impl AnalyzedOp {
@@ -127,6 +133,47 @@ impl AnalyzedOp {
         match self.predicted_units {
             Some(p) if p > 0.0 => Some(self.measured_units / p),
             _ => None,
+        }
+    }
+}
+
+/// Roll-up of the per-operator predicted-vs-measured rows: one line for
+/// tooling that wants the headline numbers without walking `ops`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AnalyzeTotals {
+    /// Sum of the operators' predicted seconds (rows with a prediction).
+    pub predicted_seconds: f64,
+    /// Sum of the operators' measured wall-clock seconds.
+    pub measured_seconds: f64,
+    /// `(measured - predicted) / predicted × 100` — signed percentage
+    /// error of the roll-up (`None` when nothing was predicted).
+    pub error_pct: Option<f64>,
+}
+
+impl AnalyzeTotals {
+    fn from_ops(ops: &[AnalyzedOp]) -> AnalyzeTotals {
+        let predicted_seconds: f64 = ops.iter().filter_map(|o| o.predicted_seconds).sum();
+        let measured_seconds: f64 = ops.iter().map(|o| o.measured_seconds).sum();
+        let error_pct = (predicted_seconds > 0.0)
+            .then(|| (measured_seconds - predicted_seconds) / predicted_seconds * 100.0);
+        AnalyzeTotals {
+            predicted_seconds,
+            measured_seconds,
+            error_pct,
+        }
+    }
+}
+
+impl fmt::Display for AnalyzeTotals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total: predicted {:.3e} s / measured {:.3e} s / error ",
+            self.predicted_seconds, self.measured_seconds
+        )?;
+        match self.error_pct {
+            Some(pct) => write!(f, "{pct:+.1}%"),
+            None => write!(f, "n/a"),
         }
     }
 }
@@ -154,6 +201,14 @@ pub struct AnalyzeReport {
     pub estimates: Vec<CostEstimate>,
     /// Per-operator predicted-vs-actual rows, pipeline order.
     pub ops: Vec<AnalyzedOp>,
+    /// One-line roll-up over `ops` (summed predicted / measured seconds
+    /// and signed error percentage).
+    #[serde(default)]
+    pub totals: AnalyzeTotals,
+    /// Where the executed plan's cardinality inputs came from — the
+    /// statistics catalog or the global-average fallback.
+    #[serde(default)]
+    pub stats_source: StatsSource,
     /// Worker-pool activity over this execution ([`colarm_data::par`]
     /// counter deltas; `workers` is the pool's current size). The pool is
     /// process-global, so concurrent executions' tasks land in whichever
@@ -185,9 +240,16 @@ impl AnalyzeReport {
                     measured_units: o.units,
                     measured_seconds: o.duration.as_secs_f64(),
                     metrics: o.metrics,
+                    stats_source: term.map(|t| t.stats_source),
                 }
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let totals = AnalyzeTotals::from_ops(&ops);
+        let stats_source = estimate
+            .terms
+            .first()
+            .map(|t| t.stats_source)
+            .unwrap_or(StatsSource::GlobalFallback);
         AnalyzeReport {
             plan: answer.plan,
             chosen_by_optimizer,
@@ -198,6 +260,8 @@ impl AnalyzeReport {
             actual_seconds: answer.trace.total.as_secs_f64(),
             estimates: choice.estimates.clone(),
             ops,
+            totals,
+            stats_source,
             pool,
         }
     }
@@ -320,6 +384,7 @@ impl fmt::Display for AnalyzeReport {
                 op.op, pu, op.measured_units, ps, op.measured_seconds, counters
             )?;
         }
+        writeln!(f, "{} (estimates from {})", self.totals, self.stats_source)?;
         writeln!(
             f,
             "pool: {} workers, {} tasks, {} steals, {} parks/{} unparks",
@@ -475,10 +540,25 @@ mod tests {
                 row.op
             );
         }
+        // The totals footer rolls up exactly the op rows, renders, and
+        // names the estimate source (default build → catalog present).
+        let pred_sum: f64 = report.ops.iter().filter_map(|o| o.predicted_seconds).sum();
+        let meas_sum: f64 = report.ops.iter().map(|o| o.measured_seconds).sum();
+        assert_eq!(report.totals.predicted_seconds, pred_sum);
+        assert_eq!(report.totals.measured_seconds, meas_sum);
+        assert!(report.totals.error_pct.is_some());
+        assert!(text.contains("total: predicted"), "missing totals footer");
+        assert_eq!(report.stats_source, StatsSource::Catalog);
+        assert!(text.contains("estimates from catalog"));
+        for row in &report.ops {
+            assert_eq!(row.stats_source.is_some(), row.predicted_units.is_some());
+        }
         // JSON round-trips through serde_json's parser.
         let json = report.to_json();
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(value["plan"].is_string());
+        assert!(value["totals"]["predicted_seconds"].is_number());
+        assert_eq!(value["stats_source"].as_str(), Some("catalog"));
         assert_eq!(value["ops"].as_array().unwrap().len(), report.ops.len());
         assert_eq!(
             value["estimates"].as_array().unwrap().len(),

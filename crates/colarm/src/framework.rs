@@ -131,19 +131,62 @@ impl Colarm {
 
     /// Persist the MIP-index to a binary snapshot at `path` (streamed,
     /// checksummed, atomic temp-file + `rename`; see [`crate::persist`]).
-    /// Returns the snapshot size in bytes.
+    /// The snapshot's STATS section carries the statistics catalog and the
+    /// effective fitted cost constants ([`Colarm::fitted_constants`]), so
+    /// everything calibration has learned survives the restart. Returns
+    /// the snapshot size in bytes.
     pub fn save_index_snapshot(
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<u64, ColarmError> {
-        crate::persist::save_index(&self.index, path)
+        crate::persist::save_index_with_constants(&self.index, self.fitted_constants(), path)
     }
 
     /// Build a system from an index snapshot at `path` (binary or legacy
-    /// JSON, auto-detected). The optimizer starts from default constants;
-    /// call [`Colarm::calibrate`] afterwards to fit this machine.
+    /// JSON, auto-detected). A v3 snapshot restores the statistics catalog
+    /// and the persisted fitted cost constants bit-exactly; older
+    /// snapshots start from defaults (call [`Colarm::calibrate`] to fit
+    /// this machine).
     pub fn load_index_snapshot(path: impl AsRef<std::path::Path>) -> Result<Colarm, ColarmError> {
-        Ok(Colarm::from_index(crate::persist::load_index(path)?))
+        let (index, constants) = crate::persist::load_index_with_constants(path)?;
+        let mut colarm = Colarm::from_index(index);
+        if let Some(constants) = constants {
+            colarm.set_cost_constants(constants);
+        }
+        Ok(colarm)
+    }
+
+    /// The cost constants this system would persist: the current model
+    /// constants, refined by a fit over the feedback log when it holds
+    /// observations. The fit is deterministic, so a system that has not
+    /// executed anything since its last calibration returns its current
+    /// constants unchanged — which is what makes save → load → query
+    /// round-trips bit-exact.
+    pub fn fitted_constants(&self) -> CostConstants {
+        let observations = self.feedback.observations();
+        if observations.is_empty() {
+            return self.optimizer.model().constants;
+        }
+        let borrowed: Vec<(&str, f64, f64)> =
+            observations.iter().map(|&(n, u, t)| (n, u, t)).collect();
+        let mut model = self.optimizer.model().clone();
+        model.fit(&borrowed);
+        model.constants
+    }
+
+    /// Overwrite the cost model's unit constants (restoring persisted
+    /// calibration, or adopting another system's via
+    /// [`Colarm::adopt_calibration`]).
+    pub fn set_cost_constants(&mut self, constants: CostConstants) {
+        self.optimizer.model_mut().constants = constants;
+    }
+
+    /// Carry calibration across an index reload: adopt the effective
+    /// fitted constants of `previous` (its current constants refined by
+    /// its feedback log), so a SIGHUP swap does not forget what the
+    /// retiring generation learned.
+    pub fn adopt_calibration(&mut self, previous: &Colarm) {
+        self.set_cost_constants(previous.fitted_constants());
     }
 
     /// The single validation path every execution funnels through:

@@ -62,6 +62,7 @@ pub mod request;
 pub mod reuse;
 pub mod server;
 pub mod session;
+pub mod stats;
 
 pub use cost::{CostEstimate, CostTerm, SelectReuse};
 pub use engine::{pipeline_ops, Batch, CancelToken, Ctx, PlanOp, QueryLimits, ENGINE_BATCH};
@@ -72,8 +73,10 @@ pub use mip::{MipIndex, MipIndexConfig, Packing};
 pub use optimizer::{FeedbackEntry, FeedbackLog, Mispick, Optimizer, PlanChoice};
 pub use parse::parse_query;
 pub use persist::{
-    load_index, save_index, IndexSnapshot, SnapshotHeader, SnapshotReader, SnapshotWriter,
+    load_index, load_index_with_constants, save_index, save_index_with_constants, IndexSnapshot,
+    SnapshotHeader, SnapshotReader, SnapshotStats, SnapshotWriter,
 };
+pub use stats::{CatalogHints, StatsCatalog, StatsSource};
 pub use ops::{ExecOptions, OpKind, OpTrace};
 pub use plan::{
     execute_plan, execute_plan_hooked, execute_plan_limited, execute_plan_with, ExecutionTrace,

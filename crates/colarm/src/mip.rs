@@ -15,6 +15,7 @@
 use crate::cost::{IndexStats, QueryProfile};
 use crate::error::ColarmError;
 use crate::query::LocalizedQuery;
+use crate::stats::StatsCatalog;
 use colarm_data::{Dataset, FocalSubset, Itemset, RangeSpec, VerticalIndex};
 use colarm_mine::vertical::full_vertical;
 use colarm_mine::{charm_par, CfiId, ClosedItTree};
@@ -48,6 +49,13 @@ pub struct MipIndexConfig {
     /// sequential path. The mined CFI vector — and therefore CFI ids,
     /// R-tree layout and snapshots — is bit-identical at any setting.
     pub threads: usize,
+    /// Collect the per-attribute/per-CFI-group [`StatsCatalog`] at build
+    /// time (default). `false` (`colarm index --no-stats`) builds a
+    /// stats-absent index whose estimates use the global-average fallback
+    /// — the A/B baseline for the catalog. A build knob, not an index
+    /// property: it is **not persisted**; a snapshot records the catalog
+    /// itself (or its absence), and restores never recompute it.
+    pub collect_stats: bool,
 }
 
 impl Default for MipIndexConfig {
@@ -57,6 +65,7 @@ impl Default for MipIndexConfig {
             fanout: colarm_rtree::tree::DEFAULT_MAX_ENTRIES,
             packing: Packing::Str,
             threads: 0,
+            collect_stats: true,
         }
     }
 }
@@ -69,6 +78,7 @@ pub struct MipIndex {
     ittree: ClosedItTree,
     rtree: RTree<CfiId>,
     stats: IndexStats,
+    catalog: Option<StatsCatalog>,
     config: MipIndexConfig,
     primary_count: usize,
     domains: Vec<u32>,
@@ -89,11 +99,16 @@ impl MipIndex {
         let primary_count =
             (((config.primary_support * m as f64) - 1e-9).ceil().max(1.0)) as usize;
         let cfis = charm_par(&full_vertical(&vertical), primary_count, config.threads);
-        Self::assemble(dataset, config, cfis, vertical)
+        let with_catalog = config.collect_stats;
+        Self::assemble(dataset, config, cfis, vertical, with_catalog)
     }
 
     /// Rebuild an index from already-mined CFIs (snapshot restore): all
-    /// derived structures are reconstructed, the miner is skipped.
+    /// derived structures are reconstructed, the miner is skipped. The
+    /// statistics catalog is **not** recomputed — a restored snapshot
+    /// reproduces exactly the optimizer inputs it was saved with (the
+    /// loader attaches a persisted catalog via `set_catalog`; v1/v2
+    /// snapshots and `--no-stats` builds restore stats-absent).
     pub fn from_parts(
         dataset: Dataset,
         config: MipIndexConfig,
@@ -106,7 +121,7 @@ impl MipIndex {
             });
         }
         let vertical = VerticalIndex::build(&dataset);
-        Self::assemble(dataset, config, cfis, vertical)
+        Self::assemble(dataset, config, cfis, vertical, false)
     }
 
     fn assemble(
@@ -114,6 +129,7 @@ impl MipIndex {
         config: MipIndexConfig,
         cfis: Vec<colarm_mine::ClosedItemset>,
         vertical: VerticalIndex,
+        with_catalog: bool,
     ) -> Result<Self, ColarmError> {
         let schema = dataset.schema().clone();
         let domains: Vec<u32> = schema.dimensions().map(|(_, d)| d as u32).collect();
@@ -185,6 +201,18 @@ impl MipIndex {
             m,
             primary_count,
         );
+        let catalog = if with_catalog {
+            StatsCatalog::collect(
+                &dataset,
+                &item_supports,
+                &cfi_lens,
+                &cfi_supports,
+                &cfi_attr_presence,
+                &cfi_min_item_supports,
+            )
+        } else {
+            None
+        };
         let ittree = ClosedItTree::build(cfis, schema.num_items(), m as u32);
         Ok(MipIndex {
             dataset,
@@ -192,6 +220,7 @@ impl MipIndex {
             ittree,
             rtree,
             stats,
+            catalog,
             config,
             primary_count,
             domains,
@@ -221,6 +250,19 @@ impl MipIndex {
     /// Index statistics for the cost model.
     pub fn stats(&self) -> &IndexStats {
         &self.stats
+    }
+
+    /// The statistics catalog, when this index carries one (built with
+    /// `collect_stats`, or restored from a v3 snapshot's `STATS` section).
+    pub fn catalog(&self) -> Option<&StatsCatalog> {
+        self.catalog.as_ref()
+    }
+
+    /// Attach (or clear) the statistics catalog — used by the snapshot
+    /// loader, which restores the persisted catalog instead of
+    /// recomputing one.
+    pub(crate) fn set_catalog(&mut self, catalog: Option<StatsCatalog>) {
+        self.catalog = catalog;
     }
 
     /// Build configuration.
@@ -269,20 +311,73 @@ impl MipIndex {
         // constrained attribute that does not span its domain, the
         // candidate must pin it (probability = the attribute's CFI
         // coverage) to an admitted value (probability ≈ selection share).
-        let mut contained_frac = 1.0f64;
-        for (&aid, values) in subset.spec().selections() {
-            let dom = schema.attribute(aid).domain_size();
-            if values.len() >= dom {
-                continue;
+        // With a catalog the share comes from the equi-depth histogram's
+        // record mass instead of the uniform |values|/|domain|, and each
+        // share beyond the most selective one is damped toward 1 by its
+        // measured dependence on the attributes already applied — two
+        // correlated predicates select nearly the same records, so their
+        // shares must not multiply as if independent (a standard
+        // exponential-backoff heuristic).
+        let contained_frac = match &self.catalog {
+            Some(cat) => {
+                let mut terms: Vec<(usize, f64)> = Vec::new();
+                let mut frac = 1.0f64;
+                for (&aid, values) in subset.spec().selections() {
+                    let dom = schema.attribute(aid).domain_size();
+                    if values.len() >= dom {
+                        continue;
+                    }
+                    frac *= self.stats.attr_coverage[aid.index()];
+                    let share = cat.mass_share(aid.index(), values.iter().copied());
+                    terms.push((aid.index(), share));
+                }
+                terms.sort_by(|a, b| a.1.total_cmp(&b.1));
+                let mut applied: Vec<usize> = Vec::new();
+                for (attr, share) in terms {
+                    let independence = if applied.is_empty() {
+                        1.0
+                    } else {
+                        applied
+                            .iter()
+                            .map(|&o| cat.pair_independence(attr, o))
+                            .sum::<f64>()
+                            / applied.len() as f64
+                    };
+                    frac *= share.powf(independence);
+                    applied.push(attr);
+                }
+                frac.clamp(0.0, 1.0)
             }
-            let share = values.len() as f64 / dom as f64;
-            contained_frac *= self.stats.attr_coverage[aid.index()] * share;
-        }
+            None => {
+                let mut frac = 1.0f64;
+                for (&aid, values) in subset.spec().selections() {
+                    let dom = schema.attribute(aid).domain_size();
+                    if values.len() >= dom {
+                        continue;
+                    }
+                    let share = values.len() as f64 / dom as f64;
+                    frac *= self.stats.attr_coverage[aid.index()] * share;
+                }
+                frac
+            }
+        };
         let item_attrs = match &query.item_attrs {
             None => schema.num_attributes(),
             Some(a) => a.len(),
         };
         let minsupp_count = query.minsupp_count(subset.len());
+        // Conditional shape statistics for the admitted item attributes.
+        let catalog = self.catalog.as_ref().map(|cat| {
+            let admitted_mask = match &query.item_attrs {
+                None => u64::MAX,
+                Some(attrs) => attrs
+                    .iter()
+                    .fold(0u64, |m, a| m | (1u64 << (a.index() as u64 & 63))),
+            };
+            let local_frac_threshold = ((minsupp_count as f64 / (subset.len() as f64).max(1.0))
+                * self.stats.num_records as f64) as usize;
+            cat.hints(admitted_mask, local_frac_threshold)
+        });
         // Exact ARM mining-volume profile: one bounded pass computing which
         // items stay locally frequent (the same record-level granularity
         // the paper's formulas use for |DQ|), then counting the prestored
@@ -336,6 +431,7 @@ impl MipIndex {
             // Standalone profiles assume a fresh SELECT; sessions override
             // this from their column cache before estimating.
             select_reuse: crate::cost::SelectReuse::Fresh,
+            catalog,
         }
     }
 }
@@ -473,6 +569,35 @@ mod tests {
         assert_eq!(p.minsupp_count, 3);
         assert_eq!(p.item_attrs, 6);
         assert!(p.contained_frac > 0.0 && p.contained_frac <= 1.0);
+    }
+
+    #[test]
+    fn collect_stats_flag_gates_the_catalog() {
+        let with = index(0.2);
+        assert!(with.catalog().is_some());
+        let without = MipIndex::build(
+            salary(),
+            MipIndexConfig {
+                primary_support: 0.2,
+                collect_stats: false,
+                ..MipIndexConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(without.catalog().is_none());
+        // Profiles inherit the catalog's presence.
+        let s = with.dataset().schema().clone();
+        let spec = RangeSpec::all().with_named(&s, "Location", &["Seattle"]).unwrap();
+        let q = LocalizedQuery::builder().minsupp(0.75).build().unwrap();
+        let subset = with.resolve_subset(spec.clone()).unwrap();
+        let hinted = with.query_profile(&q, &subset);
+        assert!(hinted.catalog.is_some());
+        assert!(hinted.contained_frac > 0.0 && hinted.contained_frac <= 1.0);
+        // Unrestricted queries admit every CFI: no restriction discount.
+        let h = hinted.catalog.unwrap();
+        assert!((h.item_restriction_frac - 1.0).abs() < 1e-12);
+        let subset = without.resolve_subset(spec).unwrap();
+        assert!(without.query_profile(&q, &subset).catalog.is_none());
     }
 
     #[test]

@@ -21,6 +21,8 @@ use colarm_data::FocalSubset;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The optimizer's decision for one query. Part of the server wire
 /// format (`QueryOutcome::choice`), so the field names are wire-stable.
@@ -102,6 +104,14 @@ pub struct Mispick {
 pub struct FeedbackLog {
     entries: Mutex<VecDeque<FeedbackEntry>>,
     capacity: usize,
+    /// Bumped on every mutation ([`FeedbackLog::record`] / `clear`), so
+    /// [`FeedbackLog::mispicks`] can tell whether its cached result is
+    /// still current without rescanning the ring.
+    generation: AtomicU64,
+    /// `(generation the result was computed at, the result)`. `/stats`
+    /// polls mispick counts per request; without this cache every poll
+    /// would redo an O(capacity) scan of an unchanged log.
+    mispick_cache: Mutex<(Option<u64>, Arc<Vec<Mispick>>)>,
 }
 
 impl Default for FeedbackLog {
@@ -116,6 +126,8 @@ impl FeedbackLog {
         FeedbackLog {
             entries: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
+            generation: AtomicU64::new(0),
+            mispick_cache: Mutex::new((None, Arc::new(Vec::new()))),
         }
     }
 
@@ -156,6 +168,7 @@ impl FeedbackLog {
             entries.pop_front();
         }
         entries.push_back(entry);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Number of retained entries.
@@ -176,6 +189,7 @@ impl FeedbackLog {
     /// Drop all retained entries.
     pub fn clear(&self) {
         self.entries.lock().clear();
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Every `(operator, units, seconds)` observation across retained
@@ -193,7 +207,37 @@ impl FeedbackLog {
     /// of every other plan that ran on the same query (via forced-plan or
     /// ANALYZE executions). One mispick per offending query, reporting the
     /// biggest winner.
+    ///
+    /// The result is memoized against the log's mutation generation:
+    /// repeated calls on an unchanged log (the `/stats` polling pattern)
+    /// return the cached result instead of rescanning the ring.
     pub fn mispicks(&self) -> Vec<Mispick> {
+        self.mispicks_arc().as_ref().clone()
+    }
+
+    /// Number of detected mispicks (see [`FeedbackLog::mispicks`]) without
+    /// cloning out the full list — the cheap form `/stats` wants.
+    pub fn mispick_count(&self) -> usize {
+        self.mispicks_arc().len()
+    }
+
+    /// Shared memoized mispick list. Recomputes only when the log's
+    /// generation has moved past the cached one; a concurrent `record`
+    /// between the generation load and the scan at worst caches a result
+    /// one generation stale, which the next call repairs.
+    fn mispicks_arc(&self) -> Arc<Vec<Mispick>> {
+        let generation = self.generation.load(Ordering::Acquire);
+        let mut cache = self.mispick_cache.lock();
+        if cache.0 == Some(generation) {
+            return Arc::clone(&cache.1);
+        }
+        let computed = Arc::new(self.compute_mispicks());
+        *cache = (Some(generation), Arc::clone(&computed));
+        computed
+    }
+
+    /// The O(capacity) scan behind [`FeedbackLog::mispicks`].
+    fn compute_mispicks(&self) -> Vec<Mispick> {
         /// Per-plan best observed seconds, keyed by plan name.
         type PlanBests = std::collections::BTreeMap<&'static str, (PlanKind, f64)>;
         let entries = self.entries.lock();
@@ -346,6 +390,7 @@ mod tests {
                         op: OpKind::Search,
                         units: 1.0,
                         seconds: 1e-6,
+                        stats_source: crate::stats::StatsSource::GlobalFallback,
                     }],
                 })
                 .collect(),
@@ -386,6 +431,30 @@ mod tests {
         log.clear();
         log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 2e-3), false);
         log.record(&query, &choice, &synthetic_answer(PlanKind::Arm, 1e-3), false);
+        assert!(log.mispicks().is_empty());
+    }
+
+    #[test]
+    fn mispicks_are_memoized_until_the_log_changes() {
+        let query = crate::query::LocalizedQuery::builder().build().unwrap();
+        let choice = synthetic_choice();
+        let log = FeedbackLog::new(8);
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 2e-3), true);
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Arm, 1e-3), false);
+        // Repeated reads of an unchanged log hit the cache: same Arc.
+        let first = log.mispicks_arc();
+        let second = log.mispicks_arc();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(log.mispick_count(), 1);
+        // A new recording invalidates the cache and updates the answer:
+        // the optimizer's pick now ties for fastest, so no mispick.
+        log.record(&query, &choice, &synthetic_answer(PlanKind::Sev, 1e-4), true);
+        let third = log.mispicks_arc();
+        assert!(!Arc::ptr_eq(&second, &third));
+        assert_eq!(log.mispick_count(), 0);
+        // clear() also invalidates.
+        log.clear();
+        assert_eq!(log.mispick_count(), 0);
         assert!(log.mispicks().is_empty());
     }
 

@@ -8,6 +8,7 @@
 //! tags    := 1 HEADER    config + schema + record/item counts
 //!            2 RECORDS   chunk of ≤4096 records, row-major varint codes
 //!            3 CFIS      chunk of ≤1024 CFIs (itemset + tidset codec)
+//!            4 STATS     statistics catalog + fitted cost constants (v3+)
 //!            0 TRAILER   total CFI count (u64) + whole-file CRC-32 (u32)
 //! ```
 //!
@@ -33,20 +34,25 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 8] = *b"COLARMIX";
 
 /// Current binary format version. Version 2 switched the CFI tidset
-/// payloads to the per-chunk container encoding (codec tag `2`); the
-/// section framing is unchanged.
-pub const FORMAT_VERSION: u32 = 2;
+/// payloads to the per-chunk container encoding (codec tag `2`); version 3
+/// added the optional STATS section (statistics catalog + fitted cost
+/// constants) between the CFI chunks and the trailer. The section framing
+/// is unchanged.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest format version this build still reads. Version 1 files differ
 /// only in their tidset payload encoding (codec tags `0`/`1`), which the
 /// tidset decoder accepts as a fallback, so v1 snapshots load bit-for-bit.
+/// Version 1 and 2 files carry no STATS section and load stats-absent
+/// (global-average cost fallback, default cost constants).
 pub const MIN_FORMAT_VERSION: u32 = 1;
 
-/// Section tags (unchanged since format version 1).
+/// Section tags (0–3 unchanged since format version 1; 4 added in v3).
 pub(crate) const SEC_TRAILER: u8 = 0;
 pub(crate) const SEC_HEADER: u8 = 1;
 pub(crate) const SEC_RECORDS: u8 = 2;
 pub(crate) const SEC_CFIS: u8 = 3;
+pub(crate) const SEC_STATS: u8 = 4;
 
 /// Records per RECORDS chunk / CFIs per CFIS chunk: bounds writer and
 /// reader memory while keeping framing overhead negligible.

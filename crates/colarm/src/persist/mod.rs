@@ -28,8 +28,10 @@
 
 pub mod format;
 
+use crate::cost::CostConstants;
 use crate::error::ColarmError;
 use crate::mip::{MipIndex, MipIndexConfig, Packing};
+use crate::stats::StatsCatalog;
 use colarm_data::codec::{self, Cursor};
 use colarm_data::{Attribute, Dataset, DatasetBuilder, ItemId, Itemset, Schema, Tidset, ValueId};
 use colarm_mine::ClosedItemset;
@@ -237,6 +239,105 @@ fn decode_itemset(cur: &mut Cursor<'_>, num_items: u32) -> Result<Itemset, Colar
 }
 
 // ---------------------------------------------------------------------------
+// STATS section (format v3): statistics catalog + fitted cost constants
+// ---------------------------------------------------------------------------
+
+/// The snapshot's optional STATS section (format v3+): the statistics
+/// catalog computed at build time (absent for `--no-stats` builds) and the
+/// cost-model constants as fitted when the snapshot was written, so
+/// calibration learned from feedback survives a restart. Constants are
+/// stored as raw IEEE-754 bits and restore bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotStats {
+    /// The statistics catalog, when the index was built with one.
+    pub catalog: Option<StatsCatalog>,
+    /// Fitted cost constants at save time.
+    pub constants: CostConstants,
+}
+
+impl SnapshotStats {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let c = &self.constants;
+        for v in [
+            c.node,
+            c.eliminate,
+            c.verify,
+            c.confidence,
+            c.select,
+            c.arm,
+            c.union_const,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        match &self.catalog {
+            None => out.push(0),
+            Some(catalog) => {
+                out.push(1);
+                catalog.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<SnapshotStats, ColarmError> {
+        let mut cur = Cursor::new(payload);
+        let mut next = || -> Result<f64, ColarmError> {
+            let bytes = cur
+                .read_bytes(8)
+                .map_err(|e| corrupt(format!("stats constants: {e}")))?;
+            Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        };
+        let constants = CostConstants {
+            node: next()?,
+            eliminate: next()?,
+            verify: next()?,
+            confidence: next()?,
+            select: next()?,
+            arm: next()?,
+            union_const: next()?,
+        };
+        for (name, v) in [
+            ("node", constants.node),
+            ("eliminate", constants.eliminate),
+            ("verify", constants.verify),
+            ("confidence", constants.confidence),
+            ("select", constants.select),
+            ("arm", constants.arm),
+            ("union_const", constants.union_const),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(corrupt(format!(
+                    "stats section: cost constant {name} is {v} (must be finite and >= 0)"
+                )));
+            }
+        }
+        let catalog = match cur
+            .read_u8()
+            .map_err(|e| corrupt(format!("stats section: {e}")))?
+        {
+            0 => None,
+            1 => Some(
+                StatsCatalog::decode(&mut cur)
+                    .map_err(|e| corrupt(format!("stats catalog: {e}")))?,
+            ),
+            other => {
+                return Err(corrupt(format!(
+                    "stats section: unknown catalog presence byte {other}"
+                )))
+            }
+        };
+        if !cur.is_empty() {
+            return Err(corrupt(format!(
+                "stats section has {} trailing bytes",
+                cur.remaining()
+            )));
+        }
+        Ok(SnapshotStats { catalog, constants })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Streaming writer
 // ---------------------------------------------------------------------------
 
@@ -253,6 +354,7 @@ pub struct SnapshotWriter<W: Write> {
     cfi_count: u64,
     chunk: Vec<u8>,
     in_cfis: bool,
+    wrote_stats: bool,
 }
 
 impl<W: Write> SnapshotWriter<W> {
@@ -271,6 +373,7 @@ impl<W: Write> SnapshotWriter<W> {
             cfi_count: 0,
             chunk: Vec::new(),
             in_cfis: false,
+            wrote_stats: false,
         })
     }
 
@@ -325,8 +428,12 @@ impl<W: Write> SnapshotWriter<W> {
         Ok(())
     }
 
-    /// Append one closed frequent itemset with its exact tidset.
+    /// Append one closed frequent itemset with its exact tidset. All CFIs
+    /// must precede the STATS section.
     pub fn write_cfi(&mut self, itemset: &Itemset, tids: &Tidset) -> Result<(), ColarmError> {
+        if self.wrote_stats {
+            return Err(corrupt("writer misuse: CFIs must precede the stats section"));
+        }
         if !self.in_cfis {
             self.close_records()?;
         }
@@ -337,6 +444,22 @@ impl<W: Write> SnapshotWriter<W> {
         if self.in_chunk == format::CFIS_PER_CHUNK {
             self.flush_chunk(format::SEC_CFIS)?;
         }
+        Ok(())
+    }
+
+    /// Write the optional STATS section (statistics catalog + fitted cost
+    /// constants). At most once, after every CFI, before
+    /// [`SnapshotWriter::finish`].
+    pub fn write_stats(&mut self, stats: &SnapshotStats) -> Result<(), ColarmError> {
+        if self.wrote_stats {
+            return Err(corrupt("writer misuse: stats section written twice"));
+        }
+        if !self.in_cfis {
+            self.close_records()?;
+        }
+        self.flush_chunk(format::SEC_CFIS)?;
+        self.w.write_section(format::SEC_STATS, &stats.encode())?;
+        self.wrote_stats = true;
         Ok(())
     }
 
@@ -366,13 +489,14 @@ impl<W: Write> SnapshotWriter<W> {
 pub struct SnapshotReader<R: Read> {
     r: CrcReader<R>,
     header: SnapshotHeader,
+    version: u32,
 }
 
 impl<R: Read> SnapshotReader<R> {
     /// Read the preamble (magic, version) and the header section.
     pub fn new(inner: R) -> Result<SnapshotReader<R>, ColarmError> {
         let mut r = CrcReader::new(inner);
-        r.read_preamble()?;
+        let version = r.read_preamble()?;
         let sec = r.read_section()?;
         if sec.tag != format::SEC_HEADER {
             return Err(corrupt(format!(
@@ -381,7 +505,7 @@ impl<R: Read> SnapshotReader<R> {
             )));
         }
         let header = SnapshotHeader::decode(&sec.payload)?;
-        Ok(SnapshotReader { r, header })
+        Ok(SnapshotReader { r, header, version })
     }
 
     /// The decoded header (available before the body is read).
@@ -389,10 +513,30 @@ impl<R: Read> SnapshotReader<R> {
         &self.header
     }
 
-    /// Decode the body into the raw parts a [`MipIndex`] is rebuilt from.
+    /// The snapshot's format version (from the preamble).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Decode the body into the raw parts a [`MipIndex`] is rebuilt from,
+    /// dropping the STATS section. Prefer
+    /// [`SnapshotReader::read_parts_with_stats`] when calibration matters.
     pub fn read_parts(
-        mut self,
+        self,
     ) -> Result<(Dataset, MipIndexConfig, Vec<ClosedItemset>), ColarmError> {
+        let (dataset, config, cfis, _) = self.read_parts_with_stats()?;
+        Ok((dataset, config, cfis))
+    }
+
+    /// Decode the body into the raw parts a [`MipIndex`] is rebuilt from,
+    /// plus the STATS section when the snapshot carries one (v3+; v1/v2
+    /// snapshots and stats-less v3 files yield `None` — the stats-absent
+    /// fallback).
+    #[allow(clippy::type_complexity)]
+    pub fn read_parts_with_stats(
+        mut self,
+    ) -> Result<(Dataset, MipIndexConfig, Vec<ClosedItemset>, Option<SnapshotStats>), ColarmError>
+    {
         let schema = self.header.schema.clone();
         let num_items = schema.num_items() as u32;
         let universe = self.header.num_records as u32;
@@ -402,6 +546,7 @@ impl<R: Read> SnapshotReader<R> {
         let mut records_read: u64 = 0;
         let mut cfis: Vec<ClosedItemset> = Vec::new();
         let mut seen_cfis = false;
+        let mut stats: Option<SnapshotStats> = None;
         loop {
             let sec = self.r.read_section()?;
             match sec.tag {
@@ -446,6 +591,12 @@ impl<R: Read> SnapshotReader<R> {
                             sec.offset, self.header.num_records
                         )));
                     }
+                    if stats.is_some() {
+                        return Err(corrupt(format!(
+                            "CFI section at byte {} after the stats section",
+                            sec.offset
+                        )));
+                    }
                     seen_cfis = true;
                     let mut cur = Cursor::new(&sec.payload);
                     while !cur.is_empty() {
@@ -454,6 +605,24 @@ impl<R: Read> SnapshotReader<R> {
                             .map_err(|e| corrupt(format!("CFI tidset: {e}")))?;
                         cfis.push(ClosedItemset { itemset, tids });
                     }
+                }
+                // v1/v2 files predate the STATS tag: finding one there is
+                // corruption (falls through to the unknown-tag arm).
+                format::SEC_STATS if self.version >= 3 => {
+                    if stats.is_some() {
+                        return Err(corrupt(format!(
+                            "duplicate stats section at byte {}",
+                            sec.offset
+                        )));
+                    }
+                    if records_read != self.header.num_records {
+                        return Err(corrupt(format!(
+                            "stats section at byte {} before all records arrived \
+                             ({records_read} of {})",
+                            sec.offset, self.header.num_records
+                        )));
+                    }
+                    stats = Some(SnapshotStats::decode(&sec.payload)?);
                 }
                 format::SEC_TRAILER => {
                     if sec.payload.len() != 12 {
@@ -503,15 +672,32 @@ impl<R: Read> SnapshotReader<R> {
             // A runtime knob, not an index property: restored indexes
             // fall back to the session default.
             threads: 0,
+            // The catalog (when present) rides in the STATS section and
+            // is attached by the loader; never recomputed on restore.
+            collect_stats: true,
         };
-        Ok((builder.build(), config, cfis))
+        Ok((builder.build(), config, cfis, stats))
     }
 
     /// Decode the body and rebuild the index (derived structures are
-    /// reconstructed; the miner is skipped).
+    /// reconstructed; the miner is skipped). Drops persisted calibration;
+    /// prefer [`SnapshotReader::restore_with_constants`].
     pub fn restore(self) -> Result<MipIndex, ColarmError> {
-        let (dataset, config, cfis) = self.read_parts()?;
-        MipIndex::from_parts(dataset, config, cfis)
+        Ok(self.restore_with_constants()?.0)
+    }
+
+    /// Decode the body and rebuild the index, attaching the persisted
+    /// statistics catalog (when present) and returning the persisted cost
+    /// constants (`None` for stats-less snapshots — callers keep their
+    /// defaults).
+    pub fn restore_with_constants(self) -> Result<(MipIndex, Option<CostConstants>), ColarmError> {
+        let (dataset, config, cfis, stats) = self.read_parts_with_stats()?;
+        let mut index = MipIndex::from_parts(dataset, config, cfis)?;
+        let constants = stats.map(|s| {
+            index.set_catalog(s.catalog);
+            s.constants
+        });
+        Ok((index, constants))
     }
 }
 
@@ -564,9 +750,25 @@ where
 
 /// Stream a built index into a binary snapshot at `path` (atomic
 /// temp-file + `rename`; the index is never serialized in memory).
-/// Returns the snapshot size in bytes.
+/// Returns the snapshot size in bytes. Persists the index's statistics
+/// catalog with *default* cost constants; use
+/// [`save_index_with_constants`] to persist fitted calibration.
 pub fn save_index(index: &MipIndex, path: impl AsRef<Path>) -> Result<u64, ColarmError> {
+    save_index_with_constants(index, CostConstants::default(), path)
+}
+
+/// [`save_index`] carrying the given fitted cost constants in the STATS
+/// section, so calibration survives the restart bit-exactly.
+pub fn save_index_with_constants(
+    index: &MipIndex,
+    constants: CostConstants,
+    path: impl AsRef<Path>,
+) -> Result<u64, ColarmError> {
     let header = SnapshotHeader::for_index(index);
+    let stats = SnapshotStats {
+        catalog: index.catalog().cloned(),
+        constants,
+    };
     write_atomic(path.as_ref(), |out| {
         let mut w = SnapshotWriter::new(out, &header)?;
         for (_, values) in index.dataset().iter() {
@@ -575,6 +777,7 @@ pub fn save_index(index: &MipIndex, path: impl AsRef<Path>) -> Result<u64, Colar
         for (_, cfi) in index.ittree().iter() {
             w.write_cfi(&cfi.itemset, &cfi.tids)?;
         }
+        w.write_stats(&stats)?;
         w.finish()?;
         Ok(())
     })
@@ -610,15 +813,26 @@ fn read_legacy_json(mut file: std::fs::File) -> Result<IndexSnapshot, ColarmErro
 }
 
 /// Load an index snapshot from `path`, auto-detecting the binary format
-/// vs legacy JSON by the leading magic bytes.
+/// vs legacy JSON by the leading magic bytes. Drops persisted cost
+/// constants; see [`load_index_with_constants`].
 pub fn load_index(path: impl AsRef<Path>) -> Result<MipIndex, ColarmError> {
+    Ok(load_index_with_constants(path)?.0)
+}
+
+/// [`load_index`] also returning the persisted fitted cost constants:
+/// `None` for legacy JSON and v1/v2 (stats-less) snapshots, whose callers
+/// keep their defaults. The statistics catalog, when present, is attached
+/// to the returned index.
+pub fn load_index_with_constants(
+    path: impl AsRef<Path>,
+) -> Result<(MipIndex, Option<CostConstants>), ColarmError> {
     let path = path.as_ref();
     let mut file = std::fs::File::open(path)
         .map_err(|e| io_err(&format!("opening snapshot {}", path.display()), e))?;
     if starts_with_magic(&mut file)? {
-        SnapshotReader::new(std::io::BufReader::new(file))?.restore()
+        SnapshotReader::new(std::io::BufReader::new(file))?.restore_with_constants()
     } else {
-        read_legacy_json(file)?.restore()
+        Ok((read_legacy_json(file)?.restore()?, None))
     }
 }
 
@@ -681,6 +895,8 @@ impl IndexSnapshot {
             // A runtime knob, not an index property: restored indexes
             // fall back to the session default.
             threads: 0,
+            // Legacy snapshots carry no catalog and none is recomputed.
+            collect_stats: true,
         };
         MipIndex::from_parts(
             self.dataset,
@@ -768,6 +984,8 @@ mod tests {
         .unwrap()
     }
 
+    /// A full v3 snapshot including the STATS section, so the corruption
+    /// sweeps below exercise the stats payload too.
     fn snapshot_bytes(index: &MipIndex) -> Vec<u8> {
         let header = SnapshotHeader::for_index(index);
         let mut w = SnapshotWriter::new(Vec::new(), &header).unwrap();
@@ -777,6 +995,11 @@ mod tests {
         for (_, cfi) in index.ittree().iter() {
             w.write_cfi(&cfi.itemset, &cfi.tids).unwrap();
         }
+        w.write_stats(&SnapshotStats {
+            catalog: index.catalog().cloned(),
+            constants: CostConstants::default(),
+        })
+        .unwrap();
         w.finish().unwrap()
     }
 
@@ -892,9 +1115,9 @@ mod tests {
             other => panic!("expected Snapshot error, got {:?}", other.err()),
         }
         let mut future = bytes.clone();
-        future[8..12].copy_from_slice(&3u32.to_le_bytes());
+        future[8..12].copy_from_slice(&4u32.to_le_bytes());
         match SnapshotReader::new(&future[..]) {
-            Err(ColarmError::Snapshot { message }) => assert!(message.contains("version 3")),
+            Err(ColarmError::Snapshot { message }) => assert!(message.contains("version 4")),
             other => panic!("expected Snapshot error, got {:?}", other.err()),
         }
     }
@@ -955,5 +1178,97 @@ mod tests {
         // Finish with records missing.
         let w = SnapshotWriter::new(Vec::new(), &header).unwrap();
         assert!(w.finish().is_err());
+        // Stats twice, and CFIs after stats.
+        let stats = SnapshotStats {
+            catalog: None,
+            constants: CostConstants::default(),
+        };
+        let mut w = SnapshotWriter::new(Vec::new(), &header).unwrap();
+        for (_, values) in original.dataset().iter() {
+            w.write_record(values).unwrap();
+        }
+        w.write_stats(&stats).unwrap();
+        assert!(w.write_stats(&stats).is_err());
+        assert!(w.write_cfi(&cfi.itemset, &cfi.tids).is_err());
+    }
+
+    #[test]
+    fn stats_section_round_trips_constants_bit_exactly() {
+        let original = index();
+        assert!(original.catalog().is_some(), "default build collects stats");
+        // Deliberately awkward constants: exact binary round-trip matters.
+        let fitted = CostConstants {
+            node: 2.0e-7_f64.next_down(),
+            eliminate: f64::MIN_POSITIVE,
+            verify: 2.5e-9_f64.next_up(),
+            confidence: 0.1 + 0.2,
+            select: 5.0e-8,
+            arm: 6.0e-9_f64.next_up(),
+            union_const: 1.0e-6,
+        };
+        let path = temp_path("stats_roundtrip.snap");
+        save_index_with_constants(&original, fitted, &path).unwrap();
+        let (restored, constants) = load_index_with_constants(&path).unwrap();
+        let constants = constants.expect("v3 snapshot carries constants");
+        for (a, b) in [
+            (constants.node, fitted.node),
+            (constants.eliminate, fitted.eliminate),
+            (constants.verify, fitted.verify),
+            (constants.confidence, fitted.confidence),
+            (constants.select, fitted.select),
+            (constants.arm, fitted.arm),
+            (constants.union_const, fitted.union_const),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "constant changed across save/load");
+        }
+        assert_eq!(restored.catalog(), original.catalog());
+        assert_same_answers(&original, &restored);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v3_snapshot_without_stats_section_loads_stats_absent() {
+        let original = index();
+        let header = SnapshotHeader::for_index(&original);
+        let mut w = SnapshotWriter::new(Vec::new(), &header).unwrap();
+        for (_, values) in original.dataset().iter() {
+            w.write_record(values).unwrap();
+        }
+        for (_, cfi) in original.ittree().iter() {
+            w.write_cfi(&cfi.itemset, &cfi.tids).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let (restored, constants) = SnapshotReader::new(&bytes[..])
+            .unwrap()
+            .restore_with_constants()
+            .unwrap();
+        assert!(constants.is_none());
+        assert!(restored.catalog().is_none());
+        assert_same_answers(&original, &restored);
+    }
+
+    #[test]
+    fn corrupt_stats_payloads_are_rejected() {
+        // Non-finite constant.
+        let mut bad = Vec::new();
+        for _ in 0..7 {
+            bad.extend_from_slice(&f64::NAN.to_le_bytes());
+        }
+        bad.push(0);
+        assert!(SnapshotStats::decode(&bad).is_err());
+        // Unknown presence byte.
+        let mut bad = Vec::new();
+        for _ in 0..7 {
+            bad.extend_from_slice(&1.0f64.to_le_bytes());
+        }
+        bad.push(7);
+        assert!(SnapshotStats::decode(&bad).is_err());
+        // Trailing garbage after an absent catalog.
+        let mut bad = Vec::new();
+        for _ in 0..7 {
+            bad.extend_from_slice(&1.0f64.to_le_bytes());
+        }
+        bad.extend_from_slice(&[0, 0]);
+        assert!(SnapshotStats::decode(&bad).is_err());
     }
 }

@@ -423,12 +423,11 @@ fn progress_conn(
     }
     // Read until WouldBlock or EOF.
     let mut chunk = [0u8; 16 * 1024];
+    let mut peer_eof = false;
     loop {
         match conn.stream.read(&mut chunk) {
             Ok(0) => {
-                // Peer hangup. Anything half-read is unanswerable.
-                conn.closed = !conn.has_output();
-                conn.close_after_flush = true;
+                peer_eof = true;
                 break;
             }
             Ok(n) => {
@@ -451,6 +450,12 @@ fn progress_conn(
         }
     }
     dispatch_buffered(server, conn, config, now, draining);
+    if peer_eof && !conn.closed {
+        // Peer half-closed its write side. Every complete request it
+        // buffered was just answered above; anything half-read is
+        // unanswerable. Flush whatever output remains, then hang up.
+        conn.close_after_flush = true;
+    }
     if flush(conn, now).is_err() {
         conn.closed = true;
     }

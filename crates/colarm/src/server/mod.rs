@@ -846,6 +846,8 @@ impl ColarmServer {
                     "records": entry.colarm.index().dataset().num_records(),
                     "mips": entry.colarm.index().num_mips(),
                     "feedback_entries": entry.colarm.feedback().len(),
+                    "catalog": entry.colarm.index().catalog().is_some(),
+                    "mispicks": entry.colarm.feedback().mispick_count(),
                 }),
             );
         }

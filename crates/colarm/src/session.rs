@@ -447,7 +447,10 @@ impl QuerySession {
 
     /// `EXPLAIN ANALYZE` through the session: reuses the cached subset,
     /// bypasses the answer cache (the point is to measure an execution),
-    /// and leaves the measured run in the system's feedback log.
+    /// and leaves the measured run in the system's feedback log. The
+    /// report states whether its predictions came from the statistics
+    /// catalog or the global-average fallback
+    /// ([`crate::explain::AnalyzeReport::stats_source`]).
     pub fn explain_analyze(
         &self,
         query: &LocalizedQuery,

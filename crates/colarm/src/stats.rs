@@ -1,0 +1,751 @@
+//! The statistics catalog: per-attribute and per-CFI-shape statistics
+//! backing *per-query* cardinality estimates in the Eq. 1–6 cost model.
+//!
+//! [`IndexStats`](crate::cost::IndexStats) summarizes the whole index with
+//! three scalars — `avg_len`, `avg_rule_cands`, `avg_supp_tidwork` — so a
+//! query restricted to two item attributes is priced with the same CFI
+//! shape as one spanning all of them. The catalog keeps the information
+//! those averages throw away:
+//!
+//! * **Per attribute**: an equi-depth histogram over value codes (record
+//!   mass per bucket), plus the distinct-value count. Selection shares in
+//!   the SsEuv containment estimate come from real record mass instead of
+//!   the uniform `|values| / |domain|` assumption.
+//! * **Pairwise attribute independence**: for each attribute pair, the
+//!   observed distinct value-pair count relative to the independence
+//!   expectation. Correlated (co-varying) attributes damp the product of
+//!   per-attribute selection shares, which the uniform model multiplies
+//!   as if independent.
+//! * **Per CFI attribute-set group**: CFIs are grouped by the bitmask of
+//!   attributes they constrain; each group stores its count, summed
+//!   lengths / rule candidates / supports, and the sorted per-CFI
+//!   weakest-item supports. A query restricted to item attributes `A`
+//!   aggregates exactly the groups inside `A` — conditional versions of
+//!   the three global averages, plus an exact surviving-CFI count for the
+//!   ARM plan's item restriction.
+//!
+//! The catalog is built once in [`MipIndex::build`](crate::MipIndex) (skip
+//! with `MipIndexConfig::collect_stats = false` / `colarm index
+//! --no-stats`) and persisted in the snapshot's `STATS` section (format
+//! v3). **Fallback semantics**: when the catalog is absent — old v1/v2
+//! snapshots, `--no-stats` builds, or schemas with more than 64
+//! attributes — every estimator falls back to the global-average path and
+//! stamps its terms [`StatsSource::GlobalFallback`]; behavior is exactly
+//! the pre-catalog cost model.
+
+use colarm_data::codec::{self, Cursor};
+use colarm_data::{Dataset, ValueId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which statistics fed a cost estimate: the per-query catalog, or the
+/// index-wide global averages (the documented fallback for stats-absent
+/// indexes). Surfaced on every [`CostTerm`](crate::CostTerm) and in
+/// `EXPLAIN ANALYZE` so an operator can tell *why* a plan was priced the
+/// way it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsSource {
+    /// Estimates keyed on the query's actual range and item attributes.
+    Catalog,
+    /// Index-wide averages (catalog absent, or it had nothing to say).
+    #[default]
+    GlobalFallback,
+}
+
+impl StatsSource {
+    /// The wire name (snake_case, JSON-stable).
+    pub fn name(self) -> &'static str {
+        match self {
+            StatsSource::Catalog => "catalog",
+            StatsSource::GlobalFallback => "global_fallback",
+        }
+    }
+}
+
+// Serialized as a snake_case name string (wire-stable).
+impl Serialize for StatsSource {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name())
+    }
+}
+
+impl<'de> Deserialize<'de> for StatsSource {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = StatsSource;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a stats source name string")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<StatsSource, E> {
+                match v {
+                    "catalog" => Ok(StatsSource::Catalog),
+                    "global_fallback" => Ok(StatsSource::GlobalFallback),
+                    other => Err(E::custom(format!("unknown stats source `{other}`"))),
+                }
+            }
+        }
+        deserializer.deserialize_str(V)
+    }
+}
+
+impl std::fmt::Display for StatsSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StatsSource::Catalog => "catalog",
+            StatsSource::GlobalFallback => "global fallback",
+        })
+    }
+}
+
+/// Maximum attributes the catalog covers: CFI attribute sets are keyed by
+/// a `u64` bitmask. Wider schemas build stats-absent (global fallback).
+pub const MAX_CATALOG_ATTRS: usize = 64;
+
+/// Equi-depth bucket count per attribute (fewer when the attribute has
+/// fewer distinct values).
+const MAX_BUCKETS: usize = 16;
+
+/// Work bound for the pairwise-independence scan: pairs × records marks.
+/// Above it the scan samples records at a deterministic stride.
+const PAIR_SCAN_BUDGET: u64 = 50_000_000;
+
+/// Pair bitset cap: pairs whose joint domain exceeds this are assumed
+/// independent rather than materializing a large bitset.
+const MAX_JOINT_DOMAIN: usize = 65_536;
+
+/// Per-attribute equi-depth histogram over value codes.
+///
+/// Bucket `b` covers value codes `(bounds[b-1], bounds[b]]` (bucket 0
+/// starts at code 0) and holds `counts[b]` record cells. Buckets are
+/// closed on roughly equal record mass, so skewed attributes get fine
+/// buckets where the mass is. Value codes past the last bound carry no
+/// records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeStats {
+    /// Distinct value codes with nonzero support.
+    pub distinct_values: u32,
+    /// Inclusive upper value code of each bucket, ascending.
+    pub bounds: Vec<u16>,
+    /// Record mass per bucket; sums to the dataset's record count.
+    pub counts: Vec<u32>,
+}
+
+impl AttributeStats {
+    /// Build from per-value support counts (`supports[v]` = records with
+    /// value code `v`).
+    fn build(supports: &[u32]) -> AttributeStats {
+        let total: u64 = supports.iter().map(|&s| s as u64).sum();
+        let distinct_values = supports.iter().filter(|&&s| s > 0).count() as u32;
+        let buckets = (distinct_values.max(1) as usize).min(MAX_BUCKETS) as u64;
+        let target = total.div_ceil(buckets).max(1);
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        let mut acc = 0u64;
+        for (v, &s) in supports.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            acc += s as u64;
+            if acc >= target {
+                bounds.push(v as u16);
+                counts.push(acc as u32);
+                acc = 0;
+            }
+        }
+        if acc > 0 {
+            // Close the final partial bucket on the last supported value.
+            let last = supports.iter().rposition(|&s| s > 0).unwrap_or(0);
+            bounds.push(last as u16);
+            counts.push(acc as u32);
+        }
+        AttributeStats {
+            distinct_values,
+            bounds,
+            counts,
+        }
+    }
+
+    /// Estimated record count of one value code: its bucket's mass spread
+    /// uniformly over the bucket's code width. Codes past the last bound
+    /// hold no records.
+    pub fn value_mass(&self, v: ValueId) -> f64 {
+        let b = self.bounds.partition_point(|&bound| bound < v);
+        if b >= self.bounds.len() {
+            return 0.0;
+        }
+        let lo = if b == 0 { 0u32 } else { self.bounds[b - 1] as u32 + 1 };
+        let width = (self.bounds[b] as u32 + 1 - lo).max(1);
+        self.counts[b] as f64 / width as f64
+    }
+}
+
+/// One group of CFIs sharing an attribute bitmask: the conditional
+/// aggregates the per-query estimators draw from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfiGroup {
+    /// Bit `a` set ⇔ every CFI in the group constrains attribute `a`.
+    pub attr_mask: u64,
+    /// CFIs in the group.
+    pub count: u32,
+    /// Summed itemset lengths.
+    pub sum_len: f64,
+    /// Summed candidate-rule counts (`2^len − 2`, capped like
+    /// `IndexStats::avg_rule_cands`).
+    pub sum_rule_cands: f64,
+    /// Summed global support counts (tidset work per mined itemset).
+    pub sum_supp: f64,
+    /// Sorted per-CFI minimum item supports — the weakest-item histogram,
+    /// addressable per admitted attribute set.
+    pub min_item_supports: Vec<u32>,
+}
+
+impl CfiGroup {
+    fn surviving(&self, count: usize) -> u64 {
+        let idx = self
+            .min_item_supports
+            .partition_point(|&s| (s as usize) < count);
+        (self.min_item_supports.len() - idx) as u64
+    }
+}
+
+/// Conditional statistics for one query's admitted item-attribute set,
+/// aggregated from the matching [`CfiGroup`]s. Threaded into
+/// [`QueryProfile`](crate::cost::QueryProfile) so
+/// [`CostModel::estimate`](crate::cost::CostModel::estimate) stays a pure
+/// function of the profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogHints {
+    /// Conditional mean CFI length (`C_I` restricted to admitted CFIs).
+    pub avg_len: f64,
+    /// Conditional mean candidate-rule count per CFI.
+    pub avg_rule_cands: f64,
+    /// Conditional mean CFI support count.
+    pub avg_supp_tidwork: f64,
+    /// Fraction of all CFIs composed purely of admitted attributes —
+    /// replaces the uniform `item_attrs / num_attrs` restriction factor.
+    pub item_restriction_frac: f64,
+    /// CFIs inside the admitted set whose weakest item survives the
+    /// query's local-frequency threshold (the ARM plan's re-mining
+    /// volume).
+    pub arm_surviving: f64,
+}
+
+/// The per-index statistics catalog. Built at index-build time, persisted
+/// in the snapshot's `STATS` section, never recomputed on restore — a
+/// loaded snapshot reproduces exactly the optimizer inputs it was saved
+/// with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsCatalog {
+    /// Records in the dataset at collection time.
+    pub num_records: u32,
+    /// Per-attribute histograms, in schema order.
+    pub attrs: Vec<AttributeStats>,
+    /// Upper-triangular pairwise independence, row-major over `(a, b)`
+    /// with `a < b`: ~1 for independent attributes, → 0 as one attribute
+    /// determines the other (sampled past the pair-scan work budget).
+    pub pair_independence: Vec<f64>,
+    /// CFI groups keyed by attribute bitmask, ascending mask order.
+    pub groups: Vec<CfiGroup>,
+}
+
+impl StatsCatalog {
+    /// Gather the catalog from the built index's raw parts. Returns
+    /// `None` for schemas wider than [`MAX_CATALOG_ATTRS`] or empty
+    /// datasets — callers fall back to the global-average path.
+    pub fn collect(
+        dataset: &Dataset,
+        item_supports: &[u32],
+        cfi_lens: &[usize],
+        cfi_supports: &[u32],
+        cfi_attr_presence: &[Vec<bool>],
+        cfi_min_item_supports: &[u32],
+    ) -> Option<StatsCatalog> {
+        let schema = dataset.schema();
+        let n = schema.num_attributes();
+        let m = dataset.num_records();
+        if n == 0 || n > MAX_CATALOG_ATTRS || m == 0 || m > u32::MAX as usize {
+            return None;
+        }
+        let attrs: Vec<AttributeStats> = schema
+            .dimensions()
+            .map(|(aid, dom)| {
+                let base = schema.item_base(aid) as usize;
+                AttributeStats::build(&item_supports[base..base + dom])
+            })
+            .collect();
+        let pair_independence = pair_independence_scan(dataset, &attrs);
+        let mut groups: BTreeMap<u64, CfiGroup> = BTreeMap::new();
+        for (i, presence) in cfi_attr_presence.iter().enumerate() {
+            let mask = presence
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p)
+                .fold(0u64, |acc, (a, _)| acc | (1u64 << a));
+            let g = groups.entry(mask).or_insert(CfiGroup {
+                attr_mask: mask,
+                count: 0,
+                sum_len: 0.0,
+                sum_rule_cands: 0.0,
+                sum_supp: 0.0,
+                min_item_supports: Vec::new(),
+            });
+            g.count += 1;
+            g.sum_len += cfi_lens[i] as f64;
+            g.sum_rule_cands += ((1u64 << cfi_lens[i].min(12)) - 2) as f64;
+            g.sum_supp += cfi_supports[i] as f64;
+            g.min_item_supports.push(cfi_min_item_supports[i]);
+        }
+        let groups: Vec<CfiGroup> = groups
+            .into_values()
+            .map(|mut g| {
+                g.min_item_supports.sort_unstable();
+                g
+            })
+            .collect();
+        Some(StatsCatalog {
+            num_records: m as u32,
+            attrs,
+            pair_independence,
+            groups,
+        })
+    }
+
+    /// Measured independence of an attribute pair (1.0 when unknown or
+    /// `a == b`).
+    pub fn pair_independence(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let n = self.attrs.len();
+        if b >= n {
+            return 1.0;
+        }
+        let idx = a * (2 * n - a - 1) / 2 + (b - a - 1);
+        self.pair_independence.get(idx).copied().unwrap_or(1.0)
+    }
+
+    /// Histogram estimate of the record-mass fraction selected by a value
+    /// set on one attribute (replaces the uniform `|values| / |domain|`).
+    pub fn mass_share(&self, attr: usize, values: impl IntoIterator<Item = ValueId>) -> f64 {
+        let Some(a) = self.attrs.get(attr) else {
+            return 1.0;
+        };
+        if self.num_records == 0 {
+            return 1.0;
+        }
+        let mass: f64 = values.into_iter().map(|v| a.value_mass(v)).sum();
+        (mass / self.num_records as f64).clamp(0.0, 1.0)
+    }
+
+    /// Conditional aggregates for a query admitting the item attributes in
+    /// `admitted_mask`; `local_frac_threshold` is the global-support count
+    /// a CFI's weakest item must reach to plausibly stay locally frequent
+    /// (same quantity
+    /// [`cfis_surviving_item_restriction`](crate::cost::IndexStats::cfis_surviving_item_restriction)
+    /// consumes).
+    ///
+    /// When *no* CFI fits inside the admitted set the averages fall back
+    /// to the all-CFI aggregates (there is no conditional shape to report)
+    /// while `item_restriction_frac` and `arm_surviving` stay 0 — the
+    /// catalog's honest statement that the restricted query eliminates
+    /// essentially every prestored candidate.
+    pub fn hints(&self, admitted_mask: u64, local_frac_threshold: usize) -> CatalogHints {
+        let mut count = 0u64;
+        let (mut sum_len, mut sum_rules, mut sum_supp) = (0.0f64, 0.0f64, 0.0f64);
+        let mut surviving = 0u64;
+        let mut total = 0u64;
+        for g in &self.groups {
+            total += g.count as u64;
+            if g.attr_mask & !admitted_mask == 0 {
+                count += g.count as u64;
+                sum_len += g.sum_len;
+                sum_rules += g.sum_rule_cands;
+                sum_supp += g.sum_supp;
+                surviving += g.surviving(local_frac_threshold);
+            }
+        }
+        let arm_surviving = surviving as f64;
+        let item_restriction_frac = if total == 0 {
+            1.0
+        } else {
+            count as f64 / total as f64
+        };
+        if count == 0 {
+            let (mut al, mut ar, mut aw) = (0.0f64, 0.0f64, 0.0f64);
+            for g in &self.groups {
+                al += g.sum_len;
+                ar += g.sum_rule_cands;
+                aw += g.sum_supp;
+            }
+            let t = (total as f64).max(1.0);
+            return CatalogHints {
+                avg_len: al / t,
+                avg_rule_cands: ar / t,
+                avg_supp_tidwork: aw / t,
+                item_restriction_frac,
+                arm_surviving,
+            };
+        }
+        let c = count as f64;
+        CatalogHints {
+            avg_len: sum_len / c,
+            avg_rule_cands: sum_rules / c,
+            avg_supp_tidwork: sum_supp / c,
+            item_restriction_frac,
+            arm_surviving,
+        }
+    }
+
+    // -- binary codec (snapshot STATS section payload) ---------------------
+
+    /// Append the deterministic binary encoding (varints + LE f64, like
+    /// the rest of the snapshot body).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::write_varint(out, self.num_records as u64);
+        codec::write_varint(out, self.attrs.len() as u64);
+        for a in &self.attrs {
+            codec::write_varint(out, a.distinct_values as u64);
+            codec::write_varint(out, a.bounds.len() as u64);
+            for &b in &a.bounds {
+                codec::write_varint(out, b as u64);
+            }
+            for &c in &a.counts {
+                codec::write_varint(out, c as u64);
+            }
+        }
+        codec::write_varint(out, self.pair_independence.len() as u64);
+        for &p in &self.pair_independence {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        codec::write_varint(out, self.groups.len() as u64);
+        for g in &self.groups {
+            codec::write_varint(out, g.attr_mask);
+            codec::write_varint(out, g.count as u64);
+            out.extend_from_slice(&g.sum_len.to_le_bytes());
+            out.extend_from_slice(&g.sum_rule_cands.to_le_bytes());
+            out.extend_from_slice(&g.sum_supp.to_le_bytes());
+            codec::write_varint(out, g.min_item_supports.len() as u64);
+            for &s in &g.min_item_supports {
+                codec::write_varint(out, s as u64);
+            }
+        }
+    }
+
+    /// Decode the catalog written by [`encode`](Self::encode). Length
+    /// prefixes are validated against the remaining payload before any
+    /// allocation, so a corrupt prefix cannot drive one.
+    pub(crate) fn decode(cur: &mut Cursor<'_>) -> Result<StatsCatalog, String> {
+        let num_records = read_u32(cur, "record count")?;
+        let num_attrs = read_len(cur, MAX_CATALOG_ATTRS, "attribute count")?;
+        let mut attrs = Vec::with_capacity(num_attrs);
+        for _ in 0..num_attrs {
+            let distinct_values = read_u32(cur, "distinct count")?;
+            let buckets = read_len(cur, 4 * MAX_BUCKETS, "bucket count")?;
+            check_room(cur, buckets, "histogram bounds")?;
+            let mut bounds = Vec::with_capacity(buckets);
+            for _ in 0..buckets {
+                let b = read_u32(cur, "bucket bound")?;
+                if b > u16::MAX as u32 {
+                    return Err(format!("bucket bound {b} exceeds 16 bits"));
+                }
+                bounds.push(b as u16);
+            }
+            if !bounds.windows(2).all(|w| w[0] < w[1]) {
+                return Err("histogram bounds are not ascending".into());
+            }
+            check_room(cur, buckets, "histogram counts")?;
+            let mut counts = Vec::with_capacity(buckets);
+            for _ in 0..buckets {
+                counts.push(read_u32(cur, "bucket mass")?);
+            }
+            attrs.push(AttributeStats {
+                distinct_values,
+                bounds,
+                counts,
+            });
+        }
+        let expected_pairs = num_attrs * num_attrs.saturating_sub(1) / 2;
+        let pairs = read_len(cur, expected_pairs, "pair count")?;
+        if pairs != expected_pairs {
+            return Err(format!(
+                "catalog stores {pairs} attribute pairs, schema implies {expected_pairs}"
+            ));
+        }
+        let mut pair_independence = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            pair_independence.push(read_f64(cur, "pair independence")?);
+        }
+        let num_groups = read_len(cur, 1 << 22, "group count")?;
+        check_room(cur, num_groups, "CFI groups")?;
+        let mut groups = Vec::with_capacity(num_groups);
+        let mut prev_mask: Option<u64> = None;
+        for _ in 0..num_groups {
+            let attr_mask = cur
+                .read_varint()
+                .map_err(|e| format!("group mask: {e}"))?;
+            if let Some(p) = prev_mask {
+                if attr_mask <= p {
+                    return Err("CFI group masks are not strictly ascending".into());
+                }
+            }
+            prev_mask = Some(attr_mask);
+            let count = read_u32(cur, "group count")?;
+            let sum_len = read_f64(cur, "group length sum")?;
+            let sum_rule_cands = read_f64(cur, "group rule-candidate sum")?;
+            let sum_supp = read_f64(cur, "group support sum")?;
+            let mins = read_len(cur, u32::MAX as usize, "group min-support count")?;
+            check_room(cur, mins, "group min supports")?;
+            let mut min_item_supports = Vec::with_capacity(mins);
+            for _ in 0..mins {
+                min_item_supports.push(read_u32(cur, "group min support")?);
+            }
+            if !min_item_supports.windows(2).all(|w| w[0] <= w[1]) {
+                return Err("group min supports are not sorted".into());
+            }
+            groups.push(CfiGroup {
+                attr_mask,
+                count,
+                sum_len,
+                sum_rule_cands,
+                sum_supp,
+                min_item_supports,
+            });
+        }
+        Ok(StatsCatalog {
+            num_records,
+            attrs,
+            pair_independence,
+            groups,
+        })
+    }
+}
+
+fn read_u32(cur: &mut Cursor<'_>, what: &str) -> Result<u32, String> {
+    let v = cur.read_varint().map_err(|e| format!("{what}: {e}"))?;
+    if v > u32::MAX as u64 {
+        return Err(format!("{what} {v} exceeds 32 bits"));
+    }
+    Ok(v as u32)
+}
+
+fn read_len(cur: &mut Cursor<'_>, max: usize, what: &str) -> Result<usize, String> {
+    let v = cur.read_varint().map_err(|e| format!("{what}: {e}"))?;
+    if v > max as u64 {
+        return Err(format!("{what} {v} exceeds the limit {max}"));
+    }
+    Ok(v as usize)
+}
+
+fn read_f64(cur: &mut Cursor<'_>, what: &str) -> Result<f64, String> {
+    let bytes = cur.read_bytes(8).map_err(|e| format!("{what}: {e}"))?;
+    Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// A declared element count must leave room for at least one byte per
+/// element — rejects corrupt length prefixes before allocating.
+fn check_room(cur: &Cursor<'_>, len: usize, what: &str) -> Result<(), String> {
+    if len > cur.remaining() {
+        return Err(format!(
+            "{what} declares {len} elements with {} bytes left",
+            cur.remaining()
+        ));
+    }
+    Ok(())
+}
+
+/// Count distinct observed value pairs per attribute pair, against the
+/// independence expectation `min(d_a × d_b, records seen)`. Deterministic;
+/// samples records at a fixed stride when the full scan would exceed
+/// [`PAIR_SCAN_BUDGET`] marks.
+fn pair_independence_scan(dataset: &Dataset, attrs: &[AttributeStats]) -> Vec<f64> {
+    let schema = dataset.schema();
+    let n = schema.num_attributes();
+    let m = dataset.num_records() as u64;
+    let doms: Vec<usize> = schema.dimensions().map(|(_, d)| d).collect();
+    let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    let eligible = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| {
+            doms[a] * doms[b] <= MAX_JOINT_DOMAIN
+                && attrs[a].distinct_values > 1
+                && attrs[b].distinct_values > 1
+        })
+        .count() as u64;
+    let stride = (m.saturating_mul(eligible.max(1)) / PAIR_SCAN_BUDGET).max(1) as usize;
+    let sampled = dataset.num_records().div_ceil(stride) as u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let joint = doms[a] * doms[b];
+            if joint > MAX_JOINT_DOMAIN
+                || attrs[a].distinct_values <= 1
+                || attrs[b].distinct_values <= 1
+            {
+                out.push(1.0);
+                continue;
+            }
+            let mut seen = vec![0u64; joint.div_ceil(64)];
+            let mut observed = 0u64;
+            for tid in (0..dataset.num_records()).step_by(stride) {
+                let rec = dataset.record(tid as u32);
+                let key = rec[a] as usize * doms[b] + rec[b] as usize;
+                let (word, bit) = (key / 64, key % 64);
+                if seen[word] & (1 << bit) == 0 {
+                    seen[word] |= 1 << bit;
+                    observed += 1;
+                }
+            }
+            let expected = (attrs[a].distinct_values as u64 * attrs[b].distinct_values as u64)
+                .min(sampled)
+                .max(1);
+            out.push((observed as f64 / expected as f64).clamp(0.0, 1.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use colarm_data::synth::salary;
+    use colarm_data::VerticalIndex;
+
+    fn salary_catalog() -> StatsCatalog {
+        let dataset = salary();
+        let schema = dataset.schema().clone();
+        let vertical = VerticalIndex::build(&dataset);
+        let item_supports: Vec<u32> = (0..schema.num_items() as u32)
+            .map(|i| vertical.tids(colarm_data::ItemId(i)).len() as u32)
+            .collect();
+        // Three hand-made CFIs: two over {attr 0}, one over {attr 0, 1}.
+        let lens = [1usize, 2, 3];
+        let supports = [5u32, 4, 2];
+        let presence = vec![
+            {
+                let mut p = vec![false; schema.num_attributes()];
+                p[0] = true;
+                p
+            },
+            {
+                let mut p = vec![false; schema.num_attributes()];
+                p[0] = true;
+                p
+            },
+            {
+                let mut p = vec![false; schema.num_attributes()];
+                p[0] = true;
+                p[1] = true;
+                p
+            },
+        ];
+        let min_items = [5u32, 3, 2];
+        StatsCatalog::collect(&dataset, &item_supports, &lens, &supports, &presence, &min_items)
+            .expect("salary schema fits the catalog")
+    }
+
+    #[test]
+    fn histograms_conserve_record_mass() {
+        let cat = salary_catalog();
+        for (i, a) in cat.attrs.iter().enumerate() {
+            let mass: u64 = a.counts.iter().map(|&c| c as u64).sum();
+            assert_eq!(mass, cat.num_records as u64, "attribute {i}");
+            assert!(a.bounds.len() == a.counts.len());
+            assert!(a.bounds.windows(2).all(|w| w[0] < w[1]), "attribute {i}");
+        }
+        // Full-domain selection recovers (approximately) all the mass.
+        let full = cat.mass_share(0, 0..=u16::MAX);
+        assert!((full - 1.0).abs() < 1e-9, "{full}");
+        // A single value selects a proper share on a multi-valued attribute.
+        let one = cat.mass_share(0, [0u16]);
+        assert!(one > 0.0 && one < 1.0, "{one}");
+    }
+
+    #[test]
+    fn hints_aggregate_matching_groups_only() {
+        let cat = salary_catalog();
+        // Admit only attribute 0: the {0} group (2 CFIs) matches, {0,1}
+        // does not.
+        let h = cat.hints(1, 0);
+        assert!((h.avg_len - 1.5).abs() < 1e-12);
+        assert!((h.avg_supp_tidwork - 4.5).abs() < 1e-12);
+        assert!((h.item_restriction_frac - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.arm_surviving, 2.0);
+        // Threshold above both weakest items: nothing survives.
+        assert_eq!(cat.hints(1, 6).arm_surviving, 0.0);
+        // Full mask matches everything: the global averages.
+        let all = cat.hints(u64::MAX, 0);
+        assert!((all.avg_len - 2.0).abs() < 1e-12);
+        assert!((all.item_restriction_frac - 1.0).abs() < 1e-12);
+        assert_eq!(all.arm_surviving, 3.0);
+    }
+
+    #[test]
+    fn empty_admitted_set_reports_zero_restriction_but_sane_averages() {
+        let cat = salary_catalog();
+        // Admit an attribute no CFI uses: nothing matches.
+        let h = cat.hints(1 << 5, 0);
+        assert_eq!(h.item_restriction_frac, 0.0);
+        assert_eq!(h.arm_surviving, 0.0);
+        // Averages fall back to the all-CFI shape (finite, positive).
+        assert!(h.avg_len > 0.0 && h.avg_len.is_finite());
+    }
+
+    #[test]
+    fn pair_independence_is_bounded_and_symmetric() {
+        let cat = salary_catalog();
+        let n = cat.attrs.len();
+        for a in 0..n {
+            for b in 0..n {
+                let p = cat.pair_independence(a, b);
+                assert!((0.0..=1.0).contains(&p), "({a},{b}) = {p}");
+                assert_eq!(p.to_bits(), cat.pair_independence(b, a).to_bits());
+            }
+        }
+        assert_eq!(cat.pair_independence(0, 0), 1.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let cat = salary_catalog();
+        let mut bytes = Vec::new();
+        cat.encode(&mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let back = StatsCatalog::decode(&mut cur).expect("decodes");
+        assert!(cur.is_empty(), "{} trailing bytes", cur.remaining());
+        assert_eq!(cat, back);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_length_prefixes() {
+        let cat = salary_catalog();
+        let mut bytes = Vec::new();
+        cat.encode(&mut bytes);
+        // An implausible group count in place of the real one must error,
+        // not allocate. (Walk a copy and clobber the trailing group-count
+        // region: rewrite the whole payload with a huge group count.)
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() / 2);
+        let mut cur = Cursor::new(&truncated);
+        assert!(StatsCatalog::decode(&mut cur).is_err());
+        // Empty payload.
+        let mut cur = Cursor::new(&[][..]);
+        assert!(StatsCatalog::decode(&mut cur).is_err());
+    }
+
+    #[test]
+    fn empty_cfi_set_yields_neutral_hints() {
+        let dataset = salary();
+        let schema = dataset.schema().clone();
+        let vertical = VerticalIndex::build(&dataset);
+        let item_supports: Vec<u32> = (0..schema.num_items() as u32)
+            .map(|i| vertical.tids(colarm_data::ItemId(i)).len() as u32)
+            .collect();
+        let cat = StatsCatalog::collect(&dataset, &item_supports, &[], &[], &[], &[])
+            .expect("collects with zero CFIs");
+        let h = cat.hints(u64::MAX, 0);
+        assert_eq!(h.item_restriction_frac, 1.0);
+        assert_eq!(h.arm_surviving, 0.0);
+        assert_eq!(h.avg_len, 0.0);
+    }
+}

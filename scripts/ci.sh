@@ -2,10 +2,11 @@
 # Tier-1 verification plus lint, as run by CI.
 #
 #   scripts/ci.sh            # build + test + clippy
-#   scripts/ci.sh --bench    # also gate on BENCH_tidset.json and
-#                            # BENCH_server.json thresholds (--check)
-#                            # and regenerate BENCH_snapshot.json,
-#                            # BENCH_engine.json + BENCH_session.json
+#   scripts/ci.sh --bench    # also gate on BENCH_tidset.json,
+#                            # BENCH_server.json + BENCH_optimizer.json
+#                            # thresholds (--check) and regenerate
+#                            # BENCH_snapshot.json, BENCH_engine.json +
+#                            # BENCH_session.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,11 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-# Format stability: both committed golden fixtures (v1 sparse/dense and
-# v2 container payloads) must keep loading and answering Table 1 on all
-# six plans. Redundant with the full test run above, but kept as a named
-# gate so a format break is called out explicitly.
-echo "==> snapshot format stability (tests/fixtures/salary_index_v{1,2}.snap)"
+# Format stability: all committed golden fixtures (v1 sparse/dense, v2
+# container payloads, v3 statistics catalog) must keep loading and
+# answering Table 1 on all six plans. Redundant with the full test run
+# above, but kept as a named gate so a format break is called out
+# explicitly.
+echo "==> snapshot format stability (tests/fixtures/salary_index_v{1,2,3}.snap)"
 cargo test -q --test snapshot_format golden_fixtures_load_and_answer_table1_on_all_plans
 
 # Concurrent sessions over one shared system must stay bit-identical both
@@ -74,6 +76,11 @@ if [[ "${1:-}" == "--bench" ]]; then
     # bench_tidset above.
     echo "==> bench_server (concurrent HTTP drill-down clients + threshold gate)"
     cargo run --release -p colarm-bench --bin bench_server -- /tmp/bench_server_ci.json --check
+    # bench_optimizer gates the cost model: catalog-driven prediction
+    # accuracy and mispick rate vs the global-average baseline, per the
+    # thresholds recorded in BENCH_optimizer.json.
+    echo "==> bench_optimizer (cost-model accuracy + mispick threshold gate)"
+    cargo run --release -p colarm-bench --bin bench_optimizer -- /tmp/bench_optimizer_ci.json --check
 fi
 
 echo "ci: all green"

@@ -110,6 +110,71 @@ fn session_caching_preserves_answers_under_bursts() {
 }
 
 #[test]
+fn calibration_survives_a_snapshot_round_trip_bit_exactly() {
+    // The acceptance bar for the persisted statistics catalog:
+    // calibrate → save → load must hand the optimizer the *same* fitted
+    // cost constants (to the bit), the same catalog, and therefore the
+    // same plan choice and predicted seconds for the same query.
+    let spec = mushroom_spec(Scale::Smoke);
+    let system = build_system(&spec); // build + calibrate
+    let dir = std::env::temp_dir().join(format!("colarm-calib-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("calibrated.snap");
+    system.save_index_snapshot(&path).unwrap();
+    let restored = Colarm::load_index_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let a = system.fitted_constants();
+    let b = restored.fitted_constants();
+    for (name, x, y) in [
+        ("node", a.node, b.node),
+        ("eliminate", a.eliminate, b.eliminate),
+        ("verify", a.verify, b.verify),
+        ("confidence", a.confidence, b.confidence),
+        ("select", a.select, b.select),
+        ("arm", a.arm, b.arm),
+        ("union_const", a.union_const, b.union_const),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "constant `{name}` drifted across the round trip: {x:e} vs {y:e}"
+        );
+    }
+    assert_eq!(
+        system.index().catalog(),
+        restored.index().catalog(),
+        "statistics catalog drifted across the round trip"
+    );
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let (range, subset) = random_subset_spec(
+        system.index().dataset(),
+        system.index().vertical(),
+        0.2,
+        &mut rng,
+    );
+    assert!(!subset.is_empty());
+    let query = LocalizedQuery::builder()
+        .range(range)
+        .minsupp(spec.minsupps[1])
+        .minconf(spec.minconf)
+        .build().unwrap();
+    let before = system.optimizer().choose(system.index(), &query, &subset);
+    let after = restored.optimizer().choose(restored.index(), &query, &subset);
+    assert_eq!(before.chosen, after.chosen, "plan choice changed after restore");
+    for plan in PlanKind::ALL {
+        let x = before.estimate_for(plan).total();
+        let y = after.estimate_for(plan).total();
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{plan}: predicted seconds drifted across the round trip ({x:e} vs {y:e})"
+        );
+    }
+}
+
+#[test]
 fn traditional_arm_agrees_with_every_index_plan() {
     // The from-scratch Apriori ARM plan and the five MIP-index plans must
     // return identical answers on the benchmark analogs.

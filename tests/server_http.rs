@@ -6,7 +6,7 @@ use colarm::data::synth::{generate, SynthConfig};
 use colarm::{Colarm, ColarmServer, ServerConfig, ServerHandle, TransportConfig};
 use colarm::MipIndexConfig;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -211,6 +211,25 @@ fn silent_client_is_reaped_and_the_worker_keeps_serving() {
     assert!(
         stats.idle_reaped.load(std::sync::atomic::Ordering::Relaxed) >= 1,
         "reap not counted"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn half_close_after_complete_request_still_gets_answered() {
+    let handle = serve(TransportConfig::default());
+    let mut stream = connect(&handle);
+    // The common `send(); shutdown(WR); recv()` client: the request and
+    // the FIN can land in the same read batch, and the response must
+    // still go out before the server hangs up.
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let raw = read_to_close(&mut stream, Duration::from_secs(5));
+    assert!(
+        raw.starts_with("HTTP/1.1 200"),
+        "half-closing client got no/wrong response: {raw:?}"
     );
     handle.shutdown();
 }

@@ -1,22 +1,28 @@
 //! Binary snapshot format stability, round-trip and corruption tests.
 //!
-//! Two golden fixtures are committed:
+//! Three golden fixtures are committed:
 //!
 //! * `tests/fixtures/salary_index_v1.snap` — format version 1 (PR 1's
 //!   sparse/dense tidset payloads). **Never regenerated**: it pins the
-//!   historical bytes this build promises to keep reading, and a current
-//!   writer can only produce version 2.
-//! * `tests/fixtures/salary_index_v2.snap` — the current format version 2
-//!   (per-chunk container tidset payloads). Regenerate it — only after a
-//!   deliberate, version-bumped format change — with:
+//!   historical bytes this build promises to keep reading.
+//! * `tests/fixtures/salary_index_v2.snap` — format version 2 (per-chunk
+//!   container tidset payloads, no STATS section). **Never regenerated**
+//!   either, for the same reason: a current writer can only produce
+//!   version 3.
+//! * `tests/fixtures/salary_index_v3.snap` — the current format version 3
+//!   (adds the optional STATS section: statistics catalog + fitted cost
+//!   constants). Regenerate it — only after a deliberate, version-bumped
+//!   format change — with:
 //!
 //! ```sh
 //! COLARM_REGEN_SNAPSHOT_FIXTURE=1 cargo test --test snapshot_format
 //! ```
 //!
-//! Both fixtures must load and answer the paper's Table 1 walkthrough
+//! All fixtures must load and answer the paper's Table 1 walkthrough
 //! with bit-identical rules on all six plans, and every single-byte flip
-//! or truncation of either must be a detected error.
+//! or truncation of any of them must be a detected error. The v1/v2
+//! fixtures additionally must load *stats-absent*: no catalog, no
+//! persisted constants, global-average cost fallback.
 
 use colarm::{
     load_index, save_index, Colarm, ColarmError, IndexSnapshot, LocalizedQuery, MipIndex,
@@ -33,7 +39,16 @@ fn fixture_v2_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v2.snap")
 }
 
-fn fixture_paths() -> [PathBuf; 2] {
+fn fixture_v3_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v3.snap")
+}
+
+fn fixture_paths() -> [PathBuf; 3] {
+    [fixture_v1_path(), fixture_v2_path(), fixture_v3_path()]
+}
+
+/// The committed fixtures that predate the STATS section.
+fn legacy_fixture_paths() -> [PathBuf; 2] {
     [fixture_v1_path(), fixture_v2_path()]
 }
 
@@ -65,8 +80,8 @@ const TABLE1: &str = "REPORT LOCALIZED ASSOCIATION RULES \
 fn golden_fixtures_load_and_answer_table1_on_all_plans() {
     if std::env::var_os("COLARM_REGEN_SNAPSHOT_FIXTURE").is_some() {
         // Only the current-version fixture can ever be regenerated; the
-        // v1 bytes are history and a v2 writer must not touch them.
-        let path = fixture_v2_path();
+        // v1/v2 bytes are history and a v3 writer must not touch them.
+        let path = fixture_v3_path();
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         save_index(&salary_index(), &path).unwrap();
         eprintln!("regenerated {}", path.display());
@@ -107,7 +122,8 @@ fn golden_fixtures_load_and_answer_table1_on_all_plans() {
     }
 }
 
-/// The current writer emits format version 2; the v1 fixture stays v1.
+/// The current writer emits format version 3; the v1/v2 fixtures keep
+/// their historical preambles.
 #[test]
 fn fixture_preambles_pin_their_versions() {
     let v1 = std::fs::read(fixture_v1_path()).unwrap();
@@ -115,10 +131,36 @@ fn fixture_preambles_pin_their_versions() {
     assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
     let v2 = std::fs::read(fixture_v2_path()).unwrap();
     assert_eq!(&v2[..8], b"COLARMIX");
+    assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
+    let v3 = std::fs::read(fixture_v3_path()).unwrap();
+    assert_eq!(&v3[..8], b"COLARMIX");
     assert_eq!(
-        u32::from_le_bytes(v2[8..12].try_into().unwrap()),
+        u32::from_le_bytes(v3[8..12].try_into().unwrap()),
         colarm::persist::FORMAT_VERSION
     );
+}
+
+/// Pre-v3 snapshots carry no statistics catalog and no fitted cost
+/// constants; they load stats-absent (global-average cost fallback) and
+/// still answer. The v3 fixture carries both.
+#[test]
+fn legacy_fixtures_load_stats_absent_and_v3_carries_the_catalog() {
+    for path in legacy_fixture_paths() {
+        let (index, constants) = colarm::load_index_with_constants(&path).unwrap();
+        assert!(
+            constants.is_none(),
+            "pre-v3 fixture {} produced persisted constants",
+            path.display()
+        );
+        assert!(
+            index.catalog().is_none(),
+            "pre-v3 fixture {} produced a statistics catalog",
+            path.display()
+        );
+    }
+    let (index, constants) = colarm::load_index_with_constants(fixture_v3_path()).unwrap();
+    assert!(constants.is_some(), "v3 fixture lost its cost constants");
+    assert!(index.catalog().is_some(), "v3 fixture lost its catalog");
 }
 
 /// capture → save → load → restore answers bit-identically on all six
