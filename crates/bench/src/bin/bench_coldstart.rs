@@ -1,0 +1,264 @@
+//! Cold-start benchmark: **time-to-first-query** (TTFQ) for the three
+//! snapshot restore paths at production scale (hundreds of thousands of
+//! records). Writes `BENCH_coldstart.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_coldstart [-- OUT.json] [--check]
+//! ```
+//!
+//! Contenders, all restoring the *same* index:
+//!
+//! * **owned** — the framed v3 stream (`save_index_v3_with_constants`):
+//!   varint-decodes every record, allocates every row, materializes every
+//!   tidset container and rebuilds the vertical index before the first
+//!   query can run.
+//! * **mmap-lazy** — the aligned v4 layout through `mmap` with
+//!   [`ValidationMode::Lazy`]: structural checks + header CRC up front,
+//!   bulk-section CRCs deferred to the first query; records and tidset
+//!   payloads are borrowed views into the mapping.
+//! * **mmap-eager** — same mapping, but every section CRC is verified
+//!   before `load` returns (`--validate eager` on the CLI).
+//!
+//! The acceptance floor this file records (`min_ttfq_speedup`): mmap-lazy
+//! TTFQ must be ≥10× faster than owned decode at this scale. `--check`
+//! re-measures and exits nonzero below the floor without rewriting the
+//! committed JSON — the hard-gate pattern `scripts/ci.sh --bench` relies
+//! on. The first-query answers of all three contenders are asserted
+//! bit-identical on every run, gate or not.
+
+use colarm::data::synth::{generate, SynthConfig};
+use colarm::{
+    Colarm, LocalizedQuery, MipIndex, MipIndexConfig, QueryOutcome, QueryRequest, ValidationMode,
+};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// ≥200k records — big enough that the owned decoder's per-record work
+/// dominates, with a primary threshold keeping the CFI catalog (and the
+/// assemble cost every contender pays) moderate.
+const RECORDS: usize = 480_000;
+
+#[derive(Serialize)]
+struct Contender {
+    name: &'static str,
+    /// Snapshot size on disk.
+    bytes: u64,
+    /// `load` returning, best of reps (seconds).
+    load_s: f64,
+    /// `load` + first optimized query answered, best of reps (seconds).
+    ttfq_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    description: &'static str,
+    records: usize,
+    arity: usize,
+    cfis: usize,
+    reps: usize,
+    contenders: Vec<Contender>,
+    /// owned TTFQ / mmap-lazy TTFQ.
+    ttfq_speedup_lazy: f64,
+    /// owned TTFQ / mmap-eager TTFQ (informational, no floor).
+    ttfq_speedup_eager: f64,
+    /// Acceptance floor on `ttfq_speedup_lazy` (hard gate).
+    min_ttfq_speedup: f64,
+    harness: &'static str,
+}
+
+fn dataset() -> colarm::data::Dataset {
+    generate(&SynthConfig {
+        name: "coldstart".into(),
+        seed: 4242,
+        records: RECORDS,
+        domains: vec![3, 3, 3, 3, 4, 4, 4, 4, 2, 2, 2, 2, 3, 3, 3, 3],
+        top_mass: 0.7,
+        skew: 1.2,
+        clusters: 3,
+        cluster_focus: 0.4,
+        focus_strength: 0.8,
+        templates: 5,
+        template_len: 4,
+        template_prob: 0.25,
+    })
+}
+
+/// Best of `reps` wall-clock timings of `f`.
+fn best_of<T, F: FnMut() -> T>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The cold-start query: a narrow three-attribute focal range, the shape
+/// a drill-down session opens with.
+fn first_query(schema: &colarm::data::Schema) -> LocalizedQuery {
+    LocalizedQuery::builder()
+        .range_named(schema, "a0", &["v2"])
+        .unwrap()
+        .range_named(schema, "a4", &["v3"])
+        .unwrap()
+        .range_named(schema, "a12", &["v2"])
+        .unwrap()
+        .minsupp(0.25)
+        .minconf(0.5)
+        .build()
+        .unwrap()
+}
+
+/// Load `path` with `mode` and answer the first query through the full
+/// optimizer path — the server's cold-start sequence.
+fn load_and_query(path: &Path, mode: ValidationMode, query: &LocalizedQuery) -> QueryOutcome {
+    let sys = Colarm::load_index_snapshot_with(path, mode).expect("snapshot loads");
+    sys.run(&QueryRequest::query(query)).expect("first query answers")
+}
+
+fn main() {
+    let mut out_path = "BENCH_coldstart.json".to_string();
+    let mut check_only = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check_only = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    eprintln!("building {RECORDS}-record index (one-time) ...");
+    let index = MipIndex::build(
+        dataset(),
+        MipIndexConfig {
+            primary_support: 0.50,
+            ..Default::default()
+        },
+    )
+    .expect("index builds");
+    let cfis = index.num_mips();
+    let arity = index.dataset().schema().num_attributes();
+    assert!(cfis > 0, "degenerate scenario: no CFIs");
+    let query = first_query(index.dataset().schema());
+
+    let dir = std::env::temp_dir().join(format!("colarm-bench-coldstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let v3_path = dir.join("coldstart_v3.snap");
+    let v4_path = dir.join("coldstart_v4.snap");
+    let constants = colarm::cost::CostConstants::default();
+    colarm::save_index_v3_with_constants(&index, constants, &v3_path).expect("v3 save");
+    colarm::save_index(&index, &v4_path).expect("v4 save");
+    let v3_bytes = std::fs::metadata(&v3_path).expect("metadata").len();
+    let v4_bytes = std::fs::metadata(&v4_path).expect("metadata").len();
+
+    // Correctness first: all three restore paths answer the first query
+    // bit-identically (rules, executed plan, subset size).
+    let owned_out = load_and_query(&v3_path, ValidationMode::Eager, &query);
+    for (name, mode) in [("mmap-lazy", ValidationMode::Lazy), ("mmap-eager", ValidationMode::Eager)]
+    {
+        let out = load_and_query(&v4_path, mode, &query);
+        assert_eq!(out.rules, owned_out.rules, "{name} first-query rules diverged");
+        assert_eq!(out.plan, owned_out.plan, "{name} plan choice diverged");
+        assert_eq!(out.subset_size, owned_out.subset_size, "{name} |DQ| diverged");
+    }
+
+    if std::env::var_os("COLDSTART_DEBUG").is_some() {
+        let t = Instant::now();
+        let sys = Colarm::load_index_snapshot_with(&v4_path, ValidationMode::Lazy).unwrap();
+        eprintln!("debug lazy load: {:?}", t.elapsed());
+        let t = Instant::now();
+        let out = sys.run(&QueryRequest::query(&query)).unwrap();
+        eprintln!(
+            "debug first query: {:?} ({} rules, |DQ|={})",
+            t.elapsed(),
+            out.rules.len(),
+            out.subset_size
+        );
+        let t = Instant::now();
+        let _ = sys.run(&QueryRequest::query(&query)).unwrap();
+        eprintln!("debug second query (validated): {:?}", t.elapsed());
+    }
+
+    let reps = 5;
+    let contenders = vec![
+        Contender {
+            name: "owned-v3",
+            bytes: v3_bytes,
+            load_s: best_of(reps, || colarm::load_index(&v3_path).expect("load")),
+            ttfq_s: best_of(reps, || load_and_query(&v3_path, ValidationMode::Eager, &query)),
+        },
+        Contender {
+            name: "mmap-lazy",
+            bytes: v4_bytes,
+            load_s: best_of(reps, || {
+                colarm::load_index_with_mode(&v4_path, ValidationMode::Lazy).expect("load")
+            }),
+            ttfq_s: best_of(reps, || load_and_query(&v4_path, ValidationMode::Lazy, &query)),
+        },
+        Contender {
+            name: "mmap-eager",
+            bytes: v4_bytes,
+            load_s: best_of(reps, || {
+                colarm::load_index_with_mode(&v4_path, ValidationMode::Eager).expect("load")
+            }),
+            ttfq_s: best_of(reps, || load_and_query(&v4_path, ValidationMode::Eager, &query)),
+        },
+    ];
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ttfq = |name: &str| {
+        contenders
+            .iter()
+            .find(|c| c.name == name)
+            .expect("contender present")
+            .ttfq_s
+    };
+    let report = Report {
+        description: "Snapshot cold start at production scale (see `records`): owned \
+                      framed-v3 decode vs \
+                      zero-copy mmap v4 (lazy and eager CRC validation). TTFQ = load \
+                      returning + first optimized query answered; best of 5 reps; \
+                      first-query answers asserted bit-identical across contenders.",
+        records: RECORDS,
+        arity,
+        cfis,
+        reps,
+        ttfq_speedup_lazy: ttfq("owned-v3") / ttfq("mmap-lazy"),
+        ttfq_speedup_eager: ttfq("owned-v3") / ttfq("mmap-eager"),
+        min_ttfq_speedup: 10.0,
+        contenders,
+        harness: "cargo run --release --bin bench_coldstart [-- OUT.json] [--check]; \
+                  --check enforces min_ttfq_speedup without rewriting the JSON",
+    };
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "contender", "bytes", "load s", "ttfq s"
+    );
+    for c in &report.contenders {
+        println!(
+            "{:<12} {:>12} {:>12.4} {:>12.4}",
+            c.name, c.bytes, c.load_s, c.ttfq_s
+        );
+    }
+    println!(
+        "\nttfq speedup: lazy {:.1}x, eager {:.1}x (floor {:.0}x on lazy)",
+        report.ttfq_speedup_lazy, report.ttfq_speedup_eager, report.min_ttfq_speedup
+    );
+
+    if !check_only {
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        std::fs::write(&out_path, json).expect("write BENCH_coldstart.json");
+        println!("wrote {out_path}");
+    }
+    if report.ttfq_speedup_lazy < report.min_ttfq_speedup {
+        eprintln!(
+            "FAIL: mmap-lazy TTFQ speedup {:.1}x below the {:.0}x acceptance floor",
+            report.ttfq_speedup_lazy, report.min_ttfq_speedup
+        );
+        std::process::exit(1);
+    }
+}

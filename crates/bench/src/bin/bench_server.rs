@@ -176,6 +176,10 @@ struct Report {
     minconf: f64,
     clients: usize,
     rounds_per_client: usize,
+    /// Untimed rounds each client ran before measurement started (warms
+    /// the connection path, worker pool, and allocator so the timed
+    /// rounds measure steady state, not first-touch costs).
+    warmup_rounds: usize,
     workers: usize,
     /// session create + 8 queries per round, across all clients.
     total_requests: usize,
@@ -255,9 +259,25 @@ fn main() {
         assert_eq!(status, 200);
     }
 
-    // Warmup: one untimed round per client thread's connection path.
-    let warm: Vec<Duration> = run_round(&mut Client::connect(port), "warmup", &bodies);
-    drop(warm);
+    // Warmup: every client runs one untimed round at full concurrency
+    // before the clock starts, so the timed rounds see a warm connection
+    // path, worker pool, and allocator on every worker — not just the
+    // one a single probe connection happened to land on.
+    const WARMUP_ROUNDS: usize = 1;
+    for _ in 0..WARMUP_ROUNDS {
+        let warmers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let bodies = bodies.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(port);
+                    run_round(&mut client, &format!("warmup-{c}"), &bodies);
+                })
+            })
+            .collect();
+        for w in warmers {
+            w.join().expect("warmup client");
+        }
+    }
 
     let wall = Instant::now();
     let handles: Vec<_> = (0..CLIENTS)
@@ -300,6 +320,7 @@ fn main() {
         minconf: MINCONF,
         clients: CLIENTS,
         rounds_per_client: ROUNDS_PER_CLIENT,
+        warmup_rounds: WARMUP_ROUNDS,
         workers,
         total_requests: latencies.len(),
         wall_s,

@@ -17,6 +17,8 @@
 //! * [`GridCell`] / [`gains_vs_sev`] / [`optimizer_accuracy`] — the
 //!   derived Figure 12 and §5.1 statistics.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod scenarios;
 
 pub use scenarios::*;

@@ -40,6 +40,8 @@
 //!     Mine suggested query parameters from the data (§7 future work).
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod repl;
 
 use colarm::{Colarm, ColarmServer, MipIndexConfig, QuerySession, ServerConfig, TransportConfig};
@@ -96,7 +98,12 @@ const USAGE: &str = "usage: colarm <demo|index|query|repl|serve|advise> [options
                    --write-timeout-ms N (10000)
   advise (--index I.snap | --data D.tsv --primary P)
   --index also accepts legacy JSON snapshots (auto-detected by magic)
-  common: --threads N     worker threads for build + query execution
+  common: --validate M    checksum mode for mapped (v4) snapshots:
+                          `lazy` (default) maps the file and serves the
+                          first query in milliseconds, deferring bulk
+                          checksums to that first query; `eager` verifies
+                          every checksum before serving anything
+          --threads N     worker threads for build + query execution
                           (default: COLARM_THREADS env, else all cores;
                            1 = sequential; answers are identical either way)
           --timeout-ms N  per-query deadline; a query past it fails with
@@ -124,6 +131,7 @@ struct Options {
     idle_conn_secs: Option<u64>,
     read_timeout_ms: Option<u64>,
     write_timeout_ms: Option<u64>,
+    validate: colarm::ValidationMode,
     positional: Vec<String>,
 }
 
@@ -145,6 +153,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         idle_conn_secs: None,
         read_timeout_ms: None,
         write_timeout_ms: None,
+        validate: colarm::ValidationMode::Lazy,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -185,6 +194,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--write-timeout-ms" => {
                 opts.write_timeout_ms = Some(parse_flag(&mut it, "--write-timeout-ms")?);
+            }
+            "--validate" => {
+                opts.validate = match take(&mut it, "--validate")?.as_str() {
+                    "eager" => colarm::ValidationMode::Eager,
+                    "lazy" => colarm::ValidationMode::Lazy,
+                    other => {
+                        return Err(format!(
+                            "--validate expects `eager` or `lazy`, got `{other}`"
+                        ))
+                    }
+                };
             }
             "--primary" => {
                 opts.primary = take(&mut it, "--primary")?
@@ -227,7 +247,8 @@ fn parse_flag<T: std::str::FromStr>(
 fn load_system(opts: &Options) -> Result<Colarm, String> {
     if let Some(spec) = opts.indexes.first() {
         let (_, path) = split_index_spec(spec);
-        return Colarm::load_index_snapshot(path).map_err(|e| format!("restoring {path}: {e}"));
+        return Colarm::load_index_snapshot_with(path, opts.validate)
+            .map_err(|e| format!("restoring {path}: {e}"));
     }
     let Some(path) = &opts.data else {
         return Err("provide --index FILE or --data FILE".to_string());
@@ -379,10 +400,11 @@ enum IndexSource {
 }
 
 impl IndexSource {
-    fn load(&self) -> Result<Colarm, String> {
+    fn load(&self, validate: colarm::ValidationMode) -> Result<Colarm, String> {
         match self {
             IndexSource::Snapshot(path) => {
-                Colarm::load_index_snapshot(path).map_err(|e| format!("restoring {path}: {e}"))
+                Colarm::load_index_snapshot_with(path, validate)
+                    .map_err(|e| format!("restoring {path}: {e}"))
             }
             IndexSource::Tsv { path, primary } => {
                 let text =
@@ -513,7 +535,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let mut named = Vec::with_capacity(sources.len());
     for (name, source) in &sources {
-        named.push((name.clone(), source.load()?.into_shared()));
+        named.push((name.clone(), source.load(opts.validate)?.into_shared()));
     }
     let server = ColarmServer::with_named_indexes(
         named,
@@ -545,7 +567,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         if sig::RELOAD.swap(false, Ordering::SeqCst) {
             for (name, source) in &sources {
-                match source.load() {
+                match source.load(opts.validate) {
                     Ok(mut colarm) => {
                         // Carry the retiring generation's fitted cost
                         // constants forward, so a reload does not lose

@@ -148,7 +148,20 @@ impl Colarm {
     /// snapshots start from defaults (call [`Colarm::calibrate`] to fit
     /// this machine).
     pub fn load_index_snapshot(path: impl AsRef<std::path::Path>) -> Result<Colarm, ColarmError> {
-        let (index, constants) = crate::persist::load_index_with_constants(path)?;
+        Self::load_index_snapshot_with(path, crate::persist::ValidationMode::Lazy)
+    }
+
+    /// [`Colarm::load_index_snapshot`] with an explicit
+    /// [`ValidationMode`](crate::persist::ValidationMode) for v4 mapped
+    /// snapshots: `Eager` checksums the whole file before returning,
+    /// `Lazy` (the default) returns in milliseconds and lets the first
+    /// query pay the checksum pass. Ignored for v1–v3 / legacy JSON
+    /// snapshots, which always validate fully at load.
+    pub fn load_index_snapshot_with(
+        path: impl AsRef<std::path::Path>,
+        mode: crate::persist::ValidationMode,
+    ) -> Result<Colarm, ColarmError> {
+        let (index, constants) = crate::persist::load_index_with_mode(path, mode)?;
         let mut colarm = Colarm::from_index(index);
         if let Some(constants) = constants {
             colarm.set_cost_constants(constants);

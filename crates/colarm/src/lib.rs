@@ -42,6 +42,8 @@
 //! assert!(!out.rules.is_empty()); // RL = (Age=30-40 → Salary=90K-120K)
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod advisor;
 pub mod compat;
 pub mod cost;
@@ -73,8 +75,9 @@ pub use mip::{MipIndex, MipIndexConfig, Packing};
 pub use optimizer::{FeedbackEntry, FeedbackLog, Mispick, Optimizer, PlanChoice};
 pub use parse::parse_query;
 pub use persist::{
-    load_index, load_index_with_constants, save_index, save_index_with_constants, IndexSnapshot,
-    SnapshotHeader, SnapshotReader, SnapshotStats, SnapshotWriter,
+    load_index, load_index_with_constants, load_index_with_mode, save_index,
+    save_index_v3_with_constants, save_index_with_constants, IndexSnapshot, SnapshotHeader,
+    SnapshotReader, SnapshotStats, SnapshotWriter, ValidationMode,
 };
 pub use stats::{CatalogHints, StatsCatalog, StatsSource};
 pub use ops::{ExecOptions, OpKind, OpTrace};

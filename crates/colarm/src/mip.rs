@@ -82,6 +82,13 @@ pub struct MipIndex {
     config: MipIndexConfig,
     primary_count: usize,
     domains: Vec<u32>,
+    /// The mapped snapshot this index borrows its tidsets / records
+    /// from, when loaded through the zero-copy path. Holding the `Arc`
+    /// here is what keeps the mapping alive for as long as any clone of
+    /// the index generation is pinned (e.g. by in-flight server
+    /// sessions); it also carries the deferred-CRC state consulted by
+    /// [`MipIndex::ensure_validated`].
+    backing: Option<std::sync::Arc<crate::persist::mmap::SnapshotMap>>,
 }
 
 impl MipIndex {
@@ -122,6 +129,27 @@ impl MipIndex {
         }
         let vertical = VerticalIndex::build(&dataset);
         Self::assemble(dataset, config, cfis, vertical, false)
+    }
+
+    /// [`MipIndex::from_parts`] for the mapped snapshot path: the
+    /// vertical index was persisted (no rebuild) and the tidsets / record
+    /// matrix borrow from `backing`, which the index keeps alive.
+    pub(crate) fn from_mapped_parts(
+        dataset: Dataset,
+        config: MipIndexConfig,
+        cfis: Vec<colarm_mine::ClosedItemset>,
+        vertical: VerticalIndex,
+        backing: std::sync::Arc<crate::persist::mmap::SnapshotMap>,
+    ) -> Result<Self, ColarmError> {
+        if !(config.primary_support > 0.0 && config.primary_support <= 1.0) {
+            return Err(ColarmError::InvalidThreshold {
+                name: "primary_support",
+                value: config.primary_support,
+            });
+        }
+        let mut index = Self::assemble(dataset, config, cfis, vertical, false)?;
+        index.backing = Some(backing);
+        Ok(index)
     }
 
     fn assemble(
@@ -224,8 +252,51 @@ impl MipIndex {
             config,
             primary_count,
             domains,
+            backing: None,
         })
     }
+
+    /// Complete **all** deferred (lazy) validation of the mapped
+    /// snapshot backing this index — the remaining section CRCs *and*
+    /// the per-value domain sweep of the record matrix (deferred by the
+    /// mapped load because no query plan reads record values). A no-op
+    /// for built / owned-decoded indexes; for a lazily-validated map the
+    /// first call pays the remaining passes and later calls are a couple
+    /// of atomic loads. The query path triggers the tidset CRC pass
+    /// automatically ([`MipIndex::resolve_subset`]) and the snapshot
+    /// save/capture paths call this in full; call it yourself before
+    /// reading rows straight off [`MipIndex::dataset`] on a
+    /// lazily-loaded index.
+    pub fn ensure_validated(&self) -> Result<(), ColarmError> {
+        let Some(map) = &self.backing else {
+            return Ok(());
+        };
+        map.validate_pending()?;
+        if !map.domains_checked() {
+            // Runs after the RECORDS16 CRC passed, so a failure here
+            // means the snapshot *writer* emitted out-of-domain values
+            // (or the checksum itself was forged around tampered bytes).
+            self.dataset.validate_domains().map_err(|e| ColarmError::Snapshot {
+                message: format!(
+                    "record matrix: {e} (detected on deferred domain sweep of snapshot {})",
+                    map.path().display()
+                ),
+            })?;
+            map.set_domains_checked();
+        }
+        Ok(())
+    }
+
+    /// Deferred validation of every mapped section a query reads (all
+    /// but the record matrix, which no plan touches). Hooked at subset
+    /// resolution so no answer is derived from unvalidated bytes.
+    pub(crate) fn ensure_query_validated(&self) -> Result<(), ColarmError> {
+        match &self.backing {
+            Some(map) => map.validate_query_sections(),
+            None => Ok(()),
+        }
+    }
+
 
     /// The indexed dataset.
     pub fn dataset(&self) -> &Dataset {
@@ -287,6 +358,7 @@ impl MipIndex {
 
     /// Resolve a range spec into a focal subset (tidset + size).
     pub fn resolve_subset(&self, spec: RangeSpec) -> Result<FocalSubset, ColarmError> {
+        self.ensure_query_validated()?;
         Ok(FocalSubset::resolve(spec, &self.dataset, &self.vertical)?)
     }
 

@@ -36,9 +36,20 @@ pub const MAGIC: [u8; 8] = *b"COLARMIX";
 /// Current binary format version. Version 2 switched the CFI tidset
 /// payloads to the per-chunk container encoding (codec tag `2`); version 3
 /// added the optional STATS section (statistics catalog + fitted cost
-/// constants) between the CFI chunks and the trailer. The section framing
-/// is unchanged.
-pub const FORMAT_VERSION: u32 = 3;
+/// constants) between the CFI chunks and the trailer; version 4 replaced
+/// the sequential framed-section stream with the mmap-friendly aligned
+/// layout of `persist::layout` (section directory at the tail, 64-byte
+/// aligned sections, raw LE container payloads, offset tables). Versions
+/// 1–3 share the framed layout this module implements and keep loading
+/// through [`SnapshotReader`](super::SnapshotReader); version 4 loads
+/// through the mapped path (`persist::mmap`).
+pub const FORMAT_VERSION: u32 = 4;
+
+/// Newest version using the framed sequential-section layout — the cap
+/// for `CrcReader::read_preamble`. The streaming writer keeps stamping
+/// this version so the owned-decode baseline (and any tooling pinned to
+/// the framed layout) can still produce v3 files.
+pub const STREAM_VERSION: u32 = 3;
 
 /// Oldest format version this build still reads. Version 1 files differ
 /// only in their tidset payload encoding (codec tags `0`/`1`), which the
@@ -176,7 +187,13 @@ impl<R: Read> CrcReader<R> {
         let mut v = [0u8; 4];
         self.read_exact(&mut v)?;
         let version = u32::from_le_bytes(v);
-        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        if version == FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "snapshot format version {version} uses the aligned mapped \
+                 layout and loads via load_index, not the framed stream reader"
+            )));
+        }
+        if !(MIN_FORMAT_VERSION..=STREAM_VERSION).contains(&version) {
             return Err(corrupt(format!(
                 "unsupported snapshot format version {version} \
                  (this build reads versions {MIN_FORMAT_VERSION} \

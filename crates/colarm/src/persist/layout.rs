@@ -1,0 +1,442 @@
+//! The aligned mapped snapshot layout (format version 4).
+//!
+//! Version 4 abandons the sequential framed stream of [`super::format`]
+//! for a layout designed to be *used in place* after `mmap(2)`:
+//!
+//! ```text
+//! file  := head section* directory tail
+//! head  := magic(8 = "COLARMIX") version(u32) flags(u32) zero-pad to 64
+//! section starts are 64-byte aligned; inter-section gaps are zero pads
+//! tags  := 1  HEADER       v3 header payload (config + schema + counts)
+//!          6  RECORDS16    m × arity value codes, raw u16 LE, row-major
+//!          9  TIDDATA      concatenated container payloads, each 8-byte
+//!                          aligned: array chunks as raw u16 LE, bitmap
+//!                          chunks as raw u64 LE words
+//!          7  CFI_META     per-CFI itemset + chunk descriptors (varints
+//!                          referencing TIDDATA by offset; runs inline)
+//!          8  CFI_OFFSETS  (n_cfis + 1) × u64 LE offsets into CFI_META
+//!          10 VERTICAL     per-item tid-list descriptors (same codec)
+//!          4  STATS        v3 stats payload (catalog + cost constants)
+//! directory := dir_count × entry(24); entry := tag(u8) pad(3) crc(u32)
+//!              offset(u64) len(u64)
+//! tail  := dir_offset(u64) dir_count(u32) dir_crc(u32) file_len(u64)
+//!          version(u32) reserved(u32) tail_magic(8 = "XIMRALOC")
+//! ```
+//!
+//! Design rules, all load-bearing for the zero-copy reader:
+//!
+//! * **Directory at the tail, not a tag scan.** The reader seeks the fixed
+//!   40-byte tail, finds the directory, and knows every section's offset,
+//!   length and CRC without touching payload bytes — which is what lets
+//!   per-section checksums be verified *lazily* (first query) instead of
+//!   on the load path.
+//! * **64-byte aligned sections, 8-byte aligned container payloads.** A
+//!   mapped bitmap chunk is reinterpreted directly as `&[u64]` and an
+//!   array chunk as `&[u16]`; alignment is what makes those casts sound
+//!   (and cache-line-friendly). The reader *rejects* misaligned offsets.
+//! * **Offset tables instead of sequential framing.** CFI `i`'s metadata
+//!   is `CFI_META[offsets[i]..offsets[i+1]]` — no need to decode CFIs
+//!   `0..i` first.
+//! * **Every byte accounted for.** Pads between sections must be zero,
+//!   the directory must immediately precede the tail, and the tail must
+//!   end the file; trailing garbage and overlap are structural errors.
+//!
+//! This module owns the constants and the single-pass streaming writer;
+//! the mapping reader lives in [`super::mmap`].
+
+use super::format::{corrupt, CrcWriter, FORMAT_VERSION, MAGIC};
+use super::{encode_itemset, SnapshotHeader, SnapshotStats};
+use crate::error::ColarmError;
+use crate::mip::MipIndex;
+use colarm_data::codec::{crc32, write_varint};
+use colarm_data::{ChunkRef, ItemId, Tidset};
+use std::io::Write;
+
+/// Fixed head size: magic + version + flags, zero-padded to one
+/// alignment unit so the first section starts aligned.
+pub(crate) const HEAD_LEN: u64 = 64;
+
+/// Every section starts on a 64-byte boundary.
+pub(crate) const SECTION_ALIGN: u64 = 64;
+
+/// Container payloads inside TIDDATA start on 8-byte boundaries (the
+/// strictest alignment we reinterpret to: `u64` bitmap words).
+pub(crate) const DATA_ALIGN: u64 = 8;
+
+/// Fixed tail record size (always the last `TAIL_LEN` bytes of the file).
+pub(crate) const TAIL_LEN: u64 = 40;
+
+/// Closes the file the way [`MAGIC`] opens it (same bytes, reversed), so
+/// a truncated-and-recombined file can't present a plausible tail.
+pub(crate) const TAIL_MAGIC: [u8; 8] = *b"XIMRALOC";
+
+/// One directory entry: tag, 3 pad bytes, payload CRC, offset, length.
+pub(crate) const DIR_ENTRY_LEN: u64 = 24;
+
+/// Upper bound on directory entries a reader will accept — far above the
+/// seven tags v4 defines, small enough that a corrupt count cannot drive
+/// a large allocation.
+pub(crate) const MAX_DIR_ENTRIES: u32 = 16;
+
+/// v4 section tags. HEADER (1) and STATS (4) reuse the framed-format tags
+/// and payload encodings; the rest are v4-only.
+pub(crate) const SEC_RECORDS16: u8 = 6;
+pub(crate) const SEC_CFI_META: u8 = 7;
+pub(crate) const SEC_CFI_OFFSETS: u8 = 8;
+pub(crate) const SEC_TIDDATA: u8 = 9;
+pub(crate) const SEC_VERTICAL: u8 = 10;
+
+/// Container kinds in chunk descriptors.
+pub(crate) const KIND_ARRAY: u8 = 0;
+pub(crate) const KIND_BITMAP: u8 = 1;
+pub(crate) const KIND_RUNS: u8 = 2;
+
+/// One directory row, as written into the trailer directory.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DirEntry {
+    pub(crate) tag: u8,
+    pub(crate) crc: u32,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+}
+
+impl DirEntry {
+    pub(crate) fn encode(&self) -> [u8; DIR_ENTRY_LEN as usize] {
+        let mut b = [0u8; DIR_ENTRY_LEN as usize];
+        b[0] = self.tag;
+        b[4..8].copy_from_slice(&self.crc.to_le_bytes());
+        b[8..16].copy_from_slice(&self.offset.to_le_bytes());
+        b[16..24].copy_from_slice(&self.len.to_le_bytes());
+        b
+    }
+}
+
+/// Round `off` up to a multiple of `align` (a power of two).
+#[inline]
+pub(crate) fn align_up(off: u64, align: u64) -> u64 {
+    (off + align - 1) & !(align - 1)
+}
+
+/// Deterministic placement of container payloads inside TIDDATA. The
+/// writer runs one instance while emitting TIDDATA and a *fresh* instance
+/// while emitting the descriptor sections; because placement depends only
+/// on the iteration order (CFIs in IT-tree order, then vertical items in
+/// item order) the two passes assign identical offsets without the writer
+/// ever buffering an offset table in memory.
+#[derive(Debug, Default)]
+struct Placer {
+    off: u64,
+}
+
+impl Placer {
+    /// Reserve an 8-aligned span of `bytes`; returns (pad, start offset).
+    fn place(&mut self, bytes: u64) -> (u64, u64) {
+        let start = align_up(self.off, DATA_ALIGN);
+        let pad = start - self.off;
+        self.off = start + bytes;
+        (pad, start)
+    }
+}
+
+/// Byte-counting writer for one v4 file. Tracks the absolute offset and a
+/// per-section CRC; pads (between sections) bypass the section CRC,
+/// payload bytes feed it.
+struct V4Writer<'w, W: Write> {
+    w: &'w mut CrcWriter<W>,
+    offset: u64,
+    section_start: u64,
+    crc: colarm_data::codec::Crc32,
+}
+
+impl<'w, W: Write> V4Writer<'w, W> {
+    fn new(w: &'w mut CrcWriter<W>) -> Self {
+        V4Writer {
+            w,
+            offset: 0,
+            section_start: 0,
+            crc: colarm_data::codec::Crc32::new(),
+        }
+    }
+
+    /// Write raw bytes outside any section (head, pads, directory, tail).
+    fn write_raw(&mut self, bytes: &[u8]) -> Result<(), ColarmError> {
+        self.w.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Zero-pad so the next byte lands on `align`.
+    fn pad_raw_to(&mut self, align: u64) -> Result<(), ColarmError> {
+        let target = align_up(self.offset, align);
+        let pad = (target - self.offset) as usize;
+        if pad > 0 {
+            self.write_raw(&vec![0u8; pad])?;
+        }
+        Ok(())
+    }
+
+    /// Start a section at the current (aligned) offset.
+    fn begin_section(&mut self) -> u64 {
+        debug_assert_eq!(self.offset % SECTION_ALIGN, 0);
+        self.section_start = self.offset;
+        self.crc = colarm_data::codec::Crc32::new();
+        self.section_start
+    }
+
+    /// Write section payload bytes (CRC-tracked).
+    fn write(&mut self, bytes: &[u8]) -> Result<(), ColarmError> {
+        self.w.write_all(bytes)?;
+        self.crc.update(bytes);
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Zero-pad *inside* the current section so the next payload byte is
+    /// 8-aligned (pad bytes are part of the section and its CRC).
+    fn pad_in_section(&mut self, pad: u64) -> Result<(), ColarmError> {
+        if pad > 0 {
+            self.write(&vec![0u8; pad as usize])?;
+        }
+        Ok(())
+    }
+
+    /// Offset within the current section.
+    fn section_pos(&self) -> u64 {
+        self.offset - self.section_start
+    }
+
+    /// Close the current section, producing its directory row.
+    fn end_section(&mut self, tag: u8) -> DirEntry {
+        DirEntry {
+            tag,
+            crc: self.crc.value(),
+            offset: self.section_start,
+            len: self.section_pos(),
+        }
+    }
+}
+
+/// Encode one chunk descriptor. `prev_key` carries the delta baseline
+/// across a tidset's chunks; `placer` assigns TIDDATA offsets for array /
+/// bitmap payloads (runs ride inline in the descriptor itself, exactly
+/// like the v3 delta encoding — they are tiny and gain nothing from
+/// alignment).
+fn encode_chunk_meta(
+    buf: &mut Vec<u8>,
+    prev_key: &mut Option<u16>,
+    key: u16,
+    chunk: ChunkRef<'_>,
+    placer: &mut Placer,
+) {
+    let delta = match *prev_key {
+        None => key as u64,
+        Some(p) => (key - p - 1) as u64,
+    };
+    *prev_key = Some(key);
+    write_varint(buf, delta);
+    match chunk {
+        ChunkRef::Array(values) => {
+            buf.push(KIND_ARRAY);
+            let (_, at) = placer.place(2 * values.len() as u64);
+            write_varint(buf, values.len() as u64);
+            write_varint(buf, at);
+        }
+        ChunkRef::Bitmap { words, card } => {
+            buf.push(KIND_BITMAP);
+            let (_, at) = placer.place(8 * words.len() as u64);
+            write_varint(buf, words.len() as u64);
+            write_varint(buf, card as u64);
+            write_varint(buf, at);
+        }
+        ChunkRef::Runs(runs) => {
+            buf.push(KIND_RUNS);
+            write_varint(buf, runs.len() as u64);
+            let mut prev_end: i64 = -2;
+            for &(s, e) in runs {
+                write_varint(buf, (s as i64 - prev_end - 2) as u64);
+                write_varint(buf, (e - s) as u64);
+                prev_end = e as i64;
+            }
+        }
+    }
+}
+
+/// Encode one tidset's descriptor block: chunk count + chunk descriptors.
+fn encode_tidset_meta(buf: &mut Vec<u8>, tids: &Tidset, placer: &mut Placer) {
+    let chunks: Vec<(u16, ChunkRef<'_>)> = tids.chunk_refs().collect();
+    write_varint(buf, chunks.len() as u64);
+    let mut prev_key = None;
+    for (key, chunk) in chunks {
+        encode_chunk_meta(buf, &mut prev_key, key, chunk, placer);
+    }
+}
+
+/// Stream one tidset's array / bitmap payloads into TIDDATA, with the
+/// same placement the descriptor passes will recompute.
+fn write_tidset_data<W: Write>(
+    w: &mut V4Writer<'_, W>,
+    tids: &Tidset,
+    placer: &mut Placer,
+) -> Result<(), ColarmError> {
+    for (_, chunk) in tids.chunk_refs() {
+        match chunk {
+            ChunkRef::Array(values) => {
+                let (pad, at) = placer.place(2 * values.len() as u64);
+                w.pad_in_section(pad)?;
+                debug_assert_eq!(w.section_pos(), at);
+                let mut buf = Vec::with_capacity(2 * values.len());
+                for &v in values {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                w.write(&buf)?;
+            }
+            ChunkRef::Bitmap { words, .. } => {
+                let (pad, at) = placer.place(8 * words.len() as u64);
+                w.pad_in_section(pad)?;
+                debug_assert_eq!(w.section_pos(), at);
+                let mut buf = Vec::with_capacity(8 * words.len());
+                for &word in words {
+                    buf.extend_from_slice(&word.to_le_bytes());
+                }
+                w.write(&buf)?;
+            }
+            ChunkRef::Runs(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Write a complete v4 snapshot of `index` (plus its STATS payload) to
+/// `out`. Single pass over the output; the index is iterated more than
+/// once (CFIs twice, vertical twice) because TIDDATA precedes the
+/// descriptor sections, but nothing is buffered beyond one CFI's
+/// descriptor block and the `n_cfis + 1` offset table.
+pub(crate) fn write_v4<W: Write>(
+    out: &mut W,
+    index: &MipIndex,
+    stats: &SnapshotStats,
+) -> Result<(), ColarmError> {
+    let header = SnapshotHeader::for_index(index);
+    let num_items = header.schema.num_items();
+    let mut cw = CrcWriter::new(out);
+    let mut w = V4Writer::new(&mut cw);
+    let mut entries: Vec<DirEntry> = Vec::new();
+
+    // Head.
+    let mut head = [0u8; HEAD_LEN as usize];
+    head[0..8].copy_from_slice(&MAGIC);
+    head[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // flags (head[12..16]) and the rest stay zero.
+    w.write_raw(&head)?;
+
+    // HEADER.
+    w.begin_section();
+    w.write(&header.encode())?;
+    entries.push(w.end_section(super::format::SEC_HEADER));
+
+    // RECORDS16: raw row-major u16 LE value codes.
+    w.pad_raw_to(SECTION_ALIGN)?;
+    w.begin_section();
+    {
+        let mut buf: Vec<u8> = Vec::with_capacity(2 * header.schema.num_attributes() * 1024);
+        for (_, values) in index.dataset().iter() {
+            for &v in values {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            if buf.len() >= 1 << 16 {
+                w.write(&buf)?;
+                buf.clear();
+            }
+        }
+        w.write(&buf)?;
+    }
+    entries.push(w.end_section(SEC_RECORDS16));
+
+    // TIDDATA: container payloads for every CFI, then every vertical
+    // tid-list, in iteration order.
+    w.pad_raw_to(SECTION_ALIGN)?;
+    w.begin_section();
+    let mut placer = Placer::default();
+    for (_, cfi) in index.ittree().iter() {
+        write_tidset_data(&mut w, &cfi.tids, &mut placer)?;
+    }
+    for i in 0..num_items {
+        write_tidset_data(&mut w, index.vertical().tids(ItemId(i as u32)), &mut placer)?;
+    }
+    entries.push(w.end_section(SEC_TIDDATA));
+
+    // CFI_META + offset table, replaying placement from the start.
+    let mut placer = Placer::default();
+    w.pad_raw_to(SECTION_ALIGN)?;
+    w.begin_section();
+    let mut cfi_offsets: Vec<u64> = Vec::new();
+    let mut buf = Vec::new();
+    for (_, cfi) in index.ittree().iter() {
+        cfi_offsets.push(w.section_pos());
+        buf.clear();
+        encode_itemset(&mut buf, &cfi.itemset);
+        encode_tidset_meta(&mut buf, &cfi.tids, &mut placer);
+        w.write(&buf)?;
+    }
+    cfi_offsets.push(w.section_pos());
+    entries.push(w.end_section(SEC_CFI_META));
+
+    w.pad_raw_to(SECTION_ALIGN)?;
+    w.begin_section();
+    {
+        let mut buf = Vec::with_capacity(8 * cfi_offsets.len());
+        for &off in &cfi_offsets {
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+        w.write(&buf)?;
+    }
+    entries.push(w.end_section(SEC_CFI_OFFSETS));
+
+    // VERTICAL: continues the same placer (vertical payloads follow CFI
+    // payloads inside TIDDATA).
+    w.pad_raw_to(SECTION_ALIGN)?;
+    w.begin_section();
+    {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, num_items as u64);
+        w.write(&buf)?;
+        for i in 0..num_items {
+            buf.clear();
+            encode_tidset_meta(&mut buf, index.vertical().tids(ItemId(i as u32)), &mut placer);
+            w.write(&buf)?;
+        }
+    }
+    entries.push(w.end_section(SEC_VERTICAL));
+
+    // STATS (v3 payload encoding).
+    w.pad_raw_to(SECTION_ALIGN)?;
+    w.begin_section();
+    w.write(&stats.encode())?;
+    entries.push(w.end_section(super::format::SEC_STATS));
+
+    // Directory + tail.
+    w.pad_raw_to(SECTION_ALIGN)?;
+    let dir_offset = w.offset;
+    let mut dir_bytes = Vec::with_capacity(entries.len() * DIR_ENTRY_LEN as usize);
+    for e in &entries {
+        dir_bytes.extend_from_slice(&e.encode());
+    }
+    let dir_crc = crc32(&dir_bytes);
+    w.write_raw(&dir_bytes)?;
+
+    let file_len = w.offset + TAIL_LEN;
+    let mut tail = [0u8; TAIL_LEN as usize];
+    tail[0..8].copy_from_slice(&dir_offset.to_le_bytes());
+    tail[8..12].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+    tail[12..16].copy_from_slice(&dir_crc.to_le_bytes());
+    tail[16..24].copy_from_slice(&file_len.to_le_bytes());
+    tail[24..28].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // tail[28..32] reserved, zero.
+    tail[32..40].copy_from_slice(&TAIL_MAGIC);
+    w.write_raw(&tail)?;
+    debug_assert_eq!(w.offset, file_len);
+    if entries.len() as u32 > MAX_DIR_ENTRIES {
+        return Err(corrupt("internal: wrote more directory entries than readers accept"));
+    }
+    Ok(())
+}

@@ -1,0 +1,881 @@
+//! Zero-copy snapshot mapping: `mmap(2)`, eager structure / lazy CRC
+//! validation, and the v4 loader.
+//!
+//! [`SnapshotMap`] maps a v4 snapshot read-only and validates in two
+//! phases:
+//!
+//! 1. **Eagerly, at open:** everything *structural* — head magic and
+//!    version, the fixed tail, the section directory (its own CRC, known
+//!    unique tags, 64-byte aligned strictly-increasing offsets, zero
+//!    pads, no gaps, no overlap, nothing unaccounted for) — plus the
+//!    payload CRCs of every section the loader *parses* before
+//!    returning (HEADER, STATS, CFI_META, CFI_OFFSETS, VERTICAL; all
+//!    small). Under [`ValidationMode::Eager`] the two bulk payload
+//!    sections are verified here too.
+//! 2. **Lazily, on first touch** (default, [`ValidationMode::Lazy`]):
+//!    the payload CRCs of the two bulk sections, each deferred to the
+//!    first operation that actually *reads its bytes*:
+//!    * **TIDDATA** (tidset containers) on the first query —
+//!      `SnapshotMap::validate_query_sections`, hooked at subset
+//!      resolution, which every plan passes through;
+//!    * **RECORDS16** (the raw record matrix) on the first record read —
+//!      the operations that consume record bytes (snapshot re-save /
+//!      capture) run the full [`MipIndex::ensure_validated`] pass
+//!      first, which also performs the deferred per-value domain sweep
+//!      of the matrix (the writer's own invariant, re-checked after the
+//!      CRC as defense against a forged checksum). Queries never read
+//!      record bytes (every plan works off tidsets), so cold-start time
+//!      is independent of the record matrix, which dominates the file.
+//!      Callers reaching *around* the index — reading rows straight off
+//!      [`MipIndex::dataset`] on a lazily-mapped index — must call
+//!      [`MipIndex::ensure_validated`] first (or load with
+//!      [`ValidationMode::Eager`], which runs it before `load` returns).
+//!
+//!    Either pass runs once, on whichever thread arrives first; a
+//!    failure is sticky — it poisons the map and every subsequent query
+//!    returns the same [`ColarmError::Snapshot`]. A corrupt byte
+//!    therefore surfaces as a clean error on first touch, never as UB
+//!    or a wrong answer: all *structural* facts the loader relied on
+//!    (bounds, alignment, chunk invariants) were checked at load from
+//!    the bytes as mapped, so a flipped bit can at worst change values,
+//!    and values are never reported before the validation pass covering
+//!    their section signs off — tidset CRCs before the first answer,
+//!    record CRC + domain sweep before the first record read. Bulk
+//!    checksums run through [`crc32_par`], split across the worker pool
+//!    and spliced with the CRC-combine identity — bit-identical to the
+//!    sequential checksum.
+//!
+//! The `unsafe` in this module is confined to three audited obligations
+//! (this crate denies `unsafe_op_in_unsafe_fn`, and CI pins `unsafe` to
+//! an allowlist that names this file):
+//!
+//! * the `extern "C"` declarations of `mmap`/`munmap` (std offers no
+//!   mapping API; same dependency-free pattern as the CLI's `signal(2)`
+//!   and the server's `poll(2)` shims);
+//! * reinterpreting mapped bytes as `&[u8]` / `&[u16]` / `&[u64]` after
+//!   explicit bounds *and alignment* checks (mappings are page-aligned,
+//!   so checking the offset suffices);
+//! * fabricating the `'static` lifetime a [`SliceView`] carries. The
+//!   view pairs every slice with an `Arc<SnapshotMap>` owner, the map is
+//!   never mutated, and `munmap` runs only in `Drop` — after the last
+//!   owner (hence the last view) is gone. `MipIndex` holds the same
+//!   `Arc`, so the server's generation pinning keeps superseded maps
+//!   alive until their sessions drain.
+
+use super::format::{corrupt, io_err, SEC_HEADER, SEC_STATS};
+use super::layout::{
+    align_up, DIR_ENTRY_LEN, HEAD_LEN, KIND_ARRAY, KIND_BITMAP, KIND_RUNS, MAX_DIR_ENTRIES,
+    SECTION_ALIGN, SEC_CFI_META, SEC_CFI_OFFSETS, SEC_RECORDS16, SEC_TIDDATA, SEC_VERTICAL,
+    TAIL_LEN, TAIL_MAGIC,
+};
+use super::{decode_itemset, SnapshotHeader, SnapshotStats};
+use crate::cost::CostConstants;
+use crate::error::ColarmError;
+use crate::mip::{MipIndex, MipIndexConfig};
+use colarm_data::codec::{crc32, crc32_par, Cursor};
+use colarm_data::{ChunkView, Dataset, SliceView, Tidset, VerticalIndex, ViewOwner};
+use colarm_mine::ClosedItemset;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::format::{FORMAT_VERSION, MAGIC};
+
+/// When a mapped snapshot's per-section checksums are verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationMode {
+    /// Verify every section CRC before the load returns (pays a full
+    /// sequential read of the file up front).
+    Eager,
+    /// Verify structure (and the CRCs of everything parsed at load),
+    /// defer each bulk section's CRC to the first operation reading its
+    /// bytes (the default): the first query pays the tidset-data
+    /// checksum, and the record matrix — which queries never read — is
+    /// checked only if something re-saves or captures the snapshot.
+    Lazy,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void // MAP_FAILED == (void *)-1
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// The bytes behind a [`SnapshotMap`]: a real mapping on unix, an
+/// 8-aligned heap buffer elsewhere (same byte-for-byte view, no platform
+/// behavior divergence above this enum).
+enum Backing {
+    #[cfg(unix)]
+    Map { ptr: *const u8, len: usize },
+    #[cfg(not(unix))]
+    Heap { words: Vec<u64>, len: usize },
+}
+
+// SAFETY: the backing is read-only for its entire lifetime — PROT_READ
+// mapping (or an owned buffer nothing mutates), no interior mutability —
+// so shared references from any thread are sound.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        {
+            let Backing::Map { ptr, len } = *self;
+            // SAFETY: ptr/len are exactly what mmap returned; views hold
+            // an Arc of the owning SnapshotMap, so none outlive this.
+            unsafe {
+                sys::munmap(ptr as *mut _, len);
+            }
+        }
+    }
+}
+
+/// One row of the parsed section directory.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    tag: u8,
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+/// CRC-validation state shared by every query thread.
+#[derive(Debug, Default)]
+struct PendingState {
+    /// Indices (into `sections`) still awaiting their checksum pass.
+    pending: Vec<usize>,
+    /// The sticky failure, once any section's checksum has failed.
+    failed: Option<ColarmError>,
+}
+
+/// A read-only mapped v4 snapshot. See the module docs for the
+/// validation phases; see `load_v4` for turning one into a
+/// [`MipIndex`].
+pub struct SnapshotMap {
+    backing: Backing,
+    path: PathBuf,
+    sections: Vec<SectionEntry>,
+    pending: Mutex<PendingState>,
+    /// Fast path: every section checksum has passed.
+    all_valid: AtomicBool,
+    /// Fast path: every section a *query* reads has passed (everything
+    /// except the record matrix).
+    query_valid: AtomicBool,
+    /// The record matrix passed the deferred per-value domain sweep,
+    /// run by `MipIndex::ensure_validated` after the CRC pass.
+    domains_ok: AtomicBool,
+}
+
+impl fmt::Debug for SnapshotMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotMap")
+            .field("path", &self.path)
+            .field("len", &self.bytes().len())
+            .field("sections", &self.sections.len())
+            .field("all_valid", &self.all_valid.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ViewOwner for SnapshotMap {}
+
+impl SnapshotMap {
+    /// Map `path` and run the eager validation phase. Returns the map
+    /// with the requested laziness for the bulk-section checksums.
+    pub fn open(path: &Path, mode: ValidationMode) -> Result<Arc<SnapshotMap>, ColarmError> {
+        if cfg!(target_endian = "big") {
+            // The whole point of the mapped path is reinterpreting
+            // little-endian payloads in place; on a big-endian host that
+            // would read garbage. (The framed v1–v3 reader is
+            // endian-correct everywhere.)
+            return Err(corrupt(
+                "mapped snapshots require a little-endian host; \
+                 re-save as a framed (v3) snapshot to load here",
+            ));
+        }
+        let file = std::fs::File::open(path)
+            .map_err(|e| io_err(&format!("opening snapshot {}", path.display()), e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| io_err("inspecting snapshot", e))?
+            .len();
+        let min_len = HEAD_LEN + TAIL_LEN;
+        if file_len < min_len {
+            return Err(corrupt(format!(
+                "mapped snapshot {} is {file_len} bytes; a v4 file is at least {min_len}",
+                path.display()
+            )));
+        }
+        let len: usize = file_len
+            .try_into()
+            .map_err(|_| corrupt("snapshot is larger than this platform's address space"))?;
+        let backing = Backing::new(&file, len)?;
+        drop(file);
+        let mut map = SnapshotMap {
+            backing,
+            path: path.to_path_buf(),
+            sections: Vec::new(),
+            pending: Mutex::new(PendingState::default()),
+            all_valid: AtomicBool::new(false),
+            query_valid: AtomicBool::new(false),
+            domains_ok: AtomicBool::new(false),
+        };
+        map.validate_structure()?;
+        let map = Arc::new(map);
+        if mode == ValidationMode::Eager {
+            map.validate_pending()?;
+        }
+        Ok(map)
+    }
+
+    /// The entire mapped file.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful PROT_READ mmap that
+            // lives until Drop; the memory is never written through this
+            // mapping.
+            Backing::Map { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            #[cfg(not(unix))]
+            // SAFETY: reinterpreting an owned, initialized u64 buffer as
+            // bytes; `len` never exceeds `words.len() * 8`.
+            Backing::Heap { words, len } => unsafe {
+                std::slice::from_raw_parts(words.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+
+    /// The directory entry for `tag`, if the snapshot has that section.
+    fn section(&self, tag: u8) -> Option<&SectionEntry> {
+        self.sections.iter().find(|s| s.tag == tag)
+    }
+
+    /// The payload bytes of section `tag` (which must exist).
+    fn section_bytes(&self, tag: u8) -> &[u8] {
+        let s = self.section(tag).expect("required section was validated");
+        &self.bytes()[s.offset as usize..(s.offset + s.len) as usize]
+    }
+
+    /// Eager phase: parse and cross-check head, tail, directory, section
+    /// table; verify HEADER and STATS payload CRCs; queue the rest.
+    fn validate_structure(&mut self) -> Result<(), ColarmError> {
+        let bytes = self.bytes();
+        let flen = bytes.len() as u64;
+        let head = &bytes[..HEAD_LEN as usize];
+        if head[0..8] != MAGIC {
+            return Err(corrupt("not a binary COLARM snapshot (bad magic)"));
+        }
+        let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "mapped loader got format version {version}, expected {FORMAT_VERSION}"
+            )));
+        }
+        let flags = u32::from_le_bytes(head[12..16].try_into().expect("4 bytes"));
+        if flags != 0 {
+            return Err(corrupt(format!("unknown head flags {flags:#010x}")));
+        }
+        if head[16..].iter().any(|&b| b != 0) {
+            return Err(corrupt("non-zero head padding"));
+        }
+
+        let tail = &bytes[(flen - TAIL_LEN) as usize..];
+        if tail[32..40] != TAIL_MAGIC {
+            return Err(corrupt(
+                "truncated snapshot: the fixed tail record is missing its magic",
+            ));
+        }
+        let dir_offset = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+        let dir_count = u32::from_le_bytes(tail[8..12].try_into().expect("4 bytes"));
+        let dir_crc = u32::from_le_bytes(tail[12..16].try_into().expect("4 bytes"));
+        let tail_file_len = u64::from_le_bytes(tail[16..24].try_into().expect("8 bytes"));
+        let tail_version = u32::from_le_bytes(tail[24..28].try_into().expect("4 bytes"));
+        let reserved = u32::from_le_bytes(tail[28..32].try_into().expect("4 bytes"));
+        if tail_version != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "tail declares format version {tail_version}, head declares {FORMAT_VERSION}"
+            )));
+        }
+        if reserved != 0 {
+            return Err(corrupt("non-zero reserved field in tail"));
+        }
+        if tail_file_len != flen {
+            return Err(corrupt(format!(
+                "tail declares a {tail_file_len}-byte file but {flen} bytes are present \
+                 (truncated or extended)"
+            )));
+        }
+        if dir_count > MAX_DIR_ENTRIES {
+            return Err(corrupt(format!(
+                "directory declares {dir_count} entries (limit {MAX_DIR_ENTRIES})"
+            )));
+        }
+        let dir_len = dir_count as u64 * DIR_ENTRY_LEN;
+        if dir_offset % SECTION_ALIGN != 0
+            || dir_offset < HEAD_LEN
+            || dir_offset + dir_len + TAIL_LEN != flen
+        {
+            return Err(corrupt(format!(
+                "directory at {dir_offset} (+{dir_len}) does not abut the tail of a \
+                 {flen}-byte file"
+            )));
+        }
+        let dir_bytes = &bytes[dir_offset as usize..(dir_offset + dir_len) as usize];
+        let actual_crc = crc32(dir_bytes);
+        if actual_crc != dir_crc {
+            return Err(corrupt(format!(
+                "directory checksum mismatch: tail stores {dir_crc:#010x}, \
+                 computed {actual_crc:#010x}"
+            )));
+        }
+
+        const KNOWN: [u8; 7] = [
+            SEC_HEADER,
+            SEC_RECORDS16,
+            SEC_TIDDATA,
+            SEC_CFI_META,
+            SEC_CFI_OFFSETS,
+            SEC_VERTICAL,
+            SEC_STATS,
+        ];
+        let mut sections = Vec::with_capacity(dir_count as usize);
+        let mut expected_offset = HEAD_LEN;
+        for (i, row) in dir_bytes.chunks_exact(DIR_ENTRY_LEN as usize).enumerate() {
+            let tag = row[0];
+            if row[1..4] != [0, 0, 0] {
+                return Err(corrupt(format!("directory entry {i}: non-zero padding")));
+            }
+            let crc = u32::from_le_bytes(row[4..8].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(row[8..16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(row[16..24].try_into().expect("8 bytes"));
+            if !KNOWN.contains(&tag) {
+                return Err(corrupt(format!("directory entry {i}: unknown section tag {tag}")));
+            }
+            if sections.iter().any(|s: &SectionEntry| s.tag == tag) {
+                return Err(corrupt(format!("directory entry {i}: duplicate section tag {tag}")));
+            }
+            if offset % SECTION_ALIGN != 0 {
+                return Err(corrupt(format!(
+                    "section tag {tag} starts at misaligned offset {offset} \
+                     (sections are {SECTION_ALIGN}-byte aligned)"
+                )));
+            }
+            if offset != expected_offset {
+                return Err(corrupt(format!(
+                    "section tag {tag} at offset {offset}, expected {expected_offset} \
+                     (sections must be contiguous up to alignment padding)"
+                )));
+            }
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| e <= dir_offset)
+                .ok_or_else(|| {
+                    corrupt(format!(
+                        "section tag {tag} (offset {offset}, len {len}) overruns the directory"
+                    ))
+                })?;
+            let padded_end = align_up(end, SECTION_ALIGN);
+            if bytes[end as usize..padded_end.min(dir_offset) as usize]
+                .iter()
+                .any(|&b| b != 0)
+            {
+                return Err(corrupt(format!(
+                    "non-zero padding after section tag {tag} (bytes {end}..{padded_end})"
+                )));
+            }
+            expected_offset = padded_end;
+            sections.push(SectionEntry { tag, offset, len, crc });
+        }
+        if expected_offset != dir_offset {
+            return Err(corrupt(format!(
+                "unaccounted bytes {expected_offset}..{dir_offset} between the last \
+                 section and the directory"
+            )));
+        }
+        for required in [
+            SEC_HEADER,
+            SEC_RECORDS16,
+            SEC_TIDDATA,
+            SEC_CFI_META,
+            SEC_CFI_OFFSETS,
+            SEC_VERTICAL,
+        ] {
+            if !sections.iter().any(|s| s.tag == required) {
+                return Err(corrupt(format!("required section tag {required} is missing")));
+            }
+        }
+        self.sections = sections;
+
+        // Everything the loader parses before returning — HEADER, STATS
+        // and the three descriptor sections (all small) — is checksummed
+        // eagerly; only the two bulk payload sections (the record matrix
+        // and the tidset data) queue for the lazy first-touch pass.
+        let mut pending = Vec::new();
+        for (i, s) in self.sections.iter().enumerate() {
+            if s.tag == SEC_RECORDS16 || s.tag == SEC_TIDDATA {
+                pending.push(i);
+            } else {
+                self.check_section_crc(s)?;
+            }
+        }
+        self.pending = Mutex::new(PendingState {
+            pending,
+            failed: None,
+        });
+        Ok(())
+    }
+
+    fn check_section_crc(&self, s: &SectionEntry) -> Result<(), ColarmError> {
+        let payload = &self.bytes()[s.offset as usize..(s.offset + s.len) as usize];
+        // Spread bulk sections across the worker pool (CRC throughput is
+        // the cold-start floor); crc32_par is bit-identical to crc32.
+        let actual = crc32_par(payload, 0);
+        if actual != s.crc {
+            return Err(corrupt(format!(
+                "checksum mismatch in section (tag {}) at byte {}: \
+                 stored {:#010x}, computed {actual:#010x}",
+                s.tag, s.offset, s.crc
+            )));
+        }
+        Ok(())
+    }
+
+    /// Run every deferred section checksum. Cheap once complete (one
+    /// atomic load); concurrent callers serialize on the first pass and
+    /// then never contend again. A failure is sticky: every later call
+    /// returns the same error.
+    pub fn validate_pending(&self) -> Result<(), ColarmError> {
+        if self.all_valid.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.validate_where(|_| true)
+    }
+
+    /// Run the deferred checksums of every section a *query* reads —
+    /// everything still pending except the record matrix. Hooked at
+    /// subset resolution, so no answer is derived from unvalidated
+    /// tidset bytes.
+    pub(crate) fn validate_query_sections(&self) -> Result<(), ColarmError> {
+        if self.query_valid.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.validate_where(|tag| tag != SEC_RECORDS16)
+    }
+
+    /// Has the deferred record-domain sweep passed yet? (The sweep
+    /// itself lives on `MipIndex`, which owns the typed dataset view;
+    /// the map just carries the once-only flag so every index clone
+    /// sharing this mapping shares the result.)
+    pub(crate) fn domains_checked(&self) -> bool {
+        self.domains_ok.load(Ordering::Acquire)
+    }
+
+    /// Record that the deferred record-domain sweep passed.
+    pub(crate) fn set_domains_checked(&self) {
+        self.domains_ok.store(true, Ordering::Release);
+    }
+
+    /// The mapped file's path, for error context.
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Validate the pending sections `want` selects, in file order,
+    /// updating the fast-path flags and recording the first failure
+    /// stickily.
+    fn validate_where(&self, want: impl Fn(u8) -> bool) -> Result<(), ColarmError> {
+        let mut state = self.pending.lock().expect("snapshot validation lock");
+        if let Some(e) = &state.failed {
+            return Err(e.clone());
+        }
+        let mut failure: Option<ColarmError> = None;
+        // `retain` walks in order, so the error (if any) is always the
+        // first failing section by file position, at every thread count.
+        let sections = &self.sections;
+        let path = &self.path;
+        state.pending.retain(|&i| {
+            if failure.is_some() || !want(sections[i].tag) {
+                return true;
+            }
+            match self.check_section_crc(&sections[i]) {
+                Ok(()) => false,
+                Err(e) => {
+                    failure = Some(match e {
+                        ColarmError::Snapshot { message } => ColarmError::Snapshot {
+                            message: format!(
+                                "{message} (detected on first touch of lazily-validated \
+                                 snapshot {})",
+                                path.display()
+                            ),
+                        },
+                        other => other,
+                    });
+                    true
+                }
+            }
+        });
+        if let Some(e) = failure {
+            state.failed = Some(e.clone());
+            return Err(e);
+        }
+        if state.pending.is_empty() {
+            self.all_valid.store(true, Ordering::Release);
+        }
+        if !state
+            .pending
+            .iter()
+            .any(|&i| self.sections[i].tag != SEC_RECORDS16)
+        {
+            self.query_valid.store(true, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// A borrowed `&[u16]` view of `count` elements at absolute byte
+    /// `offset`, kept alive by this map. Rejects out-of-bounds and
+    /// misaligned offsets — alignment is a *format* guarantee, so a
+    /// misaligned descriptor is corruption, not a soundness event.
+    fn u16_view(self: &Arc<Self>, offset: u64, count: usize) -> Result<SliceView<u16>, ColarmError> {
+        let bytes = self.bytes();
+        let need = (count as u64) * 2;
+        if !offset.is_multiple_of(2) {
+            return Err(corrupt(format!(
+                "u16 payload at misaligned offset {offset}"
+            )));
+        }
+        if offset.checked_add(need).is_none_or(|e| e > bytes.len() as u64) {
+            return Err(corrupt(format!(
+                "u16 payload at {offset} (+{need}) overruns the {}-byte snapshot",
+                bytes.len()
+            )));
+        }
+        // SAFETY: bounds and alignment checked above; the base pointer is
+        // page-aligned (mmap) or 8-aligned (heap u64 buffer). The
+        // fabricated 'static lifetime is discharged by handing the view
+        // an Arc owner of this map, which keeps the bytes alive and
+        // unmapped-exactly-once after the last view drops.
+        let slice: &'static [u16] = unsafe {
+            std::slice::from_raw_parts(bytes.as_ptr().add(offset as usize) as *const u16, count)
+        };
+        Ok(SliceView::new(slice, self.clone()))
+    }
+
+    /// `u16_view`'s `u64` counterpart (bitmap words; 8-byte alignment).
+    fn u64_view(self: &Arc<Self>, offset: u64, count: usize) -> Result<SliceView<u64>, ColarmError> {
+        let bytes = self.bytes();
+        let need = (count as u64) * 8;
+        if !offset.is_multiple_of(8) {
+            return Err(corrupt(format!(
+                "u64 payload at misaligned offset {offset}"
+            )));
+        }
+        if offset.checked_add(need).is_none_or(|e| e > bytes.len() as u64) {
+            return Err(corrupt(format!(
+                "u64 payload at {offset} (+{need}) overruns the {}-byte snapshot",
+                bytes.len()
+            )));
+        }
+        // SAFETY: as in `u16_view`, with 8-byte alignment checked.
+        let slice: &'static [u64] = unsafe {
+            std::slice::from_raw_parts(bytes.as_ptr().add(offset as usize) as *const u64, count)
+        };
+        Ok(SliceView::new(slice, self.clone()))
+    }
+}
+
+impl Backing {
+    #[cfg(unix)]
+    fn new(file: &std::fs::File, len: usize) -> Result<Backing, ColarmError> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: mapping a whole, open file read-only; the result is
+        // checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(corrupt(format!(
+                "mmap of {len}-byte snapshot failed: {}",
+                std::io::Error::last_os_error()
+            )));
+        }
+        Ok(Backing::Map {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn new(file: &std::fs::File, len: usize) -> Result<Backing, ColarmError> {
+        use std::io::Read;
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: viewing an initialized u64 buffer as bytes for the read.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
+        let mut f = file;
+        f.read_exact(dst).map_err(|e| io_err("reading snapshot", e))?;
+        Ok(Backing::Heap { words, len })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v4 loader
+// ---------------------------------------------------------------------------
+
+/// Decode one tidset's descriptor block into borrowed chunk views.
+fn decode_tidset_meta(
+    map: &Arc<SnapshotMap>,
+    cur: &mut Cursor<'_>,
+    tiddata: (u64, u64),
+    universe: u32,
+    what: &str,
+) -> Result<Tidset, ColarmError> {
+    let (data_base, data_len) = tiddata;
+    let bad = |e: colarm_data::codec::CodecError| corrupt(format!("{what}: {e}"));
+    let n_chunks = cur.read_varint().map_err(bad)?;
+    if n_chunks > 1 << 16 {
+        return Err(corrupt(format!(
+            "{what}: {n_chunks} chunks exceeds the 2^16 chunk universe"
+        )));
+    }
+    let mut chunks: Vec<(u16, ChunkView)> = Vec::with_capacity(n_chunks as usize);
+    let mut prev_key: Option<u64> = None;
+    for _ in 0..n_chunks {
+        let delta = cur.read_varint().map_err(bad)?;
+        let key = match prev_key {
+            None => delta,
+            Some(p) => p + 1 + delta,
+        };
+        if key > u16::MAX as u64 {
+            return Err(corrupt(format!("{what}: chunk key {key} exceeds u16")));
+        }
+        prev_key = Some(key);
+        let in_data = |off: u64, bytes: u64| -> Result<u64, ColarmError> {
+            if off.checked_add(bytes).is_none_or(|e| e > data_len) {
+                return Err(corrupt(format!(
+                    "{what}: chunk payload at {off} (+{bytes}) overruns the \
+                     {data_len}-byte TIDDATA section"
+                )));
+            }
+            Ok(data_base + off)
+        };
+        let view = match cur.read_u8().map_err(bad)? {
+            KIND_ARRAY => {
+                let card = cur.read_varint().map_err(bad)?;
+                if !(1..=1 << 16).contains(&card) {
+                    return Err(corrupt(format!("{what}: array cardinality {card} out of range")));
+                }
+                let off = cur.read_varint().map_err(bad)?;
+                let abs = in_data(off, 2 * card)?;
+                ChunkView::Array(map.u16_view(abs, card as usize)?)
+            }
+            KIND_BITMAP => {
+                let n_words = cur.read_varint().map_err(bad)?;
+                if !(1..=1024).contains(&n_words) {
+                    return Err(corrupt(format!("{what}: bitmap has {n_words} words, expected 1..=1024")));
+                }
+                let card = cur.read_varint().map_err(bad)?;
+                let off = cur.read_varint().map_err(bad)?;
+                let abs = in_data(off, 8 * n_words)?;
+                if card > 64 * n_words {
+                    return Err(corrupt(format!(
+                        "{what}: bitmap cardinality {card} exceeds {n_words} words"
+                    )));
+                }
+                ChunkView::Bitmap {
+                    words: map.u64_view(abs, n_words as usize)?,
+                    card: card as u32,
+                }
+            }
+            KIND_RUNS => {
+                let n_runs = cur.read_varint().map_err(bad)?;
+                if !(1..=1 << 15).contains(&n_runs) {
+                    return Err(corrupt(format!("{what}: {n_runs} runs out of range")));
+                }
+                let mut runs = Vec::with_capacity(n_runs as usize);
+                let mut prev_end: i64 = -2;
+                for _ in 0..n_runs {
+                    let gap = cur.read_varint().map_err(bad)?;
+                    let len = cur.read_varint().map_err(bad)?;
+                    let s = (prev_end + 2).checked_add_unsigned(gap);
+                    let e = s.and_then(|s| s.checked_add_unsigned(len));
+                    match (s, e) {
+                        (Some(s), Some(e)) if e <= u16::MAX as i64 => {
+                            runs.push((s as u16, e as u16));
+                            prev_end = e;
+                        }
+                        _ => {
+                            return Err(corrupt(format!(
+                                "{what}: run exceeds the 16-bit chunk universe"
+                            )))
+                        }
+                    }
+                }
+                ChunkView::Runs(runs)
+            }
+            other => {
+                return Err(corrupt(format!("{what}: unknown container kind {other}")));
+            }
+        };
+        chunks.push((key as u16, view));
+    }
+    Tidset::from_chunk_views(chunks, universe).map_err(|e| corrupt(format!("{what}: {e}")))
+}
+
+/// Load a v4 snapshot through the mapped path: structural validation,
+/// zero-copy dataset / tidset views, persisted vertical index — no
+/// per-tid decode, no vertical rebuild.
+pub(crate) fn load_v4(
+    path: &Path,
+    mode: ValidationMode,
+) -> Result<(MipIndex, Option<CostConstants>), ColarmError> {
+    let map = SnapshotMap::open(path, mode)?;
+    let header = SnapshotHeader::decode(map.section_bytes(SEC_HEADER))?;
+    let stats = match map.section(SEC_STATS) {
+        Some(_) => Some(SnapshotStats::decode(map.section_bytes(SEC_STATS))?),
+        None => None,
+    };
+    let schema = header.schema.clone();
+    let num_items = schema.num_items() as u32;
+    let m = header.num_records;
+    let universe = m as u32;
+    let arity = schema.num_attributes() as u64;
+
+    // RECORDS16 → flat zero-copy dataset.
+    let rec = *map.section(SEC_RECORDS16).expect("validated");
+    let expected = m
+        .checked_mul(arity)
+        .and_then(|v| v.checked_mul(2))
+        .ok_or_else(|| corrupt("record matrix size overflows"))?;
+    if rec.len != expected {
+        return Err(corrupt(format!(
+            "RECORDS16 is {} bytes; header declares {m} records × {arity} attributes \
+             ({expected} bytes)",
+            rec.len
+        )));
+    }
+    let values = map.u16_view(rec.offset, (m * arity) as usize)?;
+    // Shape check only — the per-value domain sweep is deferred along
+    // with the RECORDS16 checksum to `MipIndex::ensure_validated`, so a
+    // lazy load never scans the record matrix (queries don't read it).
+    let dataset = Dataset::from_flat_deferred(schema.clone(), values, m as usize)
+        .map_err(|e| corrupt(format!("record matrix: {e}")))?;
+
+    // CFI_OFFSETS frame CFI_META.
+    let meta = *map.section(SEC_CFI_META).expect("validated");
+    let offs_sec = *map.section(SEC_CFI_OFFSETS).expect("validated");
+    if offs_sec.len % 8 != 0 || offs_sec.len < 8 {
+        return Err(corrupt(format!(
+            "CFI_OFFSETS is {} bytes, expected a non-empty multiple of 8",
+            offs_sec.len
+        )));
+    }
+    let n_cfis = (offs_sec.len / 8 - 1) as usize;
+    let offs_bytes =
+        &map.bytes()[offs_sec.offset as usize..(offs_sec.offset + offs_sec.len) as usize];
+    let offs: Vec<u64> = offs_bytes
+        .chunks_exact(8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .collect();
+    if offs[0] != 0 || offs[n_cfis] != meta.len {
+        return Err(corrupt(format!(
+            "CFI offset table spans {}..{}, expected 0..{}",
+            offs[0], offs[n_cfis], meta.len
+        )));
+    }
+    let tiddata = map.section(SEC_TIDDATA).expect("validated");
+    let tiddata = (tiddata.offset, tiddata.len);
+    let meta_bytes = &map.bytes()[meta.offset as usize..(meta.offset + meta.len) as usize];
+    let mut cfis: Vec<ClosedItemset> = Vec::with_capacity(n_cfis);
+    for i in 0..n_cfis {
+        let (start, end) = (offs[i], offs[i + 1]);
+        if start >= end || end > meta.len {
+            return Err(corrupt(format!(
+                "CFI {i} metadata spans {start}..{end} of a {}-byte section",
+                meta.len
+            )));
+        }
+        let mut cur = Cursor::new(&meta_bytes[start as usize..end as usize]);
+        let itemset = decode_itemset(&mut cur, num_items)?;
+        let what = format!("CFI {i} tidset");
+        let tids = decode_tidset_meta(&map, &mut cur, tiddata, universe, &what)?;
+        if !cur.is_empty() {
+            return Err(corrupt(format!(
+                "CFI {i} metadata has {} trailing bytes",
+                cur.remaining()
+            )));
+        }
+        cfis.push(ClosedItemset { itemset, tids });
+    }
+
+    // VERTICAL → persisted per-item tid-lists (no rebuild).
+    let vert = *map.section(SEC_VERTICAL).expect("validated");
+    let vert_bytes = &map.bytes()[vert.offset as usize..(vert.offset + vert.len) as usize];
+    let mut cur = Cursor::new(vert_bytes);
+    let declared_items = cur
+        .read_varint()
+        .map_err(|e| corrupt(format!("vertical index: {e}")))?;
+    if declared_items != num_items as u64 {
+        return Err(corrupt(format!(
+            "vertical index covers {declared_items} items, schema has {num_items}"
+        )));
+    }
+    let mut tidlists = Vec::with_capacity(num_items as usize);
+    for i in 0..num_items {
+        let what = format!("vertical tid-list for item {i}");
+        tidlists.push(decode_tidset_meta(&map, &mut cur, tiddata, universe, &what)?);
+    }
+    if !cur.is_empty() {
+        return Err(corrupt(format!(
+            "vertical index section has {} trailing bytes",
+            cur.remaining()
+        )));
+    }
+    let vertical = VerticalIndex::from_parts(tidlists, universe);
+
+    let config = MipIndexConfig {
+        primary_support: header.primary_support,
+        fanout: header.fanout,
+        packing: header.packing,
+        // A runtime knob, not an index property (as in the v3 reader).
+        threads: 0,
+        collect_stats: true,
+    };
+    let mut index = MipIndex::from_mapped_parts(dataset, config, cfis, vertical, map)?;
+    let constants = stats.map(|s| {
+        index.set_catalog(s.catalog);
+        s.constants
+    });
+    if mode == ValidationMode::Eager {
+        // Eager promises everything is checked before `load` returns —
+        // including the record-domain sweep the lazy path defers.
+        index.ensure_validated()?;
+    }
+    Ok((index, constants))
+}

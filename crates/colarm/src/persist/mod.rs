@@ -27,6 +27,8 @@
 //! never panics and never masquerades as a query-parse error.
 
 pub mod format;
+pub mod layout;
+pub mod mmap;
 
 use crate::cost::CostConstants;
 use crate::error::ColarmError;
@@ -36,9 +38,10 @@ use colarm_data::codec::{self, Cursor};
 use colarm_data::{Attribute, Dataset, DatasetBuilder, ItemId, Itemset, Schema, Tidset, ValueId};
 use colarm_mine::ClosedItemset;
 use format::{corrupt, io_err, CrcReader, CrcWriter};
-pub use format::{FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
+pub use format::{FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION, STREAM_VERSION};
+pub use mmap::ValidationMode;
 use serde::{Deserialize, Serialize};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -99,7 +102,7 @@ impl SnapshotHeader {
         }
     }
 
-    fn encode(&self) -> Vec<u8> {
+    pub(crate) fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.primary_support.to_le_bytes());
         codec::write_varint(&mut out, self.fanout as u64);
@@ -116,7 +119,7 @@ impl SnapshotHeader {
         out
     }
 
-    fn decode(payload: &[u8]) -> Result<SnapshotHeader, ColarmError> {
+    pub(crate) fn decode(payload: &[u8]) -> Result<SnapshotHeader, ColarmError> {
         let mut cur = Cursor::new(payload);
         let result = Self::decode_fields(&mut cur).map_err(|e| corrupt(format!("header: {e}")))?;
         if !cur.is_empty() {
@@ -192,7 +195,7 @@ impl SnapshotHeader {
 // Itemset codec (delta varints, like sparse tidsets)
 // ---------------------------------------------------------------------------
 
-fn encode_itemset(out: &mut Vec<u8>, itemset: &Itemset) {
+pub(crate) fn encode_itemset(out: &mut Vec<u8>, itemset: &Itemset) {
     let items = itemset.items();
     codec::write_varint(out, items.len() as u64);
     let mut prev = 0u32;
@@ -204,7 +207,7 @@ fn encode_itemset(out: &mut Vec<u8>, itemset: &Itemset) {
     }
 }
 
-fn decode_itemset(cur: &mut Cursor<'_>, num_items: u32) -> Result<Itemset, ColarmError> {
+pub(crate) fn decode_itemset(cur: &mut Cursor<'_>, num_items: u32) -> Result<Itemset, ColarmError> {
     let at = cur.pos();
     let len = cur
         .read_varint()
@@ -256,7 +259,7 @@ pub struct SnapshotStats {
 }
 
 impl SnapshotStats {
-    fn encode(&self) -> Vec<u8> {
+    pub(crate) fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         let c = &self.constants;
         for v in [
@@ -280,7 +283,7 @@ impl SnapshotStats {
         out
     }
 
-    fn decode(payload: &[u8]) -> Result<SnapshotStats, ColarmError> {
+    pub(crate) fn decode(payload: &[u8]) -> Result<SnapshotStats, ColarmError> {
         let mut cur = Cursor::new(payload);
         let mut next = || -> Result<f64, ColarmError> {
             let bytes = cur
@@ -362,7 +365,10 @@ impl<W: Write> SnapshotWriter<W> {
     pub fn new(inner: W, header: &SnapshotHeader) -> Result<SnapshotWriter<W>, ColarmError> {
         let mut w = CrcWriter::new(inner);
         w.write_all(&MAGIC)?;
-        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        // The streaming writer produces the framed sequential layout,
+        // whose newest revision is v3; v4 files are written by
+        // `persist::layout` and loaded via the mapped path.
+        w.write_all(&STREAM_VERSION.to_le_bytes())?;
         w.write_section(format::SEC_HEADER, &header.encode())?;
         Ok(SnapshotWriter {
             w,
@@ -748,10 +754,11 @@ where
     result
 }
 
-/// Stream a built index into a binary snapshot at `path` (atomic
+/// Write a built index into a binary snapshot at `path` (atomic
 /// temp-file + `rename`; the index is never serialized in memory).
-/// Returns the snapshot size in bytes. Persists the index's statistics
-/// catalog with *default* cost constants; use
+/// Writes the current aligned v4 layout, designed for in-place mmap
+/// loading. Returns the snapshot size in bytes. Persists the index's
+/// statistics catalog with *default* cost constants; use
 /// [`save_index_with_constants`] to persist fitted calibration.
 pub fn save_index(index: &MipIndex, path: impl AsRef<Path>) -> Result<u64, ColarmError> {
     save_index_with_constants(index, CostConstants::default(), path)
@@ -764,6 +771,27 @@ pub fn save_index_with_constants(
     constants: CostConstants,
     path: impl AsRef<Path>,
 ) -> Result<u64, ColarmError> {
+    // Re-saving reads every mapped byte (records included), so finish
+    // any deferred checksum validation first — never persist bytes that
+    // haven't been signed off.
+    index.ensure_validated()?;
+    let stats = SnapshotStats {
+        catalog: index.catalog().cloned(),
+        constants,
+    };
+    write_atomic(path.as_ref(), |out| layout::write_v4(out, index, &stats))
+}
+
+/// Write the *framed v3* layout instead of v4 — the owned-decode
+/// baseline for the cold-start benchmark, and an escape hatch for
+/// tooling pinned to the sequential-stream format. Carries the same
+/// STATS payload as [`save_index_with_constants`].
+pub fn save_index_v3_with_constants(
+    index: &MipIndex,
+    constants: CostConstants,
+    path: impl AsRef<Path>,
+) -> Result<u64, ColarmError> {
+    index.ensure_validated()?;
     let header = SnapshotHeader::for_index(index);
     let stats = SnapshotStats {
         catalog: index.catalog().cloned(),
@@ -783,9 +811,20 @@ pub fn save_index_with_constants(
     })
 }
 
-/// True when the file starts with the binary snapshot magic. Rewinds.
-fn starts_with_magic(file: &mut std::fs::File) -> Result<bool, ColarmError> {
-    let mut head = [0u8; 8];
+/// What the first bytes of a snapshot file say about its format.
+enum Sniff {
+    /// `COLARMIX` magic plus the declared format version.
+    Binary(u32),
+    /// No magic: the legacy JSON representation (or garbage — the JSON
+    /// reader reports that cleanly).
+    Legacy,
+}
+
+/// Decide binary-vs-legacy by reading only the 12-byte header prefix —
+/// never the whole file. An empty file is its own clean error rather
+/// than a JSON-parse failure.
+fn sniff_prefix(file: &mut std::fs::File, path: &Path) -> Result<Sniff, ColarmError> {
+    let mut head = [0u8; 12];
     let mut read = 0;
     while read < head.len() {
         match file.read(&mut head[read..]) {
@@ -795,12 +834,22 @@ fn starts_with_magic(file: &mut std::fs::File) -> Result<bool, ColarmError> {
             Err(e) => return Err(io_err("reading snapshot", e)),
         }
     }
-    file.seek(SeekFrom::Start(0))
-        .map_err(|e| io_err("reading snapshot", e))?;
-    Ok(read == head.len() && head == MAGIC)
+    if read == 0 {
+        return Err(corrupt(format!(
+            "snapshot {} is empty (0 bytes)",
+            path.display()
+        )));
+    }
+    if read >= head.len() && head[..8] == MAGIC {
+        let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+        return Ok(Sniff::Binary(version));
+    }
+    Ok(Sniff::Legacy)
 }
 
 fn read_legacy_json(mut file: std::fs::File) -> Result<IndexSnapshot, ColarmError> {
+    use std::io::Seek;
+    file.rewind().map_err(|e| io_err("reading snapshot", e))?;
     let mut text = String::new();
     file.read_to_string(&mut text).map_err(|e| {
         if e.kind() == std::io::ErrorKind::InvalidData {
@@ -812,9 +861,11 @@ fn read_legacy_json(mut file: std::fs::File) -> Result<IndexSnapshot, ColarmErro
     IndexSnapshot::from_json(&text)
 }
 
-/// Load an index snapshot from `path`, auto-detecting the binary format
-/// vs legacy JSON by the leading magic bytes. Drops persisted cost
-/// constants; see [`load_index_with_constants`].
+/// Load an index snapshot from `path`, auto-detecting the format from
+/// the 12-byte header prefix: v4 loads through the zero-copy mapped path
+/// (lazy CRC validation by default), v1–v3 through the streaming owned
+/// decoder, and files without the magic as legacy JSON. Drops persisted
+/// cost constants; see [`load_index_with_constants`].
 pub fn load_index(path: impl AsRef<Path>) -> Result<MipIndex, ColarmError> {
     Ok(load_index_with_constants(path)?.0)
 }
@@ -822,17 +873,39 @@ pub fn load_index(path: impl AsRef<Path>) -> Result<MipIndex, ColarmError> {
 /// [`load_index`] also returning the persisted fitted cost constants:
 /// `None` for legacy JSON and v1/v2 (stats-less) snapshots, whose callers
 /// keep their defaults. The statistics catalog, when present, is attached
-/// to the returned index.
+/// to the returned index. v4 snapshots map with
+/// [`ValidationMode::Lazy`]; use [`load_index_with_mode`] to choose.
 pub fn load_index_with_constants(
     path: impl AsRef<Path>,
+) -> Result<(MipIndex, Option<CostConstants>), ColarmError> {
+    load_index_with_mode(path, ValidationMode::Lazy)
+}
+
+/// [`load_index_with_constants`] with an explicit [`ValidationMode`] for
+/// v4 mapped loads: `Eager` checksums every section before returning,
+/// `Lazy` defers non-header section CRCs to the first query. The mode is
+/// ignored for v1–v3 and legacy JSON snapshots, whose decoders always
+/// validate everything up front.
+pub fn load_index_with_mode(
+    path: impl AsRef<Path>,
+    mode: ValidationMode,
 ) -> Result<(MipIndex, Option<CostConstants>), ColarmError> {
     let path = path.as_ref();
     let mut file = std::fs::File::open(path)
         .map_err(|e| io_err(&format!("opening snapshot {}", path.display()), e))?;
-    if starts_with_magic(&mut file)? {
-        SnapshotReader::new(std::io::BufReader::new(file))?.restore_with_constants()
-    } else {
-        Ok((read_legacy_json(file)?.restore()?, None))
+    match sniff_prefix(&mut file, path)? {
+        Sniff::Binary(FORMAT_VERSION) => {
+            drop(file);
+            mmap::load_v4(path, mode)
+        }
+        Sniff::Binary(_) => {
+            // v1–v3 (or an unknown version, which read_preamble rejects
+            // with the canonical message).
+            use std::io::Seek;
+            file.rewind().map_err(|e| io_err("reading snapshot", e))?;
+            SnapshotReader::new(std::io::BufReader::new(file))?.restore_with_constants()
+        }
+        Sniff::Legacy => Ok((read_legacy_json(file)?.restore()?, None)),
     }
 }
 
@@ -863,6 +936,10 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 
 impl IndexSnapshot {
     /// Capture a snapshot of a built index.
+    /// On a *lazily-validated mapped* index, call
+    /// [`MipIndex::ensure_validated`] first (or load with
+    /// [`ValidationMode::Eager`]): the captured snapshot borrows mapped
+    /// bytes that serializing it will read.
     pub fn capture(index: &MipIndex) -> IndexSnapshot {
         let config = index.config();
         IndexSnapshot {
@@ -950,19 +1027,30 @@ impl IndexSnapshot {
         let path = path.as_ref();
         let mut file = std::fs::File::open(path)
             .map_err(|e| io_err(&format!("opening snapshot {}", path.display()), e))?;
-        if starts_with_magic(&mut file)? {
-            let reader = SnapshotReader::new(std::io::BufReader::new(file))?;
-            let (dataset, config, cfis) = reader.read_parts()?;
-            Ok(IndexSnapshot {
-                version: SNAPSHOT_VERSION,
-                dataset,
-                primary_support: config.primary_support,
-                fanout: config.fanout,
-                packing: packing_to_byte(config.packing),
-                cfis: cfis.into_iter().map(|c| (c.itemset, c.tids)).collect(),
-            })
-        } else {
-            read_legacy_json(file)
+        match sniff_prefix(&mut file, path)? {
+            Sniff::Binary(FORMAT_VERSION) => {
+                // Capture from a fully (eagerly) validated mapped load;
+                // the captured snapshot owns everything it needs, so the
+                // mapping is released when the index drops here.
+                drop(file);
+                let (index, _) = mmap::load_v4(path, ValidationMode::Eager)?;
+                Ok(IndexSnapshot::capture(&index))
+            }
+            Sniff::Binary(_) => {
+                use std::io::Seek;
+                file.rewind().map_err(|e| io_err("reading snapshot", e))?;
+                let reader = SnapshotReader::new(std::io::BufReader::new(file))?;
+                let (dataset, config, cfis) = reader.read_parts()?;
+                Ok(IndexSnapshot {
+                    version: SNAPSHOT_VERSION,
+                    dataset,
+                    primary_support: config.primary_support,
+                    fanout: config.fanout,
+                    packing: packing_to_byte(config.packing),
+                    cfis: cfis.into_iter().map(|c| (c.itemset, c.tids)).collect(),
+                })
+            }
+            Sniff::Legacy => read_legacy_json(file),
         }
     }
 }

@@ -5,19 +5,176 @@ use crate::error::DataError;
 use crate::itemset::Itemset;
 use crate::schema::Schema;
 use crate::tidset::Tidset;
+use crate::view::SliceView;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// The physical record storage behind a [`Dataset`]: either owned rows
+/// (the builder / decode path) or a borrowed row-major value matrix (the
+/// zero-copy snapshot-mapping path). Both expose records as `&[ValueId]`
+/// slices, so everything above this enum is representation-independent.
+#[derive(Debug, Clone)]
+enum RecordStore {
+    /// `rows[t][a]` = value code of attribute `a` in record `t`.
+    Rows(Vec<Box<[ValueId]>>),
+    /// Row-major `m × arity` matrix borrowed from a mapped snapshot.
+    Flat {
+        values: SliceView<ValueId>,
+        arity: usize,
+        count: usize,
+    },
+}
+
+impl RecordStore {
+    fn len(&self) -> usize {
+        match self {
+            RecordStore::Rows(rows) => rows.len(),
+            RecordStore::Flat { count, .. } => *count,
+        }
+    }
+
+    #[inline]
+    fn row(&self, tid: u32) -> &[ValueId] {
+        match self {
+            RecordStore::Rows(rows) => &rows[tid as usize],
+            RecordStore::Flat { values, arity, .. } => {
+                &values.as_slice()[tid as usize * arity..][..*arity]
+            }
+        }
+    }
+}
+
 /// A relational dataset: a schema plus `m` records, each holding exactly one
 /// value code per attribute (paper §2.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Arc<Schema>,
-    /// `records[t][a]` = value code of attribute `a` in record `t`.
-    records: Vec<Box<[ValueId]>>,
+    records: RecordStore,
+}
+
+// Serde preserves the legacy JSON shape (`records` as a list of rows)
+// regardless of the physical store, so flat-backed datasets serialize
+// identically to owned ones and old snapshots keep deserializing.
+impl Serialize for Dataset {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("Dataset", 2)?;
+        st.serialize_field("schema", &self.schema)?;
+        let rows: Vec<&[ValueId]> = (0..self.num_records() as u32)
+            .map(|t| self.record(t))
+            .collect();
+        st.serialize_field("records", &rows)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Dataset {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Dataset, D::Error> {
+        #[derive(Deserialize)]
+        struct DatasetDe {
+            schema: Arc<Schema>,
+            records: Vec<Box<[ValueId]>>,
+        }
+        let de = DatasetDe::deserialize(deserializer)?;
+        Ok(Dataset {
+            schema: de.schema,
+            records: RecordStore::Rows(de.records),
+        })
+    }
 }
 
 impl Dataset {
+    /// Wrap a borrowed row-major `count × arity` value matrix (the
+    /// zero-copy snapshot-mapping path). Every value code is validated
+    /// against its attribute's domain up front — a flat dataset must be
+    /// as panic-free under indexing as a builder-validated one — but no
+    /// per-record allocation happens, which is what makes mapped loading
+    /// O(values) compares instead of O(records) heap traffic.
+    pub fn from_flat(
+        schema: Arc<Schema>,
+        values: SliceView<ValueId>,
+        count: usize,
+    ) -> Result<Dataset, DataError> {
+        let dataset = Self::from_flat_deferred(schema, values, count)?;
+        dataset.validate_domains()?;
+        Ok(dataset)
+    }
+
+    /// [`Dataset::from_flat`] with the per-value domain sweep deferred:
+    /// only the shape (`count × arity == len`) is checked here, and the
+    /// caller promises to run [`Dataset::validate_domains`] before any
+    /// record value is read. The checksummed snapshot-mapping path uses
+    /// this to fold the sweep into its deferred section validation, so a
+    /// lazily-validated load never scans bytes the first query does not
+    /// touch.
+    pub fn from_flat_deferred(
+        schema: Arc<Schema>,
+        values: SliceView<ValueId>,
+        count: usize,
+    ) -> Result<Dataset, DataError> {
+        let arity = schema.num_attributes();
+        let expected = count
+            .checked_mul(arity)
+            .ok_or(DataError::ArityMismatch { expected: arity, got: usize::MAX })?;
+        if values.len() != expected {
+            return Err(DataError::ArityMismatch {
+                expected,
+                got: values.len(),
+            });
+        }
+        Ok(Dataset {
+            schema,
+            records: RecordStore::Flat {
+                values,
+                arity,
+                count,
+            },
+        })
+    }
+
+    /// Check every stored value code against its attribute's domain.
+    /// Always true for builder-constructed row storage (values are
+    /// validated at insert); for a flat matrix wrapped with
+    /// [`Dataset::from_flat_deferred`] this is the deferred sweep.
+    pub fn validate_domains(&self) -> Result<(), DataError> {
+        let RecordStore::Flat { values, arity, .. } = &self.records else {
+            return Ok(());
+        };
+        let arity = *arity;
+        let domains: Vec<usize> = (0..arity)
+            .map(|a| self.schema.attribute(AttributeId(a as u16)).domain_size())
+            .collect();
+        // Fast path first: one branch-free compare against the smallest
+        // domain vectorizes to a SIMD sweep over the whole matrix and
+        // accepts almost every valid snapshot without touching the
+        // per-attribute table. Only when some value clears that bar does
+        // the exact per-column scan run to locate (or clear) it.
+        let vals = values.as_slice();
+        let min_domain = domains.iter().copied().min().unwrap_or(0);
+        let fast_ok = match ValueId::try_from(min_domain) {
+            // A max-reduction has no early exit, so it vectorizes; the
+            // rare failure falls through to the exact per-attribute scan.
+            Ok(limit) => vals.iter().copied().max().unwrap_or(0) < limit,
+            // The smallest domain covers the whole ValueId range.
+            Err(_) => true,
+        };
+        if !fast_ok {
+            for row in vals.chunks_exact(arity) {
+                for (a, (&v, &domain)) in row.iter().zip(&domains).enumerate() {
+                    if v as usize >= domain {
+                        let attr = self.schema.attribute(AttributeId(a as u16));
+                        return Err(DataError::ValueOutOfDomain {
+                            attribute: attr.name().to_string(),
+                            code: v,
+                            domain: attr.domain_size(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The dataset's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -31,20 +188,17 @@ impl Dataset {
     /// Value code of attribute `a` in record `tid`.
     #[inline]
     pub fn value(&self, tid: u32, attribute: AttributeId) -> ValueId {
-        self.records[tid as usize][attribute.index()]
+        self.records.row(tid)[attribute.index()]
     }
 
     /// The full record, as value codes in schema order.
     pub fn record(&self, tid: u32) -> &[ValueId] {
-        &self.records[tid as usize]
+        self.records.row(tid)
     }
 
     /// Iterate `(tid, record)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[ValueId])> {
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(t, r)| (t as u32, r.as_ref()))
+        (0..self.num_records() as u32).map(move |t| (t, self.records.row(t)))
     }
 
     /// True when record `tid` supports (contains) every item of `itemset`.
@@ -68,10 +222,9 @@ impl Dataset {
     pub fn select_records(&self, tids: &crate::tidset::Tidset) -> Dataset {
         Dataset {
             schema: self.schema.clone(),
-            records: tids
-                .iter()
-                .map(|t| self.records[t as usize].clone())
-                .collect(),
+            records: RecordStore::Rows(
+                tids.iter().map(|t| self.records.row(t).into()).collect(),
+            ),
         }
     }
 
@@ -89,10 +242,9 @@ impl Dataset {
                 .map(|&a| self.schema.attribute(a).clone())
                 .collect(),
         )?);
-        let records = self
-            .records
-            .iter()
-            .map(|r| {
+        let records = (0..self.num_records() as u32)
+            .map(|t| {
+                let r = self.records.row(t);
                 attributes
                     .iter()
                     .map(|&a| r[a.index()])
@@ -100,7 +252,10 @@ impl Dataset {
                     .into()
             })
             .collect();
-        Ok(Dataset { schema, records })
+        Ok(Dataset {
+            schema,
+            records: RecordStore::Rows(records),
+        })
     }
 
     /// The record encoded as a sorted itemset of its `n` items.
@@ -178,7 +333,7 @@ impl DatasetBuilder {
     pub fn build(self) -> Dataset {
         Dataset {
             schema: self.schema,
-            records: self.records,
+            records: RecordStore::Rows(self.records),
         }
     }
 }
@@ -208,6 +363,18 @@ impl VerticalIndex {
         VerticalIndex {
             tidlists: lists.into_iter().map(Tidset::from_sorted).collect(),
             num_records: dataset.num_records() as u32,
+        }
+    }
+
+    /// Reassemble a vertical index from persisted per-item tid-lists —
+    /// the snapshot load path, which skips the O(records × arity)
+    /// rebuild of [`VerticalIndex::build`]. The caller (the snapshot
+    /// loader) is responsible for supplying one tid-list per item of the
+    /// accompanying schema, each bounded by `num_records`.
+    pub fn from_parts(tidlists: Vec<Tidset>, num_records: u32) -> Self {
+        VerticalIndex {
+            tidlists,
+            num_records,
         }
     }
 

@@ -33,6 +33,8 @@
 //!   backing the binary index-snapshot format (`colarm::persist`),
 //!   including the delta-varint / raw-bitmap [`Tidset`] encoding.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod attribute;
 pub mod codec;
 pub mod dataset;
@@ -46,6 +48,7 @@ pub mod schema;
 pub mod subset;
 pub mod synth;
 pub mod tidset;
+pub mod view;
 
 pub use attribute::{Attribute, AttributeId, Item, ItemId, ValueId};
 pub use dataset::{Dataset, DatasetBuilder, VerticalIndex};
@@ -54,4 +57,5 @@ pub use itemset::Itemset;
 pub use schema::{Schema, SchemaBuilder};
 pub use metrics::{Meter, OpMetrics};
 pub use subset::{FocalSubset, Overlap, RangeSpec};
-pub use tidset::{ContainerKind, Tidset, TidsetKind};
+pub use tidset::{ChunkRef, ChunkView, ContainerKind, Tidset, TidsetKind};
+pub use view::{SliceView, ViewOwner};

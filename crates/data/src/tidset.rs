@@ -36,7 +36,8 @@ mod container;
 pub use container::ContainerKind;
 
 use crate::codec::{self, CodecError, Cursor};
-use container::{Container, ContainerIter, CHUNK_BITS};
+use crate::view::SliceView;
+use container::{Container, ContainerIter, Repr, CHUNK_BITS};
 use serde::de::{SeqAccess, Visitor};
 use serde::ser::SerializeSeq;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -92,6 +93,32 @@ pub enum TidsetKind {
 pub struct Tidset {
     chunks: Vec<Chunk>,
     len: usize,
+}
+
+/// One chunk's payload borrowed out of a [`Tidset`] for serialization
+/// (see [`Tidset::chunk_refs`]). Mirrors the three container layouts.
+#[derive(Debug, Clone, Copy)]
+pub enum ChunkRef<'a> {
+    /// Strictly sorted low 16 bits.
+    Array(&'a [u16]),
+    /// Packed bitmap words plus the cached population count.
+    Bitmap { words: &'a [u64], card: u32 },
+    /// Sorted maximal inclusive `(start, end)` intervals.
+    Runs(&'a [(u16, u16)]),
+}
+
+/// One chunk's payload handed *into* a [`Tidset`] by the zero-copy
+/// snapshot loader (see [`Tidset::from_chunk_views`]). Array and Bitmap
+/// payloads borrow mapped file memory through a [`SliceView`]; Runs are
+/// always owned.
+#[derive(Debug, Clone)]
+pub enum ChunkView {
+    /// Strictly sorted low 16 bits, borrowed.
+    Array(SliceView<u16>),
+    /// Packed bitmap words, borrowed, plus the declared population count.
+    Bitmap { words: SliceView<u64>, card: u32 },
+    /// Sorted maximal inclusive intervals, owned.
+    Runs(Vec<(u16, u16)>),
 }
 
 impl Tidset {
@@ -478,8 +505,8 @@ impl Tidset {
             };
             codec::write_varint(out, delta);
             prev_key = c.key as u32;
-            match &c.container {
-                Container::Array(v) => {
+            match c.container.repr() {
+                Repr::Array(v) => {
                     out.push(0);
                     codec::write_varint(out, v.len() as u64);
                     let mut prev = 0u32;
@@ -493,15 +520,15 @@ impl Tidset {
                         prev = low as u32;
                     }
                 }
-                Container::Bitmap { words, card } => {
+                Repr::Bitmap { words, card } => {
                     out.push(1);
-                    codec::write_varint(out, *card as u64);
+                    codec::write_varint(out, card as u64);
                     codec::write_varint(out, words.len() as u64);
                     for &w in words {
                         out.extend_from_slice(&w.to_le_bytes());
                     }
                 }
-                Container::Runs(runs) => {
+                Repr::Runs(runs) => {
                     out.push(2);
                     codec::write_varint(out, runs.len() as u64);
                     let mut prev_end = 0u32;
@@ -518,6 +545,101 @@ impl Tidset {
                 }
             }
         }
+    }
+
+    /// Borrowed per-chunk payloads in key order — the snapshot writer's
+    /// window into the physical layout. Each item is `(chunk key,
+    /// payload)`; the payload borrows straight from the container (owned
+    /// or view) without copying.
+    pub fn chunk_refs(&self) -> impl Iterator<Item = (u16, ChunkRef<'_>)> + '_ {
+        self.chunks.iter().map(|c| {
+            let payload = match c.container.repr() {
+                Repr::Array(v) => ChunkRef::Array(v),
+                Repr::Bitmap { words, card } => ChunkRef::Bitmap { words, card },
+                Repr::Runs(r) => ChunkRef::Runs(r),
+            };
+            (c.key, payload)
+        })
+    }
+
+    /// Assemble a tidset from per-chunk payloads produced by a trusted
+    /// writer — the zero-copy snapshot load path. Array/Bitmap payloads
+    /// arrive as [`SliceView`]s borrowing mapped file bytes; Runs arrive
+    /// owned (decoded from a handful of varints).
+    ///
+    /// Validation here is structural and O(1) per chunk: keys strictly
+    /// increasing, payloads non-empty, bitmap word counts/cardinalities
+    /// in range with no trailing zero word (one word read — this is what
+    /// keeps `Container::last` panic-free on hostile input), and the
+    /// final span inside `universe`. Deep invariants (array sortedness,
+    /// bitmap popcounts, canonical shape choice) are the writer's
+    /// contract, pinned by the enclosing section CRC, which the mapped
+    /// loader always validates before producing any answer.
+    pub fn from_chunk_views(
+        chunks: Vec<(u16, ChunkView)>,
+        universe: u32,
+    ) -> Result<Tidset, CodecError> {
+        let corrupt = |message: String| CodecError { offset: 0, message };
+        let mut out: Vec<Chunk> = Vec::with_capacity(chunks.len());
+        let mut len = 0usize;
+        let mut next_key = 0u32;
+        for (key, view) in chunks {
+            if (key as u32) < next_key {
+                return Err(corrupt(format!("chunk key {key} out of order")));
+            }
+            next_key = key as u32 + 1;
+            let container = match view {
+                ChunkView::Array(v) => {
+                    if v.is_empty() || v.len() > 1 << CHUNK_BITS {
+                        return Err(corrupt(format!(
+                            "array chunk {key} has invalid length {}",
+                            v.len()
+                        )));
+                    }
+                    Container::ArrayView(v)
+                }
+                ChunkView::Bitmap { words, card } => {
+                    let n = words.len();
+                    if n == 0 || n > 1 << (CHUNK_BITS - 6) {
+                        return Err(corrupt(format!("bitmap chunk {key} claims {n} words")));
+                    }
+                    if words.as_slice()[n - 1] == 0 {
+                        return Err(corrupt(format!(
+                            "bitmap chunk {key} has a trailing zero word"
+                        )));
+                    }
+                    if card == 0 || card as usize > n * 64 {
+                        return Err(corrupt(format!(
+                            "bitmap chunk {key} cardinality {card} out of range"
+                        )));
+                    }
+                    Container::BitmapView { words, card }
+                }
+                ChunkView::Runs(runs) => {
+                    if runs.is_empty() || runs.len() > 1 << (CHUNK_BITS - 1) {
+                        return Err(corrupt(format!(
+                            "run chunk {key} claims {} runs",
+                            runs.len()
+                        )));
+                    }
+                    let mut prev_end: i64 = -2;
+                    for &(s, e) in &runs {
+                        if (s as i64) < prev_end + 2 || e < s {
+                            return Err(corrupt(format!("run chunk {key} is malformed")));
+                        }
+                        prev_end = e as i64;
+                    }
+                    Container::Runs(runs)
+                }
+            };
+            len += container.card();
+            out.push(Chunk { key, container });
+        }
+        let t = Tidset { chunks: out, len };
+        if t.span() > universe as usize {
+            return Err(corrupt(format!("tidset spans past universe {universe}")));
+        }
+        Ok(t)
     }
 
     /// Decode a set written by [`Tidset::encode_binary`] — or by the PR 1

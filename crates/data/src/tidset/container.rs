@@ -27,6 +27,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use crate::view::SliceView;
+
 /// Number of low bits addressed inside one chunk: chunks span 2^16 tids.
 pub(crate) const CHUNK_BITS: u32 = 16;
 
@@ -70,7 +72,17 @@ impl fmt::Display for ContainerKind {
 /// at most [`MAX_WORDS`] words, and `card` equal to the popcount; runs
 /// are sorted, satisfy `start <= end`, and leave a gap of at least one
 /// tid between consecutive runs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `ArrayView`/`BitmapView` variants are the `Cow`-style borrowed
+/// form of the zero-copy snapshot path: the same invariants, but the
+/// payload lives in externally owned memory (a mapped COLARMIX v4 file)
+/// reached through a [`SliceView`]. A view's *logical* kind — what
+/// [`Container::kind`] reports, what equality/hashing/serde observe — is
+/// the kind of the layout it views; the owned/borrowed distinction is
+/// invisible to every consumer. Runs are always owned (they are tiny and
+/// decode is a handful of varints), and any mutation of a view
+/// materializes it first ([`Container::make_owned`]).
+#[derive(Debug, Clone)]
 pub(crate) enum Container {
     /// Strictly sorted low bits.
     Array(Vec<u16>),
@@ -78,6 +90,20 @@ pub(crate) enum Container {
     Bitmap { words: Vec<u64>, card: u32 },
     /// Sorted maximal inclusive intervals.
     Runs(Vec<(u16, u16)>),
+    /// Borrowed `Array` over externally owned memory.
+    ArrayView(SliceView<u16>),
+    /// Borrowed `Bitmap` over externally owned memory.
+    BitmapView { words: SliceView<u64>, card: u32 },
+}
+
+/// Borrowed payload of a container, erasing owned-vs-view. All kernels
+/// and read-only methods dispatch on this, so borrowed chunks flow
+/// through every operation without copying.
+#[derive(Clone, Copy)]
+pub(crate) enum Repr<'a> {
+    Array(&'a [u16]),
+    Bitmap { words: &'a [u64], card: u32 },
+    Runs(&'a [(u16, u16)]),
 }
 
 /// The canonical (byte-smallest) layout for a chunk with `card` tids,
@@ -99,40 +125,66 @@ pub(crate) fn canonical_kind(card: usize, n_runs: usize, last: u16) -> Container
 }
 
 impl Container {
+    /// The borrowed payload, erasing owned-vs-view.
+    #[inline]
+    pub(crate) fn repr(&self) -> Repr<'_> {
+        match self {
+            Container::Array(v) => Repr::Array(v),
+            Container::Bitmap { words, card } => Repr::Bitmap { words, card: *card },
+            Container::Runs(r) => Repr::Runs(r),
+            Container::ArrayView(v) => Repr::Array(v.as_slice()),
+            Container::BitmapView { words, card } => Repr::Bitmap {
+                words: words.as_slice(),
+                card: *card,
+            },
+        }
+    }
+
     /// Number of tids stored.
     pub(crate) fn card(&self) -> usize {
-        match self {
-            Container::Array(v) => v.len(),
-            Container::Bitmap { card, .. } => *card as usize,
-            Container::Runs(r) => r.iter().map(|&(s, e)| (e - s) as usize + 1).sum(),
+        match self.repr() {
+            Repr::Array(v) => v.len(),
+            Repr::Bitmap { card, .. } => card as usize,
+            Repr::Runs(r) => r.iter().map(|&(s, e)| (e - s) as usize + 1).sum(),
         }
     }
 
-    /// The physical layout in use.
+    /// The *logical* layout in use: a view reports the kind of the layout
+    /// it borrows, so shape-derived statistics and costing never observe
+    /// the owned/borrowed distinction.
     pub(crate) fn kind(&self) -> ContainerKind {
-        match self {
-            Container::Array(_) => ContainerKind::Array,
-            Container::Bitmap { .. } => ContainerKind::Bitmap,
-            Container::Runs(_) => ContainerKind::Runs,
+        match self.repr() {
+            Repr::Array(_) => ContainerKind::Array,
+            Repr::Bitmap { .. } => ContainerKind::Bitmap,
+            Repr::Runs(_) => ContainerKind::Runs,
         }
     }
 
-    /// Highest stored value. Containers are never empty.
+    /// True when the payload borrows externally owned memory.
+    pub(crate) fn is_view(&self) -> bool {
+        matches!(
+            self,
+            Container::ArrayView(_) | Container::BitmapView { .. }
+        )
+    }
+
+    /// Highest stored value. Containers are never empty, and bitmaps
+    /// never end in a zero word (view constructors check that one word).
     pub(crate) fn last(&self) -> u16 {
-        match self {
-            Container::Array(v) => *v.last().expect("container is never empty"),
-            Container::Bitmap { words, .. } => {
+        match self.repr() {
+            Repr::Array(v) => *v.last().expect("container is never empty"),
+            Repr::Bitmap { words, .. } => {
                 let i = words.len() - 1;
                 (i as u32 * 64 + 63 - words[i].leading_zeros()) as u16
             }
-            Container::Runs(r) => r.last().expect("container is never empty").1,
+            Repr::Runs(r) => r.last().expect("container is never empty").1,
         }
     }
 
     /// Number of maximal runs of consecutive values.
     pub(crate) fn n_runs(&self) -> usize {
-        match self {
-            Container::Array(v) => {
+        match self.repr() {
+            Repr::Array(v) => {
                 let mut n = usize::from(!v.is_empty());
                 for w in v.windows(2) {
                     if w[1] - w[0] > 1 {
@@ -141,7 +193,7 @@ impl Container {
                 }
                 n
             }
-            Container::Bitmap { words, .. } => {
+            Repr::Bitmap { words, .. } => {
                 // A set bit starts a run iff its predecessor bit is clear;
                 // the carry threads bit 63 across word boundaries.
                 let mut n = 0usize;
@@ -152,16 +204,16 @@ impl Container {
                 }
                 n
             }
-            Container::Runs(r) => r.len(),
+            Repr::Runs(r) => r.len(),
         }
     }
 
     /// Membership test.
     pub(crate) fn contains(&self, low: u16) -> bool {
-        match self {
-            Container::Array(v) => v.binary_search(&low).is_ok(),
-            Container::Bitmap { words, .. } => word_test(words, low),
-            Container::Runs(r) => r
+        match self.repr() {
+            Repr::Array(v) => v.binary_search(&low).is_ok(),
+            Repr::Bitmap { words, .. } => word_test(words, low),
+            Repr::Runs(r) => r
                 .binary_search_by(|&(s, e)| {
                     if e < low {
                         Ordering::Less
@@ -177,17 +229,33 @@ impl Container {
 
     /// Iterate stored values in ascending order.
     pub(crate) fn iter(&self) -> ContainerIter<'_> {
-        match self {
-            Container::Array(v) => ContainerIter::Array(v.iter()),
-            Container::Bitmap { words, .. } => ContainerIter::Bitmap {
+        match self.repr() {
+            Repr::Array(v) => ContainerIter::Array(v.iter()),
+            Repr::Bitmap { words, .. } => ContainerIter::Bitmap {
                 words,
                 word_idx: 0,
                 current: words.first().copied().unwrap_or(0),
             },
-            Container::Runs(r) => ContainerIter::Runs {
+            Repr::Runs(r) => ContainerIter::Runs {
                 runs: r.iter(),
                 cur: None,
             },
+        }
+    }
+
+    /// Replace a borrowed payload with an owned copy of the same layout;
+    /// owned containers are untouched. Mutation entry points call this
+    /// first, so views stay immutable snapshots of the mapped file.
+    pub(crate) fn make_owned(&mut self) {
+        match self {
+            Container::ArrayView(v) => *self = Container::Array(v.as_slice().to_vec()),
+            Container::BitmapView { words, card } => {
+                *self = Container::Bitmap {
+                    words: words.as_slice().to_vec(),
+                    card: *card,
+                }
+            }
+            _ => {}
         }
     }
 
@@ -195,6 +263,7 @@ impl Container {
     /// re-normalizing (callers batch-construct and normalize once, or are
     /// test-only like [`super::Tidset::push_monotonic`]).
     pub(crate) fn push_monotonic(&mut self, low: u16) {
+        self.make_owned();
         match self {
             Container::Array(v) => v.push(low),
             Container::Bitmap { words, card } => {
@@ -213,12 +282,21 @@ impl Container {
                     r.push((low, low));
                 }
             }
+            Container::ArrayView(_) | Container::BitmapView { .. } => {
+                unreachable!("make_owned materialized the view")
+            }
         }
     }
 
-    /// Convert to the canonical layout for the current contents.
+    /// Convert to the canonical layout for the current contents. Views
+    /// are canonical by construction — the v4 writer only persists
+    /// canonical shapes, and the section CRC (validated before any
+    /// answer is produced) pins them — so they pass through unchanged.
     pub(crate) fn normalized(self) -> Container {
         debug_assert!(self.card() > 0, "normalize of an empty container");
+        if self.is_view() {
+            return self;
+        }
         let target = canonical_kind(self.card(), self.n_runs(), self.last());
         if self.kind() == target {
             return self;
@@ -230,6 +308,23 @@ impl Container {
         }
     }
 }
+
+/// Equality is representation-independent across owned/borrowed forms:
+/// two containers are equal iff they view the same logical layout with
+/// the same payload. (Canonicalization guarantees equal *sets* share a
+/// layout, so this still never compares across kinds.)
+impl PartialEq for Container {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.repr(), other.repr()) {
+            (Repr::Array(x), Repr::Array(y)) => x == y,
+            (Repr::Bitmap { words: x, .. }, Repr::Bitmap { words: y, .. }) => x == y,
+            (Repr::Runs(x), Repr::Runs(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Container {}
 
 /// Ascending iterator over any container layout.
 pub(crate) enum ContainerIter<'a> {
@@ -286,28 +381,30 @@ impl Iterator for ContainerIter<'_> {
 }
 
 /// Chunk-pair intersection kernel; `None` when the result is empty,
-/// otherwise the canonical container of the intersection.
+/// otherwise the canonical container of the intersection. Kernels
+/// dispatch on [`Repr`], so borrowed (mapped) chunks run the same
+/// specialized paths as owned ones, and results are always owned.
 pub(crate) fn intersect(a: &Container, b: &Container) -> Option<Container> {
-    use Container::*;
-    let raw = match (a, b) {
-        (Array(x), Array(y)) => Array(array_intersect(x, y)),
+    use Repr::*;
+    let raw = match (a.repr(), b.repr()) {
+        (Array(x), Array(y)) => Container::Array(array_intersect(x, y)),
         (Array(x), Bitmap { words, .. }) | (Bitmap { words, .. }, Array(x)) => {
-            Array(x.iter().copied().filter(|&v| word_test(words, v)).collect())
+            Container::Array(x.iter().copied().filter(|&v| word_test(words, v)).collect())
         }
-        (Array(x), Runs(r)) | (Runs(r), Array(x)) => Array(array_run_intersect(x, r)),
+        (Array(x), Runs(r)) | (Runs(r), Array(x)) => Container::Array(array_run_intersect(x, r)),
         (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => bitmap_and(x, y),
         (Bitmap { words, .. }, Runs(r)) | (Runs(r), Bitmap { words, .. }) => {
             bitmap_run_and(words, r)
         }
-        (Runs(x), Runs(y)) => Runs(run_intersect(x, y)),
+        (Runs(x), Runs(y)) => Container::Runs(run_intersect(x, y)),
     };
     (raw.card() > 0).then(|| raw.normalized())
 }
 
 /// Chunk-pair `|a ∩ b|` without materializing. Never allocates.
 pub(crate) fn intersect_count(a: &Container, b: &Container) -> usize {
-    use Container::*;
-    match (a, b) {
+    use Repr::*;
+    match (a.repr(), b.repr()) {
         (Array(x), Array(y)) => array_intersect_count(x, y),
         (Array(x), Bitmap { words, .. }) | (Bitmap { words, .. }, Array(x)) => {
             x.iter().filter(|&&v| word_test(words, v)).count()
@@ -356,19 +453,19 @@ pub(crate) fn intersect_count(a: &Container, b: &Container) -> usize {
 
 /// Chunk-pair union kernel; always non-empty, canonical.
 pub(crate) fn union(a: &Container, b: &Container) -> Container {
-    use Container::*;
-    let raw = match (a, b) {
-        (Array(x), Array(y)) => Array(array_union(x, y)),
+    use Repr::*;
+    let raw = match (a.repr(), b.repr()) {
+        (Array(x), Array(y)) => Container::Array(array_union(x, y)),
         (Bitmap { words: x, .. }, Bitmap { words: y, .. }) => {
             let (long, short) = if x.len() >= y.len() { (x, y) } else { (y, x) };
-            let mut w = long.clone();
+            let mut w = long.to_vec();
             for (o, &s) in w.iter_mut().zip(short.iter()) {
                 *o |= s;
             }
             bitmap_recount(w)
         }
         (Bitmap { words, .. }, Array(x)) | (Array(x), Bitmap { words, .. }) => {
-            let mut w = words.clone();
+            let mut w = words.to_vec();
             grow_words(&mut w, *x.last().expect("non-empty") as usize);
             for &v in x {
                 w[v as usize / 64] |= 1u64 << (v & 63);
@@ -376,30 +473,32 @@ pub(crate) fn union(a: &Container, b: &Container) -> Container {
             bitmap_recount(w)
         }
         (Bitmap { words, .. }, Runs(r)) | (Runs(r), Bitmap { words, .. }) => {
-            let mut w = words.clone();
+            let mut w = words.to_vec();
             grow_words(&mut w, r.last().expect("non-empty").1 as usize);
             for &(s, e) in r {
                 for_each_run_word(s as usize, e as usize, |wi, mask| w[wi] |= mask);
             }
             bitmap_recount(w)
         }
-        (Runs(x), Runs(y)) => Runs(run_union(x, y)),
-        (Array(x), Runs(r)) | (Runs(r), Array(x)) => Runs(run_union(&runs_of_array(x), r)),
+        (Runs(x), Runs(y)) => Container::Runs(run_union(x, y)),
+        (Array(x), Runs(r)) | (Runs(r), Array(x)) => {
+            Container::Runs(run_union(&runs_of_array(x), r))
+        }
     };
     raw.normalized()
 }
 
 /// Chunk-pair difference kernel `a \ b`; `None` when empty, else canonical.
 pub(crate) fn subtract(a: &Container, b: &Container) -> Option<Container> {
-    use Container::*;
-    let raw = match (a, b) {
-        (Array(x), Array(y)) => Array(array_subtract(x, y)),
+    use Repr::*;
+    let raw = match (a.repr(), b.repr()) {
+        (Array(x), Array(y)) => Container::Array(array_subtract(x, y)),
         (Array(x), Bitmap { words, .. }) => {
-            Array(x.iter().copied().filter(|&v| !word_test(words, v)).collect())
+            Container::Array(x.iter().copied().filter(|&v| !word_test(words, v)).collect())
         }
-        (Array(x), Runs(r)) => Array(array_run_subtract(x, r)),
+        (Array(x), Runs(r)) => Container::Array(array_run_subtract(x, r)),
         (Bitmap { words, .. }, Array(y)) => {
-            let mut w = words.clone();
+            let mut w = words.to_vec();
             for &v in y {
                 if let Some(slot) = w.get_mut(v as usize / 64) {
                     *slot &= !(1u64 << (v & 63));
@@ -416,7 +515,7 @@ pub(crate) fn subtract(a: &Container, b: &Container) -> Option<Container> {
             bitmap_recount(w)
         }
         (Bitmap { words, .. }, Runs(r)) => {
-            let mut w = words.clone();
+            let mut w = words.to_vec();
             let cap = w.len() * 64;
             for &(s, e) in r {
                 if s as usize >= cap {
@@ -427,7 +526,7 @@ pub(crate) fn subtract(a: &Container, b: &Container) -> Option<Container> {
             }
             bitmap_recount(w)
         }
-        (Runs(r), Array(y)) => Runs(run_array_subtract(r, y)),
+        (Runs(r), Array(y)) => Container::Runs(run_array_subtract(r, y)),
         (Runs(r), Bitmap { words, .. }) => {
             // Expand the runs into words once, then one ANDNOT pass.
             let mut w = vec![0u64; r.last().expect("non-empty").1 as usize / 64 + 1];
@@ -439,18 +538,18 @@ pub(crate) fn subtract(a: &Container, b: &Container) -> Option<Container> {
             }
             bitmap_recount(w)
         }
-        (Runs(x), Runs(y)) => Runs(run_subtract(x, y)),
+        (Runs(x), Runs(y)) => Container::Runs(run_subtract(x, y)),
     };
     (raw.card() > 0).then(|| raw.normalized())
 }
 
 /// Chunk-pair subset test `a ⊆ b`; never materializes.
 pub(crate) fn is_subset(a: &Container, b: &Container) -> bool {
-    use Container::*;
+    use Repr::*;
     if a.card() > b.card() {
         return false;
     }
-    match (a, b) {
+    match (a.repr(), b.repr()) {
         (Array(x), Bitmap { words, .. }) => x.iter().all(|&v| word_test(words, v)),
         (Array(x), Runs(r)) => {
             let mut j = 0usize;

@@ -1,0 +1,100 @@
+//! Borrowed-slice views over externally owned memory.
+//!
+//! A [`SliceView`] is a `&'static [T]` bundled with an `Arc` to the
+//! [`ViewOwner`] that keeps the underlying bytes alive — the building
+//! block of the zero-copy snapshot path, where tidset containers borrow
+//! their payloads straight out of a memory-mapped COLARMIX file instead
+//! of decoding into owned vectors.
+//!
+//! This module contains **no unsafe code**. Through safe Rust the only
+//! slices a caller can supply really are `'static` (e.g. leaked or
+//! constant data), for which any owner is trivially sufficient. The one
+//! place that fabricates a `'static` lifetime for mapped memory is the
+//! audited `colarm::persist::mmap` module, whose safety argument is
+//! exactly the pairing enforced here: every fabricated slice travels
+//! inside a `SliceView` holding an `Arc` to its mapping, so the mapping
+//! is never unmapped while a view (and hence any borrow derived from
+//! it) exists. Kernels only ever access the data through
+//! [`SliceView::as_slice`], whose lifetime is tied to the view itself.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Marker for the owner of a [`SliceView`]'s backing memory. The sole
+/// obligation is lifetime: the bytes a view points into must stay valid
+/// (and unchanged) until the owner is dropped.
+pub trait ViewOwner: Send + Sync + fmt::Debug {}
+
+/// A borrowed slice plus the shared owner keeping it alive.
+pub struct SliceView<T: 'static> {
+    slice: &'static [T],
+    owner: Arc<dyn ViewOwner>,
+}
+
+impl<T: 'static> SliceView<T> {
+    /// Bundle `slice` with the `owner` that guarantees its lifetime.
+    ///
+    /// Safe by construction: safe callers can only produce genuinely
+    /// `'static` slices. Unsafe callers (the snapshot mapper) discharge
+    /// their lifetime obligation by passing the mapping itself as the
+    /// owner.
+    pub fn new(slice: &'static [T], owner: Arc<dyn ViewOwner>) -> Self {
+        SliceView { slice, owner }
+    }
+
+    /// The viewed elements. The borrow is tied to `self`, so the owner
+    /// (held by `self`) outlives every use of the slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        self.slice
+    }
+
+    /// Number of elements viewed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+}
+
+impl<T: 'static> Clone for SliceView<T> {
+    fn clone(&self) -> Self {
+        SliceView {
+            slice: self.slice,
+            owner: Arc::clone(&self.owner),
+        }
+    }
+}
+
+impl<T: fmt::Debug + 'static> fmt::Debug for SliceView<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SliceView")
+            .field("len", &self.slice.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct StaticOwner;
+    impl ViewOwner for StaticOwner {}
+
+    #[test]
+    fn static_slices_view_trivially() {
+        static DATA: [u16; 4] = [1, 2, 3, 4];
+        let v = SliceView::new(&DATA, Arc::new(StaticOwner));
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        let w = v.clone();
+        assert_eq!(w.as_slice(), v.as_slice());
+    }
+}

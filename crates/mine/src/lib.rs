@@ -23,6 +23,8 @@
 //!   serves global mining and COLARM's focal-subset VERIFY operator.
 //! * [`measures`] — support, confidence, lift, leverage and conviction.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod apriori;
 pub mod charm;
 pub mod eclat;

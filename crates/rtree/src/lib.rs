@@ -25,6 +25,8 @@
 //! * [`cost`] — per-level statistics and the Theodoridis–Sellis expected
 //!   node-access estimate used by COLARM's Equations 1, 3 and 6.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bulk;
 pub mod cost;
 pub mod geom;

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus lint, as run by CI.
 #
-#   scripts/ci.sh            # build + test + clippy
+#   scripts/ci.sh            # build + test + clippy + unsafe audit
 #   scripts/ci.sh --bench    # also gate on BENCH_tidset.json,
-#                            # BENCH_server.json + BENCH_optimizer.json
-#                            # thresholds (--check) and regenerate
-#                            # BENCH_snapshot.json, BENCH_engine.json +
-#                            # BENCH_session.json
+#                            # BENCH_server.json, BENCH_optimizer.json +
+#                            # BENCH_coldstart.json thresholds (--check)
+#                            # and regenerate BENCH_snapshot.json,
+#                            # BENCH_engine.json + BENCH_session.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,11 +17,11 @@ echo "==> cargo test -q"
 cargo test -q
 
 # Format stability: all committed golden fixtures (v1 sparse/dense, v2
-# container payloads, v3 statistics catalog) must keep loading and
-# answering Table 1 on all six plans. Redundant with the full test run
-# above, but kept as a named gate so a format break is called out
-# explicitly.
-echo "==> snapshot format stability (tests/fixtures/salary_index_v{1,2,3}.snap)"
+# container payloads, v3 statistics catalog, v4 mmap layout) must keep
+# loading and answering Table 1 on all six plans. Redundant with the
+# full test run above, but kept as a named gate so a format break is
+# called out explicitly.
+echo "==> snapshot format stability (tests/fixtures/salary_index_v{1,2,3,4}.snap)"
 cargo test -q --test snapshot_format golden_fixtures_load_and_answer_table1_on_all_plans
 
 # Concurrent sessions over one shared system must stay bit-identical both
@@ -50,6 +50,26 @@ RUSTFLAGS="-D deprecated" cargo check --workspace --all-targets
 # execution. Covers the CLI + socket loop the in-process tests skip.
 echo "==> server smoke (colarm serve vs in-process, scripts/server_smoke.sh)"
 scripts/server_smoke.sh
+
+# Unsafe audit: `unsafe` is confined to four audited modules (the worker
+# pool's channel internals, the CLI's signal(2) shim, the server's
+# poll(2) shim, and the snapshot mmap layer), each of which documents its
+# obligations, and every crate root carries #![deny(unsafe_op_in_unsafe_fn)].
+# A new `unsafe` block anywhere else fails CI until it is audited and
+# added here.
+echo "==> unsafe audit (allowlist + unsafe_op_in_unsafe_fn)"
+UNSAFE_ALLOWLIST=$'crates/data/src/par.rs\ncrates/cli/src/main.rs\ncrates/colarm/src/server/http.rs\ncrates/colarm/src/persist/mmap.rs'
+UNSAFE_FILES=$(grep -rEl "unsafe (fn|impl|extern)|unsafe \{" crates --include="*.rs" | sort)
+if [[ "$UNSAFE_FILES" != "$(sort <<<"$UNSAFE_ALLOWLIST")" ]]; then
+    echo "unsafe audit FAILED: unsafe code outside the audited allowlist" >&2
+    diff <(sort <<<"$UNSAFE_ALLOWLIST") <(echo "$UNSAFE_FILES") >&2 || true
+    exit 1
+fi
+for root in crates/data/src/lib.rs crates/mine/src/lib.rs crates/rtree/src/lib.rs \
+            crates/colarm/src/lib.rs crates/bench/src/lib.rs crates/cli/src/main.rs; do
+    grep -q 'deny(unsafe_op_in_unsafe_fn)' "$root" \
+        || { echo "unsafe audit FAILED: $root lacks #![deny(unsafe_op_in_unsafe_fn)]" >&2; exit 1; }
+done
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -81,6 +101,12 @@ if [[ "${1:-}" == "--bench" ]]; then
     # thresholds recorded in BENCH_optimizer.json.
     echo "==> bench_optimizer (cost-model accuracy + mispick threshold gate)"
     cargo run --release -p colarm-bench --bin bench_optimizer -- /tmp/bench_optimizer_ci.json --check
+    # bench_coldstart enforces the min_ttfq_speedup floor recorded in
+    # BENCH_coldstart.json: time-to-first-query through the lazily
+    # validated mmap path must stay ≥10× faster than the owned v3
+    # decode at production scale.
+    echo "==> bench_coldstart (mmap TTFQ vs owned decode + threshold gate)"
+    cargo run --release -p colarm-bench --bin bench_coldstart -- /tmp/bench_coldstart_ci.json --check
 fi
 
 echo "ci: all green"

@@ -1,18 +1,23 @@
 //! Binary snapshot format stability, round-trip and corruption tests.
 //!
-//! Three golden fixtures are committed:
+//! Four golden fixtures are committed:
 //!
 //! * `tests/fixtures/salary_index_v1.snap` — format version 1 (PR 1's
 //!   sparse/dense tidset payloads). **Never regenerated**: it pins the
 //!   historical bytes this build promises to keep reading.
 //! * `tests/fixtures/salary_index_v2.snap` — format version 2 (per-chunk
 //!   container tidset payloads, no STATS section). **Never regenerated**
-//!   either, for the same reason: a current writer can only produce
-//!   version 3.
-//! * `tests/fixtures/salary_index_v3.snap` — the current format version 3
-//!   (adds the optional STATS section: statistics catalog + fitted cost
-//!   constants). Regenerate it — only after a deliberate, version-bumped
-//!   format change — with:
+//!   either, for the same reason: a current writer can only produce the
+//!   framed layout as version 3.
+//! * `tests/fixtures/salary_index_v3.snap` — format version 3, the newest
+//!   *framed* layout (adds the optional STATS section). Historical too:
+//!   the streaming writer (`save_index_v3_with_constants`) still emits
+//!   it, but `save_index` now writes version 4.
+//! * `tests/fixtures/salary_index_v4.snap` — the current format version 4
+//!   (aligned mapped layout: tail section directory, 64-byte aligned
+//!   sections, raw LE container payloads, persisted vertical index; see
+//!   `persist::layout`). Regenerate it — only after a deliberate,
+//!   version-bumped format change — with:
 //!
 //! ```sh
 //! COLARM_REGEN_SNAPSHOT_FIXTURE=1 cargo test --test snapshot_format
@@ -20,9 +25,12 @@
 //!
 //! All fixtures must load and answer the paper's Table 1 walkthrough
 //! with bit-identical rules on all six plans, and every single-byte flip
-//! or truncation of any of them must be a detected error. The v1/v2
-//! fixtures additionally must load *stats-absent*: no catalog, no
-//! persisted constants, global-average cost fallback.
+//! or truncation of any of them must be a detected error — for the
+//! lazily-validated v4 mapped path, "detected" means at load *or* on
+//! first touch ([`MipIndex::ensure_validated`]), never an undetected
+//! wrong answer. The v1/v2 fixtures additionally must load
+//! *stats-absent*: no catalog, no persisted constants, global-average
+//! cost fallback.
 
 use colarm::{
     load_index, save_index, Colarm, ColarmError, IndexSnapshot, LocalizedQuery, MipIndex,
@@ -43,8 +51,17 @@ fn fixture_v3_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v3.snap")
 }
 
-fn fixture_paths() -> [PathBuf; 3] {
-    [fixture_v1_path(), fixture_v2_path(), fixture_v3_path()]
+fn fixture_v4_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/salary_index_v4.snap")
+}
+
+fn fixture_paths() -> [PathBuf; 4] {
+    [
+        fixture_v1_path(),
+        fixture_v2_path(),
+        fixture_v3_path(),
+        fixture_v4_path(),
+    ]
 }
 
 /// The committed fixtures that predate the STATS section.
@@ -80,8 +97,8 @@ const TABLE1: &str = "REPORT LOCALIZED ASSOCIATION RULES \
 fn golden_fixtures_load_and_answer_table1_on_all_plans() {
     if std::env::var_os("COLARM_REGEN_SNAPSHOT_FIXTURE").is_some() {
         // Only the current-version fixture can ever be regenerated; the
-        // v1/v2 bytes are history and a v3 writer must not touch them.
-        let path = fixture_v3_path();
+        // v1/v2/v3 bytes are history and a v4 writer must not touch them.
+        let path = fixture_v4_path();
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         save_index(&salary_index(), &path).unwrap();
         eprintln!("regenerated {}", path.display());
@@ -122,8 +139,9 @@ fn golden_fixtures_load_and_answer_table1_on_all_plans() {
     }
 }
 
-/// The current writer emits format version 3; the v1/v2 fixtures keep
-/// their historical preambles.
+/// The current writer emits format version 4; the v1/v2/v3 fixtures keep
+/// their historical preambles. The v4 fixture additionally carries the
+/// fixed tail record a mapped reader seeks first.
 #[test]
 fn fixture_preambles_pin_their_versions() {
     let v1 = std::fs::read(fixture_v1_path()).unwrap();
@@ -134,10 +152,14 @@ fn fixture_preambles_pin_their_versions() {
     assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
     let v3 = std::fs::read(fixture_v3_path()).unwrap();
     assert_eq!(&v3[..8], b"COLARMIX");
+    assert_eq!(u32::from_le_bytes(v3[8..12].try_into().unwrap()), 3);
+    let v4 = std::fs::read(fixture_v4_path()).unwrap();
+    assert_eq!(&v4[..8], b"COLARMIX");
     assert_eq!(
-        u32::from_le_bytes(v3[8..12].try_into().unwrap()),
+        u32::from_le_bytes(v4[8..12].try_into().unwrap()),
         colarm::persist::FORMAT_VERSION
     );
+    assert_eq!(&v4[v4.len() - 8..], b"XIMRALOC", "v4 tail magic");
 }
 
 /// Pre-v3 snapshots carry no statistics catalog and no fitted cost
@@ -183,8 +205,23 @@ fn binary_snapshot_round_trips_all_plans() {
     std::fs::remove_file(&path).unwrap();
 }
 
-/// Every single-byte flip anywhere in either fixture is a detected
-/// `ColarmError::Snapshot` — never a panic, never a silent wrong answer.
+/// Load a possibly-corrupt snapshot and force any deferred (lazy)
+/// validation, so "the corruption was detected" covers both phases of
+/// the v4 mapped path: a v1–v3 snapshot detects everything at load, a
+/// lazily-mapped v4 snapshot may legitimately defer a bulk-section
+/// checksum to the first touch — but must *never* produce a validated,
+/// queryable index from corrupt bytes.
+fn load_and_touch(path: &PathBuf) -> Result<MipIndex, ColarmError> {
+    let index = load_index(path)?;
+    index.ensure_validated()?;
+    Ok(index)
+}
+
+/// Every single-byte flip anywhere in any fixture is a detected
+/// `ColarmError::Snapshot` — at load or on first touch, never a panic,
+/// never a silent wrong answer. For the v4 fixture this sweep covers
+/// flips in the head, the section directory, the fixed tail, alignment
+/// padding, and every lazily-validated section.
 #[test]
 fn corrupting_the_fixtures_is_always_detected() {
     for fixture in fixture_paths() {
@@ -194,7 +231,7 @@ fn corrupting_the_fixtures_is_always_detected() {
             let mut flipped = bytes.clone();
             flipped[i] ^= 0xFF;
             std::fs::write(&path, &flipped).unwrap();
-            match load_index(&path) {
+            match load_and_touch(&path) {
                 Err(ColarmError::Snapshot { .. }) => {}
                 Ok(_) => panic!(
                     "flip at byte {i} of {} went undetected ({})",
@@ -212,7 +249,8 @@ fn corrupting_the_fixtures_is_always_detected() {
 }
 
 /// Every truncation — including ones landing exactly on a section
-/// boundary — is detected (the trailer's whole-file CRC catches those).
+/// boundary — is detected (the v1–v3 trailer's whole-file CRC and the
+/// v4 tail's declared file length both catch those).
 #[test]
 fn truncating_the_fixtures_is_always_detected() {
     for fixture in fixture_paths() {
@@ -220,7 +258,7 @@ fn truncating_the_fixtures_is_always_detected() {
         let path = temp_path("truncated.snap");
         for len in 0..bytes.len() {
             std::fs::write(&path, &bytes[..len]).unwrap();
-            match load_index(&path) {
+            match load_and_touch(&path) {
                 Err(ColarmError::Snapshot { .. }) => {}
                 Ok(_) => panic!(
                     "truncation to {len} of {} went undetected ({})",
@@ -235,6 +273,61 @@ fn truncating_the_fixtures_is_always_detected() {
         }
         std::fs::remove_file(&path).unwrap();
     }
+}
+
+/// v4 structural rejection: a directory entry pointing a section at a
+/// misaligned offset must be refused up front (alignment is what makes
+/// the in-place `&[u16]` / `&[u64]` reinterpretations sound), even when
+/// the directory checksum is made consistent with the tampered entry.
+#[test]
+fn v4_rejects_misaligned_section_offsets() {
+    let bytes = std::fs::read(fixture_v4_path()).unwrap();
+    let tail = &bytes[bytes.len() - 40..];
+    let dir_offset = u64::from_le_bytes(tail[0..8].try_into().unwrap()) as usize;
+    let dir_count = u32::from_le_bytes(tail[8..12].try_into().unwrap()) as usize;
+    assert!(dir_count >= 2, "fixture should have several sections");
+    for entry in 0..dir_count {
+        let mut tampered = bytes.clone();
+        // Nudge this entry's offset (bytes 8..16 of the 24-byte row) off
+        // its 64-byte alignment by 2 — still 2-aligned, so only the
+        // format-level alignment check can object.
+        let at = dir_offset + entry * 24 + 8;
+        let offset = u64::from_le_bytes(tampered[at..at + 8].try_into().unwrap());
+        tampered[at..at + 8].copy_from_slice(&(offset + 2).to_le_bytes());
+        // Recompute the directory CRC so the tamper is not caught there.
+        let dir_end = dir_offset + dir_count * 24;
+        let dir_crc = colarm::data::codec::crc32(&tampered[dir_offset..dir_end]);
+        let crc_at = tampered.len() - 40 + 12;
+        tampered[crc_at..crc_at + 4].copy_from_slice(&dir_crc.to_le_bytes());
+        let path = temp_path("misaligned.snap");
+        std::fs::write(&path, &tampered).unwrap();
+        match load_and_touch(&path) {
+            Err(ColarmError::Snapshot { message }) => assert!(
+                message.contains("misaligned") || message.contains("expected"),
+                "entry {entry}: unhelpful message: {message}"
+            ),
+            other => panic!(
+                "entry {entry}: misaligned offset accepted: {:?}",
+                other.map(|_| "an index")
+            ),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// A 0-byte snapshot is its own clean error — not a JSON parse failure,
+/// not a panic (regression guard for the prefix-sniffing dispatch).
+#[test]
+fn empty_snapshot_is_a_clean_error() {
+    let path = temp_path("empty.snap");
+    std::fs::write(&path, b"").unwrap();
+    match load_index(&path) {
+        Err(ColarmError::Snapshot { message }) => {
+            assert!(message.contains("empty"), "unhelpful message: {message}")
+        }
+        other => panic!("expected Snapshot error, got {:?}", other.err()),
+    }
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
